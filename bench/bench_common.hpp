@@ -1,0 +1,84 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+//
+// Every bench prints (a) the paper's reported numbers for the experiment and
+// (b) the numbers measured on this repository's emulated testbed, so the
+// shape comparison EXPERIMENTS.md records is visible directly in the output.
+// Absolute values differ from the paper (their substrate was FABRIC/CloudLab
+// hardware; ours is the virtual-time emulator) — who wins and by roughly what
+// factor is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "optimizers/runner.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::bench {
+
+/// Training budget used by the bench harnesses: larger than the unit-test
+/// configuration, smaller than paper_defaults() (2-core CI budget; DESIGN.md
+/// §5). Pass --paper on a bench's command line to use the full published
+/// configuration instead.
+inline rl::PpoConfig bench_ppo_config(bool paper_scale = false) {
+  if (paper_scale) return rl::PpoConfig::paper_defaults();
+  rl::PpoConfig c;
+  c.hidden_dim = 64;
+  c.policy_blocks = 2;
+  c.value_blocks = 1;
+  c.max_episodes = 6000;
+  c.stagnation_episodes = 500;
+  return c;
+}
+
+inline bool paper_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--paper") return true;
+  return false;
+}
+
+/// Offline-train an agent for a testbed preset, using the preset's true
+/// per-thread rates / bandwidths as the scenario (i.e. assuming a clean
+/// exploration phase; bench_training_time exercises the explorer itself).
+inline core::AutoMdt train_agent(const testbed::ScenarioPreset& preset,
+                                 const StageTriple& tpt_mbps,
+                                 const StageTriple& bandwidth_mbps,
+                                 const rl::PpoConfig& ppo,
+                                 rl::TrainResult* training = nullptr) {
+  sim::SimScenario s;
+  s.sender_capacity = preset.config.sender_buffer_bytes;
+  s.receiver_capacity = preset.config.receiver_buffer_bytes;
+  s.tpt_mbps = tpt_mbps;
+  s.bandwidth_mbps = bandwidth_mbps;
+  s.max_threads = preset.config.max_threads;
+
+  core::PipelineConfig cfg;
+  cfg.ppo = ppo;
+  cfg.max_threads = preset.config.max_threads;
+  return core::AutoMdt::train_on_scenario(s, cfg, training);
+}
+
+/// One production transfer run under a controller.
+inline optimizers::RunResult run(const testbed::ScenarioPreset& preset,
+                                 const testbed::Dataset& dataset,
+                                 optimizers::ConcurrencyController& ctrl,
+                                 const core::AutoMdt* align_with,
+                                 std::uint64_t seed,
+                                 double max_time_s = 36000.0) {
+  testbed::EmulatedEnvironment env(preset.config, dataset);
+  if (align_with) align_with->align_environment(env);
+  Rng rng(seed);
+  return optimizers::run_transfer(env, ctrl, rng, {max_time_s});
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("Paper reports: %s\n", paper.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace automdt::bench

@@ -1,0 +1,80 @@
+// Fig. 3 reproduction: AutoMDT vs Marlin on the FABRIC NCSA->TACC link,
+// 100 x 1 GB transfer.
+//
+// Paper: "Marlin completes the transfer in 74 seconds, whereas AutoMDT takes
+// only 44 seconds. AutoMDT reached the required concurrency level of 20 in
+// just 7 seconds; Marlin required 62 seconds to reach 14 (8x slower)."
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "optimizers/marlin_controller.hpp"
+
+using namespace automdt;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  bench::print_header(
+      "Fig. 3 — AutoMDT vs Marlin convergence (NCSA->TACC, 100 x 1 GB)",
+      "completion 44 s vs 74 s (~1.7x); concurrency 20 in 7 s vs 62 s to 14");
+
+  const testbed::ScenarioPreset preset = testbed::fabric_ncsa_tacc();
+  std::printf("training AutoMDT agent for %s ...\n\n", preset.name.c_str());
+  rl::TrainResult training;
+  const core::AutoMdt mdt = bench::train_agent(
+      preset, {2500.0, 1200.0, 2000.0}, {30000.0, 25000.0, 26000.0},
+      bench::bench_ppo_config(bench::paper_flag(argc, argv)), &training);
+
+  const testbed::Dataset dataset = testbed::Dataset::paper_fig3();
+  const int required_level = preset.expected_optimal.network;  // ~21 streams
+
+  Table table({"tool", "completion (s)", "avg rate (Gbps)",
+               "t to reach net>=" + std::to_string(required_level - 2) + " (s)",
+               "net stddev after conv"},
+              1);
+  testbed::TimeSeriesRecorder automdt_series, marlin_series;
+
+  // Aggregate over a few seeds; the paper's figure is a single run but the
+  // emulator's jitter makes the average more informative.
+  double a_total = 0.0, m_total = 0.0;
+  int runs = 3;
+  for (int seed = 0; seed < runs; ++seed) {
+    auto actrl = mdt.make_controller(/*deterministic=*/true);
+    const auto res_a = bench::run(preset, dataset, *actrl, &mdt, 100 + seed);
+    optimizers::MarlinController marlin;
+    const auto res_m = bench::run(preset, dataset, marlin, nullptr, 100 + seed);
+    a_total += res_a.completion_time_s;
+    m_total += res_m.completion_time_s;
+    if (seed == 0) {
+      automdt_series = res_a.series;
+      marlin_series = res_m.series;
+    }
+  }
+
+  auto add_row = [&](const std::string& name,
+                     const testbed::TimeSeriesRecorder& s, double mean_time) {
+    const auto reach = s.time_to_reach(Stage::kNetwork, required_level - 2, 0);
+    const double conv_from = reach ? *reach : 0.0;
+    table.add_row(
+        {name, mean_time,
+         s.mean_throughput(Stage::kWrite, conv_from, 1e9) / 1000.0,
+         reach ? Cell{*reach} : Cell{std::string("never")},
+         s.concurrency_stddev(Stage::kNetwork, conv_from, 1e9)});
+  };
+  add_row("AutoMDT", automdt_series, a_total / runs);
+  add_row("Marlin", marlin_series, m_total / runs);
+  table.print(std::cout);
+
+  std::printf("\nMeasured ratio (Marlin/AutoMDT completion): %.2fx "
+              "(paper: ~1.7x)\n",
+              m_total / a_total);
+
+  // Emit the time series behind the figure.
+  std::ofstream f_a("/tmp/fig3_automdt.csv"), f_m("/tmp/fig3_marlin.csv");
+  automdt_series.write_csv(f_a);
+  marlin_series.write_csv(f_m);
+  std::printf("time series written to /tmp/fig3_automdt.csv and "
+              "/tmp/fig3_marlin.csv\n");
+  return 0;
+}

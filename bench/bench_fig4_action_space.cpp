@@ -1,0 +1,100 @@
+// Fig. 4 reproduction: discrete vs continuous action space for the PPO agent.
+//
+// Paper: "the discrete action space failed miserably ... we settled with
+// continuous spaces, and used rounding to convert the predicted values to
+// integers." Fig. 4 plots a reward trajectory that never converges.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "rl/discrete_ppo_agent.hpp"
+
+using namespace automdt;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  bench::print_header(
+      "Fig. 4 — PPO action-space ablation (continuous vs discrete)",
+      "discrete action space fails to converge; continuous converges "
+      "(~20150 episodes at paper scale)");
+
+  sim::SimScenario scenario;
+  scenario.sender_capacity = 4.0 * kGiB;
+  scenario.receiver_capacity = 4.0 * kGiB;
+  scenario.tpt_mbps = {80.0, 160.0, 200.0};
+  scenario.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  scenario.max_threads = 30;
+  const double r_max = scenario.theoretical_max_reward();
+
+  rl::PpoConfig cfg = bench::bench_ppo_config(bench::paper_flag(argc, argv));
+  // Algorithm 2 literally: one update per episode (no cross-episode
+  // batching). This is the regime in which the paper observed the discrete
+  // agent failing.
+  cfg.episodes_per_batch = 1;
+  const int episodes = cfg.max_episodes;
+
+  auto moving_best = [](const std::vector<double>& rewards, std::size_t w) {
+    std::vector<double> out;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rewards.size(); ++i) {
+      acc += rewards[i];
+      if (i >= w) acc -= rewards[i - w];
+      out.push_back(acc / std::min(i + 1, w));
+    }
+    return out;
+  };
+
+  std::printf("training CONTINUOUS agent (%d episode cap) ...\n", episodes);
+  sim::SimulatorEnv cont_env(scenario);
+  rl::PpoAgent continuous(kObservationSize, scenario.max_threads, cfg);
+  const rl::TrainResult rc = continuous.train(cont_env, r_max);
+
+  std::printf("training DISCRETE agent (%d episode cap) ...\n\n", episodes);
+  sim::SimulatorEnv disc_env(scenario);
+  rl::DiscretePpoAgent discrete(kObservationSize, scenario.max_threads, cfg);
+  const rl::TrainResult rd = discrete.train(disc_env, r_max);
+
+  Table table({"action space", "episodes", "best reward (of R_max)",
+               "reached 0.9 R_max at", "converged"},
+              3);
+  auto row = [&](const char* name, const rl::TrainResult& r) {
+    table.add_row({std::string(name), static_cast<long long>(r.episodes_run),
+                   r.best_reward,
+                   r.convergence_episode >= 0
+                       ? Cell{static_cast<long long>(r.convergence_episode)}
+                       : Cell{std::string("never")},
+                   std::string(r.converged ? "yes" : "no")});
+  };
+  row("continuous (paper design)", rc);
+  row("discrete (ablation)", rd);
+  table.print(std::cout);
+
+  // Reward trajectories (smoothed) — the data behind Fig. 4.
+  const auto smooth_c = moving_best(rc.episode_rewards, 50);
+  const auto smooth_d = moving_best(rd.episode_rewards, 50);
+  std::ofstream f("/tmp/fig4_reward_curves.csv");
+  f << "episode,continuous,discrete\n";
+  const std::size_t n = std::max(smooth_c.size(), smooth_d.size());
+  for (std::size_t i = 0; i < n; i += 10) {
+    f << i << ',' << (i < smooth_c.size() ? smooth_c[i] : smooth_c.back())
+      << ',' << (i < smooth_d.size() ? smooth_d[i] : smooth_d.back()) << '\n';
+  }
+  std::printf("\nreward curves written to /tmp/fig4_reward_curves.csv\n");
+  if (rc.best_reward > rd.best_reward + 0.02) {
+    std::printf("shape check: continuous (%.3f) clearly beats discrete "
+                "(%.3f) — matches the paper's Fig. 4.\n",
+                rc.best_reward, rd.best_reward);
+  } else {
+    std::printf(
+        "shape check: continuous %.3f vs discrete %.3f — the paper's "
+        "'discrete fails miserably' result does NOT reproduce here: with "
+        "this repository's trainer the 3x%d-way categorical heads learn "
+        "the same scenario competently. Recorded as a deviation in "
+        "EXPERIMENTS.md (the paper attributes the failure to needing a "
+        "more complex state space for discrete actions, citing [17]; our "
+        "8-feature state appears sufficient).\n",
+        rc.best_reward, rd.best_reward, scenario.max_threads);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// §IV-B ablation: the utility penalty base k.
+//
+// Paper: "The value of k is significant as it balances between resource
+// usage and throughput ... In a simple sweep across several links (1–25
+// Gbps), the sweet spot was just above 1 (specifically 1.02). We therefore
+// fix k = 1.02 for all results in this paper."
+//
+// For each k we train an agent on a 1 Gbps and a 25 Gbps-class scenario and
+// measure (a) achieved end-to-end rate and (b) total threads used on the
+// production emulator. Small k maximizes rate but wastes threads; large k
+// starves throughput; k ~= 1.02 should sit at the knee.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace automdt;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  bench::print_header(
+      "§IV-B — penalty base k sweep (1 Gbps and 25 Gbps links)",
+      "sweet spot just above 1 (k = 1.02): throughput held, threads pruned");
+
+  struct LinkCase {
+    const char* label;
+    testbed::ScenarioPreset preset;
+    StageTriple tpt;
+    StageTriple bandwidth;
+  };
+  const LinkCase cases[] = {
+      {"1 Gbps (read bottleneck)", testbed::bottleneck_read(),
+       {80.0, 160.0, 200.0}, {1000.0, 1000.0, 1000.0}},
+      {"25 Gbps (FABRIC class)", testbed::fabric_ncsa_tacc(),
+       {2500.0, 1200.0, 2000.0}, {30000.0, 25000.0, 26000.0}},
+  };
+  const double ks[] = {1.001, 1.02, 1.08};
+
+  rl::PpoConfig ppo = bench::bench_ppo_config(bench::paper_flag(argc, argv));
+  ppo.max_episodes = std::min(ppo.max_episodes, 4000);
+
+  Table table({"link", "k", "avg rate (Mbps)", "mean total threads",
+               "rate per thread"},
+              2);
+
+  for (const auto& c : cases) {
+    for (double k : ks) {
+      std::printf("training: %s, k = %.3f ...\n", c.label, k);
+      testbed::ScenarioPreset preset = c.preset;
+      preset.config.utility.k = k;
+
+      sim::SimScenario s;
+      s.sender_capacity = preset.config.sender_buffer_bytes;
+      s.receiver_capacity = preset.config.receiver_buffer_bytes;
+      s.tpt_mbps = c.tpt;
+      s.bandwidth_mbps = c.bandwidth;
+      s.max_threads = preset.config.max_threads;
+      s.utility.k = k;
+
+      core::PipelineConfig cfg;
+      cfg.ppo = ppo;
+      cfg.max_threads = preset.config.max_threads;
+      const core::AutoMdt mdt = core::AutoMdt::train_on_scenario(s, cfg);
+
+      const testbed::Dataset dataset = testbed::Dataset::uniform(20, 1.0 * kGB);
+      auto ctrl = mdt.make_controller(/*deterministic=*/true);
+      const auto res = bench::run(preset, dataset, *ctrl, &mdt, 31);
+
+      double threads = 0.0;
+      for (const auto& p : res.series.points()) threads += p.threads.total();
+      const double mean_threads =
+          threads / static_cast<double>(res.series.points().size());
+      table.add_row({std::string(c.label), k, res.average_throughput_mbps,
+                     mean_threads, res.average_throughput_mbps / mean_threads});
+    }
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nshape check: k=1.001 uses the most threads, k=1.08 loses "
+              "throughput,\nk=1.02 keeps rate within a few %% of the "
+              "aggressive setting on far fewer threads.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark): the hot paths under the paper-scale
+// experiments — the discrete-event queue, one simulator probe step, network
+// forward/backward, matmul, and the concurrent primitives of the threaded
+// engine.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/mpmc_queue.hpp"
+#include "common/observation.hpp"
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "rl/networks.hpp"
+#include "sim/dynamics_simulator.hpp"
+#include "sim/event_queue.hpp"
+#include "transfer/token_bucket.hpp"
+
+namespace {
+
+using namespace automdt;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    q.reserve(n);
+    for (double t : times) q.push({t, Stage::kRead});
+    double acc = 0.0;
+    while (!q.empty()) acc += q.pop().time;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  sim::SimScenario s;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  sim::DynamicsSimulator sim(s);
+  const int threads = static_cast<int>(state.range(0));
+  long long events = 0;
+  for (auto _ : state) {
+    const auto r = sim.step({threads, threads, threads});
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.reward);
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel("events/iter=" +
+                 std::to_string(events / std::max<long long>(1,
+                                state.iterations())));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_MatrixMatmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.uniform(-1, 1);
+  for (double& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    nn::Matrix c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatrixMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PolicyForward(benchmark::State& state) {
+  Rng rng(3);
+  rl::PpoConfig cfg;
+  cfg.hidden_dim = static_cast<std::size_t>(state.range(0));
+  rl::PolicyNetwork net(kObservationSize, 3, cfg, rng);
+  nn::Matrix states(10, kObservationSize, 0.3);
+  for (auto _ : state) {
+    const auto dist = net.forward(nn::Tensor::constant(states));
+    benchmark::DoNotOptimize(dist.mean().value().data().data());
+  }
+}
+BENCHMARK(BM_PolicyForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PolicyForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  rl::PpoConfig cfg;
+  cfg.hidden_dim = static_cast<std::size_t>(state.range(0));
+  rl::PolicyNetwork net(kObservationSize, 3, cfg, rng);
+  nn::Matrix states(10, kObservationSize, 0.3);
+  nn::Matrix actions(10, 3, 5.0);
+  for (auto _ : state) {
+    net.zero_grad();
+    const auto dist = net.forward(nn::Tensor::constant(states));
+    sum(dist.log_prob(actions)).backward();
+    benchmark::DoNotOptimize(net.grad_norm());
+  }
+}
+BENCHMARK(BM_PolicyForwardBackward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MpmcQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    MpmcQueue<int> q(256);
+    std::thread producer([&] {
+      for (int i = 0; i < 10000; ++i) q.push(i);
+      q.close();
+    });
+    long long acc = 0;
+    while (auto v = q.pop()) acc += *v;
+    producer.join();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_MpmcQueueThroughput);
+
+void BM_TokenBucketUncontended(benchmark::State& state) {
+  transfer::TokenBucket bucket(1e12, 1e12);  // effectively unlimited
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bucket.acquire(1024.0));
+  }
+}
+BENCHMARK(BM_TokenBucketUncontended);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// The paper's core thesis, measured directly: joint modular RL (AutoMDT,
+// three concurrency values) vs a monolithic single-knob DRL agent in the
+// style of Hasibul et al. [17] ("a single concurrency value without
+// separating network and I/O tasks", §IV).
+//
+// §III: "if a sysadmin throttles per-connection speed ... existing tools
+// will set the read and write concurrency to 100 (where 8-10 would suffice)
+// because the monolithic design couples all components." On the read-
+// bottleneck scenario the optimum is <13,7,5> (25 threads total); the
+// monolithic optimum is <13,13,13> (39 total) — same throughput, ~55% more
+// end-system threads and lower utility.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "rl/single_knob_agent.hpp"
+
+using namespace automdt;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  bench::print_header(
+      "Modular (3-knob) vs monolithic (1-knob) DRL — the core thesis",
+      "monolithic design couples all stages to the most demanding one, "
+      "over-subscribing end-system resources (§III); modular reaches the "
+      "same throughput on far fewer threads");
+
+  sim::SimScenario scenario;
+  scenario.sender_capacity = 4.0 * kGiB;
+  scenario.receiver_capacity = 4.0 * kGiB;
+  scenario.tpt_mbps = {80.0, 160.0, 200.0};  // optimum <13,7,5>
+  scenario.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  scenario.max_threads = 30;
+  const double r_max = scenario.theoretical_max_reward();
+
+  rl::PpoConfig ppo = bench::bench_ppo_config(bench::paper_flag(argc, argv));
+
+  std::printf("training modular (AutoMDT) agent ...\n");
+  sim::SimulatorEnv env_m(scenario);
+  rl::PpoAgent modular(kObservationSize, scenario.max_threads, ppo);
+  const rl::TrainResult rm = modular.train(env_m, r_max);
+
+  std::printf("training monolithic single-knob agent ...\n\n");
+  sim::SimulatorEnv env_s(scenario);
+  rl::SingleKnobPpoAgent monolithic(kObservationSize, scenario.max_threads,
+                                    ppo);
+  const rl::TrainResult rs = monolithic.train(env_s, r_max);
+
+  // Deterministic evaluation on the emulated testbed.
+  const testbed::ScenarioPreset preset = testbed::bottleneck_read();
+  auto evaluate = [&](auto& agent) {
+    testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
+    Rng rng(5);
+    std::vector<double> state = env.reset(rng);
+    ConcurrencyTuple tuple{1, 1, 1};
+    double rate = 0.0;
+    double threads = 0.0;
+    const int horizon = 60;
+    for (int t = 0; t < horizon; ++t) {
+      tuple = agent.act(state, rng, /*deterministic=*/true);
+      const EnvStep out = env.step(tuple);
+      state = out.observation;
+      if (t >= horizon / 2) {  // steady-state window
+        rate += out.throughputs_mbps.write;
+        threads += tuple.total();
+      }
+    }
+    return std::tuple<double, double, ConcurrencyTuple>{
+        rate / (horizon / 2), threads / (horizon / 2), tuple};
+  };
+
+  const auto [rate_m, threads_m, tuple_m] = evaluate(modular);
+  const auto [rate_s, threads_s, tuple_s] = evaluate(monolithic);
+
+  Table table({"agent", "best train reward", "steady rate (Mbps)",
+               "mean total threads", "final tuple"},
+              2);
+  table.add_row({std::string("modular 3-knob (AutoMDT)"), rm.best_reward,
+                 rate_m, threads_m, tuple_m.to_string()});
+  table.add_row({std::string("monolithic 1-knob ([17]-style)"), rs.best_reward,
+                 rate_s, threads_s, tuple_s.to_string()});
+  table.print(std::cout);
+
+  std::printf("\nshape check: equal-ish throughput (%.0f vs %.0f Mbps) but "
+              "monolithic uses %.0f%% more threads -> the over-subscription "
+              "the modular architecture removes.\n",
+              rate_m, rate_s,
+              (threads_s - threads_m) / std::max(threads_m, 1.0) * 100.0);
+  return 0;
+}

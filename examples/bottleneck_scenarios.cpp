@@ -1,0 +1,94 @@
+// Bottleneck scenarios (paper Fig. 5): train one agent per throttled
+// scenario, then race AutoMDT against Marlin, joint gradient descent, and the
+// monolithic single-knob controller on the same transfer, printing when each
+// identifies the bottleneck stage and how long the transfer takes.
+//
+// Build & run:  ./build/examples/bottleneck_scenarios
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "optimizers/joint_gd_controller.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "optimizers/monolithic_controller.hpp"
+#include "optimizers/runner.hpp"
+#include "testbed/presets.hpp"
+
+using namespace automdt;
+
+namespace {
+
+Stage bottleneck_stage(const ConcurrencyTuple& optimal) {
+  Stage best = Stage::kRead;
+  for (Stage s : kAllStages)
+    if (optimal[s] > optimal[best]) best = s;
+  return best;
+}
+
+core::AutoMdt train_for(const testbed::ScenarioPreset& preset,
+                        const StageTriple& tpt) {
+  sim::SimScenario s;
+  s.sender_capacity = preset.config.sender_buffer_bytes;
+  s.receiver_capacity = preset.config.receiver_buffer_bytes;
+  s.tpt_mbps = tpt;
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = preset.config.max_threads;
+
+  core::PipelineConfig cfg;
+  cfg.ppo.hidden_dim = 64;
+  cfg.ppo.policy_blocks = 2;
+  cfg.ppo.max_episodes = 4000;
+  cfg.ppo.stagnation_episodes = 400;
+  return core::AutoMdt::train_on_scenario(s, cfg);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  const StageTriple throttles[3] = {
+      {80.0, 160.0, 200.0}, {205.0, 75.0, 195.0}, {200.0, 150.0, 70.0}};
+
+  Table table({"scenario", "controller", "t_bottleneck_found (s)",
+               "completion (s)", "avg rate (Mbps)"},
+              1);
+
+  const auto presets = testbed::fig5_presets();
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    const auto& preset = presets[i];
+    std::printf("training agent for: %s ...\n", preset.name.c_str());
+    const core::AutoMdt mdt = train_for(preset, throttles[i]);
+    const Stage key_stage = bottleneck_stage(preset.expected_optimal);
+    const int key_level = preset.expected_optimal[key_stage] - 1;  // slack 1
+
+    auto race = [&](optimizers::ConcurrencyController& ctrl) {
+      testbed::EmulatedEnvironment env(preset.config,
+                                       testbed::Dataset::uniform(20, 1.0 * kGB));
+      if (ctrl.name() == "AutoMDT") mdt.align_environment(env);
+      Rng rng(11);
+      const auto res = optimizers::run_transfer(env, ctrl, rng, {3600.0});
+      const auto found = res.series.time_to_reach(key_stage, key_level, 1);
+      table.add_row({preset.name + "", ctrl.name(),
+                     found ? Cell{*found} : Cell{std::string("never")},
+                     res.completed ? Cell{res.completion_time_s}
+                                   : Cell{std::string(">cap")},
+                     res.average_throughput_mbps});
+    };
+
+    auto automdt_ctrl = mdt.make_controller();
+    race(*automdt_ctrl);
+    optimizers::MarlinController marlin;
+    race(marlin);
+    optimizers::JointGdController joint_gd;
+    race(joint_gd);
+    optimizers::MonolithicController mono;
+    race(mono);
+  }
+
+  std::printf("\nFig.5-style comparison (bottleneck stage discovery and "
+              "completion):\n");
+  table.print(std::cout);
+  return 0;
+}

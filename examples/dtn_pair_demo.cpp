@@ -1,0 +1,63 @@
+// Two-agent DTN deployment demo: the optimizer runs on the "sender" side and
+// learns the receiver's buffer state only through the RPC control channel
+// (paper §IV-D.1), here with 20 ms of simulated one-way control latency.
+//
+// The write stage is throttled hard, so the receiver staging buffer fills up
+// — watch the receiver-free column (reported over RPC) collapse while the
+// sender-side buffer stays healthy, and the controller react by backing off.
+//
+// Build & run:  ./build/examples/dtn_pair_demo
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "transfer/dtn_pair.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  transfer::DtnPairConfig cfg;
+  cfg.engine.max_threads = 6;
+  cfg.engine.chunk_bytes = 128 * 1024;
+  cfg.engine.sender_buffer_bytes = 4.0 * kMiB;
+  cfg.engine.receiver_buffer_bytes = 4.0 * kMiB;
+  cfg.engine.read.per_thread_bytes_per_s = 24.0 * 1024 * 1024;
+  cfg.engine.network.per_thread_bytes_per_s = 12.0 * 1024 * 1024;
+  cfg.engine.write.per_thread_bytes_per_s = 3.0 * 1024 * 1024;  // bottleneck
+  cfg.file_sizes_bytes.assign(32, 2.0 * kMiB);  // 64 MiB total
+  cfg.probe_interval_s = 0.25;
+  cfg.rpc_latency_s = 0.02;
+
+  transfer::DtnPairEnv env(cfg);
+  optimizers::MarlinConfig mcfg;
+  mcfg.max_threads = cfg.engine.max_threads;
+  optimizers::MarlinController controller(mcfg);
+
+  Rng rng(3);
+  EnvStep last;
+  last.observation = env.reset(rng);
+  controller.reset(rng);
+  ConcurrencyTuple tuple = controller.initial_action();
+
+  std::printf("%4s  %-9s %10s %10s %10s | %11s %13s\n", "step", "threads",
+              "read", "network", "write", "sender free", "receiver free");
+  for (int i = 0; i < 300; ++i) {
+    last = env.step(tuple);
+    std::printf("%4d  %-9s %10s %10s %10s | %10.0f%% %12.0f%%\n", i,
+                tuple.to_string().c_str(),
+                format_rate(mbps(last.throughputs_mbps.read)).c_str(),
+                format_rate(mbps(last.throughputs_mbps.network)).c_str(),
+                format_rate(mbps(last.throughputs_mbps.write)).c_str(),
+                last.observation[6] * 100.0, last.observation[7] * 100.0);
+    if (last.done) {
+      std::printf("\ntransfer complete; %llu buffer reports travelled the "
+                  "RPC control channel\n",
+                  static_cast<unsigned long long>(env.rpc_responses()));
+      break;
+    }
+    tuple = controller.decide(last, tuple);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Mixed-workload transfer on the FABRIC-like high-bandwidth preset —
+// the paper's Dataset B scenario (§V: "a total of 1 TB data consisting of
+// file sizes from 100 KB to 2 GB"), scaled to 50 GB so the example runs in
+// seconds of wall time. Small files pay per-file overhead, so the mixed set
+// moves slower than an equal volume of large files; AutoMDT adapts either
+// way while the static Globus configuration cannot.
+//
+// Build & run:  ./build/examples/mixed_workload
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  const testbed::ScenarioPreset preset = testbed::fabric_ncsa_tacc();
+
+  // Offline-train on the scenario the exploration phase would measure.
+  sim::SimScenario s;
+  s.sender_capacity = preset.config.sender_buffer_bytes;
+  s.receiver_capacity = preset.config.receiver_buffer_bytes;
+  s.tpt_mbps = {2500.0, 1200.0, 2000.0};
+  s.bandwidth_mbps = {30000.0, 25000.0, 26000.0};
+  s.max_threads = preset.config.max_threads;
+
+  core::PipelineConfig cfg;
+  cfg.ppo.hidden_dim = 64;
+  cfg.ppo.policy_blocks = 2;
+  cfg.ppo.max_episodes = 4000;
+  cfg.ppo.stagnation_episodes = 400;
+  std::printf("training agent on FABRIC-like scenario ...\n");
+  const core::AutoMdt mdt = core::AutoMdt::train_on_scenario(s, cfg);
+
+  Rng dataset_rng(99);
+  struct Workload {
+    const char* label;
+    testbed::Dataset data;
+  } workloads[] = {
+      {"Large (50 x 1GB)", testbed::Dataset::uniform(50, 1.0 * kGB)},
+      {"Mixed (100KB-2GB, 50GB)",
+       testbed::Dataset::mixed(dataset_rng, 50.0 * kGB)},
+  };
+
+  Table table({"workload", "controller", "completion (s)", "avg rate (Gbps)"},
+              2);
+  for (auto& w : workloads) {
+    std::printf("  %s: %zu files, %s total\n", w.label, w.data.file_count(),
+                format_bytes(w.data.total_bytes()).c_str());
+
+    testbed::EmulatedEnvironment env_a(preset.config, w.data);
+    mdt.align_environment(env_a);
+    auto automdt_ctrl = mdt.make_controller();
+    Rng ra(1);
+    const auto res_a = optimizers::run_transfer(env_a, *automdt_ctrl, ra,
+                                                {3600.0});
+    table.add_row({std::string(w.label), std::string("AutoMDT"),
+                   res_a.completion_time_s,
+                   res_a.average_throughput_mbps / 1000.0});
+
+    testbed::EmulatedEnvironment env_g(preset.config, w.data);
+    optimizers::GlobusStaticController globus;
+    Rng rg(1);
+    const auto res_g = optimizers::run_transfer(env_g, globus, rg, {3600.0});
+    table.add_row({std::string(w.label), std::string("Globus (static 4x8)"),
+                   res_g.completion_time_s,
+                   res_g.average_throughput_mbps / 1000.0});
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nNote: mixed files pay per-file overhead, lowering both "
+              "tools' rates\n(the paper's Table I shows the same Dataset-A "
+              "vs Dataset-B gap).\n");
+  return 0;
+}

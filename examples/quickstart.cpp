@@ -1,0 +1,93 @@
+// Quickstart: the full AutoMDT pipeline end to end.
+//
+//   1. Point at a transfer environment (here the read-bottleneck emulated
+//      testbed — swap in your own Env implementation for a real deployment).
+//   2. Run the offline pipeline: 10-minute random-threads exploration, link
+//      estimation, simulator construction, PPO training (paper §IV).
+//   3. Save / reload the trained agent checkpoint.
+//   4. Run a production transfer (100 x 100 MB) under the trained controller
+//      and print the per-phase summary.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "optimizers/runner.hpp"
+#include "testbed/presets.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  // ---- 1. The "real" environment -----------------------------------------
+  const testbed::ScenarioPreset preset = testbed::bottleneck_read();
+  std::printf("Scenario: %s (paper-optimal tuple %s)\n", preset.name.c_str(),
+              preset.expected_optimal.to_string().c_str());
+  testbed::EmulatedEnvironment explore_env(preset.config,
+                                           testbed::Dataset::infinite());
+
+  // ---- 2. Offline pipeline ------------------------------------------------
+  core::PipelineConfig cfg;
+  cfg.buffers = {preset.config.sender_buffer_bytes,
+                 preset.config.receiver_buffer_bytes};
+  cfg.max_threads = preset.config.max_threads;
+  // Reduced budget so the example finishes in ~30 s; see
+  // rl::PpoConfig::paper_defaults() for the published configuration.
+  cfg.ppo.hidden_dim = 64;
+  cfg.ppo.policy_blocks = 2;
+  cfg.ppo.max_episodes = 4000;
+  cfg.ppo.stagnation_episodes = 400;
+
+  core::OfflineTrainingReport report;
+  const core::AutoMdt mdt = core::AutoMdt::train_offline(explore_env, cfg,
+                                                         &report);
+
+  std::printf("\n-- Exploration (10 virtual minutes of random threads) --\n");
+  std::printf("  estimated bandwidths  B = (%.0f, %.0f, %.0f) Mbps\n",
+              report.estimates.bandwidth_mbps.read,
+              report.estimates.bandwidth_mbps.network,
+              report.estimates.bandwidth_mbps.write);
+  std::printf("  per-thread rates    TPT = (%.0f, %.0f, %.0f) Mbps\n",
+              report.estimates.tpt_mbps.read, report.estimates.tpt_mbps.network,
+              report.estimates.tpt_mbps.write);
+  std::printf("  bottleneck b = %.0f Mbps, ideal threads %s, R_max = %.0f\n",
+              report.estimates.bottleneck_mbps,
+              report.estimates.ideal_threads_rounded().to_string().c_str(),
+              report.estimates.r_max);
+
+  std::printf("\n-- Offline PPO training in the dynamics simulator --\n");
+  std::printf("  episodes: %d, best normalized reward: %.3f, %s\n",
+              report.training.episodes_run, report.training.best_reward,
+              report.training.converged ? "converged" : "hit episode cap");
+  std::printf("  wall time: %s\n",
+              format_duration(report.training.wall_time_s).c_str());
+
+  // ---- 3. Checkpoint round trip -------------------------------------------
+  const std::string ckpt = "/tmp/automdt_quickstart.ckpt";
+  if (mdt.save(ckpt)) std::printf("\nCheckpoint saved to %s\n", ckpt.c_str());
+  const core::AutoMdt loaded = core::AutoMdt::load(ckpt, cfg);
+
+  // ---- 4. Production transfer ----------------------------------------------
+  testbed::EmulatedEnvironment transfer_env(
+      preset.config, testbed::Dataset::uniform(100, 100.0 * kMB));
+  loaded.align_environment(transfer_env);
+  auto controller = loaded.make_controller();
+  Rng rng(7);
+  const optimizers::RunResult result =
+      optimizers::run_transfer(transfer_env, *controller, rng, {3600.0});
+
+  std::printf("\n-- Production transfer: 100 x 100 MB --\n");
+  std::printf("  completed: %s in %s (virtual time)\n",
+              result.completed ? "yes" : "no",
+              format_duration(result.completion_time_s).c_str());
+  std::printf("  average throughput: %s\n",
+              format_rate(mbps(result.average_throughput_mbps)).c_str());
+  const auto& last = result.series.points().back();
+  std::printf("  final concurrency: %s (paper optimum %s)\n",
+              last.threads.to_string().c_str(),
+              preset.expected_optimal.to_string().c_str());
+  return 0;
+}

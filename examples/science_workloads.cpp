@@ -1,0 +1,78 @@
+// Science workload sensitivity: the paper's intro motivates AutoMDT with
+// genomics, sky surveys, detector data and simulation output — four very
+// different file-size signatures. This example transfers each over the
+// FABRIC-class link with a trained AutoMDT controller and a static Globus
+// configuration, showing how per-file costs interact with the optimizer.
+//
+// Build & run:  ./build/examples/science_workloads
+#include <cstdio>
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+#include "testbed/workloads.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  const testbed::ScenarioPreset preset = testbed::fabric_ncsa_tacc();
+
+  sim::SimScenario s;
+  s.sender_capacity = preset.config.sender_buffer_bytes;
+  s.receiver_capacity = preset.config.receiver_buffer_bytes;
+  s.tpt_mbps = {2500.0, 1200.0, 2000.0};
+  s.bandwidth_mbps = {30000.0, 25000.0, 26000.0};
+  s.max_threads = preset.config.max_threads;
+
+  core::PipelineConfig cfg;
+  cfg.ppo.hidden_dim = 64;
+  cfg.ppo.policy_blocks = 2;
+  cfg.ppo.max_episodes = 4000;
+  cfg.ppo.stagnation_episodes = 400;
+  std::printf("training agent on FABRIC-like scenario ...\n\n");
+  const core::AutoMdt mdt = core::AutoMdt::train_on_scenario(s, cfg);
+
+  Rng wrng(31415);
+  struct Entry {
+    testbed::Dataset data;
+  } workloads[] = {
+      {testbed::genomics_run(wrng)},
+      {testbed::sky_survey_night(wrng, 1000)},
+      {testbed::detector_snapshots(wrng, 200.0 * kGB)},
+      {testbed::climate_model(wrng, 6)},
+  };
+
+  Table table({"workload", "files", "total", "mean file", "AutoMDT (Gbps)",
+               "Globus (Gbps)"},
+              2);
+  for (const auto& w : workloads) {
+    testbed::EmulatedEnvironment env_a(preset.config, w.data);
+    mdt.align_environment(env_a);
+    auto actrl = mdt.make_controller(/*deterministic=*/true);
+    Rng ra(1);
+    const auto res_a = optimizers::run_transfer(env_a, *actrl, ra, {36000.0});
+
+    testbed::EmulatedEnvironment env_g(preset.config, w.data);
+    optimizers::GlobusStaticController globus;
+    Rng rg(1);
+    const auto res_g = optimizers::run_transfer(env_g, globus, rg, {36000.0});
+
+    table.add_row({w.data.name(),
+                   static_cast<long long>(w.data.file_count()),
+                   format_bytes(w.data.total_bytes()),
+                   format_bytes(w.data.mean_file_bytes()),
+                   res_a.average_throughput_mbps / 1000.0,
+                   res_g.average_throughput_mbps / 1000.0});
+  }
+
+  table.print(std::cout);
+  std::printf("\nsmall-file-heavy workloads (climate diagnostics) pay the "
+              "per-file turnaround at every stage;\nlarge sequential runs "
+              "(genomics) ride the link at full rate.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Real threads, real time: drives the threaded transfer engine (reader /
+// network / writer worker pools, bounded staging queues, token-bucket
+// throttles) with a live controller at laptop scale.
+//
+// The engine moves ~48 MiB of synthetic chunks through memory with the
+// network stage throttled per-thread, so raising the network concurrency
+// visibly raises throughput — watch the per-probe lines.
+//
+// Build & run:  ./build/examples/threaded_engine
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "transfer/real_env.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  transfer::RealEnvConfig cfg;
+  cfg.engine.max_threads = 6;
+  cfg.engine.chunk_bytes = 128 * 1024;
+  cfg.engine.sender_buffer_bytes = 4.0 * kMiB;
+  cfg.engine.receiver_buffer_bytes = 4.0 * kMiB;
+  // Per-thread throttles (bytes/s): network is the bottleneck stage.
+  cfg.engine.read.per_thread_bytes_per_s = 24.0 * 1024 * 1024;
+  cfg.engine.network.per_thread_bytes_per_s = 6.0 * 1024 * 1024;
+  cfg.engine.network.aggregate_bytes_per_s = 30.0 * 1024 * 1024;
+  cfg.engine.write.per_thread_bytes_per_s = 16.0 * 1024 * 1024;
+  cfg.file_sizes_bytes.assign(24, 2.0 * kMiB);  // 48 MiB total
+  cfg.probe_interval_s = 0.25;
+
+  transfer::RealTransferEnv env(cfg);
+
+  // Marlin's per-stage hill climbing works against real threads unchanged —
+  // the Env interface is the same one the emulator exposes.
+  optimizers::MarlinConfig mcfg;
+  mcfg.max_threads = cfg.engine.max_threads;
+  optimizers::MarlinController controller(mcfg);
+
+  Rng rng(5);
+  EnvStep last;
+  last.observation = env.reset(rng);
+  controller.reset(rng);
+  ConcurrencyTuple tuple = controller.initial_action();
+
+  std::printf("%6s  %-10s %12s %12s %12s\n", "t(s)", "threads", "read",
+              "network", "write");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 400; ++i) {
+    last = env.step(tuple);
+    const double t =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("%6.2f  %-10s %12s %12s %12s\n", t,
+                tuple.to_string().c_str(),
+                format_rate(mbps(last.throughputs_mbps.read)).c_str(),
+                format_rate(mbps(last.throughputs_mbps.network)).c_str(),
+                format_rate(mbps(last.throughputs_mbps.write)).c_str());
+    if (last.done) {
+      std::printf("\ntransfer complete in %.2f s (wall time), "
+                  "checksum verification passed for every chunk\n", t);
+      break;
+    }
+    tuple = controller.decide(last, tuple);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Virtual clock.
+//
+// All testbed emulation and the training simulator run in *virtual time*: a
+// 1 TB transfer that "takes" 400 virtual seconds completes in milliseconds of
+// wall time. The clock is a plain accumulator owned by whichever component is
+// driving the simulation; components below it receive `now()` as an argument
+// rather than holding a clock reference, which keeps them trivially testable.
+#pragma once
+
+#include <cassert>
+
+namespace automdt {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(double start_s) : now_s_(start_s) {}
+
+  double now() const { return now_s_; }
+
+  void advance(double dt_s) {
+    assert(dt_s >= 0.0);
+    now_s_ += dt_s;
+  }
+
+  void advance_to(double t_s) {
+    assert(t_s >= now_s_);
+    now_s_ = t_s;
+  }
+
+  void reset(double t_s = 0.0) { now_s_ = t_s; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace automdt

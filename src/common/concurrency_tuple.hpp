@@ -1,0 +1,108 @@
+// Core domain types shared by every AutoMDT module: the three-stage
+// concurrency tuple and the per-stage throughput sample.
+//
+// The transfer pipeline has exactly three stages (read -> network -> write),
+// so these are fixed-size value types rather than vectors; they are passed
+// by value everywhere.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace automdt {
+
+/// Index of a pipeline stage. Order matters: data flows Read -> Network -> Write.
+enum class Stage : int { kRead = 0, kNetwork = 1, kWrite = 2 };
+
+inline constexpr std::array<Stage, 3> kAllStages = {Stage::kRead, Stage::kNetwork,
+                                                    Stage::kWrite};
+
+/// Short lowercase name ("read" / "network" / "write").
+constexpr const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kRead: return "read";
+    case Stage::kNetwork: return "network";
+    case Stage::kWrite: return "write";
+  }
+  return "?";
+}
+
+/// Concurrency levels (thread counts) for the three pipeline stages.
+struct ConcurrencyTuple {
+  int read = 1;
+  int network = 1;
+  int write = 1;
+
+  constexpr int& operator[](Stage s) {
+    switch (s) {
+      case Stage::kRead: return read;
+      case Stage::kNetwork: return network;
+      case Stage::kWrite: return write;
+    }
+    return read;  // unreachable
+  }
+  constexpr int operator[](Stage s) const {
+    switch (s) {
+      case Stage::kRead: return read;
+      case Stage::kNetwork: return network;
+      case Stage::kWrite: return write;
+    }
+    return read;  // unreachable
+  }
+
+  /// Component-wise clamp to [lo, hi]; the paper clamps actions to [1, n_max].
+  [[nodiscard]] constexpr ConcurrencyTuple clamped(int lo, int hi) const {
+    return {std::clamp(read, lo, hi), std::clamp(network, lo, hi),
+            std::clamp(write, lo, hi)};
+  }
+
+  constexpr int total() const { return read + network + write; }
+  constexpr int max_component() const { return std::max({read, network, write}); }
+
+  friend constexpr bool operator==(const ConcurrencyTuple&,
+                                   const ConcurrencyTuple&) = default;
+
+  std::string to_string() const {
+    return "<" + std::to_string(read) + "," + std::to_string(network) + "," +
+           std::to_string(write) + ">";
+  }
+};
+
+/// Per-stage throughputs in bytes/second (one probe interval's achievement).
+struct StageThroughputs {
+  double read = 0.0;
+  double network = 0.0;
+  double write = 0.0;
+
+  constexpr double& operator[](Stage s) {
+    switch (s) {
+      case Stage::kRead: return read;
+      case Stage::kNetwork: return network;
+      case Stage::kWrite: return write;
+    }
+    return read;  // unreachable
+  }
+  constexpr double operator[](Stage s) const {
+    switch (s) {
+      case Stage::kRead: return read;
+      case Stage::kNetwork: return network;
+      case Stage::kWrite: return write;
+    }
+    return read;  // unreachable
+  }
+
+  constexpr double min_component() const {
+    return std::min({read, network, write});
+  }
+
+  friend constexpr bool operator==(const StageThroughputs&,
+                                   const StageThroughputs&) = default;
+};
+
+/// A generic per-stage triple of doubles (bandwidths, per-thread throughputs,
+/// ideal thread counts, ...). Distinct from StageThroughputs only in intent.
+using StageTriple = StageThroughputs;
+
+}  // namespace automdt

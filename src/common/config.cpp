@@ -1,0 +1,152 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace automdt {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments (# or ;) and whitespace.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line.resize(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("config line " + std::to_string(lineno) +
+                        ": expected key = value, got '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw ConfigError("config line " + std::to_string(lineno) +
+                        ": empty key");
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+const std::string& Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) throw ConfigError("missing config key: " + key);
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string& v = get_string(key);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    throw ConfigError("config key '" + key + "': not a number: '" + v + "'");
+  return out;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+long long Config::get_int(const std::string& key) const {
+  const std::string& v = get_string(key);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    throw ConfigError("config key '" + key + "': not an integer: '" + v +
+                      "'");
+  return out;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  const std::string v = lower(get_string(key));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("config key '" + key + "': not a boolean: '" + v + "'");
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Config::set(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss << value;
+  values_[key] = ss.str();
+}
+
+void Config::set(const std::string& key, long long value) {
+  values_[key] = std::to_string(value);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Config::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (k.rfind(prefix, 0) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream ss;
+  for (const auto& [k, v] : values_) ss << k << " = " << v << '\n';
+  return ss.str();
+}
+
+}  // namespace automdt

@@ -1,0 +1,77 @@
+// Flat key=value configuration files.
+//
+// The CLI and deployment-style examples read scenario / training settings
+// from simple text files:
+//
+//     # comment
+//     link.per_stream_mbps = 1200
+//     link.aggregate_mbps  = 25000
+//     ppo.max_episodes     = 6000
+//     dataset.name         = mixed
+//
+// Dotted keys are just strings; sections are a naming convention, not
+// structure. Typed getters parse on access and throw ConfigError on malformed
+// values, so a bad config fails loudly at startup rather than silently
+// training the wrong agent.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace automdt {
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text. Throws ConfigError on syntax errors (line reported).
+  static Config parse(const std::string& text);
+
+  /// Load from a file. Throws ConfigError if unreadable or malformed.
+  static Config load(const std::string& path);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Raw string access; throws ConfigError if missing.
+  const std::string& get_string(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+  /// Typed access; throws ConfigError on parse failure.
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, long long value);
+
+  /// All keys, sorted (map order).
+  std::vector<std::string> keys() const;
+
+  /// Keys beginning with `prefix` (e.g. "link.").
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  /// Merge `other` over this config (other's values win).
+  void merge(const Config& other);
+
+  /// Render back to parseable text.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace automdt

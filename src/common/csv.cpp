@@ -1,0 +1,106 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace automdt {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell_text(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  char buf[64];
+  if (const auto* d = std::get_if<double>(&c)) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision_, *d);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%lld", std::get<long long>(c));
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> texts;
+  texts.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> t;
+    t.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      t.push_back(cell_text(row[i]));
+      widths[i] = std::max(widths[i], t.back().size());
+    }
+    texts.push_back(std::move(t));
+  }
+
+  auto print_sep = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i] << std::string(widths[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& t : texts) print_cells(t);
+  print_sep();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cell_text(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    LOG_WARN("failed to open " << path << " for writing");
+    return false;
+  }
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace automdt

@@ -1,0 +1,47 @@
+// CSV and fixed-width table output.
+//
+// Every bench harness emits (a) a human-readable aligned table on stdout that
+// mirrors the corresponding paper table/figure, and (b) optionally a CSV file
+// so results can be re-plotted. Both come from here so formatting stays
+// uniform.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace automdt {
+
+/// A cell is either text or a number (formatted with the table's precision).
+using Cell = std::variant<std::string, double, long long>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 2);
+
+  Table& add_row(std::vector<Cell> cells);
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (headers + rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Write CSV to a file path; returns false (and logs) on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::string cell_text(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+/// Escape a CSV field (quotes, commas, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace automdt

@@ -1,0 +1,41 @@
+// Abstract optimization environment.
+//
+// Both the offline training simulator (sim::SimulatorEnv) and the virtual
+// testbed emulator (testbed::EmulatedEnvironment) implement this, so the PPO
+// agent and every baseline controller run unchanged against either — exactly
+// the paper's architecture, where the production phase (§IV-F) swaps the
+// simulator for the real transfer behind the same interaction loop.
+#pragma once
+
+#include <vector>
+
+#include "common/concurrency_tuple.hpp"
+#include "common/observation.hpp"
+#include "common/rng.hpp"
+
+namespace automdt {
+
+struct EnvStep {
+  std::vector<double> observation;
+  StageThroughputs throughputs_mbps;  // raw per-stage rates this interval
+  double reward = 0.0;                // utility U(n, t)
+  bool done = false;                  // dataset finished (emulator only)
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Start a new episode; returns the initial observation.
+  virtual std::vector<double> reset(Rng& rng) = 0;
+
+  /// Apply a concurrency tuple for one probe interval (~1 virtual second).
+  virtual EnvStep step(const ConcurrencyTuple& action) = 0;
+
+  /// Upper clamp for per-stage thread counts (paper: [1, n_max]).
+  virtual int max_threads() const = 0;
+
+  virtual std::size_t observation_size() const { return kObservationSize; }
+};
+
+}  // namespace automdt

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Benches and examples narrate progress through this; the library itself logs
+// sparingly (training milestones, convergence events). Output goes to stderr
+// so that the structured results printed by bench harnesses on stdout stay
+// machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace automdt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+// Usage: LOG_INFO("trained " << n << " episodes");
+#define AUTOMDT_LOG(level, expr)                                 \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::automdt::log_level())) {              \
+      std::ostringstream oss_;                                   \
+      oss_ << expr;                                              \
+      ::automdt::detail::log_line(level, oss_.str());            \
+    }                                                            \
+  } while (0)
+
+#define LOG_DEBUG(expr) AUTOMDT_LOG(::automdt::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) AUTOMDT_LOG(::automdt::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) AUTOMDT_LOG(::automdt::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) AUTOMDT_LOG(::automdt::LogLevel::kError, expr)
+
+}  // namespace automdt

@@ -1,0 +1,49 @@
+// The PPO state space (paper §IV-D.1) and its normalization.
+//
+// "We designed the state space to include the current thread counts,
+//  throughputs, and the amount of unused buffer at both the sender and the
+//  receiver."  => 8 features:
+//    [n_r, n_n, n_w, t_r, t_n, t_w, free_sender, free_receiver]
+//
+// Both the training simulator and the testbed emulator build observations
+// through this one type, guaranteeing the offline-trained agent sees the
+// exact feature layout in production (a mismatch here is the classic
+// sim-to-real bug).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt {
+
+inline constexpr std::size_t kObservationSize = 8;
+
+/// Normalization constants, fixed when an environment is constructed.
+struct ObservationScale {
+  int max_threads = 30;              // thread counts divided by this
+  double rate_scale_mbps = 1000.0;   // throughputs (Mbps) divided by this
+  double sender_capacity = 1.0;      // buffer bytes divided by capacity
+  double receiver_capacity = 1.0;
+};
+
+inline std::vector<double> build_observation(const ObservationScale& s,
+                                             const ConcurrencyTuple& n,
+                                             const StageThroughputs& tpt_mbps,
+                                             double sender_free_bytes,
+                                             double receiver_free_bytes) {
+  const double nt = static_cast<double>(s.max_threads);
+  return {
+      n.read / nt,
+      n.network / nt,
+      n.write / nt,
+      tpt_mbps.read / s.rate_scale_mbps,
+      tpt_mbps.network / s.rate_scale_mbps,
+      tpt_mbps.write / s.rate_scale_mbps,
+      sender_free_bytes / s.sender_capacity,
+      receiver_free_bytes / s.receiver_capacity,
+  };
+}
+
+}  // namespace automdt

@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (simulator scenario draws, PPO
+// action sampling, network jitter, dataset generation) takes an explicit
+// `Rng&` so that runs are reproducible given a seed, and so that tests can
+// pin behaviour. The engine is xoshiro256** — fast, tiny state, and not
+// implementation-defined the way std::normal_distribution is across
+// standard libraries (we implement our own distributions on top of the raw
+// stream for bit-exact reproducibility).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace automdt {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64();
+
+  // UniformRandomBitGenerator interface so the engine also works with <random>.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (cached spare value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal such that the *median* of the distribution is `median`.
+  double log_normal(double median, double sigma);
+
+  /// Exponential with given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child stream (splits the sequence; used to hand
+  /// each subsystem its own generator from one master seed).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace automdt

@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace automdt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SlidingWindow::add(double x) {
+  values_.push_back(x);
+  if (values_.size() > capacity_) values_.pop_front();
+}
+
+double SlidingWindow::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SlidingWindow::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace automdt

@@ -1,0 +1,80 @@
+// Streaming and batch statistics helpers.
+//
+// Used by the probe/exploration phase (max-per-thread throughput estimates),
+// the bench harnesses (mean/stddev over repeated runs), and the PPO trainer
+// (reward tracking, moving averages for convergence plots).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace automdt {
+
+/// Welford's online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average; alpha in (0, 1], 1 == no smoothing.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  double update(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+    return value_;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-capacity window of recent samples with mean/max/min queries. Used by
+/// the convergence tracker ("no improvement over the last K episodes").
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void add(double x);
+  std::size_t size() const { return values_.size(); }
+  bool full() const { return values_.size() == capacity_; }
+  double mean() const;
+  double max() const;
+  double min() const;
+  void clear() { values_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+};
+
+/// Percentile of a sample set (linear interpolation); p in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+}  // namespace automdt

@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace automdt {
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  const double b = std::fabs(bytes);
+  if (b >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB", bytes / kTiB);
+  } else if (b >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", bytes / kGiB);
+  } else if (b >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", bytes / kMiB);
+  } else if (b >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string format_rate(double bytes_per_s) {
+  char buf[64];
+  const double bits = bytes_per_s * 8.0;
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bits / 1e6);
+  } else if (bits >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kbps", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bits);
+  }
+  return buf;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 3600.0) {
+    const int h = static_cast<int>(seconds / 3600.0);
+    const int m = static_cast<int>((seconds - h * 3600.0) / 60.0);
+    const int s = static_cast<int>(seconds - h * 3600.0 - m * 60.0);
+    std::snprintf(buf, sizeof(buf), "%dh %02dm %02ds", h, m, s);
+  } else if (seconds >= 60.0) {
+    const int m = static_cast<int>(seconds / 60.0);
+    const double s = seconds - m * 60.0;
+    std::snprintf(buf, sizeof(buf), "%dm %04.1fs", m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace automdt

@@ -1,0 +1,45 @@
+// Units and conversions used throughout AutoMDT.
+//
+// Internally all data sizes are tracked in *bytes* (as double, so that fluid
+// models can move fractional bytes per tick) and all rates in *bytes per
+// second*. The paper reports rates in Mbps/Gbps; these helpers convert at the
+// boundaries so no module ever multiplies by 8 (or forgets to) inline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace automdt {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+/// Bytes-per-second from megabits-per-second.
+constexpr double mbps(double megabits_per_s) { return megabits_per_s * 1e6 / 8.0; }
+
+/// Bytes-per-second from gigabits-per-second.
+constexpr double gbps(double gigabits_per_s) { return gigabits_per_s * 1e9 / 8.0; }
+
+/// Megabits-per-second from bytes-per-second.
+constexpr double to_mbps(double bytes_per_s) { return bytes_per_s * 8.0 / 1e6; }
+
+/// Gigabits-per-second from bytes-per-second.
+constexpr double to_gbps(double bytes_per_s) { return bytes_per_s * 8.0 / 1e9; }
+
+/// Human-readable size, e.g. "1.50 GiB".
+std::string format_bytes(double bytes);
+
+/// Human-readable rate, e.g. "12.3 Gbps".
+std::string format_rate(double bytes_per_s);
+
+/// Human-readable duration, e.g. "1h 02m 03s" or "45.2 s".
+std::string format_duration(double seconds);
+
+}  // namespace automdt

@@ -1,0 +1,52 @@
+// The paper's utility (reward) function, §IV-B:
+//
+//   U = U_read + U_network + U_write,   U_i(t_i, n_i) = t_i / k^{n_i}
+//
+// Higher throughput raises utility; each extra thread divides it by k, so for
+// every stage there is a global maximum balancing utilization against
+// parallelism. k is tunable ("aggressiveness"); the paper sweeps 1-25 Gbps
+// links and fixes k = 1.02 for all results.
+//
+// Throughputs are fed in *megabits per second* (the paper's operating range —
+// with byte/s magnitudes the reward would be ~1e8 and k^n negligible in
+// comparison, so the scale matters for reward shaping).
+#pragma once
+
+#include <cmath>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt {
+
+struct UtilityParams {
+  /// Per-thread penalty base; > 1. Paper: 1.02 across all experiments.
+  double k = 1.02;
+};
+
+/// Single-stage utility U_i = t / k^n (t in Mbps).
+inline double stage_utility(double throughput_mbps, int threads,
+                            const UtilityParams& p = {}) {
+  return throughput_mbps / std::pow(p.k, static_cast<double>(threads));
+}
+
+/// Total utility over the three stages.
+inline double total_utility(const StageThroughputs& tpt_mbps,
+                            const ConcurrencyTuple& n,
+                            const UtilityParams& p = {}) {
+  return stage_utility(tpt_mbps.read, n.read, p) +
+         stage_utility(tpt_mbps.network, n.network, p) +
+         stage_utility(tpt_mbps.write, n.write, p);
+}
+
+/// Theoretical maximum reward used as the PPO convergence target (§IV-E):
+///   R_max = b * (k^{-n_r*} + k^{-n_n*} + k^{-n_w*})
+/// with b the end-to-end bottleneck (Mbps) and n_i* the ideal thread counts.
+inline double theoretical_max_reward(double bottleneck_mbps,
+                                     const StageTriple& ideal_threads,
+                                     const UtilityParams& p = {}) {
+  return bottleneck_mbps * (std::pow(p.k, -ideal_threads.read) +
+                            std::pow(p.k, -ideal_threads.network) +
+                            std::pow(p.k, -ideal_threads.write));
+}
+
+}  // namespace automdt

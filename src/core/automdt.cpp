@@ -1,0 +1,120 @@
+#include "core/automdt.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "nn/serialize.hpp"
+
+namespace automdt::core {
+namespace {
+
+// Observation scale and R_max travel inside the checkpoint as 1xN meta
+// matrices so a saved agent is usable without re-running exploration.
+constexpr const char* kMetaScaleKey = "meta.observation_scale";
+constexpr const char* kMetaRmaxKey = "meta.r_max";
+
+nn::Matrix scale_to_matrix(const ObservationScale& s) {
+  nn::Matrix m(1, 4);
+  m(0, 0) = static_cast<double>(s.max_threads);
+  m(0, 1) = s.rate_scale_mbps;
+  m(0, 2) = s.sender_capacity;
+  m(0, 3) = s.receiver_capacity;
+  return m;
+}
+
+ObservationScale matrix_to_scale(const nn::Matrix& m) {
+  if (m.rows() != 1 || m.cols() != 4)
+    throw std::runtime_error("bad observation-scale entry in checkpoint");
+  ObservationScale s;
+  s.max_threads = static_cast<int>(m(0, 0));
+  s.rate_scale_mbps = m(0, 1);
+  s.sender_capacity = m(0, 2);
+  s.receiver_capacity = m(0, 3);
+  return s;
+}
+
+}  // namespace
+
+AutoMdt AutoMdt::train_offline(Env& real_env, const PipelineConfig& config,
+                               OfflineTrainingReport* report) {
+  Rng rng(config.seed);
+
+  // §IV-A: 10-minute random-threads exploration + logging.
+  probe::Explorer explorer(config.explorer);
+  probe::ProbeLog log = explorer.run(real_env, rng);
+  probe::LinkEstimates estimates =
+      probe::LinkEstimates::from_log(log, config.utility);
+  LOG_INFO("exploration done: " << estimates);
+
+  // §IV-C: initialize the dynamics simulator from the estimates.
+  sim::SimScenario scenario = probe::make_scenario(
+      estimates, config.buffers, config.max_threads, config.utility);
+
+  rl::TrainResult training;
+  AutoMdt out = train_on_scenario(scenario, config, &training);
+
+  if (report) {
+    report->probe_log = std::move(log);
+    report->estimates = estimates;
+    report->scenario = scenario;
+    report->training = std::move(training);
+  }
+  return out;
+}
+
+AutoMdt AutoMdt::train_on_scenario(const sim::SimScenario& scenario,
+                                   const PipelineConfig& config,
+                                   rl::TrainResult* training) {
+  sim::SimulatorEnv env(scenario, config.sim_options);
+
+  AutoMdt out;
+  out.agent_ = std::make_shared<rl::PpoAgent>(kObservationSize,
+                                              scenario.max_threads,
+                                              config.ppo);
+  out.training_scale_ = env.observation_scale();
+  out.r_max_ = scenario.theoretical_max_reward();
+
+  // §IV-E: PPO training with the R_max-based convergence criterion.
+  rl::TrainResult result = out.agent_->train(env, out.r_max_);
+  LOG_INFO("offline training: " << result.episodes_run << " episodes, best "
+                                << result.best_reward << " of R_max, "
+                                << (result.converged ? "converged"
+                                                     : "episode cap"));
+  if (training) *training = std::move(result);
+  return out;
+}
+
+bool AutoMdt::save(const std::string& path) const {
+  nn::StateDict state = agent_->state_dict();
+  state.emplace(kMetaScaleKey, scale_to_matrix(training_scale_));
+  nn::Matrix rmax(1, 1);
+  rmax(0, 0) = r_max_;
+  state.emplace(kMetaRmaxKey, rmax);
+  return nn::save_state_dict(state, path);
+}
+
+AutoMdt AutoMdt::load(const std::string& path, const PipelineConfig& config) {
+  nn::StateDict state = nn::load_state_dict_file(path);
+
+  AutoMdt out;
+  const auto scale_it = state.find(kMetaScaleKey);
+  if (scale_it == state.end())
+    throw std::runtime_error("checkpoint missing observation scale: " + path);
+  out.training_scale_ = matrix_to_scale(scale_it->second);
+
+  const auto rmax_it = state.find(kMetaRmaxKey);
+  out.r_max_ = rmax_it != state.end() ? rmax_it->second(0, 0) : 0.0;
+
+  out.agent_ = std::make_shared<rl::PpoAgent>(
+      kObservationSize, out.training_scale_.max_threads, config.ppo);
+  out.agent_->load_state_dict(state);
+  return out;
+}
+
+std::unique_ptr<optimizers::AutoMdtController> AutoMdt::make_controller(
+    bool deterministic) const {
+  return std::make_unique<optimizers::AutoMdtController>(agent_,
+                                                         deterministic);
+}
+
+}  // namespace automdt::core

@@ -1,0 +1,96 @@
+// AutoMDT public API — the facade a downstream user programs against.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   // 1. Point at a transfer environment (here: the FABRIC-like emulator).
+//   auto preset = testbed::fabric_ncsa_tacc();
+//   testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
+//
+//   // 2. Offline pipeline: 10-minute random-threads exploration, link
+//   //    estimates, simulator construction, PPO training (paper §IV).
+//   core::PipelineConfig cfg;
+//   core::OfflineTrainingReport report;
+//   core::AutoMdt automdt = core::AutoMdt::train_offline(env, cfg, &report);
+//
+//   // 3. Production: drive a real transfer with the trained controller.
+//   testbed::EmulatedEnvironment transfer_env(preset.config,
+//                                             testbed::Dataset::paper_fig3());
+//   automdt.align_environment(transfer_env);
+//   auto controller = automdt.make_controller();
+//   Rng rng(7);
+//   auto result = optimizers::run_transfer(transfer_env, *controller, rng);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/env.hpp"
+#include "optimizers/automdt_controller.hpp"
+#include "probe/explorer.hpp"
+#include "probe/scenario_factory.hpp"
+#include "rl/ppo_agent.hpp"
+#include "sim/simulator_env.hpp"
+#include "testbed/environment.hpp"
+
+namespace automdt::core {
+
+struct PipelineConfig {
+  probe::ExplorerOptions explorer{};
+  probe::BufferSpec buffers{};
+  rl::PpoConfig ppo{};
+  sim::SimulatorEnvOptions sim_options{};
+  UtilityParams utility{};
+  int max_threads = 30;
+  std::uint64_t seed = 1234;
+};
+
+/// Everything the offline pipeline produced, for reporting and benches.
+struct OfflineTrainingReport {
+  probe::ProbeLog probe_log;
+  probe::LinkEstimates estimates;
+  sim::SimScenario scenario;
+  rl::TrainResult training;
+};
+
+class AutoMdt {
+ public:
+  /// Full offline pipeline (§IV): random-threads exploration against
+  /// `real_env`, derive link estimates, build the dynamics simulator, train
+  /// the PPO agent in it. `report`, if non-null, receives all intermediates.
+  static AutoMdt train_offline(Env& real_env, const PipelineConfig& config,
+                               OfflineTrainingReport* report = nullptr);
+
+  /// Train directly on a known simulator scenario (skips exploration; used
+  /// when estimates are already available or in tests).
+  static AutoMdt train_on_scenario(const sim::SimScenario& scenario,
+                                   const PipelineConfig& config,
+                                   rl::TrainResult* training = nullptr);
+
+  /// Persist / restore the trained agent plus the observation normalization
+  /// it was trained with.
+  bool save(const std::string& path) const;
+  static AutoMdt load(const std::string& path, const PipelineConfig& config);
+
+  /// Production controller (§IV-F). The returned controller shares the agent.
+  std::unique_ptr<optimizers::AutoMdtController> make_controller(
+      bool deterministic = false) const;
+
+  /// Production environments must present observations with the scale the
+  /// agent was trained under; this applies it.
+  void align_environment(testbed::EmulatedEnvironment& env) const {
+    env.set_observation_scale(training_scale_);
+  }
+
+  const ObservationScale& training_scale() const { return training_scale_; }
+  std::shared_ptr<rl::PpoAgent> agent() const { return agent_; }
+  double r_max() const { return r_max_; }
+
+ private:
+  AutoMdt() = default;
+
+  std::shared_ptr<rl::PpoAgent> agent_;
+  ObservationScale training_scale_{};
+  double r_max_ = 0.0;
+};
+
+}  // namespace automdt::core

@@ -1,0 +1,109 @@
+#include "core/config_bindings.hpp"
+
+#include <set>
+
+#include "common/units.hpp"
+
+namespace automdt::core {
+namespace {
+
+void apply_storage(testbed::StorageConfig& s, const Config& c,
+                   const std::string& prefix) {
+  s.per_thread_mbps = c.get_double(prefix + ".per_thread_mbps",
+                                   s.per_thread_mbps);
+  s.aggregate_mbps = c.get_double(prefix + ".aggregate_mbps",
+                                  s.aggregate_mbps);
+  s.contention_knee = static_cast<int>(
+      c.get_int(prefix + ".contention_knee", s.contention_knee));
+  s.contention_factor = c.get_double(prefix + ".contention_factor",
+                                     s.contention_factor);
+  s.per_file_overhead_s = c.get_double(prefix + ".per_file_overhead_s",
+                                       s.per_file_overhead_s);
+}
+
+const std::set<std::string>& known_testbed_keys() {
+  static const std::set<std::string> keys = {
+      "source.per_thread_mbps", "source.aggregate_mbps",
+      "source.contention_knee", "source.contention_factor",
+      "source.per_file_overhead_s", "dest.per_thread_mbps",
+      "dest.aggregate_mbps", "dest.contention_knee",
+      "dest.contention_factor", "dest.per_file_overhead_s",
+      "link.per_stream_mbps", "link.aggregate_mbps", "link.rtt_ms",
+      "link.contention_knee", "link.contention_factor", "link.jitter",
+      "link.background_mbps", "buffers.sender_gib", "buffers.receiver_gib",
+      "max_threads", "storage_jitter", "utility.k"};
+  return keys;
+}
+
+}  // namespace
+
+testbed::TestbedConfig apply_testbed_overrides(testbed::TestbedConfig base,
+                                               const Config& config) {
+  // Reject unknown testbed-ish keys (anything that is not a ppo.* key and
+  // not recognized here is almost certainly a typo).
+  for (const std::string& key : config.keys()) {
+    if (key.rfind("ppo.", 0) == 0) continue;
+    if (!known_testbed_keys().count(key))
+      throw ConfigError("unknown config key: " + key);
+  }
+
+  apply_storage(base.source_storage, config, "source");
+  apply_storage(base.dest_storage, config, "dest");
+
+  base.link.per_stream_mbps =
+      config.get_double("link.per_stream_mbps", base.link.per_stream_mbps);
+  base.link.aggregate_mbps =
+      config.get_double("link.aggregate_mbps", base.link.aggregate_mbps);
+  base.link.rtt_ms = config.get_double("link.rtt_ms", base.link.rtt_ms);
+  base.link.contention_knee = static_cast<int>(
+      config.get_int("link.contention_knee", base.link.contention_knee));
+  base.link.contention_factor = config.get_double(
+      "link.contention_factor", base.link.contention_factor);
+  base.link.jitter = config.get_double("link.jitter", base.link.jitter);
+  base.link.background_mbps =
+      config.get_double("link.background_mbps", base.link.background_mbps);
+
+  if (config.has("buffers.sender_gib"))
+    base.sender_buffer_bytes = config.get_double("buffers.sender_gib") * kGiB;
+  if (config.has("buffers.receiver_gib"))
+    base.receiver_buffer_bytes =
+        config.get_double("buffers.receiver_gib") * kGiB;
+
+  base.max_threads =
+      static_cast<int>(config.get_int("max_threads", base.max_threads));
+  base.storage_jitter =
+      config.get_double("storage_jitter", base.storage_jitter);
+  base.utility.k = config.get_double("utility.k", base.utility.k);
+  return base;
+}
+
+rl::PpoConfig apply_ppo_overrides(rl::PpoConfig base, const Config& config) {
+  base.max_episodes = static_cast<int>(
+      config.get_int("ppo.max_episodes", base.max_episodes));
+  base.steps_per_episode = static_cast<int>(
+      config.get_int("ppo.steps_per_episode", base.steps_per_episode));
+  base.lr = config.get_double("ppo.lr", base.lr);
+  base.gamma = config.get_double("ppo.gamma", base.gamma);
+  base.clip_epsilon =
+      config.get_double("ppo.clip_epsilon", base.clip_epsilon);
+  base.entropy_coef =
+      config.get_double("ppo.entropy_coef", base.entropy_coef);
+  base.update_epochs = static_cast<int>(
+      config.get_int("ppo.update_epochs", base.update_epochs));
+  base.episodes_per_batch = static_cast<int>(
+      config.get_int("ppo.episodes_per_batch", base.episodes_per_batch));
+  base.hidden_dim = static_cast<std::size_t>(
+      config.get_int("ppo.hidden_dim",
+                     static_cast<long long>(base.hidden_dim)));
+  base.policy_blocks = static_cast<int>(
+      config.get_int("ppo.policy_blocks", base.policy_blocks));
+  base.value_blocks = static_cast<int>(
+      config.get_int("ppo.value_blocks", base.value_blocks));
+  base.stagnation_episodes = static_cast<int>(
+      config.get_int("ppo.stagnation_episodes", base.stagnation_episodes));
+  base.seed = static_cast<std::uint64_t>(
+      config.get_int("ppo.seed", static_cast<long long>(base.seed)));
+  return base;
+}
+
+}  // namespace automdt::core

@@ -1,0 +1,35 @@
+// Bind flat Config files to the typed configuration structs, so the CLI and
+// deployments can override any scenario / training knob from a text file.
+//
+// Recognized keys (all optional; unknown keys are rejected so typos fail
+// loudly):
+//
+//   testbed:   source.per_thread_mbps, source.aggregate_mbps,
+//              source.contention_knee, source.contention_factor,
+//              source.per_file_overhead_s, dest.* (same fields),
+//              link.per_stream_mbps, link.aggregate_mbps, link.rtt_ms,
+//              link.contention_knee, link.contention_factor, link.jitter,
+//              link.background_mbps, buffers.sender_gib,
+//              buffers.receiver_gib, max_threads, storage_jitter, utility.k
+//
+//   ppo:       ppo.max_episodes, ppo.steps_per_episode, ppo.lr, ppo.gamma,
+//              ppo.clip_epsilon, ppo.entropy_coef, ppo.update_epochs,
+//              ppo.episodes_per_batch, ppo.hidden_dim, ppo.policy_blocks,
+//              ppo.value_blocks, ppo.stagnation_episodes, ppo.seed
+#pragma once
+
+#include "common/config.hpp"
+#include "rl/ppo_config.hpp"
+#include "testbed/environment.hpp"
+
+namespace automdt::core {
+
+/// Apply config overrides onto a base testbed config (usually a preset's).
+/// Throws ConfigError on unknown testbed.* keys.
+testbed::TestbedConfig apply_testbed_overrides(testbed::TestbedConfig base,
+                                               const Config& config);
+
+/// Apply ppo.* overrides onto a base PPO config.
+rl::PpoConfig apply_ppo_overrides(rl::PpoConfig base, const Config& config);
+
+}  // namespace automdt::core

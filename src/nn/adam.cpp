@@ -1,0 +1,57 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace automdt::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+
+  if (config_.max_grad_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (Parameter* p : params_)
+      for (double g : p->grad().data()) norm_sq += g * g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.max_grad_norm) {
+      const double scale = config_.max_grad_norm / norm;
+      for (Parameter* p : params_)
+        for (double& g : p->grad().data()) g *= scale;
+    }
+  }
+
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Matrix& w = params_[i]->mutable_value();
+    const Matrix& g = params_[i]->grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      const double gk = g.data()[k];
+      m.data()[k] = config_.beta1 * m.data()[k] + (1.0 - config_.beta1) * gk;
+      v.data()[k] = config_.beta2 * v.data()[k] + (1.0 - config_.beta2) * gk * gk;
+      const double mhat = m.data()[k] / bc1;
+      const double vhat = v.data()[k] / bc2;
+      w.data()[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace automdt::nn

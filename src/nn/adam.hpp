@@ -1,0 +1,44 @@
+// Adam optimizer (Kingma & Ba) with optional global-norm gradient clipping —
+// the update rule the paper's Algorithm 2 uses ("update parameters using Adam
+// optimizer").
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace automdt::nn {
+
+struct AdamConfig {
+  double lr = 3e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// 0 disables clipping; otherwise gradients are rescaled so their global
+  /// L2 norm is at most this value before the update.
+  double max_grad_norm = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  /// Zero gradients without updating (e.g. after a rejected batch).
+  void zero_grad();
+
+  std::size_t step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_lr(double lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;  // first-moment estimates
+  std::vector<Matrix> v_;  // second-moment estimates
+  std::size_t t_ = 0;
+};
+
+}  // namespace automdt::nn

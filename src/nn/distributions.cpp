@@ -1,0 +1,111 @@
+#include "nn/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace automdt::nn {
+namespace {
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * ln(2*pi)
+}
+
+DiagonalGaussian::DiagonalGaussian(Tensor mean, Tensor log_std)
+    : mean_(std::move(mean)), log_std_(std::move(log_std)) {
+  assert(log_std_.rows() == 1 && log_std_.cols() == mean_.cols());
+}
+
+Tensor DiagonalGaussian::log_prob(const Matrix& actions) const {
+  assert(actions.rows() == mean_.rows() && actions.cols() == mean_.cols());
+  // logp(a) = sum_j [ -0.5*((a_j - mu_j)/sigma_j)^2 - log sigma_j - 0.5 ln 2pi ]
+  const Tensor a = Tensor::constant(actions);
+  const Tensor inv_std = exp_op(neg(log_std_));                 // (1 x k)
+  const Tensor z = mul_row_broadcast(sub(a, mean_), inv_std);   // (n x k)
+  Tensor per_dim = scale(square(z), -0.5);                      // (n x k)
+  // subtract log_std and the constant, broadcast across the batch
+  per_dim = add_row_broadcast(per_dim, neg(log_std_));
+  per_dim = add_scalar(per_dim, -kHalfLog2Pi);
+  return row_sum(per_dim);  // (n x 1)
+}
+
+Tensor DiagonalGaussian::entropy() const {
+  // H = sum_j (0.5 + 0.5 ln(2 pi) + log sigma_j); independent of the mean.
+  return sum(add_scalar(log_std_, 0.5 + kHalfLog2Pi));
+}
+
+Matrix DiagonalGaussian::sample(Rng& rng) const {
+  const Matrix& mu = mean_.value();
+  const Matrix& ls = log_std_.value();
+  Matrix out(mu.rows(), mu.cols());
+  for (std::size_t i = 0; i < mu.rows(); ++i)
+    for (std::size_t j = 0; j < mu.cols(); ++j)
+      out(i, j) = rng.normal(mu(i, j), std::exp(ls(0, j)));
+  return out;
+}
+
+MultiCategorical::MultiCategorical(std::vector<Tensor> logits_per_head)
+    : logits_(std::move(logits_per_head)) {
+  assert(!logits_.empty());
+  log_probs_.reserve(logits_.size());
+  for (const Tensor& l : logits_) log_probs_.push_back(log_softmax(l));
+}
+
+Tensor MultiCategorical::log_prob(
+    const std::vector<std::vector<int>>& actions) const {
+  assert(actions.size() == logits_.size());
+  Tensor total;
+  for (std::size_t h = 0; h < log_probs_.size(); ++h) {
+    Tensor lp = row_gather(log_probs_[h], actions[h]);  // (n x 1)
+    total = total.defined() ? add(total, lp) : lp;
+  }
+  return total;
+}
+
+Tensor MultiCategorical::entropy() const {
+  // H = -sum_c p_c log p_c, per row; summed over heads, mean over batch.
+  Tensor total;
+  for (const Tensor& lp : log_probs_) {
+    const Tensor p = exp_op(lp);
+    const Tensor h = neg(row_sum(mul(p, lp)));  // (n x 1)
+    total = total.defined() ? add(total, h) : h;
+  }
+  return mean(total);
+}
+
+std::vector<std::vector<int>> MultiCategorical::sample(Rng& rng) const {
+  std::vector<std::vector<int>> out(logits_.size());
+  for (std::size_t h = 0; h < log_probs_.size(); ++h) {
+    const Matrix& lp = log_probs_[h].value();
+    out[h].resize(lp.rows());
+    for (std::size_t i = 0; i < lp.rows(); ++i) {
+      const double u = rng.uniform();
+      double cum = 0.0;
+      int pick = static_cast<int>(lp.cols()) - 1;
+      for (std::size_t j = 0; j < lp.cols(); ++j) {
+        cum += std::exp(lp(i, j));
+        if (u < cum) {
+          pick = static_cast<int>(j);
+          break;
+        }
+      }
+      out[h][i] = pick;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> MultiCategorical::mode() const {
+  std::vector<std::vector<int>> out(logits_.size());
+  for (std::size_t h = 0; h < logits_.size(); ++h) {
+    const Matrix& l = logits_[h].value();
+    out[h].resize(l.rows());
+    for (std::size_t i = 0; i < l.rows(); ++i) {
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < l.cols(); ++j)
+        if (l(i, j) > l(i, best)) best = j;
+      out[h][i] = static_cast<int>(best);
+    }
+  }
+  return out;
+}
+
+}  // namespace automdt::nn

@@ -1,0 +1,71 @@
+// Probability distributions for the PPO heads.
+//
+// DiagonalGaussian: the paper's continuous action space — the policy emits a
+// per-action mean and a trainable, clamped log-standard-deviation; actions are
+// sampled from N(mu, sigma) then rounded to integer thread counts (§IV-F).
+//
+// Categorical: the discrete action space the paper reports as a failed
+// ablation (Fig. 4); we implement it so the negative result is reproducible.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace automdt::nn {
+
+/// Diagonal (independent per-dimension) Gaussian over a batch.
+/// `mean` is (n x k); `log_std` is (1 x k), shared across the batch.
+class DiagonalGaussian {
+ public:
+  DiagonalGaussian(Tensor mean, Tensor log_std);
+
+  /// Differentiable log probability of `actions` (n x k) -> (n x 1).
+  Tensor log_prob(const Matrix& actions) const;
+
+  /// Differentiable entropy summed over action dimensions -> (1 x 1).
+  /// H = sum_j (0.5 + 0.5 ln(2*pi) + log_std_j).
+  Tensor entropy() const;
+
+  /// Sample one action per batch row (non-differentiable).
+  Matrix sample(Rng& rng) const;
+
+  /// Deterministic action (the mean).
+  Matrix mode() const { return mean_.value(); }
+
+  const Tensor& mean() const { return mean_; }
+  const Tensor& log_std() const { return log_std_; }
+
+ private:
+  Tensor mean_;     // (n x k)
+  Tensor log_std_;  // (1 x k)
+};
+
+/// Independent categorical distributions per head over a batch.
+/// Holds `h` heads, each with logits (n x c); an action is one index per head.
+class MultiCategorical {
+ public:
+  explicit MultiCategorical(std::vector<Tensor> logits_per_head);
+
+  /// Differentiable total log prob of chosen indices; `actions[h]` holds the
+  /// per-row index for head h. Result is (n x 1).
+  Tensor log_prob(const std::vector<std::vector<int>>& actions) const;
+
+  /// Differentiable entropy summed over heads, mean over batch -> (1 x 1).
+  Tensor entropy() const;
+
+  /// Sample an index per head per row.
+  std::vector<std::vector<int>> sample(Rng& rng) const;
+
+  /// Argmax indices per head per row.
+  std::vector<std::vector<int>> mode() const;
+
+  std::size_t head_count() const { return logits_.size(); }
+
+ private:
+  std::vector<Tensor> logits_;       // raw logits, per head
+  std::vector<Tensor> log_probs_;    // log_softmax(logits), per head
+};
+
+}  // namespace automdt::nn

@@ -1,0 +1,40 @@
+#include "nn/grad_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace automdt::nn {
+
+GradCheckResult check_gradients(const std::vector<Parameter*>& params,
+                                const std::function<Tensor()>& loss_fn,
+                                double h) {
+  // Analytic gradients.
+  for (Parameter* p : params) p->zero_grad();
+  loss_fn().backward();
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (Parameter* p : params) analytic.push_back(p->grad());
+
+  GradCheckResult result;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Matrix& w = params[pi]->mutable_value();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+      const double orig = w.data()[k];
+      w.data()[k] = orig + h;
+      const double up = loss_fn().scalar();
+      w.data()[k] = orig - h;
+      const double down = loss_fn().scalar();
+      w.data()[k] = orig;
+      const double numeric = (up - down) / (2.0 * h);
+      const double a = analytic[pi].data()[k];
+      const double abs_err = std::fabs(a - numeric);
+      const double denom = std::max({std::fabs(a), std::fabs(numeric), 1e-8});
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    }
+  }
+  for (Parameter* p : params) p->zero_grad();
+  return result;
+}
+
+}  // namespace automdt::nn

@@ -1,0 +1,25 @@
+// Finite-difference gradient checking, used by the nn test suite to verify
+// every op's backward pass against central differences.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace automdt::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok(double tol = 1e-6) const { return max_rel_error < tol; }
+};
+
+/// `loss_fn` must rebuild the graph from the current parameter values and
+/// return a scalar Tensor. Compares analytic gradients against central
+/// differences for every element of every parameter.
+GradCheckResult check_gradients(
+    const std::vector<Parameter*>& params,
+    const std::function<Tensor()>& loss_fn, double h = 1e-6);
+
+}  // namespace automdt::nn

@@ -1,0 +1,192 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace automdt::nn {
+
+Matrix Matrix::from(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r > 0 ? rows.begin()->size() : 0;
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    assert(row.size() == c);
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::row(std::span<const double> values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::column(std::span<const double> values) {
+  Matrix m(values.size(), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  assert(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  assert(same_shape(o));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] *= b.data_[i];
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // ikj order: the inner loop streams through contiguous rows of b and out.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.data_.data() + i * out.cols_;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* b_row = b.data_.data() + k * b.cols_;
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  // out = a^T * b, a: (k x r), b: (k x c) -> out: (r x c)
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.data_.data() + k * a.cols_;
+    const double* b_row = b.data_.data() + k * b.cols_;
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.data_.data() + i * out.cols_;
+      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  // out = a * b^T, a: (r x k), b: (c x k) -> out: (r x c)
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.data_.data() + i * a.cols_;
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.data_.data() + j * b.cols_;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = f(v);
+  return out;
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::min() const {
+  if (empty()) return 0.0;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::max() const {
+  if (empty()) return 0.0;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Matrix Matrix::row_sums() const {
+  Matrix out(rows_, 1);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j);
+    out(i, 0) = s;
+  }
+  return out;
+}
+
+Matrix Matrix::col_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(0, j) += (*this)(i, j);
+  return out;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::string out = "[";
+  char buf[48];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += (i == 0) ? "[" : " [";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, (*this)(i, j));
+      out += buf;
+      if (j + 1 < cols_) out += ", ";
+    }
+    out += "]";
+    if (i + 1 < rows_) out += "\n";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace automdt::nn

@@ -1,0 +1,122 @@
+// Dense row-major matrix of double.
+//
+// The value type underneath the autodiff tape (tensor.hpp). Kept deliberately
+// small: the networks in this library are MLPs of width <= 256, so a clear
+// O(n^3) matmul with a cache-friendly ikj loop is plenty (Per.4: simple code
+// first, measured). Vectors are represented as 1xN or Nx1 matrices.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace automdt::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested braces: Matrix::from({{1,2},{3,4}}).
+  static Matrix from(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// 1xN row vector from values.
+  static Matrix row(std::span<const double> values);
+
+  /// Nx1 column vector from values.
+  static Matrix column(std::span<const double> values);
+
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+  std::span<double> row_span(std::size_t r) {
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const double> row_span(std::size_t r) const {
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void zero() { fill(0.0); }
+
+  // Element-wise in-place ops.
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  // Element-wise binary ops (shapes must match).
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Hadamard (element-wise) product.
+  friend Matrix hadamard(const Matrix& a, const Matrix& b);
+
+  /// Standard matrix product: (r x k) * (k x c) -> (r x c).
+  friend Matrix matmul(const Matrix& a, const Matrix& b);
+
+  /// a^T * b without materializing the transpose: (k x r)^T... i.e. computes
+  /// transpose(a) * b where a is (k x r), b is (k x c) -> (r x c).
+  friend Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+  /// a * b^T: a is (r x k), b is (c x k) -> (r x c).
+  friend Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+  Matrix transposed() const;
+
+  /// Apply f element-wise, returning a new matrix.
+  Matrix map(const std::function<double(double)>& f) const;
+
+  double sum() const;
+  double mean() const { return empty() ? 0.0 : sum() / static_cast<double>(size()); }
+  double min() const;
+  double max() const;
+
+  /// Column vector of per-row sums (rows x 1).
+  Matrix row_sums() const;
+
+  /// Row vector of per-column sums (1 x cols).
+  Matrix col_sums() const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  /// Max |a - b| over all elements; matrices must have equal shapes.
+  friend double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  std::string to_string(int precision = 4) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace automdt::nn

@@ -1,0 +1,126 @@
+#include "nn/module.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace automdt::nn {
+
+std::vector<Parameter*> Module::parameters() { return all_; }
+
+void Module::zero_grad() {
+  for (Parameter* p : all_) p->zero_grad();
+}
+
+std::size_t Module::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : all_) n += p->value().size();
+  return n;
+}
+
+double Module::grad_norm() {
+  double s = 0.0;
+  for (Parameter* p : all_) {
+    const Matrix& g = p->grad();
+    for (double v : g.data()) s += v * v;
+  }
+  return std::sqrt(s);
+}
+
+Parameter* Module::register_parameter(const std::string& name, Matrix init) {
+  owned_.push_back(std::make_unique<Parameter>(name, std::move(init)));
+  all_.push_back(owned_.back().get());
+  return owned_.back().get();
+}
+
+void Module::register_child(const std::string& prefix, Module& child) {
+  (void)prefix;  // children already carry scoped names
+  for (Parameter* p : child.parameters()) all_.push_back(p);
+}
+
+Matrix xavier_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng,
+                      double gain) {
+  const double a =
+      gain * std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Matrix m(fan_in, fan_out);
+  for (double& v : m.data()) v = rng.uniform(-a, a);
+  return m;
+}
+
+Matrix kaiming_normal(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+  Matrix m(fan_in, fan_out);
+  for (double& v : m.data()) v = rng.normal(0.0, std);
+  return m;
+}
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng,
+               const std::string& name, double init_gain)
+    : in_(in), out_(out) {
+  weight_ = register_parameter(name + ".weight",
+                               xavier_uniform(in, out, rng, init_gain));
+  bias_ = register_parameter(name + ".bias", Matrix(1, out));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  assert(x.cols() == in_);
+  return add_row_broadcast(matmul(x, weight_->tensor()), bias_->tensor());
+}
+
+LayerNorm::LayerNorm(std::size_t dim, const std::string& name) {
+  gamma_ = register_parameter(name + ".gamma", Matrix(1, dim, 1.0));
+  beta_ = register_parameter(name + ".beta", Matrix(1, dim, 0.0));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layer_norm(x, gamma_->tensor(), beta_->tensor());
+}
+
+Tensor apply_activation(Activation act, const Tensor& x) {
+  switch (act) {
+    case Activation::kTanh: return tanh_op(x);
+    case Activation::kRelu: return relu(x);
+  }
+  return x;  // unreachable
+}
+
+ResidualBlock::ResidualBlock(std::size_t dim, Activation act, Rng& rng,
+                             const std::string& name)
+    : act_(act) {
+  fc1_ = std::make_unique<Linear>(dim, dim, rng, name + ".fc1");
+  ln1_ = std::make_unique<LayerNorm>(dim, name + ".ln1");
+  fc2_ = std::make_unique<Linear>(dim, dim, rng, name + ".fc2");
+  ln2_ = std::make_unique<LayerNorm>(dim, name + ".ln2");
+  register_child(name + ".fc1", *fc1_);
+  register_child(name + ".ln1", *ln1_);
+  register_child(name + ".fc2", *fc2_);
+  register_child(name + ".ln2", *ln2_);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) const {
+  Tensor h = apply_activation(act_, ln1_->forward(fc1_->forward(x)));
+  h = ln2_->forward(fc2_->forward(h));
+  return apply_activation(act_, add(h, x));
+}
+
+ResidualMlp::ResidualMlp(std::size_t in_dim, std::size_t hidden_dim,
+                         std::size_t n_blocks, Activation block_act, Rng& rng,
+                         const std::string& name)
+    : hidden_(hidden_dim) {
+  embed_ = std::make_unique<Linear>(in_dim, hidden_dim, rng, name + ".embed");
+  register_child(name + ".embed", *embed_);
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    blocks_.push_back(std::make_unique<ResidualBlock>(
+        hidden_dim, block_act, rng, name + ".block" + std::to_string(i)));
+    register_child("", *blocks_.back());
+  }
+}
+
+Tensor ResidualMlp::forward(const Tensor& x) const {
+  // Paper: "the input is embedded into a 256-dimensional space using a linear
+  // layer followed by a tanh activation", then the residual blocks.
+  Tensor h = tanh_op(embed_->forward(x));
+  for (const auto& b : blocks_) h = b->forward(h);
+  return h;
+}
+
+}  // namespace automdt::nn

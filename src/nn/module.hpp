@@ -1,0 +1,139 @@
+// Neural network modules: parameter registry, Linear, LayerNorm,
+// ResidualBlock, and the residual MLP stacks used by the AutoMDT policy and
+// value networks (paper §IV-D).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace automdt::nn {
+
+/// A named trainable tensor. The underlying Node persists across forward
+/// passes, so gradients accumulate into it until the optimizer clears them.
+class Parameter {
+ public:
+  Parameter(std::string name, Matrix init)
+      : name_(std::move(name)), tensor_(Tensor::variable(std::move(init))) {}
+
+  const std::string& name() const { return name_; }
+  const Tensor& tensor() const { return tensor_; }
+  const Matrix& value() const { return tensor_.value(); }
+  Matrix& mutable_value() { return tensor_.node()->value; }
+  Matrix& grad() { return tensor_.grad(); }
+  void zero_grad() { tensor_.zero_grad(); }
+
+ private:
+  std::string name_;
+  Tensor tensor_;
+};
+
+/// Base class giving modules a flat, ordered parameter list (for the
+/// optimizer and the checkpoint format). Child modules register their
+/// parameters into the parent's registry with a scoped name prefix.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters in registration order (stable across runs).
+  std::vector<Parameter*> parameters();
+
+  void zero_grad();
+
+  /// Total number of scalar weights.
+  std::size_t parameter_count();
+
+  /// Global gradient L2 norm across all parameters.
+  double grad_norm();
+
+ protected:
+  Parameter* register_parameter(const std::string& name, Matrix init);
+  void register_child(const std::string& prefix, Module& child);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> owned_;
+  std::vector<Parameter*> all_;  // owned + children's, in order
+};
+
+// ---- weight initialization ---------------------------------------------------
+
+/// Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+Matrix xavier_uniform(std::size_t fan_in, std::size_t fan_out, Rng& rng,
+                      double gain = 1.0);
+
+/// Kaiming/He normal for ReLU layers: N(0, sqrt(2/fan_in)).
+Matrix kaiming_normal(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+
+// ---- layers -----------------------------------------------------------------
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng,
+         const std::string& name = "linear", double init_gain = 1.0);
+
+  Tensor forward(const Tensor& x) const;
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Parameter* weight_;  // (in x out)
+  Parameter* bias_;    // (1 x out)
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::size_t dim, const std::string& name = "ln");
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Parameter* gamma_;
+  Parameter* beta_;
+};
+
+enum class Activation { kTanh, kRelu };
+
+Tensor apply_activation(Activation act, const Tensor& x);
+
+/// Paper §IV-D: "two linear transformations interleaved with layer
+/// normalization and [ReLU|Tanh] activations, along with a skip connection
+/// that adds the input directly to the output."
+///
+///   out = act( LN2( L2( act( LN1( L1(x) ) ) ) ) + x )
+class ResidualBlock : public Module {
+ public:
+  ResidualBlock(std::size_t dim, Activation act, Rng& rng,
+                const std::string& name = "res");
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Activation act_;
+  std::unique_ptr<Linear> fc1_, fc2_;
+  std::unique_ptr<LayerNorm> ln1_, ln2_;
+};
+
+/// Input embedding + N residual blocks, the shared trunk of both the policy
+/// and value networks: x -> tanh(Linear(x)) -> res blocks.
+class ResidualMlp : public Module {
+ public:
+  ResidualMlp(std::size_t in_dim, std::size_t hidden_dim, std::size_t n_blocks,
+              Activation block_act, Rng& rng, const std::string& name = "mlp");
+
+  Tensor forward(const Tensor& x) const;
+  std::size_t hidden_dim() const { return hidden_; }
+
+ private:
+  std::size_t hidden_;
+  std::unique_ptr<Linear> embed_;
+  std::vector<std::unique_ptr<ResidualBlock>> blocks_;
+};
+
+}  // namespace automdt::nn

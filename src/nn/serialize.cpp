@@ -1,0 +1,117 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace automdt::nn {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'M', 'D', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append(std::vector<char>& out, const T& v) {
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read(const std::vector<char>& in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size())
+    throw std::runtime_error("checkpoint truncated");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+StateDict state_dict(Module& module) {
+  StateDict out;
+  for (Parameter* p : module.parameters()) {
+    if (!out.emplace(p->name(), p->value()).second)
+      throw std::runtime_error("duplicate parameter name: " + p->name());
+  }
+  return out;
+}
+
+void load_state_dict(Module& module, const StateDict& state) {
+  for (Parameter* p : module.parameters()) {
+    auto it = state.find(p->name());
+    if (it == state.end())
+      throw std::runtime_error("checkpoint missing parameter: " + p->name());
+    if (!it->second.same_shape(p->value()))
+      throw std::runtime_error("shape mismatch for parameter: " + p->name());
+    p->mutable_value() = it->second;
+  }
+}
+
+std::vector<char> serialize_state_dict(const StateDict& state) {
+  std::vector<char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  append(out, kVersion);
+  append(out, static_cast<std::uint64_t>(state.size()));
+  for (const auto& [name, value] : state) {
+    append(out, static_cast<std::uint64_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    append(out, static_cast<std::uint64_t>(value.rows()));
+    append(out, static_cast<std::uint64_t>(value.cols()));
+    const char* p = reinterpret_cast<const char*>(value.data().data());
+    out.insert(out.end(), p, p + value.size() * sizeof(double));
+  }
+  return out;
+}
+
+StateDict deserialize_state_dict(const std::vector<char>& bytes) {
+  std::size_t pos = 0;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    throw std::runtime_error("not an AutoMDT checkpoint (bad magic)");
+  pos = 4;
+  const auto version = read<std::uint32_t>(bytes, pos);
+  if (version != kVersion)
+    throw std::runtime_error("unsupported checkpoint version " +
+                             std::to_string(version));
+  const auto count = read<std::uint64_t>(bytes, pos);
+  StateDict out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read<std::uint64_t>(bytes, pos);
+    if (pos + name_len > bytes.size())
+      throw std::runtime_error("checkpoint truncated");
+    std::string name(bytes.data() + pos, name_len);
+    pos += name_len;
+    const auto rows = read<std::uint64_t>(bytes, pos);
+    const auto cols = read<std::uint64_t>(bytes, pos);
+    Matrix m(rows, cols);
+    const std::size_t nbytes = m.size() * sizeof(double);
+    if (pos + nbytes > bytes.size())
+      throw std::runtime_error("checkpoint truncated");
+    std::memcpy(m.data().data(), bytes.data() + pos, nbytes);
+    pos += nbytes;
+    out.emplace(std::move(name), std::move(m));
+  }
+  return out;
+}
+
+bool save_state_dict(const StateDict& state, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const auto bytes = serialize_state_dict(state);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+StateDict load_state_dict_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw std::runtime_error("cannot open checkpoint: " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<char> bytes(size);
+  f.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!f) throw std::runtime_error("failed reading checkpoint: " + path);
+  return deserialize_state_dict(bytes);
+}
+
+}  // namespace automdt::nn

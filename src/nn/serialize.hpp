@@ -1,0 +1,35 @@
+// Checkpoint (de)serialization.
+//
+// Format: little-endian binary — magic "AMDT", u32 version, u64 entry count,
+// then per entry: u64 name length, name bytes, u64 rows, u64 cols,
+// rows*cols doubles. Stable across runs so an offline-trained agent can be
+// loaded by a production transfer (paper §IV-F "load the best checkpoint").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace automdt::nn {
+
+using StateDict = std::map<std::string, Matrix>;
+
+/// Extract {name -> value} for all parameters of a module.
+StateDict state_dict(Module& module);
+
+/// Copy values back into a module's parameters. Throws std::runtime_error if
+/// a parameter is missing from `state` or has a mismatched shape.
+void load_state_dict(Module& module, const StateDict& state);
+
+/// Serialize to / parse from a byte buffer.
+std::vector<char> serialize_state_dict(const StateDict& state);
+StateDict deserialize_state_dict(const std::vector<char>& bytes);
+
+/// File variants. save returns false on I/O error; load throws
+/// std::runtime_error on missing/corrupt files.
+bool save_state_dict(const StateDict& state, const std::string& path);
+StateDict load_state_dict_file(const std::string& path);
+
+}  // namespace automdt::nn

@@ -1,0 +1,406 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace automdt::nn {
+
+Tensor Tensor::constant(Matrix v) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(v);
+  n->requires_grad = false;
+  return Tensor(std::move(n));
+}
+
+Tensor Tensor::variable(Matrix v) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(v);
+  n->requires_grad = true;
+  return Tensor(std::move(n));
+}
+
+double Tensor::scalar() const {
+  assert(node_ && node_->value.rows() == 1 && node_->value.cols() == 1);
+  return node_->value(0, 0);
+}
+
+void Tensor::zero_grad() const {
+  if (node_) {
+    node_->ensure_grad();
+    node_->grad.zero();
+  }
+}
+
+void Tensor::backward() const {
+  assert(node_ && node_->value.rows() == 1 && node_->value.cols() == 1 &&
+         "backward() requires a scalar root");
+  // Topological order via iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->inputs.size()) {
+      Node* child = n->inputs[idx++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed and sweep in reverse topological order (root last in `order`).
+  node_->ensure_grad();
+  node_->grad(0, 0) += 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->requires_grad) n->backward_fn(*n);
+  }
+}
+
+Tensor make_op(Matrix value, std::vector<Tensor> inputs,
+               std::function<void(Node&)> backward_fn) {
+  const bool needs_grad = std::any_of(
+      inputs.begin(), inputs.end(),
+      [](const Tensor& t) { return t.requires_grad(); });
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  if (needs_grad) {
+    n->requires_grad = true;
+    n->inputs.reserve(inputs.size());
+    for (auto& t : inputs) n->inputs.push_back(t.node());
+    n->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(n));
+}
+
+namespace {
+
+// Accumulate g into dst's grad if it participates in the tape.
+void accum(const std::shared_ptr<Node>& dst, const Matrix& g) {
+  if (!dst->requires_grad) return;
+  dst->ensure_grad();
+  dst->grad += g;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  return make_op(a.value() + b.value(), {a, b}, [](Node& self) {
+    accum(self.inputs[0], self.grad);
+    accum(self.inputs[1], self.grad);
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  return make_op(a.value() - b.value(), {a, b}, [](Node& self) {
+    accum(self.inputs[0], self.grad);
+    Matrix g = self.grad;
+    g *= -1.0;
+    accum(self.inputs[1], g);
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  return make_op(hadamard(a.value(), b.value()), {a, b}, [](Node& self) {
+    accum(self.inputs[0], hadamard(self.grad, self.inputs[1]->value));
+    accum(self.inputs[1], hadamard(self.grad, self.inputs[0]->value));
+  });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0); }
+
+Tensor scale(const Tensor& a, double s) {
+  return make_op(a.value() * s, {a}, [s](Node& self) {
+    Matrix g = self.grad;
+    g *= s;
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor add_scalar(const Tensor& a, double s) {
+  return make_op(a.value().map([s](double v) { return v + s; }), {a},
+                 [](Node& self) { accum(self.inputs[0], self.grad); });
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& b) {
+  assert(b.rows() == 1 && b.cols() == a.cols());
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i)
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) += b.value()(0, j);
+  return make_op(std::move(out), {a, b}, [](Node& self) {
+    accum(self.inputs[0], self.grad);
+    accum(self.inputs[1], self.grad.col_sums());
+  });
+}
+
+Tensor mul_row_broadcast(const Tensor& a, const Tensor& b) {
+  assert(b.rows() == 1 && b.cols() == a.cols());
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.rows(); ++i)
+    for (std::size_t j = 0; j < out.cols(); ++j) out(i, j) *= b.value()(0, j);
+  return make_op(std::move(out), {a, b}, [](Node& self) {
+    const Matrix& av = self.inputs[0]->value;
+    const Matrix& bv = self.inputs[1]->value;
+    Matrix da = self.grad;
+    for (std::size_t i = 0; i < da.rows(); ++i)
+      for (std::size_t j = 0; j < da.cols(); ++j) da(i, j) *= bv(0, j);
+    accum(self.inputs[0], da);
+    accum(self.inputs[1], hadamard(self.grad, av).col_sums());
+  });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  Matrix y = a.value().map([](double v) { return std::tanh(v); });
+  return make_op(std::move(y), {a}, [](Node& self) {
+    Matrix g = self.grad;
+    const Matrix& y = self.value;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g.data()[i] *= 1.0 - y.data()[i] * y.data()[i];
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  Matrix y = a.value().map([](double v) { return v > 0.0 ? v : 0.0; });
+  return make_op(std::move(y), {a}, [](Node& self) {
+    Matrix g = self.grad;
+    const Matrix& x = self.inputs[0]->value;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (x.data()[i] <= 0.0) g.data()[i] = 0.0;
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor exp_op(const Tensor& a) {
+  Matrix y = a.value().map([](double v) { return std::exp(v); });
+  return make_op(std::move(y), {a}, [](Node& self) {
+    accum(self.inputs[0], hadamard(self.grad, self.value));
+  });
+}
+
+Tensor log_op(const Tensor& a) {
+  Matrix y = a.value().map([](double v) {
+    assert(v > 0.0);
+    return std::log(v);
+  });
+  return make_op(std::move(y), {a}, [](Node& self) {
+    Matrix g = self.grad;
+    const Matrix& x = self.inputs[0]->value;
+    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] /= x.data()[i];
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor square(const Tensor& a) {
+  Matrix y = a.value().map([](double v) { return v * v; });
+  return make_op(std::move(y), {a}, [](Node& self) {
+    Matrix g = self.grad;
+    const Matrix& x = self.inputs[0]->value;
+    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= 2.0 * x.data()[i];
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor clamp(const Tensor& a, double lo, double hi) {
+  assert(lo <= hi);
+  Matrix y = a.value().map([lo, hi](double v) { return std::clamp(v, lo, hi); });
+  return make_op(std::move(y), {a}, [lo, hi](Node& self) {
+    Matrix g = self.grad;
+    const Matrix& x = self.inputs[0]->value;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double v = x.data()[i];
+      if (v < lo || v > hi) g.data()[i] = 0.0;
+    }
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor min_ew(const Tensor& a, const Tensor& b) {
+  assert(a.value().same_shape(b.value()));
+  Matrix y = a.value();
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y.data()[i] = std::min(y.data()[i], b.value().data()[i]);
+  return make_op(std::move(y), {a, b}, [](Node& self) {
+    const Matrix& av = self.inputs[0]->value;
+    const Matrix& bv = self.inputs[1]->value;
+    Matrix ga = self.grad;
+    Matrix gb = self.grad;
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      // Ties route the gradient to `a` (matches torch.minimum's subgradient
+      // choice closely enough for optimization purposes).
+      if (av.data()[i] <= bv.data()[i]) {
+        gb.data()[i] = 0.0;
+      } else {
+        ga.data()[i] = 0.0;
+      }
+    }
+    accum(self.inputs[0], ga);
+    accum(self.inputs[1], gb);
+  });
+}
+
+Tensor sum(const Tensor& a) {
+  Matrix y(1, 1);
+  y(0, 0) = a.value().sum();
+  return make_op(std::move(y), {a}, [](Node& self) {
+    const double g = self.grad(0, 0);
+    const Matrix& x = self.inputs[0]->value;
+    accum(self.inputs[0], Matrix(x.rows(), x.cols(), g));
+  });
+}
+
+Tensor mean(const Tensor& a) {
+  Matrix y(1, 1);
+  y(0, 0) = a.value().mean();
+  return make_op(std::move(y), {a}, [](Node& self) {
+    const Matrix& x = self.inputs[0]->value;
+    const double g = self.grad(0, 0) / static_cast<double>(x.size());
+    accum(self.inputs[0], Matrix(x.rows(), x.cols(), g));
+  });
+}
+
+Tensor row_sum(const Tensor& a) {
+  return make_op(a.value().row_sums(), {a}, [](Node& self) {
+    const Matrix& x = self.inputs[0]->value;
+    Matrix g(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j) g(i, j) = self.grad(i, 0);
+    accum(self.inputs[0], g);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  return make_op(matmul(a.value(), b.value()), {a, b}, [](Node& self) {
+    const Matrix& av = self.inputs[0]->value;
+    const Matrix& bv = self.inputs[1]->value;
+    accum(self.inputs[0], matmul_nt(self.grad, bv));  // g * b^T
+    accum(self.inputs[1], matmul_tn(av, self.grad));  // a^T * g
+  });
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  double eps) {
+  const Matrix& xv = x.value();
+  const std::size_t n = xv.rows(), m = xv.cols();
+  assert(gamma.rows() == 1 && gamma.cols() == m);
+  assert(beta.rows() == 1 && beta.cols() == m);
+
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto mu = std::make_shared<std::vector<double>>(n);
+  auto inv_std = std::make_shared<std::vector<double>>(n);
+  auto xhat = std::make_shared<Matrix>(n, m);
+
+  Matrix y(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += xv(i, j);
+    const double mean_i = s / static_cast<double>(m);
+    double var = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = xv(i, j) - mean_i;
+      var += d * d;
+    }
+    var /= static_cast<double>(m);
+    const double is = 1.0 / std::sqrt(var + eps);
+    (*mu)[i] = mean_i;
+    (*inv_std)[i] = is;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double xh = (xv(i, j) - mean_i) * is;
+      (*xhat)(i, j) = xh;
+      y(i, j) = gamma.value()(0, j) * xh + beta.value()(0, j);
+    }
+  }
+
+  return make_op(std::move(y), {x, gamma, beta},
+                 [xhat, inv_std, m](Node& self) {
+    const Matrix& g = self.grad;
+    const Matrix& gammav = self.inputs[1]->value;
+    const std::size_t n = g.rows();
+    const double md = static_cast<double>(m);
+
+    // dgamma, dbeta
+    Matrix dgamma(1, m), dbeta(1, m);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < m; ++j) {
+        dgamma(0, j) += g(i, j) * (*xhat)(i, j);
+        dbeta(0, j) += g(i, j);
+      }
+    accum(self.inputs[1], dgamma);
+    accum(self.inputs[2], dbeta);
+
+    // dx: per row, dxhat = g ⊙ gamma;
+    // dx = inv_std/m * (m*dxhat - sum(dxhat) - xhat * sum(dxhat ⊙ xhat))
+    Matrix dx(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double dxh = g(i, j) * gammav(0, j);
+        sum_dxhat += dxh;
+        sum_dxhat_xhat += dxh * (*xhat)(i, j);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const double dxh = g(i, j) * gammav(0, j);
+        dx(i, j) = (*inv_std)[i] / md *
+                   (md * dxh - sum_dxhat - (*xhat)(i, j) * sum_dxhat_xhat);
+      }
+    }
+    accum(self.inputs[0], dx);
+  });
+}
+
+Tensor log_softmax(const Tensor& x) {
+  const Matrix& xv = x.value();
+  Matrix y(xv.rows(), xv.cols());
+  for (std::size_t i = 0; i < xv.rows(); ++i) {
+    double mx = xv(i, 0);
+    for (std::size_t j = 1; j < xv.cols(); ++j) mx = std::max(mx, xv(i, j));
+    double lse = 0.0;
+    for (std::size_t j = 0; j < xv.cols(); ++j) lse += std::exp(xv(i, j) - mx);
+    lse = mx + std::log(lse);
+    for (std::size_t j = 0; j < xv.cols(); ++j) y(i, j) = xv(i, j) - lse;
+  }
+  return make_op(std::move(y), {x}, [](Node& self) {
+    // dx = g - softmax(x) * row_sum(g)
+    const Matrix& g = self.grad;
+    const Matrix& y = self.value;
+    Matrix dx = g;
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+      double gs = 0.0;
+      for (std::size_t j = 0; j < g.cols(); ++j) gs += g(i, j);
+      for (std::size_t j = 0; j < g.cols(); ++j)
+        dx(i, j) -= std::exp(y(i, j)) * gs;
+    }
+    accum(self.inputs[0], dx);
+  });
+}
+
+Tensor row_gather(const Tensor& x, const std::vector<int>& indices) {
+  const Matrix& xv = x.value();
+  assert(indices.size() == xv.rows());
+  Matrix y(xv.rows(), 1);
+  for (std::size_t i = 0; i < xv.rows(); ++i) {
+    assert(indices[i] >= 0 && static_cast<std::size_t>(indices[i]) < xv.cols());
+    y(i, 0) = xv(i, static_cast<std::size_t>(indices[i]));
+  }
+  return make_op(std::move(y), {x}, [indices](Node& self) {
+    const Matrix& x = self.inputs[0]->value;
+    Matrix dx(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      dx(i, static_cast<std::size_t>(indices[i])) = self.grad(i, 0);
+    accum(self.inputs[0], dx);
+  });
+}
+
+Tensor detach(const Tensor& a) { return Tensor::constant(a.value()); }
+
+}  // namespace automdt::nn

@@ -1,0 +1,139 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A Tensor is a shared handle to a graph Node holding a value, an
+// accumulated gradient, and a closure that pushes the node's gradient to its
+// inputs. Ops are free functions that build fresh nodes; calling
+// Tensor::backward() on a scalar node runs a topological sweep.
+//
+// The op set is exactly what the AutoMDT PPO agent (policy/value residual
+// MLPs, diagonal-Gaussian and categorical heads, clipped-surrogate loss)
+// needs — this is a purpose-built tape, not a framework.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace automdt::nn {
+
+struct Node {
+  Matrix value;
+  Matrix grad;  // lazily allocated on first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  // Reads this node's grad and accumulates into inputs' grads. Null for leaves
+  // and constants.
+  std::function<void(Node&)> backward_fn;
+
+  void ensure_grad() {
+    if (grad.empty()) grad = Matrix(value.rows(), value.cols());
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// Leaf with requires_grad=false (inputs, targets, detached values).
+  static Tensor constant(Matrix v);
+
+  /// Leaf with requires_grad=true (parameters).
+  static Tensor variable(Matrix v);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  Matrix& grad() const { node_->ensure_grad(); return node_->grad; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  std::size_t rows() const { return node_->value.rows(); }
+  std::size_t cols() const { return node_->value.cols(); }
+
+  /// Value of a 1x1 tensor.
+  double scalar() const;
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  /// Backpropagate from this (must be 1x1) node; gradients *accumulate* into
+  /// every reachable requires_grad node.
+  void backward() const;
+
+  /// Zero this node's gradient buffer.
+  void zero_grad() const;
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// ---- graph construction helper ------------------------------------------
+
+/// Build an op node. If no input requires grad, the result is a plain
+/// constant (the tape is pruned eagerly).
+Tensor make_op(Matrix value, std::vector<Tensor> inputs,
+               std::function<void(Node&)> backward_fn);
+
+// ---- elementwise / arithmetic ---------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  // Hadamard
+Tensor neg(const Tensor& a);
+Tensor scale(const Tensor& a, double s);
+Tensor add_scalar(const Tensor& a, double s);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return mul(a, b); }
+inline Tensor operator*(const Tensor& a, double s) { return scale(a, s); }
+inline Tensor operator*(double s, const Tensor& a) { return scale(a, s); }
+inline Tensor operator-(const Tensor& a) { return neg(a); }
+
+/// a (n x m) + b (1 x m), b broadcast across rows (bias add).
+Tensor add_row_broadcast(const Tensor& a, const Tensor& b);
+
+/// a (n x m) ⊙ b (1 x m), b broadcast across rows.
+Tensor mul_row_broadcast(const Tensor& a, const Tensor& b);
+
+// ---- nonlinearities --------------------------------------------------------
+
+Tensor tanh_op(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor exp_op(const Tensor& a);
+Tensor log_op(const Tensor& a);  // caller guarantees positive inputs
+Tensor square(const Tensor& a);
+
+/// Element-wise clamp; gradient is zero outside [lo, hi] (PyTorch semantics).
+Tensor clamp(const Tensor& a, double lo, double hi);
+
+/// Element-wise minimum of two same-shaped tensors (PPO clipped surrogate).
+Tensor min_ew(const Tensor& a, const Tensor& b);
+
+// ---- reductions ------------------------------------------------------------
+
+Tensor sum(const Tensor& a);             // -> 1x1
+Tensor mean(const Tensor& a);            // -> 1x1
+Tensor row_sum(const Tensor& a);         // (n x m) -> (n x 1)
+
+// ---- linear algebra ---------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// ---- normalization / softmax ------------------------------------------------
+
+/// Per-row layer normalization with learned gamma (1 x m) and beta (1 x m).
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  double eps = 1e-5);
+
+/// Row-wise log-softmax (numerically stable).
+Tensor log_softmax(const Tensor& x);
+
+/// Pick one column per row: out(i,0) = x(i, indices[i]).
+Tensor row_gather(const Tensor& x, const std::vector<int>& indices);
+
+// ---- graph utilities --------------------------------------------------------
+
+/// Value-copy with the tape cut (no gradient flows through).
+Tensor detach(const Tensor& a);
+
+}  // namespace automdt::nn

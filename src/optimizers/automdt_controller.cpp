@@ -1,0 +1,21 @@
+#include "optimizers/automdt_controller.hpp"
+
+#include <cassert>
+
+namespace automdt::optimizers {
+
+AutoMdtController::AutoMdtController(std::shared_ptr<rl::PpoAgent> agent,
+                                     bool deterministic)
+    : agent_(std::move(agent)), deterministic_(deterministic), rng_(1) {
+  assert(agent_ != nullptr);
+}
+
+void AutoMdtController::reset(Rng& rng) { rng_ = rng.split(); }
+
+ConcurrencyTuple AutoMdtController::decide(const EnvStep& feedback,
+                                           const ConcurrencyTuple& current) {
+  (void)current;  // the policy maps state -> action directly
+  return agent_->act(feedback.observation, rng_, deterministic_);
+}
+
+}  // namespace automdt::optimizers

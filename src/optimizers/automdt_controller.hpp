@@ -1,0 +1,36 @@
+// AutoMDT production-phase controller (paper §IV-F): load the best offline
+// checkpoint and re-enter the PPO interaction loop against the real transfer
+// — sample from the policy Gaussian, round, clamp to [1, n_max], apply.
+//
+// The observation must be built with the same normalization the agent was
+// trained with; the runner/core pipeline takes care of aligning the
+// environment's ObservationScale with the training scale.
+#pragma once
+
+#include <memory>
+
+#include "optimizers/controller.hpp"
+#include "rl/ppo_agent.hpp"
+
+namespace automdt::optimizers {
+
+class AutoMdtController final : public ConcurrencyController {
+ public:
+  /// Takes shared ownership of a trained agent.
+  explicit AutoMdtController(std::shared_ptr<rl::PpoAgent> agent,
+                             bool deterministic = false);
+
+  void reset(Rng& rng) override;
+  ConcurrencyTuple decide(const EnvStep& feedback,
+                          const ConcurrencyTuple& current) override;
+  std::string name() const override { return "AutoMDT"; }
+
+  rl::PpoAgent& agent() { return *agent_; }
+
+ private:
+  std::shared_ptr<rl::PpoAgent> agent_;
+  bool deterministic_;
+  Rng rng_;
+};
+
+}  // namespace automdt::optimizers

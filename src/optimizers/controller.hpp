@@ -1,0 +1,35 @@
+// ConcurrencyController: the strategy interface every optimizer implements —
+// AutoMDT's PPO production phase and all the baselines the paper evaluates
+// against (Marlin, joint multivariate GD, Globus-static, monolithic).
+//
+// The contract mirrors a real transfer tool's control loop: once per probe
+// interval the controller sees the last interval's feedback (per-stage
+// throughputs, buffer observation, reward) and returns the concurrency tuple
+// to apply next.
+#pragma once
+
+#include <string>
+
+#include "common/env.hpp"
+
+namespace automdt::optimizers {
+
+class ConcurrencyController {
+ public:
+  virtual ~ConcurrencyController() = default;
+
+  /// Prepare for a fresh transfer.
+  virtual void reset(Rng& rng) { (void)rng; }
+
+  /// Tuple to apply during the very first probe interval.
+  virtual ConcurrencyTuple initial_action() const { return {1, 1, 1}; }
+
+  /// Given the feedback from the interval that just finished (during which
+  /// `current` was applied), choose the next tuple.
+  virtual ConcurrencyTuple decide(const EnvStep& feedback,
+                                  const ConcurrencyTuple& current) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace automdt::optimizers

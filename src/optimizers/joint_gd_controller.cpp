@@ -1,0 +1,64 @@
+#include "optimizers/joint_gd_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace automdt::optimizers {
+
+JointGdController::JointGdController(JointGdConfig config) : config_(config) {}
+
+void JointGdController::reset(Rng& rng) {
+  (void)rng;
+  phase_ = Phase::kBase;
+  base_ = ConcurrencyTuple{2, 2, 2};
+  base_utility_ = 0.0;
+}
+
+ConcurrencyTuple JointGdController::decide(const EnvStep& feedback,
+                                           const ConcurrencyTuple& current) {
+  (void)current;
+  const double u = total_utility(feedback.throughputs_mbps,
+                                 current, config_.utility);
+
+  auto perturbed = [&](Stage s) {
+    ConcurrencyTuple t = base_;
+    t[s] = std::min(t[s] + config_.probe_delta, config_.max_threads);
+    return t;
+  };
+
+  switch (phase_) {
+    case Phase::kBase:
+      // `u` is the utility of the base tuple; probe read next.
+      base_utility_ = u;
+      phase_ = Phase::kProbeRead;
+      return perturbed(Stage::kRead);
+
+    case Phase::kProbeRead:
+      probe_utility_[0] = u;
+      phase_ = Phase::kProbeNetwork;
+      return perturbed(Stage::kNetwork);
+
+    case Phase::kProbeNetwork:
+      probe_utility_[1] = u;
+      phase_ = Phase::kProbeWrite;
+      return perturbed(Stage::kWrite);
+
+    case Phase::kProbeWrite: {
+      probe_utility_[2] = u;
+      // Gradient estimate and simultaneous update of all three coordinates.
+      for (Stage s : kAllStages) {
+        const int i = static_cast<int>(s);
+        const double grad =
+            (probe_utility_[i] - base_utility_) / config_.probe_delta;
+        int step = static_cast<int>(std::lround(config_.lr * grad));
+        step = std::clamp(step, -config_.max_step, config_.max_step);
+        base_[s] = std::clamp(base_[s] + step, 1, config_.max_threads);
+      }
+      phase_ = Phase::kBase;
+      return base_;
+    }
+  }
+  return base_;  // unreachable
+}
+
+}  // namespace automdt::optimizers

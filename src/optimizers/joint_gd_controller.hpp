@@ -1,0 +1,51 @@
+// Joint multivariate gradient-descent controller — the approach Marlin tried
+// first and abandoned (paper §III): optimize the total utility
+// U(n_r, n_n, n_w) with finite-difference gradient ascent over all three
+// variables at once.
+//
+// The controller cycles through a base probe plus one perturbed probe per
+// coordinate (4 probe intervals per update), then applies a simultaneous
+// step along the estimated gradient. Because early partial derivatives are
+// dominated by buffer transients (an empty buffer makes dU/dn_r look great
+// and dU/dn_n / dU/dn_w look useless), it chases read concurrency first and
+// settles into the paper's described local optimum. bench_motivation measures
+// exactly that.
+#pragma once
+
+#include "common/utility.hpp"
+#include "optimizers/controller.hpp"
+
+namespace automdt::optimizers {
+
+struct JointGdConfig {
+  int max_threads = 30;
+  /// Finite-difference probe offset (threads).
+  int probe_delta = 1;
+  /// Gradient step scale: next_i = n_i + round(lr * dU/dn_i), clamped.
+  double lr = 0.05;
+  /// Largest per-update move per coordinate.
+  int max_step = 3;
+  UtilityParams utility{};
+};
+
+class JointGdController final : public ConcurrencyController {
+ public:
+  explicit JointGdController(JointGdConfig config = {});
+
+  void reset(Rng& rng) override;
+  ConcurrencyTuple initial_action() const override { return {2, 2, 2}; }
+  ConcurrencyTuple decide(const EnvStep& feedback,
+                          const ConcurrencyTuple& current) override;
+  std::string name() const override { return "JointGD"; }
+
+ private:
+  enum class Phase { kBase, kProbeRead, kProbeNetwork, kProbeWrite };
+
+  JointGdConfig config_;
+  Phase phase_ = Phase::kBase;
+  ConcurrencyTuple base_{2, 2, 2};
+  double base_utility_ = 0.0;
+  double probe_utility_[3] = {0.0, 0.0, 0.0};
+};
+
+}  // namespace automdt::optimizers

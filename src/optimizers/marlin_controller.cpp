@@ -1,0 +1,68 @@
+#include "optimizers/marlin_controller.hpp"
+
+#include <algorithm>
+
+namespace automdt::optimizers {
+
+MarlinController::MarlinController(MarlinConfig config) : config_(config) {}
+
+void MarlinController::reset(Rng& rng) {
+  (void)rng;
+  for (auto& st : stages_) st = StageState{};
+  probes_in_window_ = 0;
+  throughput_acc_ = StageThroughputs{};
+}
+
+int MarlinController::climb(StageState& st, double utility, int n) const {
+  if (!st.initialized) {
+    st.initialized = true;
+    st.prev_utility = utility;
+    return std::clamp(n + st.direction * st.step, 1, config_.max_threads);
+  }
+
+  const double improved_floor = st.prev_utility * (1.0 + config_.tolerance);
+  if (utility > improved_floor) {
+    // Keep going; optionally accelerate up to max_step.
+    st.step = std::min(st.step + 1, config_.max_step);
+  } else {
+    // No improvement: reverse and fall back to cautious single steps.
+    st.direction = -st.direction;
+    st.step = 1;
+  }
+  st.prev_utility = utility;
+
+  int next = n + st.direction * st.step;
+  if (next < 1) {
+    next = 1;
+    st.direction = +1;
+  } else if (next > config_.max_threads) {
+    next = config_.max_threads;
+    st.direction = -1;
+  }
+  return next;
+}
+
+ConcurrencyTuple MarlinController::decide(const EnvStep& feedback,
+                                          const ConcurrencyTuple& current) {
+  // Accumulate probes until the metrics window is full; hold the current
+  // configuration meanwhile.
+  for (Stage s : kAllStages)
+    throughput_acc_[s] += feedback.throughputs_mbps[s];
+  ++probes_in_window_;
+  if (probes_in_window_ < std::max(1, config_.decision_interval))
+    return current;
+
+  ConcurrencyTuple next = current;
+  for (Stage s : kAllStages) {
+    const double mean_throughput =
+        throughput_acc_[s] / static_cast<double>(probes_in_window_);
+    const double u = stage_utility(mean_throughput, current[s],
+                                   config_.utility);
+    next[s] = climb(stages_[static_cast<int>(s)], u, current[s]);
+  }
+  probes_in_window_ = 0;
+  throughput_acc_ = StageThroughputs{};
+  return next;
+}
+
+}  // namespace automdt::optimizers

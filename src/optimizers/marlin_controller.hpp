@@ -1,0 +1,62 @@
+// Marlin baseline (Arifuzzaman & Arslan, ICS'23 [3]), as characterized in the
+// AutoMDT paper: "Marlin runs three independent gradient descent optimizers
+// for separately estimating read, write and network concurrency values."
+//
+// Each stage hill-climbs its own utility U_i = t_i / k^{n_i} one thread at a
+// time, reversing direction when utility drops. Because each optimizer sees
+// only its own stage — and stage throughputs are coupled through the staging
+// buffers (Fig. 1) — the estimates are misattributed whenever a buffer fills
+// or drains, which is exactly the instability the paper ascribes to Marlin:
+// slow ascent (~1 thread per probe) punctuated by noise-induced reversals.
+#pragma once
+
+#include "common/utility.hpp"
+#include "optimizers/controller.hpp"
+
+namespace automdt::optimizers {
+
+struct MarlinConfig {
+  int max_threads = 30;
+  /// Largest per-probe step; Marlin is conservative (1 = classic ±1 climbing).
+  int max_step = 1;
+  /// Relative utility improvement below which a move counts as "no better"
+  /// and triggers a direction reversal.
+  double tolerance = 0.01;
+  /// Probe intervals per decision. Online gradient estimation needs stable
+  /// metrics: "we have to wait at least 3 to 5 seconds to get stable metrics
+  /// for that configuration" (paper §IV). AutoMDT's pretrained policy acts
+  /// every interval; Marlin holds each configuration for `decision_interval`
+  /// probes and averages the observed utility before moving.
+  int decision_interval = 3;
+  UtilityParams utility{};
+};
+
+class MarlinController final : public ConcurrencyController {
+ public:
+  explicit MarlinController(MarlinConfig config = {});
+
+  void reset(Rng& rng) override;
+  ConcurrencyTuple initial_action() const override { return {2, 2, 2}; }
+  ConcurrencyTuple decide(const EnvStep& feedback,
+                          const ConcurrencyTuple& current) override;
+  std::string name() const override { return "Marlin"; }
+
+ private:
+  /// One independent single-variable optimizer.
+  struct StageState {
+    double prev_utility = -1.0;
+    int direction = +1;
+    int step = 1;
+    bool initialized = false;
+  };
+
+  int climb(StageState& st, double utility, int n) const;
+
+  MarlinConfig config_;
+  StageState stages_[3];
+  // Probe accumulation within the current decision window.
+  int probes_in_window_ = 0;
+  StageThroughputs throughput_acc_{};
+};
+
+}  // namespace automdt::optimizers

@@ -1,0 +1,31 @@
+#include "optimizers/monolithic_controller.hpp"
+
+#include <algorithm>
+
+namespace automdt::optimizers {
+
+ConcurrencyTuple MonolithicController::decide(const EnvStep& feedback,
+                                              const ConcurrencyTuple& current) {
+  utility_acc_ +=
+      total_utility(feedback.throughputs_mbps, current, config_.utility);
+  ++probes_in_window_;
+  if (probes_in_window_ < std::max(1, config_.decision_interval))
+    return current;
+  const double u = utility_acc_ / static_cast<double>(probes_in_window_);
+  probes_in_window_ = 0;
+  utility_acc_ = 0.0;
+
+  if (!initialized_) {
+    initialized_ = true;
+  } else if (u <= prev_utility_ * (1.0 + config_.tolerance)) {
+    direction_ = -direction_;
+  }
+  prev_utility_ = u;
+
+  level_ = std::clamp(level_ + direction_, 1, config_.max_threads);
+  if (level_ == 1) direction_ = +1;
+  if (level_ == config_.max_threads) direction_ = -1;
+  return {level_, level_, level_};
+}
+
+}  // namespace automdt::optimizers

@@ -1,0 +1,52 @@
+// Monolithic adaptive controller: one concurrency knob shared by all three
+// stages ("current data transfer tools use socket connection threads for all
+// read, write, and transfer operations", §III). It hill-climbs total utility
+// with n_r = n_n = n_w = m, so the slowest stage forces over-subscription of
+// the others — the behaviour the modular architecture exists to avoid.
+#pragma once
+
+#include "common/utility.hpp"
+#include "optimizers/controller.hpp"
+
+namespace automdt::optimizers {
+
+struct MonolithicConfig {
+  int max_threads = 30;
+  double tolerance = 0.01;
+  /// Probe intervals per decision (same stable-metrics requirement as every
+  /// online optimizer; see MarlinConfig::decision_interval).
+  int decision_interval = 3;
+  UtilityParams utility{};
+};
+
+class MonolithicController final : public ConcurrencyController {
+ public:
+  explicit MonolithicController(MonolithicConfig config = {})
+      : config_(config) {}
+
+  void reset(Rng& rng) override {
+    (void)rng;
+    level_ = 2;
+    direction_ = +1;
+    prev_utility_ = -1.0;
+    initialized_ = false;
+    probes_in_window_ = 0;
+    utility_acc_ = 0.0;
+  }
+
+  ConcurrencyTuple initial_action() const override { return {2, 2, 2}; }
+  ConcurrencyTuple decide(const EnvStep& feedback,
+                          const ConcurrencyTuple& current) override;
+  std::string name() const override { return "Monolithic"; }
+
+ private:
+  MonolithicConfig config_;
+  int level_ = 2;
+  int direction_ = +1;
+  double prev_utility_ = -1.0;
+  bool initialized_ = false;
+  int probes_in_window_ = 0;
+  double utility_acc_ = 0.0;
+};
+
+}  // namespace automdt::optimizers

@@ -1,0 +1,39 @@
+#include "optimizers/runner.hpp"
+
+namespace automdt::optimizers {
+
+RunResult run_transfer(testbed::EmulatedEnvironment& env,
+                       ConcurrencyController& controller, Rng& rng,
+                       RunOptions options) {
+  RunResult result;
+
+  EnvStep last;
+  last.observation = env.reset(rng);
+  controller.reset(rng);
+
+  ConcurrencyTuple tuple = controller.initial_action();
+  while (env.virtual_time_s() < options.max_time_s) {
+    last = env.step(tuple);
+
+    testbed::TimePoint p;
+    p.time_s = env.virtual_time_s();
+    p.threads = tuple;
+    p.throughput_mbps = last.throughputs_mbps;
+    p.reward = last.reward;
+    p.sender_buffer_used = env.sender_buffer_used();
+    p.receiver_buffer_used = env.receiver_buffer_used();
+    result.series.add(p);
+
+    if (last.done) {
+      result.completed = true;
+      break;
+    }
+    tuple = controller.decide(last, tuple);
+  }
+
+  result.completion_time_s = env.virtual_time_s();
+  result.average_throughput_mbps = env.average_throughput_mbps();
+  return result;
+}
+
+}  // namespace automdt::optimizers

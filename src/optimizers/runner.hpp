@@ -1,0 +1,30 @@
+// TransferRunner: drives any ConcurrencyController against an emulated
+// transfer until the dataset completes (or a wall-clock cap in virtual time),
+// recording the per-second series behind every figure in the paper's
+// evaluation.
+#pragma once
+
+#include "optimizers/controller.hpp"
+#include "testbed/environment.hpp"
+#include "testbed/recorder.hpp"
+
+namespace automdt::optimizers {
+
+struct RunOptions {
+  /// Abort the run after this much virtual time even if unfinished.
+  double max_time_s = 36000.0;
+};
+
+struct RunResult {
+  bool completed = false;
+  double completion_time_s = 0.0;       // virtual seconds (= max cap if not)
+  double average_throughput_mbps = 0.0; // bytes written / elapsed
+  testbed::TimeSeriesRecorder series;
+};
+
+/// Run one full transfer of the environment's dataset under `controller`.
+RunResult run_transfer(testbed::EmulatedEnvironment& env,
+                       ConcurrencyController& controller, Rng& rng,
+                       RunOptions options = {});
+
+}  // namespace automdt::optimizers

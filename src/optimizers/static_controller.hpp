@@ -1,0 +1,57 @@
+// Static controllers:
+//
+// GlobusStaticController — models globus-url-copy with the paper's settings
+// (§V-D: "we set the concurrency to 4 and parallelism to 8"): a monolithic
+// tool where 4 concurrent files are read/written by 4 I/O workers and fanned
+// out over 4 x 8 = 32 TCP streams, fixed for the whole transfer.
+//
+// FixedController — any hand-picked tuple held constant (useful as an oracle
+// upper bound when set to the scenario's known optimum, and in tests).
+#pragma once
+
+#include "optimizers/controller.hpp"
+
+namespace automdt::optimizers {
+
+class FixedController final : public ConcurrencyController {
+ public:
+  FixedController(ConcurrencyTuple tuple, std::string name = "Fixed")
+      : tuple_(tuple), name_(std::move(name)) {}
+
+  ConcurrencyTuple initial_action() const override { return tuple_; }
+  ConcurrencyTuple decide(const EnvStep&, const ConcurrencyTuple&) override {
+    return tuple_;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  ConcurrencyTuple tuple_;
+  std::string name_;
+};
+
+struct GlobusConfig {
+  int concurrency = 4;  // concurrent files (drives I/O workers)
+  int parallelism = 8;  // TCP streams per file
+};
+
+class GlobusStaticController final : public ConcurrencyController {
+ public:
+  explicit GlobusStaticController(GlobusConfig config = {})
+      : config_(config) {}
+
+  ConcurrencyTuple initial_action() const override { return tuple(); }
+  ConcurrencyTuple decide(const EnvStep&, const ConcurrencyTuple&) override {
+    return tuple();
+  }
+  std::string name() const override { return "Globus"; }
+
+  ConcurrencyTuple tuple() const {
+    return {config_.concurrency, config_.concurrency * config_.parallelism,
+            config_.concurrency};
+  }
+
+ private:
+  GlobusConfig config_;
+};
+
+}  // namespace automdt::optimizers

@@ -1,0 +1,26 @@
+#include "probe/explorer.hpp"
+
+namespace automdt::probe {
+
+ProbeLog Explorer::run(Env& env, Rng& rng) const {
+  ProbeLog log;
+  env.reset(rng);
+  const int n_max = env.max_threads();
+
+  ConcurrencyTuple tuple{1, 1, 1};
+  for (int step = 0; step < options_.duration_steps; ++step) {
+    const bool redraw = step % options_.hold_steps == 0;
+    if (redraw) {
+      tuple = ConcurrencyTuple{rng.uniform_int(1, n_max),
+                               rng.uniform_int(1, n_max),
+                               rng.uniform_int(1, n_max)};
+    }
+    const EnvStep out = env.step(tuple);
+    if (redraw && options_.skip_transient) continue;
+    log.add(ProbeSample{static_cast<double>(step), tuple,
+                        out.throughputs_mbps});
+  }
+  return log;
+}
+
+}  // namespace automdt::probe

@@ -1,0 +1,42 @@
+// Exploration / logging phase (paper §IV-A): "We begin with a 10-minute
+// 'random-threads' run. Every second we record the current thread counts and
+// the corresponding per-stage throughputs."
+//
+// The explorer drives any Env with random concurrency tuples, records one
+// sample per probe interval, and hands back the log. In the paper this runs
+// against the production transfer for 10 wall minutes; against our
+// virtual-time environments it completes in milliseconds.
+#pragma once
+
+#include "common/env.hpp"
+#include "probe/probe_log.hpp"
+
+namespace automdt::probe {
+
+struct ExplorerOptions {
+  /// Total exploration steps (paper: 600 one-second samples = 10 minutes).
+  int duration_steps = 600;
+
+  /// Redraw the random thread tuple every this many steps. Holding a tuple
+  /// for a few seconds lets the pipeline reach a quasi-steady throughput so
+  /// that max T_i / n_i is a clean per-thread estimate.
+  int hold_steps = 5;
+
+  /// Discard the first sample after each redraw (buffers still adjusting).
+  bool skip_transient = true;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options = {}) : options_(options) {}
+
+  /// Run the random-threads exploration against `env` and return the log.
+  ProbeLog run(Env& env, Rng& rng) const;
+
+  const ExplorerOptions& options() const { return options_; }
+
+ private:
+  ExplorerOptions options_;
+};
+
+}  // namespace automdt::probe

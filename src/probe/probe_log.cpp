@@ -1,0 +1,61 @@
+#include "probe/probe_log.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace automdt::probe {
+
+void ProbeLog::write_csv(std::ostream& os) const {
+  os << "time_s,n_read,n_network,n_write,t_read_mbps,t_network_mbps,"
+        "t_write_mbps\n";
+  for (const auto& s : samples_) {
+    os << s.time_s << ',' << s.threads.read << ',' << s.threads.network << ','
+       << s.threads.write << ',' << s.throughput_mbps.read << ','
+       << s.throughput_mbps.network << ',' << s.throughput_mbps.write << '\n';
+  }
+}
+
+LinkEstimates LinkEstimates::from_log(const ProbeLog& log,
+                                      const UtilityParams& utility) {
+  if (log.empty())
+    throw std::invalid_argument("LinkEstimates: empty probe log");
+
+  LinkEstimates e;
+  for (const auto& s : log.samples()) {
+    for (Stage st : kAllStages) {
+      if (s.threads[st] <= 0)
+        throw std::invalid_argument(
+            "LinkEstimates: non-positive thread count in probe log");
+      e.bandwidth_mbps[st] = std::max(e.bandwidth_mbps[st],
+                                      s.throughput_mbps[st]);
+      e.tpt_mbps[st] =
+          std::max(e.tpt_mbps[st], s.throughput_mbps[st] / s.threads[st]);
+    }
+  }
+  e.bottleneck_mbps = e.bandwidth_mbps.min_component();
+  for (Stage st : kAllStages) {
+    e.ideal_threads[st] =
+        e.tpt_mbps[st] > 0.0 ? e.bottleneck_mbps / e.tpt_mbps[st] : 1.0;
+  }
+  e.r_max = theoretical_max_reward(e.bottleneck_mbps, e.ideal_threads, utility);
+  return e;
+}
+
+ConcurrencyTuple LinkEstimates::ideal_threads_rounded() const {
+  auto up = [](double v) { return std::max(1, static_cast<int>(std::ceil(v))); };
+  return {up(ideal_threads.read), up(ideal_threads.network),
+          up(ideal_threads.write)};
+}
+
+std::ostream& operator<<(std::ostream& os, const LinkEstimates& e) {
+  os << "LinkEstimates{B=(" << e.bandwidth_mbps.read << ", "
+     << e.bandwidth_mbps.network << ", " << e.bandwidth_mbps.write
+     << ") Mbps, TPT=(" << e.tpt_mbps.read << ", " << e.tpt_mbps.network
+     << ", " << e.tpt_mbps.write << ") Mbps, b=" << e.bottleneck_mbps
+     << " Mbps, n*=(" << e.ideal_threads.read << ", "
+     << e.ideal_threads.network << ", " << e.ideal_threads.write
+     << "), R_max=" << e.r_max << "}";
+  return os;
+}
+
+}  // namespace automdt::probe

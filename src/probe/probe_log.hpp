@@ -1,0 +1,60 @@
+// Probe log: the per-second record the exploration phase (§IV-A) keeps of
+// thread counts and achieved stage throughputs, plus the derived link
+// estimates (B_i, TPT_i, bottleneck b, ideal thread counts n_i*, R_max).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "common/concurrency_tuple.hpp"
+#include "common/utility.hpp"
+
+namespace automdt::probe {
+
+struct ProbeSample {
+  double time_s = 0.0;
+  ConcurrencyTuple threads;
+  StageThroughputs throughput_mbps;
+};
+
+class ProbeLog {
+ public:
+  void add(ProbeSample s) { samples_.push_back(s); }
+  const std::vector<ProbeSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<ProbeSample> samples_;
+};
+
+/// Derived quantities from the exploration log (§IV-A):
+///   B_i   = max T_i                  (stage bandwidth, Mbps)
+///   TPT_i = max T_i / n_i            (per-thread throughput, Mbps)
+///   b     = min(B_r, B_n, B_w)       (end-to-end bottleneck)
+///   n_i*  = b / TPT_i                (ideal thread counts)
+///   R_max = b * sum_i k^{-n_i*}      (PPO convergence target)
+struct LinkEstimates {
+  StageTriple bandwidth_mbps{};
+  StageTriple tpt_mbps{};
+  double bottleneck_mbps = 0.0;
+  StageTriple ideal_threads{};
+  double r_max = 0.0;
+
+  /// Compute all estimates from a log. Requires a non-empty log with
+  /// positive thread counts; throws std::invalid_argument otherwise.
+  static LinkEstimates from_log(const ProbeLog& log,
+                                const UtilityParams& utility = {});
+
+  /// Ideal thread counts rounded up to integers (what the paper's figures
+  /// report, e.g. "optimal TCP stream levels ... are 13, 7, and 5").
+  ConcurrencyTuple ideal_threads_rounded() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const LinkEstimates& e);
+
+}  // namespace automdt::probe

@@ -1,0 +1,18 @@
+#include "probe/scenario_factory.hpp"
+
+namespace automdt::probe {
+
+sim::SimScenario make_scenario(const LinkEstimates& estimates,
+                               const BufferSpec& buffers, int max_threads,
+                               const UtilityParams& utility) {
+  sim::SimScenario s;
+  s.sender_capacity = buffers.sender_capacity_bytes;
+  s.receiver_capacity = buffers.receiver_capacity_bytes;
+  s.tpt_mbps = estimates.tpt_mbps;
+  s.bandwidth_mbps = estimates.bandwidth_mbps;
+  s.max_threads = max_threads;
+  s.utility = utility;
+  return s;
+}
+
+}  // namespace automdt::probe

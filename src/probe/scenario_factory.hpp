@@ -1,0 +1,24 @@
+// Bridge from measured link estimates to a training-simulator scenario: the
+// paper initializes the offline simulator "with the buffer capacities at both
+// ends, throughput per thread, bandwidth, and current concurrency values"
+// (§IV-C), all of which come from the exploration phase plus a buffer-size
+// system call on each DTN.
+#pragma once
+
+#include "probe/probe_log.hpp"
+#include "sim/scenario.hpp"
+
+namespace automdt::probe {
+
+struct BufferSpec {
+  double sender_capacity_bytes = 8.0 * kGiB;
+  double receiver_capacity_bytes = 8.0 * kGiB;
+};
+
+/// Build a simulator scenario from exploration estimates.
+sim::SimScenario make_scenario(const LinkEstimates& estimates,
+                               const BufferSpec& buffers,
+                               int max_threads = 30,
+                               const UtilityParams& utility = {});
+
+}  // namespace automdt::probe

@@ -1,0 +1,166 @@
+#include "rl/discrete_ppo_agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace automdt::rl {
+namespace {
+
+ConcurrencyTuple indices_to_tuple(const std::array<int, 3>& idx,
+                                  int max_threads) {
+  // Class c encodes thread count c + 1.
+  ConcurrencyTuple t{idx[0] + 1, idx[1] + 1, idx[2] + 1};
+  return t.clamped(1, max_threads);
+}
+
+}  // namespace
+
+DiscretePpoAgent::DiscretePpoAgent(std::size_t state_dim, int max_threads,
+                                   PpoConfig config)
+    : config_(config), max_threads_(max_threads), rng_(config.seed) {
+  Rng init_rng = rng_.split();
+  policy_ = std::make_unique<DiscretePolicyNetwork>(state_dim, max_threads,
+                                                    config_, init_rng);
+  value_ = std::make_unique<ValueNetwork>(state_dim, config_, init_rng);
+
+  std::vector<nn::Parameter*> params = policy_->parameters();
+  for (nn::Parameter* p : value_->parameters()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.lr = config_.lr;
+  adam.max_grad_norm = config_.max_grad_norm;
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), adam);
+}
+
+TrainResult DiscretePpoAgent::train(Env& env, double r_max,
+                                    const EpisodeCallback& on_episode) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainResult result;
+  result.r_max = r_max;
+  result.episode_rewards.reserve(
+      static_cast<std::size_t>(config_.max_episodes));
+
+  RolloutMemory memory;
+  double best_reward = -1e300;
+  int stagnant = 0;
+  SlidingWindow reward_window(
+      static_cast<std::size_t>(std::max(1, config_.best_window)));
+
+  const int batch = std::max(1, config_.episodes_per_batch);
+  for (int episode = 0; episode < config_.max_episodes; ++episode) {
+    std::vector<double> state = env.reset(rng_);
+    double reward_sum = 0.0;
+    int steps = 0;
+
+    for (int m = 0; m < config_.steps_per_episode; ++m) {
+      const nn::MultiCategorical dist = policy_->forward_one(state);
+      const auto sampled = dist.sample(rng_);  // [head][row]
+      const std::array<int, 3> idx = {sampled[0][0], sampled[1][0],
+                                      sampled[2][0]};
+      const double log_prob =
+          dist.log_prob({{idx[0]}, {idx[1]}, {idx[2]}}).value()(0, 0);
+      const ConcurrencyTuple tuple = indices_to_tuple(idx, max_threads_);
+
+      const EnvStep out = env.step(tuple);
+      const double reward = out.reward / r_max;
+      memory.add_discrete(state, idx, reward, log_prob);
+      reward_sum += reward;
+      ++steps;
+      state = out.observation;
+      if (out.done) break;
+    }
+    memory.end_episode();
+
+    if ((episode + 1) % batch == 0) {
+      update_networks(memory);
+      memory.clear();
+    }
+
+    const double episode_reward =
+        steps > 0 ? reward_sum / static_cast<double>(steps) : 0.0;
+    result.episode_rewards.push_back(episode_reward);
+    ++result.episodes_run;
+
+    reward_window.add(episode_reward);
+    const double smoothed = reward_window.mean();
+    if (smoothed > best_reward) {
+      best_reward = smoothed;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+    }
+    if (result.convergence_episode < 0 &&
+        best_reward >= config_.convergence_fraction) {
+      result.convergence_episode = episode;
+    }
+    if (best_reward >= config_.convergence_fraction &&
+        stagnant >= config_.stagnation_episodes) {
+      result.converged = true;
+      break;
+    }
+    if (on_episode && !on_episode(episode, episode_reward)) break;
+  }
+
+  result.best_reward = best_reward;
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+void DiscretePpoAgent::update_networks(const RolloutMemory& memory) {
+  if (memory.empty()) return;
+
+  const nn::Tensor states = nn::Tensor::constant(memory.states_matrix());
+  const auto action_indices = memory.action_indices_per_head();
+  const nn::Tensor old_log_probs =
+      nn::Tensor::constant(memory.log_probs_column());
+  const nn::Matrix returns = memory.discounted_returns(config_.gamma);
+  const nn::Tensor returns_t = nn::Tensor::constant(returns);
+
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    const nn::MultiCategorical dist = policy_->forward(states);
+    const nn::Tensor new_log_probs = dist.log_prob(action_indices);
+    const nn::Tensor values = value_->forward(states);
+
+    nn::Matrix adv = returns;
+    adv -= values.value();
+    if (config_.normalize_advantages && adv.size() > 1) {
+      const double mean = adv.mean();
+      double var = 0.0;
+      for (double v : adv.data()) var += (v - mean) * (v - mean);
+      const double std =
+          std::sqrt(var / static_cast<double>(adv.size())) + 1e-8;
+      for (double& v : adv.data()) v = (v - mean) / std;
+    }
+    const nn::Tensor adv_t = nn::Tensor::constant(adv);
+
+    const nn::Tensor ratio = exp_op(sub(new_log_probs, old_log_probs));
+    const nn::Tensor surr1 = mul(ratio, adv_t);
+    const nn::Tensor surr2 =
+        mul(clamp(ratio, 1.0 - config_.clip_epsilon, 1.0 + config_.clip_epsilon),
+            adv_t);
+    const nn::Tensor actor_loss = neg(mean(min_ew(surr1, surr2)));
+    const nn::Tensor critic_loss =
+        scale(mean(square(sub(returns_t, values))), 0.5);
+    const nn::Tensor entropy = dist.entropy();
+    const nn::Tensor loss =
+        add(actor_loss, sub(scale(critic_loss, config_.critic_coef),
+                            scale(entropy, config_.entropy_coef)));
+
+    optimizer_->zero_grad();
+    loss.backward();
+    optimizer_->step();
+  }
+}
+
+ConcurrencyTuple DiscretePpoAgent::act(const std::vector<double>& state,
+                                       Rng& rng, bool deterministic) const {
+  const nn::MultiCategorical dist = policy_->forward_one(state);
+  const auto idx = deterministic ? dist.mode() : dist.sample(rng);
+  return indices_to_tuple({idx[0][0], idx[1][0], idx[2][0]}, max_threads_);
+}
+
+}  // namespace automdt::rl

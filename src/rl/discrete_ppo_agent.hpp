@@ -1,0 +1,49 @@
+// Discrete-action PPO — the ablation the paper reports as a negative result
+// (§V-A, Fig. 4): "we also experimented with a discrete action space ...
+// however, the discrete action space failed miserably."
+//
+// Each stage gets a categorical head over n_max classes (thread count =
+// class + 1). The training loop mirrors PpoAgent's so the comparison in
+// bench_fig4_action_space isolates the action-space choice.
+#pragma once
+
+#include <memory>
+
+#include "common/env.hpp"
+#include "nn/adam.hpp"
+#include "nn/serialize.hpp"
+#include "rl/networks.hpp"
+#include "rl/ppo_agent.hpp"  // TrainResult, EpisodeCallback
+#include "rl/ppo_config.hpp"
+#include "rl/rollout.hpp"
+
+namespace automdt::rl {
+
+class DiscretePpoAgent {
+ public:
+  DiscretePpoAgent(std::size_t state_dim, int max_threads,
+                   PpoConfig config = {});
+
+  TrainResult train(Env& env, double r_max,
+                    const EpisodeCallback& on_episode = nullptr);
+
+  ConcurrencyTuple act(const std::vector<double>& state, Rng& rng,
+                       bool deterministic = false) const;
+
+  nn::StateDict state_dict() { return nn::state_dict(*policy_); }
+
+  DiscretePolicyNetwork& policy() { return *policy_; }
+  int max_threads() const { return max_threads_; }
+
+ private:
+  void update_networks(const RolloutMemory& memory);
+
+  PpoConfig config_;
+  int max_threads_;
+  Rng rng_;
+  std::unique_ptr<DiscretePolicyNetwork> policy_;
+  std::unique_ptr<ValueNetwork> value_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace automdt::rl

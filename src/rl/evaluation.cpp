@@ -1,0 +1,51 @@
+#include "rl/evaluation.hpp"
+
+#include <map>
+
+namespace automdt::rl {
+
+EvaluationResult evaluate_policy(Env& env, const Policy& policy, double r_max,
+                                 Rng& rng, EvaluationOptions options) {
+  EvaluationResult out;
+  RunningStats reward_stats;
+  RunningStats read_tpt, net_tpt, write_tpt, total_threads;
+  std::map<std::tuple<int, int, int>, int> tuple_counts;
+
+  for (int ep = 0; ep < options.episodes; ++ep) {
+    std::vector<double> state = env.reset(rng);
+    for (int step = 0; step < options.steps_per_episode; ++step) {
+      const ConcurrencyTuple tuple = policy(state);
+      const EnvStep result = env.step(tuple);
+      state = result.observation;
+      reward_stats.add(result.reward / (r_max > 0.0 ? r_max : 1.0));
+      ++out.steps;
+      if (step >= options.warmup_steps) {
+        read_tpt.add(result.throughputs_mbps.read);
+        net_tpt.add(result.throughputs_mbps.network);
+        write_tpt.add(result.throughputs_mbps.write);
+        total_threads.add(tuple.total());
+        ++tuple_counts[{tuple.read, tuple.network, tuple.write}];
+      }
+      if (result.done) break;
+    }
+    ++out.episodes;
+  }
+
+  out.mean_reward = reward_stats.mean();
+  out.reward_stddev = reward_stats.stddev();
+  out.mean_throughput_mbps = {read_tpt.mean(), net_tpt.mean(),
+                              write_tpt.mean()};
+  out.mean_total_threads = total_threads.mean();
+
+  int best_count = 0;
+  for (const auto& [tuple, count] : tuple_counts) {
+    if (count > best_count) {
+      best_count = count;
+      out.settled_tuple = {std::get<0>(tuple), std::get<1>(tuple),
+                           std::get<2>(tuple)};
+    }
+  }
+  return out;
+}
+
+}  // namespace automdt::rl

@@ -1,0 +1,43 @@
+// Deterministic policy evaluation: run a trained agent against an Env for a
+// fixed horizon (several resets) and summarize reward, throughput, and the
+// concurrency it settles on. Benches and tests use this instead of ad-hoc
+// loops so "how good is this policy" means the same thing everywhere.
+#pragma once
+
+#include <functional>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+
+namespace automdt::rl {
+
+struct EvaluationResult {
+  /// Mean per-step reward over all evaluation steps, normalized by r_max.
+  double mean_reward = 0.0;
+  double reward_stddev = 0.0;
+  /// Mean per-stage throughputs over the steady half of each episode.
+  StageThroughputs mean_throughput_mbps{};
+  /// Mean total thread count over the steady half.
+  double mean_total_threads = 0.0;
+  /// Most common (modal) tuple observed in the steady half.
+  ConcurrencyTuple settled_tuple{};
+  int episodes = 0;
+  int steps = 0;
+};
+
+/// A policy is any state -> tuple function (usually a lambda over an agent's
+/// deterministic act()).
+using Policy = std::function<ConcurrencyTuple(const std::vector<double>&)>;
+
+struct EvaluationOptions {
+  int episodes = 3;
+  int steps_per_episode = 30;
+  /// Steps at the start of each episode excluded from the steady-state
+  /// statistics (ramp/transient).
+  int warmup_steps = 10;
+};
+
+EvaluationResult evaluate_policy(Env& env, const Policy& policy, double r_max,
+                                 Rng& rng, EvaluationOptions options = {});
+
+}  // namespace automdt::rl

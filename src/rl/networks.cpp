@@ -1,0 +1,108 @@
+#include "rl/networks.hpp"
+
+namespace automdt::rl {
+
+nn::Tensor state_row(const std::vector<double>& state) {
+  return nn::Tensor::constant(nn::Matrix::row(state));
+}
+
+PolicyNetwork::PolicyNetwork(std::size_t state_dim, std::size_t action_dim,
+                             const PpoConfig& config, Rng& rng)
+    : action_dim_(action_dim),
+      log_std_min_(config.log_std_min),
+      log_std_max_(config.log_std_max) {
+  trunk_ = std::make_unique<nn::ResidualMlp>(state_dim, config.hidden_dim,
+                                             config.policy_blocks,
+                                             nn::Activation::kRelu, rng,
+                                             "policy.trunk");
+  // Small output gain keeps the initial action distribution centered and
+  // lets the clamped log-std drive early exploration.
+  mean_head_ = std::make_unique<nn::Linear>(config.hidden_dim, action_dim, rng,
+                                            "policy.mean_head", 0.1);
+  register_child("", *trunk_);
+  register_child("", *mean_head_);
+  log_std_ = register_parameter(
+      "policy.log_std",
+      nn::Matrix(1, action_dim, config.log_std_init));
+}
+
+nn::DiagonalGaussian PolicyNetwork::forward(const nn::Tensor& states) const {
+  // "The output of the residual blocks is processed by a tanh function before
+  // being fed into a linear layer to compute the mean of the action
+  // distribution."
+  nn::Tensor h = tanh_op(trunk_->forward(states));
+  nn::Tensor mean = mean_head_->forward(h);
+  // "we clamp the trainable log-standard-deviation parameter to a reasonable
+  // range and exponentiate it to produce the standard deviation."
+  nn::Tensor log_std = clamp(log_std_->tensor(), log_std_min_, log_std_max_);
+  return nn::DiagonalGaussian(std::move(mean), std::move(log_std));
+}
+
+nn::DiagonalGaussian PolicyNetwork::forward_one(
+    const std::vector<double>& state) const {
+  return forward(state_row(state));
+}
+
+void PolicyNetwork::set_mean_bias(double v) {
+  for (nn::Parameter* p : parameters()) {
+    if (p->name() == "policy.mean_head.bias") {
+      p->mutable_value().fill(v);
+      return;
+    }
+  }
+}
+
+ValueNetwork::ValueNetwork(std::size_t state_dim, const PpoConfig& config,
+                           Rng& rng) {
+  trunk_ = std::make_unique<nn::ResidualMlp>(state_dim, config.hidden_dim,
+                                             config.value_blocks,
+                                             nn::Activation::kTanh, rng,
+                                             "value.trunk");
+  head_ = std::make_unique<nn::Linear>(config.hidden_dim, 1, rng,
+                                       "value.head", 1.0);
+  register_child("", *trunk_);
+  register_child("", *head_);
+}
+
+nn::Tensor ValueNetwork::forward(const nn::Tensor& states) const {
+  return head_->forward(trunk_->forward(states));
+}
+
+double ValueNetwork::value_of(const std::vector<double>& state) const {
+  return forward(state_row(state)).value()(0, 0);
+}
+
+DiscretePolicyNetwork::DiscretePolicyNetwork(std::size_t state_dim,
+                                             int classes_per_head,
+                                             const PpoConfig& config, Rng& rng)
+    : classes_(classes_per_head) {
+  trunk_ = std::make_unique<nn::ResidualMlp>(state_dim, config.hidden_dim,
+                                             config.policy_blocks,
+                                             nn::Activation::kRelu, rng,
+                                             "dpolicy.trunk");
+  register_child("", *trunk_);
+  const char* names[3] = {"dpolicy.head_read", "dpolicy.head_network",
+                          "dpolicy.head_write"};
+  for (int h = 0; h < 3; ++h) {
+    heads_.push_back(std::make_unique<nn::Linear>(
+        config.hidden_dim, static_cast<std::size_t>(classes_), rng, names[h],
+        0.1));
+    register_child("", *heads_.back());
+  }
+}
+
+nn::MultiCategorical DiscretePolicyNetwork::forward(
+    const nn::Tensor& states) const {
+  nn::Tensor h = tanh_op(trunk_->forward(states));
+  std::vector<nn::Tensor> logits;
+  logits.reserve(heads_.size());
+  for (const auto& head : heads_) logits.push_back(head->forward(h));
+  return nn::MultiCategorical(std::move(logits));
+}
+
+nn::MultiCategorical DiscretePolicyNetwork::forward_one(
+    const std::vector<double>& state) const {
+  return forward(state_row(state));
+}
+
+}  // namespace automdt::rl

@@ -1,0 +1,84 @@
+// The PPO actor and critic networks (paper §IV-D.3/4).
+//
+// PolicyNetwork (actor): state -> Linear(256) -> tanh -> 3 residual blocks
+// (Linear/LayerNorm/ReLU x2 + skip) -> tanh -> Linear -> action means; plus a
+// trainable, clamped log-standard-deviation shared across the batch. Together
+// they parameterize a diagonal Gaussian over the three concurrency values.
+//
+// ValueNetwork (critic): state -> Linear(256) -> tanh -> 2 residual blocks
+// (Tanh activations) -> Linear -> scalar state value.
+//
+// DiscretePolicyNetwork: same trunk but 3 categorical heads (one per stage,
+// n_max classes each) — the action-space ablation the paper reports failing
+// (Fig. 4).
+#pragma once
+
+#include <memory>
+
+#include "nn/distributions.hpp"
+#include "nn/module.hpp"
+#include "rl/ppo_config.hpp"
+
+namespace automdt::rl {
+
+class PolicyNetwork : public nn::Module {
+ public:
+  PolicyNetwork(std::size_t state_dim, std::size_t action_dim,
+                const PpoConfig& config, Rng& rng);
+
+  /// Batch forward: states (n x state_dim) -> Gaussian over (n x action_dim).
+  nn::DiagonalGaussian forward(const nn::Tensor& states) const;
+
+  /// Convenience for a single state row.
+  nn::DiagonalGaussian forward_one(const std::vector<double>& state) const;
+
+  /// Bias the mean head so initial actions center on `v` (thread units); the
+  /// trainer sets this to (1 + n_max) / 2 so exploration starts mid-range
+  /// instead of pinned at the clamp floor.
+  void set_mean_bias(double v);
+
+  std::size_t action_dim() const { return action_dim_; }
+
+ private:
+  std::size_t action_dim_;
+  double log_std_min_, log_std_max_;
+  std::unique_ptr<nn::ResidualMlp> trunk_;
+  std::unique_ptr<nn::Linear> mean_head_;
+  nn::Parameter* log_std_;
+};
+
+class ValueNetwork : public nn::Module {
+ public:
+  ValueNetwork(std::size_t state_dim, const PpoConfig& config, Rng& rng);
+
+  /// Batch forward: states (n x state_dim) -> values (n x 1).
+  nn::Tensor forward(const nn::Tensor& states) const;
+
+  double value_of(const std::vector<double>& state) const;
+
+ private:
+  std::unique_ptr<nn::ResidualMlp> trunk_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+class DiscretePolicyNetwork : public nn::Module {
+ public:
+  /// `classes_per_head` = n_max (thread count = class index + 1).
+  DiscretePolicyNetwork(std::size_t state_dim, int classes_per_head,
+                        const PpoConfig& config, Rng& rng);
+
+  nn::MultiCategorical forward(const nn::Tensor& states) const;
+  nn::MultiCategorical forward_one(const std::vector<double>& state) const;
+
+  int classes_per_head() const { return classes_; }
+
+ private:
+  int classes_;
+  std::unique_ptr<nn::ResidualMlp> trunk_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;
+};
+
+/// Stack a single state vector into a (1 x dim) constant tensor.
+nn::Tensor state_row(const std::vector<double>& state);
+
+}  // namespace automdt::rl

@@ -1,0 +1,205 @@
+#include "rl/ppo_agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace automdt::rl {
+
+ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row,
+                                 int max_threads) {
+  auto to_int = [](double v) { return static_cast<int>(std::lround(v)); };
+  ConcurrencyTuple t{to_int(action_row(0, 0)), to_int(action_row(0, 1)),
+                     to_int(action_row(0, 2))};
+  return t.clamped(1, max_threads);
+}
+
+PpoAgent::PpoAgent(std::size_t state_dim, int max_threads, PpoConfig config)
+    : config_(config), max_threads_(max_threads), rng_(config.seed) {
+  Rng init_rng = rng_.split();
+  policy_ = std::make_unique<PolicyNetwork>(state_dim, 3, config_, init_rng);
+  value_ = std::make_unique<ValueNetwork>(state_dim, config_, init_rng);
+  // Start exploration mid-range instead of at the clamp floor.
+  policy_->set_mean_bias((1.0 + max_threads_) / 2.0);
+
+  std::vector<nn::Parameter*> params = policy_->parameters();
+  for (nn::Parameter* p : value_->parameters()) params.push_back(p);
+  nn::AdamConfig adam;
+  adam.lr = config_.lr;
+  adam.max_grad_norm = config_.max_grad_norm;
+  optimizer_ = std::make_unique<nn::Adam>(std::move(params), adam);
+}
+
+TrainResult PpoAgent::train(Env& env, double r_max,
+                            const EpisodeCallback& on_episode) {
+  return run_training(env, r_max, config_.max_episodes,
+                      /*track_convergence=*/true, on_episode);
+}
+
+TrainResult PpoAgent::fine_tune(Env& env, double r_max, int episodes,
+                                const EpisodeCallback& on_episode) {
+  return run_training(env, r_max, episodes, /*track_convergence=*/false,
+                      on_episode);
+}
+
+TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
+                                   bool track_convergence,
+                                   const EpisodeCallback& on_episode) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainResult result;
+  result.r_max = r_max;
+  result.episode_rewards.reserve(static_cast<std::size_t>(max_episodes));
+
+  RolloutMemory memory;
+  nn::StateDict best_checkpoint;
+  double best_reward = -1e300;  // R* in Algorithm 2 (windowed; see PpoConfig)
+  int stagnant = 0;             // c in Algorithm 2
+  SlidingWindow reward_window(
+      static_cast<std::size_t>(std::max(1, config_.best_window)));
+
+  const int batch = std::max(1, config_.episodes_per_batch);
+  for (int episode = 0; episode < max_episodes; ++episode) {
+    std::vector<double> state = env.reset(rng_);
+    double reward_sum = 0.0;
+    int steps = 0;
+
+    for (int m = 0; m < config_.steps_per_episode; ++m) {
+      const nn::DiagonalGaussian dist = policy_->forward_one(state);
+      const nn::Matrix raw_action = dist.sample(rng_);          // 1 x 3
+      const double log_prob = dist.log_prob(raw_action).value()(0, 0);
+      const ConcurrencyTuple tuple = action_to_tuple(raw_action, max_threads_);
+
+      const EnvStep out = env.step(tuple);
+      const double reward = out.reward / r_max;  // normalized
+      memory.add(state,
+                 {raw_action(0, 0), raw_action(0, 1), raw_action(0, 2)},
+                 reward, log_prob);
+      reward_sum += reward;
+      ++steps;
+      state = out.observation;
+      if (out.done) break;
+    }
+    memory.end_episode();
+
+    if ((episode + 1) % batch == 0) {
+      update_networks(memory);
+      memory.clear();
+    }
+
+    const double episode_reward =
+        steps > 0 ? reward_sum / static_cast<double>(steps) : 0.0;
+    result.episode_rewards.push_back(episode_reward);
+    ++result.episodes_run;
+
+    reward_window.add(episode_reward);
+    const double smoothed = reward_window.mean();
+    if (smoothed > best_reward) {
+      best_reward = smoothed;
+      stagnant = 0;
+      best_checkpoint = state_dict();  // "Save model"
+    } else {
+      ++stagnant;
+    }
+
+    if (track_convergence && result.convergence_episode < 0 &&
+        best_reward >= config_.convergence_fraction) {
+      result.convergence_episode = episode;
+      LOG_INFO("PPO reached " << config_.convergence_fraction
+                              << " * R_max at episode " << episode);
+    }
+
+    if (track_convergence && best_reward >= config_.convergence_fraction &&
+        stagnant >= config_.stagnation_episodes) {
+      result.converged = true;
+      break;
+    }
+
+    if (on_episode && !on_episode(episode, episode_reward)) break;
+  }
+
+  result.best_reward = best_reward;
+  if (!best_checkpoint.empty()) load_state_dict(best_checkpoint);
+
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+void PpoAgent::update_networks(const RolloutMemory& memory) {
+  if (memory.empty()) return;
+
+  const nn::Tensor states = nn::Tensor::constant(memory.states_matrix());
+  const nn::Matrix actions = memory.actions_matrix();
+  const nn::Tensor old_log_probs =
+      nn::Tensor::constant(memory.log_probs_column());
+  const nn::Matrix returns = memory.discounted_returns(config_.gamma);
+  const nn::Tensor returns_t = nn::Tensor::constant(returns);
+
+  for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
+    const nn::DiagonalGaussian dist = policy_->forward(states);
+    const nn::Tensor new_log_probs = dist.log_prob(actions);  // (M x 1)
+    const nn::Tensor values = value_->forward(states);        // (M x 1)
+
+    // Advantages A_t = G_t - V(s_t); treated as constants for the actor
+    // (the critic learns through its own MSE term).
+    nn::Matrix adv = returns;
+    adv -= values.value();
+    if (config_.normalize_advantages && adv.size() > 1) {
+      const double mean = adv.mean();
+      double var = 0.0;
+      for (double v : adv.data()) var += (v - mean) * (v - mean);
+      const double std =
+          std::sqrt(var / static_cast<double>(adv.size())) + 1e-8;
+      for (double& v : adv.data()) v = (v - mean) / std;
+    }
+    const nn::Tensor adv_t = nn::Tensor::constant(adv);
+
+    // r_t = pi_theta(a|s) / pi_theta_old(a|s)
+    const nn::Tensor ratio = exp_op(sub(new_log_probs, old_log_probs));
+    const nn::Tensor surr1 = mul(ratio, adv_t);
+    const nn::Tensor surr2 =
+        mul(clamp(ratio, 1.0 - config_.clip_epsilon, 1.0 + config_.clip_epsilon),
+            adv_t);
+    const nn::Tensor actor_loss = neg(mean(min_ew(surr1, surr2)));
+
+    // L_critic = 0.5 * MSE(G_t, V(s_t))
+    const nn::Tensor critic_loss =
+        scale(mean(square(sub(returns_t, values))), 0.5);
+
+    const nn::Tensor entropy = dist.entropy();
+
+    // L = L_actor + L_critic - entropy_coef * entropy
+    const nn::Tensor loss =
+        add(actor_loss, sub(scale(critic_loss, config_.critic_coef),
+                            scale(entropy, config_.entropy_coef)));
+
+    optimizer_->zero_grad();
+    loss.backward();
+    optimizer_->step();
+  }
+}
+
+ConcurrencyTuple PpoAgent::act(const std::vector<double>& state, Rng& rng,
+                               bool deterministic) const {
+  const nn::DiagonalGaussian dist = policy_->forward_one(state);
+  const nn::Matrix action = deterministic ? dist.mode() : dist.sample(rng);
+  return action_to_tuple(action, max_threads_);
+}
+
+nn::StateDict PpoAgent::state_dict() {
+  nn::StateDict out = nn::state_dict(*policy_);
+  nn::StateDict value_state = nn::state_dict(*value_);
+  out.insert(value_state.begin(), value_state.end());
+  return out;
+}
+
+void PpoAgent::load_state_dict(const nn::StateDict& state) {
+  nn::load_state_dict(*policy_, state);
+  nn::load_state_dict(*value_, state);
+}
+
+}  // namespace automdt::rl

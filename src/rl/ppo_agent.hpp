@@ -1,0 +1,87 @@
+// The AutoMDT PPO agent: offline training (Algorithm 2) and production-phase
+// action selection (§IV-F).
+//
+// Rewards are normalized by R_max inside the trainer so the loss scale is
+// link-independent; the convergence criterion becomes "best mean-per-step
+// episode reward >= convergence_fraction (0.9)" followed by
+// stagnation_episodes with no improvement — exactly the paper's criterion in
+// normalized units.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/env.hpp"
+#include "nn/adam.hpp"
+#include "nn/serialize.hpp"
+#include "rl/networks.hpp"
+#include "rl/ppo_config.hpp"
+#include "rl/rollout.hpp"
+
+namespace automdt::rl {
+
+struct TrainResult {
+  bool converged = false;
+  int episodes_run = 0;
+  /// First episode whose best reward crossed convergence_fraction * R_max
+  /// (-1 if never crossed).
+  int convergence_episode = -1;
+  double best_reward = 0.0;  // normalized (fraction of R_max)
+  double r_max = 0.0;        // the target used for normalization
+  std::vector<double> episode_rewards;  // normalized mean-per-step rewards
+  double wall_time_s = 0.0;
+};
+
+/// Observer invoked after every episode (for live plots / bench recording).
+/// Return false to request an early stop.
+using EpisodeCallback =
+    std::function<bool(int episode, double normalized_reward)>;
+
+class PpoAgent {
+ public:
+  PpoAgent(std::size_t state_dim, int max_threads, PpoConfig config = {});
+
+  /// Offline training against `env` (Algorithm 2). `r_max` is the theoretical
+  /// maximum per-step reward from the exploration phase; rewards are divided
+  /// by it. On return the agent holds the *best* checkpoint seen (not the
+  /// final weights), matching the paper's "save the best policy".
+  TrainResult train(Env& env, double r_max,
+                    const EpisodeCallback& on_episode = nullptr);
+
+  /// Production-phase action (§IV-F): sample from the Gaussian (or take the
+  /// mean when `deterministic`), round to integers, clamp to [1, n_max].
+  ConcurrencyTuple act(const std::vector<double>& state, Rng& rng,
+                       bool deterministic = false) const;
+
+  /// Continue training online from the current weights (§V-C fine-tuning).
+  TrainResult fine_tune(Env& env, double r_max, int episodes,
+                        const EpisodeCallback& on_episode = nullptr);
+
+  nn::StateDict state_dict();
+  void load_state_dict(const nn::StateDict& state);
+
+  PolicyNetwork& policy() { return *policy_; }
+  ValueNetwork& value() { return *value_; }
+  const PpoConfig& config() const { return config_; }
+  int max_threads() const { return max_threads_; }
+
+ private:
+  TrainResult run_training(Env& env, double r_max, int max_episodes,
+                           bool track_convergence,
+                           const EpisodeCallback& on_episode);
+  void update_networks(const RolloutMemory& memory);
+
+  PpoConfig config_;
+  int max_threads_;
+  Rng rng_;
+  std::unique_ptr<PolicyNetwork> policy_;
+  std::unique_ptr<ValueNetwork> value_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+/// Round-and-clamp a raw continuous action row to a concurrency tuple.
+ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row, int max_threads);
+
+}  // namespace automdt::rl

@@ -1,0 +1,106 @@
+#include "rl/rollout.hpp"
+
+#include <cassert>
+
+namespace automdt::rl {
+
+void RolloutMemory::clear() {
+  states_.clear();
+  actions_.clear();
+  action_indices_.clear();
+  rewards_.clear();
+  log_probs_.clear();
+  boundaries_.clear();
+}
+
+void RolloutMemory::add(std::vector<double> state, std::array<double, 3> action,
+                        double reward, double log_prob) {
+  states_.push_back(std::move(state));
+  actions_.push_back(action);
+  rewards_.push_back(reward);
+  log_probs_.push_back(log_prob);
+}
+
+void RolloutMemory::add_discrete(std::vector<double> state,
+                                 std::array<int, 3> indices, double reward,
+                                 double log_prob) {
+  states_.push_back(std::move(state));
+  action_indices_.push_back(indices);
+  rewards_.push_back(reward);
+  log_probs_.push_back(log_prob);
+}
+
+nn::Matrix RolloutMemory::states_matrix() const {
+  assert(!states_.empty());
+  const std::size_t dim = states_.front().size();
+  nn::Matrix m(states_.size(), dim);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    assert(states_[i].size() == dim);
+    for (std::size_t j = 0; j < dim; ++j) m(i, j) = states_[i][j];
+  }
+  return m;
+}
+
+nn::Matrix RolloutMemory::actions_matrix() const {
+  nn::Matrix m(actions_.size(), 3);
+  for (std::size_t i = 0; i < actions_.size(); ++i)
+    for (std::size_t j = 0; j < 3; ++j) m(i, j) = actions_[i][j];
+  return m;
+}
+
+nn::Matrix RolloutMemory::actions_matrix_1d() const {
+  nn::Matrix m(actions_.size(), 1);
+  for (std::size_t i = 0; i < actions_.size(); ++i) m(i, 0) = actions_[i][0];
+  return m;
+}
+
+std::vector<std::vector<int>> RolloutMemory::action_indices_per_head() const {
+  std::vector<std::vector<int>> heads(3);
+  for (auto& h : heads) h.reserve(action_indices_.size());
+  for (const auto& idx : action_indices_)
+    for (std::size_t h = 0; h < 3; ++h) heads[h].push_back(idx[h]);
+  return heads;
+}
+
+nn::Matrix RolloutMemory::log_probs_column() const {
+  nn::Matrix m(log_probs_.size(), 1);
+  for (std::size_t i = 0; i < log_probs_.size(); ++i) m(i, 0) = log_probs_[i];
+  return m;
+}
+
+nn::Matrix RolloutMemory::discounted_returns(double gamma) const {
+  nn::Matrix g(rewards_.size(), 1);
+  double acc = 0.0;
+  std::size_t boundary_idx = boundaries_.size();
+  for (std::size_t i = rewards_.size(); i-- > 0;) {
+    // Restart accumulation when crossing into an earlier episode.
+    while (boundary_idx > 0 && boundaries_[boundary_idx - 1] == i + 1) {
+      acc = 0.0;
+      --boundary_idx;
+    }
+    acc = rewards_[i] + gamma * acc;
+    g(i, 0) = acc;
+  }
+  return g;
+}
+
+double RolloutMemory::mean_reward() const {
+  if (rewards_.empty()) return 0.0;
+  double s = 0.0;
+  for (double r : rewards_) s += r;
+  return s / static_cast<double>(rewards_.size());
+}
+
+double RolloutMemory::last_episode_mean_reward() const {
+  if (rewards_.empty()) return 0.0;
+  // Start of the most recent episode: the last boundary at or before the end.
+  std::size_t start = 0;
+  for (std::size_t b : boundaries_) {
+    if (b < rewards_.size()) start = b;
+  }
+  double s = 0.0;
+  for (std::size_t i = start; i < rewards_.size(); ++i) s += rewards_[i];
+  return s / static_cast<double>(rewards_.size() - start);
+}
+
+}  // namespace automdt::rl

@@ -1,0 +1,69 @@
+// Episode memory M (Algorithm 2): stores (s, a, r, log pi_old(a|s)) tuples
+// collected during one episode and computes the discounted returns
+// G_t = r_t + gamma * G_{t+1}.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace automdt::rl {
+
+class RolloutMemory {
+ public:
+  void clear();
+  std::size_t size() const { return rewards_.size(); }
+  bool empty() const { return rewards_.empty(); }
+
+  /// Continuous variant: `action` is the raw (pre-rounding) Gaussian sample.
+  void add(std::vector<double> state, std::array<double, 3> action,
+           double reward, double log_prob);
+
+  /// Discrete variant: per-head category indices.
+  void add_discrete(std::vector<double> state, std::array<int, 3> indices,
+                    double reward, double log_prob);
+
+  /// Mark the end of an episode. Discounted returns restart at boundaries,
+  /// so several episodes can be batched into one PPO update.
+  void end_episode() { boundaries_.push_back(rewards_.size()); }
+
+  /// States stacked as an (M x state_dim) matrix.
+  nn::Matrix states_matrix() const;
+
+  /// Continuous actions stacked as (M x 3).
+  nn::Matrix actions_matrix() const;
+
+  /// First action component only, stacked as (M x 1) — for single-knob
+  /// (monolithic) agents that store their scalar action in slot 0.
+  nn::Matrix actions_matrix_1d() const;
+
+  /// Discrete action indices, one vector per head (for MultiCategorical).
+  std::vector<std::vector<int>> action_indices_per_head() const;
+
+  /// Collection-time log-probabilities as an (M x 1) matrix.
+  nn::Matrix log_probs_column() const;
+
+  /// G_t = r_t + gamma * G_{t+1}, restarting at episode boundaries,
+  /// as an (M x 1) matrix.
+  nn::Matrix discounted_returns(double gamma) const;
+
+  const std::vector<double>& rewards() const { return rewards_; }
+
+  /// Mean per-step reward over everything stored.
+  double mean_reward() const;
+
+  /// Mean per-step reward of the most recent (possibly unterminated) episode.
+  double last_episode_mean_reward() const;
+
+ private:
+  std::vector<std::vector<double>> states_;
+  std::vector<std::array<double, 3>> actions_;
+  std::vector<std::array<int, 3>> action_indices_;
+  std::vector<double> rewards_;
+  std::vector<double> log_probs_;
+  std::vector<std::size_t> boundaries_;  // indices one past each episode end
+};
+
+}  // namespace automdt::rl

@@ -1,0 +1,52 @@
+// Monolithic single-knob DRL baseline (Hasibul et al. [17], the online-DRL
+// predecessor the paper's §IV explicitly improves upon: "previous work ...
+// applied an online training approach to estimate a single concurrency value
+// without separating network and I/O tasks").
+//
+// Same PPO machinery as the AutoMDT agent, but the policy emits ONE
+// concurrency value applied to all three stages: n_r = n_n = n_w = n. The
+// modular-vs-monolithic bench measures what the coupling costs — the
+// monolithic optimum must cover the most demanding stage, over-subscribing
+// the other two.
+#pragma once
+
+#include <memory>
+
+#include "common/env.hpp"
+#include "nn/adam.hpp"
+#include "rl/networks.hpp"
+#include "rl/ppo_agent.hpp"  // TrainResult, EpisodeCallback
+#include "rl/ppo_config.hpp"
+#include "rl/rollout.hpp"
+
+namespace automdt::rl {
+
+class SingleKnobPpoAgent {
+ public:
+  SingleKnobPpoAgent(std::size_t state_dim, int max_threads,
+                     PpoConfig config = {});
+
+  TrainResult train(Env& env, double r_max,
+                    const EpisodeCallback& on_episode = nullptr);
+
+  /// Sample (or take the mean of) the scalar action, round, clamp, and
+  /// apply it to every stage.
+  ConcurrencyTuple act(const std::vector<double>& state, Rng& rng,
+                       bool deterministic = false) const;
+
+  PolicyNetwork& policy() { return *policy_; }
+  int max_threads() const { return max_threads_; }
+
+ private:
+  void update_networks(const RolloutMemory& memory);
+  static ConcurrencyTuple coupled(double raw, int max_threads);
+
+  PpoConfig config_;
+  int max_threads_;
+  Rng rng_;
+  std::unique_ptr<PolicyNetwork> policy_;  // action_dim = 1
+  std::unique_ptr<ValueNetwork> value_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace automdt::rl

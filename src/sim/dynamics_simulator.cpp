@@ -1,0 +1,115 @@
+#include "sim/dynamics_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/units.hpp"
+#include "common/utility.hpp"
+
+namespace automdt::sim {
+
+DynamicsSimulator::DynamicsSimulator(SimScenario scenario)
+    : scenario_(scenario) {
+  assert(scenario_.effective_chunk_bytes() > 0.0);
+  assert(scenario_.step_duration_s > 0.0);
+  assert(scenario_.retry_epsilon_s > 0.0);
+}
+
+void DynamicsSimulator::reset_buffers(double sender_used_bytes,
+                                      double receiver_used_bytes) {
+  sender_used_ = std::clamp(sender_used_bytes, 0.0, scenario_.sender_capacity);
+  receiver_used_ =
+      std::clamp(receiver_used_bytes, 0.0, scenario_.receiver_capacity);
+}
+
+void DynamicsSimulator::set_scenario(const SimScenario& scenario) {
+  scenario_ = scenario;
+  reset_buffers(sender_used_, receiver_used_);
+}
+
+SimStepResult DynamicsSimulator::step(const ConcurrencyTuple& threads_in) {
+  const ConcurrencyTuple n = threads_in.clamped(1, scenario_.max_threads);
+  const double t_end = scenario_.step_duration_s;
+  const double chunk = scenario_.effective_chunk_bytes();
+
+  // Effective per-thread rate in bytes/s: TPT_i capped by the thread's fair
+  // share of the aggregate stage bandwidth.
+  StageTriple eff_rate;  // bytes/s per thread
+  for (Stage s : kAllStages) {
+    const double tpt = mbps(scenario_.tpt_mbps[s]);
+    const double share = mbps(scenario_.bandwidth_mbps[s]) / n[s];
+    eff_rate[s] = std::min(tpt, share);
+  }
+
+  // Reset throughput counters; schedule each thread's first task at t = 0.
+  StageTriple bytes_moved{0.0, 0.0, 0.0};
+  StageTriple finish_time{0.0, 0.0, 0.0};
+  queue_.clear();
+  queue_.reserve(static_cast<std::size_t>(n.total()));
+  for (Stage s : kAllStages)
+    for (int i = 0; i < n[s]; ++i) queue_.push({0.0, s});
+
+  long long events = 0;
+  while (!queue_.empty()) {
+    const Event ev = queue_.pop();
+    ++events;
+
+    double moved = 0.0;
+    switch (ev.stage) {
+      case Stage::kRead: {
+        const double space = scenario_.sender_capacity - sender_used_;
+        if (space > 0.0) {
+          moved = std::min(chunk, space);
+          sender_used_ += moved;
+        }
+        break;
+      }
+      case Stage::kNetwork: {
+        const double space = scenario_.receiver_capacity - receiver_used_;
+        if (sender_used_ > 0.0 && space > 0.0) {
+          moved = std::min({chunk, sender_used_, space});
+          sender_used_ -= moved;
+          receiver_used_ += moved;
+        }
+        break;
+      }
+      case Stage::kWrite: {
+        if (receiver_used_ > 0.0) {
+          moved = std::min(chunk, receiver_used_);
+          receiver_used_ -= moved;
+        }
+        break;
+      }
+    }
+
+    double t_next;
+    if (moved > 0.0) {
+      const double d_task = moved / eff_rate[ev.stage];
+      bytes_moved[ev.stage] += moved;
+      finish_time[ev.stage] = std::max(finish_time[ev.stage], ev.time + d_task);
+      t_next = ev.time + d_task + scenario_.post_task_epsilon_s;
+    } else {
+      // Blocked (no data / buffer full): retry after a short delay.
+      t_next = ev.time + scenario_.retry_epsilon_s;
+    }
+    if (t_next < t_end) queue_.push({t_next, ev.stage});
+  }
+
+  // "Normalize throughputs by their finish times": a task popped near t_end
+  // finishes past it, so the denominator is the later of t_end and the
+  // stage's last completion.
+  SimStepResult out;
+  for (Stage s : kAllStages) {
+    const double denom = std::max(t_end, finish_time[s]);
+    out.throughput_mbps[s] = to_mbps(bytes_moved[s] / denom);
+  }
+  out.sender_used_bytes = sender_used_;
+  out.receiver_used_bytes = receiver_used_;
+  out.sender_free_bytes = scenario_.sender_capacity - sender_used_;
+  out.receiver_free_bytes = scenario_.receiver_capacity - receiver_used_;
+  out.reward = total_utility(out.throughput_mbps, n, scenario_.utility);
+  out.events_processed = events;
+  return out;
+}
+
+}  // namespace automdt::sim

@@ -1,0 +1,64 @@
+// I/O–network dynamics simulator (paper §IV-C, Algorithm 1).
+//
+// Emulates one probe interval (1 virtual second) of the three-stage transfer
+// pipeline with a discrete-event loop:
+//
+//   read tasks    : source FS  -> sender staging buffer   (blocked if full)
+//   network tasks : sender buf -> receiver staging buffer (blocked if either
+//                                                          end disallows)
+//   write tasks   : receiver buf -> destination FS        (blocked if empty)
+//
+// Each task moves one chunk, taking chunk / TPT_i seconds (TPT capped by the
+// stage's fair share of the aggregate bandwidth B_i / n_i). Blocked tasks are
+// re-queued after a small ε. Buffer occupancy persists across steps — that
+// persistence is precisely the "memory buffer dynamics" the PPO agent must
+// learn (a state-action pair yields different rewards at different buffer
+// fills, §IV-D.1).
+//
+// An infinite supply of files is assumed (paper: "an infinite number of files
+// are available to be chunked as needed").
+#pragma once
+
+#include "common/concurrency_tuple.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scenario.hpp"
+
+namespace automdt::sim {
+
+struct SimStepResult {
+  StageThroughputs throughput_mbps;  // normalized by per-stage finish times
+  double sender_used_bytes = 0.0;    // occupancy after the step
+  double receiver_used_bytes = 0.0;
+  double sender_free_bytes = 0.0;
+  double receiver_free_bytes = 0.0;
+  double reward = 0.0;               // U(n, t) with the scenario's k
+  long long events_processed = 0;    // diagnostics / bench counter
+};
+
+class DynamicsSimulator {
+ public:
+  explicit DynamicsSimulator(SimScenario scenario);
+
+  /// get_utility(new_threads): simulate one step_duration_s with the given
+  /// concurrency tuple and return throughputs + reward (Algorithm 1 l.27-41).
+  SimStepResult step(const ConcurrencyTuple& threads);
+
+  /// Reset buffers to given occupancies (episode boundaries).
+  void reset_buffers(double sender_used_bytes, double receiver_used_bytes);
+
+  const SimScenario& scenario() const { return scenario_; }
+  double sender_used() const { return sender_used_; }
+  double receiver_used() const { return receiver_used_; }
+
+  /// Replace the scenario (e.g. domain-randomized per episode). Buffer
+  /// occupancies are clamped to the new capacities.
+  void set_scenario(const SimScenario& scenario);
+
+ private:
+  SimScenario scenario_;
+  double sender_used_ = 0.0;
+  double receiver_used_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace automdt::sim

@@ -1,0 +1,80 @@
+// Time-ordered event queue for the dynamics simulator (Algorithm 1: "we use
+// a priority queue instead of threads; the queue is sorted by time").
+//
+// A purpose-built binary min-heap over flat storage: events are 16-byte PODs,
+// pushes/pops are branch-light sift operations, and there is no per-event
+// allocation (Per.14/Per.19) — this queue is the simulator's hot path and is
+// covered by bench_micro.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt::sim {
+
+/// One scheduled unit of thread work: at `time`, a thread of `stage` runs.
+struct Event {
+  double time = 0.0;
+  Stage stage = Stage::kRead;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+  void push(Event e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+  }
+
+  const Event& top() const {
+    assert(!heap_.empty());
+    return heap_.front();
+  }
+
+  Event pop() {
+    assert(!heap_.empty());
+    Event out = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].time <= heap_[i].time) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < n && heap_[l].time < heap_[smallest].time) smallest = l;
+      if (r < n && heap_[r].time < heap_[smallest].time) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace automdt::sim

@@ -1,0 +1,72 @@
+// Simulator scenario: the handful of measured quantities the paper's
+// exploration phase (§IV-A) feeds into the offline trainer — per-thread
+// throughputs, aggregate stage bandwidths, and staging-buffer capacities.
+#pragma once
+
+#include <algorithm>
+
+#include "common/concurrency_tuple.hpp"
+#include "common/units.hpp"
+#include "common/utility.hpp"
+
+namespace automdt::sim {
+
+struct SimScenario {
+  /// Staging ("tmpfs") buffer capacities at sender and receiver DTNs, bytes.
+  double sender_capacity = 8.0 * kGiB;
+  double receiver_capacity = 8.0 * kGiB;
+
+  /// Per-thread throughput for each stage (TPT_i), Mbps.
+  StageTriple tpt_mbps{100.0, 100.0, 100.0};
+
+  /// Aggregate per-stage bandwidth caps (B_i), Mbps. A stage with n threads
+  /// achieves min(n * TPT_i, B_i).
+  StageTriple bandwidth_mbps{1000.0, 1000.0, 1000.0};
+
+  /// Work quantum: bytes one task (one thread wake-up) moves. 0 (default)
+  /// auto-scales so the fastest stage completes ~200 tasks per simulated
+  /// second — fine enough that throughput is not quantized by task
+  /// granularity, coarse enough that a step costs only a few hundred events.
+  double chunk_bytes = 0.0;
+
+  /// Resolved work quantum (explicit value, or the auto-scaled one).
+  double effective_chunk_bytes() const {
+    if (chunk_bytes > 0.0) return chunk_bytes;
+    const double fastest = std::max(
+        {bandwidth_mbps.read, bandwidth_mbps.network, bandwidth_mbps.write});
+    return std::max(64.0 * kKiB, mbps(fastest) * step_duration_s / 200.0);
+  }
+
+  /// Retry delay when a task finds its buffer full/empty (the ε a blocked
+  /// task waits before being re-queued).
+  double retry_epsilon_s = 0.01;
+
+  /// Small ε added after a completed task (Algorithm 1 line 24).
+  double post_task_epsilon_s = 1e-4;
+
+  /// Simulated wall time per step (T_end); the paper probes every second.
+  double step_duration_s = 1.0;
+
+  /// Upper clamp for per-stage thread counts (n_max).
+  int max_threads = 30;
+
+  UtilityParams utility{};
+
+  /// Ideal per-stage thread counts assuming near-linear scaling (§IV-A):
+  /// n_i* = b / TPT_i with b = min_i B_i.
+  StageTriple ideal_threads() const {
+    const double b = bandwidth_mbps.min_component();
+    return {b / tpt_mbps.read, b / tpt_mbps.network, b / tpt_mbps.write};
+  }
+
+  /// End-to-end bottleneck b = min(B_r, B_n, B_w), Mbps.
+  double bottleneck_mbps() const { return bandwidth_mbps.min_component(); }
+
+  /// R_max = b(k^-nr* + k^-nn* + k^-nw*) — the PPO convergence target.
+  double theoretical_max_reward() const {
+    return ::automdt::theoretical_max_reward(bottleneck_mbps(), ideal_threads(),
+                                             utility);
+  }
+};
+
+}  // namespace automdt::sim

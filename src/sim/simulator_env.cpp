@@ -1,0 +1,63 @@
+#include "sim/simulator_env.hpp"
+
+#include <algorithm>
+
+namespace automdt::sim {
+
+SimulatorEnv::SimulatorEnv(SimScenario scenario, SimulatorEnvOptions options)
+    : base_scenario_(scenario), options_(options), sim_(scenario) {
+  scale_.max_threads = scenario.max_threads;
+  // Scale throughput features by the largest stage bandwidth so features stay
+  // in [0, ~1] regardless of link speed.
+  scale_.rate_scale_mbps =
+      std::max({scenario.bandwidth_mbps.read, scenario.bandwidth_mbps.network,
+                scenario.bandwidth_mbps.write, 1.0});
+  scale_.sender_capacity = scenario.sender_capacity;
+  scale_.receiver_capacity = scenario.receiver_capacity;
+}
+
+std::vector<double> SimulatorEnv::reset(Rng& rng) {
+  SimScenario s = base_scenario_;
+  if (options_.tpt_jitter > 0.0) {
+    for (Stage st : kAllStages) {
+      const double f =
+          rng.uniform(1.0 - options_.tpt_jitter, 1.0 + options_.tpt_jitter);
+      s.tpt_mbps[st] *= f;
+    }
+  }
+  sim_.set_scenario(s);
+  sim_.reset_buffers(
+      rng.uniform(0.0, options_.initial_buffer_max_fill) * s.sender_capacity,
+      rng.uniform(0.0, options_.initial_buffer_max_fill) * s.receiver_capacity);
+
+  last_action_ = ConcurrencyTuple{rng.uniform_int(1, s.max_threads),
+                                  rng.uniform_int(1, s.max_threads),
+                                  rng.uniform_int(1, s.max_threads)};
+  const SimStepResult r = sim_.step(last_action_);
+  return observe(r, last_action_);
+}
+
+EnvStep SimulatorEnv::step(const ConcurrencyTuple& action) {
+  last_action_ = action.clamped(1, base_scenario_.max_threads);
+  const SimStepResult r = sim_.step(last_action_);
+  EnvStep out;
+  out.observation = observe(r, last_action_);
+  out.throughputs_mbps = r.throughput_mbps;
+  out.reward = r.reward;
+  out.done = false;  // infinite-files training environment never terminates
+  return out;
+}
+
+std::vector<double> SimulatorEnv::observe(const SimStepResult& r,
+                                          const ConcurrencyTuple& n) const {
+  std::vector<double> obs = build_observation(
+      scale_, n, r.throughput_mbps, r.sender_free_bytes,
+      r.receiver_free_bytes);
+  if (options_.mask_buffer_features) {
+    obs[6] = 0.0;
+    obs[7] = 0.0;
+  }
+  return obs;
+}
+
+}  // namespace automdt::sim

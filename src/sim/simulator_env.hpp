@@ -1,0 +1,62 @@
+// Env adapter over the dynamics simulator — the environment the PPO agent is
+// trained in offline.
+//
+// reset() follows Algorithm 2 ("the optimization environment is reset to test
+// the networks with a new state consisting of a new set of randomly
+// initialized threads"): it draws random thread counts and random staging
+// buffer occupancies, runs one probe step with them, and returns the
+// resulting observation. Optional domain randomization jitters the measured
+// per-thread throughputs per episode so the learned policy generalizes to
+// estimate noise.
+#pragma once
+
+#include "common/env.hpp"
+#include "common/observation.hpp"
+#include "sim/dynamics_simulator.hpp"
+
+namespace automdt::sim {
+
+struct SimulatorEnvOptions {
+  /// Randomize initial buffer occupancy at reset (fraction of capacity drawn
+  /// uniformly from [0, initial_buffer_max_fill]).
+  double initial_buffer_max_fill = 0.5;
+
+  /// Multiplicative jitter applied to TPT_i per episode: each stage's TPT is
+  /// scaled by U(1-j, 1+j). 0 disables (paper trains on point estimates).
+  double tpt_jitter = 0.0;
+
+  /// Ablation switch (paper §IV-D.1): zero out the two buffer-occupancy
+  /// features so the agent only sees thread counts and throughputs — "the
+  /// agent may get confused because the same state can yield different
+  /// rewards due to the dynamic nature of the memory buffer".
+  bool mask_buffer_features = false;
+};
+
+class SimulatorEnv final : public Env {
+ public:
+  SimulatorEnv(SimScenario scenario, SimulatorEnvOptions options = {});
+
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const ConcurrencyTuple& action) override;
+  int max_threads() const override { return base_scenario_.max_threads; }
+
+  const SimScenario& scenario() const { return sim_.scenario(); }
+  const ObservationScale& observation_scale() const { return scale_; }
+
+  /// R_max for the configured (non-jittered) scenario.
+  double theoretical_max_reward() const {
+    return base_scenario_.theoretical_max_reward();
+  }
+
+ private:
+  std::vector<double> observe(const SimStepResult& r,
+                              const ConcurrencyTuple& n) const;
+
+  SimScenario base_scenario_;
+  SimulatorEnvOptions options_;
+  DynamicsSimulator sim_;
+  ObservationScale scale_;
+  ConcurrencyTuple last_action_{1, 1, 1};
+};
+
+}  // namespace automdt::sim

@@ -1,0 +1,62 @@
+#include "testbed/dataset.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace automdt::testbed {
+
+Dataset Dataset::uniform(std::size_t count, double file_bytes,
+                         std::string name) {
+  Dataset d;
+  d.name_ = std::move(name);
+  d.files_.assign(count, file_bytes);
+  d.total_bytes_ = file_bytes * static_cast<double>(count);
+  return d;
+}
+
+Dataset Dataset::from_files(std::string name, std::vector<double> file_bytes) {
+  Dataset d;
+  d.name_ = std::move(name);
+  d.files_ = std::move(file_bytes);
+  for (double s : d.files_) d.total_bytes_ += s;
+  return d;
+}
+
+Dataset Dataset::paper_large() {
+  return uniform(1000, 1.0 * kGB, "A (Large: 1000 x 1GB)");
+}
+
+Dataset Dataset::paper_fig3() {
+  return uniform(100, 1.0 * kGB, "Fig3 (100 x 1GB)");
+}
+
+Dataset Dataset::mixed(Rng& rng, double total_bytes, double min_bytes,
+                       double max_bytes) {
+  Dataset d;
+  d.name_ = "B (Mixed: 100KB-2GB)";
+  const double log_lo = std::log(min_bytes);
+  const double log_hi = std::log(max_bytes);
+  double acc = 0.0;
+  while (acc < total_bytes) {
+    const double size = std::exp(rng.uniform(log_lo, log_hi));
+    d.files_.push_back(size);
+    acc += size;
+  }
+  d.total_bytes_ = acc;
+  return d;
+}
+
+Dataset Dataset::infinite() {
+  Dataset d;
+  d.name_ = "infinite";
+  d.infinite_ = true;
+  d.total_bytes_ = std::numeric_limits<double>::infinity();
+  return d;
+}
+
+double Dataset::mean_file_bytes() const {
+  if (infinite_ || files_.empty()) return 1.0 * kGB;
+  return total_bytes_ / static_cast<double>(files_.size());
+}
+
+}  // namespace automdt::testbed

@@ -1,0 +1,61 @@
+// Transfer workloads (paper §V): Dataset A — 1000 x 1 GB "large" files;
+// Dataset B — 1 TB of mixed files between 100 KB and 2 GB; plus the smaller
+// 100 x 1 GB set used for the Fig. 3 convergence experiment and an infinite
+// dataset for probe/training runs.
+//
+// The fluid emulator needs only the total byte count and the mean file size
+// (which sets the per-file overhead penalty), but we generate and keep the
+// full file-size list so the threaded engine and tests can use real file
+// inventories.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace automdt::testbed {
+
+class Dataset {
+ public:
+  /// `count` files of identical `file_bytes` size.
+  static Dataset uniform(std::size_t count, double file_bytes,
+                         std::string name = "uniform");
+
+  /// Explicit file-size list (workload catalogs, trace-derived inventories).
+  static Dataset from_files(std::string name, std::vector<double> file_bytes);
+
+  /// Paper Dataset A: 1000 x 1 GB.
+  static Dataset paper_large();
+
+  /// Paper Fig. 3 workload: 100 x 1 GB.
+  static Dataset paper_fig3();
+
+  /// Paper Dataset B: ~total_bytes of files log-uniform in
+  /// [min_bytes, max_bytes] (default 100 KB .. 2 GB, 1 TB total).
+  static Dataset mixed(Rng& rng, double total_bytes = 1.0 * kTB,
+                       double min_bytes = 100.0 * kKB,
+                       double max_bytes = 2.0 * kGB);
+
+  /// Unbounded supply (exploration / training): total_bytes() reports +inf.
+  static Dataset infinite();
+
+  const std::string& name() const { return name_; }
+  double total_bytes() const { return total_bytes_; }
+  std::size_t file_count() const { return files_.size(); }
+  const std::vector<double>& files() const { return files_; }
+  bool is_infinite() const { return infinite_; }
+
+  /// Mean file size; for the infinite dataset this is a nominal 1 GB.
+  double mean_file_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<double> files_;
+  double total_bytes_ = 0.0;
+  bool infinite_ = false;
+};
+
+}  // namespace automdt::testbed

@@ -1,0 +1,133 @@
+#include "testbed/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace automdt::testbed {
+
+EmulatedEnvironment::EmulatedEnvironment(TestbedConfig config, Dataset dataset)
+    : config_(config),
+      dataset_(std::move(dataset)),
+      source_(config.source_storage),
+      dest_(config.dest_storage),
+      link_(config.link),
+      sender_buffer_(config.sender_buffer_bytes),
+      receiver_buffer_(config.receiver_buffer_bytes),
+      rng_(0xC0FFEE) {
+  scale_.max_threads = config_.max_threads;
+  scale_.rate_scale_mbps = std::max(
+      {config_.source_storage.aggregate_mbps, config_.link.aggregate_mbps,
+       config_.dest_storage.aggregate_mbps, 1.0});
+  scale_.sender_capacity = config_.sender_buffer_bytes;
+  scale_.receiver_capacity = config_.receiver_buffer_bytes;
+}
+
+void EmulatedEnvironment::set_dataset(Dataset dataset) {
+  dataset_ = std::move(dataset);
+  time_s_ = 0.0;
+  bytes_read_ = bytes_sent_ = bytes_written_ = 0.0;
+  sender_buffer_.reset();
+  receiver_buffer_.reset();
+  link_.reset();
+  last_throughputs_ = {};
+}
+
+void EmulatedEnvironment::set_per_thread_rates(const StageTriple& rates) {
+  source_.set_per_thread_mbps(rates.read);
+  link_.set_per_stream_mbps(rates.network);
+  dest_.set_per_thread_mbps(rates.write);
+}
+
+std::vector<double> EmulatedEnvironment::reset(Rng& rng) {
+  rng_ = rng.split();
+  time_s_ = 0.0;
+  bytes_read_ = bytes_sent_ = bytes_written_ = 0.0;
+  sender_buffer_.reset();
+  receiver_buffer_.reset();
+  link_.reset();
+  last_throughputs_ = {};
+  last_action_ = ConcurrencyTuple{1, 1, 1};
+  return build_observation(scale_, last_action_, last_throughputs_,
+                           sender_buffer_.free_space(),
+                           receiver_buffer_.free_space());
+}
+
+bool EmulatedEnvironment::finished() const {
+  // The fluid integration accumulates doubles; allow a byte of slack so the
+  // final drop of a transfer cannot leave the run asymptotically unfinished.
+  return !dataset_.is_infinite() &&
+         bytes_written_ >= dataset_.total_bytes() - 1.0;
+}
+
+double EmulatedEnvironment::average_throughput_mbps() const {
+  if (time_s_ <= 0.0) return 0.0;
+  return to_mbps(bytes_written_ / time_s_);
+}
+
+double EmulatedEnvironment::jittered(double rate_mbps) {
+  if (config_.storage_jitter <= 0.0) return rate_mbps;
+  return rate_mbps * std::max(0.0, 1.0 + config_.storage_jitter * rng_.normal());
+}
+
+EnvStep EmulatedEnvironment::step(const ConcurrencyTuple& action) {
+  last_action_ = action.clamped(1, config_.max_threads);
+  const double mean_file = dataset_.mean_file_bytes();
+
+  double read_acc = 0.0, sent_acc = 0.0, written_acc = 0.0;
+  const int subticks = std::max(
+      1, static_cast<int>(std::round(config_.probe_interval_s /
+                                     config_.subtick_s)));
+  const double dt = config_.probe_interval_s / subticks;
+
+  for (int i = 0; i < subticks; ++i) {
+    // Read: source FS -> sender buffer, bounded by unread bytes and space.
+    const double unread =
+        dataset_.is_infinite()
+            ? std::numeric_limits<double>::infinity()
+            : std::max(0.0, dataset_.total_bytes() - bytes_read_);
+    const double read_rate =
+        mbps(jittered(source_.rate_mbps(last_action_.read, mean_file)));
+    double want_read = std::min(read_rate * dt, unread);
+    const double got_read = sender_buffer_.fill(want_read);
+    bytes_read_ += got_read;
+    read_acc += got_read;
+
+    // Network: sender buffer -> receiver buffer, bounded by staged bytes and
+    // receiver space. The link model advances its stream-ramp state.
+    const double net_rate =
+        mbps(link_.rate_mbps(last_action_.network, dt, mean_file, rng_));
+    double want_send = std::min(net_rate * dt, sender_buffer_.used());
+    want_send = std::min(want_send, receiver_buffer_.free_space());
+    sender_buffer_.drain(want_send);
+    receiver_buffer_.fill(want_send);
+    bytes_sent_ += want_send;
+    sent_acc += want_send;
+
+    // Write: receiver buffer -> destination FS.
+    const double write_rate =
+        mbps(jittered(dest_.rate_mbps(last_action_.write, mean_file)));
+    const double got_write =
+        receiver_buffer_.drain(write_rate * dt);
+    bytes_written_ += got_write;
+    written_acc += got_write;
+
+    time_s_ += dt;
+    if (finished()) break;
+  }
+
+  const double interval = config_.probe_interval_s;
+  last_throughputs_ = StageThroughputs{to_mbps(read_acc / interval),
+                                       to_mbps(sent_acc / interval),
+                                       to_mbps(written_acc / interval)};
+
+  EnvStep out;
+  out.observation = build_observation(scale_, last_action_, last_throughputs_,
+                                      sender_buffer_.free_space(),
+                                      receiver_buffer_.free_space());
+  out.throughputs_mbps = last_throughputs_;
+  out.reward = total_utility(last_throughputs_, last_action_, config_.utility);
+  out.done = finished();
+  return out;
+}
+
+}  // namespace automdt::testbed

@@ -1,0 +1,101 @@
+// EmulatedEnvironment: the virtual-time stand-in for a production transfer
+// between two DTNs (DESIGN.md §2 hardware substitution).
+//
+// Data flows source storage -> sender staging buffer -> WAN link -> receiver
+// staging buffer -> destination storage, integrated as a fluid model in small
+// sub-ticks inside each 1-second probe interval. Controllers (AutoMDT, Marlin,
+// joint GD, Globus-static, monolithic) interact with it only through the Env
+// interface — thread counts in, per-second throughputs + buffer occupancy
+// out — exactly the probe surface a real transfer tool exposes.
+//
+// Unlike the training simulator (sim::DynamicsSimulator), this environment
+// tracks a concrete dataset (finite bytes; done when fully written), models
+// TCP stream ramp-up, contention over-subscription penalties, per-file
+// overheads, and stochastic jitter. The gap between the two is deliberate:
+// it is the sim-to-real gap the offline-trained agent must bridge.
+#pragma once
+
+#include <optional>
+
+#include "common/env.hpp"
+#include "common/utility.hpp"
+#include "testbed/dataset.hpp"
+#include "testbed/models.hpp"
+
+namespace automdt::testbed {
+
+struct TestbedConfig {
+  StorageConfig source_storage{};
+  StorageConfig dest_storage{};
+  LinkConfig link{};
+  double sender_buffer_bytes = 16.0 * kGiB;
+  double receiver_buffer_bytes = 16.0 * kGiB;
+  int max_threads = 30;
+  double probe_interval_s = 1.0;  // one Env::step == one probe interval
+  double subtick_s = 0.1;         // fluid integration step
+  double storage_jitter = 0.0;    // multiplicative noise on storage rates
+  UtilityParams utility{};
+};
+
+class EmulatedEnvironment final : public Env {
+ public:
+  EmulatedEnvironment(TestbedConfig config, Dataset dataset);
+
+  // ---- Env interface ----
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const ConcurrencyTuple& action) override;
+  int max_threads() const override { return config_.max_threads; }
+
+  // ---- transfer progress ----
+  double virtual_time_s() const { return time_s_; }
+  double bytes_written() const { return bytes_written_; }
+  double total_bytes() const { return dataset_.total_bytes(); }
+  bool finished() const;
+
+  /// Mean end-to-end rate so far: bytes written / elapsed time (Mbps).
+  double average_throughput_mbps() const;
+
+  const TestbedConfig& config() const { return config_; }
+  const Dataset& dataset() const { return dataset_; }
+  const ObservationScale& observation_scale() const { return scale_; }
+
+  /// Override observation normalization (production must reuse the scale the
+  /// agent was *trained* with; see simulator_env.hpp).
+  void set_observation_scale(const ObservationScale& scale) { scale_ = scale; }
+
+  /// Swap the dataset (resets progress).
+  void set_dataset(Dataset dataset);
+
+  /// Retune the three per-thread/per-stream throttles mid-transfer without
+  /// resetting pipeline state — the "changing system and network conditions"
+  /// the paper's abstract says AutoMDT adapts to quickly.
+  void set_per_thread_rates(const StageTriple& mbps);
+
+  // Introspection used by tests.
+  double sender_buffer_used() const { return sender_buffer_.used(); }
+  double receiver_buffer_used() const { return receiver_buffer_.used(); }
+  double bytes_read() const { return bytes_read_; }
+  double bytes_sent() const { return bytes_sent_; }
+
+ private:
+  double jittered(double rate_mbps);
+
+  TestbedConfig config_;
+  Dataset dataset_;
+  StorageModel source_;
+  StorageModel dest_;
+  LinkModel link_;
+  StagingBuffer sender_buffer_;
+  StagingBuffer receiver_buffer_;
+  ObservationScale scale_;
+  Rng rng_;  // jitter stream; reseeded from reset()'s rng
+
+  double time_s_ = 0.0;
+  double bytes_read_ = 0.0;
+  double bytes_sent_ = 0.0;
+  double bytes_written_ = 0.0;
+  StageThroughputs last_throughputs_{};
+  ConcurrencyTuple last_action_{1, 1, 1};
+};
+
+}  // namespace automdt::testbed

@@ -1,0 +1,151 @@
+#include "testbed/models.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+/// Efficiency multiplier: 1 up to the knee, then 1/(1 + f*(n-knee)).
+double contention_efficiency(int n, int knee, double factor) {
+  if (n <= knee) return 1.0;
+  return 1.0 / (1.0 + factor * static_cast<double>(n - knee));
+}
+
+}  // namespace
+
+double StorageModel::rate_mbps(int threads, double mean_file_bytes) const {
+  if (threads <= 0) return 0.0;
+  // Per-file overhead shaves the per-thread rate: a thread spends
+  // S / r seconds streaming plus `o` seconds of bookkeeping per file, so its
+  // effective rate is S / (S/r + o).
+  double per_thread = config_.per_thread_mbps;
+  if (config_.per_file_overhead_s > 0.0 && mean_file_bytes > 0.0) {
+    const double r_bytes = mbps(per_thread);  // bytes/s
+    const double stream_time = mean_file_bytes / r_bytes;
+    per_thread = to_mbps(mean_file_bytes /
+                         (stream_time + config_.per_file_overhead_s));
+  }
+  const double linear = per_thread * threads;
+  const double capped = std::min(linear, config_.aggregate_mbps);
+  return capped * contention_efficiency(threads, config_.contention_knee,
+                                        config_.contention_factor);
+}
+
+double LinkModel::rate_at(int streams, double mean_file_bytes,
+                          double background_mbps) const {
+  if (streams <= 0) return 0.0;
+  double per_stream = config_.per_stream_mbps;
+  if (config_.per_file_overhead_s > 0.0 && mean_file_bytes > 0.0) {
+    const double r_bytes = mbps(per_stream);
+    const double stream_time = mean_file_bytes / r_bytes;
+    per_stream = to_mbps(mean_file_bytes /
+                         (stream_time + config_.per_file_overhead_s));
+  }
+  const double linear = per_stream * streams;
+  const double available =
+      std::max(0.0, config_.aggregate_mbps - background_mbps);
+  const double capped = std::min(linear, available);
+  return capped * contention_efficiency(streams, config_.contention_knee,
+                                        config_.contention_factor);
+}
+
+double LinkModel::steady_rate_mbps(int streams,
+                                   double mean_file_bytes) const {
+  return rate_at(streams, mean_file_bytes, config_.background_mbps);
+}
+
+double LinkModel::trace_background_at(double t_s) const {
+  const auto& trace = config_.background_trace;
+  if (trace.empty()) return config_.background_mbps;
+  // Loop the trace (piecewise constant between samples).
+  const double span = trace.back().first;
+  double t = span > 0.0 ? std::fmod(t_s, span) : 0.0;
+  double value = trace.front().second;
+  for (const auto& [time, mbps_at] : trace) {
+    if (time > t) break;
+    value = mbps_at;
+  }
+  return std::clamp(value, 0.0, config_.aggregate_mbps * 0.95);
+}
+
+std::vector<std::pair<double, double>> parse_background_trace(
+    const std::string& csv_text) {
+  std::vector<std::pair<double, double>> out;
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < csv_text.size()) {
+    std::size_t end = csv_text.find('\n', pos);
+    if (end == std::string::npos) end = csv_text.size();
+    std::string line = csv_text.substr(pos, end - pos);
+    pos = end + 1;
+    ++lineno;
+    // Strip comments / whitespace-only lines and an optional header.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.find_first_not_of(" \t\r0123456789.,eE+-") != std::string::npos) {
+      if (lineno == 1) continue;  // header row
+      throw std::invalid_argument("background trace line " +
+                                  std::to_string(lineno) + ": '" + line +
+                                  "'");
+    }
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos)
+      throw std::invalid_argument("background trace line " +
+                                  std::to_string(lineno) +
+                                  ": expected time_s,mbps");
+    const double t = std::stod(line.substr(0, comma));
+    const double v = std::stod(line.substr(comma + 1));
+    if (!out.empty() && t <= out.back().first)
+      throw std::invalid_argument(
+          "background trace: timestamps must increase (line " +
+          std::to_string(lineno) + ")");
+    if (v < 0.0)
+      throw std::invalid_argument("background trace: negative rate (line " +
+                                  std::to_string(lineno) + ")");
+    out.emplace_back(t, v);
+  }
+  return out;
+}
+
+double LinkModel::rate_mbps(int streams, double dt_s, double mean_file_bytes,
+                            Rng& rng) {
+  // Stream count ramps toward the target with time constant ~5 RTTs
+  // (slow-start plus fair-share convergence, coarsely).
+  const double tau = std::max(5.0 * config_.rtt_ms / 1000.0, 1e-3);
+  const double alpha = 1.0 - std::exp(-dt_s / tau);
+  effective_streams_ += (static_cast<double>(streams) - effective_streams_) *
+                        alpha;
+
+  // Background traffic: trace-driven if a trace is loaded, else an
+  // Ornstein–Uhlenbeck drift around the configured mean.
+  if (!config_.background_trace.empty()) {
+    trace_clock_s_ += dt_s;
+    background_current_mbps_ = trace_background_at(trace_clock_s_);
+  } else if (config_.background_sigma_mbps > 0.0) {
+    const double theta = dt_s / std::max(config_.background_tau_s, 1e-3);
+    background_current_mbps_ +=
+        (config_.background_mbps - background_current_mbps_) * theta +
+        config_.background_sigma_mbps * std::sqrt(2.0 * theta) * rng.normal();
+    background_current_mbps_ = std::clamp(background_current_mbps_, 0.0,
+                                          config_.aggregate_mbps * 0.9);
+  }
+
+  if (effective_streams_ <= 0.0) return 0.0;
+  const double whole = std::floor(effective_streams_);
+  const double frac = effective_streams_ - whole;
+  const int lo = static_cast<int>(whole);
+  double rate =
+      rate_at(lo, mean_file_bytes, background_current_mbps_) * (1.0 - frac) +
+      rate_at(lo + 1, mean_file_bytes, background_current_mbps_) * frac;
+
+  if (config_.jitter > 0.0) {
+    rate *= std::max(0.0, 1.0 + config_.jitter * rng.normal());
+  }
+  return rate;
+}
+
+}  // namespace automdt::testbed

@@ -1,0 +1,163 @@
+// Fluid-approximation models of the physical resources in a DTN pair:
+// storage devices (source reads, destination writes) and the WAN link.
+//
+// These stand in for the paper's FABRIC/CloudLab hardware (DESIGN.md §2).
+// Each model answers one question — "at what aggregate rate does this
+// resource move data given n worker threads/streams?" — and captures the
+// three behaviours the optimizer must cope with:
+//
+//   1. per-thread caps (sysadmin throttles, per-stream TCP fair-share),
+//   2. aggregate device/link capacity, and
+//   3. over-subscription: efficiency degrades past a contention knee, so
+//      "just use 100 threads everywhere" (the monolithic strategy) actively
+//      hurts — the paper's §III motivation.
+//
+// The link additionally models TCP ramp-up: newly added streams take a few
+// RTTs to reach their fair share, so concurrency changes are not visible in
+// throughput instantly.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace automdt::testbed {
+
+struct StorageConfig {
+  double per_thread_mbps = 2000.0;  // thread-level I/O speed (HW or throttle)
+  double aggregate_mbps = 30000.0;  // device bandwidth
+  int contention_knee = 16;         // threads beyond which efficiency decays
+  double contention_factor = 0.02;  // fractional loss per thread past knee
+  double per_file_overhead_s = 0.002;  // open/close/sync cost per file
+};
+
+class StorageModel {
+ public:
+  explicit StorageModel(StorageConfig config) : config_(config) {}
+
+  /// Aggregate achievable rate (Mbps) with `threads` workers processing files
+  /// of `mean_file_bytes` each.
+  double rate_mbps(int threads, double mean_file_bytes) const;
+
+  const StorageConfig& config() const { return config_; }
+
+  /// Retune the per-thread throttle mid-run (a sysadmin changes tc rules, a
+  /// device degrades) — the "changing system conditions" the optimizer must
+  /// adapt to.
+  void set_per_thread_mbps(double mbps) { config_.per_thread_mbps = mbps; }
+
+ private:
+  StorageConfig config_;
+};
+
+struct LinkConfig {
+  double per_stream_mbps = 1200.0;  // per-connection throttle / fair share
+  double aggregate_mbps = 25000.0;  // bottleneck link capacity
+  double rtt_ms = 30.0;             // round-trip time, drives stream ramp-up
+  int contention_knee = 48;         // streams beyond which goodput degrades
+  double contention_factor = 0.01;
+  double jitter = 0.0;              // multiplicative throughput noise (stddev)
+  double background_mbps = 0.0;     // mean competing traffic on the link
+  // Slowly-varying background traffic (production links share bandwidth with
+  // other science flows): an Ornstein–Uhlenbeck process around
+  // background_mbps with stddev background_sigma_mbps and time constant
+  // background_tau_s. This is what forces online optimizers to keep
+  // re-converging over long transfers, while a pretrained policy adapts
+  // within one probe interval. 0 sigma = static background.
+  double background_sigma_mbps = 0.0;
+  double background_tau_s = 60.0;
+  // Trace-driven background (substitute for unavailable production traces,
+  // DESIGN.md §2): piecewise-constant (time_s, mbps) samples, looped. When
+  // non-empty this overrides the OU process.
+  std::vector<std::pair<double, double>> background_trace;
+  double per_file_overhead_s = 0.0; // stream idle time between files
+                                    // (per-file handshake / re-ramp)
+};
+
+/// Parse a background-traffic trace from CSV text with lines "time_s,mbps"
+/// (header optional, '#' comments allowed). Throws std::invalid_argument on
+/// malformed rows or non-monotonic timestamps.
+std::vector<std::pair<double, double>> parse_background_trace(
+    const std::string& csv_text);
+
+class LinkModel {
+ public:
+  explicit LinkModel(LinkConfig config)
+      : config_(config), background_current_mbps_(config.background_mbps) {}
+
+  /// Advance the stream ramp state by dt and return the achievable aggregate
+  /// rate (Mbps) with `streams` connections requested and files of
+  /// `mean_file_bytes`. Stateful: stream count changes take ~5 RTTs to take
+  /// full effect.
+  double rate_mbps(int streams, double dt_s, double mean_file_bytes, Rng& rng);
+
+  /// Steady-state rate with no ramp/jitter (what a probe would converge to),
+  /// at the mean background level.
+  double steady_rate_mbps(int streams,
+                          double mean_file_bytes = 1e12) const;
+
+ private:
+  /// Rate at an explicit background-traffic level.
+  double rate_at(int streams, double mean_file_bytes,
+                 double background_mbps) const;
+
+ public:
+
+  void reset() {
+    effective_streams_ = 0.0;
+    background_current_mbps_ = config_.background_mbps;
+    trace_clock_s_ = 0.0;
+  }
+  double effective_streams() const { return effective_streams_; }
+  double current_background_mbps() const { return background_current_mbps_; }
+
+  const LinkConfig& config() const { return config_; }
+
+  /// Retune the per-stream throttle mid-run; ramp and background state
+  /// persist.
+  void set_per_stream_mbps(double mbps) { config_.per_stream_mbps = mbps; }
+
+ private:
+  double trace_background_at(double t_s) const;
+
+  LinkConfig config_;
+  double effective_streams_ = 0.0;
+  double background_current_mbps_ = 0.0;
+  double trace_clock_s_ = 0.0;
+};
+
+/// Bounded staging buffer (the tmpfs directory on a DTN).
+class StagingBuffer {
+ public:
+  explicit StagingBuffer(double capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  double capacity() const { return capacity_; }
+  double used() const { return used_; }
+  double free_space() const { return capacity_ - used_; }
+
+  /// Add up to `bytes`, returning the amount actually accepted.
+  double fill(double bytes) {
+    const double accepted = std::min(bytes, free_space());
+    used_ += accepted;
+    return accepted;
+  }
+
+  /// Remove up to `bytes`, returning the amount actually drained.
+  double drain(double bytes) {
+    const double removed = std::min(bytes, used_);
+    used_ -= removed;
+    return removed;
+  }
+
+  void reset() { used_ = 0.0; }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+};
+
+}  // namespace automdt::testbed

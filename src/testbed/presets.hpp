@@ -1,0 +1,39 @@
+// Named testbed scenarios mirroring the paper's evaluation setups (§V):
+//
+//   * fabric_ncsa_tacc — the high-bandwidth FABRIC pair (ConnectX-6 NICs,
+//     NVMe P4510 storage) used for Fig. 3 and Table I; AutoMDT reports
+//     ~24 Gbps there with ~20 network streams.
+//   * cloudlab_1g — the CloudLab c240g5 pair with 1 Gbps NICs and 8 GiB RAM.
+//   * bottleneck_read / _network / _write — the Fig. 5 scenarios, produced by
+//     throttling per-connection rates to (80,160,200), (205,75,195) and
+//     (200,150,70) Mbps on a 1 Gbps-class path; optimal stream counts are
+//     <13,7,5>, <5,14,5>, <5,7,15> respectively.
+//
+// Each preset carries the expected optimal tuple so benches and tests can
+// score convergence against the paper's ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testbed/environment.hpp"
+
+namespace automdt::testbed {
+
+struct ScenarioPreset {
+  std::string name;
+  TestbedConfig config;
+  /// The paper's ground-truth optimal stream counts for this scenario.
+  ConcurrencyTuple expected_optimal;
+};
+
+ScenarioPreset fabric_ncsa_tacc();
+ScenarioPreset cloudlab_1g();
+ScenarioPreset bottleneck_read();
+ScenarioPreset bottleneck_network();
+ScenarioPreset bottleneck_write();
+
+/// All Fig. 5 bottleneck presets in paper column order.
+std::vector<ScenarioPreset> fig5_presets();
+
+}  // namespace automdt::testbed

@@ -1,0 +1,69 @@
+#include "testbed/recorder.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace automdt::testbed {
+
+std::optional<double> TimeSeriesRecorder::time_to_reach(Stage stage, int level,
+                                                        int slack,
+                                                        double hold_s) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].threads[stage] < level - slack) continue;
+    // Candidate: require it to hold until time + hold_s.
+    const double t0 = points_[i].time_s;
+    bool held = true;
+    for (std::size_t j = i; j < points_.size() && points_[j].time_s < t0 + hold_s;
+         ++j) {
+      if (points_[j].threads[stage] < level - slack) {
+        held = false;
+        break;
+      }
+    }
+    if (held) return t0;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TimeSeriesRecorder::time_to_throughput(
+    double target_mbps, double fraction) const {
+  const double threshold = target_mbps * fraction;
+  for (const auto& p : points_) {
+    if (p.throughput_mbps.write >= threshold) return p.time_s;
+  }
+  return std::nullopt;
+}
+
+double TimeSeriesRecorder::mean_throughput(Stage stage, double from_s,
+                                           double to_s) const {
+  RunningStats s;
+  for (const auto& p : points_) {
+    if (p.time_s >= from_s && p.time_s < to_s) s.add(p.throughput_mbps[stage]);
+  }
+  return s.mean();
+}
+
+double TimeSeriesRecorder::concurrency_stddev(Stage stage, double from_s,
+                                              double to_s) const {
+  RunningStats s;
+  for (const auto& p : points_) {
+    if (p.time_s >= from_s && p.time_s < to_s)
+      s.add(static_cast<double>(p.threads[stage]));
+  }
+  return s.stddev();
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& os) const {
+  os << "time_s,n_read,n_network,n_write,t_read_mbps,t_network_mbps,"
+        "t_write_mbps,reward,sender_buffer_bytes,receiver_buffer_bytes\n";
+  for (const auto& p : points_) {
+    os << p.time_s << ',' << p.threads.read << ',' << p.threads.network << ','
+       << p.threads.write << ',' << p.throughput_mbps.read << ','
+       << p.throughput_mbps.network << ',' << p.throughput_mbps.write << ','
+       << p.reward << ',' << p.sender_buffer_used << ','
+       << p.receiver_buffer_used << '\n';
+  }
+}
+
+}  // namespace automdt::testbed

@@ -1,0 +1,54 @@
+// Per-second time series of a transfer run: the raw material behind the
+// paper's Fig. 3 and Fig. 5 plots (concurrency traces and throughput traces
+// over time) and the convergence metrics quoted in §V ("reaches 13 TCP
+// streams within 6 seconds").
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt::testbed {
+
+struct TimePoint {
+  double time_s = 0.0;
+  ConcurrencyTuple threads;
+  StageThroughputs throughput_mbps;
+  double reward = 0.0;
+  double sender_buffer_used = 0.0;
+  double receiver_buffer_used = 0.0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  void add(TimePoint p) { points_.push_back(p); }
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+  /// First time at which `stage`'s thread count reached `level` and stayed
+  /// there (within `slack`) for `hold_s` consecutive seconds. nullopt if never.
+  std::optional<double> time_to_reach(Stage stage, int level, int slack = 0,
+                                      double hold_s = 3.0) const;
+
+  /// First time end-to-end (write) throughput reached `fraction` of
+  /// `target_mbps`. nullopt if never.
+  std::optional<double> time_to_throughput(double target_mbps,
+                                           double fraction = 0.9) const;
+
+  /// Mean throughput of a stage over [from_s, to_s).
+  double mean_throughput(Stage stage, double from_s, double to_s) const;
+
+  /// Standard deviation of a stage's thread count over [from_s, to_s) — the
+  /// stability metric ("Marlin's values continue to fluctuate").
+  double concurrency_stddev(Stage stage, double from_s, double to_s) const;
+
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace automdt::testbed

@@ -1,0 +1,53 @@
+#include "testbed/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace automdt::testbed {
+
+Dataset genomics_run(Rng& rng, int lanes) {
+  std::vector<double> files;
+  const double run_bytes = 700.0 * kGB;  // one 2024-era sequencing run
+  for (int lane = 0; lane < lanes; ++lane) {
+    // Lane FASTQ/BAM: the run split across lanes, ±5% from demultiplexing.
+    files.push_back(run_bytes / lanes * rng.uniform(0.95, 1.05));
+    // Index (.bai-style) and QC summary per lane.
+    files.push_back(rng.uniform(20.0, 80.0) * kMB);
+    files.push_back(rng.uniform(1.0, 10.0) * kMB);
+  }
+  return Dataset::from_files("genomics run (~700 GB)", std::move(files));
+}
+
+Dataset sky_survey_night(Rng& rng, int exposures) {
+  std::vector<double> files;
+  files.reserve(static_cast<std::size_t>(exposures));
+  for (int i = 0; i < exposures; ++i)
+    files.push_back(100.0 * kMB * rng.uniform(0.9, 1.1));
+  return Dataset::from_files("sky survey night", std::move(files));
+}
+
+Dataset detector_snapshots(Rng& rng, double total_bytes) {
+  std::vector<double> files;
+  double acc = 0.0;
+  while (acc < total_bytes) {
+    // Log-normal tail, clamped to [100 MB, 10 GB].
+    const double size = std::clamp(rng.log_normal(500.0 * kMB, 1.0),
+                                   100.0 * kMB, 10.0 * kGB);
+    files.push_back(size);
+    acc += size;
+  }
+  return Dataset::from_files("detector snapshots", std::move(files));
+}
+
+Dataset climate_model(Rng& rng, int months) {
+  std::vector<double> files;
+  for (int m = 0; m < months; ++m) {
+    files.push_back(25.0 * kGB * rng.uniform(0.95, 1.05));  // history file
+    const int diagnostics = rng.uniform_int(30, 50);
+    for (int d = 0; d < diagnostics; ++d)
+      files.push_back(rng.uniform(1.0, 50.0) * kMB);
+  }
+  return Dataset::from_files("climate model output", std::move(files));
+}
+
+}  // namespace automdt::testbed

@@ -1,0 +1,39 @@
+// Science workload catalog.
+//
+// The paper's introduction motivates AutoMDT with the data deluge from
+// distributed science: genome sequencing runs growing from ~5 MB (2006) to
+// >700 GB (2024) per run, detector experiments (ATLAS, Belle II, LIGO), and
+// sky surveys (SDSS, LSST, Dark Energy Survey). This catalog provides
+// synthetic datasets with the *file-size signatures* of those domains, for
+// examples and workload-sensitivity experiments:
+//
+//   genomics_run        — a handful of huge FASTQ/BAM outputs (~700 GB run
+//                         split into lane files) plus small index/QC files
+//   sky_survey_night    — thousands of uniform CCD exposures (~100 MB each)
+//   detector_snapshots  — heavy-tailed event files, 100 MB .. 10 GB
+//   climate_model       — mixed NetCDF output: large history files + many
+//                         small diagnostics
+//
+// All draws are deterministic given the Rng, like everything else here.
+#pragma once
+
+#include "testbed/dataset.hpp"
+
+namespace automdt::testbed {
+
+/// One sequencing run: `lanes` lane files of ~87 GB (700 GB run / 8 lanes)
+/// plus per-lane index + QC summary files in the tens of MB.
+Dataset genomics_run(Rng& rng, int lanes = 8);
+
+/// One survey night: `exposures` CCD frames of ~100 MB with ±10% jitter.
+Dataset sky_survey_night(Rng& rng, int exposures = 2000);
+
+/// Event data with a heavy (log-normal) tail between ~100 MB and ~10 GB,
+/// totalling ~`total_bytes`.
+Dataset detector_snapshots(Rng& rng, double total_bytes = 500.0 * kGB);
+
+/// Climate model output: `months` large history files (~25 GB) each
+/// accompanied by ~40 small diagnostics files (1-50 MB).
+Dataset climate_model(Rng& rng, int months = 12);
+
+}  // namespace automdt::testbed

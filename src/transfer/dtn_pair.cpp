@@ -1,0 +1,123 @@
+#include "transfer/dtn_pair.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace automdt::transfer {
+
+DtnPairEnv::DtnPairEnv(DtnPairConfig config) : config_(std::move(config)) {
+  scale_.max_threads = config_.engine.max_threads;
+  const ConcurrencyTuple full{config_.engine.max_threads,
+                              config_.engine.max_threads,
+                              config_.engine.max_threads};
+  double fastest = 0.0;
+  fastest = std::max(fastest, config_.engine.read.rate_for(full.read));
+  fastest = std::max(fastest, config_.engine.network.rate_for(full.network));
+  fastest = std::max(fastest, config_.engine.write.rate_for(full.write));
+  scale_.rate_scale_mbps = fastest > 0.0 ? to_mbps(fastest) : 1000.0;
+  scale_.sender_capacity = config_.engine.sender_buffer_bytes;
+  scale_.receiver_capacity = config_.engine.receiver_buffer_bytes;
+  last_receiver_free_ = config_.engine.receiver_buffer_bytes;
+}
+
+DtnPairEnv::~DtnPairEnv() { stop_all(); }
+
+void DtnPairEnv::stop_all() {
+  if (channel_) channel_->close();
+  receiver_running_.store(false);
+  if (receiver_agent_.joinable()) receiver_agent_.join();
+  if (session_) session_->stop();
+}
+
+void DtnPairEnv::start_receiver_agent() {
+  receiver_running_.store(true);
+  receiver_agent_ = std::thread([this] {
+    // The receiver DTN's control loop: service buffer-status queries with a
+    // fresh local measurement ("every DTN measures its available buffer
+    // space with a system call").
+    while (receiver_running_.load()) {
+      auto msg = channel_->receiver_receive();
+      if (!msg) break;  // channel closed
+      if (std::holds_alternative<Shutdown>(*msg)) break;
+      if (const auto* req = std::get_if<BufferStatusRequest>(&*msg)) {
+        const TransferStats stats = session_->stats();
+        const double used = static_cast<double>(stats.receiver_queue_chunks) *
+                            config_.engine.chunk_bytes;
+        channel_->receiver_send(BufferStatusResponse{
+            req->request_id,
+            std::max(0.0, config_.engine.receiver_buffer_bytes - used), used,
+            0.0});
+      }
+      // ConcurrencyUpdate messages would retune the write pool on a remote
+      // host; in-process the session is shared, so they are accepted as-is.
+    }
+  });
+}
+
+std::vector<double> DtnPairEnv::reset(Rng& rng) {
+  (void)rng;
+  stop_all();
+  session_ = std::make_unique<TransferSession>(config_.engine,
+                                               config_.file_sizes_bytes);
+  channel_ = std::make_unique<RpcChannel>(config_.rpc_latency_s);
+  start_receiver_agent();
+  last_action_ = ConcurrencyTuple{1, 1, 1};
+  session_->start(last_action_);
+  last_stats_ = session_->stats();
+  last_receiver_free_ = config_.engine.receiver_buffer_bytes;
+  return build_observation(scale_, last_action_, StageThroughputs{},
+                           config_.engine.sender_buffer_bytes,
+                           last_receiver_free_);
+}
+
+double DtnPairEnv::query_receiver_free_bytes() {
+  channel_->sender_send(BufferStatusRequest{next_request_id_++});
+  // Drain any responses that have arrived (including older ones); the most
+  // recent becomes our (slightly stale) view of the receiver buffer.
+  while (auto msg = channel_->sender_try_receive()) {
+    if (const auto* resp = std::get_if<BufferStatusResponse>(&*msg)) {
+      last_receiver_free_ = resp->free_bytes;
+      rpc_responses_.fetch_add(1);
+    }
+  }
+  return last_receiver_free_;
+}
+
+EnvStep DtnPairEnv::step(const ConcurrencyTuple& action) {
+  last_action_ = action.clamped(1, config_.engine.max_threads);
+  session_->set_concurrency(last_action_);
+  // Tell the receiver agent about the new write concurrency (control-plane
+  // traffic a two-host deployment must carry).
+  channel_->sender_send(ConcurrencyUpdate{last_action_});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  session_->wait_finished(config_.probe_interval_s);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const TransferStats now = session_->stats();
+  StageThroughputs tpt;
+  if (dt > 0.0) {
+    tpt = {to_mbps((now.bytes_read - last_stats_.bytes_read) / dt),
+           to_mbps((now.bytes_sent - last_stats_.bytes_sent) / dt),
+           to_mbps((now.bytes_written - last_stats_.bytes_written) / dt)};
+  }
+  last_stats_ = now;
+
+  const double sender_free = std::max(
+      0.0, config_.engine.sender_buffer_bytes -
+               static_cast<double>(now.sender_queue_chunks) *
+                   config_.engine.chunk_bytes);
+  const double receiver_free = query_receiver_free_bytes();
+
+  EnvStep out;
+  out.observation = build_observation(scale_, last_action_, tpt, sender_free,
+                                      receiver_free);
+  out.throughputs_mbps = tpt;
+  out.reward = total_utility(tpt, last_action_, config_.utility);
+  out.done = now.finished;
+  return out;
+}
+
+}  // namespace automdt::transfer

@@ -1,0 +1,71 @@
+// Two-agent DTN deployment over the threaded engine.
+//
+// In production AutoMDT, the optimizer runs on the *sender* DTN; the receiver
+// DTN runs a small agent that (a) answers buffer-status queries over the RPC
+// channel (§IV-D.1) and (b) applies concurrency updates to its write workers.
+// This component arranges the threaded TransferSession into that shape:
+//
+//   SenderAgent  — owns the optimizer loop; assembles the 8-feature
+//                  observation from local stats plus the receiver's latest
+//                  RPC-reported buffer state (which is `rpc_latency` stale),
+//   ReceiverAgent — background thread servicing the control channel.
+//
+// The split is in-process (the engine's staging queues stand in for the two
+// hosts' tmpfs), but the control-plane information flow — including the
+// staleness a WAN RPC adds — is the deployment's.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/utility.hpp"
+#include "transfer/engine.hpp"
+#include "transfer/rpc.hpp"
+
+namespace automdt::transfer {
+
+struct DtnPairConfig {
+  EngineConfig engine{};
+  std::vector<double> file_sizes_bytes;
+  double probe_interval_s = 0.2;
+  double rpc_latency_s = 0.02;  // one-way control-channel latency
+  UtilityParams utility{};
+};
+
+/// Env implementation whose receiver-side observation features arrive via
+/// the RPC channel instead of direct memory access.
+class DtnPairEnv final : public Env {
+ public:
+  explicit DtnPairEnv(DtnPairConfig config);
+  ~DtnPairEnv() override;
+
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const ConcurrencyTuple& action) override;
+  int max_threads() const override { return config_.engine.max_threads; }
+
+  /// Number of buffer-status responses received so far (tests).
+  std::uint64_t rpc_responses() const { return rpc_responses_.load(); }
+
+ private:
+  void start_receiver_agent();
+  void stop_all();
+  /// Ask the receiver for buffer state; falls back to the last known value
+  /// if the (stale) response has not arrived yet.
+  double query_receiver_free_bytes();
+
+  DtnPairConfig config_;
+  ObservationScale scale_;
+  std::unique_ptr<TransferSession> session_;
+  std::unique_ptr<RpcChannel> channel_;
+  std::thread receiver_agent_;
+  std::atomic<bool> receiver_running_{false};
+  std::atomic<std::uint64_t> rpc_responses_{0};
+  std::uint64_t next_request_id_ = 1;
+  double last_receiver_free_ = 0.0;
+  TransferStats last_stats_{};
+  ConcurrencyTuple last_action_{1, 1, 1};
+};
+
+}  // namespace automdt::transfer

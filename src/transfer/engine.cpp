@@ -1,0 +1,204 @@
+#include "transfer/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace automdt::transfer {
+
+std::uint64_t chunk_checksum(const std::vector<std::byte>& payload) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::byte b : payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+TransferSession::TransferSession(EngineConfig config,
+                                 std::vector<double> file_sizes_bytes)
+    : config_(config),
+      file_sizes_(std::move(file_sizes_bytes)),
+      read_bucket_(0.0),
+      network_bucket_(0.0),
+      write_bucket_(0.0) {
+  assert(config_.chunk_bytes > 0);
+  assert(config_.max_threads >= 1);
+  for (double s : file_sizes_) {
+    total_bytes_ += s;
+    total_chunks_ += static_cast<std::uint64_t>(
+        (s + config_.chunk_bytes - 1) / config_.chunk_bytes);
+  }
+  const auto queue_chunks = [&](double buffer_bytes) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(buffer_bytes / config_.chunk_bytes));
+  };
+  sender_queue_ =
+      std::make_unique<MpmcQueue<Chunk>>(queue_chunks(config_.sender_buffer_bytes));
+  receiver_queue_ = std::make_unique<MpmcQueue<Chunk>>(
+      queue_chunks(config_.receiver_buffer_bytes));
+}
+
+TransferSession::~TransferSession() { stop(); }
+
+void TransferSession::start(ConcurrencyTuple initial) {
+  assert(!started_);
+  started_ = true;
+  set_concurrency(initial);
+  if (total_chunks_ == 0) {
+    finished_.store(true);
+    sender_queue_->close();
+    receiver_queue_->close();
+    finish_cv_.notify_all();
+    return;
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.max_threads) * 3);
+  for (int i = 0; i < config_.max_threads; ++i)
+    workers_.emplace_back([this, i] { reader_loop(i); });
+  for (int i = 0; i < config_.max_threads; ++i)
+    workers_.emplace_back([this, i] { network_loop(i); });
+  for (int i = 0; i < config_.max_threads; ++i)
+    workers_.emplace_back([this, i] { writer_loop(i); });
+}
+
+void TransferSession::set_concurrency(ConcurrencyTuple tuple) {
+  const ConcurrencyTuple t = tuple.clamped(1, config_.max_threads);
+  {
+    std::lock_guard lock(gate_mutex_);
+    active_[0] = t.read;
+    active_[1] = t.network;
+    active_[2] = t.write;
+  }
+  gate_cv_.notify_all();
+  update_bucket_rates();
+}
+
+ConcurrencyTuple TransferSession::concurrency() const {
+  std::lock_guard lock(gate_mutex_);
+  return {active_[0], active_[1], active_[2]};
+}
+
+void TransferSession::update_bucket_rates() {
+  const ConcurrencyTuple t = concurrency();
+  read_bucket_.set_rate(config_.read.rate_for(t.read));
+  network_bucket_.set_rate(config_.network.rate_for(t.network));
+  write_bucket_.set_rate(config_.write.rate_for(t.write));
+}
+
+TransferStats TransferSession::stats() const {
+  TransferStats s;
+  s.bytes_read = static_cast<double>(bytes_read_.load());
+  s.bytes_sent = static_cast<double>(bytes_sent_.load());
+  s.bytes_written = static_cast<double>(bytes_written_.load());
+  s.sender_queue_chunks = sender_queue_->size();
+  s.receiver_queue_chunks = receiver_queue_->size();
+  s.chunks_written = chunks_written_.load();
+  s.verify_failures = verify_failures_.load();
+  s.finished = finished_.load();
+  return s;
+}
+
+bool TransferSession::wait_finished(double timeout_s) {
+  std::unique_lock lock(finish_mutex_);
+  return finish_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                             [&] { return finished_.load(); });
+}
+
+void TransferSession::stop() {
+  if (stopping_.exchange(true)) {
+    workers_.clear();  // join if not already joined
+    return;
+  }
+  sender_queue_->close();
+  receiver_queue_->close();
+  read_bucket_.shutdown();
+  network_bucket_.shutdown();
+  write_bucket_.shutdown();
+  gate_cv_.notify_all();
+  finish_cv_.notify_all();
+  workers_.clear();  // jthread joins
+}
+
+bool TransferSession::wait_for_turn(Stage stage, int worker_id) {
+  const int idx = static_cast<int>(stage);
+  std::unique_lock lock(gate_mutex_);
+  gate_cv_.wait(lock, [&] {
+    return stopping_.load() || finished_.load() || worker_id < active_[idx];
+  });
+  return !stopping_.load() && !finished_.load();
+}
+
+void TransferSession::reader_loop(int worker_id) {
+  while (wait_for_turn(Stage::kRead, worker_id)) {
+    // Claim the next chunk of the dataset.
+    Chunk chunk;
+    {
+      std::lock_guard lock(claim_mutex_);
+      if (claim_file_ >= file_sizes_.size()) break;  // all chunks claimed
+      const double remaining = file_sizes_[claim_file_] - claim_offset_;
+      chunk.file_id = claim_file_;
+      chunk.offset = static_cast<std::uint64_t>(claim_offset_);
+      chunk.size = static_cast<std::uint32_t>(
+          std::min<double>(config_.chunk_bytes, remaining));
+      claim_offset_ += chunk.size;
+      if (claim_offset_ >= file_sizes_[claim_file_]) {
+        ++claim_file_;
+        claim_offset_ = 0.0;
+      }
+    }
+
+    if (!read_bucket_.acquire(chunk.size)) break;
+
+    if (config_.fill_payload) {
+      chunk.payload.resize(chunk.size);
+      // Cheap deterministic pattern derived from (file, offset).
+      const auto seed = static_cast<std::uint8_t>(
+          chunk.file_id * 131 + chunk.offset / config_.chunk_bytes);
+      for (std::size_t i = 0; i < chunk.payload.size(); ++i)
+        chunk.payload[i] = static_cast<std::byte>(
+            static_cast<std::uint8_t>(seed + i));
+      chunk.checksum = chunk_checksum(chunk.payload);
+    }
+
+    const std::uint32_t size = chunk.size;
+    if (!sender_queue_->push(std::move(chunk))) break;
+    bytes_read_.fetch_add(size);
+    if (chunks_pushed_.fetch_add(1) + 1 == total_chunks_) {
+      sender_queue_->close();  // no more data will be produced
+    }
+  }
+}
+
+void TransferSession::network_loop(int worker_id) {
+  while (wait_for_turn(Stage::kNetwork, worker_id)) {
+    std::optional<Chunk> chunk = sender_queue_->pop();
+    if (!chunk) break;  // closed and drained
+    if (!network_bucket_.acquire(chunk->size)) break;
+    const std::uint32_t size = chunk->size;
+    if (!receiver_queue_->push(std::move(*chunk))) break;
+    bytes_sent_.fetch_add(size);
+    if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
+      receiver_queue_->close();
+    }
+  }
+}
+
+void TransferSession::writer_loop(int worker_id) {
+  while (wait_for_turn(Stage::kWrite, worker_id)) {
+    std::optional<Chunk> chunk = receiver_queue_->pop();
+    if (!chunk) break;
+    if (!write_bucket_.acquire(chunk->size)) break;
+    if (config_.verify_payload && config_.fill_payload) {
+      if (chunk_checksum(chunk->payload) != chunk->checksum)
+        verify_failures_.fetch_add(1);
+    }
+    bytes_written_.fetch_add(chunk->size);
+    if (chunks_written_.fetch_add(1) + 1 == total_chunks_) {
+      finished_.store(true);
+      gate_cv_.notify_all();
+      finish_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace automdt::transfer

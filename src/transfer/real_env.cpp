@@ -1,0 +1,87 @@
+#include "transfer/real_env.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace automdt::transfer {
+
+RealTransferEnv::RealTransferEnv(RealEnvConfig config)
+    : config_(std::move(config)) {
+  scale_.max_threads = config_.engine.max_threads;
+  // Normalize throughput features against the fastest configured stage cap,
+  // or an arbitrary 1 Gbps if everything is unlimited.
+  const ConcurrencyTuple full{config_.engine.max_threads,
+                              config_.engine.max_threads,
+                              config_.engine.max_threads};
+  double fastest = 0.0;
+  fastest = std::max(fastest, config_.engine.read.rate_for(full.read));
+  fastest = std::max(fastest, config_.engine.network.rate_for(full.network));
+  fastest = std::max(fastest, config_.engine.write.rate_for(full.write));
+  scale_.rate_scale_mbps = fastest > 0.0 ? to_mbps(fastest) : 1000.0;
+  scale_.sender_capacity = config_.engine.sender_buffer_bytes;
+  scale_.receiver_capacity = config_.engine.receiver_buffer_bytes;
+}
+
+RealTransferEnv::~RealTransferEnv() {
+  if (session_) session_->stop();
+}
+
+std::vector<double> RealTransferEnv::reset(Rng& rng) {
+  (void)rng;  // the engine's behaviour is driven by real thread scheduling
+  if (session_) session_->stop();
+  session_ = std::make_unique<TransferSession>(config_.engine,
+                                               config_.file_sizes_bytes);
+  last_action_ = ConcurrencyTuple{1, 1, 1};
+  session_->start(last_action_);
+  last_stats_ = session_->stats();
+  elapsed_s_ = 0.0;
+  return build_observation(
+      scale_, last_action_, StageThroughputs{},
+      config_.engine.sender_buffer_bytes,
+      config_.engine.receiver_buffer_bytes);
+}
+
+StageThroughputs RealTransferEnv::probe_throughputs(const TransferStats& now,
+                                                    const TransferStats& before,
+                                                    double dt_s) const {
+  if (dt_s <= 0.0) return {};
+  return {to_mbps((now.bytes_read - before.bytes_read) / dt_s),
+          to_mbps((now.bytes_sent - before.bytes_sent) / dt_s),
+          to_mbps((now.bytes_written - before.bytes_written) / dt_s)};
+}
+
+EnvStep RealTransferEnv::step(const ConcurrencyTuple& action) {
+  last_action_ = action.clamped(1, config_.engine.max_threads);
+  session_->set_concurrency(last_action_);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Finish early if the transfer completes mid-interval.
+  session_->wait_finished(config_.probe_interval_s);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  elapsed_s_ += dt;
+
+  const TransferStats now = session_->stats();
+  const StageThroughputs tpt = probe_throughputs(now, last_stats_, dt);
+  last_stats_ = now;
+
+  const double chunk = config_.engine.chunk_bytes;
+  const double sender_free = std::max(
+      0.0, config_.engine.sender_buffer_bytes -
+               static_cast<double>(now.sender_queue_chunks) * chunk);
+  const double receiver_free = std::max(
+      0.0, config_.engine.receiver_buffer_bytes -
+               static_cast<double>(now.receiver_queue_chunks) * chunk);
+
+  EnvStep out;
+  out.observation = build_observation(scale_, last_action_, tpt, sender_free,
+                                      receiver_free);
+  out.throughputs_mbps = tpt;
+  out.reward = total_utility(tpt, last_action_, config_.utility);
+  out.done = now.finished;
+  return out;
+}
+
+}  // namespace automdt::transfer

@@ -1,0 +1,52 @@
+// RealTransferEnv: the Env interface over the threaded engine, running in
+// real wall-clock time. One step() applies a concurrency tuple, sleeps one
+// probe interval, and reports the bytes each stage actually moved — i.e. the
+// production phase's interaction loop against live threads (paper §IV-F),
+// at laptop scale.
+//
+// Probe intervals default to 200 ms (vs the paper's 1 s) so integration
+// tests stay fast; the observation layout matches the virtual environments
+// exactly.
+#pragma once
+
+#include <memory>
+
+#include "common/env.hpp"
+#include "common/utility.hpp"
+#include "transfer/engine.hpp"
+
+namespace automdt::transfer {
+
+struct RealEnvConfig {
+  EngineConfig engine{};
+  std::vector<double> file_sizes_bytes;
+  double probe_interval_s = 0.2;
+  UtilityParams utility{};
+};
+
+class RealTransferEnv final : public Env {
+ public:
+  explicit RealTransferEnv(RealEnvConfig config);
+  ~RealTransferEnv() override;
+
+  std::vector<double> reset(Rng& rng) override;
+  EnvStep step(const ConcurrencyTuple& action) override;
+  int max_threads() const override { return config_.engine.max_threads; }
+
+  const TransferSession* session() const { return session_.get(); }
+  double elapsed_s() const { return elapsed_s_; }
+
+ private:
+  StageThroughputs probe_throughputs(const TransferStats& now,
+                                     const TransferStats& before,
+                                     double dt_s) const;
+
+  RealEnvConfig config_;
+  ObservationScale scale_;
+  std::unique_ptr<TransferSession> session_;
+  TransferStats last_stats_{};
+  ConcurrencyTuple last_action_{1, 1, 1};
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace automdt::transfer

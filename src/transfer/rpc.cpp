@@ -1,0 +1,64 @@
+#include "transfer/rpc.hpp"
+
+namespace automdt::transfer {
+
+void RpcPipe::send(RpcMessage message) {
+  const auto deliver_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(latency_s_));
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;  // messages to a closed pipe are dropped
+    queue_.push_back({deliver_at, std::move(message)});
+  }
+  cv_.notify_all();
+}
+
+std::optional<RpcMessage> RpcPipe::receive() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (!queue_.empty()) {
+      const auto now = Clock::now();
+      if (queue_.front().deliver_at <= now) {
+        RpcMessage out = std::move(queue_.front().message);
+        queue_.pop_front();
+        return out;
+      }
+      // Head not deliverable yet: wait until its delivery time (or new
+      // state).
+      cv_.wait_until(lock, queue_.front().deliver_at);
+      continue;
+    }
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+std::optional<RpcMessage> RpcPipe::try_receive() {
+  std::lock_guard lock(mutex_);
+  if (queue_.empty() || queue_.front().deliver_at > Clock::now())
+    return std::nullopt;
+  RpcMessage out = std::move(queue_.front().message);
+  queue_.pop_front();
+  return out;
+}
+
+void RpcPipe::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RpcPipe::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t RpcPipe::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace automdt::transfer

@@ -1,0 +1,120 @@
+// In-process RPC channel between the two DTN agents.
+//
+// Paper §IV-D.1: "Every DTN measures its available buffer space with a system
+// call and the receiver sends the result to its peer over the RPC channel."
+// In a two-host deployment this is a TCP control connection; here it is an
+// in-process duplex message channel with optional simulated one-way latency,
+// so the sender-side optimizer sees receiver state that is *slightly stale* —
+// the same property a WAN control channel has.
+//
+// Message types cover the control-plane traffic a modular transfer tool
+// needs: buffer status (request/response), concurrency updates pushed from
+// the optimizer to the remote stage pools, per-interval throughput reports,
+// and shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <variant>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt::transfer {
+
+struct BufferStatusRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct BufferStatusResponse {
+  std::uint64_t request_id = 0;
+  double free_bytes = 0.0;
+  double used_bytes = 0.0;
+  double measured_at_s = 0.0;  // sender-of-message clock, for staleness
+};
+
+struct ConcurrencyUpdate {
+  ConcurrencyTuple tuple;
+};
+
+struct ThroughputReport {
+  StageThroughputs throughput_mbps;
+  double interval_s = 0.0;
+};
+
+struct Shutdown {};
+
+using RpcMessage = std::variant<BufferStatusRequest, BufferStatusResponse,
+                                ConcurrencyUpdate, ThroughputReport, Shutdown>;
+
+/// One direction of the duplex channel: a latency-enforcing message queue.
+/// Messages become visible to receive() only after `latency` has elapsed
+/// since send().
+class RpcPipe {
+ public:
+  explicit RpcPipe(double latency_s = 0.0) : latency_s_(latency_s) {}
+
+  void send(RpcMessage message);
+
+  /// Blocks until a message is deliverable or the pipe is closed and
+  /// drained. Returns nullopt only in the latter case.
+  std::optional<RpcMessage> receive();
+
+  /// Non-blocking: nullopt if nothing is deliverable *yet*.
+  std::optional<RpcMessage> try_receive();
+
+  void close();
+  bool closed() const;
+  std::size_t pending() const;
+  double latency_s() const { return latency_s_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Clock::time_point deliver_at;
+    RpcMessage message;
+  };
+
+  double latency_s_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+};
+
+/// The duplex channel: two pipes plus the two endpoints' views.
+class RpcChannel {
+ public:
+  explicit RpcChannel(double latency_s = 0.0)
+      : to_receiver_(latency_s), to_sender_(latency_s) {}
+
+  /// Sender-DTN endpoint view.
+  void sender_send(RpcMessage m) { to_receiver_.send(std::move(m)); }
+  std::optional<RpcMessage> sender_receive() { return to_sender_.receive(); }
+  std::optional<RpcMessage> sender_try_receive() {
+    return to_sender_.try_receive();
+  }
+
+  /// Receiver-DTN endpoint view.
+  void receiver_send(RpcMessage m) { to_sender_.send(std::move(m)); }
+  std::optional<RpcMessage> receiver_receive() {
+    return to_receiver_.receive();
+  }
+  std::optional<RpcMessage> receiver_try_receive() {
+    return to_receiver_.try_receive();
+  }
+
+  void close() {
+    to_receiver_.close();
+    to_sender_.close();
+  }
+
+ private:
+  RpcPipe to_receiver_;
+  RpcPipe to_sender_;
+};
+
+}  // namespace automdt::transfer

@@ -1,0 +1,76 @@
+#include "transfer/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace automdt::transfer {
+
+TokenBucket::TokenBucket(double rate_bytes_per_s, double burst_bytes)
+    : rate_(rate_bytes_per_s),
+      burst_(burst_bytes > 0.0 ? burst_bytes
+                               : std::max(rate_bytes_per_s * 0.25, 64.0 * 1024)),
+      tokens_(burst_),
+      last_refill_(Clock::now()) {}
+
+void TokenBucket::refill_locked(Clock::time_point now) {
+  const double dt = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  if (rate_ > 0.0) tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+}
+
+bool TokenBucket::acquire(double bytes) {
+  std::unique_lock lock(mutex_);
+  // A request larger than the burst could never be satisfied (tokens cap at
+  // burst); widen the bucket so oversized chunks still flow at `rate_`.
+  burst_ = std::max(burst_, bytes);
+  for (;;) {
+    if (shutdown_) return false;
+    if (rate_ <= 0.0) return true;  // unlimited
+    refill_locked(Clock::now());
+    if (tokens_ >= bytes) {
+      tokens_ -= bytes;
+      return true;
+    }
+    // Sleep roughly until enough tokens will have accumulated; re-check on
+    // wake (rate may have changed, shutdown may have been requested).
+    const double deficit = bytes - tokens_;
+    const double wait_s = std::clamp(deficit / rate_, 1e-4, 0.25);
+    cv_.wait_for(lock, std::chrono::duration<double>(wait_s));
+  }
+}
+
+bool TokenBucket::try_acquire(double bytes) {
+  std::lock_guard lock(mutex_);
+  if (shutdown_) return false;
+  if (rate_ <= 0.0) return true;
+  burst_ = std::max(burst_, bytes);
+  refill_locked(Clock::now());
+  if (tokens_ >= bytes) {
+    tokens_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+void TokenBucket::set_rate(double rate_bytes_per_s) {
+  {
+    std::lock_guard lock(mutex_);
+    refill_locked(Clock::now());
+    rate_ = rate_bytes_per_s;
+  }
+  cv_.notify_all();
+}
+
+double TokenBucket::rate() const {
+  std::lock_guard lock(mutex_);
+  return rate_;
+}
+
+void TokenBucket::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace automdt::transfer

@@ -1,0 +1,48 @@
+// Thread-safe token-bucket rate limiter (real wall-clock time).
+//
+// Backs the threaded transfer engine's stage throttles: a stage with n active
+// workers at per-thread rate r and aggregate cap B refills at min(n*r, B)
+// bytes per second. acquire() blocks the calling worker until the bytes are
+// available, which is how a thread "takes d_task seconds" in real time.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace automdt::transfer {
+
+class TokenBucket {
+ public:
+  /// `rate_bytes_per_s` <= 0 means unlimited. `burst_bytes` caps accumulation.
+  explicit TokenBucket(double rate_bytes_per_s, double burst_bytes = 0.0);
+
+  /// Block until `bytes` tokens are available, then consume them.
+  /// Returns false if the bucket was shut down while waiting.
+  bool acquire(double bytes);
+
+  /// Non-blocking variant.
+  bool try_acquire(double bytes);
+
+  /// Change the refill rate (e.g. after a concurrency update).
+  void set_rate(double rate_bytes_per_s);
+  double rate() const;
+
+  /// Wake all waiters and make every future acquire fail.
+  void shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked(Clock::time_point now);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_refill_;
+  bool shutdown_ = false;
+};
+
+}  // namespace automdt::transfer

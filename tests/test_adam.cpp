@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cmath>
+
+#include "nn/adam.hpp"
+
+namespace automdt::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(w) = sum((w - 3)^2): optimum at w = 3.
+  Parameter w("w", Matrix(1, 4, 0.0));
+  AdamConfig cfg;
+  cfg.lr = 0.1;
+  Adam opt({&w}, cfg);
+  for (int i = 0; i < 500; ++i) {
+    w.zero_grad();
+    const Tensor target = Tensor::constant(Matrix(1, 4, 3.0));
+    sum(square(sub(w.tensor(), target))).backward();
+    opt.step();
+  }
+  for (double v : w.value().data()) EXPECT_NEAR(v, 3.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Parameter w("w", Matrix(1, 2, 1.0));
+  Adam opt({&w});
+  sum(square(w.tensor())).backward();
+  EXPECT_GT(std::fabs(w.grad()(0, 0)), 0.0);
+  opt.step();
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.0);
+  EXPECT_EQ(opt.step_count(), 1u);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // Adam's bias-corrected first step is ~lr * sign(grad).
+  Parameter w("w", Matrix(1, 1, 0.0));
+  AdamConfig cfg;
+  cfg.lr = 0.01;
+  Adam opt({&w}, cfg);
+  w.grad()(0, 0) = 123.0;  // arbitrary positive gradient
+  opt.step();
+  EXPECT_NEAR(w.value()(0, 0), -0.01, 1e-6);
+}
+
+TEST(Adam, GradientClippingBoundsUpdate) {
+  Parameter a("a", Matrix(1, 1, 0.0));
+  Parameter b("b", Matrix(1, 1, 0.0));
+  AdamConfig cfg;
+  cfg.max_grad_norm = 1.0;
+  Adam opt({&a, &b}, cfg);
+  a.grad()(0, 0) = 30.0;
+  b.grad()(0, 0) = 40.0;  // global norm 50 -> scaled by 1/50
+  // Inspect clipping through the resulting moments: first step is
+  // lr * mhat / (sqrt(vhat) + eps) which only depends on the clipped grads.
+  opt.step();
+  // Both moved, and in proportion to the clipped (not raw) gradients'
+  // signs. Exact magnitudes are Adam-normalized; just require boundedness.
+  EXPECT_LT(std::fabs(a.value()(0, 0)), cfg.lr * 1.01);
+  EXPECT_LT(std::fabs(b.value()(0, 0)), cfg.lr * 1.01);
+}
+
+TEST(Adam, ZeroGradWithoutStep) {
+  Parameter w("w", Matrix(1, 1, 0.0));
+  Adam opt({&w});
+  w.grad()(0, 0) = 5.0;
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.0);
+  EXPECT_EQ(opt.step_count(), 0u);
+}
+
+TEST(Adam, SetLr) {
+  Parameter w("w", Matrix(1, 1, 0.0));
+  Adam opt({&w});
+  opt.set_lr(0.5);
+  EXPECT_DOUBLE_EQ(opt.config().lr, 0.5);
+}
+
+TEST(Adam, RosenbrockMakesProgress) {
+  // Harder non-convex check: f(x,y) = (1-x)^2 + 100(y - x^2)^2.
+  Parameter w("w", Matrix::from({{-1.0, 1.0}}));
+  AdamConfig cfg;
+  cfg.lr = 0.02;
+  Adam opt({&w}, cfg);
+  auto loss = [&] {
+    Tensor t = w.tensor();
+    Tensor x = row_gather(t, {0});
+    // Manually split: use row_gather twice on a 1x2 via transpose trick is
+    // awkward; compute with full-tensor ops instead.
+    (void)x;
+    const Tensor one = Tensor::constant(Matrix(1, 1, 1.0));
+    // x = w[0,0], y = w[0,1] via masks:
+    const Tensor mx = Tensor::constant(Matrix::from({{1.0, 0.0}}));
+    const Tensor my = Tensor::constant(Matrix::from({{0.0, 1.0}}));
+    Tensor xs = sum(mul(t, mx));
+    Tensor ys = sum(mul(t, my));
+    Tensor t1 = square(sub(one, xs));
+    Tensor t2 = scale(square(sub(ys, square(xs))), 100.0);
+    return add(t1, t2);
+  };
+  const double initial = loss().scalar();
+  for (int i = 0; i < 2000; ++i) {
+    w.zero_grad();
+    loss().backward();
+    opt.step();
+  }
+  EXPECT_LT(loss().scalar(), initial * 0.01);
+}
+
+}  // namespace
+}  // namespace automdt::nn

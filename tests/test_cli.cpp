@@ -1,0 +1,135 @@
+// End-to-end tests of the `automdt` CLI binary: list presets, explore,
+// train -> checkpoint -> transfer -> info, bad-input handling. The binary
+// path is injected by CMake (AUTOMDT_CLI_PATH).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#ifndef AUTOMDT_CLI_PATH
+#error "AUTOMDT_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(AUTOMDT_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer;
+  CommandResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  while (std::fgets(buffer.data(), buffer.size(), pipe))
+    result.output += buffer.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CommandResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CommandResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Cli, ListPresets) {
+  const CommandResult r = run_cli("list-presets");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("fabric"), std::string::npos);
+  EXPECT_NE(r.output.find("<13,7,5>"), std::string::npos);
+}
+
+TEST(Cli, ExploreReportsEstimates) {
+  const CommandResult r = run_cli("explore --preset network --steps 150");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("LinkEstimates{"), std::string::npos);
+  EXPECT_NE(r.output.find("R_max="), std::string::npos);
+}
+
+TEST(Cli, UnknownPresetFails) {
+  const CommandResult r = run_cli("explore --preset mars");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown preset"), std::string::npos);
+}
+
+TEST(Cli, TrainTransferInfoPipeline) {
+  const std::string ckpt = temp_path("automdt_cli_test.ckpt");
+  // Tiny budget: this verifies plumbing, not policy quality.
+  const CommandResult train = run_cli(
+      "train --preset read --episodes 150 --out " + ckpt);
+  ASSERT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("checkpoint written"), std::string::npos);
+
+  const CommandResult info = run_cli("info --ckpt " + ckpt);
+  EXPECT_EQ(info.exit_code, 0);
+  EXPECT_NE(info.output.find("policy.mean_head.weight"), std::string::npos);
+  EXPECT_NE(info.output.find("total parameters"), std::string::npos);
+
+  const CommandResult transfer = run_cli(
+      "transfer --preset read --ckpt " + ckpt +
+      " --files 2 --size-mb 100 --deterministic");
+  EXPECT_EQ(transfer.exit_code, 0) << transfer.output;
+  EXPECT_NE(transfer.output.find("completed"), std::string::npos);
+  std::remove(ckpt.c_str());
+}
+
+TEST(Cli, TransferWithBaselineController) {
+  const CommandResult r = run_cli(
+      "transfer --preset read --controller oracle --files 2 --size-mb 100");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Oracle"), std::string::npos);
+}
+
+TEST(Cli, TransferAutoMdtWithoutCkptFails) {
+  const CommandResult r = run_cli("transfer --preset read --files 1");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--ckpt"), std::string::npos);
+}
+
+TEST(Cli, ConfigOverrideApplied) {
+  const std::string conf = temp_path("automdt_cli_test.conf");
+  {
+    std::FILE* f = std::fopen(conf.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("max_threads = 9\n", f);
+    std::fclose(f);
+  }
+  // Exploration under a 9-thread cap still works.
+  const CommandResult r =
+      run_cli("explore --preset read --steps 100 --config " + conf);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::remove(conf.c_str());
+}
+
+TEST(Cli, BadConfigKeyRejected) {
+  const std::string conf = temp_path("automdt_cli_bad.conf");
+  {
+    std::FILE* f = std::fopen(conf.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("link.per_stream_mpbs = 5\n", f);  // typo
+    std::fclose(f);
+  }
+  const CommandResult r =
+      run_cli("explore --preset read --config " + conf);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown config key"), std::string::npos);
+  std::remove(conf.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(ConcurrencyTuple, IndexingMatchesFields) {
+  ConcurrencyTuple t{3, 7, 11};
+  EXPECT_EQ(t[Stage::kRead], 3);
+  EXPECT_EQ(t[Stage::kNetwork], 7);
+  EXPECT_EQ(t[Stage::kWrite], 11);
+  t[Stage::kNetwork] = 20;
+  EXPECT_EQ(t.network, 20);
+}
+
+TEST(ConcurrencyTuple, ClampedBothSides) {
+  ConcurrencyTuple t{0, 50, 15};
+  const ConcurrencyTuple c = t.clamped(1, 30);
+  EXPECT_EQ(c, (ConcurrencyTuple{1, 30, 15}));
+}
+
+TEST(ConcurrencyTuple, TotalAndMax) {
+  ConcurrencyTuple t{2, 3, 4};
+  EXPECT_EQ(t.total(), 9);
+  EXPECT_EQ(t.max_component(), 4);
+}
+
+TEST(ConcurrencyTuple, ToString) {
+  EXPECT_EQ((ConcurrencyTuple{1, 2, 3}).to_string(), "<1,2,3>");
+}
+
+TEST(ConcurrencyTuple, Equality) {
+  EXPECT_EQ((ConcurrencyTuple{1, 2, 3}), (ConcurrencyTuple{1, 2, 3}));
+  EXPECT_NE((ConcurrencyTuple{1, 2, 3}), (ConcurrencyTuple{1, 2, 4}));
+}
+
+TEST(StageThroughputs, IndexingAndMin) {
+  StageThroughputs t{100.0, 50.0, 75.0};
+  EXPECT_DOUBLE_EQ(t[Stage::kRead], 100.0);
+  EXPECT_DOUBLE_EQ(t[Stage::kNetwork], 50.0);
+  EXPECT_DOUBLE_EQ(t[Stage::kWrite], 75.0);
+  EXPECT_DOUBLE_EQ(t.min_component(), 50.0);
+}
+
+TEST(Stage, NamesAndOrder) {
+  EXPECT_STREQ(stage_name(Stage::kRead), "read");
+  EXPECT_STREQ(stage_name(Stage::kNetwork), "network");
+  EXPECT_STREQ(stage_name(Stage::kWrite), "write");
+  EXPECT_EQ(kAllStages.size(), 3u);
+  EXPECT_EQ(kAllStages[0], Stage::kRead);
+  EXPECT_EQ(kAllStages[2], Stage::kWrite);
+}
+
+}  // namespace
+}  // namespace automdt

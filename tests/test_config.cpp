@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(Config, ParseBasics) {
+  const Config c = Config::parse(
+      "# comment line\n"
+      "link.aggregate_mbps = 25000\n"
+      "name= fabric\n"
+      "  spaced.key   =   spaced value  \n"
+      "\n"
+      "flag = true ; trailing comment\n");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.get_double("link.aggregate_mbps"), 25000.0);
+  EXPECT_EQ(c.get_string("name"), "fabric");
+  EXPECT_EQ(c.get_string("spaced.key"), "spaced value");
+  EXPECT_TRUE(c.get_bool("flag"));
+}
+
+TEST(Config, SyntaxErrorsThrow) {
+  EXPECT_THROW(Config::parse("not an assignment\n"), ConfigError);
+  EXPECT_THROW(Config::parse("= valuewithoutkey\n"), ConfigError);
+}
+
+TEST(Config, MissingKeyThrows) {
+  const Config c = Config::parse("a = 1\n");
+  EXPECT_THROW(c.get_string("b"), ConfigError);
+  EXPECT_THROW(c.get_double("b"), ConfigError);
+}
+
+TEST(Config, FallbackValues) {
+  const Config c = Config::parse("a = 1\n");
+  EXPECT_EQ(c.get_string("b", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(c.get_double("b", 2.5), 2.5);
+  EXPECT_EQ(c.get_int("b", 7), 7);
+  EXPECT_TRUE(c.get_bool("b", true));
+}
+
+TEST(Config, TypeParseErrors) {
+  const Config c = Config::parse("x = hello\ny = 1.5\n");
+  EXPECT_THROW(c.get_double("x"), ConfigError);
+  EXPECT_THROW(c.get_int("y"), ConfigError);  // 1.5 is not an integer
+  EXPECT_THROW(c.get_bool("x"), ConfigError);
+}
+
+TEST(Config, BoolSpellings) {
+  const Config c = Config::parse(
+      "a = TRUE\nb = off\nc = 1\nd = No\n");
+  EXPECT_TRUE(c.get_bool("a"));
+  EXPECT_FALSE(c.get_bool("b"));
+  EXPECT_TRUE(c.get_bool("c"));
+  EXPECT_FALSE(c.get_bool("d"));
+}
+
+TEST(Config, SettersAndRoundTrip) {
+  Config c;
+  c.set("alpha", 1.5);
+  c.set("beta", static_cast<long long>(3));
+  c.set("gamma", "text");
+  const Config back = Config::parse(c.to_string());
+  EXPECT_DOUBLE_EQ(back.get_double("alpha"), 1.5);
+  EXPECT_EQ(back.get_int("beta"), 3);
+  EXPECT_EQ(back.get_string("gamma"), "text");
+}
+
+TEST(Config, PrefixQuery) {
+  const Config c = Config::parse("link.a = 1\nlink.b = 2\nppo.lr = 3\n");
+  const auto link_keys = c.keys_with_prefix("link.");
+  EXPECT_EQ(link_keys.size(), 2u);
+  EXPECT_EQ(c.keys().size(), 3u);
+}
+
+TEST(Config, MergeOverrides) {
+  Config base = Config::parse("a = 1\nb = 2\n");
+  const Config over = Config::parse("b = 20\nc = 30\n");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a"), 1);
+  EXPECT_EQ(base.get_int("b"), 20);
+  EXPECT_EQ(base.get_int("c"), 30);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/automdt.conf"), ConfigError);
+}
+
+}  // namespace
+}  // namespace automdt

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/config_bindings.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::core {
+namespace {
+
+TEST(ConfigBindings, TestbedOverridesApplied) {
+  const Config c = Config::parse(
+      "link.per_stream_mbps = 500\n"
+      "link.aggregate_mbps = 9000\n"
+      "source.per_thread_mbps = 321\n"
+      "dest.contention_knee = 7\n"
+      "buffers.sender_gib = 2\n"
+      "max_threads = 12\n"
+      "utility.k = 1.05\n");
+  const auto base = testbed::fabric_ncsa_tacc().config;
+  const auto out = apply_testbed_overrides(base, c);
+  EXPECT_DOUBLE_EQ(out.link.per_stream_mbps, 500.0);
+  EXPECT_DOUBLE_EQ(out.link.aggregate_mbps, 9000.0);
+  EXPECT_DOUBLE_EQ(out.source_storage.per_thread_mbps, 321.0);
+  EXPECT_EQ(out.dest_storage.contention_knee, 7);
+  EXPECT_DOUBLE_EQ(out.sender_buffer_bytes, 2.0 * kGiB);
+  EXPECT_EQ(out.max_threads, 12);
+  EXPECT_DOUBLE_EQ(out.utility.k, 1.05);
+  // Untouched fields keep the preset values.
+  EXPECT_DOUBLE_EQ(out.dest_storage.per_thread_mbps,
+                   base.dest_storage.per_thread_mbps);
+}
+
+TEST(ConfigBindings, UnknownTestbedKeyRejected) {
+  const Config c = Config::parse("link.per_stream_mpbs = 500\n");  // typo
+  EXPECT_THROW(
+      apply_testbed_overrides(testbed::cloudlab_1g().config, c),
+      ConfigError);
+}
+
+TEST(ConfigBindings, PpoKeysIgnoredByTestbedBinding) {
+  const Config c = Config::parse("ppo.lr = 0.01\n");
+  EXPECT_NO_THROW(
+      apply_testbed_overrides(testbed::cloudlab_1g().config, c));
+}
+
+TEST(ConfigBindings, PpoOverridesApplied) {
+  const Config c = Config::parse(
+      "ppo.max_episodes = 123\n"
+      "ppo.lr = 0.0123\n"
+      "ppo.hidden_dim = 96\n"
+      "ppo.episodes_per_batch = 2\n"
+      "ppo.seed = 99\n");
+  const rl::PpoConfig out = apply_ppo_overrides(rl::PpoConfig{}, c);
+  EXPECT_EQ(out.max_episodes, 123);
+  EXPECT_DOUBLE_EQ(out.lr, 0.0123);
+  EXPECT_EQ(out.hidden_dim, 96u);
+  EXPECT_EQ(out.episodes_per_batch, 2);
+  EXPECT_EQ(out.seed, 99u);
+  // Defaults retained elsewhere.
+  EXPECT_DOUBLE_EQ(out.clip_epsilon, rl::PpoConfig{}.clip_epsilon);
+}
+
+TEST(ConfigBindings, EmptyConfigIsIdentity) {
+  const Config c;
+  const auto base = testbed::bottleneck_write().config;
+  const auto out = apply_testbed_overrides(base, c);
+  EXPECT_DOUBLE_EQ(out.link.per_stream_mbps, base.link.per_stream_mbps);
+  EXPECT_EQ(out.max_threads, base.max_threads);
+}
+
+}  // namespace
+}  // namespace automdt::core

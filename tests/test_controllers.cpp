@@ -1,0 +1,214 @@
+// Baseline controllers: Marlin's three independent climbers, joint GD's
+// probe cycle, the static Globus configuration, and the monolithic knob.
+#include <gtest/gtest.h>
+
+#include "optimizers/joint_gd_controller.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "optimizers/monolithic_controller.hpp"
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::optimizers {
+namespace {
+
+using testbed::Dataset;
+using testbed::EmulatedEnvironment;
+
+EnvStep feedback(StageThroughputs t) {
+  EnvStep s;
+  s.throughputs_mbps = t;
+  return s;
+}
+
+TEST(GlobusStatic, TupleFromConcurrencyAndParallelism) {
+  GlobusStaticController g({4, 8});
+  EXPECT_EQ(g.tuple(), (ConcurrencyTuple{4, 32, 4}));
+  EXPECT_EQ(g.initial_action(), g.tuple());
+  EXPECT_EQ(g.decide(feedback({1, 1, 1}), {9, 9, 9}), g.tuple());
+  EXPECT_EQ(g.name(), "Globus");
+}
+
+TEST(FixedController, AlwaysReturnsTuple) {
+  FixedController f({13, 7, 5}, "Oracle");
+  EXPECT_EQ(f.decide(feedback({0, 0, 0}), {1, 1, 1}),
+            (ConcurrencyTuple{13, 7, 5}));
+  EXPECT_EQ(f.name(), "Oracle");
+}
+
+TEST(Marlin, ClimbsWhileUtilityImproves) {
+  MarlinConfig cfg;
+  cfg.decision_interval = 1;
+  MarlinController m(cfg);
+  Rng rng(1);
+  m.reset(rng);
+  ConcurrencyTuple cur = m.initial_action();
+  // Feed linear-scaling throughput (always improving utility): all stages
+  // should ramp upward monotonically.
+  for (int i = 0; i < 8; ++i) {
+    const StageThroughputs t{cur.read * 50.0, cur.network * 50.0,
+                             cur.write * 50.0};
+    const ConcurrencyTuple next = m.decide(feedback(t), cur);
+    EXPECT_GE(next.read, cur.read);
+    EXPECT_GE(next.network, cur.network);
+    EXPECT_GE(next.write, cur.write);
+    cur = next;
+  }
+  EXPECT_GT(cur.read, m.initial_action().read + 4);
+}
+
+TEST(Marlin, ReversesWhenUtilityDrops) {
+  MarlinConfig cfg;
+  cfg.decision_interval = 1;
+  MarlinController m(cfg);
+  Rng rng(2);
+  m.reset(rng);
+  ConcurrencyTuple cur{10, 10, 10};
+  // First decision bootstraps; feed high utility then a collapse.
+  cur = m.decide(feedback({500, 500, 500}), cur);
+  const ConcurrencyTuple after_drop = m.decide(feedback({1, 1, 1}), cur);
+  // All stages should step back (direction reversed).
+  EXPECT_LT(after_drop.read, cur.read);
+  EXPECT_LT(after_drop.network, cur.network);
+  EXPECT_LT(after_drop.write, cur.write);
+}
+
+TEST(Marlin, StagesAreIndependent) {
+  MarlinConfig cfg;
+  cfg.decision_interval = 1;
+  MarlinController m(cfg);
+  Rng rng(3);
+  m.reset(rng);
+  ConcurrencyTuple cur{5, 5, 5};
+  cur = m.decide(feedback({100, 100, 100}), cur);
+  // Read utility collapses, network/write keep improving.
+  const ConcurrencyTuple next =
+      m.decide(feedback({0.1, 5000, 5000}), cur);
+  EXPECT_LT(next.read, cur.read);
+  EXPECT_GT(next.network, cur.network);
+  EXPECT_GT(next.write, cur.write);
+}
+
+TEST(Marlin, StaysWithinBounds) {
+  MarlinConfig cfg;
+  cfg.max_threads = 8;
+  cfg.decision_interval = 1;
+  MarlinController m(cfg);
+  Rng rng(4);
+  m.reset(rng);
+  ConcurrencyTuple cur = m.initial_action();
+  for (int i = 0; i < 50; ++i) {
+    cur = m.decide(feedback({cur.read * 100.0, cur.network * 100.0,
+                             cur.write * 100.0}),
+                   cur);
+    EXPECT_GE(cur.read, 1);
+    EXPECT_LE(cur.read, 8);
+  }
+}
+
+TEST(Marlin, FindsSingleStageOptimumOnEmulator) {
+  // Network-bottleneck preset (<5,14,5>): Marlin should get the network stage
+  // into the neighbourhood of 14 within ~60 virtual seconds.
+  testbed::ScenarioPreset p = testbed::bottleneck_network();
+  EmulatedEnvironment env(p.config, Dataset::infinite());
+  MarlinController marlin;
+  Rng rng(5);
+
+  EnvStep last;
+  last.observation = env.reset(rng);
+  marlin.reset(rng);
+  ConcurrencyTuple tuple = marlin.initial_action();
+  int best_network = 0;
+  for (int t = 0; t < 90; ++t) {
+    last = env.step(tuple);
+    tuple = marlin.decide(last, tuple);
+    if (t > 30) best_network = std::max(best_network, tuple.network);
+  }
+  EXPECT_GE(best_network, 10);  // near 14; hill climbing overshoots/oscillates
+}
+
+TEST(JointGd, CyclesThroughProbePhases) {
+  JointGdController gd;
+  Rng rng(6);
+  gd.reset(rng);
+  ConcurrencyTuple base = gd.initial_action();
+  // Base step feedback -> probe read.
+  ConcurrencyTuple p1 = gd.decide(feedback({100, 100, 100}), base);
+  EXPECT_EQ(p1, (ConcurrencyTuple{base.read + 1, base.network, base.write}));
+  ConcurrencyTuple p2 = gd.decide(feedback({120, 100, 100}), p1);
+  EXPECT_EQ(p2, (ConcurrencyTuple{base.read, base.network + 1, base.write}));
+  ConcurrencyTuple p3 = gd.decide(feedback({100, 120, 100}), p2);
+  EXPECT_EQ(p3, (ConcurrencyTuple{base.read, base.network, base.write + 1}));
+  // Update step applies the gradient move.
+  ConcurrencyTuple updated = gd.decide(feedback({100, 100, 120}), p3);
+  EXPECT_GE(updated.read, base.read);
+  EXPECT_GE(updated.network, base.network);
+  EXPECT_GE(updated.write, base.write);
+}
+
+TEST(JointGd, StepsBounded) {
+  JointGdConfig cfg;
+  cfg.max_step = 2;
+  cfg.lr = 100.0;  // huge gradient scale; steps must still be clamped
+  JointGdController gd(cfg);
+  Rng rng(7);
+  gd.reset(rng);
+  ConcurrencyTuple cur = gd.initial_action();
+  ConcurrencyTuple prev = cur;
+  for (int i = 0; i < 12; ++i) {
+    const ConcurrencyTuple next =
+        gd.decide(feedback({cur.read * 1000.0, 100, 100}), cur);
+    EXPECT_LE(std::abs(next.read - prev.read), 3);  // probe delta + max_step
+    prev = cur;
+    cur = next;
+  }
+}
+
+TEST(Monolithic, AllStagesCoupled) {
+  MonolithicConfig mcfg;
+  mcfg.decision_interval = 1;
+  MonolithicController m(mcfg);
+  Rng rng(8);
+  m.reset(rng);
+  ConcurrencyTuple cur = m.initial_action();
+  EXPECT_EQ(cur.read, cur.network);
+  EXPECT_EQ(cur.network, cur.write);
+  for (int i = 0; i < 20; ++i) {
+    cur = m.decide(feedback({cur.read * 40.0, cur.read * 40.0,
+                             cur.read * 40.0}),
+                   cur);
+    EXPECT_EQ(cur.read, cur.network);
+    EXPECT_EQ(cur.network, cur.write);
+    EXPECT_GE(cur.read, 1);
+    EXPECT_LE(cur.read, 30);
+  }
+}
+
+TEST(Runner, CompletesTransferAndRecords) {
+  testbed::ScenarioPreset p = testbed::bottleneck_read();
+  p.config.link.jitter = 0.0;
+  p.config.storage_jitter = 0.0;
+  EmulatedEnvironment env(p.config, Dataset::uniform(2, 250.0 * kMB));
+  FixedController oracle(p.expected_optimal, "Oracle");
+  Rng rng(9);
+  const RunResult r = run_transfer(env, oracle, rng, {600.0});
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.completion_time_s, 1.0);
+  EXPECT_LT(r.completion_time_s, 120.0);
+  EXPECT_GT(r.average_throughput_mbps, 100.0);
+  EXPECT_FALSE(r.series.empty());
+  EXPECT_EQ(r.series.points().front().threads, p.expected_optimal);
+}
+
+TEST(Runner, RespectsTimeCap) {
+  testbed::ScenarioPreset p = testbed::bottleneck_read();
+  EmulatedEnvironment env(p.config, Dataset::uniform(100, 1.0 * kGB));
+  FixedController slow({1, 1, 1}, "Slow");
+  Rng rng(10);
+  const RunResult r = run_transfer(env, slow, rng, {30.0});
+  EXPECT_FALSE(r.completed);
+  EXPECT_NEAR(r.completion_time_s, 30.0, 1.5);
+}
+
+}  // namespace
+}  // namespace automdt::optimizers

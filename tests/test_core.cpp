@@ -1,0 +1,143 @@
+// The public facade: full offline pipeline, checkpoint persistence, and the
+// production controller path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/automdt.hpp"
+#include "optimizers/runner.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::core {
+namespace {
+
+PipelineConfig tiny_pipeline() {
+  PipelineConfig cfg;
+  cfg.explorer.duration_steps = 120;
+  cfg.ppo = rl::PpoConfig::fast_defaults();
+  cfg.ppo.max_episodes = 250;
+  cfg.ppo.stagnation_episodes = 60;
+  cfg.buffers = {1.0 * kGiB, 1.0 * kGiB};
+  cfg.max_threads = 20;
+  return cfg;
+}
+
+sim::SimScenario tiny_scenario() {
+  sim::SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {100.0, 100.0, 100.0};
+  s.bandwidth_mbps = {400.0, 400.0, 400.0};
+  s.max_threads = 20;
+  return s;
+}
+
+TEST(AutoMdt, TrainOnScenarioProducesUsableAgent) {
+  rl::TrainResult training;
+  const AutoMdt mdt =
+      AutoMdt::train_on_scenario(tiny_scenario(), tiny_pipeline(), &training);
+  EXPECT_GT(training.episodes_run, 0);
+  EXPECT_GT(mdt.r_max(), 0.0);
+  ASSERT_NE(mdt.agent(), nullptr);
+  Rng rng(1);
+  const ConcurrencyTuple t = mdt.agent()->act(
+      std::vector<double>(kObservationSize, 0.5), rng);
+  EXPECT_GE(t.read, 1);
+  EXPECT_LE(t.max_component(), 20);
+}
+
+TEST(AutoMdt, FullOfflinePipelineFromEmulator) {
+  testbed::ScenarioPreset p = testbed::bottleneck_read();
+  testbed::EmulatedEnvironment env(p.config, testbed::Dataset::infinite());
+  PipelineConfig cfg = tiny_pipeline();
+  cfg.max_threads = p.config.max_threads;
+  cfg.buffers = {p.config.sender_buffer_bytes, p.config.receiver_buffer_bytes};
+
+  OfflineTrainingReport report;
+  const AutoMdt mdt = AutoMdt::train_offline(env, cfg, &report);
+
+  // Exploration happened and produced plausible estimates.
+  EXPECT_GT(report.probe_log.size(), 50u);
+  EXPECT_GT(report.estimates.bottleneck_mbps, 500.0);
+  EXPECT_LE(report.estimates.bottleneck_mbps, 1100.0);
+  // Scenario carried the estimates.
+  EXPECT_EQ(report.scenario.tpt_mbps, report.estimates.tpt_mbps);
+  // Training ran.
+  EXPECT_GT(report.training.episodes_run, 0);
+  EXPECT_GT(mdt.r_max(), 0.0);
+}
+
+TEST(AutoMdt, SaveLoadRoundTrip) {
+  PipelineConfig cfg = tiny_pipeline();
+  cfg.ppo.max_episodes = 60;
+  const AutoMdt mdt = AutoMdt::train_on_scenario(tiny_scenario(), cfg);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "automdt_core_test.ckpt")
+          .string();
+  ASSERT_TRUE(mdt.save(path));
+  const AutoMdt loaded = AutoMdt::load(path, cfg);
+  std::remove(path.c_str());
+
+  EXPECT_DOUBLE_EQ(loaded.r_max(), mdt.r_max());
+  EXPECT_EQ(loaded.training_scale().max_threads,
+            mdt.training_scale().max_threads);
+  EXPECT_DOUBLE_EQ(loaded.training_scale().rate_scale_mbps,
+                   mdt.training_scale().rate_scale_mbps);
+
+  // Same deterministic policy behaviour after reload.
+  Rng r1(9), r2(9);
+  const std::vector<double> s(kObservationSize, 0.4);
+  EXPECT_EQ(mdt.agent()->act(s, r1, true), loaded.agent()->act(s, r2, true));
+}
+
+TEST(AutoMdt, LoadMissingFileThrows) {
+  EXPECT_THROW(AutoMdt::load("/nonexistent/ckpt.bin", tiny_pipeline()),
+               std::runtime_error);
+}
+
+TEST(AutoMdt, ControllerDrivesTransferToCompletion) {
+  PipelineConfig cfg = tiny_pipeline();
+  cfg.ppo.max_episodes = 300;
+  testbed::ScenarioPreset p = testbed::bottleneck_read();
+  cfg.max_threads = p.config.max_threads;
+
+  // Train on a scenario matching the preset's true parameters (as the
+  // exploration phase would estimate them).
+  sim::SimScenario s;
+  s.sender_capacity = p.config.sender_buffer_bytes;
+  s.receiver_capacity = p.config.receiver_buffer_bytes;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = p.config.max_threads;
+  const AutoMdt mdt = AutoMdt::train_on_scenario(s, cfg);
+
+  testbed::EmulatedEnvironment env(p.config,
+                                   testbed::Dataset::uniform(2, 500.0 * kMB));
+  mdt.align_environment(env);
+  auto controller = mdt.make_controller();
+  Rng rng(3);
+  const optimizers::RunResult r =
+      optimizers::run_transfer(env, *controller, rng, {600.0});
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.average_throughput_mbps, 200.0);  // well above 1-thread floor
+}
+
+TEST(AutoMdt, AlignEnvironmentAppliesTrainingScale) {
+  const AutoMdt mdt = AutoMdt::train_on_scenario(tiny_scenario(), [] {
+    PipelineConfig c = tiny_pipeline();
+    c.ppo.max_episodes = 30;
+    return c;
+  }());
+  testbed::ScenarioPreset p = testbed::fabric_ncsa_tacc();
+  testbed::EmulatedEnvironment env(p.config, testbed::Dataset::infinite());
+  mdt.align_environment(env);
+  EXPECT_EQ(env.observation_scale().max_threads,
+            mdt.training_scale().max_threads);
+  EXPECT_DOUBLE_EQ(env.observation_scale().rate_scale_mbps,
+                   mdt.training_scale().rate_scale_mbps);
+}
+
+}  // namespace
+}  // namespace automdt::core

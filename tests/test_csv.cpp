@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"name", "value"}, 1);
+  t.add_row({std::string("x"), 1.25});
+  t.add_row({std::string("y, z"), 2.0});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nx,1.2\n\"y, z\",2.0\n");
+}
+
+TEST(Table, PrintAligned) {
+  Table t({"a", "bbbb"}, 0);
+  t.add_row({std::string("wide-cell"), static_cast<long long>(7)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header and row present, separators drawn.
+  EXPECT_NE(out.find("| a         | bbbb |"), std::string::npos);
+  EXPECT_NE(out.find("| wide-cell | 7    |"), std::string::npos);
+  EXPECT_NE(out.find("+-----------+------+"), std::string::npos);
+}
+
+TEST(Table, IntegerCells) {
+  Table t({"n"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "n\n42\n");
+}
+
+TEST(Table, PrecisionApplied) {
+  Table t({"v"}, 3);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.142\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"v"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({1.0}).add_row({2.0});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace automdt

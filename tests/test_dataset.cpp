@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testbed/dataset.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+TEST(Dataset, UniformCounts) {
+  const Dataset d = Dataset::uniform(10, 5.0 * kMB, "test");
+  EXPECT_EQ(d.file_count(), 10u);
+  EXPECT_DOUBLE_EQ(d.total_bytes(), 50.0 * kMB);
+  EXPECT_DOUBLE_EQ(d.mean_file_bytes(), 5.0 * kMB);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_EQ(d.name(), "test");
+}
+
+TEST(Dataset, PaperLargeIsOneTerabyte) {
+  const Dataset d = Dataset::paper_large();
+  EXPECT_EQ(d.file_count(), 1000u);
+  EXPECT_DOUBLE_EQ(d.total_bytes(), 1000.0 * kGB);  // 1 TB
+}
+
+TEST(Dataset, PaperFig3IsHundredGigabytes) {
+  const Dataset d = Dataset::paper_fig3();
+  EXPECT_EQ(d.file_count(), 100u);
+  EXPECT_DOUBLE_EQ(d.total_bytes(), 100.0 * kGB);
+}
+
+TEST(Dataset, MixedMatchesSpecification) {
+  Rng rng(1);
+  const Dataset d = Dataset::mixed(rng, 10.0 * kGB, 100.0 * kKB, 2.0 * kGB);
+  EXPECT_GE(d.total_bytes(), 10.0 * kGB);
+  EXPECT_LT(d.total_bytes(), 12.5 * kGB);  // overshoot < one max file
+  for (double f : d.files()) {
+    EXPECT_GE(f, 100.0 * kKB * 0.999);
+    EXPECT_LE(f, 2.0 * kGB * 1.001);
+  }
+  // Log-uniform: mean file size far below the max.
+  EXPECT_LT(d.mean_file_bytes(), 500.0 * kMB);
+}
+
+TEST(Dataset, MixedDeterministicPerSeed) {
+  Rng r1(5), r2(5);
+  const Dataset a = Dataset::mixed(r1, 1.0 * kGB);
+  const Dataset b = Dataset::mixed(r2, 1.0 * kGB);
+  ASSERT_EQ(a.file_count(), b.file_count());
+  EXPECT_EQ(a.files(), b.files());
+}
+
+TEST(Dataset, InfiniteDataset) {
+  const Dataset d = Dataset::infinite();
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_TRUE(std::isinf(d.total_bytes()));
+  EXPECT_EQ(d.file_count(), 0u);
+  EXPECT_GT(d.mean_file_bytes(), 0.0);  // nominal value for overhead math
+}
+
+}  // namespace
+}  // namespace automdt::testbed

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "nn/distributions.hpp"
+#include "nn/grad_check.hpp"
+#include "nn/module.hpp"
+
+namespace automdt::nn {
+namespace {
+
+double gaussian_logpdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return -0.5 * z * z - std::log(sigma) - 0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+TEST(DiagonalGaussian, LogProbMatchesClosedForm) {
+  Tensor mean = Tensor::constant(Matrix::from({{1.0, -2.0}, {0.5, 3.0}}));
+  Tensor log_std = Tensor::constant(Matrix::from({{0.2, -0.5}}));
+  DiagonalGaussian d(mean, log_std);
+  Matrix actions = Matrix::from({{1.5, -2.5}, {0.0, 2.0}});
+  const Matrix lp = d.log_prob(actions).value();
+  ASSERT_EQ(lp.rows(), 2u);
+  ASSERT_EQ(lp.cols(), 1u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      expected += gaussian_logpdf(actions(i, j), mean.value()(i, j),
+                                  std::exp(log_std.value()(0, j)));
+    }
+    EXPECT_NEAR(lp(i, 0), expected, 1e-12);
+  }
+}
+
+TEST(DiagonalGaussian, EntropyClosedForm) {
+  Tensor mean = Tensor::constant(Matrix(1, 3, 0.0));
+  Tensor log_std = Tensor::constant(Matrix::from({{0.0, 0.5, -1.0}}));
+  DiagonalGaussian d(mean, log_std);
+  const double expected =
+      3 * (0.5 + 0.5 * std::log(2.0 * std::numbers::pi)) + (0.0 + 0.5 - 1.0);
+  EXPECT_NEAR(d.entropy().scalar(), expected, 1e-12);
+}
+
+TEST(DiagonalGaussian, EntropyIncreasesWithStd) {
+  Tensor mean = Tensor::constant(Matrix(1, 2, 0.0));
+  DiagonalGaussian narrow(mean, Tensor::constant(Matrix(1, 2, -1.0)));
+  DiagonalGaussian wide(mean, Tensor::constant(Matrix(1, 2, 1.0)));
+  EXPECT_GT(wide.entropy().scalar(), narrow.entropy().scalar());
+}
+
+TEST(DiagonalGaussian, SampleMoments) {
+  Tensor mean = Tensor::constant(Matrix::from({{5.0, -3.0}}));
+  Tensor log_std = Tensor::constant(Matrix::from({{std::log(2.0),
+                                                   std::log(0.5)}}));
+  DiagonalGaussian d(mean, log_std);
+  Rng rng(77);
+  double s0 = 0, s1 = 0, sq0 = 0, sq1 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Matrix a = d.sample(rng);
+    s0 += a(0, 0);
+    s1 += a(0, 1);
+    sq0 += a(0, 0) * a(0, 0);
+    sq1 += a(0, 1) * a(0, 1);
+  }
+  EXPECT_NEAR(s0 / n, 5.0, 0.05);
+  EXPECT_NEAR(s1 / n, -3.0, 0.02);
+  EXPECT_NEAR(sq0 / n - 25.0, 4.0, 0.15);   // var = 2^2
+  EXPECT_NEAR(sq1 / n - 9.0, 0.25, 0.02);   // var = 0.5^2
+}
+
+TEST(DiagonalGaussian, ModeIsMean) {
+  Tensor mean = Tensor::constant(Matrix::from({{1.0, 2.0}}));
+  DiagonalGaussian d(mean, Tensor::constant(Matrix(1, 2, 0.0)));
+  EXPECT_EQ(d.mode(), mean.value());
+}
+
+TEST(DiagonalGaussian, LogProbGradWrtMeanAndStd) {
+  Rng rng(5);
+  Parameter mean("m", Matrix::from({{0.3, -0.7}, {1.0, 0.1}}));
+  Parameter log_std("s", Matrix::from({{0.1, -0.2}}));
+  Matrix actions = Matrix::from({{0.5, -1.0}, {0.8, 0.4}});
+  const GradCheckResult r = check_gradients(
+      {&mean, &log_std},
+      [&] {
+        DiagonalGaussian d(mean.tensor(), log_std.tensor());
+        return sum(d.log_prob(actions));
+      });
+  EXPECT_TRUE(r.ok(1e-5)) << r.max_rel_error;
+}
+
+TEST(MultiCategorical, LogProbMatchesLogSoftmax) {
+  Tensor logits = Tensor::constant(Matrix::from({{1.0, 2.0, 0.0}}));
+  MultiCategorical d({logits});
+  const double lp = d.log_prob({{1}}).value()(0, 0);
+  const double denom =
+      std::log(std::exp(1.0) + std::exp(2.0) + std::exp(0.0));
+  EXPECT_NEAR(lp, 2.0 - denom, 1e-12);
+}
+
+TEST(MultiCategorical, HeadsSumInLogProb) {
+  Tensor l1 = Tensor::constant(Matrix::from({{0.0, 1.0}}));
+  Tensor l2 = Tensor::constant(Matrix::from({{2.0, 0.0}}));
+  MultiCategorical joint({l1, l2});
+  MultiCategorical h1({l1}), h2({l2});
+  EXPECT_NEAR(joint.log_prob({{0}, {1}}).value()(0, 0),
+              h1.log_prob({{0}}).value()(0, 0) +
+                  h2.log_prob({{1}}).value()(0, 0),
+              1e-12);
+}
+
+TEST(MultiCategorical, EntropyUniformIsLogN) {
+  Tensor logits = Tensor::constant(Matrix(1, 8, 0.0));  // uniform over 8
+  MultiCategorical d({logits});
+  EXPECT_NEAR(d.entropy().scalar(), std::log(8.0), 1e-12);
+}
+
+TEST(MultiCategorical, SampleFrequencies) {
+  // p = softmax([0, log 3]) = [0.25, 0.75]
+  Tensor logits = Tensor::constant(Matrix::from({{0.0, std::log(3.0)}}));
+  MultiCategorical d({logits});
+  Rng rng(4);
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ones += d.sample(rng)[0][0];
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(MultiCategorical, ModeIsArgmax) {
+  Tensor logits = Tensor::constant(Matrix::from({{0.1, 5.0, -2.0},
+                                                 {3.0, 0.0, 0.0}}));
+  MultiCategorical d({logits});
+  const auto m = d.mode();
+  EXPECT_EQ(m[0][0], 1);
+  EXPECT_EQ(m[0][1], 0);
+}
+
+TEST(MultiCategorical, LogProbGrad) {
+  Parameter logits("l", Matrix::from({{0.2, -0.4, 0.9}, {1.0, 0.0, -1.0}}));
+  const std::vector<std::vector<int>> actions = {{2, 0}};
+  const GradCheckResult r = check_gradients(
+      {&logits},
+      [&] {
+        MultiCategorical d({logits.tensor()});
+        return sum(d.log_prob(actions));
+      });
+  EXPECT_TRUE(r.ok(1e-5)) << r.max_rel_error;
+}
+
+TEST(MultiCategorical, EntropyGrad) {
+  Parameter logits("l", Matrix::from({{0.5, -0.3, 0.1}}));
+  const GradCheckResult r = check_gradients(
+      {&logits},
+      [&] {
+        MultiCategorical d({logits.tensor()});
+        return d.entropy();
+      },
+      1e-6);
+  EXPECT_TRUE(r.ok(1e-4)) << r.max_rel_error;
+}
+
+}  // namespace
+}  // namespace automdt::nn

@@ -1,0 +1,193 @@
+// Unit and property tests for the Algorithm-1 discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/dynamics_simulator.hpp"
+
+namespace automdt::sim {
+namespace {
+
+SimScenario basic_scenario() {
+  SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {100.0, 100.0, 100.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  return s;
+}
+
+TEST(DynamicsSimulator, ThroughputBoundedByPerThreadRate) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  // 1 thread each: at most 100 Mbps per stage.
+  const SimStepResult r = sim.step({1, 1, 1});
+  EXPECT_LE(r.throughput_mbps.read, 100.0 * 1.001);
+  EXPECT_LE(r.throughput_mbps.network, 100.0 * 1.001);
+  EXPECT_LE(r.throughput_mbps.write, 100.0 * 1.001);
+  EXPECT_GT(r.throughput_mbps.read, 50.0);  // empty buffer: reads should fly
+}
+
+TEST(DynamicsSimulator, ThroughputBoundedByAggregateBandwidth) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  // 30 threads x 100 Mbps = 3000 linear, but cap is 1000.
+  for (int i = 0; i < 5; ++i) {
+    const SimStepResult r = sim.step({30, 30, 30});
+    EXPECT_LE(r.throughput_mbps.read, 1000.0 * 1.001);
+    EXPECT_LE(r.throughput_mbps.network, 1000.0 * 1.001);
+    EXPECT_LE(r.throughput_mbps.write, 1000.0 * 1.001);
+  }
+}
+
+TEST(DynamicsSimulator, ConservationOfBytes) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  double read_total = 0.0, net_total = 0.0, write_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const SimStepResult r = sim.step({5, 3, 2});
+    read_total += mbps(r.throughput_mbps.read) * s.step_duration_s;
+    net_total += mbps(r.throughput_mbps.network) * s.step_duration_s;
+    write_total += mbps(r.throughput_mbps.write) * s.step_duration_s;
+  }
+  // bytes read = sender buffer + bytes sent (allow small normalization slack
+  // from tasks finishing past the interval boundary).
+  const double slack = 4 * s.effective_chunk_bytes() * 30;
+  EXPECT_NEAR(read_total, sim.sender_used() + net_total, slack);
+  EXPECT_NEAR(net_total, sim.receiver_used() + write_total, slack);
+  // Data never appears from nowhere.
+  EXPECT_GE(read_total + slack, net_total);
+  EXPECT_GE(net_total + slack, write_total);
+}
+
+TEST(DynamicsSimulator, WriteBlockedUntilDataArrives) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  sim.reset_buffers(0.0, 0.0);
+  // First step: writes can only move what the pipeline delivers this step.
+  const SimStepResult r = sim.step({1, 1, 30});
+  EXPECT_LE(r.throughput_mbps.write, r.throughput_mbps.network * 1.05 + 1.0);
+}
+
+TEST(DynamicsSimulator, ReadStallsWhenBufferFull) {
+  SimScenario s = basic_scenario();
+  s.sender_capacity = 32.0 * kMiB;  // tiny staging buffer
+  DynamicsSimulator sim(s);
+  // Massive read concurrency, minimal drain: reads must throttle to the
+  // network drain rate once the buffer fills.
+  double last_read = 0.0;
+  for (int i = 0; i < 5; ++i) last_read = sim.step({30, 1, 1}).throughput_mbps.read;
+  EXPECT_LE(last_read, 100.0 * 1.5);  // ~network per-thread rate, not 1000
+  EXPECT_NEAR(sim.sender_used(), 32.0 * kMiB, 2.0 * s.effective_chunk_bytes());
+}
+
+TEST(DynamicsSimulator, BufferStatePersistsAcrossSteps) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  sim.step({10, 1, 1});
+  const double used_after_one = sim.sender_used();
+  EXPECT_GT(used_after_one, 0.0);
+  sim.step({1, 10, 10});  // drain
+  EXPECT_LT(sim.sender_used(), used_after_one);
+}
+
+TEST(DynamicsSimulator, ResetBuffersClamps) {
+  DynamicsSimulator sim(basic_scenario());
+  sim.reset_buffers(1e18, -5.0);
+  EXPECT_DOUBLE_EQ(sim.sender_used(), sim.scenario().sender_capacity);
+  EXPECT_DOUBLE_EQ(sim.receiver_used(), 0.0);
+}
+
+TEST(DynamicsSimulator, RewardMatchesUtilityOfReportedThroughputs) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  const ConcurrencyTuple n{4, 4, 4};
+  const SimStepResult r = sim.step(n);
+  EXPECT_NEAR(r.reward, total_utility(r.throughput_mbps, n, s.utility), 1e-9);
+}
+
+TEST(DynamicsSimulator, ActionsClampedToMaxThreads) {
+  SimScenario s = basic_scenario();
+  s.max_threads = 8;
+  DynamicsSimulator sim(s);
+  // 100 threads requested -> clamped to 8 -> at most 800 Mbps.
+  const SimStepResult r = sim.step({100, 100, 100});
+  EXPECT_LE(r.throughput_mbps.read, 8 * 100.0 * 1.001);
+}
+
+TEST(DynamicsSimulator, DeterministicGivenSameState) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator a(s), b(s);
+  for (int i = 0; i < 10; ++i) {
+    const SimStepResult ra = a.step({7, 5, 3});
+    const SimStepResult rb = b.step({7, 5, 3});
+    EXPECT_EQ(ra.throughput_mbps, rb.throughput_mbps);
+    EXPECT_DOUBLE_EQ(ra.reward, rb.reward);
+  }
+}
+
+TEST(DynamicsSimulator, FreePlusUsedEqualsCapacity) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  const SimStepResult r = sim.step({6, 2, 1});
+  EXPECT_DOUBLE_EQ(r.sender_used_bytes + r.sender_free_bytes,
+                   s.sender_capacity);
+  EXPECT_DOUBLE_EQ(r.receiver_used_bytes + r.receiver_free_bytes,
+                   s.receiver_capacity);
+}
+
+TEST(DynamicsSimulator, EventCountReasonable) {
+  SimScenario s = basic_scenario();
+  DynamicsSimulator sim(s);
+  const SimStepResult r = sim.step({10, 10, 10});
+  EXPECT_GT(r.events_processed, 30);       // every thread ran at least once
+  EXPECT_LT(r.events_processed, 200000);   // and the step stayed cheap
+}
+
+// ---- Property sweep: steady-state throughput ~ min(n*tpt, B) at the
+// bottleneck stage across a grid of scenarios. ----
+
+struct SweepParam {
+  double tpt_r, tpt_n, tpt_w;  // Mbps per thread
+  int n_r, n_n, n_w;
+};
+
+class SimulatorSteadyState : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SimulatorSteadyState, EndToEndRateMatchesFluidModel) {
+  const SweepParam p = GetParam();
+  SimScenario s;
+  s.sender_capacity = 2.0 * kGiB;
+  s.receiver_capacity = 2.0 * kGiB;
+  s.tpt_mbps = {p.tpt_r, p.tpt_n, p.tpt_w};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  DynamicsSimulator sim(s);
+
+  const ConcurrencyTuple n{p.n_r, p.n_n, p.n_w};
+  auto stage_cap = [&](Stage st) {
+    return std::min(n[st] * s.tpt_mbps[st], s.bandwidth_mbps[st]);
+  };
+  const double expected_e2e = std::min(
+      {stage_cap(Stage::kRead), stage_cap(Stage::kNetwork),
+       stage_cap(Stage::kWrite)});
+
+  // Run to steady state; the write rate is the end-to-end rate.
+  double write_rate = 0.0;
+  for (int i = 0; i < 30; ++i) write_rate = sim.step(n).throughput_mbps.write;
+  EXPECT_NEAR(write_rate, expected_e2e, expected_e2e * 0.10 + 5.0)
+      << "n=" << n.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulatorSteadyState,
+    ::testing::Values(
+        SweepParam{100, 100, 100, 4, 4, 4},    // balanced, below caps
+        SweepParam{80, 160, 200, 13, 7, 5},    // paper read-bottleneck ideal
+        SweepParam{205, 75, 195, 5, 14, 5},    // paper network-bottleneck
+        SweepParam{200, 150, 70, 5, 7, 15},    // paper write-bottleneck
+        SweepParam{100, 100, 100, 30, 30, 30}, // everything at aggregate cap
+        SweepParam{50, 400, 400, 2, 2, 2},     // read-starved pipeline
+        SweepParam{400, 400, 50, 3, 3, 3},     // write-limited pipeline
+        SweepParam{250, 250, 250, 1, 1, 1}));  // single threads
+
+}  // namespace
+}  // namespace automdt::sim

@@ -1,0 +1,144 @@
+// Real threaded engine: end-to-end completion, payload integrity, live
+// concurrency updates, rate limiting, and clean shutdown.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "transfer/engine.hpp"
+
+namespace automdt::transfer {
+namespace {
+
+EngineConfig small_config() {
+  EngineConfig c;
+  c.max_threads = 4;
+  c.chunk_bytes = 64 * 1024;
+  c.sender_buffer_bytes = 1.0 * kMiB;
+  c.receiver_buffer_bytes = 1.0 * kMiB;
+  return c;
+}
+
+TEST(ChunkChecksum, StableAndSensitive) {
+  std::vector<std::byte> a = {std::byte{1}, std::byte{2}, std::byte{3}};
+  std::vector<std::byte> b = a;
+  EXPECT_EQ(chunk_checksum(a), chunk_checksum(b));
+  b[1] = std::byte{9};
+  EXPECT_NE(chunk_checksum(a), chunk_checksum(b));
+  EXPECT_NE(chunk_checksum({}), 0u);
+}
+
+TEST(TransferSession, CompletesAndVerifies) {
+  TransferSession s(small_config(), std::vector<double>(8, 512.0 * 1024));
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(20.0));
+  const TransferStats st = s.stats();
+  EXPECT_TRUE(st.finished);
+  EXPECT_DOUBLE_EQ(st.bytes_written, 8 * 512.0 * 1024);
+  EXPECT_DOUBLE_EQ(st.bytes_read, st.bytes_written);
+  EXPECT_DOUBLE_EQ(st.bytes_sent, st.bytes_written);
+  EXPECT_EQ(st.verify_failures, 0u);
+  EXPECT_EQ(st.chunks_written, 8u * 8u);  // 512 KiB / 64 KiB = 8 chunks/file
+}
+
+TEST(TransferSession, HandlesUnevenFileSizes) {
+  // Sizes that do not divide evenly into chunks.
+  TransferSession s(small_config(), {100.0, 65537.0, 200000.0});
+  s.start({1, 1, 1});
+  ASSERT_TRUE(s.wait_finished(20.0));
+  EXPECT_DOUBLE_EQ(s.stats().bytes_written, 100.0 + 65537.0 + 200000.0);
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+}
+
+TEST(TransferSession, EmptyDatasetFinishesImmediately) {
+  TransferSession s(small_config(), {});
+  s.start({1, 1, 1});
+  EXPECT_TRUE(s.wait_finished(1.0));
+  EXPECT_DOUBLE_EQ(s.stats().bytes_written, 0.0);
+}
+
+TEST(TransferSession, LiveConcurrencyUpdate) {
+  EngineConfig cfg = small_config();
+  cfg.max_threads = 6;
+  TransferSession s(cfg, std::vector<double>(40, 256.0 * 1024));
+  s.start({1, 1, 1});
+  s.set_concurrency({6, 6, 6});
+  EXPECT_EQ(s.concurrency(), (ConcurrencyTuple{6, 6, 6}));
+  s.set_concurrency({100, 0, 3});  // clamped
+  EXPECT_EQ(s.concurrency(), (ConcurrencyTuple{6, 1, 3}));
+  ASSERT_TRUE(s.wait_finished(30.0));
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+}
+
+TEST(TransferSession, NetworkThrottleBoundsRate) {
+  EngineConfig cfg = small_config();
+  // 2 MB/s aggregate network cap.
+  cfg.network.aggregate_bytes_per_s = 2.0 * 1024 * 1024;
+  const double total = 2.0 * kMiB;
+  TransferSession s(cfg, {total});
+  const auto t0 = std::chrono::steady_clock::now();
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(30.0));
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 2 MiB at 2 MiB/s (minus initial burst allowance) >= ~0.6 s.
+  EXPECT_GT(dt, 0.5);
+}
+
+TEST(TransferSession, PerThreadThrottleScalesWithConcurrency) {
+  EngineConfig cfg = small_config();
+  cfg.read.per_thread_bytes_per_s = 1.0 * 1024 * 1024;
+  TransferSession s(cfg, {3.0 * kMiB});
+  // With 3 read threads the bucket refills at 3 MB/s.
+  s.start({3, 4, 4});
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(s.wait_finished(30.0));
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(dt, 5.0);
+  EXPECT_GT(dt, 0.4);
+}
+
+TEST(TransferSession, StopIsIdempotentAndAborts) {
+  TransferSession s(small_config(), std::vector<double>(1000, 1.0 * kMiB));
+  s.start({4, 4, 4});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  s.stop();
+  s.stop();  // no crash
+  EXPECT_FALSE(s.stats().finished);
+}
+
+TEST(TransferSession, StatsMonotoneDuringRun) {
+  EngineConfig cfg = small_config();
+  cfg.network.aggregate_bytes_per_s = 4.0 * 1024 * 1024;
+  TransferSession s(cfg, std::vector<double>(16, 512.0 * 1024));
+  s.start({2, 2, 2});
+  double last_written = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const TransferStats st = s.stats();
+    EXPECT_GE(st.bytes_read, st.bytes_sent);
+    EXPECT_GE(st.bytes_sent, st.bytes_written);
+    EXPECT_GE(st.bytes_written, last_written);
+    last_written = st.bytes_written;
+    if (st.finished) break;
+  }
+  s.stop();
+}
+
+TEST(TransferSession, BoundedStagingQueues) {
+  EngineConfig cfg = small_config();
+  cfg.sender_buffer_bytes = 4 * 64.0 * 1024;  // 4 chunks
+  // Block the network almost completely so readers fill the buffer.
+  cfg.network.aggregate_bytes_per_s = 1.0;
+  TransferSession s(cfg, std::vector<double>(100, 64.0 * 1024));
+  s.start({4, 1, 1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_LE(s.stats().sender_queue_chunks, 4u);
+  s.stop();
+}
+
+}  // namespace
+}  // namespace automdt::transfer

@@ -1,0 +1,117 @@
+// Failure injection and stress for the threaded engine: aborts while
+// blocked, concurrent retuning, degenerate datasets, and clean teardown
+// under every interleaving we can provoke on 2 cores.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "transfer/engine.hpp"
+
+namespace automdt::transfer {
+namespace {
+
+EngineConfig tiny() {
+  EngineConfig c;
+  c.max_threads = 4;
+  c.chunk_bytes = 32 * 1024;
+  c.sender_buffer_bytes = 128.0 * 1024;
+  c.receiver_buffer_bytes = 128.0 * 1024;
+  return c;
+}
+
+TEST(EngineStress, StopWhileReadersBlockedOnFullBuffer) {
+  EngineConfig cfg = tiny();
+  cfg.network.aggregate_bytes_per_s = 1.0;  // network effectively frozen
+  TransferSession s(cfg, std::vector<double>(64, 64.0 * 1024));
+  s.start({4, 4, 4});
+  // Give readers time to fill the sender queue and block on push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  s.stop();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(EngineStress, StopWhileWritersStarved) {
+  EngineConfig cfg = tiny();
+  cfg.read.aggregate_bytes_per_s = 1.0;  // nothing ever arrives
+  TransferSession s(cfg, std::vector<double>(8, 64.0 * 1024));
+  s.start({1, 4, 4});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  s.stop();
+  SUCCEED();
+}
+
+TEST(EngineStress, DestructorAbortsRunningTransfer) {
+  // Rely on ~TransferSession for cleanup — no explicit stop().
+  auto s = std::make_unique<TransferSession>(
+      tiny(), std::vector<double>(256, 256.0 * 1024));
+  s->start({4, 4, 4});
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  s.reset();  // must join cleanly
+  SUCCEED();
+}
+
+TEST(EngineStress, ConcurrentRetuningWhileTransferring) {
+  TransferSession s(tiny(), std::vector<double>(64, 128.0 * 1024));
+  s.start({1, 1, 1});
+  std::atomic<bool> done{false};
+  std::thread tuner([&] {
+    Rng rng(1);
+    while (!done.load()) {
+      s.set_concurrency({rng.uniform_int(1, 4), rng.uniform_int(1, 4),
+                         rng.uniform_int(1, 4)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const bool finished = s.wait_finished(30.0);
+  done.store(true);
+  tuner.join();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+}
+
+TEST(EngineStress, SingleByteFiles) {
+  TransferSession s(tiny(), std::vector<double>(32, 1.0));
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(10.0));
+  EXPECT_DOUBLE_EQ(s.stats().bytes_written, 32.0);
+  EXPECT_EQ(s.stats().chunks_written, 32u);
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+}
+
+TEST(EngineStress, ManyTinyFilesComplete) {
+  TransferSession s(tiny(), std::vector<double>(500, 3000.0));
+  s.start({4, 4, 4});
+  ASSERT_TRUE(s.wait_finished(30.0));
+  EXPECT_DOUBLE_EQ(s.stats().bytes_written, 500 * 3000.0);
+}
+
+TEST(EngineStress, RepeatedStartStopCycles) {
+  for (int i = 0; i < 10; ++i) {
+    TransferSession s(tiny(), std::vector<double>(16, 64.0 * 1024));
+    s.start({2, 2, 2});
+    if (i % 2 == 0) {
+      s.wait_finished(10.0);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    s.stop();
+  }
+  SUCCEED();
+}
+
+TEST(EngineStress, NoPayloadModeSkipsVerification) {
+  EngineConfig cfg = tiny();
+  cfg.fill_payload = false;
+  cfg.verify_payload = false;
+  TransferSession s(cfg, std::vector<double>(16, 128.0 * 1024));
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(10.0));
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+  EXPECT_DOUBLE_EQ(s.stats().bytes_written, 16 * 128.0 * 1024);
+}
+
+}  // namespace
+}  // namespace automdt::transfer

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "testbed/environment.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+TestbedConfig deterministic_1g() {
+  TestbedConfig c = bottleneck_read().config;
+  c.link.jitter = 0.0;
+  c.storage_jitter = 0.0;
+  return c;
+}
+
+TEST(EmulatedEnvironment, CompletesFiniteDataset) {
+  // 1 GB over a ~1 Gbps-capable pipeline at ideal threads: ~10 s virtual.
+  EmulatedEnvironment env(deterministic_1g(), Dataset::uniform(1, 1.0 * kGB));
+  Rng rng(1);
+  env.reset(rng);
+  bool done = false;
+  for (int t = 0; t < 300 && !done; ++t) done = env.step({13, 7, 5}).done;
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(env.finished());
+  EXPECT_NEAR(env.bytes_written(), 1.0 * kGB, 1.0);
+  EXPECT_GT(env.virtual_time_s(), 5.0);
+  EXPECT_LT(env.virtual_time_s(), 60.0);
+}
+
+TEST(EmulatedEnvironment, ConservationAtEveryStep) {
+  EmulatedEnvironment env(deterministic_1g(), Dataset::uniform(4, 256.0 * kMB));
+  Rng rng(2);
+  env.reset(rng);
+  for (int t = 0; t < 30; ++t) {
+    env.step({10, 10, 10});
+    // Pipeline ordering invariants.
+    EXPECT_GE(env.bytes_read(), env.bytes_sent());
+    EXPECT_GE(env.bytes_sent(), env.bytes_written());
+    // Buffers hold exactly the in-flight difference.
+    EXPECT_NEAR(env.sender_buffer_used(), env.bytes_read() - env.bytes_sent(),
+                1.0);
+    EXPECT_NEAR(env.receiver_buffer_used(),
+                env.bytes_sent() - env.bytes_written(), 1.0);
+    // Never read more than the dataset holds.
+    EXPECT_LE(env.bytes_read(), env.total_bytes() + 1.0);
+  }
+}
+
+TEST(EmulatedEnvironment, ThroughputRespectsThrottles) {
+  // Read throttle 80 Mbps/thread on the read-bottleneck preset.
+  EmulatedEnvironment env(deterministic_1g(), Dataset::infinite());
+  Rng rng(3);
+  env.reset(rng);
+  for (int i = 0; i < 5; ++i) env.step({1, 7, 5});
+  const EnvStep out = env.step({1, 7, 5});
+  EXPECT_LE(out.throughputs_mbps.read, 80.0 * 1.05);
+  EXPECT_GT(out.throughputs_mbps.read, 40.0);
+}
+
+TEST(EmulatedEnvironment, MonolithicOverSubscriptionHurts) {
+  // 30 threads everywhere degrades storage efficiency past the knee (24):
+  // steady-state end-to-end rate must be lower than at the ideal tuple.
+  EmulatedEnvironment ideal_env(deterministic_1g(), Dataset::infinite());
+  EmulatedEnvironment mono_env(deterministic_1g(), Dataset::infinite());
+  Rng rng(4);
+  ideal_env.reset(rng);
+  mono_env.reset(rng);
+  double ideal_rate = 0.0, mono_rate = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    ideal_rate = ideal_env.step({13, 7, 5}).throughputs_mbps.write;
+    mono_rate = mono_env.step({30, 30, 30}).throughputs_mbps.write;
+  }
+  EXPECT_GT(ideal_rate, mono_rate * 1.05);
+}
+
+TEST(EmulatedEnvironment, DoneExactlyOnceAndSticky) {
+  EmulatedEnvironment env(deterministic_1g(),
+                          Dataset::uniform(1, 100.0 * kMB));
+  Rng rng(5);
+  env.reset(rng);
+  int done_at = -1;
+  for (int t = 0; t < 120; ++t) {
+    if (env.step({13, 7, 5}).done) {
+      done_at = t;
+      break;
+    }
+  }
+  ASSERT_GE(done_at, 0);
+  EXPECT_TRUE(env.finished());
+  // No further progress after completion.
+  const double written = env.bytes_written();
+  env.step({13, 7, 5});
+  EXPECT_DOUBLE_EQ(env.bytes_written(), written);
+}
+
+TEST(EmulatedEnvironment, ResetClearsProgress) {
+  EmulatedEnvironment env(deterministic_1g(), Dataset::uniform(1, 50.0 * kMB));
+  Rng rng(6);
+  env.reset(rng);
+  for (int i = 0; i < 5; ++i) env.step({5, 5, 5});
+  EXPECT_GT(env.bytes_read(), 0.0);
+  env.reset(rng);
+  EXPECT_DOUBLE_EQ(env.bytes_read(), 0.0);
+  EXPECT_DOUBLE_EQ(env.virtual_time_s(), 0.0);
+  EXPECT_DOUBLE_EQ(env.sender_buffer_used(), 0.0);
+}
+
+TEST(EmulatedEnvironment, AverageThroughputConsistent) {
+  EmulatedEnvironment env(deterministic_1g(), Dataset::uniform(2, 200.0 * kMB));
+  Rng rng(7);
+  env.reset(rng);
+  while (!env.finished()) env.step({13, 7, 5});
+  EXPECT_NEAR(env.average_throughput_mbps(),
+              to_mbps(env.bytes_written() / env.virtual_time_s()), 1e-6);
+}
+
+TEST(EmulatedEnvironment, ObservationScaleOverride) {
+  EmulatedEnvironment env(deterministic_1g(), Dataset::infinite());
+  ObservationScale custom;
+  custom.max_threads = 10;
+  custom.rate_scale_mbps = 100.0;
+  custom.sender_capacity = 1.0;
+  custom.receiver_capacity = 1.0;
+  env.set_observation_scale(custom);
+  Rng rng(8);
+  env.reset(rng);
+  const EnvStep out = env.step({5, 5, 5});
+  EXPECT_DOUBLE_EQ(out.observation[0], 0.5);  // 5 / 10
+}
+
+TEST(EmulatedEnvironment, JitterMakesRunsDiffer) {
+  TestbedConfig cfg = bottleneck_read().config;  // has jitter
+  EmulatedEnvironment e1(cfg, Dataset::infinite());
+  EmulatedEnvironment e2(cfg, Dataset::infinite());
+  Rng r1(10), r2(20);  // different seeds
+  e1.reset(r1);
+  e2.reset(r2);
+  double t1 = 0, t2 = 0;
+  for (int i = 0; i < 5; ++i) {
+    t1 = e1.step({10, 10, 10}).throughputs_mbps.write;
+    t2 = e2.step({10, 10, 10}).throughputs_mbps.write;
+  }
+  EXPECT_NE(t1, t2);
+}
+
+TEST(EmulatedEnvironment, DeterministicUnderSameSeed) {
+  TestbedConfig cfg = bottleneck_read().config;
+  EmulatedEnvironment e1(cfg, Dataset::infinite());
+  EmulatedEnvironment e2(cfg, Dataset::infinite());
+  Rng r1(42), r2(42);
+  e1.reset(r1);
+  e2.reset(r2);
+  for (int i = 0; i < 10; ++i) {
+    const EnvStep s1 = e1.step({8, 6, 4});
+    const EnvStep s2 = e2.step({8, 6, 4});
+    EXPECT_EQ(s1.observation, s2.observation);
+  }
+}
+
+TEST(EmulatedEnvironment, MidTransferRetuneMovesBottleneck) {
+  EmulatedEnvironment env(deterministic_1g(), Dataset::infinite());
+  Rng rng(12);
+  env.reset(rng);
+  // Warm up at the read-bottleneck optimum.
+  double rate_before = 0.0;
+  for (int i = 0; i < 20; ++i)
+    rate_before = env.step({13, 7, 5}).throughputs_mbps.write;
+  EXPECT_GT(rate_before, 900.0);
+
+  // Move the bottleneck to the write stage; same tuple now starves writes.
+  env.set_per_thread_rates({200.0, 150.0, 70.0});
+  double rate_after = 0.0;
+  for (int i = 0; i < 40; ++i)
+    rate_after = env.step({13, 7, 5}).throughputs_mbps.write;
+  EXPECT_LT(rate_after, 500.0);  // 5 write threads x 70 Mbps = 350
+
+  // The new optimum recovers the rate without a reset.
+  double rate_recovered = 0.0;
+  for (int i = 0; i < 40; ++i)
+    rate_recovered = env.step({5, 7, 15}).throughputs_mbps.write;
+  EXPECT_GT(rate_recovered, 900.0);
+}
+
+TEST(Presets, ExpectedOptimaMatchPaper) {
+  EXPECT_EQ(bottleneck_read().expected_optimal, (ConcurrencyTuple{13, 7, 5}));
+  EXPECT_EQ(bottleneck_network().expected_optimal,
+            (ConcurrencyTuple{5, 14, 5}));
+  EXPECT_EQ(bottleneck_write().expected_optimal, (ConcurrencyTuple{5, 7, 15}));
+  EXPECT_EQ(fig5_presets().size(), 3u);
+}
+
+TEST(Presets, FabricSaturatesAroundTwentyStreams) {
+  ScenarioPreset p = fabric_ncsa_tacc();
+  p.config.link.jitter = 0.0;
+  p.config.storage_jitter = 0.0;
+  EmulatedEnvironment env(p.config, Dataset::infinite());
+  Rng rng(11);
+  env.reset(rng);
+  double rate = 0.0;
+  for (int i = 0; i < 30; ++i)
+    rate = env.step(p.expected_optimal).throughputs_mbps.write;
+  // ~25 Gbps-class link: the optimal tuple should deliver >= 20 Gbps.
+  EXPECT_GT(rate, 20000.0);
+}
+
+}  // namespace
+}  // namespace automdt::testbed

@@ -1,0 +1,139 @@
+// Parameterized property sweep over every testbed preset: invariants that
+// must hold regardless of scenario — conservation, throughput bounds,
+// determinism, observation sanity, and completion under the oracle tuple.
+#include <gtest/gtest.h>
+
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+struct PresetCase {
+  const char* id;
+  ScenarioPreset (*make)();
+};
+
+class EnvironmentProperties : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(EnvironmentProperties, ConservationAndBounds) {
+  const ScenarioPreset preset = GetParam().make();
+  EmulatedEnvironment env(preset.config, Dataset::infinite());
+  Rng rng(101);
+  env.reset(rng);
+
+  const double max_possible =
+      std::max({preset.config.source_storage.aggregate_mbps,
+                preset.config.link.aggregate_mbps,
+                preset.config.dest_storage.aggregate_mbps});
+
+  Rng action_rng(7);
+  for (int t = 0; t < 40; ++t) {
+    const ConcurrencyTuple action{
+        action_rng.uniform_int(1, preset.config.max_threads),
+        action_rng.uniform_int(1, preset.config.max_threads),
+        action_rng.uniform_int(1, preset.config.max_threads)};
+    const EnvStep out = env.step(action);
+
+    // Throughputs bounded by physics (generous jitter allowance).
+    for (Stage s : kAllStages) {
+      EXPECT_GE(out.throughputs_mbps[s], 0.0);
+      EXPECT_LE(out.throughputs_mbps[s], max_possible * 1.3)
+          << GetParam().id << " stage " << stage_name(s);
+    }
+
+    // Pipeline ordering and buffer accounting.
+    EXPECT_GE(env.bytes_read(), env.bytes_sent() - 1.0);
+    EXPECT_GE(env.bytes_sent(), env.bytes_written() - 1.0);
+    EXPECT_GE(env.sender_buffer_used(), -1e-6);
+    EXPECT_LE(env.sender_buffer_used(),
+              preset.config.sender_buffer_bytes + 1e-6);
+    EXPECT_GE(env.receiver_buffer_used(), -1e-6);
+    EXPECT_LE(env.receiver_buffer_used(),
+              preset.config.receiver_buffer_bytes + 1e-6);
+
+    // Observation features stay in sane ranges.
+    ASSERT_EQ(out.observation.size(), kObservationSize);
+    for (double v : out.observation) {
+      EXPECT_GE(v, -0.01);
+      EXPECT_LE(v, 2.0);
+    }
+    EXPECT_GE(out.reward, 0.0);
+  }
+}
+
+TEST_P(EnvironmentProperties, DeterministicUnderSeed) {
+  const ScenarioPreset preset = GetParam().make();
+  EmulatedEnvironment a(preset.config, Dataset::infinite());
+  EmulatedEnvironment b(preset.config, Dataset::infinite());
+  Rng ra(55), rb(55);
+  a.reset(ra);
+  b.reset(rb);
+  for (int t = 0; t < 15; ++t) {
+    const EnvStep sa = a.step({6, 6, 6});
+    const EnvStep sb = b.step({6, 6, 6});
+    ASSERT_EQ(sa.observation, sb.observation) << GetParam().id;
+  }
+}
+
+TEST_P(EnvironmentProperties, OracleTupleCompletesTransfer) {
+  const ScenarioPreset preset = GetParam().make();
+  // Size the dataset to ~60 bottleneck-seconds so every preset finishes fast.
+  const double bottleneck =
+      std::min({preset.config.source_storage.aggregate_mbps,
+                preset.config.link.aggregate_mbps,
+                preset.config.dest_storage.aggregate_mbps});
+  const double bytes = mbps(bottleneck) * 60.0;
+  EmulatedEnvironment env(preset.config, Dataset::uniform(4, bytes / 4.0));
+  optimizers::FixedController oracle(preset.expected_optimal, "Oracle");
+  Rng rng(77);
+  const auto res = optimizers::run_transfer(env, oracle, rng, {1200.0});
+  EXPECT_TRUE(res.completed) << GetParam().id;
+  // The oracle tuple should achieve a healthy fraction of the bottleneck.
+  EXPECT_GT(res.average_throughput_mbps, bottleneck * 0.4) << GetParam().id;
+}
+
+TEST_P(EnvironmentProperties, MoreBandwidthNeverSlower) {
+  const ScenarioPreset preset = GetParam().make();
+  TestbedConfig boosted = preset.config;
+  boosted.link.aggregate_mbps *= 2.0;
+  boosted.source_storage.aggregate_mbps *= 2.0;
+  boosted.dest_storage.aggregate_mbps *= 2.0;
+  boosted.link.jitter = 0.0;
+  boosted.storage_jitter = 0.0;
+  boosted.link.background_sigma_mbps = 0.0;
+  TestbedConfig base = preset.config;
+  base.link.jitter = 0.0;
+  base.storage_jitter = 0.0;
+  base.link.background_sigma_mbps = 0.0;
+
+  const Dataset data = Dataset::uniform(2, 200.0 * kMB);
+  optimizers::FixedController oracle(preset.expected_optimal, "Oracle");
+
+  EmulatedEnvironment env_base(base, data);
+  EmulatedEnvironment env_boost(boosted, data);
+  Rng r1(3), r2(3);
+  const auto res_base = optimizers::run_transfer(env_base, oracle, r1,
+                                                 {3600.0});
+  const auto res_boost = optimizers::run_transfer(env_boost, oracle, r2,
+                                                  {3600.0});
+  ASSERT_TRUE(res_base.completed);
+  ASSERT_TRUE(res_boost.completed);
+  EXPECT_LE(res_boost.completion_time_s, res_base.completion_time_s * 1.01)
+      << GetParam().id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, EnvironmentProperties,
+    ::testing::Values(PresetCase{"fabric", &fabric_ncsa_tacc},
+                      PresetCase{"cloudlab", &cloudlab_1g},
+                      PresetCase{"read", &bottleneck_read},
+                      PresetCase{"network", &bottleneck_network},
+                      PresetCase{"write", &bottleneck_write}),
+    [](const ::testing::TestParamInfo<PresetCase>& info) {
+      return info.param.id;
+    });
+
+}  // namespace
+}  // namespace automdt::testbed

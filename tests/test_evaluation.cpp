@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "rl/evaluation.hpp"
+#include "sim/simulator_env.hpp"
+
+namespace automdt::rl {
+namespace {
+
+sim::SimScenario scenario() {
+  sim::SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = 30;
+  return s;
+}
+
+TEST(EvaluatePolicy, FixedOptimalPolicyScoresHigh) {
+  sim::SimulatorEnv env(scenario());
+  Rng rng(1);
+  const EvaluationResult r = evaluate_policy(
+      env, [](const std::vector<double>&) { return ConcurrencyTuple{13, 7, 5}; },
+      env.theoretical_max_reward(), rng);
+  EXPECT_GT(r.mean_reward, 0.85);
+  EXPECT_EQ(r.settled_tuple, (ConcurrencyTuple{13, 7, 5}));
+  EXPECT_NEAR(r.mean_total_threads, 25.0, 1e-9);
+  EXPECT_GT(r.mean_throughput_mbps.write, 900.0);
+  EXPECT_EQ(r.episodes, 3);
+}
+
+TEST(EvaluatePolicy, BadPolicyScoresLow) {
+  sim::SimulatorEnv env(scenario());
+  Rng rng(2);
+  const EvaluationResult r = evaluate_policy(
+      env, [](const std::vector<double>&) { return ConcurrencyTuple{1, 1, 1}; },
+      env.theoretical_max_reward(), rng);
+  EXPECT_LT(r.mean_reward, 0.4);
+}
+
+TEST(EvaluatePolicy, CountsAndOptionsRespected) {
+  sim::SimulatorEnv env(scenario());
+  Rng rng(3);
+  EvaluationOptions opt;
+  opt.episodes = 2;
+  opt.steps_per_episode = 12;
+  opt.warmup_steps = 4;
+  const EvaluationResult r = evaluate_policy(
+      env, [](const std::vector<double>&) { return ConcurrencyTuple{5, 5, 5}; },
+      env.theoretical_max_reward(), rng, opt);
+  EXPECT_EQ(r.episodes, 2);
+  EXPECT_EQ(r.steps, 24);
+}
+
+TEST(EvaluatePolicy, ModalTupleWins) {
+  sim::SimulatorEnv env(scenario());
+  Rng rng(4);
+  int call = 0;
+  const EvaluationResult r = evaluate_policy(
+      env,
+      [&call](const std::vector<double>&) {
+        ++call;
+        // Mostly <10,10,10>, occasionally <4,4,4>.
+        return call % 7 == 0 ? ConcurrencyTuple{4, 4, 4}
+                             : ConcurrencyTuple{10, 10, 10};
+      },
+      env.theoretical_max_reward(), rng);
+  EXPECT_EQ(r.settled_tuple, (ConcurrencyTuple{10, 10, 10}));
+}
+
+}  // namespace
+}  // namespace automdt::rl

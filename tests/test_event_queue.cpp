@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace automdt::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push({3.0, Stage::kRead});
+  q.push({1.0, Stage::kWrite});
+  q.push({2.0, Stage::kNetwork});
+  EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue q;
+  q.push({5.0, Stage::kRead});
+  EXPECT_DOUBLE_EQ(q.top().time, 5.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PreservesStagePayload) {
+  EventQueue q;
+  q.push({1.0, Stage::kNetwork});
+  EXPECT_EQ(q.pop().stage, Stage::kNetwork);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  q.push({1.0, Stage::kRead});
+  q.push({2.0, Stage::kRead});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(42);
+  EventQueue q;
+  auto cmp = [](double a, double b) { return a > b; };
+  std::priority_queue<double, std::vector<double>, decltype(cmp)> ref(cmp);
+
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      const double t = rng.uniform(0.0, 100.0);
+      q.push({t, Stage::kRead});
+      ref.push(t);
+    }
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_DOUBLE_EQ(q.pop().time, ref.top());
+      ref.pop();
+    }
+  }
+  while (!q.empty()) {
+    ASSERT_DOUBLE_EQ(q.pop().time, ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventQueue, DuplicateTimesAllDelivered) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push({1.0, Stage::kWrite});
+  int n = 0;
+  while (!q.empty()) {
+    EXPECT_DOUBLE_EQ(q.pop().time, 1.0);
+    ++n;
+  }
+  EXPECT_EQ(n, 10);
+}
+
+}  // namespace
+}  // namespace automdt::sim

@@ -1,0 +1,148 @@
+// Cross-module integration: the paper's qualitative claims at test scale.
+// These use reduced training budgets; the full-shape reproduction lives in
+// bench/ (which EXPERIMENTS.md records).
+#include <gtest/gtest.h>
+
+#include "core/automdt.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+
+namespace automdt {
+namespace {
+
+using core::AutoMdt;
+using core::PipelineConfig;
+using optimizers::run_transfer;
+using testbed::Dataset;
+using testbed::EmulatedEnvironment;
+
+// Shared trained agent: training once keeps the suite fast.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig cfg;
+    cfg.ppo = rl::PpoConfig::fast_defaults();
+    cfg.ppo.hidden_dim = 48;
+    cfg.ppo.policy_blocks = 2;
+    cfg.ppo.max_episodes = 2500;
+    cfg.ppo.stagnation_episodes = 400;
+    cfg.max_threads = 30;
+
+    sim::SimScenario s;
+    const auto preset = testbed::bottleneck_read();
+    s.sender_capacity = preset.config.sender_buffer_bytes;
+    s.receiver_capacity = preset.config.receiver_buffer_bytes;
+    s.tpt_mbps = {80.0, 160.0, 200.0};
+    s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+    s.max_threads = 30;
+    mdt_ = new AutoMdt(AutoMdt::train_on_scenario(s, cfg, &training_));
+  }
+  static void TearDownTestSuite() {
+    delete mdt_;
+    mdt_ = nullptr;
+  }
+
+  static AutoMdt* mdt_;
+  static rl::TrainResult training_;
+};
+
+AutoMdt* IntegrationTest::mdt_ = nullptr;
+rl::TrainResult IntegrationTest::training_;
+
+TEST_F(IntegrationTest, TrainingReachedUsefulReward) {
+  EXPECT_GT(training_.best_reward, 0.75);
+}
+
+TEST_F(IntegrationTest, AutoMdtBeatsGlobusStaticOnBottleneck) {
+  const auto preset = testbed::bottleneck_read();
+  const Dataset data = Dataset::uniform(2, 500.0 * kMB);
+
+  EmulatedEnvironment env_a(preset.config, data);
+  mdt_->align_environment(env_a);
+  auto automdt_ctrl = mdt_->make_controller();
+  Rng ra(1);
+  const auto res_a = run_transfer(env_a, *automdt_ctrl, ra, {600.0});
+
+  EmulatedEnvironment env_g(preset.config, data);
+  optimizers::GlobusStaticController globus;
+  Rng rg(1);
+  const auto res_g = run_transfer(env_g, globus, rg, {600.0});
+
+  ASSERT_TRUE(res_a.completed);
+  ASSERT_TRUE(res_g.completed);
+  // Globus's 32 network streams over-subscribe the 1 Gbps path while its 4
+  // read threads (80 Mbps each) starve the pipeline; AutoMDT must finish
+  // substantially sooner.
+  EXPECT_LT(res_a.completion_time_s, res_g.completion_time_s * 0.8);
+}
+
+TEST_F(IntegrationTest, AutoMdtIdentifiesReadBottleneck) {
+  const auto preset = testbed::bottleneck_read();
+  EmulatedEnvironment env(preset.config, Dataset::infinite());
+  mdt_->align_environment(env);
+  auto ctrl = mdt_->make_controller(/*deterministic=*/true);
+
+  Rng rng(2);
+  EnvStep last;
+  last.observation = env.reset(rng);
+  ctrl->reset(rng);
+  ConcurrencyTuple tuple = ctrl->initial_action();
+  for (int t = 0; t < 30; ++t) {
+    last = env.step(tuple);
+    tuple = ctrl->decide(last, tuple);
+  }
+  // Read is the bottleneck stage (ideal 13): the read concurrency should be
+  // the highest of the three and in the right neighbourhood.
+  EXPECT_GE(tuple.read, 10);
+  EXPECT_GE(tuple.read, tuple.network);
+  EXPECT_GE(tuple.read, tuple.write);
+}
+
+TEST_F(IntegrationTest, AutoMdtConvergesFasterThanMarlin) {
+  const auto preset = testbed::bottleneck_read();
+  const Dataset data = Dataset::uniform(30, 1.0 * kGB);
+
+  EmulatedEnvironment env_a(preset.config, data);
+  mdt_->align_environment(env_a);
+  auto actrl = mdt_->make_controller();
+  Rng ra(3);
+  const auto res_a = run_transfer(env_a, *actrl, ra, {1200.0});
+
+  EmulatedEnvironment env_m(preset.config, data);
+  optimizers::MarlinController marlin;
+  Rng rm(3);
+  const auto res_m = run_transfer(env_m, marlin, rm, {1200.0});
+
+  // Time to reach (near) the bottleneck stage's required concurrency.
+  const auto t_a = res_a.series.time_to_reach(Stage::kRead, 12, 1);
+  const auto t_m = res_m.series.time_to_reach(Stage::kRead, 12, 1);
+  ASSERT_TRUE(t_a.has_value());
+  if (t_m.has_value()) {
+    EXPECT_LT(*t_a, *t_m);
+  }
+  // And it should finish no later (generous slack for emulator noise).
+  ASSERT_TRUE(res_a.completed);
+  if (res_m.completed) {
+    EXPECT_LE(res_a.completion_time_s, res_m.completion_time_s * 1.10);
+  }
+}
+
+TEST_F(IntegrationTest, CheckpointedAgentReproducesBehaviour) {
+  const std::string path = "/tmp/automdt_integration.ckpt";
+  ASSERT_TRUE(mdt_->save(path));
+  PipelineConfig cfg;
+  cfg.ppo = rl::PpoConfig::fast_defaults();
+  cfg.ppo.hidden_dim = 48;
+  cfg.ppo.policy_blocks = 2;
+  const AutoMdt loaded = AutoMdt::load(path, cfg);
+  std::remove(path.c_str());
+
+  Rng r1(5), r2(5);
+  const std::vector<double> s(kObservationSize, 0.6);
+  EXPECT_EQ(mdt_->agent()->act(s, r1, true), loaded.agent()->act(s, r2, true));
+}
+
+}  // namespace
+}  // namespace automdt

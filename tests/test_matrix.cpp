@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "nn/matrix.hpp"
+
+namespace automdt::nn {
+namespace {
+
+TEST(Matrix, ConstructAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (double v : m.data()) EXPECT_DOUBLE_EQ(v, 1.5);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(Matrix, FromInitializerList) {
+  Matrix m = Matrix::from({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RowAndColumnVectors) {
+  const double vals[] = {1.0, 2.0, 3.0};
+  Matrix r = Matrix::row(vals);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  Matrix c = Matrix::column(vals);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(2, 0), 3.0);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a = Matrix::from({{1, 2}, {3, 4}});
+  Matrix b = Matrix::from({{10, 20}, {30, 40}});
+  EXPECT_EQ(a + b, Matrix::from({{11, 22}, {33, 44}}));
+  EXPECT_EQ(b - a, Matrix::from({{9, 18}, {27, 36}}));
+  EXPECT_EQ(a * 2.0, Matrix::from({{2, 4}, {6, 8}}));
+  EXPECT_EQ(hadamard(a, b), Matrix::from({{10, 40}, {90, 160}}));
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a = Matrix::from({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::from({{7, 8}, {9, 10}, {11, 12}});
+  EXPECT_EQ(matmul(a, b), Matrix::from({{58, 64}, {139, 154}}));
+}
+
+TEST(Matrix, MatmulIdentity) {
+  Matrix a = Matrix::from({{1, 2}, {3, 4}});
+  EXPECT_EQ(matmul(a, Matrix::identity(2)), a);
+  EXPECT_EQ(matmul(Matrix::identity(2), a), a);
+}
+
+TEST(Matrix, MatmulTnMatchesExplicitTranspose) {
+  Matrix a = Matrix::from({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  Matrix b = Matrix::from({{7, 8, 9}, {10, 11, 12}, {13, 14, 15}});  // 3x3
+  EXPECT_EQ(matmul_tn(a, b), matmul(a.transposed(), b));
+}
+
+TEST(Matrix, MatmulNtMatchesExplicitTranspose) {
+  Matrix a = Matrix::from({{1, 2, 3}, {4, 5, 6}});  // 2x3
+  Matrix b = Matrix::from({{7, 8, 9}, {10, 11, 12}});  // 2x3
+  EXPECT_EQ(matmul_nt(a, b), matmul(a, b.transposed()));
+}
+
+TEST(Matrix, Transposed) {
+  Matrix a = Matrix::from({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix a = Matrix::from({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_EQ(a.row_sums(), Matrix::from({{3}, {7}}));
+  EXPECT_EQ(a.col_sums(), Matrix::from({{4, 6}}));
+}
+
+TEST(Matrix, Map) {
+  Matrix a = Matrix::from({{1, -2}});
+  Matrix b = a.map([](double v) { return v * v; });
+  EXPECT_EQ(b, Matrix::from({{1, 4}}));
+}
+
+TEST(Matrix, NormAndDiff) {
+  Matrix a = Matrix::from({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  Matrix b = Matrix::from({{3, 4.5}});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(Matrix, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace automdt::nn

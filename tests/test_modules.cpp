@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/grad_check.hpp"
+#include "nn/module.hpp"
+
+namespace automdt::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, rng, "l");
+  EXPECT_EQ(lin.in_features(), 4u);
+  EXPECT_EQ(lin.out_features(), 3u);
+  Tensor x = Tensor::constant(Matrix(2, 4, 0.0));
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 3u);
+  // Zero input -> output equals (zero-initialized) bias.
+  for (double v : y.value().data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Linear, ParameterRegistry) {
+  Rng rng(1);
+  Linear lin(4, 3, rng, "mylin");
+  auto params = lin.parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name(), "mylin.weight");
+  EXPECT_EQ(params[1]->name(), "mylin.bias");
+  EXPECT_EQ(lin.parameter_count(), 4u * 3u + 3u);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(5);
+  Linear lin(3, 2, rng, "l");
+  const Tensor x = Tensor::constant(random_matrix(4, 3, rng));
+  const GradCheckResult r = check_gradients(
+      lin.parameters(), [&] { return sum(square(lin.forward(x))); });
+  EXPECT_TRUE(r.ok(1e-5)) << r.max_rel_error;
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(2);
+  LayerNorm ln(6, "ln");
+  const Tensor x = Tensor::constant(random_matrix(3, 6, rng));
+  const Tensor out = ln.forward(x);
+  const Matrix& y = out.value();
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t j = 0; j < y.cols(); ++j) mean += y(i, j);
+    mean /= y.cols();
+    for (std::size_t j = 0; j < y.cols(); ++j)
+      var += (y(i, j) - mean) * (y(i, j) - mean);
+    var /= y.cols();
+    EXPECT_NEAR(mean, 0.0, 1e-9);   // gamma=1, beta=0 initially
+    EXPECT_NEAR(var, 1.0, 1e-3);    // up to the eps term
+  }
+}
+
+TEST(ResidualBlock, PreservesShapeAndRegistersParams) {
+  Rng rng(3);
+  ResidualBlock block(8, Activation::kRelu, rng, "rb");
+  EXPECT_EQ(block.parameters().size(), 8u);  // 2 linears + 2 layernorms
+  const Tensor x = Tensor::constant(random_matrix(5, 8, rng));
+  Tensor y = block.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 8u);
+}
+
+TEST(ResidualBlock, GradCheckTanh) {
+  Rng rng(4);
+  ResidualBlock block(4, Activation::kTanh, rng, "rb");
+  const Tensor x = Tensor::constant(random_matrix(3, 4, rng));
+  const GradCheckResult r = check_gradients(
+      block.parameters(), [&] { return mean(square(block.forward(x))); },
+      1e-6);
+  EXPECT_TRUE(r.ok(1e-4)) << r.max_rel_error;
+}
+
+TEST(ResidualMlp, ArchitectureMatchesPaper) {
+  Rng rng(6);
+  // 3 residual blocks, each 2 linears + 2 layernorms (8 params) + embed (2).
+  ResidualMlp mlp(8, 16, 3, Activation::kRelu, rng, "m");
+  EXPECT_EQ(mlp.parameters().size(), 2u + 3u * 8u);
+  EXPECT_EQ(mlp.hidden_dim(), 16u);
+  const Tensor x = Tensor::constant(random_matrix(2, 8, rng));
+  Tensor y = mlp.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 16u);
+}
+
+TEST(ResidualMlp, GradFlowsToAllParameters) {
+  Rng rng(7);
+  ResidualMlp mlp(4, 8, 2, Activation::kRelu, rng, "m");
+  const Tensor x = Tensor::constant(random_matrix(6, 4, rng));
+  mlp.zero_grad();
+  sum(square(mlp.forward(x))).backward();
+  int nonzero_params = 0;
+  for (Parameter* p : mlp.parameters()) {
+    double norm = 0.0;
+    for (double g : p->grad().data()) norm += g * g;
+    if (norm > 0.0) ++nonzero_params;
+  }
+  // All parameters should receive gradient (ReLU may zero a few elements but
+  // not an entire parameter).
+  EXPECT_EQ(nonzero_params, static_cast<int>(mlp.parameters().size()));
+}
+
+TEST(Module, GradNormAndZeroGrad) {
+  Rng rng(8);
+  Linear lin(2, 2, rng, "l");
+  const Tensor x = Tensor::constant(random_matrix(3, 2, rng));
+  sum(square(lin.forward(x))).backward();
+  EXPECT_GT(lin.grad_norm(), 0.0);
+  lin.zero_grad();
+  EXPECT_DOUBLE_EQ(lin.grad_norm(), 0.0);
+}
+
+TEST(Init, XavierBounds) {
+  Rng rng(9);
+  const Matrix w = xavier_uniform(100, 50, rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  EXPECT_LE(w.max(), bound);
+  EXPECT_GE(w.min(), -bound);
+}
+
+TEST(Init, KaimingVariance) {
+  Rng rng(10);
+  const Matrix w = kaiming_normal(256, 256, rng);
+  double var = 0.0;
+  for (double v : w.data()) var += v * v;
+  var /= static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 256.0, 2.0 / 256.0 * 0.2);
+}
+
+}  // namespace
+}  // namespace automdt::nn

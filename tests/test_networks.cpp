@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "rl/networks.hpp"
+
+namespace automdt::rl {
+namespace {
+
+PpoConfig small_config() {
+  PpoConfig c = PpoConfig::fast_defaults();
+  c.hidden_dim = 16;
+  return c;
+}
+
+TEST(PolicyNetwork, OutputShapes) {
+  Rng rng(1);
+  PolicyNetwork net(8, 3, small_config(), rng);
+  nn::Tensor states = nn::Tensor::constant(nn::Matrix(5, 8, 0.1));
+  const nn::DiagonalGaussian dist = net.forward(states);
+  EXPECT_EQ(dist.mean().rows(), 5u);
+  EXPECT_EQ(dist.mean().cols(), 3u);
+  EXPECT_EQ(dist.log_std().rows(), 1u);
+  EXPECT_EQ(dist.log_std().cols(), 3u);
+}
+
+TEST(PolicyNetwork, LogStdClamped) {
+  Rng rng(2);
+  PpoConfig cfg = small_config();
+  cfg.log_std_init = 100.0;  // way past the clamp
+  cfg.log_std_max = 1.5;
+  PolicyNetwork net(8, 3, cfg, rng);
+  const nn::DiagonalGaussian dist = net.forward_one(std::vector<double>(8, 0.0));
+  for (double v : dist.log_std().value().data()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(PolicyNetwork, MeanBiasShiftsActions) {
+  Rng rng(3);
+  PolicyNetwork net(8, 3, small_config(), rng);
+  const std::vector<double> s(8, 0.0);
+  net.set_mean_bias(15.0);
+  const nn::DiagonalGaussian d = net.forward_one(s);
+  const nn::Matrix mode = d.mode();
+  for (double v : mode.data()) EXPECT_NEAR(v, 15.0, 3.0);
+}
+
+TEST(PolicyNetwork, DifferentStatesDifferentMeans) {
+  Rng rng(4);
+  PolicyNetwork net(8, 3, small_config(), rng);
+  nn::DiagonalGaussian a = net.forward_one(std::vector<double>(8, 0.0));
+  nn::DiagonalGaussian b = net.forward_one(std::vector<double>(8, 1.0));
+  EXPECT_NE(a.mode(), b.mode());
+}
+
+TEST(ValueNetwork, ScalarOutput) {
+  Rng rng(5);
+  ValueNetwork net(8, small_config(), rng);
+  nn::Tensor states = nn::Tensor::constant(nn::Matrix(4, 8, 0.2));
+  const nn::Tensor v = net.forward(states);
+  EXPECT_EQ(v.rows(), 4u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_DOUBLE_EQ(net.value_of(std::vector<double>(8, 0.2)), v.value()(0, 0));
+}
+
+TEST(DiscretePolicyNetwork, HeadsAndClasses) {
+  Rng rng(6);
+  DiscretePolicyNetwork net(8, 30, small_config(), rng);
+  EXPECT_EQ(net.classes_per_head(), 30);
+  const nn::MultiCategorical dist =
+      net.forward_one(std::vector<double>(8, 0.0));
+  EXPECT_EQ(dist.head_count(), 3u);
+  Rng srng(1);
+  const auto idx = dist.sample(srng);
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_GE(idx[h][0], 0);
+    EXPECT_LT(idx[h][0], 30);
+  }
+}
+
+TEST(Networks, ParameterNamesAreUnique) {
+  Rng rng(7);
+  PolicyNetwork p(8, 3, small_config(), rng);
+  ValueNetwork v(8, small_config(), rng);
+  std::set<std::string> names;
+  for (auto* param : p.parameters()) names.insert(param->name());
+  for (auto* param : v.parameters()) names.insert(param->name());
+  EXPECT_EQ(names.size(), p.parameters().size() + v.parameters().size());
+}
+
+}  // namespace
+}  // namespace automdt::rl

@@ -1,0 +1,159 @@
+// PPO agent behaviour: learning on the dynamics simulator, the convergence
+// criterion, the production action path, and checkpointing.
+#include <gtest/gtest.h>
+
+#include "rl/discrete_ppo_agent.hpp"
+#include "rl/ppo_agent.hpp"
+#include "sim/simulator_env.hpp"
+
+namespace automdt::rl {
+namespace {
+
+sim::SimScenario tiny_scenario() {
+  // Asymmetric: ideal = <20, 5, 5>, so the mid-range starting bias (~10
+  // threads everywhere) under-provisions read and over-provisions the rest —
+  // there is genuine learning signal in both directions.
+  sim::SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {50.0, 200.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = 20;
+  return s;
+}
+
+PpoConfig test_config() {
+  PpoConfig c = PpoConfig::fast_defaults();
+  c.hidden_dim = 48;
+  c.max_episodes = 2500;
+  c.stagnation_episodes = 400;
+  return c;
+}
+
+TEST(ActionToTuple, RoundsAndClamps) {
+  nn::Matrix a = nn::Matrix::from({{2.4, 7.6, -3.0}});
+  EXPECT_EQ(action_to_tuple(a, 30), (ConcurrencyTuple{2, 8, 1}));
+  nn::Matrix b = nn::Matrix::from({{99.0, 0.49, 30.5}});
+  EXPECT_EQ(action_to_tuple(b, 30), (ConcurrencyTuple{30, 1, 30}));
+}
+
+TEST(PpoAgent, LearningImprovesReward) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoAgent agent(kObservationSize, env.max_threads(), test_config());
+  const TrainResult r = agent.train(env, env.theoretical_max_reward());
+  ASSERT_GE(r.episodes_run, 100);
+
+  // Mean of the last 50 episodes should beat the first 50 substantially.
+  auto mean_over = [&](std::size_t from, std::size_t to) {
+    double s = 0.0;
+    for (std::size_t i = from; i < to; ++i) s += r.episode_rewards[i];
+    return s / static_cast<double>(to - from);
+  };
+  const double early = mean_over(0, 50);
+  const double late = mean_over(r.episode_rewards.size() - 50,
+                                r.episode_rewards.size());
+  EXPECT_GT(late, early + 0.04);
+  EXPECT_GT(r.best_reward, 0.7);
+}
+
+TEST(PpoAgent, ActClampsToThreadRange) {
+  PpoConfig cfg = PpoConfig::fast_defaults();
+  PpoAgent agent(kObservationSize, 12, cfg);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const ConcurrencyTuple t =
+        agent.act(std::vector<double>(kObservationSize, rng.uniform()), rng);
+    EXPECT_GE(t.read, 1);
+    EXPECT_LE(t.read, 12);
+    EXPECT_GE(t.network, 1);
+    EXPECT_LE(t.network, 12);
+    EXPECT_GE(t.write, 1);
+    EXPECT_LE(t.write, 12);
+  }
+}
+
+TEST(PpoAgent, DeterministicActIsRepeatable) {
+  PpoAgent agent(kObservationSize, 20, PpoConfig::fast_defaults());
+  const std::vector<double> s(kObservationSize, 0.3);
+  Rng r1(1), r2(2);
+  EXPECT_EQ(agent.act(s, r1, true), agent.act(s, r2, true));
+}
+
+TEST(PpoAgent, CheckpointRoundTripPreservesPolicy) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoConfig cfg = test_config();
+  cfg.max_episodes = 100;
+  PpoAgent trained(kObservationSize, env.max_threads(), cfg);
+  trained.train(env, env.theoretical_max_reward());
+
+  PpoAgent fresh(kObservationSize, env.max_threads(), cfg);
+  fresh.load_state_dict(trained.state_dict());
+
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> s(kObservationSize);
+    for (auto& v : s) v = rng.uniform();
+    Rng ra(9), rb(9);
+    EXPECT_EQ(trained.act(s, ra, true), fresh.act(s, rb, true));
+  }
+}
+
+TEST(PpoAgent, TrainingIsDeterministicGivenSeed) {
+  PpoConfig cfg = PpoConfig::fast_defaults();
+  cfg.max_episodes = 60;
+  cfg.seed = 77;
+  sim::SimulatorEnv e1(tiny_scenario()), e2(tiny_scenario());
+  PpoAgent a1(kObservationSize, 20, cfg), a2(kObservationSize, 20, cfg);
+  const TrainResult r1 = a1.train(e1, e1.theoretical_max_reward());
+  const TrainResult r2 = a2.train(e2, e2.theoretical_max_reward());
+  ASSERT_EQ(r1.episode_rewards.size(), r2.episode_rewards.size());
+  for (std::size_t i = 0; i < r1.episode_rewards.size(); ++i)
+    EXPECT_DOUBLE_EQ(r1.episode_rewards[i], r2.episode_rewards[i]);
+}
+
+TEST(PpoAgent, EarlyStopViaCallback) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoAgent agent(kObservationSize, env.max_threads(),
+                 PpoConfig::fast_defaults());
+  const TrainResult r = agent.train(
+      env, env.theoretical_max_reward(),
+      [](int episode, double) { return episode < 19; });
+  EXPECT_EQ(r.episodes_run, 20);
+}
+
+TEST(PpoAgent, FineTuneRunsRequestedEpisodes) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoAgent agent(kObservationSize, env.max_threads(),
+                 PpoConfig::fast_defaults());
+  const TrainResult r = agent.fine_tune(env, env.theoretical_max_reward(), 30);
+  EXPECT_EQ(r.episodes_run, 30);
+  EXPECT_FALSE(r.converged);  // fine-tune ignores the convergence criterion
+}
+
+TEST(PpoAgent, RewardsAreNormalizedByRmax) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoAgent agent(kObservationSize, env.max_threads(),
+                 PpoConfig::fast_defaults());
+  const TrainResult r = agent.train(env, env.theoretical_max_reward());
+  for (double rew : r.episode_rewards) {
+    EXPECT_GE(rew, 0.0);
+    EXPECT_LE(rew, 1.6);  // transients can briefly exceed 1, never wildly
+  }
+}
+
+TEST(DiscretePpoAgent, RunsAndActsInRange) {
+  sim::SimulatorEnv env(tiny_scenario());
+  PpoConfig cfg = PpoConfig::fast_defaults();
+  cfg.max_episodes = 80;
+  DiscretePpoAgent agent(kObservationSize, env.max_threads(), cfg);
+  const TrainResult r = agent.train(env, env.theoretical_max_reward());
+  EXPECT_EQ(r.episodes_run, 80);
+  Rng rng(4);
+  const ConcurrencyTuple t =
+      agent.act(std::vector<double>(kObservationSize, 0.5), rng);
+  EXPECT_GE(t.read, 1);
+  EXPECT_LE(t.max_component(), env.max_threads());
+}
+
+}  // namespace
+}  // namespace automdt::rl

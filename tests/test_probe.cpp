@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "probe/explorer.hpp"
+#include "probe/scenario_factory.hpp"
+#include "sim/simulator_env.hpp"
+
+namespace automdt::probe {
+namespace {
+
+using sim::SimScenario;
+using sim::SimulatorEnv;
+
+SimScenario bottleneck_scenario() {
+  SimScenario s;
+  s.sender_capacity = 2.0 * kGiB;
+  s.receiver_capacity = 2.0 * kGiB;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  return s;
+}
+
+TEST(LinkEstimates, FromLogComputesPaperFormulas) {
+  ProbeLog log;
+  log.add({0.0, {10, 5, 4}, {800.0, 500.0, 600.0}});
+  log.add({1.0, {20, 10, 8}, {900.0, 950.0, 800.0}});
+  const LinkEstimates e = LinkEstimates::from_log(log, {1.02});
+  // B_i = max T_i
+  EXPECT_DOUBLE_EQ(e.bandwidth_mbps.read, 900.0);
+  EXPECT_DOUBLE_EQ(e.bandwidth_mbps.network, 950.0);
+  EXPECT_DOUBLE_EQ(e.bandwidth_mbps.write, 800.0);
+  // TPT_i = max T_i / n_i
+  EXPECT_DOUBLE_EQ(e.tpt_mbps.read, 80.0);     // 800/10 > 900/20
+  EXPECT_DOUBLE_EQ(e.tpt_mbps.network, 100.0); // 500/5 > 950/10
+  EXPECT_DOUBLE_EQ(e.tpt_mbps.write, 150.0);   // 600/4 > 800/8
+  // b = min B_i
+  EXPECT_DOUBLE_EQ(e.bottleneck_mbps, 800.0);
+  // n* = b / TPT
+  EXPECT_DOUBLE_EQ(e.ideal_threads.read, 10.0);
+  EXPECT_DOUBLE_EQ(e.ideal_threads.network, 8.0);
+  EXPECT_NEAR(e.ideal_threads.write, 800.0 / 150.0, 1e-12);
+  EXPECT_EQ(e.ideal_threads_rounded(), (ConcurrencyTuple{10, 8, 6}));
+  EXPECT_GT(e.r_max, 0.0);
+}
+
+TEST(LinkEstimates, EmptyLogThrows) {
+  EXPECT_THROW(LinkEstimates::from_log(ProbeLog{}), std::invalid_argument);
+}
+
+TEST(LinkEstimates, NonPositiveThreadsThrow) {
+  ProbeLog log;
+  log.add({0.0, {0, 1, 1}, {1.0, 1.0, 1.0}});
+  EXPECT_THROW(LinkEstimates::from_log(log), std::invalid_argument);
+}
+
+TEST(Explorer, ProducesRequestedSampleCount) {
+  SimulatorEnv env(bottleneck_scenario());
+  ExplorerOptions opt;
+  opt.duration_steps = 100;
+  opt.hold_steps = 5;
+  opt.skip_transient = true;
+  Explorer explorer(opt);
+  Rng rng(1);
+  const ProbeLog log = explorer.run(env, rng);
+  // One sample per step except the redraw steps (100 / 5 = 20 skipped).
+  EXPECT_EQ(log.size(), 80u);
+}
+
+TEST(Explorer, RecoversBottleneckWithinTolerance) {
+  SimulatorEnv env(bottleneck_scenario());
+  Explorer explorer({600, 5, true});
+  Rng rng(7);
+  const ProbeLog log = explorer.run(env, rng);
+  const LinkEstimates e = LinkEstimates::from_log(log);
+  // True stage caps are 1000 each; exploration should find >= 85% of them.
+  EXPECT_GT(e.bandwidth_mbps.read, 850.0);
+  EXPECT_GT(e.bandwidth_mbps.network, 850.0);
+  EXPECT_GT(e.bandwidth_mbps.write, 850.0);
+  EXPECT_LE(e.bandwidth_mbps.read, 1001.0);
+  // Per-thread estimates should approach the configured TPTs from below.
+  EXPECT_NEAR(e.tpt_mbps.read, 80.0, 12.0);
+  EXPECT_NEAR(e.tpt_mbps.network, 160.0, 24.0);
+  EXPECT_NEAR(e.tpt_mbps.write, 200.0, 30.0);
+  // And the derived ideal thread counts should be near <13, 7, 5>.
+  const ConcurrencyTuple ideal = e.ideal_threads_rounded();
+  EXPECT_NEAR(ideal.read, 13, 2);
+  EXPECT_NEAR(ideal.network, 7, 2);
+  EXPECT_NEAR(ideal.write, 5, 2);
+}
+
+TEST(Explorer, DeterministicGivenSeed) {
+  SimulatorEnv e1(bottleneck_scenario()), e2(bottleneck_scenario());
+  Explorer explorer({50, 5, true});
+  Rng r1(3), r2(3);
+  const ProbeLog l1 = explorer.run(e1, r1);
+  const ProbeLog l2 = explorer.run(e2, r2);
+  ASSERT_EQ(l1.size(), l2.size());
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    EXPECT_EQ(l1.samples()[i].threads, l2.samples()[i].threads);
+    EXPECT_EQ(l1.samples()[i].throughput_mbps, l2.samples()[i].throughput_mbps);
+  }
+}
+
+TEST(ProbeLog, CsvOutput) {
+  ProbeLog log;
+  log.add({0.0, {1, 2, 3}, {10.0, 20.0, 30.0}});
+  std::ostringstream os;
+  log.write_csv(os);
+  EXPECT_NE(os.str().find("time_s,n_read"), std::string::npos);
+  EXPECT_NE(os.str().find("0,1,2,3,10,20,30"), std::string::npos);
+}
+
+TEST(ScenarioFactory, CarriesEstimatesIntoScenario) {
+  ProbeLog log;
+  log.add({0.0, {10, 5, 4}, {800.0, 500.0, 600.0}});
+  const LinkEstimates e = LinkEstimates::from_log(log);
+  BufferSpec buffers{4.0 * kGiB, 8.0 * kGiB};
+  const sim::SimScenario s = make_scenario(e, buffers, 25, {1.05});
+  EXPECT_DOUBLE_EQ(s.sender_capacity, 4.0 * kGiB);
+  EXPECT_DOUBLE_EQ(s.receiver_capacity, 8.0 * kGiB);
+  EXPECT_EQ(s.tpt_mbps, e.tpt_mbps);
+  EXPECT_EQ(s.bandwidth_mbps, e.bandwidth_mbps);
+  EXPECT_EQ(s.max_threads, 25);
+  EXPECT_DOUBLE_EQ(s.utility.k, 1.05);
+}
+
+TEST(LinkEstimates, StreamOutput) {
+  ProbeLog log;
+  log.add({0.0, {2, 2, 2}, {100.0, 100.0, 100.0}});
+  std::ostringstream os;
+  os << LinkEstimates::from_log(log);
+  EXPECT_NE(os.str().find("LinkEstimates{"), std::string::npos);
+  EXPECT_NE(os.str().find("R_max="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace automdt::probe

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testbed/recorder.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+TimePoint point(double t, int nr, int nn, int nw, double tw = 0.0) {
+  TimePoint p;
+  p.time_s = t;
+  p.threads = {nr, nn, nw};
+  p.throughput_mbps = {0.0, 0.0, tw};
+  return p;
+}
+
+TEST(Recorder, TimeToReachSimple) {
+  TimeSeriesRecorder r;
+  for (int t = 0; t < 10; ++t) r.add(point(t, t + 1, 1, 1));
+  // read reaches 5 at t=4 and stays (monotone ramp).
+  const auto t = r.time_to_reach(Stage::kRead, 5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 4.0);
+}
+
+TEST(Recorder, TimeToReachRequiresHold) {
+  TimeSeriesRecorder r;
+  // Spikes to 10 at t=2 but immediately falls back; only from t=6 does it
+  // hold.
+  r.add(point(0, 1, 1, 1));
+  r.add(point(1, 1, 1, 1));
+  r.add(point(2, 10, 1, 1));
+  r.add(point(3, 2, 1, 1));
+  r.add(point(4, 2, 1, 1));
+  r.add(point(5, 2, 1, 1));
+  for (int t = 6; t < 12; ++t) r.add(point(t, 10, 1, 1));
+  const auto t = r.time_to_reach(Stage::kRead, 10, 0, 3.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 6.0);
+}
+
+TEST(Recorder, TimeToReachSlack) {
+  TimeSeriesRecorder r;
+  for (int t = 0; t < 8; ++t) r.add(point(t, 12, 1, 1));
+  EXPECT_FALSE(r.time_to_reach(Stage::kRead, 13).has_value());
+  EXPECT_TRUE(r.time_to_reach(Stage::kRead, 13, 1).has_value());
+}
+
+TEST(Recorder, TimeToThroughput) {
+  TimeSeriesRecorder r;
+  for (int t = 0; t < 10; ++t) r.add(point(t, 1, 1, 1, 100.0 * t));
+  const auto t = r.time_to_throughput(1000.0, 0.9);  // needs 900 Mbps
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 9.0);
+  EXPECT_FALSE(r.time_to_throughput(2000.0).has_value());
+}
+
+TEST(Recorder, MeanThroughputWindow) {
+  TimeSeriesRecorder r;
+  for (int t = 0; t < 10; ++t) r.add(point(t, 1, 1, 1, 100.0));
+  EXPECT_DOUBLE_EQ(r.mean_throughput(Stage::kWrite, 0.0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(r.mean_throughput(Stage::kWrite, 20.0, 30.0), 0.0);
+}
+
+TEST(Recorder, ConcurrencyStddevMeasuresStability) {
+  TimeSeriesRecorder stable, unstable;
+  for (int t = 0; t < 20; ++t) {
+    stable.add(point(t, 10, 1, 1));
+    unstable.add(point(t, t % 2 ? 5 : 15, 1, 1));
+  }
+  EXPECT_DOUBLE_EQ(stable.concurrency_stddev(Stage::kRead, 0.0, 20.0), 0.0);
+  EXPECT_GT(unstable.concurrency_stddev(Stage::kRead, 0.0, 20.0), 4.0);
+}
+
+TEST(Recorder, CsvRoundTripHeader) {
+  TimeSeriesRecorder r;
+  r.add(point(1.5, 2, 3, 4, 55.5));
+  std::ostringstream os;
+  r.write_csv(os);
+  EXPECT_NE(os.str().find("time_s,n_read,n_network,n_write"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("1.5,2,3,4"), std::string::npos);
+}
+
+TEST(Recorder, EmptyBehaviour) {
+  TimeSeriesRecorder r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.time_to_reach(Stage::kRead, 1).has_value());
+  EXPECT_FALSE(r.time_to_throughput(1.0).has_value());
+  EXPECT_DOUBLE_EQ(r.mean_throughput(Stage::kWrite, 0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace automdt::testbed

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "rl/rollout.hpp"
+
+namespace automdt::rl {
+namespace {
+
+TEST(RolloutMemory, StoresAndStacks) {
+  RolloutMemory m;
+  m.add({0.1, 0.2}, {1.0, 2.0, 3.0}, 0.5, -1.2);
+  m.add({0.3, 0.4}, {4.0, 5.0, 6.0}, 0.7, -0.8);
+  EXPECT_EQ(m.size(), 2u);
+
+  const nn::Matrix s = m.states_matrix();
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(1, 0), 0.3);
+
+  const nn::Matrix a = m.actions_matrix();
+  EXPECT_DOUBLE_EQ(a(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 4.0);
+
+  const nn::Matrix lp = m.log_probs_column();
+  EXPECT_DOUBLE_EQ(lp(0, 0), -1.2);
+  EXPECT_DOUBLE_EQ(lp(1, 0), -0.8);
+}
+
+TEST(RolloutMemory, DiscountedReturns) {
+  RolloutMemory m;
+  for (double r : {1.0, 2.0, 3.0}) m.add({0.0}, {0, 0, 0}, r, 0.0);
+  const nn::Matrix g = m.discounted_returns(0.5);
+  // G2 = 3, G1 = 2 + 0.5*3 = 3.5, G0 = 1 + 0.5*3.5 = 2.75
+  EXPECT_DOUBLE_EQ(g(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 3.5);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.75);
+}
+
+TEST(RolloutMemory, ReturnsRestartAtEpisodeBoundaries) {
+  RolloutMemory m;
+  m.add({0.0}, {0, 0, 0}, 1.0, 0.0);
+  m.add({0.0}, {0, 0, 0}, 2.0, 0.0);
+  m.end_episode();
+  m.add({0.0}, {0, 0, 0}, 10.0, 0.0);
+  m.add({0.0}, {0, 0, 0}, 20.0, 0.0);
+  m.end_episode();
+  const nn::Matrix g = m.discounted_returns(0.5);
+  // Second episode: G3 = 20, G2 = 10 + 0.5*20 = 20
+  EXPECT_DOUBLE_EQ(g(3, 0), 20.0);
+  EXPECT_DOUBLE_EQ(g(2, 0), 20.0);
+  // First episode must NOT see the second's rewards: G1 = 2, G0 = 1 + 0.5*2.
+  EXPECT_DOUBLE_EQ(g(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g(0, 0), 2.0);
+}
+
+TEST(RolloutMemory, MeanReward) {
+  RolloutMemory m;
+  EXPECT_DOUBLE_EQ(m.mean_reward(), 0.0);
+  m.add({0.0}, {0, 0, 0}, 1.0, 0.0);
+  m.add({0.0}, {0, 0, 0}, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_reward(), 2.0);
+}
+
+TEST(RolloutMemory, ClearResetsEverything) {
+  RolloutMemory m;
+  m.add({0.0}, {0, 0, 0}, 1.0, 0.0);
+  m.end_episode();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  m.add({0.0}, {0, 0, 0}, 4.0, 0.0);
+  const nn::Matrix g = m.discounted_returns(0.9);
+  EXPECT_DOUBLE_EQ(g(0, 0), 4.0);  // no stale boundaries
+}
+
+TEST(RolloutMemory, DiscreteActionsPerHead) {
+  RolloutMemory m;
+  m.add_discrete({0.0}, {1, 2, 3}, 0.0, 0.0);
+  m.add_discrete({0.0}, {4, 5, 6}, 0.0, 0.0);
+  const auto heads = m.action_indices_per_head();
+  ASSERT_EQ(heads.size(), 3u);
+  EXPECT_EQ(heads[0], (std::vector<int>{1, 4}));
+  EXPECT_EQ(heads[1], (std::vector<int>{2, 5}));
+  EXPECT_EQ(heads[2], (std::vector<int>{3, 6}));
+}
+
+}  // namespace
+}  // namespace automdt::rl

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "transfer/rpc.hpp"
+
+namespace automdt::transfer {
+namespace {
+
+TEST(RpcPipe, ZeroLatencyImmediateDelivery) {
+  RpcPipe pipe(0.0);
+  pipe.send(ConcurrencyUpdate{{3, 4, 5}});
+  const auto msg = pipe.try_receive();
+  ASSERT_TRUE(msg.has_value());
+  const auto* update = std::get_if<ConcurrencyUpdate>(&*msg);
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(update->tuple, (ConcurrencyTuple{3, 4, 5}));
+}
+
+TEST(RpcPipe, LatencyDelaysDelivery) {
+  RpcPipe pipe(0.05);
+  pipe.send(BufferStatusRequest{42});
+  EXPECT_FALSE(pipe.try_receive().has_value());  // not deliverable yet
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto msg = pipe.receive();  // blocks until delivery time
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_GE(dt, 0.03);
+  EXPECT_EQ(std::get<BufferStatusRequest>(*msg).request_id, 42u);
+}
+
+TEST(RpcPipe, FifoOrder) {
+  RpcPipe pipe(0.0);
+  for (std::uint64_t i = 0; i < 5; ++i) pipe.send(BufferStatusRequest{i});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto msg = pipe.receive();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(std::get<BufferStatusRequest>(*msg).request_id, i);
+  }
+}
+
+TEST(RpcPipe, CloseWakesReceiver) {
+  RpcPipe pipe(0.0);
+  std::thread t([&] { EXPECT_FALSE(pipe.receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pipe.close();
+  t.join();
+  EXPECT_TRUE(pipe.closed());
+}
+
+TEST(RpcPipe, SendAfterCloseDropped) {
+  RpcPipe pipe(0.0);
+  pipe.close();
+  pipe.send(Shutdown{});
+  EXPECT_EQ(pipe.pending(), 0u);
+}
+
+TEST(RpcChannel, DuplexRequestResponse) {
+  RpcChannel channel(0.0);
+  // Sender asks for buffer status.
+  channel.sender_send(BufferStatusRequest{7});
+  // Receiver services the request.
+  const auto req = channel.receiver_receive();
+  ASSERT_TRUE(req.has_value());
+  const auto request_id = std::get<BufferStatusRequest>(*req).request_id;
+  channel.receiver_send(
+      BufferStatusResponse{request_id, 1000.0, 24.0, 3.5});
+  // Sender sees the response.
+  const auto resp = channel.sender_receive();
+  ASSERT_TRUE(resp.has_value());
+  const auto& r = std::get<BufferStatusResponse>(*resp);
+  EXPECT_EQ(r.request_id, 7u);
+  EXPECT_DOUBLE_EQ(r.free_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(r.used_bytes, 24.0);
+}
+
+TEST(RpcChannel, DirectionsAreIndependent) {
+  RpcChannel channel(0.0);
+  channel.sender_send(ConcurrencyUpdate{{1, 2, 3}});
+  // Nothing travels backwards.
+  EXPECT_FALSE(channel.sender_try_receive().has_value());
+  EXPECT_TRUE(channel.receiver_try_receive().has_value());
+}
+
+TEST(RpcChannel, ThreadedPingPong) {
+  RpcChannel channel(0.001);
+  constexpr int kRounds = 50;
+  std::thread receiver([&] {
+    while (auto msg = channel.receiver_receive()) {
+      if (std::holds_alternative<Shutdown>(*msg)) break;
+      const auto& req = std::get<BufferStatusRequest>(*msg);
+      channel.receiver_send(BufferStatusResponse{req.request_id, 1.0, 2.0,
+                                                 0.0});
+    }
+  });
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    channel.sender_send(BufferStatusRequest{i});
+    const auto resp = channel.sender_receive();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(std::get<BufferStatusResponse>(*resp).request_id, i);
+  }
+  channel.sender_send(Shutdown{});
+  receiver.join();
+}
+
+TEST(RpcChannel, ThroughputReportVariant) {
+  RpcChannel channel(0.0);
+  channel.receiver_send(ThroughputReport{{10.0, 20.0, 30.0}, 1.0});
+  const auto msg = channel.sender_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_DOUBLE_EQ(std::get<ThroughputReport>(*msg).throughput_mbps.write,
+                   30.0);
+}
+
+}  // namespace
+}  // namespace automdt::transfer

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+#include "nn/serialize.hpp"
+
+namespace automdt::nn {
+namespace {
+
+TEST(Serialize, BufferRoundTrip) {
+  StateDict state;
+  state.emplace("a", Matrix::from({{1.0, 2.0}, {3.0, 4.0}}));
+  state.emplace("b.weight", Matrix(3, 1, -0.5));
+  const auto bytes = serialize_state_dict(state);
+  const StateDict back = deserialize_state_dict(bytes);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.at("a"), state.at("a"));
+  EXPECT_EQ(back.at("b.weight"), state.at("b.weight"));
+}
+
+TEST(Serialize, EmptyDict) {
+  const auto bytes = serialize_state_dict({});
+  EXPECT_TRUE(deserialize_state_dict(bytes).empty());
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::vector<char> bytes = {'N', 'O', 'P', 'E', 0, 0, 0, 0};
+  EXPECT_THROW(deserialize_state_dict(bytes), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedRejected) {
+  StateDict state;
+  state.emplace("w", Matrix(4, 4, 1.0));
+  auto bytes = serialize_state_dict(state);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_state_dict(bytes), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "automdt_ckpt_test.bin")
+          .string();
+  StateDict state;
+  state.emplace("x", Matrix::from({{3.14, 2.71}}));
+  ASSERT_TRUE(save_state_dict(state, path));
+  const StateDict back = load_state_dict_file(path);
+  EXPECT_EQ(back.at("x"), state.at("x"));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_state_dict_file("/nonexistent/path/ckpt.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, ModuleStateDictRoundTrip) {
+  Rng rng(1);
+  Linear a(3, 2, rng, "lin");
+  Linear b(3, 2, rng, "lin");  // different init
+  EXPECT_NE(a.parameters()[0]->value(), b.parameters()[0]->value());
+  load_state_dict(b, state_dict(a));
+  EXPECT_EQ(a.parameters()[0]->value(), b.parameters()[0]->value());
+  EXPECT_EQ(a.parameters()[1]->value(), b.parameters()[1]->value());
+}
+
+TEST(Serialize, MissingParameterThrows) {
+  Rng rng(1);
+  Linear lin(2, 2, rng, "lin");
+  StateDict incomplete;
+  incomplete.emplace("lin.weight", Matrix(2, 2, 0.0));
+  EXPECT_THROW(load_state_dict(lin, incomplete), std::runtime_error);
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(1);
+  Linear lin(2, 2, rng, "lin");
+  StateDict bad = state_dict(lin);
+  bad.at("lin.weight") = Matrix(3, 3, 0.0);
+  EXPECT_THROW(load_state_dict(lin, bad), std::runtime_error);
+}
+
+TEST(Serialize, ExtraEntriesIgnoredOnLoad) {
+  Rng rng(1);
+  Linear lin(2, 2, rng, "lin");
+  StateDict state = state_dict(lin);
+  state.emplace("meta.extra", Matrix(1, 1, 42.0));
+  EXPECT_NO_THROW(load_state_dict(lin, state));
+}
+
+}  // namespace
+}  // namespace automdt::nn

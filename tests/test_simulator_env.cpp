@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator_env.hpp"
+
+namespace automdt::sim {
+namespace {
+
+SimScenario scenario() {
+  SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 2.0 * kGiB;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = 30;
+  return s;
+}
+
+TEST(SimulatorEnv, ObservationLayoutAndBounds) {
+  SimulatorEnv env(scenario());
+  Rng rng(1);
+  const auto obs = env.reset(rng);
+  ASSERT_EQ(obs.size(), kObservationSize);
+  // thread counts scaled by max_threads -> in (0, 1]
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(obs[i], 0.0);
+    EXPECT_LE(obs[i], 1.0);
+  }
+  // throughputs scaled by max bandwidth -> in [0, ~1]
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_GE(obs[i], 0.0);
+    EXPECT_LE(obs[i], 1.1);
+  }
+  // free-buffer fractions in [0, 1]
+  for (int i = 6; i < 8; ++i) {
+    EXPECT_GE(obs[i], 0.0);
+    EXPECT_LE(obs[i], 1.0);
+  }
+}
+
+TEST(SimulatorEnv, StepRewardIsUtility) {
+  SimulatorEnv env(scenario());
+  Rng rng(2);
+  env.reset(rng);
+  const EnvStep out = env.step({13, 7, 5});
+  EXPECT_NEAR(out.reward,
+              total_utility(out.throughputs_mbps, {13, 7, 5},
+                            env.scenario().utility),
+              1e-9);
+  EXPECT_FALSE(out.done);  // training env never terminates
+}
+
+TEST(SimulatorEnv, ActionsClamped) {
+  SimulatorEnv env(scenario());
+  Rng rng(3);
+  env.reset(rng);
+  const EnvStep out = env.step({1000, -5, 7});
+  // Clamped to [1, 30]: read at most 30*80 = 2400 capped 1000; network at
+  // least 1 thread moves data.
+  EXPECT_LE(out.throughputs_mbps.read, 1000.0 * 1.001);
+  EXPECT_GE(out.observation[1], 1.0 / 30.0 - 1e-12);
+}
+
+TEST(SimulatorEnv, ResetRandomizesInitialState) {
+  SimulatorEnv env(scenario());
+  Rng rng(4);
+  const auto a = env.reset(rng);
+  const auto b = env.reset(rng);
+  EXPECT_NE(a, b);  // different thread draws / buffer fills
+}
+
+TEST(SimulatorEnv, DeterministicUnderSameSeed) {
+  SimulatorEnv e1(scenario()), e2(scenario());
+  Rng r1(99), r2(99);
+  EXPECT_EQ(e1.reset(r1), e2.reset(r2));
+  const EnvStep s1 = e1.step({5, 5, 5});
+  const EnvStep s2 = e2.step({5, 5, 5});
+  EXPECT_EQ(s1.observation, s2.observation);
+  EXPECT_DOUBLE_EQ(s1.reward, s2.reward);
+}
+
+TEST(SimulatorEnv, TptJitterChangesEpisodes) {
+  SimulatorEnvOptions opt;
+  opt.tpt_jitter = 0.2;
+  SimulatorEnv env(scenario(), opt);
+  Rng rng(5);
+  env.reset(rng);
+  // Saturate read far beyond its per-thread cap: achieved throughput reveals
+  // the jittered TPT.
+  const double t1 = env.step({1, 30, 30}).throughputs_mbps.read;
+  env.reset(rng);
+  const double t2 = env.step({1, 30, 30}).throughputs_mbps.read;
+  EXPECT_NE(t1, t2);
+}
+
+TEST(SimulatorEnv, MaskBufferFeaturesZeroesThem) {
+  SimulatorEnvOptions opt;
+  opt.mask_buffer_features = true;
+  opt.initial_buffer_max_fill = 0.9;
+  SimulatorEnv env(scenario(), opt);
+  Rng rng(6);
+  const auto obs = env.reset(rng);
+  EXPECT_DOUBLE_EQ(obs[6], 0.0);
+  EXPECT_DOUBLE_EQ(obs[7], 0.0);
+  const EnvStep out = env.step({5, 5, 5});
+  EXPECT_DOUBLE_EQ(out.observation[6], 0.0);
+  EXPECT_DOUBLE_EQ(out.observation[7], 0.0);
+}
+
+TEST(SimulatorEnv, TheoreticalMaxRewardMatchesScenario) {
+  SimScenario s = scenario();
+  SimulatorEnv env(s);
+  EXPECT_DOUBLE_EQ(env.theoretical_max_reward(), s.theoretical_max_reward());
+  EXPECT_GT(env.theoretical_max_reward(), 0.0);
+}
+
+TEST(SimulatorEnv, ScenarioIdealThreads) {
+  SimScenario s = scenario();
+  const StageTriple ideal = s.ideal_threads();
+  EXPECT_NEAR(ideal.read, 12.5, 1e-9);
+  EXPECT_NEAR(ideal.network, 6.25, 1e-9);
+  EXPECT_NEAR(ideal.write, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.bottleneck_mbps(), 1000.0);
+}
+
+TEST(SimulatorEnv, AutoChunkScalesWithBandwidth) {
+  SimScenario slow = scenario();
+  SimScenario fast = scenario();
+  fast.bandwidth_mbps = {25000.0, 25000.0, 25000.0};
+  EXPECT_GT(fast.effective_chunk_bytes(), slow.effective_chunk_bytes());
+  // Explicit chunk size wins.
+  fast.chunk_bytes = 123456.0;
+  EXPECT_DOUBLE_EQ(fast.effective_chunk_bytes(), 123456.0);
+}
+
+}  // namespace
+}  // namespace automdt::sim

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "rl/single_knob_agent.hpp"
+#include "sim/simulator_env.hpp"
+
+namespace automdt::rl {
+namespace {
+
+sim::SimScenario scenario() {
+  sim::SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = 20;
+  return s;
+}
+
+TEST(SingleKnobPpoAgent, ActionsAreCoupledAndClamped) {
+  PpoConfig cfg = PpoConfig::fast_defaults();
+  SingleKnobPpoAgent agent(kObservationSize, 12, cfg);
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const ConcurrencyTuple t =
+        agent.act(std::vector<double>(kObservationSize, rng.uniform()), rng);
+    EXPECT_EQ(t.read, t.network);
+    EXPECT_EQ(t.network, t.write);
+    EXPECT_GE(t.read, 1);
+    EXPECT_LE(t.read, 12);
+  }
+}
+
+TEST(SingleKnobPpoAgent, LearnsOnSimulator) {
+  PpoConfig cfg = PpoConfig::fast_defaults();
+  cfg.hidden_dim = 48;
+  cfg.max_episodes = 1500;
+  cfg.stagnation_episodes = 300;
+  sim::SimulatorEnv env(scenario());
+  SingleKnobPpoAgent agent(kObservationSize, env.max_threads(), cfg);
+  const TrainResult r = agent.train(env, env.theoretical_max_reward());
+  EXPECT_GT(r.best_reward, 0.5);
+  EXPECT_GT(r.episodes_run, 100);
+}
+
+TEST(SingleKnobPpoAgent, WorseUtilityThanModularOptimum) {
+  // With the coupled constraint, even the *best possible* single knob (13)
+  // yields lower utility than the modular optimum <13,7,5> — the structural
+  // gap the modular architecture exists to close.
+  const sim::SimScenario s = scenario();
+  const UtilityParams k = s.utility;
+  const double modular = total_utility({1000, 1000, 1000}, {13, 7, 5}, k);
+  double best_monolithic = 0.0;
+  for (int n = 1; n <= s.max_threads; ++n) {
+    const StageThroughputs t{std::min(n * 80.0, 1000.0),
+                             std::min(n * 160.0, 1000.0),
+                             std::min(n * 200.0, 1000.0)};
+    best_monolithic =
+        std::max(best_monolithic, total_utility(t, {n, n, n}, k));
+  }
+  EXPECT_GT(modular, best_monolithic * 1.02);
+}
+
+TEST(SingleKnobPpoAgent, DeterministicActRepeatable) {
+  SingleKnobPpoAgent agent(kObservationSize, 20, PpoConfig::fast_defaults());
+  const std::vector<double> s(kObservationSize, 0.4);
+  Rng r1(1), r2(2);
+  EXPECT_EQ(agent.act(s, r1, true), agent.act(s, r2, true));
+}
+
+}  // namespace
+}  // namespace automdt::rl

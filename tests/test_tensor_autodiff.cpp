@@ -1,0 +1,222 @@
+// Gradient checks for every autodiff op against central finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/grad_check.hpp"
+#include "nn/module.hpp"
+#include "nn/tensor.hpp"
+
+namespace automdt::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng,
+                     double lo = -1.0, double hi = 1.0) {
+  Matrix m(r, c);
+  for (double& v : m.data()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+// Run a gradient check for a loss built from one leaf parameter.
+void expect_grad_ok(Parameter& p,
+                    const std::function<Tensor(const Tensor&)>& f,
+                    double tol = 1e-6) {
+  const GradCheckResult r = check_gradients(
+      {&p}, [&] { return f(p.tensor()); });
+  EXPECT_TRUE(r.ok(tol)) << "max_rel_error=" << r.max_rel_error
+                         << " max_abs_error=" << r.max_abs_error;
+}
+
+class AutodiffTest : public ::testing::Test {
+ protected:
+  Rng rng_{2024};
+};
+
+TEST_F(AutodiffTest, AddGrad) {
+  Parameter p("p", random_matrix(3, 4, rng_));
+  const Tensor other = Tensor::constant(random_matrix(3, 4, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(add(t, other)); });
+}
+
+TEST_F(AutodiffTest, SubGradBothSides) {
+  Parameter p("p", random_matrix(2, 3, rng_));
+  const Tensor c = Tensor::constant(random_matrix(2, 3, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(sub(t, c)); });
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(sub(c, t)); });
+}
+
+TEST_F(AutodiffTest, MulGrad) {
+  Parameter p("p", random_matrix(3, 3, rng_));
+  const Tensor c = Tensor::constant(random_matrix(3, 3, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(mul(t, c)); });
+  // Self-product (grad flows through both operands of the same node).
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(mul(t, t)); });
+}
+
+TEST_F(AutodiffTest, ScaleAndNegAndAddScalar) {
+  Parameter p("p", random_matrix(2, 2, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(scale(t, -2.5)); });
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(neg(t)); });
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(add_scalar(t, 3.0)); });
+}
+
+TEST_F(AutodiffTest, RowBroadcastGrads) {
+  Parameter a("a", random_matrix(4, 3, rng_));
+  Parameter b("b", random_matrix(1, 3, rng_));
+  const GradCheckResult r = check_gradients(
+      {&a, &b},
+      [&] { return sum(mul_row_broadcast(
+                add_row_broadcast(a.tensor(), b.tensor()), b.tensor())); });
+  EXPECT_TRUE(r.ok()) << r.max_rel_error;
+}
+
+TEST_F(AutodiffTest, TanhGrad) {
+  Parameter p("p", random_matrix(3, 3, rng_, -2.0, 2.0));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(tanh_op(t)); });
+}
+
+TEST_F(AutodiffTest, ReluGrad) {
+  // Keep inputs away from the kink at 0.
+  Matrix m = random_matrix(3, 3, rng_);
+  for (double& v : m.data()) v += (v >= 0 ? 0.5 : -0.5);
+  Parameter p("p", m);
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(relu(t)); });
+}
+
+TEST_F(AutodiffTest, ExpLogSquareGrads) {
+  Parameter p("p", random_matrix(2, 3, rng_, 0.2, 2.0));
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(exp_op(t)); });
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(log_op(t)); }, 1e-5);
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(square(t)); });
+}
+
+TEST_F(AutodiffTest, ClampGradZeroOutside) {
+  Matrix m = Matrix::from({{-2.0, 0.5, 3.0}});
+  Parameter p("p", m);
+  Tensor loss = sum(clamp(p.tensor(), -1.0, 1.0));
+  p.zero_grad();
+  loss.backward();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 0.0);  // below lo
+  EXPECT_DOUBLE_EQ(p.grad()(0, 1), 1.0);  // inside
+  EXPECT_DOUBLE_EQ(p.grad()(0, 2), 0.0);  // above hi
+}
+
+TEST_F(AutodiffTest, MinEwGradRoutesToSmaller) {
+  Parameter a("a", Matrix::from({{1.0, 5.0}}));
+  Parameter b("b", Matrix::from({{2.0, 3.0}}));
+  Tensor loss = sum(min_ew(a.tensor(), b.tensor()));
+  a.zero_grad();
+  b.zero_grad();
+  loss.backward();
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 1), 1.0);
+}
+
+TEST_F(AutodiffTest, ReductionGrads) {
+  Parameter p("p", random_matrix(3, 4, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) { return mean(t); });
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(mul(row_sum(t),
+                                                          row_sum(t))); });
+}
+
+TEST_F(AutodiffTest, MatmulGradBothSides) {
+  Parameter a("a", random_matrix(3, 4, rng_));
+  Parameter b("b", random_matrix(4, 2, rng_));
+  const GradCheckResult r = check_gradients(
+      {&a, &b}, [&] { return sum(nn::matmul(a.tensor(), b.tensor())); });
+  EXPECT_TRUE(r.ok()) << r.max_rel_error;
+}
+
+TEST_F(AutodiffTest, LayerNormGradAllInputs) {
+  Parameter x("x", random_matrix(4, 6, rng_));
+  Parameter gamma("g", random_matrix(1, 6, rng_, 0.5, 1.5));
+  Parameter beta("b", random_matrix(1, 6, rng_));
+  const GradCheckResult r = check_gradients(
+      {&x, &gamma, &beta},
+      [&] {
+        // Weighted sum so the gradient is not uniform across elements.
+        Rng wrng(7);
+        const Tensor w = Tensor::constant(random_matrix(4, 6, wrng));
+        return sum(mul(layer_norm(x.tensor(), gamma.tensor(), beta.tensor()),
+                       w));
+      },
+      1e-5);
+  EXPECT_TRUE(r.ok(1e-4)) << r.max_rel_error;
+}
+
+TEST_F(AutodiffTest, LogSoftmaxGrad) {
+  Parameter p("p", random_matrix(3, 5, rng_, -2.0, 2.0));
+  const Tensor w = Tensor::constant(random_matrix(3, 5, rng_));
+  expect_grad_ok(p, [&](const Tensor& t) {
+    return sum(mul(log_softmax(t), w));
+  }, 1e-5);
+}
+
+TEST_F(AutodiffTest, LogSoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor t = Tensor::constant(random_matrix(4, 6, rng, -3.0, 3.0));
+  const Tensor out = log_softmax(t);
+  const Matrix& ls = out.value();
+  for (std::size_t i = 0; i < ls.rows(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < ls.cols(); ++j) total += std::exp(ls(i, j));
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST_F(AutodiffTest, RowGatherGrad) {
+  Parameter p("p", random_matrix(4, 5, rng_));
+  const std::vector<int> idx = {0, 4, 2, 2};
+  expect_grad_ok(p, [&](const Tensor& t) { return sum(row_gather(t, idx)); });
+}
+
+TEST_F(AutodiffTest, DetachCutsGradient) {
+  Parameter p("p", Matrix::from({{2.0}}));
+  Tensor loss = sum(mul(detach(p.tensor()), p.tensor()));
+  p.zero_grad();
+  loss.backward();
+  // d/dp [c * p] = c = 2, not 2p = 4.
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 2.0);
+}
+
+TEST_F(AutodiffTest, GradsAccumulateAcrossBackwardCalls) {
+  Parameter p("p", Matrix::from({{1.0}}));
+  sum(scale(p.tensor(), 3.0)).backward();
+  sum(scale(p.tensor(), 3.0)).backward();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 6.0);
+  p.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 0.0);
+}
+
+TEST_F(AutodiffTest, DiamondGraphGradient) {
+  // f = sum((t + t) * t) = sum(2 t^2) -> df/dt = 4t.
+  Parameter p("p", Matrix::from({{3.0}}));
+  Tensor t = p.tensor();
+  sum(mul(add(t, t), t)).backward();
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 12.0);
+}
+
+TEST_F(AutodiffTest, ConstantGraphIsPruned) {
+  Tensor a = Tensor::constant(Matrix::from({{1.0, 2.0}}));
+  Tensor b = tanh_op(scale(a, 2.0));
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_TRUE(b.node()->inputs.empty());  // tape pruned for constants
+}
+
+TEST_F(AutodiffTest, DeepChainGradient) {
+  // 40 tanh layers deep — exercises the iterative topo sort.
+  Parameter p("p", Matrix::from({{0.3}}));
+  const GradCheckResult r = check_gradients({&p}, [&] {
+    Tensor t = p.tensor();
+    for (int i = 0; i < 40; ++i) t = tanh_op(scale(t, 1.1));
+    return sum(t);
+  }, 1e-7);
+  EXPECT_TRUE(r.ok(1e-4)) << r.max_rel_error;
+}
+
+}  // namespace
+}  // namespace automdt::nn

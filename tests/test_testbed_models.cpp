@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "testbed/models.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+TEST(StorageModel, LinearScalingBelowCaps) {
+  StorageConfig cfg;
+  cfg.per_thread_mbps = 100.0;
+  cfg.aggregate_mbps = 10000.0;
+  cfg.contention_knee = 64;
+  cfg.per_file_overhead_s = 0.0;
+  StorageModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.rate_mbps(1, 1e9), 100.0);
+  EXPECT_DOUBLE_EQ(m.rate_mbps(8, 1e9), 800.0);
+}
+
+TEST(StorageModel, AggregateCapBinds) {
+  StorageConfig cfg;
+  cfg.per_thread_mbps = 500.0;
+  cfg.aggregate_mbps = 1000.0;
+  cfg.contention_knee = 64;
+  cfg.per_file_overhead_s = 0.0;
+  StorageModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.rate_mbps(10, 1e9), 1000.0);
+}
+
+TEST(StorageModel, ContentionDegradesPastKnee) {
+  StorageConfig cfg;
+  cfg.per_thread_mbps = 100.0;
+  cfg.aggregate_mbps = 1000.0;
+  cfg.contention_knee = 10;
+  cfg.contention_factor = 0.05;
+  cfg.per_file_overhead_s = 0.0;
+  StorageModel m(cfg);
+  const double at_knee = m.rate_mbps(10, 1e9);
+  const double past_knee = m.rate_mbps(30, 1e9);
+  EXPECT_DOUBLE_EQ(at_knee, 1000.0);
+  EXPECT_LT(past_knee, at_knee);
+  // Over-subscription actively hurts: 30 threads worse than 10.
+  EXPECT_NEAR(past_knee, 1000.0 / 2.0, 1.0);  // 1/(1+0.05*20) = 0.5
+}
+
+TEST(StorageModel, ZeroThreadsZeroRate) {
+  StorageModel m(StorageConfig{});
+  EXPECT_DOUBLE_EQ(m.rate_mbps(0, 1e9), 0.0);
+}
+
+TEST(StorageModel, SmallFilesPayOverhead) {
+  StorageConfig cfg;
+  cfg.per_thread_mbps = 800.0;  // 100 MB/s
+  cfg.aggregate_mbps = 100000.0;
+  cfg.contention_knee = 64;
+  cfg.per_file_overhead_s = 0.01;
+  StorageModel m(cfg);
+  const double big = m.rate_mbps(1, 1.0 * kGB);     // overhead negligible
+  const double small = m.rate_mbps(1, 100.0 * kKB); // overhead dominates
+  EXPECT_NEAR(big, 800.0, 10.0);
+  EXPECT_LT(small, big / 5.0);
+}
+
+TEST(LinkModel, SteadyStateMatchesThrottles) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 75.0;
+  cfg.aggregate_mbps = 1000.0;
+  cfg.contention_knee = 64;
+  LinkModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.steady_rate_mbps(4), 300.0);
+  EXPECT_DOUBLE_EQ(m.steady_rate_mbps(20), 1000.0);  // capped
+  EXPECT_DOUBLE_EQ(m.steady_rate_mbps(0), 0.0);
+}
+
+TEST(LinkModel, BackgroundTrafficStealsBandwidth) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 200.0;
+  cfg.aggregate_mbps = 1000.0;
+  cfg.background_mbps = 400.0;
+  cfg.contention_knee = 64;
+  LinkModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.steady_rate_mbps(10), 600.0);
+}
+
+TEST(LinkModel, RampApproachesSteadyState) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 100.0;
+  cfg.aggregate_mbps = 10000.0;
+  cfg.rtt_ms = 50.0;
+  cfg.jitter = 0.0;
+  cfg.contention_knee = 64;
+  LinkModel m(cfg);
+  Rng rng(1);
+  // Right after requesting 10 streams the rate must be well below steady.
+  const double first = m.rate_mbps(10, 0.05, 1e12, rng);
+  EXPECT_LT(first, 500.0);
+  // After ~20 RTT-equivalents it converges.
+  double rate = 0.0;
+  for (int i = 0; i < 40; ++i) rate = m.rate_mbps(10, 0.1, 1e12, rng);
+  EXPECT_NEAR(rate, 1000.0, 20.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.effective_streams(), 0.0);
+}
+
+TEST(LinkModel, RampDownToo) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 100.0;
+  cfg.aggregate_mbps = 10000.0;
+  cfg.rtt_ms = 20.0;
+  cfg.contention_knee = 64;
+  LinkModel m(cfg);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) m.rate_mbps(20, 0.1, 1e12, rng);
+  const double high = m.effective_streams();
+  for (int i = 0; i < 100; ++i) m.rate_mbps(2, 0.1, 1e12, rng);
+  EXPECT_LT(m.effective_streams(), high);
+  EXPECT_NEAR(m.effective_streams(), 2.0, 0.2);
+}
+
+TEST(LinkModel, JitterPerturbsRate) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 100.0;
+  cfg.aggregate_mbps = 10000.0;
+  cfg.jitter = 0.1;
+  cfg.rtt_ms = 1.0;
+  cfg.contention_knee = 64;
+  LinkModel m(cfg);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) m.rate_mbps(5, 0.1, 1e12, rng);  // ramp done
+  const double a = m.rate_mbps(5, 0.1, 1e12, rng);
+  const double b = m.rate_mbps(5, 0.1, 1e12, rng);
+  EXPECT_NE(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(LinkModel, PerFileOverheadSlowsSmallFiles) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 800.0;  // 100 MB/s
+  cfg.aggregate_mbps = 100000.0;
+  cfg.contention_knee = 64;
+  cfg.per_file_overhead_s = 0.1;
+  LinkModel m(cfg);
+  const double big = m.steady_rate_mbps(1, 10.0 * kGB);
+  const double small = m.steady_rate_mbps(1, 10.0 * kMB);
+  EXPECT_NEAR(big, 800.0, 10.0);
+  // 10 MB at 100 MB/s = 0.1 s streaming + 0.1 s overhead -> half the rate.
+  EXPECT_NEAR(small, 400.0, 20.0);
+}
+
+TEST(StagingBuffer, FillDrainClamped) {
+  StagingBuffer buf(100.0);
+  EXPECT_DOUBLE_EQ(buf.fill(60.0), 60.0);
+  EXPECT_DOUBLE_EQ(buf.fill(60.0), 40.0);  // only 40 fits
+  EXPECT_DOUBLE_EQ(buf.used(), 100.0);
+  EXPECT_DOUBLE_EQ(buf.free_space(), 0.0);
+  EXPECT_DOUBLE_EQ(buf.drain(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(buf.drain(1000.0), 70.0);  // only 70 left
+  EXPECT_DOUBLE_EQ(buf.used(), 0.0);
+  buf.fill(10.0);
+  buf.reset();
+  EXPECT_DOUBLE_EQ(buf.used(), 0.0);
+}
+
+}  // namespace
+}  // namespace automdt::testbed

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "transfer/token_bucket.hpp"
+
+namespace automdt::transfer {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+TEST(TokenBucket, UnlimitedNeverBlocks) {
+  TokenBucket b(0.0);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.acquire(1e9));
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 0.5);
+}
+
+TEST(TokenBucket, BurstSatisfiedImmediately) {
+  TokenBucket b(1000.0, 5000.0);  // 5 KB burst pre-filled
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(b.acquire(4000.0));
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 0.05);
+}
+
+TEST(TokenBucket, RateLimitsSustainedFlow) {
+  TokenBucket b(100000.0, 1000.0);  // 100 KB/s, 1 KB burst
+  const auto t0 = Clock::now();
+  double moved = 0.0;
+  while (moved < 20000.0) {  // 20 KB at 100 KB/s ~ 0.2 s
+    ASSERT_TRUE(b.acquire(1000.0));
+    moved += 1000.0;
+  }
+  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_GT(dt, 0.12);
+  EXPECT_LT(dt, 0.6);
+}
+
+TEST(TokenBucket, TryAcquireNonBlocking) {
+  TokenBucket b(100.0, 50.0);
+  EXPECT_TRUE(b.try_acquire(50.0));
+  EXPECT_FALSE(b.try_acquire(50.0));  // drained; refill is ~instantaneously 0
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucket b(1.0, 1.0);  // glacial
+  b.set_rate(1e9);
+  EXPECT_DOUBLE_EQ(b.rate(), 1e9);
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(b.acquire(1e6));
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 0.5);
+}
+
+TEST(TokenBucket, ShutdownWakesWaiter) {
+  TokenBucket b(1.0, 1.0);  // will block on any real acquire
+  std::thread waiter([&] { EXPECT_FALSE(b.acquire(1e9)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b.shutdown();
+  waiter.join();
+  EXPECT_FALSE(b.acquire(1.0));  // stays shut down
+  EXPECT_FALSE(b.try_acquire(1.0));
+}
+
+TEST(TokenBucket, ConcurrentAcquirersShareRate) {
+  TokenBucket b(200000.0, 1000.0);  // 200 KB/s
+  std::atomic<double> moved{0.0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 10; ++j) {
+        if (!b.acquire(1000.0)) return;
+        moved.fetch_add(1000.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_DOUBLE_EQ(moved.load(), 40000.0);
+  EXPECT_GT(dt, 0.1);  // 39 KB beyond burst at 200 KB/s
+}
+
+}  // namespace
+}  // namespace automdt::transfer

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(Units, MbpsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(100.0)), 100.0);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(25000.0)), 25000.0);
+}
+
+TEST(Units, GbpsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(400.0)), 400.0);
+}
+
+TEST(Units, MbpsGbpsConsistent) {
+  EXPECT_DOUBLE_EQ(mbps(1000.0), gbps(1.0));
+  EXPECT_DOUBLE_EQ(to_mbps(gbps(1.0)), 1000.0);
+}
+
+TEST(Units, OneMbpsIsEighthOfMegabytePerSecond) {
+  EXPECT_DOUBLE_EQ(mbps(8.0), 1e6);  // 8 Mbit/s == 1 MB/s
+}
+
+TEST(Units, BinaryConstants) {
+  EXPECT_DOUBLE_EQ(kMiB, 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kGiB, 1024.0 * kMiB);
+  EXPECT_DOUBLE_EQ(kTiB, 1024.0 * kGiB);
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+  EXPECT_DOUBLE_EQ(kTB, 1e12);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512.0), "512 B");
+  EXPECT_EQ(format_bytes(1024.0), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1.5 * kMiB), "1.50 MiB");
+  EXPECT_EQ(format_bytes(2.25 * kGiB), "2.25 GiB");
+  EXPECT_EQ(format_bytes(1.0 * kTiB), "1.00 TiB");
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(mbps(1.0)), "1.00 Mbps");
+  EXPECT_EQ(format_rate(gbps(25.0)), "25.00 Gbps");
+  EXPECT_EQ(format_rate(125.0), "1.00 Kbps");  // 125 B/s = 1000 bit/s
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(45.2), "45.2 s");
+  EXPECT_EQ(format_duration(62.0), "1m 02.0s");
+  EXPECT_EQ(format_duration(3723.0), "1h 02m 03s");
+}
+
+}  // namespace
+}  // namespace automdt

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/utility.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(Utility, StageUtilityFormula) {
+  UtilityParams p{1.02};
+  EXPECT_NEAR(stage_utility(1000.0, 10, p), 1000.0 / std::pow(1.02, 10),
+              1e-9);
+}
+
+TEST(Utility, ZeroThroughputZeroUtility) {
+  EXPECT_DOUBLE_EQ(stage_utility(0.0, 5), 0.0);
+}
+
+TEST(Utility, MoreThreadsSameThroughputIsWorse) {
+  EXPECT_GT(stage_utility(500.0, 5), stage_utility(500.0, 10));
+}
+
+TEST(Utility, TotalIsSumOfStages) {
+  StageThroughputs t{100.0, 200.0, 300.0};
+  ConcurrencyTuple n{1, 2, 3};
+  UtilityParams p{1.02};
+  EXPECT_NEAR(total_utility(t, n, p),
+              stage_utility(100.0, 1, p) + stage_utility(200.0, 2, p) +
+                  stage_utility(300.0, 3, p),
+              1e-9);
+}
+
+TEST(Utility, HigherKPenalizesThreadsMore) {
+  UtilityParams lo{1.01}, hi{1.10};
+  EXPECT_GT(stage_utility(1000.0, 20, lo), stage_utility(1000.0, 20, hi));
+}
+
+// Along the "linear scaling up to the bottleneck" model t(n) = min(n*tpt, b),
+// the utility maximum sits at the paper's ideal thread count ceil(b / tpt):
+// adding threads past saturation only adds penalty, and below saturation the
+// throughput gain (factor (n+1)/n) dominates the small k^-1 penalty.
+TEST(Utility, MaximumAtIdealThreadCount) {
+  UtilityParams p{1.02};
+  const double tpt = 80.0, b = 1000.0;
+  const int ideal = static_cast<int>(std::ceil(b / tpt));  // 13
+  auto utility_at = [&](int n) {
+    return stage_utility(std::min(n * tpt, b), n, p);
+  };
+  double best = -1.0;
+  int best_n = 0;
+  for (int n = 1; n <= 30; ++n) {
+    if (utility_at(n) > best) {
+      best = utility_at(n);
+      best_n = n;
+    }
+  }
+  EXPECT_EQ(best_n, ideal);
+}
+
+TEST(Utility, TheoreticalMaxRewardFormula) {
+  UtilityParams p{1.02};
+  StageTriple ideal{12.5, 6.25, 5.0};
+  const double b = 1000.0;
+  const double expected = b * (std::pow(1.02, -12.5) + std::pow(1.02, -6.25) +
+                               std::pow(1.02, -5.0));
+  EXPECT_NEAR(theoretical_max_reward(b, ideal, p), expected, 1e-9);
+}
+
+TEST(Utility, RmaxBoundsAchievableUtility) {
+  // With t_i = b and n_i = n_i* exactly, U == R_max; any extra threads or
+  // throughput below b gives less.
+  UtilityParams p{1.02};
+  StageTriple ideal{10.0, 5.0, 4.0};
+  const double b = 500.0;
+  const double rmax = theoretical_max_reward(b, ideal, p);
+  StageThroughputs t{b, b, b};
+  ConcurrencyTuple n{10, 5, 4};
+  EXPECT_NEAR(total_utility(t, n, p), rmax, 1e-9);
+  ConcurrencyTuple over{15, 8, 6};
+  EXPECT_LT(total_utility(t, over, p), rmax);
+}
+
+}  // namespace
+}  // namespace automdt

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "testbed/models.hpp"
+#include "testbed/workloads.hpp"
+
+namespace automdt::testbed {
+namespace {
+
+TEST(Workloads, GenomicsRunShape) {
+  Rng rng(1);
+  const Dataset d = genomics_run(rng, 8);
+  // 8 lanes x (lane file + index + QC).
+  EXPECT_EQ(d.file_count(), 24u);
+  EXPECT_NEAR(d.total_bytes(), 700.0 * kGB, 50.0 * kGB);
+  // The big lane files dominate.
+  int huge = 0;
+  for (double f : d.files())
+    if (f > 50.0 * kGB) ++huge;
+  EXPECT_EQ(huge, 8);
+}
+
+TEST(Workloads, SkySurveyUniformish) {
+  Rng rng(2);
+  const Dataset d = sky_survey_night(rng, 500);
+  EXPECT_EQ(d.file_count(), 500u);
+  for (double f : d.files()) {
+    EXPECT_GE(f, 85.0 * kMB);
+    EXPECT_LE(f, 115.0 * kMB);
+  }
+}
+
+TEST(Workloads, DetectorSnapshotsBoundedTail) {
+  Rng rng(3);
+  const Dataset d = detector_snapshots(rng, 100.0 * kGB);
+  EXPECT_GE(d.total_bytes(), 100.0 * kGB);
+  for (double f : d.files()) {
+    EXPECT_GE(f, 100.0 * kMB * 0.999);
+    EXPECT_LE(f, 10.0 * kGB * 1.001);
+  }
+}
+
+TEST(Workloads, ClimateModelBimodal) {
+  Rng rng(4);
+  const Dataset d = climate_model(rng, 6);
+  int history = 0, diagnostics = 0;
+  for (double f : d.files()) {
+    if (f > 10.0 * kGB) ++history;
+    if (f < 100.0 * kMB) ++diagnostics;
+  }
+  EXPECT_EQ(history, 6);
+  EXPECT_GE(diagnostics, 6 * 30);
+  // Small files dominate the count, large files the bytes.
+  EXPECT_GT(d.total_bytes(), 6 * 20.0 * kGB);
+  EXPECT_LT(d.mean_file_bytes(), 5.0 * kGB);
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  Rng r1(7), r2(7);
+  EXPECT_EQ(genomics_run(r1).files(), genomics_run(r2).files());
+}
+
+TEST(Dataset, FromFiles) {
+  const Dataset d = Dataset::from_files("x", {1.0, 2.0, 3.0});
+  EXPECT_EQ(d.file_count(), 3u);
+  EXPECT_DOUBLE_EQ(d.total_bytes(), 6.0);
+  EXPECT_DOUBLE_EQ(d.mean_file_bytes(), 2.0);
+  EXPECT_EQ(d.name(), "x");
+}
+
+TEST(BackgroundTrace, ParseValid) {
+  const auto trace = parse_background_trace(
+      "time_s,mbps\n"
+      "0,1000\n"
+      "# midday burst\n"
+      "60, 4000\n"
+      "120,500\n");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[1].first, 60.0);
+  EXPECT_DOUBLE_EQ(trace[1].second, 4000.0);
+}
+
+TEST(BackgroundTrace, RejectsNonMonotonic) {
+  EXPECT_THROW(parse_background_trace("0,1\n10,2\n5,3\n"),
+               std::invalid_argument);
+}
+
+TEST(BackgroundTrace, RejectsGarbage) {
+  EXPECT_THROW(parse_background_trace("0,1\npotato\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_background_trace("0,1\n10,-5\n"),
+               std::invalid_argument);
+}
+
+TEST(BackgroundTrace, DrivesLinkModel) {
+  LinkConfig cfg;
+  cfg.per_stream_mbps = 1000.0;
+  cfg.aggregate_mbps = 10000.0;
+  cfg.rtt_ms = 1.0;  // near-instant ramp
+  cfg.contention_knee = 64;
+  cfg.background_trace = parse_background_trace("0,0\n100,8000\n200,0\n");
+  LinkModel m(cfg);
+  Rng rng(1);
+  // t < 100: no background -> full rate.
+  double rate = 0.0;
+  for (int i = 0; i < 50; ++i) rate = m.rate_mbps(20, 1.0, 1e12, rng);
+  EXPECT_NEAR(rate, 10000.0, 100.0);
+  // 100 <= t < 200: 8000 Mbps of background -> 2000 left.
+  for (int i = 0; i < 60; ++i) rate = m.rate_mbps(20, 1.0, 1e12, rng);
+  EXPECT_NEAR(rate, 2000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace automdt::testbed

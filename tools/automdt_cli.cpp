@@ -1,0 +1,280 @@
+// automdt — command-line front end for the library.
+//
+// Subcommands:
+//   list-presets                      show built-in testbed scenarios
+//   explore  --preset P [...]         run the §IV-A exploration phase and
+//                                     print link estimates
+//   train    --preset P --out CKPT    full offline pipeline -> checkpoint
+//   transfer --preset P [--ckpt F]    run a production transfer under a
+//                                     chosen controller
+//   info     --ckpt F                 inspect a checkpoint
+//
+// Common options:
+//   --config FILE      key=value overrides (see core/config_bindings.hpp)
+//   --seed N           master seed (default 1234)
+//   --episodes N       PPO episode cap
+//   --files N          dataset file count        (transfer)
+//   --size-mb M        file size in MB           (transfer)
+//   --mixed            log-uniform 100KB..2GB mixed dataset (transfer)
+//   --controller C     automdt|marlin|globus|jointgd|monolithic|oracle
+//   --csv FILE         write the per-second transfer trace
+//
+// Examples:
+//   automdt train --preset fabric --episodes 6000 --out /tmp/fabric.ckpt
+//   automdt transfer --preset fabric --ckpt /tmp/fabric.ckpt
+//       --files 100 --size-mb 1000 --csv /tmp/run.csv     (one line)
+//   automdt transfer --preset read --controller marlin --files 20
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "core/automdt.hpp"
+#include "core/config_bindings.hpp"
+#include "optimizers/joint_gd_controller.hpp"
+#include "optimizers/marlin_controller.hpp"
+#include "optimizers/monolithic_controller.hpp"
+#include "optimizers/runner.hpp"
+#include "optimizers/static_controller.hpp"
+#include "testbed/presets.hpp"
+
+using namespace automdt;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = options.find(name);
+    return it != options.end() ? it->second : fallback;
+  }
+  long long get_int(const std::string& name, long long fallback) const {
+    const auto it = options.find(name);
+    return it != options.end() ? std::stoll(it->second) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + a);
+    }
+    a = a.substr(2);
+    // Flags with no value take "1"; otherwise consume the next token.
+    static const std::set<std::string> flags = {"mixed", "paper",
+                                                "deterministic"};
+    if (flags.count(a)) {
+      args.options[a] = "1";
+    } else {
+      if (i + 1 >= argc)
+        throw std::runtime_error("option --" + a + " needs a value");
+      args.options[a] = argv[++i];
+    }
+  }
+  return args;
+}
+
+testbed::ScenarioPreset preset_by_name(const std::string& name) {
+  if (name == "fabric") return testbed::fabric_ncsa_tacc();
+  if (name == "cloudlab") return testbed::cloudlab_1g();
+  if (name == "read") return testbed::bottleneck_read();
+  if (name == "network") return testbed::bottleneck_network();
+  if (name == "write") return testbed::bottleneck_write();
+  throw std::runtime_error(
+      "unknown preset '" + name +
+      "' (expected fabric|cloudlab|read|network|write)");
+}
+
+testbed::ScenarioPreset load_scenario(const Args& args) {
+  testbed::ScenarioPreset preset = preset_by_name(args.get("preset", "read"));
+  if (args.flag("config")) {
+    const Config overrides = Config::load(args.get("config", ""));
+    preset.config = core::apply_testbed_overrides(preset.config, overrides);
+  }
+  return preset;
+}
+
+core::PipelineConfig pipeline_config(const Args& args) {
+  core::PipelineConfig cfg;
+  cfg.ppo.hidden_dim = 64;
+  cfg.ppo.policy_blocks = 2;
+  cfg.ppo.max_episodes = static_cast<int>(args.get_int("episodes", 6000));
+  cfg.ppo.stagnation_episodes = 500;
+  if (args.flag("paper")) cfg.ppo = rl::PpoConfig::paper_defaults();
+  if (args.flag("config")) {
+    const Config overrides = Config::load(args.get("config", ""));
+    cfg.ppo = core::apply_ppo_overrides(cfg.ppo, overrides);
+  }
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  return cfg;
+}
+
+testbed::Dataset dataset_from(const Args& args) {
+  if (args.flag("mixed")) {
+    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1234)));
+    const double total = args.get_int("files", 100) *
+                         args.get_int("size-mb", 1000) * kMB;
+    return testbed::Dataset::mixed(rng, total);
+  }
+  return testbed::Dataset::uniform(
+      static_cast<std::size_t>(args.get_int("files", 100)),
+      static_cast<double>(args.get_int("size-mb", 1000)) * kMB);
+}
+
+int cmd_list_presets() {
+  Table table({"name", "description", "paper-optimal tuple"});
+  for (const char* n : {"fabric", "cloudlab", "read", "network", "write"}) {
+    const auto p = preset_by_name(n);
+    table.add_row({std::string(n), p.name, p.expected_optimal.to_string()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_explore(const Args& args) {
+  const auto preset = load_scenario(args);
+  testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
+  probe::ExplorerOptions opt;
+  opt.duration_steps = static_cast<int>(args.get_int("steps", 600));
+  probe::Explorer explorer(opt);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1234)));
+  const probe::ProbeLog log = explorer.run(env, rng);
+  const auto estimates = probe::LinkEstimates::from_log(log);
+  std::cout << "scenario: " << preset.name << "\n" << estimates << "\n";
+  if (args.flag("csv")) {
+    std::ofstream f(args.get("csv", ""));
+    log.write_csv(f);
+    std::cout << "probe log written to " << args.get("csv", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto preset = load_scenario(args);
+  core::PipelineConfig cfg = pipeline_config(args);
+  cfg.max_threads = preset.config.max_threads;
+  cfg.buffers = {preset.config.sender_buffer_bytes,
+                 preset.config.receiver_buffer_bytes};
+
+  testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
+  core::OfflineTrainingReport report;
+  const core::AutoMdt mdt = core::AutoMdt::train_offline(env, cfg, &report);
+
+  std::printf("estimates: b=%.0f Mbps, ideal %s, R_max=%.0f\n",
+              report.estimates.bottleneck_mbps,
+              report.estimates.ideal_threads_rounded().to_string().c_str(),
+              report.estimates.r_max);
+  std::printf("training: %d episodes, best %.3f, %s, %s wall time\n",
+              report.training.episodes_run, report.training.best_reward,
+              report.training.converged ? "converged" : "episode cap",
+              format_duration(report.training.wall_time_s).c_str());
+
+  const std::string out = args.get("out", "automdt.ckpt");
+  if (!mdt.save(out)) {
+    std::fprintf(stderr, "failed to write checkpoint %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_transfer(const Args& args) {
+  const auto preset = load_scenario(args);
+  const testbed::Dataset dataset = dataset_from(args);
+  testbed::EmulatedEnvironment env(preset.config, dataset);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1234)));
+
+  std::unique_ptr<optimizers::ConcurrencyController> ctrl;
+  std::optional<core::AutoMdt> mdt;
+  const std::string which = args.get("controller", "automdt");
+  if (which == "automdt") {
+    const std::string ckpt = args.get("ckpt", "");
+    if (ckpt.empty())
+      throw std::runtime_error("--controller automdt needs --ckpt FILE");
+    mdt = core::AutoMdt::load(ckpt, pipeline_config(args));
+    mdt->align_environment(env);
+    ctrl = mdt->make_controller(args.flag("deterministic"));
+  } else if (which == "marlin") {
+    ctrl = std::make_unique<optimizers::MarlinController>();
+  } else if (which == "globus") {
+    ctrl = std::make_unique<optimizers::GlobusStaticController>();
+  } else if (which == "jointgd") {
+    ctrl = std::make_unique<optimizers::JointGdController>();
+  } else if (which == "monolithic") {
+    ctrl = std::make_unique<optimizers::MonolithicController>();
+  } else if (which == "oracle") {
+    ctrl = std::make_unique<optimizers::FixedController>(
+        preset.expected_optimal, "Oracle");
+  } else {
+    throw std::runtime_error("unknown controller: " + which);
+  }
+
+  std::printf("transferring %s (%s) over %s with %s ...\n",
+              dataset.name().c_str(),
+              format_bytes(dataset.total_bytes()).c_str(),
+              preset.name.c_str(), ctrl->name().c_str());
+  const auto res = optimizers::run_transfer(env, *ctrl, rng, {36000.0});
+  std::printf("%s in %s (virtual), average %s\n",
+              res.completed ? "completed" : "TIMED OUT",
+              format_duration(res.completion_time_s).c_str(),
+              format_rate(mbps(res.average_throughput_mbps)).c_str());
+  if (args.flag("csv")) {
+    std::ofstream f(args.get("csv", ""));
+    res.series.write_csv(f);
+    std::printf("trace written to %s\n", args.get("csv", "").c_str());
+  }
+  return res.completed ? 0 : 1;
+}
+
+int cmd_info(const Args& args) {
+  const std::string ckpt = args.get("ckpt", "");
+  if (ckpt.empty()) throw std::runtime_error("info needs --ckpt FILE");
+  const auto state = nn::load_state_dict_file(ckpt);
+  std::size_t total = 0;
+  Table table({"parameter", "shape", "elements"});
+  for (const auto& [name, m] : state) {
+    table.add_row({name,
+                   std::to_string(m.rows()) + "x" + std::to_string(m.cols()),
+                   static_cast<long long>(m.size())});
+    total += m.size();
+  }
+  table.print(std::cout);
+  std::printf("total parameters: %zu\n", total);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: automdt <list-presets|explore|train|transfer|info> "
+               "[options]\n  see the header of tools/automdt_cli.cpp for "
+               "options\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "list-presets") return cmd_list_presets();
+    if (args.command == "explore") return cmd_explore(args);
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "transfer") return cmd_transfer(args);
+    if (args.command == "info") return cmd_info(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
