@@ -4,15 +4,19 @@
 // engine.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <thread>
 
 #include "common/mpmc_queue.hpp"
 #include "common/observation.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/module.hpp"
 #include "rl/networks.hpp"
+#include "rl/rollout.hpp"
 #include "sim/dynamics_simulator.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator_env.hpp"
 #include "transfer/token_bucket.hpp"
 
 namespace {
@@ -51,7 +55,8 @@ void BM_SimulatorStep(benchmark::State& state) {
   state.SetItemsProcessed(events);
   state.SetLabel("events/iter=" +
                  std::to_string(events / std::max<long long>(1,
-                                state.iterations())));
+                                state.iterations())) +
+                 " queue_cap=" + std::to_string(sim.queue_capacity()));
 }
 BENCHMARK(BM_SimulatorStep)->Arg(5)->Arg(15)->Arg(30);
 
@@ -68,6 +73,78 @@ void BM_MatrixMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatrixMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+// Same kernel through an explicitly sized global pool: args are
+// (matrix size, pool lanes). Lanes=1 is the serial baseline, so the ratio of
+// the two rows is the matmul speedup on this machine.
+void BM_MatrixMatmulPooled(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  set_global_thread_pool_size(static_cast<int>(state.range(1)));
+  Rng rng(2);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.uniform(-1, 1);
+  for (double& v : b.data()) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    nn::Matrix c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  set_global_thread_pool_size(0);
+}
+BENCHMARK(BM_MatrixMatmulPooled)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})
+    ->Args({512, 1})->Args({512, 4});
+
+// Dispatch cost of an (almost) empty parallel region — what a 5 µs matmul
+// pays to use the pool at all.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<double> out(1024, 0.0);
+  for (auto _ : state) {
+    pool.parallel_for(0, out.size(), 64, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] += 1.0;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// Vectorized rollout collection: one round of N concurrent 10-step episodes.
+// Args are (num_envs, pool lanes); items processed = simulator events, so
+// the rate column reads directly as events/sec.
+void BM_VecRolloutCollect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  sim::SimScenario s;
+  s.tpt_mbps = {80.0, 160.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+
+  std::vector<std::unique_ptr<Env>> envs;
+  for (std::size_t i = 0; i < n; ++i)
+    envs.push_back(std::make_unique<sim::SimulatorEnv>(s));
+  rl::VecEnv vec(std::move(envs), /*seed=*/42);
+
+  Rng rng(3);
+  rl::PpoConfig cfg;
+  cfg.hidden_dim = 64;
+  rl::PolicyNetwork policy(kObservationSize, 3, cfg, rng);
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  const double r_max = sim::SimulatorEnv(s).theoretical_max_reward();
+
+  long long steps = 0;
+  for (auto _ : state) {
+    rl::RolloutMemory memory;
+    const auto rewards = rl::collect_episodes(vec, policy, /*steps=*/10,
+                                              r_max, vec.max_threads(), pool,
+                                              memory);
+    steps += static_cast<long long>(memory.size());
+    benchmark::DoNotOptimize(rewards.data());
+  }
+  state.SetItemsProcessed(steps);
+  state.SetLabel("env-steps");
+}
+BENCHMARK(BM_VecRolloutCollect)
+    ->Args({1, 1})->Args({4, 1})->Args({4, 4})->Args({8, 4});
 
 void BM_PolicyForward(benchmark::State& state) {
   Rng rng(3);

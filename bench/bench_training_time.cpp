@@ -7,6 +7,7 @@
 // of real transfer) and waste ~5.62 PB of traffic on a 100 Gbps link.
 #include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "common/csv.hpp"
@@ -70,6 +71,46 @@ int main(int argc, char** argv) {
       {std::string("offline speedup over online"),
        online_seconds / std::max(report.training.wall_time_s, 1e-9)});
   table.print(std::cout);
+
+  // ---- serial vs parallel fast path -------------------------------------
+  // Same scenario, same seed, reduced episode budget: the only change between
+  // the two runs is the thread/env knobs, so the wall-time ratio is the
+  // speedup of the parallel offline-training fast path on this machine.
+  // (Rewards differ between the rows only because num_envs differs; for a
+  // fixed num_envs they are bit-identical at any num_threads.)
+  const int kCompareEpisodes = 600;
+  auto timed_train = [&](int num_threads, int num_envs) {
+    core::PipelineConfig c = cfg;
+    c.ppo.max_episodes = kCompareEpisodes;
+    c.ppo.stagnation_episodes = kCompareEpisodes;  // run the full budget
+    c.ppo.num_threads = num_threads;
+    c.ppo.num_envs = num_envs;
+    rl::TrainResult r;
+    core::AutoMdt::train_on_scenario(report.scenario, c, &r);
+    return r;
+  };
+
+  std::printf("\nserial vs parallel fast path (%d episodes each):\n",
+              kCompareEpisodes);
+  const rl::TrainResult serial = timed_train(/*num_threads=*/1,
+                                             /*num_envs=*/1);
+  const rl::TrainResult parallel = timed_train(/*num_threads=*/0,
+                                               /*num_envs=*/4);
+  const auto steps_per_sec = [&](const rl::TrainResult& r) {
+    return static_cast<double>(r.episodes_run) * cfg.ppo.steps_per_episode /
+           std::max(r.wall_time_s, 1e-9);
+  };
+
+  Table cmp({"mode", "wall time (s)", "env-steps/s", "best reward"}, 2);
+  cmp.add_row({std::string("serial (1 thread, 1 env)"), serial.wall_time_s,
+               steps_per_sec(serial), serial.best_reward});
+  cmp.add_row({std::string("parallel (all cores, 4 envs)"),
+               parallel.wall_time_s, steps_per_sec(parallel),
+               parallel.best_reward});
+  cmp.print(std::cout);
+  std::printf("parallel fast-path speedup: %.2fx (on %u hardware threads)\n",
+              serial.wall_time_s / std::max(parallel.wall_time_s, 1e-9),
+              std::thread::hardware_concurrency());
 
   std::printf("\nNote: bench config is width-%zu / %d-episode cap "
               "(2-core budget; pass --paper for the 256-wide, 30000-episode "

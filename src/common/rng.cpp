@@ -94,4 +94,12 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  // Mix the counter through SplitMix64 before combining so streams 0, 1, 2...
+  // land far apart even for adjacent seeds; the Rng constructor runs the
+  // combined value through SplitMix64 again to fill the xoshiro state.
+  std::uint64_t c = stream_index ^ 0xD1B54A32D192ED03ULL;
+  return Rng(seed ^ splitmix64(c));
+}
+
 }  // namespace automdt

@@ -59,6 +59,12 @@ class Rng {
   /// each subsystem its own generator from one master seed).
   Rng split();
 
+  /// Counter-based stream derivation: an independent generator for
+  /// (seed, stream_index), without consuming any state from an existing Rng.
+  /// Vectorized rollouts give env i the stream (seed, i), so results are
+  /// reproducible for a fixed env count regardless of thread scheduling.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
  private:
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;

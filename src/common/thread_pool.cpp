@@ -1,0 +1,135 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace automdt {
+namespace {
+
+thread_local bool t_on_worker = false;
+thread_local bool t_caller_in_region = false;
+
+}  // namespace
+
+int ThreadPool::resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::max(1u, hw));
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+bool ThreadPool::in_parallel_region() {
+  return t_on_worker || t_caller_in_region;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int lanes = resolve_threads(threads);
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int i = 1; i < lanes; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::record_error() {
+  std::lock_guard lock(mu_);
+  if (!error_) error_ = std::current_exception();
+  // Cancel the rest of the region: park the cursor past the end.
+  next_.store(end_, std::memory_order_relaxed);
+}
+
+void ThreadPool::drain_chunks(const RangeTask& task, std::size_t end,
+                              std::size_t grain) {
+  for (;;) {
+    const std::size_t lo = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (lo >= end) return;
+    const std::size_t hi = std::min(lo + grain, end);
+    try {
+      task.invoke(task.ctx, lo, hi);
+    } catch (...) {
+      record_error();
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const RangeTask task = task_;
+    const std::size_t end = end_;
+    const std::size_t grain = grain_;
+    lock.unlock();
+
+    drain_chunks(task, end, grain);
+
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_region(const RangeTask& task, std::size_t begin,
+                            std::size_t end, std::size_t grain) {
+  std::lock_guard region(region_mutex_);
+  {
+    std::lock_guard lock(mu_);
+    task_ = task;
+    end_ = end;
+    grain_ = grain;
+    error_ = nullptr;
+    next_.store(begin, std::memory_order_relaxed);
+    active_workers_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // Mark the caller as in-region while it drains: a body that issues another
+  // parallel_for must run it inline rather than re-entering region_mutex_.
+  t_caller_in_region = true;
+  drain_chunks(task, end, grain);
+  t_caller_in_region = false;
+
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;     // lazily created
+int g_pool_request = 0;                 // 0 = hardware concurrency
+
+}  // namespace
+
+ThreadPool& global_thread_pool() {
+  std::lock_guard lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_pool_request);
+  return *g_pool;
+}
+
+void set_global_thread_pool_size(int threads) {
+  std::lock_guard lock(g_pool_mutex);
+  g_pool_request = threads;
+  if (g_pool && g_pool->size() != ThreadPool::resolve_threads(threads))
+    g_pool.reset();  // rebuilt lazily at the requested size
+}
+
+}  // namespace automdt

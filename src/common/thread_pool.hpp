@@ -1,0 +1,127 @@
+// Fixed-size thread pool with a blocking `parallel_for` primitive.
+//
+// Built for the offline-training fast path: one pool is created up front
+// (global_thread_pool()), and hot loops — blocked matmul row ranges, tensor
+// elementwise ops, vectorized simulator rollouts — carve index ranges across
+// it. Design constraints, in order:
+//
+//   * No per-task allocation. A parallel region publishes one shared
+//     descriptor (type-erased callable pointer + atomic chunk cursor); workers
+//     claim [lo, hi) chunks with fetch_add. Nothing is heap-allocated per
+//     call, so a 5 µs region is still worth dispatching.
+//   * The caller participates. parallel_for runs chunks on the calling thread
+//     too, so a pool of size N uses N threads total, not N+1.
+//   * Exceptions propagate. The first exception thrown by any chunk is
+//     captured, remaining chunks are cancelled, and it is rethrown from
+//     parallel_for on the calling thread.
+//   * Nested calls degrade to serial. A parallel_for issued from inside a
+//     worker runs inline (no deadlock, no oversubscription).
+//
+// Determinism contract: parallel_for guarantees each index in [begin, end) is
+// visited exactly once, but chunk-to-thread assignment is scheduling
+// dependent. Callers that only write disjoint outputs per index (every use in
+// this repository) therefore produce bit-identical results for any pool size.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace automdt {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// <= 0 means std::thread::hardware_concurrency(). A pool of size 1 spawns
+  /// no workers and runs every parallel_for inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Resolve a requested thread count the way the constructor does.
+  static int resolve_threads(int threads);
+
+  /// True when the current thread is one of this pool's workers.
+  static bool on_worker_thread();
+
+  /// True when the current thread is inside a parallel_for region (as a
+  /// worker *or* as the participating caller) — nested calls run inline.
+  static bool in_parallel_region();
+
+  /// Invoke body(lo, hi) over disjoint chunks covering [begin, end), each
+  /// chunk at most `grain` indices. Blocks until every chunk completed.
+  /// `body` must tolerate concurrent invocation on disjoint ranges.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Body&& body) {
+    if (end <= begin) return;
+    if (grain == 0) grain = 1;
+    if (workers_.empty() || end - begin <= grain || in_parallel_region()) {
+      body(begin, end);
+      return;
+    }
+    using Fn = std::remove_reference_t<Body>;
+    RangeTask task;
+    task.invoke = [](void* ctx, std::size_t lo, std::size_t hi) {
+      (*static_cast<Fn*>(ctx))(lo, hi);
+    };
+    task.ctx = std::addressof(body);
+    run_region(task, begin, end, grain);
+  }
+
+ private:
+  struct RangeTask {
+    void (*invoke)(void* ctx, std::size_t lo, std::size_t hi) = nullptr;
+    void* ctx = nullptr;
+  };
+
+  void run_region(const RangeTask& task, std::size_t begin, std::size_t end,
+                  std::size_t grain);
+  /// Claim and run chunks of the current region until the cursor passes
+  /// `end` or an error cancels the region.
+  void drain_chunks(const RangeTask& task, std::size_t end, std::size_t grain);
+  void record_error();
+  void worker_loop();
+
+  // One region at a time; concurrent callers queue up here.
+  std::mutex region_mutex_;
+
+  // Region descriptor, guarded by mu_ except for the atomic cursor.
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // caller waits for workers to drain
+  RangeTask task_{};
+  std::size_t end_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> next_{0};  // chunk cursor
+  std::uint64_t epoch_ = 0;
+  int active_workers_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide pool shared by the nn/rl/sim fast paths. Created lazily on
+/// first use with the size last requested via set_global_thread_pool_size()
+/// (default: hardware concurrency).
+ThreadPool& global_thread_pool();
+
+/// Request a global pool size (<= 0 restores the hardware-concurrency
+/// default). If the pool already exists with a different size it is torn down
+/// and rebuilt; callers must not hold references across this call.
+void set_global_thread_pool_size(int threads);
+
+}  // namespace automdt

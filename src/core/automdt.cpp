@@ -1,6 +1,9 @@
 #include "core/automdt.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "nn/serialize.hpp"
@@ -75,7 +78,20 @@ AutoMdt AutoMdt::train_on_scenario(const sim::SimScenario& scenario,
   out.r_max_ = scenario.theoretical_max_reward();
 
   // §IV-E: PPO training with the R_max-based convergence criterion.
-  rl::TrainResult result = out.agent_->train(env, out.r_max_);
+  // num_envs > 1 selects the vectorized collector: N simulator instances of
+  // the same scenario stepped concurrently, each on its own RNG stream.
+  rl::TrainResult result;
+  if (config.ppo.num_envs > 1) {
+    std::vector<std::unique_ptr<Env>> envs;
+    envs.reserve(static_cast<std::size_t>(config.ppo.num_envs));
+    for (int i = 0; i < config.ppo.num_envs; ++i)
+      envs.push_back(
+          std::make_unique<sim::SimulatorEnv>(scenario, config.sim_options));
+    rl::VecEnv vec(std::move(envs), config.ppo.seed);
+    result = out.agent_->train(vec, out.r_max_);
+  } else {
+    result = out.agent_->train(env, out.r_max_);
+  }
   LOG_INFO("offline training: " << result.episodes_run << " episodes, best "
                                 << result.best_reward << " of R_max, "
                                 << (result.converged ? "converged"

@@ -101,6 +101,10 @@ rl::PpoConfig apply_ppo_overrides(rl::PpoConfig base, const Config& config) {
       config.get_int("ppo.value_blocks", base.value_blocks));
   base.stagnation_episodes = static_cast<int>(
       config.get_int("ppo.stagnation_episodes", base.stagnation_episodes));
+  base.num_threads = static_cast<int>(
+      config.get_int("ppo.num_threads", base.num_threads));
+  base.num_envs =
+      static_cast<int>(config.get_int("ppo.num_envs", base.num_envs));
   base.seed = static_cast<std::uint64_t>(
       config.get_int("ppo.seed", static_cast<long long>(base.seed)));
   return base;

@@ -5,7 +5,104 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace automdt::nn {
+namespace {
+
+// Work threshold (multiply-adds) below which a product stays on the calling
+// thread: dispatching a pool region costs a few microseconds, which a
+// sub-64k-FLOP product finishes in anyway. PPO minibatches (e.g. 40x10 states
+// through 128-wide layers, ~650k FLOPs per layer) sit well above it; the
+// single-row products behind PpoAgent::act() sit well below, so act() latency
+// never pays pool overhead.
+constexpr std::size_t kMatmulParallelMinFlops = 64 * 1024;
+
+// Column tile: 128 doubles = 1 KiB of a b/out row per block, so one tile of b
+// (tile_k x 1 KiB) stays cache-resident while every row of the range streams
+// against it.
+constexpr std::size_t kColsPerBlock = 128;
+
+/// Pool to use for a product of `flops` with `rows` parallelizable rows, or
+/// nullptr for the serial path.
+ThreadPool* matmul_pool(std::size_t flops, std::size_t rows) {
+  if (rows < 2 || flops < kMatmulParallelMinFlops) return nullptr;
+  ThreadPool& pool = global_thread_pool();
+  return pool.size() > 1 ? &pool : nullptr;
+}
+
+std::size_t row_grain(std::size_t rows, const ThreadPool& pool) {
+  // ~4 chunks per lane keeps the dynamic schedule balanced without
+  // fine-grained cursor traffic.
+  return std::max<std::size_t>(1, rows / (4 * static_cast<std::size_t>(
+                                                  pool.size())));
+}
+
+// out rows [r0, r1) of a * b. Per output element the k-summation runs in
+// ascending order — exactly the order of the plain ikj loop — so the blocked
+// and row-parallel paths are bit-identical to the serial product.
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t r0,
+                 std::size_t r1) {
+  const std::size_t kk = a.cols();
+  const std::size_t cc = b.cols();
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* od = out.data().data();
+  for (std::size_t j0 = 0; j0 < cc; j0 += kColsPerBlock) {
+    const std::size_t j1 = std::min(j0 + kColsPerBlock, cc);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* a_row = ad + i * kk;
+      double* out_row = od + i * cc;
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double aik = a_row[k];
+        if (aik == 0.0) continue;
+        const double* b_row = bd + k * cc;
+        for (std::size_t j = j0; j < j1; ++j) out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+}
+
+// out rows [r0, r1) of a^T * b (out row i = column i of a). Same k-ascending
+// accumulation order as the serial loop.
+void matmul_tn_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t cc = b.cols();
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* od = out.data().data();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = ad + k * a.cols();
+    const double* b_row = bd + k * cc;
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = od + i * cc;
+      for (std::size_t j = 0; j < cc; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+// out rows [r0, r1) of a * b^T: independent dot products.
+void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t kk = a.cols();
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* od = out.data().data();
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* a_row = ad + i * kk;
+    double* out_row = od + i * b.rows();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = bd + j * kk;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::from(std::initializer_list<std::initializer_list<double>> rows) {
   const std::size_t r = rows.size();
@@ -66,15 +163,14 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  // ikj order: the inner loop streams through contiguous rows of b and out.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* out_row = out.data_.data() + i * out.cols_;
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* b_row = b.data_.data() + k * b.cols_;
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
+  if (ThreadPool* pool =
+          matmul_pool(a.rows() * a.cols() * b.cols(), a.rows())) {
+    pool->parallel_for(0, a.rows(), row_grain(a.rows(), *pool),
+                       [&](std::size_t lo, std::size_t hi) {
+                         matmul_rows(a, b, out, lo, hi);
+                       });
+  } else {
+    matmul_rows(a, b, out, 0, a.rows());
   }
   return out;
 }
@@ -83,15 +179,14 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   // out = a^T * b, a: (k x r), b: (k x c) -> out: (r x c)
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.data_.data() + k * a.cols_;
-    const double* b_row = b.data_.data() + k * b.cols_;
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
-      double* out_row = out.data_.data() + i * out.cols_;
-      for (std::size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-    }
+  if (ThreadPool* pool =
+          matmul_pool(a.rows() * a.cols() * b.cols(), a.cols())) {
+    pool->parallel_for(0, a.cols(), row_grain(a.cols(), *pool),
+                       [&](std::size_t lo, std::size_t hi) {
+                         matmul_tn_rows(a, b, out, lo, hi);
+                       });
+  } else {
+    matmul_tn_rows(a, b, out, 0, a.cols());
   }
   return out;
 }
@@ -100,14 +195,14 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   // out = a * b^T, a: (r x k), b: (c x k) -> out: (r x c)
   assert(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.data_.data() + i * a.cols_;
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.data_.data() + j * b.cols_;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += a_row[k] * b_row[k];
-      out(i, j) = acc;
-    }
+  if (ThreadPool* pool =
+          matmul_pool(a.rows() * a.cols() * b.rows(), a.rows())) {
+    pool->parallel_for(0, a.rows(), row_grain(a.rows(), *pool),
+                       [&](std::size_t lo, std::size_t hi) {
+                         matmul_nt_rows(a, b, out, lo, hi);
+                       });
+  } else {
+    matmul_nt_rows(a, b, out, 0, a.rows());
   }
   return out;
 }

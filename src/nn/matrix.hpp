@@ -1,9 +1,13 @@
 // Dense row-major matrix of double.
 //
 // The value type underneath the autodiff tape (tensor.hpp). Kept deliberately
-// small: the networks in this library are MLPs of width <= 256, so a clear
-// O(n^3) matmul with a cache-friendly ikj loop is plenty (Per.4: simple code
-// first, measured). Vectors are represented as 1xN or Nx1 matrices.
+// small: the networks in this library are MLPs of width <= 256. The products
+// use a cache-blocked ikj kernel; above a FLOP threshold the output rows are
+// split across the global thread pool (common/thread_pool.hpp). Both paths
+// accumulate each output element in the same ascending-k order, so serial,
+// blocked, and multithreaded products are bit-identical — PPO training is
+// reproducible regardless of thread count. Vectors are represented as 1xN or
+// Nx1 matrices.
 #pragma once
 
 #include <cassert>

@@ -5,7 +5,35 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/thread_pool.hpp"
+
 namespace automdt::nn {
+namespace {
+
+// Elementwise loops fan out across the global pool only above this many
+// elements: a pool dispatch costs a few microseconds, which is the serial
+// cost of ~thousands of tanh/exp evaluations. Below it (single rows in
+// act(), small minibatches) the loop runs inline, so sampling latency is
+// untouched. Partitioning never changes results — each index is written
+// independently — so the threshold is a pure performance knob.
+constexpr std::size_t kElementwiseParallelMin = 4096;
+
+/// Run body(lo, hi) over [0, n), pooled when the workload justifies it.
+template <typename Body>
+void elementwise_ranges(std::size_t n, Body&& body) {
+  if (n >= kElementwiseParallelMin) {
+    ThreadPool& pool = global_thread_pool();
+    if (pool.size() > 1) {
+      const std::size_t grain = std::max<std::size_t>(
+          1024, n / (4 * static_cast<std::size_t>(pool.size())));
+      pool.parallel_for(0, n, grain, body);
+      return;
+    }
+  }
+  body(0, n);
+}
+
+}  // namespace
 
 Tensor Tensor::constant(Matrix v) {
   auto n = std::make_shared<Node>();
@@ -160,29 +188,50 @@ Tensor mul_row_broadcast(const Tensor& a, const Tensor& b) {
 }
 
 Tensor tanh_op(const Tensor& a) {
-  Matrix y = a.value().map([](double v) { return std::tanh(v); });
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  elementwise_ranges(x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      y.data()[i] = std::tanh(x.data()[i]);
+  });
   return make_op(std::move(y), {a}, [](Node& self) {
     Matrix g = self.grad;
     const Matrix& y = self.value;
-    for (std::size_t i = 0; i < g.size(); ++i)
-      g.data()[i] *= 1.0 - y.data()[i] * y.data()[i];
+    elementwise_ranges(g.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        g.data()[i] *= 1.0 - y.data()[i] * y.data()[i];
+    });
     accum(self.inputs[0], g);
   });
 }
 
 Tensor relu(const Tensor& a) {
-  Matrix y = a.value().map([](double v) { return v > 0.0 ? v : 0.0; });
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  elementwise_ranges(x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = x.data()[i];
+      y.data()[i] = v > 0.0 ? v : 0.0;
+    }
+  });
   return make_op(std::move(y), {a}, [](Node& self) {
     Matrix g = self.grad;
     const Matrix& x = self.inputs[0]->value;
-    for (std::size_t i = 0; i < g.size(); ++i)
-      if (x.data()[i] <= 0.0) g.data()[i] = 0.0;
+    elementwise_ranges(g.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        if (x.data()[i] <= 0.0) g.data()[i] = 0.0;
+    });
     accum(self.inputs[0], g);
   });
 }
 
 Tensor exp_op(const Tensor& a) {
-  Matrix y = a.value().map([](double v) { return std::exp(v); });
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  elementwise_ranges(x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      y.data()[i] = std::exp(x.data()[i]);
+  });
   return make_op(std::move(y), {a}, [](Node& self) {
     accum(self.inputs[0], hadamard(self.grad, self.value));
   });
@@ -202,25 +251,42 @@ Tensor log_op(const Tensor& a) {
 }
 
 Tensor square(const Tensor& a) {
-  Matrix y = a.value().map([](double v) { return v * v; });
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  elementwise_ranges(x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = x.data()[i];
+      y.data()[i] = v * v;
+    }
+  });
   return make_op(std::move(y), {a}, [](Node& self) {
     Matrix g = self.grad;
     const Matrix& x = self.inputs[0]->value;
-    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] *= 2.0 * x.data()[i];
+    elementwise_ranges(g.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        g.data()[i] *= 2.0 * x.data()[i];
+    });
     accum(self.inputs[0], g);
   });
 }
 
 Tensor clamp(const Tensor& a, double lo, double hi) {
   assert(lo <= hi);
-  Matrix y = a.value().map([lo, hi](double v) { return std::clamp(v, lo, hi); });
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  elementwise_ranges(x.size(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i)
+      y.data()[i] = std::clamp(x.data()[i], lo, hi);
+  });
   return make_op(std::move(y), {a}, [lo, hi](Node& self) {
     Matrix g = self.grad;
     const Matrix& x = self.inputs[0]->value;
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const double v = x.data()[i];
-      if (v < lo || v > hi) g.data()[i] = 0.0;
-    }
+    elementwise_ranges(g.size(), [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double v = x.data()[i];
+        if (v < lo || v > hi) g.data()[i] = 0.0;
+      }
+    });
     accum(self.inputs[0], g);
   });
 }

@@ -6,19 +6,45 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace automdt::rl {
+namespace {
 
-ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row,
-                                 int max_threads) {
-  auto to_int = [](double v) { return static_cast<int>(std::lround(v)); };
-  ConcurrencyTuple t{to_int(action_row(0, 0)), to_int(action_row(0, 1)),
-                     to_int(action_row(0, 2))};
-  return t.clamped(1, max_threads);
-}
+// Algorithm 2's R*/c bookkeeping (windowed; see PpoConfig::best_window),
+// shared by the serial and vectorized training loops so the convergence
+// criterion cannot drift between them.
+struct Algorithm2State {
+  explicit Algorithm2State(int best_window)
+      : window(static_cast<std::size_t>(std::max(1, best_window))) {}
+
+  /// Returns true when the smoothed reward set a new best (the caller saves
+  /// a checkpoint — "Save model").
+  bool record(double episode_reward) {
+    window.add(episode_reward);
+    const double smoothed = window.mean();
+    if (smoothed > best_reward) {
+      best_reward = smoothed;
+      stagnant = 0;
+      return true;
+    }
+    ++stagnant;
+    return false;
+  }
+
+  double best_reward = -1e300;  // R* in Algorithm 2
+  int stagnant = 0;             // c in Algorithm 2
+  SlidingWindow window;
+};
+
+}  // namespace
 
 PpoAgent::PpoAgent(std::size_t state_dim, int max_threads, PpoConfig config)
     : config_(config), max_threads_(max_threads), rng_(config.seed) {
+  // num_threads > 0 pins the pool used by the nn/rollout fast paths;
+  // 0 keeps the hardware-concurrency default. Results are unaffected either
+  // way (see DESIGN.md, determinism contract) — this is a performance knob.
+  if (config_.num_threads > 0) set_global_thread_pool_size(config_.num_threads);
   Rng init_rng = rng_.split();
   policy_ = std::make_unique<PolicyNetwork>(state_dim, 3, config_, init_rng);
   value_ = std::make_unique<ValueNetwork>(state_dim, config_, init_rng);
@@ -39,6 +65,12 @@ TrainResult PpoAgent::train(Env& env, double r_max,
                       /*track_convergence=*/true, on_episode);
 }
 
+TrainResult PpoAgent::train(VecEnv& envs, double r_max,
+                            const EpisodeCallback& on_episode) {
+  return run_training_vec(envs, r_max, config_.max_episodes,
+                          /*track_convergence=*/true, on_episode);
+}
+
 TrainResult PpoAgent::fine_tune(Env& env, double r_max, int episodes,
                                 const EpisodeCallback& on_episode) {
   return run_training(env, r_max, episodes, /*track_convergence=*/false,
@@ -55,10 +87,7 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
 
   RolloutMemory memory;
   nn::StateDict best_checkpoint;
-  double best_reward = -1e300;  // R* in Algorithm 2 (windowed; see PpoConfig)
-  int stagnant = 0;             // c in Algorithm 2
-  SlidingWindow reward_window(
-      static_cast<std::size_t>(std::max(1, config_.best_window)));
+  Algorithm2State algo(config_.best_window);
 
   const int batch = std::max(1, config_.episodes_per_batch);
   for (int episode = 0; episode < max_episodes; ++episode) {
@@ -94,25 +123,17 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
     result.episode_rewards.push_back(episode_reward);
     ++result.episodes_run;
 
-    reward_window.add(episode_reward);
-    const double smoothed = reward_window.mean();
-    if (smoothed > best_reward) {
-      best_reward = smoothed;
-      stagnant = 0;
-      best_checkpoint = state_dict();  // "Save model"
-    } else {
-      ++stagnant;
-    }
+    if (algo.record(episode_reward)) best_checkpoint = state_dict();
 
     if (track_convergence && result.convergence_episode < 0 &&
-        best_reward >= config_.convergence_fraction) {
+        algo.best_reward >= config_.convergence_fraction) {
       result.convergence_episode = episode;
       LOG_INFO("PPO reached " << config_.convergence_fraction
                               << " * R_max at episode " << episode);
     }
 
-    if (track_convergence && best_reward >= config_.convergence_fraction &&
-        stagnant >= config_.stagnation_episodes) {
+    if (track_convergence && algo.best_reward >= config_.convergence_fraction &&
+        algo.stagnant >= config_.stagnation_episodes) {
       result.converged = true;
       break;
     }
@@ -120,7 +141,78 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
     if (on_episode && !on_episode(episode, episode_reward)) break;
   }
 
-  result.best_reward = best_reward;
+  result.best_reward = algo.best_reward;
+  if (!best_checkpoint.empty()) load_state_dict(best_checkpoint);
+
+  result.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+TrainResult PpoAgent::run_training_vec(VecEnv& envs, double r_max,
+                                       int max_episodes,
+                                       bool track_convergence,
+                                       const EpisodeCallback& on_episode) {
+  const auto t0 = std::chrono::steady_clock::now();
+  TrainResult result;
+  result.r_max = r_max;
+  result.episode_rewards.reserve(static_cast<std::size_t>(max_episodes));
+
+  ThreadPool& pool = global_thread_pool();
+  RolloutMemory memory;
+  nn::StateDict best_checkpoint;
+  Algorithm2State algo(config_.best_window);
+
+  const int batch = std::max(1, config_.episodes_per_batch);
+  int pending_episodes = 0;  // collected since the last network update
+  bool stop = false;
+  for (int episode = 0; episode < max_episodes && !stop;) {
+    // One round: every env runs one episode concurrently under the current
+    // policy (on-policy, like synchronized PPO workers).
+    const std::vector<double> round_rewards =
+        collect_episodes(envs, *policy_, config_.steps_per_episode, r_max,
+                         max_threads_, pool, memory);
+    pending_episodes += static_cast<int>(round_rewards.size());
+    if (pending_episodes >= batch) {
+      update_networks(memory);
+      memory.clear();
+      pending_episodes = 0;
+    }
+
+    // Episode bookkeeping in env order, so results depend only on
+    // (seed, num_envs) — not on pool scheduling.
+    for (std::size_t i = 0;
+         i < round_rewards.size() && episode < max_episodes; ++i, ++episode) {
+      const double episode_reward = round_rewards[i];
+      result.episode_rewards.push_back(episode_reward);
+      ++result.episodes_run;
+
+      if (algo.record(episode_reward)) best_checkpoint = state_dict();
+
+      if (track_convergence && result.convergence_episode < 0 &&
+          algo.best_reward >= config_.convergence_fraction) {
+        result.convergence_episode = episode;
+        LOG_INFO("PPO reached " << config_.convergence_fraction
+                                << " * R_max at episode " << episode);
+      }
+
+      if (track_convergence &&
+          algo.best_reward >= config_.convergence_fraction &&
+          algo.stagnant >= config_.stagnation_episodes) {
+        result.converged = true;
+        stop = true;
+        break;
+      }
+
+      if (on_episode && !on_episode(episode, episode_reward)) {
+        stop = true;
+        break;
+      }
+    }
+  }
+
+  result.best_reward = algo.best_reward;
   if (!best_checkpoint.empty()) load_state_dict(best_checkpoint);
 
   result.wall_time_s =

@@ -50,6 +50,14 @@ class PpoAgent {
   TrainResult train(Env& env, double r_max,
                     const EpisodeCallback& on_episode = nullptr);
 
+  /// Vectorized offline training: every round collects envs.size() episodes
+  /// concurrently (batched forwards, env steps fanned over the thread pool)
+  /// and runs the same Algorithm 2 bookkeeping over them in env order.
+  /// Results depend only on (config.seed, envs.size()) — identical for any
+  /// PpoConfig::num_threads, which is what the determinism tests pin.
+  TrainResult train(VecEnv& envs, double r_max,
+                    const EpisodeCallback& on_episode = nullptr);
+
   /// Production-phase action (§IV-F): sample from the Gaussian (or take the
   /// mean when `deterministic`), round to integers, clamp to [1, n_max].
   ConcurrencyTuple act(const std::vector<double>& state, Rng& rng,
@@ -71,6 +79,9 @@ class PpoAgent {
   TrainResult run_training(Env& env, double r_max, int max_episodes,
                            bool track_convergence,
                            const EpisodeCallback& on_episode);
+  TrainResult run_training_vec(VecEnv& envs, double r_max, int max_episodes,
+                               bool track_convergence,
+                               const EpisodeCallback& on_episode);
   void update_networks(const RolloutMemory& memory);
 
   PpoConfig config_;
@@ -81,7 +92,7 @@ class PpoAgent {
   std::unique_ptr<nn::Adam> optimizer_;
 };
 
-/// Round-and-clamp a raw continuous action row to a concurrency tuple.
-ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row, int max_threads);
+// action_to_tuple (round-and-clamp a raw action row) lives in rollout.hpp,
+// shared with the vectorized collector.
 
 }  // namespace automdt::rl

@@ -56,6 +56,16 @@ struct PpoConfig {
   // picks genuinely better policies. 1 == paper behaviour.
   int best_window = 10;
 
+  // ---- offline fast path (performance only; never changes results) ----
+  // Worker threads for the global pool used by blocked matmuls / elementwise
+  // ops / vectorized env stepping. 0 = hardware concurrency, 1 = fully
+  // serial. Training results are bit-identical for any value.
+  int num_threads = 0;
+  // Environments stepped concurrently during offline training. 1 keeps the
+  // classic serial episode loop; > 1 uses the vectorized collector
+  // (rollout.hpp). Results depend on (seed, num_envs) but not num_threads.
+  int num_envs = 1;
+
   std::uint64_t seed = 42;
 
   /// Faithful to the published configuration.

@@ -1,6 +1,9 @@
 #include "rl/rollout.hpp"
 
 #include <cassert>
+#include <cmath>
+
+#include "rl/networks.hpp"
 
 namespace automdt::rl {
 
@@ -101,6 +104,127 @@ double RolloutMemory::last_episode_mean_reward() const {
   double s = 0.0;
   for (std::size_t i = start; i < rewards_.size(); ++i) s += rewards_[i];
   return s / static_cast<double>(rewards_.size() - start);
+}
+
+ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row,
+                                 int max_threads) {
+  auto to_int = [](double v) { return static_cast<int>(std::lround(v)); };
+  ConcurrencyTuple t{to_int(action_row(0, 0)), to_int(action_row(0, 1)),
+                     to_int(action_row(0, 2))};
+  return t.clamped(1, max_threads);
+}
+
+VecEnv::VecEnv(std::vector<std::unique_ptr<Env>> envs, std::uint64_t seed)
+    : envs_(std::move(envs)) {
+  assert(!envs_.empty());
+  rngs_.reserve(envs_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i)
+    rngs_.push_back(Rng::stream(seed, i));
+}
+
+std::vector<double> collect_episodes(VecEnv& envs, const PolicyNetwork& policy,
+                                     int steps, double r_max, int max_threads,
+                                     ThreadPool& pool, RolloutMemory& memory) {
+  const std::size_t n = envs.size();
+  const std::size_t dim = envs.observation_size();
+  assert(steps > 0 && r_max > 0.0);
+
+  // Reset every env concurrently; each consumes only its own RNG stream.
+  std::vector<std::vector<double>> states(n);
+  pool.parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      states[i] = envs.env(i).reset(envs.rng(i));
+  });
+
+  // Per-env trajectory buffers; appended to `memory` in env order afterwards
+  // so episode grouping matches the serial collector's layout.
+  struct Trajectory {
+    std::vector<std::vector<double>> states;
+    std::vector<std::array<double, 3>> actions;
+    std::vector<double> rewards;        // normalized by r_max
+    std::vector<double> log_probs;
+    double reward_sum = 0.0;
+  };
+  std::vector<Trajectory> traj(n);
+  for (Trajectory& t : traj) {
+    t.states.reserve(static_cast<std::size_t>(steps));
+    t.actions.reserve(static_cast<std::size_t>(steps));
+    t.rewards.reserve(static_cast<std::size_t>(steps));
+    t.log_probs.reserve(static_cast<std::size_t>(steps));
+  }
+
+  std::vector<char> active(n, 1);
+  std::vector<ConcurrencyTuple> tuples(n, ConcurrencyTuple{1, 1, 1});
+  std::vector<EnvStep> outs(n);
+  nn::Matrix batch(n, dim);
+  std::size_t live = n;
+
+  for (int m = 0; m < steps && live > 0; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      std::copy(states[i].begin(), states[i].end(),
+                batch.row_span(i).begin());
+    }
+
+    // One batched forward for all envs; row i only depends on state row i,
+    // so it matches the per-env forward bit for bit.
+    const nn::DiagonalGaussian dist =
+        policy.forward(nn::Tensor::constant(batch));
+    const nn::Matrix& mu = dist.mean().value();
+    const nn::Matrix& log_std = dist.log_std().value();
+
+    // Sample per env, in env order, from the env's own stream.
+    nn::Matrix raw(n, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      Rng& rng = envs.rng(i);
+      for (std::size_t j = 0; j < 3; ++j)
+        raw(i, j) = rng.normal(mu(i, j), std::exp(log_std(0, j)));
+    }
+    const nn::Matrix log_probs = dist.log_prob(raw).value();  // (n x 1)
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      tuples[i] = action_to_tuple(nn::Matrix::row(raw.row_span(i)),
+                                  max_threads);
+    }
+
+    // Fan the env steps out: envs are independent, so any schedule gives the
+    // same per-env result.
+    pool.parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        if (active[i]) outs[i] = envs.env(i).step(tuples[i]);
+    });
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      Trajectory& t = traj[i];
+      const double reward = outs[i].reward / r_max;
+      t.states.push_back(states[i]);
+      t.actions.push_back({raw(i, 0), raw(i, 1), raw(i, 2)});
+      t.rewards.push_back(reward);
+      t.log_probs.push_back(log_probs(i, 0));
+      t.reward_sum += reward;
+      states[i] = outs[i].observation;
+      if (outs[i].done) {
+        active[i] = 0;
+        --live;
+      }
+    }
+  }
+
+  std::vector<double> episode_mean_rewards(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Trajectory& t = traj[i];
+    for (std::size_t m = 0; m < t.rewards.size(); ++m)
+      memory.add(std::move(t.states[m]), t.actions[m], t.rewards[m],
+                 t.log_probs[m]);
+    memory.end_episode();
+    if (!t.rewards.empty())
+      episode_mean_rewards[i] =
+          t.reward_sum / static_cast<double>(t.rewards.size());
+  }
+  return episode_mean_rewards;
 }
 
 }  // namespace automdt::rl

@@ -1,12 +1,25 @@
 // Episode memory M (Algorithm 2): stores (s, a, r, log pi_old(a|s)) tuples
 // collected during one episode and computes the discounted returns
 // G_t = r_t + gamma * G_{t+1}.
+//
+// Also home to the vectorized collection fast path: VecEnv holds N
+// independent Envs (each with a counter-based RNG stream derived from
+// (seed, env_index)) and collect_episodes() runs one episode in every env
+// concurrently — policy forwards batched as (N x state_dim) through the nn
+// layer, env steps fanned out over the thread pool. Results are bit-identical
+// for a fixed env count regardless of pool size: per-env randomness comes
+// only from that env's own stream, and batched network rows are computed
+// independently per row.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/matrix.hpp"
 
 namespace automdt::rl {
@@ -65,5 +78,41 @@ class RolloutMemory {
   std::vector<double> log_probs_;
   std::vector<std::size_t> boundaries_;  // indices one past each episode end
 };
+
+/// Round-and-clamp a raw continuous action row to a concurrency tuple
+/// (production rule of §IV-F: round to integers, clamp to [1, n_max]).
+ConcurrencyTuple action_to_tuple(const nn::Matrix& action_row, int max_threads);
+
+class PolicyNetwork;
+
+/// N independent environments for vectorized rollout collection. Env i owns
+/// the RNG stream Rng::stream(seed, i), so a VecEnv's trajectory depends only
+/// on (seed, N) — never on how env steps are scheduled across pool threads.
+class VecEnv {
+ public:
+  VecEnv(std::vector<std::unique_ptr<Env>> envs, std::uint64_t seed);
+
+  std::size_t size() const { return envs_.size(); }
+  Env& env(std::size_t i) { return *envs_[i]; }
+  Rng& rng(std::size_t i) { return rngs_[i]; }
+  int max_threads() const { return envs_.front()->max_threads(); }
+  std::size_t observation_size() const {
+    return envs_.front()->observation_size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Env>> envs_;
+  std::vector<Rng> rngs_;
+};
+
+/// Run one episode of up to `steps` steps in every env of `envs`
+/// concurrently: reset all envs, then per step batch the policy forward over
+/// the active envs, sample one action per env from its own RNG stream, and
+/// fan the env steps out over `pool`. Each env's trajectory is appended to
+/// `memory` as its own episode (env 0's episode first), with rewards
+/// normalized by `r_max`. Returns the per-env mean step reward.
+std::vector<double> collect_episodes(VecEnv& envs, const PolicyNetwork& policy,
+                                     int steps, double r_max, int max_threads,
+                                     ThreadPool& pool, RolloutMemory& memory);
 
 }  // namespace automdt::rl

@@ -50,6 +50,11 @@ class DynamicsSimulator {
   double sender_used() const { return sender_used_; }
   double receiver_used() const { return receiver_used_; }
 
+  /// Event-queue capacity (diagnostics): step() reserves n.total() slots up
+  /// front, so this should stay at the largest tuple seen — no mid-step
+  /// reallocation.
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+
   /// Replace the scenario (e.g. domain-randomized per episode). Buffer
   /// occupancies are clamped to the new capacities.
   void set_scenario(const SimScenario& scenario);

@@ -29,6 +29,9 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
+  /// Allocated slots — lets callers assert that a reserve() sized from the
+  /// max concurrency really prevented mid-simulation growth.
+  std::size_t capacity() const { return heap_.capacity(); }
   void clear() { heap_.clear(); }
 
   void push(Event e) {

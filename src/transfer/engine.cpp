@@ -161,8 +161,13 @@ void TransferSession::reader_loop(int worker_id) {
     }
 
     const std::uint32_t size = chunk.size;
-    if (!sender_queue_->push(std::move(chunk))) break;
+    // Count before publishing: once the chunk is visible downstream the
+    // pipeline can finish, and stats() must already include it.
     bytes_read_.fetch_add(size);
+    if (!sender_queue_->push(std::move(chunk))) {
+      bytes_read_.fetch_sub(size);
+      break;
+    }
     if (chunks_pushed_.fetch_add(1) + 1 == total_chunks_) {
       sender_queue_->close();  // no more data will be produced
     }
@@ -175,8 +180,11 @@ void TransferSession::network_loop(int worker_id) {
     if (!chunk) break;  // closed and drained
     if (!network_bucket_.acquire(chunk->size)) break;
     const std::uint32_t size = chunk->size;
-    if (!receiver_queue_->push(std::move(*chunk))) break;
     bytes_sent_.fetch_add(size);
+    if (!receiver_queue_->push(std::move(*chunk))) {
+      bytes_sent_.fetch_sub(size);
+      break;
+    }
     if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
       receiver_queue_->close();
     }

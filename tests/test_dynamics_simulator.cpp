@@ -177,6 +177,20 @@ TEST_P(SimulatorSteadyState, EndToEndRateMatchesFluidModel) {
       << "n=" << n.to_string();
 }
 
+TEST(DynamicsSimulator, QueueCapacityStaysBoundedByLargestTuple) {
+  // step() reserves n.total() event slots up front, so repeated stepping must
+  // never grow the queue beyond what the largest tuple needed — the hot loop
+  // stays reallocation-free.
+  DynamicsSimulator sim(basic_scenario());
+  const ConcurrencyTuple big{8, 8, 8};
+  sim.step(big);
+  const std::size_t cap = sim.queue_capacity();
+  EXPECT_GE(cap, static_cast<std::size_t>(big.total()));
+  for (int i = 0; i < 50; ++i) sim.step(big);
+  for (int i = 0; i < 50; ++i) sim.step({2, 3, 4});
+  EXPECT_EQ(sim.queue_capacity(), cap);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, SimulatorSteadyState,
     ::testing::Values(

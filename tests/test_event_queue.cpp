@@ -76,5 +76,14 @@ TEST(EventQueue, DuplicateTimesAllDelivered) {
   EXPECT_EQ(n, 10);
 }
 
+TEST(EventQueue, ReserveIsVisibleAndPreventsGrowth) {
+  EventQueue q;
+  q.reserve(64);
+  const std::size_t cap = q.capacity();
+  EXPECT_GE(cap, 64u);
+  for (int i = 0; i < 64; ++i) q.push({static_cast<double>(i), Stage::kRead});
+  EXPECT_EQ(q.capacity(), cap);  // no reallocation while within the reserve
+}
+
 }  // namespace
 }  // namespace automdt::sim

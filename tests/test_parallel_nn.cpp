@@ -1,0 +1,127 @@
+// Parallel-vs-serial bit-exactness: the blocked/pooled matmul and the pooled
+// elementwise Tensor ops must produce *identical* doubles for any global pool
+// size (this is the determinism contract the training fast path relies on).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/matrix.hpp"
+#include "nn/tensor.hpp"
+
+namespace automdt::nn {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+void expect_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      ASSERT_EQ(a(i, j), b(i, j)) << "(" << i << "," << j << ")";
+}
+
+// Restores the hardware-default global pool even when a test fails early.
+struct PoolGuard {
+  ~PoolGuard() { set_global_thread_pool_size(0); }
+};
+
+TEST(ParallelNn, MatmulMatchesSerialBitForBit) {
+  PoolGuard guard;
+  Rng rng(7);
+  // Big enough to clear the parallel threshold (96^3 flops) with awkward,
+  // non-multiple-of-block sizes.
+  const Matrix a = random_matrix(97, 83, rng);
+  const Matrix b = random_matrix(83, 141, rng);
+
+  set_global_thread_pool_size(1);
+  const Matrix serial = matmul(a, b);
+  set_global_thread_pool_size(4);
+  const Matrix parallel = matmul(a, b);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelNn, MatmulTnMatchesSerialBitForBit) {
+  PoolGuard guard;
+  Rng rng(8);
+  const Matrix a = random_matrix(83, 97, rng);   // a^T is 97 x 83
+  const Matrix b = random_matrix(83, 141, rng);
+
+  set_global_thread_pool_size(1);
+  const Matrix serial = matmul_tn(a, b);
+  set_global_thread_pool_size(4);
+  const Matrix parallel = matmul_tn(a, b);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelNn, MatmulNtMatchesSerialBitForBit) {
+  PoolGuard guard;
+  Rng rng(9);
+  const Matrix a = random_matrix(97, 83, rng);
+  const Matrix b = random_matrix(141, 83, rng);  // b^T is 83 x 141
+
+  set_global_thread_pool_size(1);
+  const Matrix serial = matmul_nt(a, b);
+  set_global_thread_pool_size(4);
+  const Matrix parallel = matmul_nt(a, b);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelNn, SmallMatmulStaysOffThePool) {
+  PoolGuard guard;
+  // Below the flops threshold the serial kernel must be picked regardless of
+  // pool size — act()-latency shapes (1 x d times d x h) stay allocation- and
+  // synchronization-free. Equality against the size-1 pool also pins that.
+  Rng rng(10);
+  const Matrix a = random_matrix(1, 64, rng);
+  const Matrix b = random_matrix(64, 64, rng);
+  set_global_thread_pool_size(1);
+  const Matrix serial = matmul(a, b);
+  set_global_thread_pool_size(4);
+  const Matrix parallel = matmul(a, b);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelNn, ElementwiseOpsMatchSerialBitForBit) {
+  PoolGuard guard;
+  Rng rng(11);
+  // 90*90 = 8100 elements: above the elementwise parallel threshold.
+  const Matrix x = random_matrix(90, 90, rng);
+
+  struct Case {
+    const char* name;
+    Tensor (*op)(const Tensor&);
+  };
+  const Case cases[] = {
+      {"tanh", [](const Tensor& t) { return tanh_op(t); }},
+      {"relu", [](const Tensor& t) { return relu(t); }},
+      {"exp", [](const Tensor& t) { return exp_op(t); }},
+      {"square", [](const Tensor& t) { return square(t); }},
+      {"clamp", [](const Tensor& t) { return clamp(t, -0.5, 0.5); }},
+  };
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    set_global_thread_pool_size(1);
+    const Tensor vs = Tensor::variable(x);
+    const Tensor ys = c.op(vs);
+    mean(ys).backward();
+
+    set_global_thread_pool_size(4);
+    const Tensor vp = Tensor::variable(x);
+    const Tensor yp = c.op(vp);
+    mean(yp).backward();
+
+    expect_identical(ys.value(), yp.value());
+    expect_identical(vs.grad(), vp.grad());
+  }
+}
+
+}  // namespace
+}  // namespace automdt::nn

@@ -1,0 +1,141 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace automdt {
+namespace {
+
+TEST(ThreadPool, StartsAndStopsCleanly) {
+  for (int i = 0; i < 8; ++i) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+  }
+}
+
+TEST(ThreadPool, SizeOneSpawnsNoWorkersAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int calls = 0;
+  pool.parallel_for(0, 100, 10, [&](std::size_t lo, std::size_t hi) {
+    ++calls;  // single inline invocation, no synchronization needed
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1);
+  EXPECT_GE(ThreadPool::resolve_threads(-5), 1);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  // Odd grain so the last chunk is a partial one.
+  pool.parallel_for(0, kN, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunksNeverExceedGrain) {
+  ThreadPool pool(4);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(3, 1003, 16, [&](std::size_t lo, std::size_t hi) {
+    if (hi <= lo || hi - lo > 16) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SmallRangeRunsOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 4, 8, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_FALSE(ThreadPool::on_worker_thread());
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 4u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 1,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // The pool must survive a cancelled region and run the next one fully.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 100, 3, [&](std::size_t lo, std::size_t hi) {
+    std::size_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += i;
+    sum.fetch_add(s);
+  });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Inner region from (possibly) a worker thread: must run inline.
+      pool.parallel_for(0, 10, 2, [&](std::size_t ilo, std::size_t ihi) {
+        total.fetch_add(ihi - ilo, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64u * 10u);
+}
+
+TEST(ThreadPool, ConcurrentRegionsSerializeCorrectly) {
+  // Two threads hammering the same pool: regions must not interleave state.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  std::thread other([&] {
+    for (int r = 0; r < 50; ++r)
+      pool.parallel_for(0, 200, 9, [&](std::size_t lo, std::size_t hi) {
+        total.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+  });
+  for (int r = 0; r < 50; ++r)
+    pool.parallel_for(0, 200, 9, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  other.join();
+  EXPECT_EQ(total.load(), 2u * 50u * 200u);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  set_global_thread_pool_size(3);
+  EXPECT_EQ(global_thread_pool().size(), 3);
+  set_global_thread_pool_size(1);
+  EXPECT_EQ(global_thread_pool().size(), 1);
+  set_global_thread_pool_size(0);  // restore the hardware default
+  EXPECT_GE(global_thread_pool().size(), 1);
+}
+
+}  // namespace
+}  // namespace automdt

@@ -1,0 +1,161 @@
+// Vectorized rollout collection and training determinism: results must
+// depend only on (seed, num_envs) — never on the thread-pool size.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "rl/networks.hpp"
+#include "rl/ppo_agent.hpp"
+#include "rl/rollout.hpp"
+#include "sim/simulator_env.hpp"
+
+namespace automdt::rl {
+namespace {
+
+sim::SimScenario tiny_scenario() {
+  sim::SimScenario s;
+  s.sender_capacity = 1.0 * kGiB;
+  s.receiver_capacity = 1.0 * kGiB;
+  s.tpt_mbps = {50.0, 200.0, 200.0};
+  s.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  s.max_threads = 20;
+  return s;
+}
+
+VecEnv make_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<std::unique_ptr<Env>> envs;
+  for (std::size_t i = 0; i < n; ++i)
+    envs.push_back(std::make_unique<sim::SimulatorEnv>(tiny_scenario()));
+  return VecEnv(std::move(envs), seed);
+}
+
+PpoConfig tiny_config() {
+  PpoConfig c = PpoConfig::fast_defaults();
+  c.hidden_dim = 16;
+  c.max_episodes = 12;
+  c.episodes_per_batch = 4;
+  c.stagnation_episodes = 1000;  // never stop early in these tests
+  return c;
+}
+
+struct PoolGuard {
+  ~PoolGuard() { set_global_thread_pool_size(0); }
+};
+
+// One full collection pass; returns (episode rewards, memory) for comparison.
+struct Collected {
+  std::vector<double> rewards;
+  std::vector<double> step_rewards;
+  nn::Matrix states;
+  nn::Matrix actions;
+  nn::Matrix log_probs;
+};
+
+Collected collect_with_pool(int pool_size) {
+  ThreadPool pool(pool_size);
+  VecEnv envs = make_vec(4, /*seed=*/123);
+  Rng net_rng(5);
+  PolicyNetwork policy(kObservationSize, 3, tiny_config(), net_rng);
+  RolloutMemory memory;
+  Collected out;
+  out.rewards = collect_episodes(envs, policy, /*steps=*/10, /*r_max=*/100.0,
+                                 envs.max_threads(), pool, memory);
+  out.step_rewards = memory.rewards();
+  out.states = memory.states_matrix();
+  out.actions = memory.actions_matrix();
+  out.log_probs = memory.log_probs_column();
+  return out;
+}
+
+void expect_identical(const nn::Matrix& a, const nn::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) ASSERT_EQ(a(i, j), b(i, j));
+}
+
+TEST(VecEnv, StreamsAreIndependentOfEachOther) {
+  VecEnv a = make_vec(4, 42);
+  VecEnv b = make_vec(8, 42);
+  // Env i's stream must not depend on how many envs exist beside it.
+  for (std::size_t i = 0; i < 4; ++i) {
+    Rng& ra = a.rng(i);
+    Rng& rb = b.rng(i);
+    for (int k = 0; k < 16; ++k) ASSERT_EQ(ra.uniform(), rb.uniform());
+  }
+}
+
+TEST(CollectEpisodes, IdenticalAcrossPoolSizes) {
+  PoolGuard guard;
+  set_global_thread_pool_size(1);
+  const Collected serial = collect_with_pool(1);
+  set_global_thread_pool_size(4);
+  const Collected parallel = collect_with_pool(4);
+
+  ASSERT_EQ(serial.rewards.size(), parallel.rewards.size());
+  for (std::size_t i = 0; i < serial.rewards.size(); ++i)
+    ASSERT_EQ(serial.rewards[i], parallel.rewards[i]) << "env " << i;
+  ASSERT_EQ(serial.step_rewards, parallel.step_rewards);
+  expect_identical(serial.states, parallel.states);
+  expect_identical(serial.actions, parallel.actions);
+  expect_identical(serial.log_probs, parallel.log_probs);
+}
+
+TEST(CollectEpisodes, FillsOneEpisodePerEnv) {
+  PoolGuard guard;
+  set_global_thread_pool_size(2);
+  const Collected c = collect_with_pool(2);
+  ASSERT_EQ(c.rewards.size(), 4u);
+  // The simulator env never terminates early, so every env contributes
+  // exactly `steps` transitions, appended in env order.
+  EXPECT_EQ(c.step_rewards.size(), 4u * 10u);
+}
+
+TEST(PpoAgentVec, TrainingIdenticalForAnyThreadCount) {
+  PoolGuard guard;
+  const double r_max =
+      sim::SimulatorEnv(tiny_scenario()).theoretical_max_reward();
+
+  auto train_with_threads = [&](int num_threads) {
+    PpoConfig cfg = tiny_config();
+    cfg.num_threads = num_threads;
+    cfg.num_envs = 2;
+    PpoAgent agent(kObservationSize, tiny_scenario().max_threads, cfg);
+    VecEnv envs = make_vec(2, cfg.seed);
+    return agent.train(envs, r_max);
+  };
+
+  const TrainResult serial = train_with_threads(1);
+  const TrainResult parallel = train_with_threads(3);
+
+  ASSERT_EQ(serial.episodes_run, parallel.episodes_run);
+  ASSERT_EQ(serial.episode_rewards.size(), parallel.episode_rewards.size());
+  for (std::size_t i = 0; i < serial.episode_rewards.size(); ++i)
+    ASSERT_EQ(serial.episode_rewards[i], parallel.episode_rewards[i])
+        << "episode " << i;
+  EXPECT_EQ(serial.best_reward, parallel.best_reward);
+}
+
+TEST(PpoAgentVec, VectorizedPathLearnsASensiblePolicy) {
+  PoolGuard guard;
+  // Not a convergence test (budget is tiny) — just that the vectorized loop
+  // runs end to end, batches updates, and produces finite rewards.
+  PpoConfig cfg = tiny_config();
+  cfg.max_episodes = 16;
+  cfg.num_envs = 4;
+  PpoAgent agent(kObservationSize, tiny_scenario().max_threads, cfg);
+  VecEnv envs = make_vec(4, cfg.seed);
+  const double r_max =
+      sim::SimulatorEnv(tiny_scenario()).theoretical_max_reward();
+  const TrainResult r = agent.train(envs, r_max);
+  EXPECT_EQ(r.episodes_run, 16);
+  for (double v : r.episode_rewards) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.5);  // normalized rewards live around [0, 1]
+  }
+}
+
+}  // namespace
+}  // namespace automdt::rl

@@ -13,6 +13,10 @@
 //   --config FILE      key=value overrides (see core/config_bindings.hpp)
 //   --seed N           master seed (default 1234)
 //   --episodes N       PPO episode cap
+//   --threads N        worker threads for training math (0 = all cores,
+//                      1 = serial; never changes results)
+//   --envs N           simulator envs stepped concurrently during training
+//                      (results depend on the env count, not on --threads)
 //   --files N          dataset file count        (transfer)
 //   --size-mb M        file size in MB           (transfer)
 //   --mixed            log-uniform 100KB..2GB mixed dataset (transfer)
@@ -115,6 +119,9 @@ core::PipelineConfig pipeline_config(const Args& args) {
     const Config overrides = Config::load(args.get("config", ""));
     cfg.ppo = core::apply_ppo_overrides(cfg.ppo, overrides);
   }
+  cfg.ppo.num_threads =
+      static_cast<int>(args.get_int("threads", cfg.ppo.num_threads));
+  cfg.ppo.num_envs = static_cast<int>(args.get_int("envs", cfg.ppo.num_envs));
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
   return cfg;
 }
