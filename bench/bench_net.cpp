@@ -1,0 +1,198 @@
+// Loopback benchmarks for the TCP transport subsystem (DESIGN.md §8).
+//
+// Measures the transport in isolation — frame round-trip latency, raw
+// framed-chunk throughput at 1 and 4 streams, RPC round-trip over
+// TcpTransport — and then the full TransferSession running over the Tcp
+// backend vs the in-process queue backend, so the end-to-end overhead of
+// real sockets + framing + checksums is a single printed ratio.
+//
+// Numbers are loopback on the build machine, not a WAN claim; EXPERIMENTS.md
+// records the run and the core count it was taken on.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/stream_pool.hpp"
+#include "net/tcp_transport.hpp"
+#include "transfer/engine.hpp"
+
+using namespace automdt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Frame ping/pong round-trip latency over a loopback TCP connection.
+void bench_frame_rtt(int rounds) {
+  auto listener = net::Listener::open("127.0.0.1", 0);
+  net::Connector connector;
+  auto client = connector.connect("127.0.0.1", listener->port());
+  auto server = listener->accept(2.0);
+
+  std::thread echo([&] {
+    net::FrameReader reader(*server);
+    net::FrameWriter writer(*server);
+    net::Frame frame;
+    while (reader.read(frame, 5.0) == net::FrameError::kNone) {
+      if (writer.write(net::FrameType::kPong, frame.payload, 5.0) !=
+          net::SocketStatus::kOk)
+        break;
+    }
+  });
+
+  net::FrameReader reader(*client);
+  net::FrameWriter writer(*client);
+  const std::vector<std::byte> payload(16, std::byte{0x42});
+  std::vector<double> rtts_us;
+  rtts_us.reserve(static_cast<std::size_t>(rounds));
+  net::Frame frame;
+  for (int i = 0; i < rounds; ++i) {
+    const auto t0 = Clock::now();
+    writer.write(net::FrameType::kPing, payload, 5.0);
+    reader.read(frame, 5.0);
+    rtts_us.push_back(seconds_since(t0) * 1e6);
+  }
+  client->shutdown_both();
+  echo.join();
+
+  std::sort(rtts_us.begin(), rtts_us.end());
+  double sum = 0.0;
+  for (const double r : rtts_us) sum += r;
+  std::printf("frame RTT (16 B, %d rounds): mean %.1f us, p50 %.1f us, "
+              "p99 %.1f us\n",
+              rounds, sum / rtts_us.size(), rtts_us[rtts_us.size() / 2],
+              rtts_us[rtts_us.size() * 99 / 100]);
+}
+
+/// Framed-chunk throughput through StreamPool -> StreamAcceptor.
+void bench_stream_throughput(int n_streams, std::size_t chunk_bytes,
+                             std::size_t total_bytes) {
+  std::atomic<std::uint64_t> received{0};
+  net::StreamAcceptor acceptor(
+      {.host = "127.0.0.1", .port = 0},
+      [&](net::WireChunk&& chunk) {
+        received.fetch_add(chunk.payload.size(), std::memory_order_relaxed);
+        return true;
+      });
+  if (!acceptor.start()) {
+    std::printf("stream throughput: failed to bind acceptor\n");
+    return;
+  }
+  net::StreamPool pool({.host = "127.0.0.1",
+                        .port = acceptor.port(),
+                        .max_streams = n_streams});
+  pool.set_active(n_streams);
+
+  const std::size_t per_stream = total_bytes / n_streams;
+  const auto t0 = Clock::now();
+  std::vector<std::thread> senders;
+  for (int s = 0; s < n_streams; ++s) {
+    senders.emplace_back([&, s] {
+      net::WireChunk chunk;
+      chunk.size = static_cast<std::uint32_t>(chunk_bytes);
+      chunk.payload.assign(chunk_bytes, std::byte{0x5A});
+      chunk.checksum = fnv1a(chunk.payload);
+      for (std::size_t sent = 0; sent < per_stream; sent += chunk_bytes) {
+        chunk.offset = sent;
+        if (!pool.send_chunk(s, chunk)) break;
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const std::size_t expected = (per_stream / chunk_bytes) * chunk_bytes *
+                               static_cast<std::size_t>(n_streams);
+  while (received.load(std::memory_order_relaxed) < expected)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const double elapsed = seconds_since(t0);
+  pool.close();
+  acceptor.stop();
+
+  const double gbps = static_cast<double>(expected) * 8.0 / elapsed / 1e9;
+  std::printf("chunk throughput (%d stream%s, %zu KiB chunks): "
+              "%.2f Gbps (%.0f MiB in %.2f s, %llu frame errors)\n",
+              n_streams, n_streams == 1 ? "" : "s", chunk_bytes / 1024,
+              gbps, static_cast<double>(expected) / kMiB, elapsed,
+              static_cast<unsigned long long>(acceptor.frame_errors()));
+}
+
+/// Request/response latency over the TcpTransport control channel.
+void bench_rpc_rtt(int rounds) {
+  auto listener = net::Listener::open("127.0.0.1", 0);
+  auto sender = net::TcpTransport::connect("127.0.0.1", listener->port());
+  auto accepted = listener->accept(2.0);
+  auto receiver = net::TcpTransport::adopt(std::move(*accepted));
+
+  std::thread responder([&] {
+    while (auto message = receiver->receive()) {
+      if (!std::holds_alternative<transfer::BufferStatusRequest>(*message))
+        continue;
+      const auto& request = std::get<transfer::BufferStatusRequest>(*message);
+      receiver->send(
+          transfer::BufferStatusResponse{request.request_id, 1.0, 2.0, 3.0});
+    }
+  });
+
+  const auto t0 = Clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    sender->send(transfer::BufferStatusRequest{static_cast<std::uint64_t>(i)});
+    sender->receive();
+  }
+  const double elapsed = seconds_since(t0);
+  receiver->close();
+  sender->close();
+  responder.join();
+  std::printf("RPC round-trip (TcpTransport, %d rounds): mean %.1f us\n",
+              rounds, elapsed / rounds * 1e6);
+}
+
+/// Full TransferSession throughput, Tcp backend vs in-process queues.
+double bench_engine(transfer::NetworkBackend backend, double total_mib) {
+  transfer::EngineConfig config;
+  config.backend = backend;
+  config.max_threads = 4;
+  config.chunk_bytes = 256 * 1024;
+  config.sender_buffer_bytes = 8.0 * kMiB;
+  config.receiver_buffer_bytes = 8.0 * kMiB;
+  const std::vector<double> files(16, total_mib * kMiB / 16.0);
+  transfer::TransferSession session(config, files);
+  const auto t0 = Clock::now();
+  session.start({4, 4, 4});
+  session.wait_finished(600.0);
+  const double elapsed = seconds_since(t0);
+  const transfer::TransferStats stats = session.stats();
+  const double mibps = total_mib / elapsed;
+  std::printf("engine end-to-end (%s, %.0f MiB): %.0f MiB/s "
+              "(verify failures %llu, frame errors %llu)\n",
+              backend == transfer::NetworkBackend::kTcp ? "tcp" : "in-process",
+              total_mib, mibps,
+              static_cast<unsigned long long>(stats.verify_failures),
+              static_cast<unsigned long long>(stats.net_frame_errors));
+  return mibps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_net: loopback TCP transport benchmarks "
+              "(hw threads: %u)\n\n",
+              std::thread::hardware_concurrency());
+  bench_frame_rtt(2000);
+  bench_rpc_rtt(1000);
+  bench_stream_throughput(1, 256 * 1024, 256u << 20);
+  bench_stream_throughput(4, 256 * 1024, 256u << 20);
+  std::printf("\n");
+  const double tcp = bench_engine(transfer::NetworkBackend::kTcp, 256.0);
+  const double local = bench_engine(transfer::NetworkBackend::kInProcess,
+                                    256.0);
+  std::printf("tcp/in-process end-to-end ratio: %.2f\n", tcp / local);
+  return 0;
+}

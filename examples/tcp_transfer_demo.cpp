@@ -1,0 +1,70 @@
+// Real-socket DTN pair demo: the same two-agent deployment as
+// dtn_pair_demo, but with EngineConfig::backend = NetworkBackend::kTcp the
+// data plane moves every chunk through per-worker TCP streams on loopback
+// (length-prefixed frames, FNV-1a checksums verified on the far side) and
+// the RPC control channel rides its own TCP connection.
+//
+// The driver lowers and raises the network-thread count mid-transfer so you
+// can watch the receiver observe the change as parked/resumed streams —
+// connections stay open across the retune, so no reconnect storm.
+//
+// Build & run:  ./build/examples/tcp_transfer_demo
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "transfer/dtn_pair.hpp"
+
+using namespace automdt;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  transfer::DtnPairConfig cfg;
+  cfg.backend = transfer::NetworkBackend::kTcp;  // real loopback sockets
+  cfg.engine.max_threads = 4;
+  cfg.engine.chunk_bytes = 128 * 1024;
+  cfg.engine.sender_buffer_bytes = 4.0 * kMiB;
+  cfg.engine.receiver_buffer_bytes = 4.0 * kMiB;
+  cfg.engine.network.aggregate_bytes_per_s = 24.0 * 1024 * 1024;
+  cfg.file_sizes_bytes.assign(48, 2.0 * kMiB);  // 96 MiB total
+  cfg.probe_interval_s = 0.25;
+  cfg.rpc_latency_s = 0.02;
+
+  transfer::DtnPairEnv env(cfg);
+  Rng rng(3);
+  env.reset(rng);
+
+  // Scripted retune: full fan-out, then throttle the network stage to one
+  // stream, then bring three back. Streams park instead of disconnecting.
+  auto tuple_for_step = [](int step) -> ConcurrencyTuple {
+    if (step < 8) return {4, 4, 4};
+    if (step < 16) return {4, 1, 4};
+    return {4, 3, 4};
+  };
+
+  std::printf("%4s  %-9s %10s | %6s %6s %6s\n", "step", "threads", "network",
+              "open", "active", "parked");
+  for (int i = 0; i < 300; ++i) {
+    const ConcurrencyTuple tuple = tuple_for_step(i);
+    const EnvStep last = env.step(tuple);
+    const transfer::TransferStats stats = env.session()->stats();
+    std::printf("%4d  %-9s %10s | %6d %6d %6d\n", i,
+                tuple.to_string().c_str(),
+                format_rate(mbps(last.throughputs_mbps.network)).c_str(),
+                stats.net_streams_open, stats.net_streams_active,
+                stats.net_streams_parked);
+    if (last.done) {
+      std::printf(
+          "\ntransfer complete over TCP: %llu chunks framed and verified "
+          "(%llu frame errors, %llu checksum failures), %llu RPC responses, "
+          "%llu concurrency updates pushed to the receiver\n",
+          static_cast<unsigned long long>(stats.chunks_written),
+          static_cast<unsigned long long>(stats.net_frame_errors),
+          static_cast<unsigned long long>(stats.verify_failures),
+          static_cast<unsigned long long>(env.rpc_responses()),
+          static_cast<unsigned long long>(env.concurrency_updates()));
+      break;
+    }
+  }
+  return 0;
+}

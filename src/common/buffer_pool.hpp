@@ -1,0 +1,83 @@
+// Small free-list of byte buffers for hot-path chunk payloads.
+//
+// The transfer engine moves one std::vector<std::byte> per chunk through the
+// pipeline; without reuse, every chunk costs a fresh heap allocation in the
+// reader (or, on the TCP backend, the receiver-side frame decoder) and a free
+// in the writer. The pool closes that loop: writers release() payloads after
+// verification, readers acquire() them back. Bounded so a stalled stage can
+// never hoard unbounded memory; overflow buffers are simply freed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace automdt {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_buffers) : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Re-bound the pool (e.g. once queue capacities are known). Shrinking
+  /// frees surplus pooled buffers.
+  void set_max_buffers(std::size_t max_buffers) {
+    std::lock_guard lock(mutex_);
+    max_buffers_ = max_buffers;
+    if (free_.size() > max_buffers_) free_.resize(max_buffers_);
+  }
+
+  /// A buffer resized to `size`: recycled if one is pooled, fresh otherwise.
+  std::vector<std::byte> acquire(std::size_t size) {
+    std::vector<std::byte> buf;
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+        ++hits_;
+      } else {
+        ++misses_;
+      }
+    }
+    buf.resize(size);
+    return buf;
+  }
+
+  /// Return a payload for reuse. Keeps at most max_buffers; extras are freed.
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0) return;
+    std::lock_guard lock(mutex_);
+    if (free_.size() < max_buffers_) free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+  std::uint64_t hits() const {
+    std::lock_guard lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+  }
+  std::size_t max_buffers() const {
+    std::lock_guard lock(mutex_);
+    return max_buffers_;
+  }
+
+ private:
+  std::size_t max_buffers_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace automdt

@@ -1,0 +1,36 @@
+// One checksum implementation for the whole codebase: 64-bit FNV-1a.
+//
+// Shared by the transfer engine's payload verification (writers recompute the
+// chunk checksum on the far side of the pipeline) and the net layer's frame
+// validation (every length-prefixed frame carries an FNV-1a of its payload).
+// Hoisted here so the data plane and the wire format can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace automdt {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// FNV-1a over `size` raw bytes. `seed` allows incremental hashing: feed the
+/// previous result back in to hash a logical message split across buffers.
+inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                           std::uint64_t seed = kFnv1aOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(const std::vector<std::byte>& bytes,
+                           std::uint64_t seed = kFnv1aOffsetBasis) {
+  return fnv1a(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace automdt

@@ -1,0 +1,156 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+#include "net/wire.hpp"
+
+namespace automdt::net {
+
+const char* to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone: return "none";
+    case FrameError::kNeedMoreData: return "need-more-data";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kOversized: return "oversized";
+    case FrameError::kChecksumMismatch: return "checksum-mismatch";
+    case FrameError::kTimeout: return "timeout";
+    case FrameError::kClosed: return "closed";
+    case FrameError::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
+  out.clear();
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  wire::put_u32(out, kFrameMagic);
+  wire::put_u16(out, kFrameVersion);
+  wire::put_u16(out, static_cast<std::uint16_t>(frame.type));
+  wire::put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  wire::put_u64(out, fnv1a(frame.payload));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::byte> encode_frame(const Frame& frame) {
+  std::vector<std::byte> out;
+  encode_frame(frame, out);
+  return out;
+}
+
+namespace {
+
+struct Header {
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint16_t type;
+  std::uint32_t length;
+  std::uint64_t checksum;
+};
+
+FrameError parse_header(const std::byte* data, std::uint32_t max_payload_bytes,
+                        Header& h) {
+  wire::Reader r(data, kFrameHeaderBytes);
+  h.magic = r.u32();
+  h.version = r.u16();
+  h.type = r.u16();
+  h.length = r.u32();
+  h.checksum = r.u64();
+  if (h.magic != kFrameMagic) return FrameError::kBadMagic;
+  if (h.version != kFrameVersion) return FrameError::kBadVersion;
+  if (h.length > max_payload_bytes) return FrameError::kOversized;
+  return FrameError::kNone;
+}
+
+}  // namespace
+
+DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
+                          std::uint32_t max_payload_bytes) {
+  if (size < kFrameHeaderBytes) return {FrameError::kNeedMoreData, 0};
+  Header h;
+  if (const FrameError e = parse_header(data, max_payload_bytes, h);
+      e != FrameError::kNone) {
+    return {e, 0};
+  }
+  if (size < kFrameHeaderBytes + h.length)
+    return {FrameError::kNeedMoreData, 0};
+  const std::byte* payload = data + kFrameHeaderBytes;
+  if (fnv1a(payload, h.length) != h.checksum)
+    return {FrameError::kChecksumMismatch, 0};
+  out.type = static_cast<FrameType>(h.type);
+  out.payload.assign(payload, payload + h.length);
+  return {FrameError::kNone, kFrameHeaderBytes + h.length};
+}
+
+FrameError FrameReader::read(Frame& out, double timeout_s) {
+  switch (socket_.read_exact(header_, kFrameHeaderBytes, timeout_s)) {
+    case SocketStatus::kOk: break;
+    case SocketStatus::kTimeout: return FrameError::kTimeout;
+    case SocketStatus::kClosed: return FrameError::kClosed;
+    case SocketStatus::kError: return FrameError::kTruncated;
+  }
+  Header h;
+  if (const FrameError e = parse_header(header_, max_payload_bytes_, h);
+      e != FrameError::kNone) {
+    return e;
+  }
+  out.payload.resize(h.length);
+  if (h.length > 0) {
+    switch (socket_.read_exact(out.payload.data(), h.length, timeout_s)) {
+      case SocketStatus::kOk: break;
+      case SocketStatus::kTimeout: return FrameError::kTimeout;
+      case SocketStatus::kClosed: return FrameError::kTruncated;
+      case SocketStatus::kError: return FrameError::kTruncated;
+    }
+  }
+  if (fnv1a(out.payload) != h.checksum) return FrameError::kChecksumMismatch;
+  out.type = static_cast<FrameType>(h.type);
+  return FrameError::kNone;
+}
+
+SocketStatus FrameWriter::write(FrameType type,
+                                const std::vector<std::byte>& payload,
+                                double timeout_s) {
+  // Header and payload go out as two write_all calls so a large chunk
+  // payload is never copied into the scratch buffer.
+  scratch_.clear();
+  wire::put_u32(scratch_, kFrameMagic);
+  wire::put_u16(scratch_, kFrameVersion);
+  wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+  wire::put_u32(scratch_, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u64(scratch_, fnv1a(payload));
+  const SocketStatus s =
+      socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
+  if (s != SocketStatus::kOk) return s;
+  if (payload.empty()) return SocketStatus::kOk;
+  return socket_.write_all(payload.data(), payload.size(), timeout_s);
+}
+
+SocketStatus FrameWriter::write(const Frame& frame, double timeout_s) {
+  return write(frame.type, frame.payload, timeout_s);
+}
+
+SocketStatus FrameWriter::write_scatter(FrameType type,
+                                        const std::vector<std::byte>& head,
+                                        const std::byte* body,
+                                        std::size_t body_size,
+                                        double timeout_s) {
+  scratch_.clear();
+  wire::put_u32(scratch_, kFrameMagic);
+  wire::put_u16(scratch_, kFrameVersion);
+  wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+  wire::put_u32(scratch_, static_cast<std::uint32_t>(head.size() + body_size));
+  wire::put_u64(scratch_, fnv1a(body, body_size, fnv1a(head)));
+  SocketStatus s =
+      socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
+  if (s != SocketStatus::kOk) return s;
+  if (!head.empty()) {
+    s = socket_.write_all(head.data(), head.size(), timeout_s);
+    if (s != SocketStatus::kOk) return s;
+  }
+  if (body_size == 0) return SocketStatus::kOk;
+  return socket_.write_all(body, body_size, timeout_s);
+}
+
+}  // namespace automdt::net

@@ -1,0 +1,124 @@
+// Length-prefixed binary framing shared by the data and control planes.
+//
+// Wire layout (all little-endian), 20-byte header followed by the payload:
+//
+//   offset  size  field
+//        0     4  magic      "AMDT" on the wire (0x54444D41 as LE u32)
+//        4     2  version    kFrameVersion
+//        6     2  type       FrameType
+//        8     4  length     payload bytes (bounded by max_payload_bytes)
+//       12     8  checksum   FNV-1a of the payload bytes
+//
+// The checksum is the same FNV-1a the engine uses for chunk payloads
+// (common/checksum.hpp), so a frame that decodes cleanly has also proven its
+// payload intact — the writer-side chunk verification then re-proves the
+// end-to-end path including serialization itself.
+//
+// decode_frame() works on in-memory buffers (unit tests, future io_uring
+// batching); FrameReader/FrameWriter bind the codec to a Socket with the
+// EINTR-safe full-read/write loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace automdt::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x54444D41u;  // "AMDT" in LE
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+
+/// Default payload bound: one control message or one data chunk; far below
+/// this in practice, but large enough for any sane chunk_bytes setting.
+inline constexpr std::uint32_t kDefaultMaxPayloadBytes = 64u * 1024 * 1024;
+
+enum class FrameType : std::uint16_t {
+  kChunk = 1,         // data plane: one serialized transfer chunk
+  kStreamHello = 2,   // data plane: first frame on a stream, payload = id
+  kStreamPark = 3,    // data plane: stream idles (n_n lowered)
+  kStreamResume = 4,  // data plane: stream active again (n_n raised)
+  kRpc = 5,           // control plane: one serialized RpcMessage
+  kPing = 6,          // liveness / latency probes
+  kPong = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<std::byte> payload;
+};
+
+enum class FrameError {
+  kNone = 0,
+  kNeedMoreData,      // buffer ends mid-header or mid-payload (streaming)
+  kBadMagic,
+  kBadVersion,
+  kOversized,         // declared length exceeds the configured bound
+  kChecksumMismatch,
+  kTimeout,           // socket deadline expired
+  kClosed,            // orderly EOF between frames / shutdown
+  kTruncated,         // EOF or I/O error mid-frame
+};
+
+const char* to_string(FrameError error);
+
+/// Serialize header + payload into `out` (cleared first, reused capacity).
+void encode_frame(const Frame& frame, std::vector<std::byte>& out);
+std::vector<std::byte> encode_frame(const Frame& frame);
+
+struct DecodeResult {
+  FrameError error = FrameError::kNone;
+  std::size_t consumed = 0;  // bytes eaten on success; 0 otherwise
+};
+
+/// Decode one frame from an in-memory buffer. On success fills `out`
+/// (payload buffer reused) and reports bytes consumed.
+DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
+                          std::uint32_t max_payload_bytes =
+                              kDefaultMaxPayloadBytes);
+
+/// Reads one frame at a time from a socket, reusing its scratch buffers.
+/// Not thread-safe; one reader per socket.
+class FrameReader {
+ public:
+  explicit FrameReader(Socket& socket,
+                       std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes)
+      : socket_(socket), max_payload_bytes_(max_payload_bytes) {}
+
+  /// Blocks up to `timeout_s` (<= 0: forever) for one full frame. The frame's
+  /// payload vector is reused across calls — move it out to keep it.
+  FrameError read(Frame& out, double timeout_s);
+
+ private:
+  Socket& socket_;
+  std::uint32_t max_payload_bytes_;
+  std::byte header_[kFrameHeaderBytes];
+};
+
+/// Writes frames to a socket; serializes into a reused scratch buffer. Not
+/// thread-safe; callers that share a socket must hold their own lock.
+class FrameWriter {
+ public:
+  explicit FrameWriter(Socket& socket) : socket_(socket) {}
+
+  SocketStatus write(const Frame& frame, double timeout_s);
+  SocketStatus write(FrameType type, const std::vector<std::byte>& payload,
+                     double timeout_s);
+
+  /// Write one frame whose logical payload is `head` followed by `body`,
+  /// without concatenating them (the chunk hot path: head = chunk metadata,
+  /// body = the payload vector moved through the pipeline). The frame
+  /// checksum covers both parts via FNV-1a seed chaining.
+  SocketStatus write_scatter(FrameType type,
+                             const std::vector<std::byte>& head,
+                             const std::byte* body, std::size_t body_size,
+                             double timeout_s);
+
+ private:
+  Socket& socket_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace automdt::net

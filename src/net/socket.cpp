@@ -1,0 +1,266 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace automdt::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_from(double timeout_s) {
+  if (timeout_s <= 0.0) return Clock::time_point::max();
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(timeout_s));
+}
+
+/// poll() one fd for `events`, honouring an absolute deadline. Returns
+/// kOk when ready, kTimeout, or kError. EINTR restarts with the remaining
+/// time (the deadline is absolute, so retries cannot extend the wait).
+SocketStatus poll_until(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != Clock::time_point::max()) {
+      const auto remaining = deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) return SocketStatus::kTimeout;
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count()) +
+          1;  // round up so we never spin on a sub-ms remainder
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return SocketStatus::kOk;
+    if (rc == 0) return SocketStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return SocketStatus::kError;
+  }
+}
+
+bool set_non_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool parse_addr(const std::string& host, std::uint16_t port,
+                sockaddr_in& out) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
+}  // namespace
+
+const char* to_string(SocketStatus status) {
+  switch (status) {
+    case SocketStatus::kOk: return "ok";
+    case SocketStatus::kTimeout: return "timeout";
+    case SocketStatus::kClosed: return "closed";
+    case SocketStatus::kError: return "error";
+  }
+  return "?";
+}
+
+Socket::Socket(int fd) : fd_(fd) {
+  if (fd_ >= 0) set_non_blocking(fd_);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SocketStatus Socket::read_exact(void* data, std::size_t size,
+                                double timeout_s) {
+  if (fd_ < 0) return SocketStatus::kClosed;
+  const auto deadline = deadline_from(timeout_s);
+  auto* out = static_cast<std::byte*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, out + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Orderly EOF: clean between messages, an error mid-message.
+      return done == 0 ? SocketStatus::kClosed : SocketStatus::kError;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const SocketStatus s = poll_until(fd_, POLLIN, deadline);
+      if (s != SocketStatus::kOk) return s;
+      continue;
+    }
+    return SocketStatus::kError;
+  }
+  return SocketStatus::kOk;
+}
+
+SocketStatus Socket::write_all(const void* data, std::size_t size,
+                               double timeout_s) {
+  if (fd_ < 0) return SocketStatus::kClosed;
+  const auto deadline = deadline_from(timeout_s);
+  const auto* in = static_cast<const std::byte*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd_, in + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const SocketStatus s = poll_until(fd_, POLLOUT, deadline);
+      if (s != SocketStatus::kOk) return s;
+      continue;
+    }
+    if (n < 0 && errno == EPIPE) return SocketStatus::kClosed;
+    return SocketStatus::kError;
+  }
+  return SocketStatus::kOk;
+}
+
+void Socket::set_no_delay() {
+  if (fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::make_pair(Socket& a, Socket& b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  a = Socket(fds[0]);
+  b = Socket(fds[1]);
+  return true;
+}
+
+std::optional<Listener> Listener::open(const std::string& host,
+                                       std::uint16_t port, int backlog) {
+  sockaddr_in addr;
+  if (!parse_addr(host, port, addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    return std::nullopt;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return std::nullopt;
+  Listener listener;
+  listener.socket_ = std::move(sock);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<Socket> Listener::accept(double timeout_s) {
+  if (!socket_.valid()) return std::nullopt;
+  const auto deadline = deadline_from(timeout_s);
+  for (;;) {
+    const int fd = ::accept4(socket_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Socket s(fd);
+      s.set_no_delay();
+      return s;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (poll_until(socket_.fd(), POLLIN, deadline) != SocketStatus::kOk)
+        return std::nullopt;
+      continue;
+    }
+    return std::nullopt;  // shutdown() lands here (EINVAL) — treated as closed
+  }
+}
+
+void Listener::shutdown() { socket_.shutdown_both(); }
+
+void Listener::close() { socket_.close(); }
+
+std::optional<Socket> Connector::connect(const std::string& host,
+                                         std::uint16_t port) {
+  sockaddr_in addr;
+  attempts_made_ = 0;
+  if (!parse_addr(host, port, addr)) {
+    last_status_ = SocketStatus::kError;
+    return std::nullopt;
+  }
+  double backoff = config_.initial_backoff_s;
+  const int attempts = std::max(1, config_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ++attempts_made_;
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      last_status_ = SocketStatus::kError;
+      return std::nullopt;
+    }
+    Socket sock(fd);  // constructor flips the fd non-blocking
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    bool ok = rc == 0;
+    if (!ok && errno == EINPROGRESS) {
+      // Non-blocking handshake: wait for writability, then check SO_ERROR.
+      const auto deadline = deadline_from(config_.connect_timeout_s);
+      const SocketStatus s = poll_until(fd, POLLOUT, deadline);
+      if (s == SocketStatus::kOk) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ok = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+             err == 0;
+        last_status_ = ok ? SocketStatus::kOk : SocketStatus::kError;
+      } else {
+        last_status_ = s;  // kTimeout: SYN unanswered (e.g. full backlog)
+      }
+    } else {
+      last_status_ = ok ? SocketStatus::kOk : SocketStatus::kError;
+    }
+    if (ok) {
+      sock.set_no_delay();
+      return sock;
+    }
+    sock.close();
+    if (attempt + 1 < attempts) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * config_.backoff_multiplier,
+                         config_.max_backoff_s);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace automdt::net

@@ -1,0 +1,127 @@
+// RAII POSIX socket wrappers for the TCP transport subsystem.
+//
+// Three small classes cover everything the data and control planes need:
+//
+//   Socket    — owns one fd; EINTR-safe full-read/full-write loops with
+//               poll-based deadlines (sockets stay non-blocking throughout,
+//               so a slow peer can never wedge a worker past its timeout).
+//   Listener  — bind/listen on host:port (port 0 = kernel-assigned) with
+//               timeout-bounded accept.
+//   Connector — non-blocking connect with a handshake timeout, retried with
+//               exponential backoff (paper §IV-F: stream setup is part of the
+//               dynamics the concurrency knob exploits).
+//
+// Threading contract: one thread owns a Socket's I/O at a time, but any
+// thread may call shutdown_both() to wake a blocked reader/writer — that is
+// the engine's teardown path (shutdown() from the stopper, close() by the
+// owner). No exceptions on I/O paths; every operation reports a SocketStatus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace automdt::net {
+
+enum class SocketStatus {
+  kOk = 0,
+  kTimeout,  // deadline expired before the full operation completed
+  kClosed,   // orderly peer shutdown (EOF) or local shutdown
+  kError,    // errno-level failure (connection reset, refused, ...)
+};
+
+const char* to_string(SocketStatus status);
+
+/// Owning wrapper around one non-blocking socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd);
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Read exactly `size` bytes. `timeout_s` <= 0 waits forever. Returns
+  /// kClosed on EOF before the first byte, kError on EOF mid-message.
+  SocketStatus read_exact(void* data, std::size_t size, double timeout_s);
+
+  /// Write all `size` bytes (handles partial writes / EAGAIN / EINTR).
+  SocketStatus write_all(const void* data, std::size_t size, double timeout_s);
+
+  /// Disable Nagle; harmless to call on non-TCP sockets.
+  void set_no_delay();
+
+  /// Wake any thread blocked in read/write on this socket (thread-safe; the
+  /// fd stays owned until close()/destruction).
+  void shutdown_both();
+
+  void close();
+
+  /// Connected AF_UNIX pair for tests and in-process loopback-free plumbing.
+  static bool make_pair(Socket& a, Socket& b);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. open() binds immediately so port() is known even
+/// with an ephemeral (0) port request.
+class Listener {
+ public:
+  Listener() = default;
+
+  /// Bind + listen on host:port. Returns nullopt on failure (port in use,
+  /// bad address, ...). `port` 0 picks an ephemeral port; see port().
+  static std::optional<Listener> open(const std::string& host,
+                                      std::uint16_t port, int backlog = 16);
+
+  bool valid() const { return socket_.valid(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection. `timeout_s` <= 0 waits forever. nullopt on
+  /// timeout or after close()/shutdown.
+  std::optional<Socket> accept(double timeout_s);
+
+  /// Wake a blocked accept() (thread-safe).
+  void shutdown();
+  void close();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+struct ConnectorConfig {
+  double connect_timeout_s = 2.0;   // per-attempt handshake deadline
+  int max_attempts = 4;             // total attempts (1 = no retry)
+  double initial_backoff_s = 0.05;  // sleep after the first failure
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
+};
+
+/// Retry-with-exponential-backoff TCP connector.
+class Connector {
+ public:
+  explicit Connector(ConnectorConfig config = {}) : config_(config) {}
+
+  /// nullopt once every attempt failed. Thread-compatible, not thread-safe.
+  std::optional<Socket> connect(const std::string& host, std::uint16_t port);
+
+  int attempts_made() const { return attempts_made_; }
+  SocketStatus last_status() const { return last_status_; }
+
+ private:
+  ConnectorConfig config_;
+  int attempts_made_ = 0;
+  SocketStatus last_status_ = SocketStatus::kOk;
+};
+
+}  // namespace automdt::net

@@ -1,0 +1,234 @@
+#include "net/stream_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace automdt::net {
+
+void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out) {
+  out.clear();
+  out.reserve(kWireChunkHeaderBytes);
+  wire::put_u64(out, chunk.file_id);
+  wire::put_u64(out, chunk.offset);
+  wire::put_u32(out, chunk.size);
+  wire::put_u64(out, chunk.checksum);
+}
+
+bool decode_wire_chunk(const std::byte* data, std::size_t size,
+                       WireChunk& out) {
+  if (size < kWireChunkHeaderBytes) return false;
+  wire::Reader r(data, size);
+  out.file_id = r.u64();
+  out.offset = r.u64();
+  out.size = r.u32();
+  out.checksum = r.u64();
+  const std::size_t payload_size = size - kWireChunkHeaderBytes;
+  if (payload_size > out.size) return false;  // payload larger than declared
+  out.payload.resize(payload_size);
+  if (payload_size > 0)
+    std::copy_n(r.cursor(), payload_size, out.payload.data());
+  return true;
+}
+
+StreamPool::StreamPool(StreamPoolConfig config)
+    : config_(std::move(config)), active_(config_.max_streams) {
+  streams_.reserve(static_cast<std::size_t>(config_.max_streams));
+  for (int i = 0; i < config_.max_streams; ++i)
+    streams_.push_back(std::make_unique<Stream>());
+}
+
+StreamPool::~StreamPool() { close(); }
+
+bool StreamPool::ensure_ready(Stream& stream, int stream_id) {
+  if (stream.connected && !stream.failed) return true;
+  if (stream.failed) return false;  // a broken stream loses its chunks; the
+                                    // session surfaces that as a stall, not
+                                    // silent reordering onto other streams
+  Connector connector(config_.connector);
+  auto socket = connector.connect(config_.host, config_.port);
+  if (!socket) {
+    stream.failed = true;
+    return false;
+  }
+  stream.socket = std::move(*socket);
+  stream.writer = std::make_unique<FrameWriter>(stream.socket);
+  stream.connected = true;
+  stream.parked = false;
+  connected_.fetch_add(1);
+  std::vector<std::byte> hello;
+  wire::put_u32(hello, static_cast<std::uint32_t>(stream_id));
+  if (stream.writer->write(FrameType::kStreamHello, hello,
+                           config_.io_timeout_s) != SocketStatus::kOk) {
+    stream.failed = true;
+    return false;
+  }
+  return true;
+}
+
+bool StreamPool::send_chunk(int stream_id, const WireChunk& chunk) {
+  if (closed_.load()) return false;
+  if (stream_id < 0 ||
+      stream_id >= static_cast<int>(streams_.size())) {
+    return false;
+  }
+  Stream& stream = *streams_[static_cast<std::size_t>(stream_id)];
+  std::lock_guard lock(stream.mutex);
+  if (closed_.load()) return false;
+  if (!ensure_ready(stream, stream_id)) {
+    send_failures_.fetch_add(1);
+    return false;
+  }
+  if (stream.parked) {
+    // A worker sending on a parked stream means n_n was raised before
+    // set_active() got here — resume eagerly so the receiver's gauge agrees.
+    if (stream.writer->write(FrameType::kStreamResume, {},
+                             config_.io_timeout_s) != SocketStatus::kOk) {
+      stream.failed = true;
+      send_failures_.fetch_add(1);
+      return false;
+    }
+    stream.parked = false;
+  }
+  encode_wire_chunk(chunk, stream.scratch);
+  if (stream.writer->write_scatter(FrameType::kChunk, stream.scratch,
+                                   chunk.payload.data(), chunk.payload.size(),
+                                   config_.io_timeout_s) != SocketStatus::kOk) {
+    stream.failed = true;
+    send_failures_.fetch_add(1);
+    return false;
+  }
+  return true;
+}
+
+void StreamPool::set_active(int n) {
+  n = std::clamp(n, 0, static_cast<int>(streams_.size()));
+  active_.store(n);
+  if (closed_.load()) return;
+  for (int i = 0; i < static_cast<int>(streams_.size()); ++i) {
+    Stream& stream = *streams_[static_cast<std::size_t>(i)];
+    std::lock_guard lock(stream.mutex);
+    if (!stream.connected || stream.failed) continue;
+    const bool should_park = i >= n;
+    if (should_park == stream.parked) continue;
+    const FrameType type =
+        should_park ? FrameType::kStreamPark : FrameType::kStreamResume;
+    if (stream.writer->write(type, {}, config_.io_timeout_s) !=
+        SocketStatus::kOk) {
+      stream.failed = true;
+      continue;
+    }
+    stream.parked = should_park;
+  }
+}
+
+void StreamPool::close() {
+  if (closed_.exchange(true)) return;
+  // shutdown() is safe against concurrent sends; fds are reclaimed when the
+  // streams are destroyed (after the engine has joined its workers).
+  for (auto& stream : streams_) stream->socket.shutdown_both();
+}
+
+StreamAcceptor::StreamAcceptor(StreamAcceptorConfig config,
+                               ChunkHandler on_chunk)
+    : config_(std::move(config)), on_chunk_(std::move(on_chunk)) {}
+
+StreamAcceptor::~StreamAcceptor() { stop(); }
+
+bool StreamAcceptor::start() {
+  auto listener = Listener::open(config_.host, config_.port, config_.backlog);
+  if (!listener) return false;
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void StreamAcceptor::accept_loop() {
+  while (!stopping_.load()) {
+    auto socket = listener_.accept(/*timeout_s=*/0.2);
+    if (!socket) continue;  // timeout or shutdown; loop re-checks stopping_
+    auto shared = std::make_shared<Socket>(std::move(*socket));
+    streams_accepted_.fetch_add(1);
+    streams_open_.fetch_add(1);
+    std::lock_guard lock(streams_mutex_);
+    if (stopping_.load()) {
+      streams_open_.fetch_sub(1);
+      shared->shutdown_both();
+      return;
+    }
+    stream_sockets_.push_back(shared);
+    reader_threads_.emplace_back(
+        [this, shared = std::move(shared)] { reader_loop(shared); });
+  }
+}
+
+void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
+  FrameReader reader(*socket, config_.max_payload_bytes);
+  Frame frame;
+  WireChunk chunk;
+  bool parked = false;
+  for (;;) {
+    const FrameError err = reader.read(frame, /*timeout_s=*/-1.0);
+    if (err == FrameError::kClosed) break;  // orderly stream end
+    if (err != FrameError::kNone) {
+      // Corrupt or truncated stream: count it and drop the connection —
+      // a data channel that fails validation cannot be resynchronized.
+      frame_errors_.fetch_add(1);
+      socket->shutdown_both();
+      break;
+    }
+    switch (frame.type) {
+      case FrameType::kStreamHello:
+        break;  // stream identity is implicit in the connection
+      case FrameType::kStreamPark:
+        if (!parked) {
+          parked = true;
+          streams_parked_.fetch_add(1);
+        }
+        break;
+      case FrameType::kStreamResume:
+        if (parked) {
+          parked = false;
+          streams_parked_.fetch_sub(1);
+        }
+        break;
+      case FrameType::kChunk: {
+        if (config_.payload_pool)
+          chunk.payload = config_.payload_pool->acquire(0);
+        if (!decode_wire_chunk(frame.payload.data(), frame.payload.size(),
+                               chunk)) {
+          frame_errors_.fetch_add(1);
+          socket->shutdown_both();
+          goto done;
+        }
+        chunks_received_.fetch_add(1);
+        if (!on_chunk_(std::move(chunk))) goto done;  // downstream closed
+        chunk = WireChunk{};
+        break;
+      }
+      default:
+        break;  // ping/pong and future types are ignorable on this plane
+    }
+  }
+done:
+  if (parked) streams_parked_.fetch_sub(1);
+  streams_open_.fetch_sub(1);
+}
+
+void StreamAcceptor::stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(streams_mutex_);
+    for (auto& socket : stream_sockets_) socket->shutdown_both();
+  }
+  for (auto& thread : reader_threads_)
+    if (thread.joinable()) thread.join();
+  listener_.close();
+}
+
+}  // namespace automdt::net

@@ -1,0 +1,171 @@
+// Multi-stream TCP data plane for the transfer engine.
+//
+// Sender side (StreamPool): each network worker owns one TCP stream to the
+// receiver, identified by its worker id. Streams connect lazily on first
+// send (with retry + exponential backoff) and announce themselves with a
+// StreamHello frame. set_active(n) mirrors the engine's live-tunable worker
+// gating: streams >= n send a StreamPark frame and idle; raising n sends
+// StreamResume on already-connected streams (and newly active workers simply
+// connect on their next chunk). The TCP connections themselves are kept open
+// across park/resume — exactly like the engine's parked worker threads — so
+// retuning n_n never pays a fresh three-way handshake.
+//
+// Receiver side (StreamAcceptor): accepts data connections, runs one reader
+// thread per stream, validates every frame (magic/version/length/FNV-1a) and
+// hands decoded chunks to a callback. Exposes opened/active/parked stream
+// counts so the far side of a set_concurrency() change is observable — the
+// acceptance signal for live concurrency tuning over a real network path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace automdt::net {
+
+/// Transport-level view of one transfer chunk (mirrors transfer::Chunk field
+/// for field; defined here so the net layer does not depend on the engine).
+struct WireChunk {
+  std::uint64_t file_id = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+  std::uint64_t checksum = 0;
+  std::vector<std::byte> payload;  // may be shorter than size (header-only)
+};
+
+/// Fixed part of a serialized chunk: file_id + offset + size + checksum.
+inline constexpr std::size_t kWireChunkHeaderBytes = 8 + 8 + 4 + 8;
+
+/// Serialize into `out` (cleared first; capacity reused).
+void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out);
+
+/// Decode from a frame payload. Returns false on malformed input. The
+/// chunk's payload vector is filled by copy so callers can pool buffers.
+bool decode_wire_chunk(const std::byte* data, std::size_t size,
+                       WireChunk& out);
+
+struct StreamPoolConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int max_streams = 8;
+  ConnectorConfig connector{};
+  double io_timeout_s = 10.0;
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+class StreamPool {
+ public:
+  explicit StreamPool(StreamPoolConfig config);
+  ~StreamPool();
+
+  StreamPool(const StreamPool&) = delete;
+  StreamPool& operator=(const StreamPool&) = delete;
+
+  /// Serialize and send one chunk on stream `stream_id` (the calling
+  /// worker's id). Connects/resumes the stream as needed. False once the
+  /// pool is closed or the stream is unrecoverable.
+  bool send_chunk(int stream_id, const WireChunk& chunk);
+
+  /// Park streams >= n, resume connected streams < n (live n_n retune).
+  void set_active(int n);
+
+  /// Shut down every stream (thread-safe; wakes blocked writers).
+  void close();
+
+  int streams_connected() const { return connected_.load(); }
+  std::uint64_t send_failures() const { return send_failures_.load(); }
+
+ private:
+  struct Stream {
+    std::mutex mutex;
+    Socket socket;
+    std::unique_ptr<FrameWriter> writer;
+    bool connected = false;
+    bool parked = false;
+    bool failed = false;
+    std::vector<std::byte> scratch;  // serialized chunk reuse
+  };
+
+  bool ensure_ready(Stream& stream, int stream_id);
+
+  StreamPoolConfig config_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::atomic<int> active_;
+  std::atomic<int> connected_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<bool> closed_{false};
+};
+
+struct StreamAcceptorConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  int backlog = 16;
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Optional payload recycling: decoded chunk payloads are acquired here.
+  BufferPool* payload_pool = nullptr;
+};
+
+class StreamAcceptor {
+ public:
+  /// Handler returns false to stop the stream (e.g. downstream queue closed).
+  using ChunkHandler = std::function<bool(WireChunk&&)>;
+
+  StreamAcceptor(StreamAcceptorConfig config, ChunkHandler on_chunk);
+  ~StreamAcceptor();
+
+  StreamAcceptor(const StreamAcceptor&) = delete;
+  StreamAcceptor& operator=(const StreamAcceptor&) = delete;
+
+  /// Bind, listen, and start the accept thread. False if the port is taken.
+  bool start();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, shut down every stream, join all threads. Idempotent.
+  void stop();
+
+  /// Stream gauges (receiver-side observability of sender retunes).
+  int streams_open() const { return streams_open_.load(); }
+  int streams_parked() const { return streams_parked_.load(); }
+  int streams_active() const {
+    return streams_open_.load() - streams_parked_.load();
+  }
+  /// Total connections ever accepted.
+  std::uint64_t streams_accepted() const { return streams_accepted_.load(); }
+  std::uint64_t chunks_received() const { return chunks_received_.load(); }
+  std::uint64_t frame_errors() const { return frame_errors_.load(); }
+
+ private:
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Socket> socket);
+
+  StreamAcceptorConfig config_;
+  ChunkHandler on_chunk_;
+  Listener listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex streams_mutex_;
+  std::vector<std::shared_ptr<Socket>> stream_sockets_;
+  std::vector<std::thread> reader_threads_;
+
+  std::atomic<int> streams_open_{0};
+  std::atomic<int> streams_parked_{0};
+  std::atomic<std::uint64_t> streams_accepted_{0};
+  std::atomic<std::uint64_t> chunks_received_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace automdt::net

@@ -1,0 +1,215 @@
+#include "net/tcp_transport.hpp"
+
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace automdt::net {
+namespace {
+
+// Wire tags for the RpcMessage variant alternatives. Explicit values (rather
+// than variant indices) so reordering the C++ variant can never silently
+// change the protocol.
+enum class RpcTag : std::uint8_t {
+  kBufferStatusRequest = 1,
+  kBufferStatusResponse = 2,
+  kConcurrencyUpdate = 3,
+  kThroughputReport = 4,
+  kShutdown = 5,
+};
+
+}  // namespace
+
+void encode_rpc_message(const transfer::RpcMessage& message,
+                        std::vector<std::byte>& out) {
+  out.clear();
+  std::visit(
+      [&out](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, transfer::BufferStatusRequest>) {
+          wire::put_u8(out, static_cast<std::uint8_t>(
+                                RpcTag::kBufferStatusRequest));
+          wire::put_u64(out, m.request_id);
+        } else if constexpr (std::is_same_v<T,
+                                            transfer::BufferStatusResponse>) {
+          wire::put_u8(out, static_cast<std::uint8_t>(
+                                RpcTag::kBufferStatusResponse));
+          wire::put_u64(out, m.request_id);
+          wire::put_f64(out, m.free_bytes);
+          wire::put_f64(out, m.used_bytes);
+          wire::put_f64(out, m.measured_at_s);
+        } else if constexpr (std::is_same_v<T, transfer::ConcurrencyUpdate>) {
+          wire::put_u8(out,
+                       static_cast<std::uint8_t>(RpcTag::kConcurrencyUpdate));
+          wire::put_u32(out, static_cast<std::uint32_t>(m.tuple.read));
+          wire::put_u32(out, static_cast<std::uint32_t>(m.tuple.network));
+          wire::put_u32(out, static_cast<std::uint32_t>(m.tuple.write));
+        } else if constexpr (std::is_same_v<T, transfer::ThroughputReport>) {
+          wire::put_u8(out,
+                       static_cast<std::uint8_t>(RpcTag::kThroughputReport));
+          wire::put_f64(out, m.throughput_mbps.read);
+          wire::put_f64(out, m.throughput_mbps.network);
+          wire::put_f64(out, m.throughput_mbps.write);
+          wire::put_f64(out, m.interval_s);
+        } else {
+          static_assert(std::is_same_v<T, transfer::Shutdown>);
+          wire::put_u8(out, static_cast<std::uint8_t>(RpcTag::kShutdown));
+        }
+      },
+      message);
+}
+
+std::optional<transfer::RpcMessage> decode_rpc_message(const std::byte* data,
+                                                       std::size_t size) {
+  if (size < 1) return std::nullopt;
+  wire::Reader r(data, size);
+  const auto tag = static_cast<RpcTag>(r.u8());
+  switch (tag) {
+    case RpcTag::kBufferStatusRequest: {
+      if (r.remaining() < 8) return std::nullopt;
+      transfer::BufferStatusRequest m;
+      m.request_id = r.u64();
+      return m;
+    }
+    case RpcTag::kBufferStatusResponse: {
+      if (r.remaining() < 8 + 3 * 8) return std::nullopt;
+      transfer::BufferStatusResponse m;
+      m.request_id = r.u64();
+      m.free_bytes = r.f64();
+      m.used_bytes = r.f64();
+      m.measured_at_s = r.f64();
+      return m;
+    }
+    case RpcTag::kConcurrencyUpdate: {
+      if (r.remaining() < 3 * 4) return std::nullopt;
+      transfer::ConcurrencyUpdate m;
+      m.tuple.read = static_cast<int>(r.u32());
+      m.tuple.network = static_cast<int>(r.u32());
+      m.tuple.write = static_cast<int>(r.u32());
+      return m;
+    }
+    case RpcTag::kThroughputReport: {
+      if (r.remaining() < 4 * 8) return std::nullopt;
+      transfer::ThroughputReport m;
+      m.throughput_mbps.read = r.f64();
+      m.throughput_mbps.network = r.f64();
+      m.throughput_mbps.write = r.f64();
+      m.interval_s = r.f64();
+      return m;
+    }
+    case RpcTag::kShutdown:
+      return transfer::Shutdown{};
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(
+    const std::string& host, std::uint16_t port,
+    const ConnectorConfig& connector_config, const TcpTransportConfig& config) {
+  Connector connector(connector_config);
+  auto socket = connector.connect(host, port);
+  if (!socket) return nullptr;
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(std::move(*socket), config));
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::adopt(
+    Socket socket, const TcpTransportConfig& config) {
+  if (!socket.valid()) return nullptr;
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(std::move(socket), config));
+}
+
+TcpTransport::TcpTransport(Socket socket, const TcpTransportConfig& config)
+    : config_(config), socket_(std::move(socket)), writer_(socket_) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  close();
+  if (reader_.joinable()) reader_.join();
+}
+
+void TcpTransport::send(transfer::RpcMessage message) {
+  if (closed_.load()) return;  // parity with RpcPipe: drops after close
+  std::lock_guard lock(write_mutex_);
+  encode_rpc_message(message, encode_scratch_);
+  if (writer_.write(FrameType::kRpc, encode_scratch_, config_.io_timeout_s) !=
+      SocketStatus::kOk) {
+    close();
+  }
+}
+
+void TcpTransport::reader_loop() {
+  FrameReader reader(socket_, config_.max_payload_bytes);
+  Frame frame;
+  for (;;) {
+    const FrameError err = reader.read(frame, /*timeout_s=*/-1.0);
+    if (err == FrameError::kClosed || err == FrameError::kTruncated) break;
+    if (err != FrameError::kNone) {
+      decode_errors_.fetch_add(1);
+      break;  // control channel integrity failure: drop the connection
+    }
+    if (frame.type != FrameType::kRpc) continue;  // ping etc.
+    auto message = decode_rpc_message(frame.payload.data(),
+                                      frame.payload.size());
+    if (!message) {
+      decode_errors_.fetch_add(1);
+      continue;
+    }
+    const auto deliver_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               config_.delivery_delay_s));
+    {
+      std::lock_guard lock(inbox_mutex_);
+      if (inbox_closed_) break;
+      inbox_.push_back({deliver_at, std::move(*message)});
+    }
+    inbox_cv_.notify_all();
+  }
+  {
+    std::lock_guard lock(inbox_mutex_);
+    inbox_closed_ = true;
+  }
+  inbox_cv_.notify_all();
+}
+
+std::optional<transfer::RpcMessage> TcpTransport::receive() {
+  std::unique_lock lock(inbox_mutex_);
+  for (;;) {
+    if (!inbox_.empty()) {
+      const auto now = Clock::now();
+      if (inbox_.front().deliver_at <= now) {
+        transfer::RpcMessage out = std::move(inbox_.front().message);
+        inbox_.pop_front();
+        return out;
+      }
+      inbox_cv_.wait_until(lock, inbox_.front().deliver_at);
+      continue;
+    }
+    if (inbox_closed_) return std::nullopt;
+    inbox_cv_.wait(lock);
+  }
+}
+
+std::optional<transfer::RpcMessage> TcpTransport::try_receive() {
+  std::lock_guard lock(inbox_mutex_);
+  if (inbox_.empty() || inbox_.front().deliver_at > Clock::now())
+    return std::nullopt;
+  transfer::RpcMessage out = std::move(inbox_.front().message);
+  inbox_.pop_front();
+  return out;
+}
+
+void TcpTransport::close() {
+  if (closed_.exchange(true)) return;
+  socket_.shutdown_both();  // wakes the reader thread
+  {
+    std::lock_guard lock(inbox_mutex_);
+    inbox_closed_ = true;
+  }
+  inbox_cv_.notify_all();
+}
+
+}  // namespace automdt::net

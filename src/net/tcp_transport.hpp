@@ -1,0 +1,102 @@
+// TCP control channel: the transfer layer's RPC message set over a socket.
+//
+// Implements transfer::RpcEndpoint (the same interface the in-process
+// channel exposes), so DtnPair runs its sender and receiver agents on the
+// two ends of a loopback socket pair with no other change. Each endpoint
+// owns one connected socket and a background reader thread that decodes
+// kRpc frames into an in-memory delivery queue.
+//
+// `delivery_delay_s` holds received messages back for a fixed interval
+// before receive()/try_receive() surface them — loopback RTT is ~10 µs, so
+// without it a laptop-scale run would never exhibit the control-plane
+// staleness a WAN deployment has (paper §IV-D.1). The delay emulates one-way
+// WAN latency on top of the real socket path, keeping the in-process and TCP
+// backends semantically interchangeable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "transfer/rpc_messages.hpp"
+
+namespace automdt::net {
+
+/// Serialize one control message as a kRpc frame payload.
+void encode_rpc_message(const transfer::RpcMessage& message,
+                        std::vector<std::byte>& out);
+
+/// nullopt on malformed input (unknown tag, short buffer).
+std::optional<transfer::RpcMessage> decode_rpc_message(const std::byte* data,
+                                                       std::size_t size);
+
+struct TcpTransportConfig {
+  double delivery_delay_s = 0.0;  // emulated one-way WAN latency
+  double io_timeout_s = 10.0;     // per-message socket write deadline
+  std::uint32_t max_payload_bytes = 1u << 20;
+};
+
+class TcpTransport final : public transfer::RpcEndpoint {
+ public:
+  /// Client side: connect to a listening control port.
+  static std::unique_ptr<TcpTransport> connect(
+      const std::string& host, std::uint16_t port,
+      const ConnectorConfig& connector = {},
+      const TcpTransportConfig& config = {});
+
+  /// Server side: wrap an accepted control connection.
+  static std::unique_ptr<TcpTransport> adopt(
+      Socket socket, const TcpTransportConfig& config = {});
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void send(transfer::RpcMessage message) override;
+  std::optional<transfer::RpcMessage> receive() override;
+  std::optional<transfer::RpcMessage> try_receive() override;
+  void close() override;
+
+  bool connected() const { return !closed_.load(); }
+  std::uint64_t decode_errors() const { return decode_errors_.load(); }
+
+ private:
+  TcpTransport(Socket socket, const TcpTransportConfig& config);
+
+  void reader_loop();
+
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Clock::time_point deliver_at;
+    transfer::RpcMessage message;
+  };
+
+  TcpTransportConfig config_;
+  Socket socket_;
+
+  std::mutex write_mutex_;
+  FrameWriter writer_;
+  std::vector<std::byte> encode_scratch_;
+
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<Entry> inbox_;
+  bool inbox_closed_ = false;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::thread reader_;
+};
+
+}  // namespace automdt::net

@@ -1,0 +1,85 @@
+// Little-endian byte packing shared by the frame codec and the message
+// codecs (chunks on the data plane, RPC messages on the control plane).
+//
+// The wire format is explicitly little-endian regardless of host order, so
+// two DTNs of different endianness interoperate. Doubles travel as the IEEE
+// bit pattern of the value (bit_cast through u64).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace automdt::net::wire {
+
+inline void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+}
+
+inline void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+inline void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+inline void put_f64(std::vector<std::byte>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Cursor-style reader over a byte span. Callers must bounds-check with
+/// remaining() (the codecs validate total length up front).
+class Reader {
+ public:
+  Reader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(data_[pos_++]); }
+
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  const std::byte* cursor() const { return data_ + pos_; }
+  void skip(std::size_t n) { pos_ += n; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace automdt::net::wire

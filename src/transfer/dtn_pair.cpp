@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <chrono>
 
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"
+
 namespace automdt::transfer {
 
 DtnPairEnv::DtnPairEnv(DtnPairConfig config) : config_(std::move(config)) {
+  config_.engine.backend = config_.backend;  // both planes share the backend
   scale_.max_threads = config_.engine.max_threads;
   const ConcurrencyTuple full{config_.engine.max_threads,
                               config_.engine.max_threads,
@@ -23,10 +27,43 @@ DtnPairEnv::DtnPairEnv(DtnPairConfig config) : config_(std::move(config)) {
 DtnPairEnv::~DtnPairEnv() { stop_all(); }
 
 void DtnPairEnv::stop_all() {
-  if (channel_) channel_->close();
+  if (sender_endpoint_) sender_endpoint_->close();
+  if (receiver_endpoint_) receiver_endpoint_->close();
   receiver_running_.store(false);
   if (receiver_agent_.joinable()) receiver_agent_.join();
   if (session_) session_->stop();
+}
+
+bool DtnPairEnv::open_control_channel() {
+  if (config_.backend == NetworkBackend::kInProcess) {
+    auto [sender, receiver] = make_inprocess_rpc_pair(config_.rpc_latency_s);
+    sender_endpoint_ = std::move(sender);
+    receiver_endpoint_ = std::move(receiver);
+    return true;
+  }
+  // Tcp: a real loopback control connection. The receiver agent owns the
+  // accepted end, the optimizer the connecting end; rpc_latency becomes a
+  // delivery delay so the staleness the optimizer sees is unchanged.
+  auto listener = net::Listener::open(config_.engine.tcp.host, /*port=*/0);
+  if (!listener) return false;
+  net::TcpTransportConfig transport_config;
+  transport_config.delivery_delay_s = config_.rpc_latency_s;
+  net::ConnectorConfig connector_config;
+  connector_config.connect_timeout_s = config_.engine.tcp.connect_timeout_s;
+  connector_config.max_attempts = config_.engine.tcp.connect_attempts;
+  auto sender = net::TcpTransport::connect(
+      config_.engine.tcp.host, listener->port(), connector_config,
+      transport_config);
+  if (!sender) return false;
+  auto accepted = listener->accept(/*timeout_s=*/connector_config
+                                       .connect_timeout_s);
+  if (!accepted) return false;
+  auto receiver =
+      net::TcpTransport::adopt(std::move(*accepted), transport_config);
+  if (!receiver) return false;
+  sender_endpoint_ = std::move(sender);
+  receiver_endpoint_ = std::move(receiver);
+  return true;
 }
 
 void DtnPairEnv::start_receiver_agent() {
@@ -36,20 +73,22 @@ void DtnPairEnv::start_receiver_agent() {
     // fresh local measurement ("every DTN measures its available buffer
     // space with a system call").
     while (receiver_running_.load()) {
-      auto msg = channel_->receiver_receive();
+      auto msg = receiver_endpoint_->receive();
       if (!msg) break;  // channel closed
       if (std::holds_alternative<Shutdown>(*msg)) break;
       if (const auto* req = std::get_if<BufferStatusRequest>(&*msg)) {
         const TransferStats stats = session_->stats();
         const double used = static_cast<double>(stats.receiver_queue_chunks) *
                             config_.engine.chunk_bytes;
-        channel_->receiver_send(BufferStatusResponse{
+        receiver_endpoint_->send(BufferStatusResponse{
             req->request_id,
             std::max(0.0, config_.engine.receiver_buffer_bytes - used), used,
             0.0});
+      } else if (std::holds_alternative<ConcurrencyUpdate>(*msg)) {
+        // On a remote host this retunes the write pool; in-process the
+        // session is shared, so the update is counted as applied.
+        concurrency_updates_.fetch_add(1);
       }
-      // ConcurrencyUpdate messages would retune the write pool on a remote
-      // host; in-process the session is shared, so they are accepted as-is.
     }
   });
 }
@@ -59,7 +98,13 @@ std::vector<double> DtnPairEnv::reset(Rng& rng) {
   stop_all();
   session_ = std::make_unique<TransferSession>(config_.engine,
                                                config_.file_sizes_bytes);
-  channel_ = std::make_unique<RpcChannel>(config_.rpc_latency_s);
+  if (!open_control_channel()) {
+    // Control plane unavailable (ephemeral port exhaustion, ...): degrade
+    // to the in-process channel rather than crash mid-experiment.
+    auto [sender, receiver] = make_inprocess_rpc_pair(config_.rpc_latency_s);
+    sender_endpoint_ = std::move(sender);
+    receiver_endpoint_ = std::move(receiver);
+  }
   start_receiver_agent();
   last_action_ = ConcurrencyTuple{1, 1, 1};
   session_->start(last_action_);
@@ -71,10 +116,10 @@ std::vector<double> DtnPairEnv::reset(Rng& rng) {
 }
 
 double DtnPairEnv::query_receiver_free_bytes() {
-  channel_->sender_send(BufferStatusRequest{next_request_id_++});
+  sender_endpoint_->send(BufferStatusRequest{next_request_id_++});
   // Drain any responses that have arrived (including older ones); the most
   // recent becomes our (slightly stale) view of the receiver buffer.
-  while (auto msg = channel_->sender_try_receive()) {
+  while (auto msg = sender_endpoint_->try_receive()) {
     if (const auto* resp = std::get_if<BufferStatusResponse>(&*msg)) {
       last_receiver_free_ = resp->free_bytes;
       rpc_responses_.fetch_add(1);
@@ -88,7 +133,7 @@ EnvStep DtnPairEnv::step(const ConcurrencyTuple& action) {
   session_->set_concurrency(last_action_);
   // Tell the receiver agent about the new write concurrency (control-plane
   // traffic a two-host deployment must carry).
-  channel_->sender_send(ConcurrencyUpdate{last_action_});
+  sender_endpoint_->send(ConcurrencyUpdate{last_action_});
 
   const auto t0 = std::chrono::steady_clock::now();
   session_->wait_finished(config_.probe_interval_s);

@@ -10,9 +10,13 @@
 //                  RPC-reported buffer state (which is `rpc_latency` stale),
 //   ReceiverAgent — background thread servicing the control channel.
 //
-// The split is in-process (the engine's staging queues stand in for the two
-// hosts' tmpfs), but the control-plane information flow — including the
-// staleness a WAN RPC adds — is the deployment's.
+// The control channel is a selectable backend (DtnPairConfig::backend):
+// InProcess uses the latency-enforcing duplex deque; Tcp runs the same
+// message set over the two ends of a real loopback socket pair
+// (net/tcp_transport.hpp), with the rpc_latency applied as a delivery delay
+// so the WAN-staleness property is preserved either way. With
+// backend = kTcp the engine's data plane also moves chunks over loopback
+// TCP streams — the full two-process shape, minus the second process.
 #pragma once
 
 #include <atomic>
@@ -32,6 +36,9 @@ struct DtnPairConfig {
   double probe_interval_s = 0.2;
   double rpc_latency_s = 0.02;  // one-way control-channel latency
   UtilityParams utility{};
+  /// Applied to both planes: the control channel here and the engine's
+  /// chunk path (overrides engine.backend so the pair cannot be split).
+  NetworkBackend backend = NetworkBackend::kInProcess;
 };
 
 /// Env implementation whose receiver-side observation features arrive via
@@ -47,8 +54,16 @@ class DtnPairEnv final : public Env {
 
   /// Number of buffer-status responses received so far (tests).
   std::uint64_t rpc_responses() const { return rpc_responses_.load(); }
+  /// Number of concurrency updates the receiver agent has applied (tests).
+  std::uint64_t concurrency_updates() const {
+    return concurrency_updates_.load();
+  }
+
+  /// Engine introspection (tests: stream gauges over the Tcp backend).
+  const TransferSession* session() const { return session_.get(); }
 
  private:
+  bool open_control_channel();
   void start_receiver_agent();
   void stop_all();
   /// Ask the receiver for buffer state; falls back to the last known value
@@ -58,10 +73,12 @@ class DtnPairEnv final : public Env {
   DtnPairConfig config_;
   ObservationScale scale_;
   std::unique_ptr<TransferSession> session_;
-  std::unique_ptr<RpcChannel> channel_;
+  std::unique_ptr<RpcEndpoint> sender_endpoint_;
+  std::unique_ptr<RpcEndpoint> receiver_endpoint_;
   std::thread receiver_agent_;
   std::atomic<bool> receiver_running_{false};
   std::atomic<std::uint64_t> rpc_responses_{0};
+  std::atomic<std::uint64_t> concurrency_updates_{0};
   std::uint64_t next_request_id_ = 1;
   double last_receiver_free_ = 0.0;
   TransferStats last_stats_{};

@@ -4,21 +4,20 @@
 #include <cassert>
 #include <chrono>
 
+#include "common/checksum.hpp"
+#include "net/stream_pool.hpp"
+
 namespace automdt::transfer {
 
 std::uint64_t chunk_checksum(const std::vector<std::byte>& payload) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (std::byte b : payload) {
-    h ^= static_cast<std::uint64_t>(b);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  return fnv1a(payload);
 }
 
 TransferSession::TransferSession(EngineConfig config,
                                  std::vector<double> file_sizes_bytes)
     : config_(config),
       file_sizes_(std::move(file_sizes_bytes)),
+      payload_pool_(0),  // re-initialized below once queue sizes are known
       read_bucket_(0.0),
       network_bucket_(0.0),
       write_bucket_(0.0) {
@@ -37,9 +36,51 @@ TransferSession::TransferSession(EngineConfig config,
       std::make_unique<MpmcQueue<Chunk>>(queue_chunks(config_.sender_buffer_bytes));
   receiver_queue_ = std::make_unique<MpmcQueue<Chunk>>(
       queue_chunks(config_.receiver_buffer_bytes));
+  // Enough pooled payloads to cover every chunk that can be in flight at
+  // once (both staging buffers plus one per worker), bounded so a large
+  // buffer config cannot pin unbounded memory.
+  const std::size_t in_flight = sender_queue_->capacity() +
+                                receiver_queue_->capacity() +
+                                static_cast<std::size_t>(config_.max_threads) * 3;
+  payload_pool_.set_max_buffers(std::min<std::size_t>(in_flight, 512));
 }
 
 TransferSession::~TransferSession() { stop(); }
+
+bool TransferSession::start_tcp_backend() {
+  net::StreamAcceptorConfig acceptor_config;
+  acceptor_config.host = config_.tcp.host;
+  acceptor_config.port = config_.tcp.port;
+  acceptor_config.payload_pool = &payload_pool_;
+  stream_acceptor_ = std::make_unique<net::StreamAcceptor>(
+      acceptor_config, [this](net::WireChunk&& wire) {
+        Chunk chunk;
+        chunk.file_id = wire.file_id;
+        chunk.offset = wire.offset;
+        chunk.size = wire.size;
+        chunk.checksum = wire.checksum;
+        chunk.payload = std::move(wire.payload);
+        if (!receiver_queue_->push(std::move(chunk))) return false;
+        if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
+          receiver_queue_->close();
+        }
+        return true;
+      });
+  if (!stream_acceptor_->start()) {
+    stream_acceptor_.reset();
+    return false;
+  }
+  net::StreamPoolConfig pool_config;
+  pool_config.host = config_.tcp.host;
+  pool_config.port = stream_acceptor_->port();
+  pool_config.max_streams = config_.max_threads;
+  pool_config.connector.connect_timeout_s = config_.tcp.connect_timeout_s;
+  pool_config.connector.max_attempts = config_.tcp.connect_attempts;
+  pool_config.io_timeout_s = config_.tcp.io_timeout_s;
+  stream_pool_ = std::make_unique<net::StreamPool>(pool_config);
+  stream_pool_->set_active(concurrency().network);
+  return true;
+}
 
 void TransferSession::start(ConcurrencyTuple initial) {
   assert(!started_);
@@ -52,11 +93,19 @@ void TransferSession::start(ConcurrencyTuple initial) {
     finish_cv_.notify_all();
     return;
   }
+  const bool tcp = config_.backend == NetworkBackend::kTcp;
+  if (tcp && !start_tcp_backend()) {
+    // Could not bind the data-plane listener (port in use): surface as an
+    // immediately-stopped session rather than a hang.
+    stop();
+    return;
+  }
   workers_.reserve(static_cast<std::size_t>(config_.max_threads) * 3);
   for (int i = 0; i < config_.max_threads; ++i)
     workers_.emplace_back([this, i] { reader_loop(i); });
   for (int i = 0; i < config_.max_threads; ++i)
-    workers_.emplace_back([this, i] { network_loop(i); });
+    workers_.emplace_back(
+        [this, i, tcp] { tcp ? network_loop_tcp(i) : network_loop(i); });
   for (int i = 0; i < config_.max_threads; ++i)
     workers_.emplace_back([this, i] { writer_loop(i); });
 }
@@ -71,6 +120,9 @@ void TransferSession::set_concurrency(ConcurrencyTuple tuple) {
   }
   gate_cv_.notify_all();
   update_bucket_rates();
+  // Tcp backend: park/resume the per-worker data streams so the receiver
+  // observes the new n_n as a changed active-stream count.
+  if (stream_pool_) stream_pool_->set_active(t.network);
 }
 
 ConcurrencyTuple TransferSession::concurrency() const {
@@ -95,6 +147,15 @@ TransferStats TransferSession::stats() const {
   s.chunks_written = chunks_written_.load();
   s.verify_failures = verify_failures_.load();
   s.finished = finished_.load();
+  if (stream_acceptor_) {
+    s.net_streams_open = stream_acceptor_->streams_open();
+    s.net_streams_parked = stream_acceptor_->streams_parked();
+    s.net_streams_active = stream_acceptor_->streams_active();
+    s.net_frame_errors = stream_acceptor_->frame_errors();
+  }
+  if (stream_pool_) s.net_send_failures = stream_pool_->send_failures();
+  s.payload_pool_hits = payload_pool_.hits();
+  s.payload_pool_misses = payload_pool_.misses();
   return s;
 }
 
@@ -114,6 +175,10 @@ void TransferSession::stop() {
   read_bucket_.shutdown();
   network_bucket_.shutdown();
   write_bucket_.shutdown();
+  // Wake any network worker blocked in a socket write, then stop the
+  // receiver side (its handler exits via the now-closed receiver queue).
+  if (stream_pool_) stream_pool_->close();
+  if (stream_acceptor_) stream_acceptor_->stop();
   gate_cv_.notify_all();
   finish_cv_.notify_all();
   workers_.clear();  // jthread joins
@@ -150,7 +215,7 @@ void TransferSession::reader_loop(int worker_id) {
     if (!read_bucket_.acquire(chunk.size)) break;
 
     if (config_.fill_payload) {
-      chunk.payload.resize(chunk.size);
+      chunk.payload = payload_pool_.acquire(chunk.size);
       // Cheap deterministic pattern derived from (file, offset).
       const auto seed = static_cast<std::uint8_t>(
           chunk.file_id * 131 + chunk.offset / config_.chunk_bytes);
@@ -171,6 +236,30 @@ void TransferSession::reader_loop(int worker_id) {
     if (chunks_pushed_.fetch_add(1) + 1 == total_chunks_) {
       sender_queue_->close();  // no more data will be produced
     }
+  }
+}
+
+void TransferSession::network_loop_tcp(int worker_id) {
+  while (wait_for_turn(Stage::kNetwork, worker_id)) {
+    std::optional<Chunk> chunk = sender_queue_->pop();
+    if (!chunk) break;  // closed and drained
+    if (!network_bucket_.acquire(chunk->size)) break;
+    const std::uint32_t size = chunk->size;
+    net::WireChunk wire;
+    wire.file_id = chunk->file_id;
+    wire.offset = chunk->offset;
+    wire.size = chunk->size;
+    wire.checksum = chunk->checksum;
+    wire.payload = std::move(chunk->payload);
+    // Count before the frame leaves: once the last chunk lands on the
+    // receiver the pipeline can finish, and stats() must already show it.
+    bytes_sent_.fetch_add(size);
+    if (!stream_pool_->send_chunk(worker_id, wire)) {
+      bytes_sent_.fetch_sub(size);
+      break;
+    }
+    // The wire copy has left through the socket; recycle the payload.
+    payload_pool_.release(std::move(wire.payload));
   }
 }
 
@@ -200,6 +289,7 @@ void TransferSession::writer_loop(int worker_id) {
       if (chunk_checksum(chunk->payload) != chunk->checksum)
         verify_failures_.fetch_add(1);
     }
+    payload_pool_.release(std::move(chunk->payload));
     bytes_written_.fetch_add(chunk->size);
     if (chunks_written_.fetch_add(1) + 1 == total_chunks_) {
       finished_.store(true);

@@ -6,8 +6,17 @@
 //                     staging queue
 //   network workers : pop sender queue -> rate-limit through the network
 //                     bucket -> push into the bounded receiver staging queue
+//                     (InProcess backend) or serialize the chunk and send it
+//                     over the worker's own TCP stream to the receiver-side
+//                     acceptor, which decodes and pushes it (Tcp backend)
 //   writer workers  : pop receiver queue -> rate-limit through the write
 //                     bucket -> verify payload checksum -> count bytes
+//
+// The network stage is a selectable backend (EngineConfig::backend): the
+// default InProcess hand-off is bit-identical to the original engine; Tcp
+// moves every chunk through real loopback sockets with length-prefixed,
+// checksummed frames (src/net/), one stream per network worker, streams
+// parked/resumed live as set_concurrency() retunes n_n.
 //
 // Concurrency is *live-tunable*: each stage pre-spawns max_threads workers
 // and gates them behind an active-count (workers with id >= active park on a
@@ -22,13 +31,20 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/concurrency_tuple.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/units.hpp"
 #include "transfer/token_bucket.hpp"
+
+namespace automdt::net {
+class StreamPool;
+class StreamAcceptor;
+}  // namespace automdt::net
 
 namespace automdt::transfer {
 
@@ -56,6 +72,22 @@ struct StageThrottle {
   }
 };
 
+/// How chunks cross the network stage.
+enum class NetworkBackend {
+  kInProcess,  // queue-to-queue hand-off (default; original engine)
+  kTcp,        // real loopback TCP streams via src/net/
+};
+
+/// Tcp-backend knobs. The data plane always listens on `host`; port 0 picks
+/// an ephemeral port (the sender side learns it in-process).
+struct TcpBackendOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_s = 2.0;
+  int connect_attempts = 4;
+  double io_timeout_s = 10.0;
+};
+
 struct EngineConfig {
   int max_threads = 8;           // workers pre-spawned per stage
   std::uint32_t chunk_bytes = 256 * 1024;
@@ -64,6 +96,8 @@ struct EngineConfig {
   StageThrottle read{}, network{}, write{};
   bool fill_payload = true;      // write a pattern + checksum into each chunk
   bool verify_payload = true;    // writers recompute and compare checksums
+  NetworkBackend backend = NetworkBackend::kInProcess;
+  TcpBackendOptions tcp{};
 };
 
 struct TransferStats {
@@ -75,6 +109,16 @@ struct TransferStats {
   std::uint64_t chunks_written = 0;
   std::uint64_t verify_failures = 0;
   bool finished = false;
+  // Tcp backend only (all zero under InProcess): receiver-side stream
+  // gauges and data-plane health.
+  int net_streams_open = 0;
+  int net_streams_parked = 0;
+  int net_streams_active = 0;
+  std::uint64_t net_frame_errors = 0;
+  std::uint64_t net_send_failures = 0;
+  // Payload free-list effectiveness (both backends).
+  std::uint64_t payload_pool_hits = 0;
+  std::uint64_t payload_pool_misses = 0;
 };
 
 class TransferSession {
@@ -105,9 +149,11 @@ class TransferSession {
  private:
   void reader_loop(int worker_id);
   void network_loop(int worker_id);
+  void network_loop_tcp(int worker_id);
   void writer_loop(int worker_id);
   bool wait_for_turn(Stage stage, int worker_id);
   void update_bucket_rates();
+  bool start_tcp_backend();
 
   EngineConfig config_;
   std::vector<double> file_sizes_;
@@ -122,6 +168,14 @@ class TransferSession {
   // Staging queues sized in chunks.
   std::unique_ptr<MpmcQueue<Chunk>> sender_queue_;
   std::unique_ptr<MpmcQueue<Chunk>> receiver_queue_;
+
+  // Chunk payload free-list: writers release verified payloads, readers
+  // (or the Tcp receiver's decoders) acquire them back.
+  BufferPool payload_pool_;
+
+  // Tcp backend (null under InProcess).
+  std::unique_ptr<net::StreamPool> stream_pool_;
+  std::unique_ptr<net::StreamAcceptor> stream_acceptor_;
 
   TokenBucket read_bucket_;
   TokenBucket network_bucket_;

@@ -61,4 +61,12 @@ std::size_t RpcPipe::pending() const {
   return queue_.size();
 }
 
+std::pair<std::unique_ptr<RpcEndpoint>, std::unique_ptr<RpcEndpoint>>
+make_inprocess_rpc_pair(double latency_s) {
+  auto channel = std::make_shared<RpcChannel>(latency_s);
+  return {std::make_unique<InProcessRpcEndpoint>(channel, /*sender_side=*/true),
+          std::make_unique<InProcessRpcEndpoint>(channel,
+                                                 /*sender_side=*/false)};
+}
+
 }  // namespace automdt::transfer

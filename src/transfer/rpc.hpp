@@ -17,38 +17,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <variant>
 
 #include "common/concurrency_tuple.hpp"
+#include "transfer/rpc_messages.hpp"
 
 namespace automdt::transfer {
-
-struct BufferStatusRequest {
-  std::uint64_t request_id = 0;
-};
-
-struct BufferStatusResponse {
-  std::uint64_t request_id = 0;
-  double free_bytes = 0.0;
-  double used_bytes = 0.0;
-  double measured_at_s = 0.0;  // sender-of-message clock, for staleness
-};
-
-struct ConcurrencyUpdate {
-  ConcurrencyTuple tuple;
-};
-
-struct ThroughputReport {
-  StageThroughputs throughput_mbps;
-  double interval_s = 0.0;
-};
-
-struct Shutdown {};
-
-using RpcMessage = std::variant<BufferStatusRequest, BufferStatusResponse,
-                                ConcurrencyUpdate, ThroughputReport, Shutdown>;
 
 /// One direction of the duplex channel: a latency-enforcing message queue.
 /// Messages become visible to receive() only after `latency` has elapsed
@@ -116,5 +94,38 @@ class RpcChannel {
   RpcPipe to_receiver_;
   RpcPipe to_sender_;
 };
+
+/// RpcEndpoint view over one side of a shared in-process RpcChannel — the
+/// same object DtnPair used directly before the transport seam existed.
+class InProcessRpcEndpoint final : public RpcEndpoint {
+ public:
+  InProcessRpcEndpoint(std::shared_ptr<RpcChannel> channel, bool sender_side)
+      : channel_(std::move(channel)), sender_side_(sender_side) {}
+
+  void send(RpcMessage message) override {
+    if (sender_side_)
+      channel_->sender_send(std::move(message));
+    else
+      channel_->receiver_send(std::move(message));
+  }
+  std::optional<RpcMessage> receive() override {
+    return sender_side_ ? channel_->sender_receive()
+                        : channel_->receiver_receive();
+  }
+  std::optional<RpcMessage> try_receive() override {
+    return sender_side_ ? channel_->sender_try_receive()
+                        : channel_->receiver_try_receive();
+  }
+  void close() override { channel_->close(); }
+
+ private:
+  std::shared_ptr<RpcChannel> channel_;
+  bool sender_side_;
+};
+
+/// Connected {sender, receiver} endpoints over a fresh in-process channel
+/// with `latency_s` one-way delivery latency.
+std::pair<std::unique_ptr<RpcEndpoint>, std::unique_ptr<RpcEndpoint>>
+make_inprocess_rpc_pair(double latency_s);
 
 }  // namespace automdt::transfer

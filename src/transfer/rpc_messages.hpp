@@ -1,0 +1,68 @@
+// Control-plane message set exchanged between the two DTN agents, and the
+// transport-neutral endpoint interface both backends implement.
+//
+// Paper §IV-D.1: "Every DTN measures its available buffer space with a system
+// call and the receiver sends the result to its peer over the RPC channel."
+// The message *set* is transport-independent: the in-process channel
+// (transfer/rpc.hpp) delivers it through a latency-enforcing deque, the TCP
+// transport (net/tcp_transport.hpp) over a real control connection. This
+// header is deliberately free of any transport include so the net layer can
+// speak the message set without a library cycle (transfer links net, not the
+// other way around).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "common/concurrency_tuple.hpp"
+
+namespace automdt::transfer {
+
+struct BufferStatusRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct BufferStatusResponse {
+  std::uint64_t request_id = 0;
+  double free_bytes = 0.0;
+  double used_bytes = 0.0;
+  double measured_at_s = 0.0;  // sender-of-message clock, for staleness
+};
+
+struct ConcurrencyUpdate {
+  ConcurrencyTuple tuple;
+};
+
+struct ThroughputReport {
+  StageThroughputs throughput_mbps;
+  double interval_s = 0.0;
+};
+
+struct Shutdown {};
+
+using RpcMessage = std::variant<BufferStatusRequest, BufferStatusResponse,
+                                ConcurrencyUpdate, ThroughputReport, Shutdown>;
+
+/// One endpoint of a duplex control channel. Implementations: the in-process
+/// RpcChannel views (with simulated one-way latency) and TcpTransport (a real
+/// socket, optionally with the same delivery delay for WAN emulation).
+class RpcEndpoint {
+ public:
+  virtual ~RpcEndpoint() = default;
+
+  /// Fire-and-forget; messages to a closed endpoint are dropped.
+  virtual void send(RpcMessage message) = 0;
+
+  /// Blocks until a message is deliverable or the channel is closed and
+  /// drained. Returns nullopt only in the latter case.
+  virtual std::optional<RpcMessage> receive() = 0;
+
+  /// Non-blocking: nullopt if nothing is deliverable *yet*.
+  virtual std::optional<RpcMessage> try_receive() = 0;
+
+  /// Close both directions; wakes any blocked receive().
+  virtual void close() = 0;
+};
+
+}  // namespace automdt::transfer

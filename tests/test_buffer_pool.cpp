@@ -1,0 +1,68 @@
+#include "common/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace automdt {
+namespace {
+
+TEST(BufferPool, FirstAcquireIsAMissThenRecycles) {
+  BufferPool pool(4);
+  auto buf = pool.acquire(1024);
+  EXPECT_EQ(buf.size(), 1024u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+  auto again = pool.acquire(512);
+  EXPECT_EQ(again.size(), 512u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, AcquireResizesRecycledBufferUpward) {
+  BufferPool pool(4);
+  pool.release(std::vector<std::byte>(16));
+  auto buf = pool.acquire(4096);
+  EXPECT_EQ(buf.size(), 4096u);
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(BufferPool, ReleaseBeyondCapIsDropped) {
+  BufferPool pool(2);
+  for (int i = 0; i < 5; ++i) pool.release(std::vector<std::byte>(64));
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(BufferPool, SetMaxBuffersShrinksSurplus) {
+  BufferPool pool(8);
+  for (int i = 0; i < 8; ++i) pool.release(std::vector<std::byte>(64));
+  ASSERT_EQ(pool.pooled(), 8u);
+  pool.set_max_buffers(3);
+  EXPECT_EQ(pool.pooled(), 3u);
+  pool.set_max_buffers(0);
+  EXPECT_EQ(pool.pooled(), 0u);
+  pool.release(std::vector<std::byte>(64));
+  EXPECT_EQ(pool.pooled(), 0u);  // cap of zero disables pooling entirely
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseStaysConsistent) {
+  BufferPool pool(64);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        auto buf = pool.acquire(256);
+        ASSERT_EQ(buf.size(), 256u);
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(pool.hits() + pool.misses(), 2000u);
+  EXPECT_LE(pool.pooled(), 64u);
+}
+
+}  // namespace
+}  // namespace automdt

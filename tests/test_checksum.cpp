@@ -1,0 +1,47 @@
+#include "common/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transfer/engine.hpp"
+
+namespace automdt {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> out;
+  for (; *s; ++s) out.push_back(static_cast<std::byte>(*s));
+  return out;
+}
+
+TEST(Checksum, MatchesKnownFnv1aVectors) {
+  // Reference values from the canonical FNV-1a 64-bit test suite.
+  EXPECT_EQ(fnv1a(nullptr, 0), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a(bytes_of("a")), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a(bytes_of("foobar")), 0x85944171F73967E8ULL);
+}
+
+TEST(Checksum, SeedChainingEqualsOneShot) {
+  const auto data = bytes_of("split across two buffers");
+  const std::size_t cut = 7;
+  const std::uint64_t chained =
+      fnv1a(data.data() + cut, data.size() - cut, fnv1a(data.data(), cut));
+  EXPECT_EQ(chained, fnv1a(data));
+}
+
+TEST(Checksum, ChunkChecksumIsSharedImplementation) {
+  const auto payload = bytes_of("engine payload");
+  EXPECT_EQ(transfer::chunk_checksum(payload), fnv1a(payload));
+}
+
+TEST(Checksum, SensitiveToEveryByte) {
+  auto payload = bytes_of("abcdefgh");
+  const std::uint64_t base = fnv1a(payload);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    auto flipped = payload;
+    flipped[i] ^= std::byte{0x01};
+    EXPECT_NE(fnv1a(flipped), base) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace automdt

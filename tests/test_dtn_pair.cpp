@@ -6,8 +6,9 @@
 namespace automdt::transfer {
 namespace {
 
-DtnPairConfig small_pair() {
+DtnPairConfig small_pair(NetworkBackend backend = NetworkBackend::kInProcess) {
   DtnPairConfig c;
+  c.backend = backend;
   c.engine.max_threads = 4;
   c.engine.chunk_bytes = 64 * 1024;
   c.engine.sender_buffer_bytes = 1.0 * kMiB;
@@ -19,19 +20,34 @@ DtnPairConfig small_pair() {
   return c;
 }
 
-TEST(DtnPairEnv, CompletesTransferThroughRpcControlPlane) {
-  DtnPairEnv env(small_pair());
+/// Both control-plane backends must satisfy the same contract: the suite
+/// runs once over the in-process channel and once over real TCP sockets.
+class DtnPairBackends : public ::testing::TestWithParam<NetworkBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, DtnPairBackends,
+                         ::testing::Values(NetworkBackend::kInProcess,
+                                           NetworkBackend::kTcp),
+                         [](const auto& info) {
+                           return info.param == NetworkBackend::kTcp
+                                      ? "Tcp"
+                                      : "InProcess";
+                         });
+
+TEST_P(DtnPairBackends, CompletesTransferThroughRpcControlPlane) {
+  DtnPairEnv env(small_pair(GetParam()));
   Rng rng(1);
   env.reset(rng);
   bool done = false;
   for (int i = 0; i < 120 && !done; ++i) done = env.step({4, 4, 4}).done;
   EXPECT_TRUE(done);
-  // The observation pipeline exercised the RPC channel.
+  // The observation pipeline exercised the RPC channel, and the receiver
+  // agent saw the pushed concurrency updates.
   EXPECT_GT(env.rpc_responses(), 0u);
+  EXPECT_GT(env.concurrency_updates(), 0u);
 }
 
-TEST(DtnPairEnv, ObservationUsesRpcReportedReceiverState) {
-  DtnPairConfig cfg = small_pair();
+TEST_P(DtnPairBackends, ObservationUsesRpcReportedReceiverState) {
+  DtnPairConfig cfg = small_pair(GetParam());
   // Choke the writers so the receiver buffer visibly fills.
   cfg.engine.write.aggregate_bytes_per_s = 1024.0;  // ~1 KB/s
   cfg.file_sizes_bytes.assign(64, 256.0 * 1024);
@@ -44,6 +60,20 @@ TEST(DtnPairEnv, ObservationUsesRpcReportedReceiverState) {
   // Receiver free-space feature must have dropped (reported over RPC).
   EXPECT_LT(later_free, initial_free);
   EXPECT_GT(env.rpc_responses(), 3u);
+}
+
+TEST(DtnPairEnv, TcpBackendMovesChunksOverRealStreams) {
+  DtnPairEnv env(small_pair(NetworkBackend::kTcp));
+  Rng rng(7);
+  env.reset(rng);
+  bool done = false;
+  for (int i = 0; i < 120 && !done; ++i) done = env.step({4, 4, 4}).done;
+  ASSERT_TRUE(done);
+  ASSERT_NE(env.session(), nullptr);
+  const TransferStats stats = env.session()->stats();
+  EXPECT_GT(stats.net_streams_open, 0);
+  EXPECT_EQ(stats.net_frame_errors, 0u);
+  EXPECT_EQ(stats.verify_failures, 0u);
 }
 
 TEST(DtnPairEnv, WorksWithController) {

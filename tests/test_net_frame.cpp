@@ -1,0 +1,173 @@
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/checksum.hpp"
+#include "net/stream_pool.hpp"
+
+namespace automdt::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::byte>(static_cast<std::uint8_t>(i * 31 + 7));
+  return out;
+}
+
+TEST(FrameCodec, RoundTripsEveryTypeAndSize) {
+  for (const FrameType type :
+       {FrameType::kChunk, FrameType::kRpc, FrameType::kStreamHello,
+        FrameType::kStreamPark, FrameType::kPing}) {
+    for (const std::size_t size : {0ul, 1ul, 17ul, 4096ul}) {
+      Frame in{type, pattern(size)};
+      const auto encoded = encode_frame(in);
+      ASSERT_EQ(encoded.size(), kFrameHeaderBytes + size);
+      Frame out;
+      const DecodeResult r = decode_frame(encoded.data(), encoded.size(), out);
+      ASSERT_EQ(r.error, FrameError::kNone);
+      EXPECT_EQ(r.consumed, encoded.size());
+      EXPECT_EQ(out.type, type);
+      EXPECT_EQ(out.payload, in.payload);
+    }
+  }
+}
+
+TEST(FrameCodec, RejectsBadMagic) {
+  auto encoded = encode_frame({FrameType::kPing, pattern(8)});
+  encoded[0] ^= std::byte{0xFF};
+  Frame out;
+  EXPECT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kBadMagic);
+}
+
+TEST(FrameCodec, RejectsBadVersion) {
+  auto encoded = encode_frame({FrameType::kPing, pattern(8)});
+  encoded[4] ^= std::byte{0xFF};  // version lives at offset 4
+  Frame out;
+  EXPECT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kBadVersion);
+}
+
+TEST(FrameCodec, RejectsCorruptedPayload) {
+  auto encoded = encode_frame({FrameType::kChunk, pattern(64)});
+  encoded[kFrameHeaderBytes + 10] ^= std::byte{0x01};
+  Frame out;
+  EXPECT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kChecksumMismatch);
+}
+
+TEST(FrameCodec, RejectsOversizedDeclaredLength) {
+  auto encoded = encode_frame({FrameType::kChunk, pattern(64)});
+  Frame out;
+  EXPECT_EQ(decode_frame(encoded.data(), encoded.size(), out,
+                         /*max_payload_bytes=*/32)
+                .error,
+            FrameError::kOversized);
+}
+
+TEST(FrameCodec, TruncatedBufferAsksForMoreData) {
+  const auto encoded = encode_frame({FrameType::kChunk, pattern(64)});
+  Frame out;
+  for (const std::size_t cut : {0ul, kFrameHeaderBytes - 1, kFrameHeaderBytes,
+                                encoded.size() - 1}) {
+    const DecodeResult r = decode_frame(encoded.data(), cut, out);
+    EXPECT_EQ(r.error, FrameError::kNeedMoreData) << "cut at " << cut;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(FrameSocketIo, RoundTripsOverSocketPairIncludingLargeFrames) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  // 1 MiB payload forces multiple partial reads/writes through the
+  // EINTR/EAGAIN loops.
+  const auto big = pattern(1u << 20);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    ASSERT_EQ(w.write(FrameType::kChunk, big, 5.0), SocketStatus::kOk);
+    ASSERT_EQ(w.write(FrameType::kPing, {}, 5.0), SocketStatus::kOk);
+    a.shutdown_both();
+  });
+  FrameReader reader(b);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.type, FrameType::kChunk);
+  EXPECT_EQ(frame.payload, big);
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+  writer.join();
+}
+
+TEST(FrameSocketIo, ScatterWriteMatchesSingleBufferEncoding) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head = pattern(28);
+  const auto body = pattern(512);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    ASSERT_EQ(w.write_scatter(FrameType::kChunk, head, body.data(),
+                              body.size(), 5.0),
+              SocketStatus::kOk);
+  });
+  FrameReader reader(b);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  std::vector<std::byte> expected = head;
+  expected.insert(expected.end(), body.begin(), body.end());
+  EXPECT_EQ(frame.payload, expected);
+  writer.join();
+}
+
+TEST(FrameSocketIo, ReaderReportsTruncationOnMidFrameEof) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto encoded = encode_frame({FrameType::kChunk, pattern(256)});
+  ASSERT_EQ(a.write_all(encoded.data(), encoded.size() / 2, 5.0),
+            SocketStatus::kOk);
+  a.shutdown_both();
+  a.close();
+  FrameReader reader(b);
+  Frame frame;
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kTruncated);
+}
+
+TEST(WireChunkCodec, RoundTrips) {
+  WireChunk in;
+  in.file_id = 42;
+  in.offset = 7 * 256 * 1024;
+  in.size = 1000;
+  in.checksum = 0xDEADBEEFCAFEF00DULL;
+  in.payload = pattern(1000);
+  std::vector<std::byte> encoded;
+  encode_wire_chunk(in, encoded);
+  encoded.insert(encoded.end(), in.payload.begin(), in.payload.end());
+  WireChunk out;
+  ASSERT_TRUE(decode_wire_chunk(encoded.data(), encoded.size(), out));
+  EXPECT_EQ(out.file_id, in.file_id);
+  EXPECT_EQ(out.offset, in.offset);
+  EXPECT_EQ(out.size, in.size);
+  EXPECT_EQ(out.checksum, in.checksum);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(WireChunkCodec, RejectsShortAndOverlongInputs) {
+  WireChunk out;
+  std::vector<std::byte> tiny(kWireChunkHeaderBytes - 1);
+  EXPECT_FALSE(decode_wire_chunk(tiny.data(), tiny.size(), out));
+  // Payload longer than the declared chunk size is malformed.
+  WireChunk in;
+  in.size = 4;
+  in.payload = pattern(64);
+  std::vector<std::byte> encoded;
+  encode_wire_chunk(in, encoded);
+  encoded.insert(encoded.end(), in.payload.begin(), in.payload.end());
+  EXPECT_FALSE(decode_wire_chunk(encoded.data(), encoded.size(), out));
+}
+
+}  // namespace
+}  // namespace automdt::net

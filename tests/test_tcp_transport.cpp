@@ -1,0 +1,155 @@
+#include "net/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace automdt::net {
+namespace {
+
+using transfer::BufferStatusRequest;
+using transfer::BufferStatusResponse;
+using transfer::ConcurrencyUpdate;
+using transfer::RpcMessage;
+using transfer::Shutdown;
+using transfer::ThroughputReport;
+
+std::optional<RpcMessage> round_trip(const RpcMessage& in) {
+  std::vector<std::byte> encoded;
+  encode_rpc_message(in, encoded);
+  return decode_rpc_message(encoded.data(), encoded.size());
+}
+
+TEST(RpcCodec, RoundTripsEveryMessageType) {
+  auto out = round_trip(BufferStatusRequest{77});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<BufferStatusRequest>(*out).request_id, 77u);
+
+  out = round_trip(BufferStatusResponse{9, 1.5e9, 2.25e8, 12.75});
+  ASSERT_TRUE(out.has_value());
+  const auto& resp = std::get<BufferStatusResponse>(*out);
+  EXPECT_EQ(resp.request_id, 9u);
+  EXPECT_DOUBLE_EQ(resp.free_bytes, 1.5e9);
+  EXPECT_DOUBLE_EQ(resp.used_bytes, 2.25e8);
+  EXPECT_DOUBLE_EQ(resp.measured_at_s, 12.75);
+
+  out = round_trip(ConcurrencyUpdate{{3, 5, 7}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<ConcurrencyUpdate>(*out).tuple,
+            (ConcurrencyTuple{3, 5, 7}));
+
+  ThroughputReport report;
+  report.throughput_mbps = {100.0, 250.5, 75.25};
+  report.interval_s = 0.2;
+  out = round_trip(report);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<ThroughputReport>(*out).throughput_mbps,
+            report.throughput_mbps);
+
+  out = round_trip(Shutdown{});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(std::holds_alternative<Shutdown>(*out));
+}
+
+TEST(RpcCodec, RejectsMalformedBuffers) {
+  EXPECT_FALSE(decode_rpc_message(nullptr, 0).has_value());
+  const std::byte bad_tag[] = {std::byte{0xEE}};
+  EXPECT_FALSE(decode_rpc_message(bad_tag, 1).has_value());
+  // Truncated response body.
+  std::vector<std::byte> encoded;
+  encode_rpc_message(BufferStatusResponse{1, 2.0, 3.0, 4.0}, encoded);
+  EXPECT_FALSE(
+      decode_rpc_message(encoded.data(), encoded.size() - 1).has_value());
+}
+
+struct TransportPair {
+  std::unique_ptr<TcpTransport> sender;
+  std::unique_ptr<TcpTransport> receiver;
+};
+
+TransportPair make_loopback_pair(double delivery_delay_s = 0.0) {
+  auto listener = Listener::open("127.0.0.1", 0);
+  EXPECT_TRUE(listener.has_value());
+  TcpTransportConfig config;
+  config.delivery_delay_s = delivery_delay_s;
+  TransportPair pair;
+  pair.sender = TcpTransport::connect("127.0.0.1", listener->port(), {},
+                                      config);
+  EXPECT_NE(pair.sender, nullptr);
+  auto accepted = listener->accept(2.0);
+  EXPECT_TRUE(accepted.has_value());
+  pair.receiver = TcpTransport::adopt(std::move(*accepted), config);
+  EXPECT_NE(pair.receiver, nullptr);
+  return pair;
+}
+
+TEST(TcpTransport, RequestResponseOverLoopback) {
+  auto pair = make_loopback_pair();
+  pair.sender->send(BufferStatusRequest{11});
+  auto request = pair.receiver->receive();
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(std::holds_alternative<BufferStatusRequest>(*request));
+  pair.receiver->send(BufferStatusResponse{
+      std::get<BufferStatusRequest>(*request).request_id, 123.0, 456.0, 0.0});
+  auto response = pair.sender->receive();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(std::get<BufferStatusResponse>(*response).request_id, 11u);
+  EXPECT_DOUBLE_EQ(std::get<BufferStatusResponse>(*response).free_bytes,
+                   123.0);
+}
+
+TEST(TcpTransport, DeliveryDelayPreservesStalenessSemantics) {
+  auto pair = make_loopback_pair(/*delivery_delay_s=*/0.15);
+  pair.sender->send(BufferStatusRequest{1});
+  // The frame crosses loopback in microseconds, but must not be deliverable
+  // before the configured delay — the same contract RpcPipe enforces.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pair.receiver->try_receive().has_value());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto message = pair.receiver->receive();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_GE(waited, 0.05);  // blocked until the delay expired
+}
+
+TEST(TcpTransport, CloseUnblocksAPendingReceive) {
+  auto pair = make_loopback_pair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pair.receiver->close();
+  });
+  EXPECT_FALSE(pair.receiver->receive().has_value());
+  closer.join();
+}
+
+TEST(TcpTransport, PeerDisconnectDrainsThenCloses) {
+  auto pair = make_loopback_pair();
+  pair.sender->send(ConcurrencyUpdate{{2, 2, 2}});
+  pair.sender->send(Shutdown{});
+  // Give the frames time to land in the receiver's inbox before the peer
+  // goes away; then the receiver must still drain both messages.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  pair.sender->close();
+  auto first = pair.receiver->receive();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(std::holds_alternative<ConcurrencyUpdate>(*first));
+  auto second = pair.receiver->receive();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<Shutdown>(*second));
+  EXPECT_FALSE(pair.receiver->receive().has_value());
+}
+
+TEST(TcpTransport, SendAfterCloseIsDropped) {
+  auto pair = make_loopback_pair();
+  pair.sender->close();
+  pair.sender->send(BufferStatusRequest{5});  // must not crash or block
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace automdt::net
