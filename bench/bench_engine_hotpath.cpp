@@ -1,0 +1,117 @@
+// Hot-path overhead benchmark for the data plane (DESIGN.md §9).
+//
+// Small chunks make per-chunk coordination — staging-queue handoff, admission
+// control, chunk claiming, frame writes — the dominant cost, so chunks/s here
+// is a direct read on data-plane overhead rather than memcpy bandwidth. Each
+// ⟨n_r, n_n, n_w⟩ point runs twice: once on the lock-free MPMC ring staging
+// queues (the default) and once on the original mutex+deque baseline
+// (lock_free_staging = false), for both the in-process and the TCP backend.
+// Ring stall/park counters from TransferStats are printed alongside so a
+// throughput regression can be attributed to contention, not guessed at.
+//
+// Numbers are machine-local overhead floors, not WAN claims; EXPERIMENTS.md
+// records the run together with the core count printed in the header.
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "transfer/engine.hpp"
+
+using namespace automdt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Sweep {
+  int n_r, n_n, n_w;
+};
+
+struct Result {
+  double chunks_per_s = 0.0;
+  transfer::TransferStats stats;
+};
+
+Result run_once(transfer::NetworkBackend backend, bool lock_free,
+                const Sweep& sweep, double total_mib) {
+  transfer::EngineConfig config;
+  config.backend = backend;
+  config.lock_free_staging = lock_free;
+  config.max_threads = 4;
+  config.chunk_bytes = 16 * 1024;  // small: coordination dominates
+  config.sender_buffer_bytes = 2.0 * kMiB;
+  config.receiver_buffer_bytes = 2.0 * kMiB;
+  config.fill_payload = false;  // skip memset/checksum: isolate the hot path
+  config.verify_payload = false;
+  const std::vector<double> files(32, total_mib * kMiB / 32.0);
+
+  transfer::TransferSession session(config, files);
+  const auto t0 = Clock::now();
+  session.start({sweep.n_r, sweep.n_n, sweep.n_w});
+  session.wait_finished(600.0);
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Result result;
+  result.stats = session.stats();
+  result.chunks_per_s =
+      static_cast<double>(result.stats.chunks_written) / elapsed;
+  return result;
+}
+
+void run_point(transfer::NetworkBackend backend, const Sweep& sweep,
+               double total_mib) {
+  const Result ring = run_once(backend, /*lock_free=*/true, sweep, total_mib);
+  const Result mtx = run_once(backend, /*lock_free=*/false, sweep, total_mib);
+  const auto& snd = ring.stats.sender_queue_counters;
+  const auto& rcv = ring.stats.receiver_queue_counters;
+  const double speedup =
+      mtx.chunks_per_s > 0.0 ? ring.chunks_per_s / mtx.chunks_per_s : 0.0;
+  std::printf(
+      "  <%d,%d,%d>  ring %8.0f ck/s  mutex %8.0f ck/s  (x%.2f)  "
+      "stalls snd %llu/%llu rcv %llu/%llu  parks %llu\n",
+      sweep.n_r, sweep.n_n, sweep.n_w, ring.chunks_per_s, mtx.chunks_per_s,
+      speedup, static_cast<unsigned long long>(snd.push_stalls),
+      static_cast<unsigned long long>(snd.pop_stalls),
+      static_cast<unsigned long long>(rcv.push_stalls),
+      static_cast<unsigned long long>(rcv.pop_stalls),
+      static_cast<unsigned long long>(snd.push_parks + snd.pop_parks +
+                                      rcv.push_parks + rcv.pop_parks));
+  if (backend == transfer::NetworkBackend::kTcp &&
+      ring.stats.net_batch_writes > 0) {
+    std::printf("           coalescing: %llu chunks in %llu writes "
+                "(%.1f chunks/write)\n",
+                static_cast<unsigned long long>(ring.stats.net_chunks_coalesced),
+                static_cast<unsigned long long>(ring.stats.net_batch_writes),
+                static_cast<double>(ring.stats.net_chunks_coalesced) /
+                    static_cast<double>(ring.stats.net_batch_writes));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quick shrinks the dataset for CI smoke runs.
+  double total_mib = 64.0;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--quick") total_mib = 8.0;
+
+  std::printf("bench_engine_hotpath: per-chunk overhead, 16 KiB chunks "
+              "(hw threads: %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("stalls = failed lock-free attempts (spin/yield); "
+              "parks = condvar sleeps\n\n");
+
+  const Sweep sweeps[] = {{1, 1, 1}, {2, 2, 2}, {4, 4, 4}};
+  for (const auto backend : {transfer::NetworkBackend::kInProcess,
+                             transfer::NetworkBackend::kTcp}) {
+    std::printf("%s backend (%.0f MiB):\n",
+                backend == transfer::NetworkBackend::kTcp ? "tcp"
+                                                          : "in-process",
+                total_mib);
+    for (const Sweep& sweep : sweeps) run_point(backend, sweep, total_mib);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 // of a transfer (CP.20/CP.42: RAII locks, condition waits with predicates).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -29,6 +30,7 @@ class MpmcQueue {
     not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    size_.store(items_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -40,6 +42,7 @@ class MpmcQueue {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      size_.store(items_.size(), std::memory_order_relaxed);
     }
     not_empty_.notify_one();
     return true;
@@ -52,6 +55,7 @@ class MpmcQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    size_.store(items_.size(), std::memory_order_relaxed);
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -65,6 +69,7 @@ class MpmcQueue {
       if (items_.empty()) return std::nullopt;
       out = std::move(items_.front());
       items_.pop_front();
+      size_.store(items_.size(), std::memory_order_relaxed);
     }
     not_full_.notify_one();
     return out;
@@ -85,10 +90,9 @@ class MpmcQueue {
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mutex_);
-    return items_.size();
-  }
+  /// Approximate (relaxed mirror of the guarded deque size): stats polling
+  /// reads this without contending with blocked workers on `mutex_`.
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   std::size_t capacity() const { return capacity_; }
 
@@ -98,6 +102,7 @@ class MpmcQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::atomic<std::size_t> size_{0};
   bool closed_ = false;
 };
 

@@ -153,4 +153,81 @@ SocketStatus FrameWriter::write_scatter(FrameType type,
   return socket_.write_all(body, body_size, timeout_s);
 }
 
+SocketStatus FrameWriter::write_scatter_batch(FrameType type,
+                                              const ScatterSegment* segments,
+                                              std::size_t count,
+                                              double timeout_s) {
+  if (count == 0) return SocketStatus::kOk;
+  // All frame headers are serialized into scratch_ up front; reserve first so
+  // the iovec base pointers into it stay valid.
+  scratch_.clear();
+  scratch_.reserve(count * kFrameHeaderBytes);
+  iov_.clear();
+  iov_.reserve(count * 3);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ScatterSegment& seg = segments[i];
+    const std::size_t header_at = scratch_.size();
+    wire::put_u32(scratch_, kFrameMagic);
+    wire::put_u16(scratch_, kFrameVersion);
+    wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+    wire::put_u32(scratch_,
+                  static_cast<std::uint32_t>(seg.head_size + seg.body_size));
+    wire::put_u64(scratch_, fnv1a(seg.body, seg.body_size,
+                                  fnv1a(seg.head, seg.head_size)));
+    iov_.push_back({const_cast<std::byte*>(scratch_.data() + header_at),
+                    kFrameHeaderBytes});
+    if (seg.head_size > 0)
+      iov_.push_back({const_cast<std::byte*>(seg.head), seg.head_size});
+    if (seg.body_size > 0)
+      iov_.push_back({const_cast<std::byte*>(seg.body), seg.body_size});
+  }
+  return socket_.write_vec(iov_.data(), static_cast<int>(iov_.size()),
+                           timeout_s);
+}
+
+FrameError BufferedFrameReader::read(Frame& out, double timeout_s) {
+  for (;;) {
+    // Try to slice one frame out of what is already buffered.
+    if (end_ > begin_) {
+      const DecodeResult r =
+          decode_frame(buffer_.data() + begin_, end_ - begin_, out,
+                       max_payload_bytes_);
+      if (r.error == FrameError::kNone) {
+        begin_ += r.consumed;
+        if (begin_ == end_) begin_ = end_ = 0;
+        return FrameError::kNone;
+      }
+      if (r.error != FrameError::kNeedMoreData) return r.error;
+    }
+    // Compact, then grow the window by one recv.
+    if (begin_ > 0) {
+      std::copy(buffer_.begin() + static_cast<std::ptrdiff_t>(begin_),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(end_),
+                buffer_.begin());
+      end_ -= begin_;
+      begin_ = 0;
+    }
+    // Make room for at least the frame we are mid-way through (header tells
+    // us the payload length once we have 12 bytes; just ensure read_hint
+    // extra space — decode_frame bounds the payload anyway).
+    if (buffer_.size() < end_ + read_hint_bytes_)
+      buffer_.resize(end_ + read_hint_bytes_);
+    std::size_t got = 0;
+    const SocketStatus s = socket_.read_some(
+        buffer_.data() + end_, buffer_.size() - end_, timeout_s, &got);
+    switch (s) {
+      case SocketStatus::kOk:
+        end_ += got;
+        break;
+      case SocketStatus::kTimeout:
+        return FrameError::kTimeout;
+      case SocketStatus::kClosed:
+        // EOF between frames is an orderly end; EOF mid-frame is truncation.
+        return end_ == begin_ ? FrameError::kClosed : FrameError::kTruncated;
+      case SocketStatus::kError:
+        return FrameError::kTruncated;
+    }
+  }
+}
+
 }  // namespace automdt::net

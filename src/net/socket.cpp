@@ -116,6 +116,29 @@ SocketStatus Socket::read_exact(void* data, std::size_t size,
   return SocketStatus::kOk;
 }
 
+SocketStatus Socket::read_some(void* data, std::size_t size, double timeout_s,
+                               std::size_t* received) {
+  *received = 0;
+  if (fd_ < 0) return SocketStatus::kClosed;
+  if (size == 0) return SocketStatus::kOk;
+  const auto deadline = deadline_from(timeout_s);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n > 0) {
+      *received = static_cast<std::size_t>(n);
+      return SocketStatus::kOk;
+    }
+    if (n == 0) return SocketStatus::kClosed;  // orderly EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const SocketStatus s = poll_until(fd_, POLLIN, deadline);
+      if (s != SocketStatus::kOk) return s;
+      continue;
+    }
+    return SocketStatus::kError;
+  }
+}
+
 SocketStatus Socket::write_all(const void* data, std::size_t size,
                                double timeout_s) {
   if (fd_ < 0) return SocketStatus::kClosed;
@@ -140,10 +163,64 @@ SocketStatus Socket::write_all(const void* data, std::size_t size,
   return SocketStatus::kOk;
 }
 
+SocketStatus Socket::write_vec(iovec* iov, int count, double timeout_s) {
+  if (fd_ < 0) return SocketStatus::kClosed;
+  const auto deadline = deadline_from(timeout_s);
+  // Skip already-empty leading segments.
+  while (count > 0 && iov->iov_len == 0) {
+    ++iov;
+    --count;
+  }
+  while (count > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(count);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      std::size_t done = static_cast<std::size_t>(n);
+      while (count > 0 && done >= iov->iov_len) {
+        done -= iov->iov_len;
+        ++iov;
+        --count;
+      }
+      if (count > 0 && done > 0) {
+        iov->iov_base = static_cast<std::byte*>(iov->iov_base) + done;
+        iov->iov_len -= done;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const SocketStatus s = poll_until(fd_, POLLOUT, deadline);
+      if (s != SocketStatus::kOk) return s;
+      continue;
+    }
+    if (n < 0 && errno == EPIPE) return SocketStatus::kClosed;
+    return SocketStatus::kError;
+  }
+  return SocketStatus::kOk;
+}
+
 void Socket::set_no_delay() {
   if (fd_ < 0) return;
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::configure(const SocketOptions& options) {
+  if (fd_ < 0) return;
+  // Set explicitly both ways: accept/connect enable TCP_NODELAY by default,
+  // so no_delay = false must be able to undo that.
+  int flag = options.no_delay ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+  if (options.send_buffer_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options.send_buffer_bytes,
+                 sizeof(options.send_buffer_bytes));
+  }
+  if (options.recv_buffer_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options.recv_buffer_bytes,
+                 sizeof(options.recv_buffer_bytes));
+  }
 }
 
 void Socket::shutdown_both() {

@@ -17,6 +17,8 @@
 // owner). No exceptions on I/O paths; every operation reports a SocketStatus.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -33,6 +35,14 @@ enum class SocketStatus {
 };
 
 const char* to_string(SocketStatus status);
+
+/// Per-connection TCP tuning applied to freshly connected/accepted sockets
+/// (Socket::configure). Zero buffer sizes keep the kernel defaults.
+struct SocketOptions {
+  bool no_delay = true;       // disable Nagle (TCP_NODELAY)
+  int send_buffer_bytes = 0;  // SO_SNDBUF; 0 = kernel default
+  int recv_buffer_bytes = 0;  // SO_RCVBUF; 0 = kernel default
+};
 
 /// Owning wrapper around one non-blocking socket fd.
 class Socket {
@@ -53,11 +63,26 @@ class Socket {
   /// kClosed on EOF before the first byte, kError on EOF mid-message.
   SocketStatus read_exact(void* data, std::size_t size, double timeout_s);
 
+  /// Read *up to* `size` bytes: blocks until at least one byte arrives (or
+  /// deadline / EOF), then returns whatever a single recv produced in
+  /// `*received`. The frame-coalescing receive path uses this to pull many
+  /// back-to-back frames out of the kernel in one syscall.
+  SocketStatus read_some(void* data, std::size_t size, double timeout_s,
+                         std::size_t* received);
+
   /// Write all `size` bytes (handles partial writes / EAGAIN / EINTR).
   SocketStatus write_all(const void* data, std::size_t size, double timeout_s);
 
+  /// Gathered write: send every byte of `iov[0..count)` (sendmsg), handling
+  /// partial writes by advancing the vector in place. `iov` is clobbered.
+  /// One syscall per coalesced batch of frames in the common case.
+  SocketStatus write_vec(iovec* iov, int count, double timeout_s);
+
   /// Disable Nagle; harmless to call on non-TCP sockets.
   void set_no_delay();
+
+  /// Apply TCP_NODELAY / SO_SNDBUF / SO_RCVBUF from `options`.
+  void configure(const SocketOptions& options);
 
   /// Wake any thread blocked in read/write on this socket (thread-safe; the
   /// fd stays owned until close()/destruction).

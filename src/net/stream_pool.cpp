@@ -53,6 +53,7 @@ bool StreamPool::ensure_ready(Stream& stream, int stream_id) {
     return false;
   }
   stream.socket = std::move(*socket);
+  stream.socket.configure(config_.socket);
   stream.writer = std::make_unique<FrameWriter>(stream.socket);
   stream.connected = true;
   stream.parked = false;
@@ -68,6 +69,12 @@ bool StreamPool::ensure_ready(Stream& stream, int stream_id) {
 }
 
 bool StreamPool::send_chunk(int stream_id, const WireChunk& chunk) {
+  return send_chunks(stream_id, &chunk, 1);
+}
+
+bool StreamPool::send_chunks(int stream_id, const WireChunk* chunks,
+                             std::size_t count) {
+  if (count == 0) return true;
   if (closed_.load()) return false;
   if (stream_id < 0 ||
       stream_id >= static_cast<int>(streams_.size())) {
@@ -77,7 +84,7 @@ bool StreamPool::send_chunk(int stream_id, const WireChunk& chunk) {
   std::lock_guard lock(stream.mutex);
   if (closed_.load()) return false;
   if (!ensure_ready(stream, stream_id)) {
-    send_failures_.fetch_add(1);
+    send_failures_.fetch_add(count);
     return false;
   }
   if (stream.parked) {
@@ -86,19 +93,56 @@ bool StreamPool::send_chunk(int stream_id, const WireChunk& chunk) {
     if (stream.writer->write(FrameType::kStreamResume, {},
                              config_.io_timeout_s) != SocketStatus::kOk) {
       stream.failed = true;
-      send_failures_.fetch_add(1);
+      send_failures_.fetch_add(count);
       return false;
     }
     stream.parked = false;
   }
-  encode_wire_chunk(chunk, stream.scratch);
-  if (stream.writer->write_scatter(FrameType::kChunk, stream.scratch,
-                                   chunk.payload.data(), chunk.payload.size(),
-                                   config_.io_timeout_s) != SocketStatus::kOk) {
+  // 3 iovecs per chunk must stay under IOV_MAX; engine batches are far
+  // smaller, but split defensively.
+  constexpr std::size_t kMaxChunksPerWrite = 256;
+  for (std::size_t at = 0; at < count; at += kMaxChunksPerWrite) {
+    const std::size_t n = std::min(kMaxChunksPerWrite, count - at);
+    if (!send_chunks_locked(stream, chunks + at, n)) {
+      send_failures_.fetch_add(count - at);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StreamPool::send_chunks_locked(Stream& stream, const WireChunk* chunks,
+                                    std::size_t count) {
+  // All chunk metadata headers go into one scratch buffer; segment pointers
+  // are taken after the buffer stops growing.
+  stream.scratch.clear();
+  stream.scratch.reserve(count * kWireChunkHeaderBytes);
+  for (std::size_t i = 0; i < count; ++i) {
+    const WireChunk& chunk = chunks[i];
+    wire::put_u64(stream.scratch, chunk.file_id);
+    wire::put_u64(stream.scratch, chunk.offset);
+    wire::put_u32(stream.scratch, chunk.size);
+    wire::put_u64(stream.scratch, chunk.checksum);
+  }
+  stream.segments.clear();
+  stream.segments.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ScatterSegment seg;
+    seg.head = stream.scratch.data() + i * kWireChunkHeaderBytes;
+    seg.head_size = kWireChunkHeaderBytes;
+    seg.body = chunks[i].payload.data();
+    seg.body_size = chunks[i].payload.size();
+    stream.segments.push_back(seg);
+  }
+  if (stream.writer->write_scatter_batch(FrameType::kChunk,
+                                         stream.segments.data(), count,
+                                         config_.io_timeout_s) !=
+      SocketStatus::kOk) {
     stream.failed = true;
-    send_failures_.fetch_add(1);
     return false;
   }
+  chunks_sent_.fetch_add(count);
+  batch_writes_.fetch_add(1);
   return true;
 }
 
@@ -150,6 +194,7 @@ void StreamAcceptor::accept_loop() {
   while (!stopping_.load()) {
     auto socket = listener_.accept(/*timeout_s=*/0.2);
     if (!socket) continue;  // timeout or shutdown; loop re-checks stopping_
+    socket->configure(config_.socket);
     auto shared = std::make_shared<Socket>(std::move(*socket));
     streams_accepted_.fetch_add(1);
     streams_open_.fetch_add(1);
@@ -166,7 +211,9 @@ void StreamAcceptor::accept_loop() {
 }
 
 void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
-  FrameReader reader(*socket, config_.max_payload_bytes);
+  // Buffered: one recv pulls a whole coalesced batch of frames; decoding
+  // back-to-back frames from the buffer costs no further syscalls.
+  BufferedFrameReader reader(*socket, config_.max_payload_bytes);
   Frame frame;
   WireChunk chunk;
   bool parked = false;

@@ -23,19 +23,24 @@ TransferSession::TransferSession(EngineConfig config,
       write_bucket_(0.0) {
   assert(config_.chunk_bytes > 0);
   assert(config_.max_threads >= 1);
+  file_first_chunk_.reserve(file_sizes_.size() + 1);
+  file_first_chunk_.push_back(0);
   for (double s : file_sizes_) {
     total_bytes_ += s;
     total_chunks_ += static_cast<std::uint64_t>(
         (s + config_.chunk_bytes - 1) / config_.chunk_bytes);
+    file_first_chunk_.push_back(total_chunks_);
   }
+  batch_chunks_ = std::clamp<std::size_t>(
+      config_.tcp.max_coalesced_bytes / config_.chunk_bytes, 1, 64);
   const auto queue_chunks = [&](double buffer_bytes) {
     return std::max<std::size_t>(
         1, static_cast<std::size_t>(buffer_bytes / config_.chunk_bytes));
   };
-  sender_queue_ =
-      std::make_unique<MpmcQueue<Chunk>>(queue_chunks(config_.sender_buffer_bytes));
-  receiver_queue_ = std::make_unique<MpmcQueue<Chunk>>(
-      queue_chunks(config_.receiver_buffer_bytes));
+  sender_queue_ = std::make_unique<StagingQueue>(
+      queue_chunks(config_.sender_buffer_bytes), config_.lock_free_staging);
+  receiver_queue_ = std::make_unique<StagingQueue>(
+      queue_chunks(config_.receiver_buffer_bytes), config_.lock_free_staging);
   // Enough pooled payloads to cover every chunk that can be in flight at
   // once (both staging buffers plus one per worker), bounded so a large
   // buffer config cannot pin unbounded memory.
@@ -48,10 +53,15 @@ TransferSession::TransferSession(EngineConfig config,
 TransferSession::~TransferSession() { stop(); }
 
 bool TransferSession::start_tcp_backend() {
+  net::SocketOptions socket_options;
+  socket_options.no_delay = config_.tcp.no_delay;
+  socket_options.send_buffer_bytes = config_.tcp.send_buffer_bytes;
+  socket_options.recv_buffer_bytes = config_.tcp.recv_buffer_bytes;
   net::StreamAcceptorConfig acceptor_config;
   acceptor_config.host = config_.tcp.host;
   acceptor_config.port = config_.tcp.port;
   acceptor_config.payload_pool = &payload_pool_;
+  acceptor_config.socket = socket_options;
   stream_acceptor_ = std::make_unique<net::StreamAcceptor>(
       acceptor_config, [this](net::WireChunk&& wire) {
         Chunk chunk;
@@ -77,6 +87,7 @@ bool TransferSession::start_tcp_backend() {
   pool_config.connector.connect_timeout_s = config_.tcp.connect_timeout_s;
   pool_config.connector.max_attempts = config_.tcp.connect_attempts;
   pool_config.io_timeout_s = config_.tcp.io_timeout_s;
+  pool_config.socket = socket_options;
   stream_pool_ = std::make_unique<net::StreamPool>(pool_config);
   stream_pool_->set_active(concurrency().network);
   return true;
@@ -142,8 +153,12 @@ TransferStats TransferSession::stats() const {
   s.bytes_read = static_cast<double>(bytes_read_.load());
   s.bytes_sent = static_cast<double>(bytes_sent_.load());
   s.bytes_written = static_cast<double>(bytes_written_.load());
+  // Approximate sizes by design: polling stats must never contend with
+  // workers on the staging queues.
   s.sender_queue_chunks = sender_queue_->size();
   s.receiver_queue_chunks = receiver_queue_->size();
+  s.sender_queue_counters = sender_queue_->counters();
+  s.receiver_queue_counters = receiver_queue_->counters();
   s.chunks_written = chunks_written_.load();
   s.verify_failures = verify_failures_.load();
   s.finished = finished_.load();
@@ -153,7 +168,11 @@ TransferStats TransferSession::stats() const {
     s.net_streams_active = stream_acceptor_->streams_active();
     s.net_frame_errors = stream_acceptor_->frame_errors();
   }
-  if (stream_pool_) s.net_send_failures = stream_pool_->send_failures();
+  if (stream_pool_) {
+    s.net_send_failures = stream_pool_->send_failures();
+    s.net_chunks_coalesced = stream_pool_->chunks_sent();
+    s.net_batch_writes = stream_pool_->batch_writes();
+  }
   s.payload_pool_hits = payload_pool_.hits();
   s.payload_pool_misses = payload_pool_.misses();
   return s;
@@ -195,22 +214,22 @@ bool TransferSession::wait_for_turn(Stage stage, int worker_id) {
 
 void TransferSession::reader_loop(int worker_id) {
   while (wait_for_turn(Stage::kRead, worker_id)) {
-    // Claim the next chunk of the dataset.
+    // Claim the next chunk of the dataset: one atomic ticket, then map the
+    // global chunk index back to (file, offset).
+    const std::uint64_t idx =
+        claim_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= total_chunks_) break;  // all chunks claimed
+    const auto it = std::upper_bound(file_first_chunk_.begin(),
+                                     file_first_chunk_.end(), idx);
+    const auto file = static_cast<std::size_t>(
+        std::distance(file_first_chunk_.begin(), it) - 1);
     Chunk chunk;
-    {
-      std::lock_guard lock(claim_mutex_);
-      if (claim_file_ >= file_sizes_.size()) break;  // all chunks claimed
-      const double remaining = file_sizes_[claim_file_] - claim_offset_;
-      chunk.file_id = claim_file_;
-      chunk.offset = static_cast<std::uint64_t>(claim_offset_);
-      chunk.size = static_cast<std::uint32_t>(
-          std::min<double>(config_.chunk_bytes, remaining));
-      claim_offset_ += chunk.size;
-      if (claim_offset_ >= file_sizes_[claim_file_]) {
-        ++claim_file_;
-        claim_offset_ = 0.0;
-      }
-    }
+    chunk.file_id = file;
+    chunk.offset = (idx - file_first_chunk_[file]) * config_.chunk_bytes;
+    const double remaining =
+        file_sizes_[file] - static_cast<double>(chunk.offset);
+    chunk.size = static_cast<std::uint32_t>(
+        std::min<double>(config_.chunk_bytes, remaining));
 
     if (!read_bucket_.acquire(chunk.size)) break;
 
@@ -239,58 +258,96 @@ void TransferSession::reader_loop(int worker_id) {
   }
 }
 
+bool TransferSession::pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
+                                std::uint64_t& total_bytes) {
+  batch.clear();
+  total_bytes = 0;
+  Chunk first;
+  if (!queue.pop(first)) return false;  // closed and drained
+  total_bytes += first.size;
+  batch.push_back(std::move(first));
+  const std::uint64_t byte_budget = config_.tcp.max_coalesced_bytes;
+  while (batch.size() < batch_chunks_ && total_bytes < byte_budget) {
+    Chunk more;
+    if (!queue.try_pop(more)) break;  // nothing else staged right now
+    total_bytes += more.size;
+    batch.push_back(std::move(more));
+  }
+  return true;
+}
+
 void TransferSession::network_loop_tcp(int worker_id) {
+  std::vector<Chunk> batch;
+  std::vector<net::WireChunk> wires;
+  batch.reserve(batch_chunks_);
+  wires.reserve(batch_chunks_);
   while (wait_for_turn(Stage::kNetwork, worker_id)) {
-    std::optional<Chunk> chunk = sender_queue_->pop();
-    if (!chunk) break;  // closed and drained
-    if (!network_bucket_.acquire(chunk->size)) break;
-    const std::uint32_t size = chunk->size;
-    net::WireChunk wire;
-    wire.file_id = chunk->file_id;
-    wire.offset = chunk->offset;
-    wire.size = chunk->size;
-    wire.checksum = chunk->checksum;
-    wire.payload = std::move(chunk->payload);
-    // Count before the frame leaves: once the last chunk lands on the
-    // receiver the pipeline can finish, and stats() must already show it.
-    bytes_sent_.fetch_add(size);
-    if (!stream_pool_->send_chunk(worker_id, wire)) {
-      bytes_sent_.fetch_sub(size);
+    std::uint64_t total = 0;
+    if (!pop_batch(*sender_queue_, batch, total)) break;
+    // One admission for the whole batch: a single bucket round-trip (none
+    // at all when the stage is unthrottled).
+    if (!network_bucket_.acquire_batch(static_cast<double>(total),
+                                       static_cast<int>(batch.size()))) {
       break;
     }
-    // The wire copy has left through the socket; recycle the payload.
-    payload_pool_.release(std::move(wire.payload));
+    wires.clear();
+    for (Chunk& chunk : batch) {
+      net::WireChunk wire;
+      wire.file_id = chunk.file_id;
+      wire.offset = chunk.offset;
+      wire.size = chunk.size;
+      wire.checksum = chunk.checksum;
+      wire.payload = std::move(chunk.payload);
+      wires.push_back(std::move(wire));
+    }
+    // Count before the frames leave: once the last chunk lands on the
+    // receiver the pipeline can finish, and stats() must already show it.
+    bytes_sent_.fetch_add(total);
+    if (!stream_pool_->send_chunks(worker_id, wires.data(), wires.size())) {
+      bytes_sent_.fetch_sub(total);
+      break;
+    }
+    // The wire copies have left through the socket; recycle the payloads.
+    for (net::WireChunk& wire : wires)
+      payload_pool_.release(std::move(wire.payload));
   }
 }
 
 void TransferSession::network_loop(int worker_id) {
+  std::vector<Chunk> batch;
+  batch.reserve(batch_chunks_);
   while (wait_for_turn(Stage::kNetwork, worker_id)) {
-    std::optional<Chunk> chunk = sender_queue_->pop();
-    if (!chunk) break;  // closed and drained
-    if (!network_bucket_.acquire(chunk->size)) break;
-    const std::uint32_t size = chunk->size;
-    bytes_sent_.fetch_add(size);
-    if (!receiver_queue_->push(std::move(*chunk))) {
-      bytes_sent_.fetch_sub(size);
+    std::uint64_t total = 0;
+    if (!pop_batch(*sender_queue_, batch, total)) break;
+    if (!network_bucket_.acquire_batch(static_cast<double>(total),
+                                       static_cast<int>(batch.size()))) {
       break;
     }
-    if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
-      receiver_queue_->close();
+    for (Chunk& chunk : batch) {
+      const std::uint32_t size = chunk.size;
+      bytes_sent_.fetch_add(size);
+      if (!receiver_queue_->push(std::move(chunk))) {
+        bytes_sent_.fetch_sub(size);
+        return;
+      }
+      if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
+        receiver_queue_->close();
+      }
     }
   }
 }
 
 void TransferSession::writer_loop(int worker_id) {
   while (wait_for_turn(Stage::kWrite, worker_id)) {
-    std::optional<Chunk> chunk = receiver_queue_->pop();
-    if (!chunk) break;
-    if (!write_bucket_.acquire(chunk->size)) break;
+    Chunk chunk;
+    if (!receiver_queue_->pop(chunk)) break;
+    if (!write_bucket_.acquire(chunk.size)) break;
     if (config_.verify_payload && config_.fill_payload) {
-      if (chunk_checksum(chunk->payload) != chunk->checksum)
+      if (chunk_checksum(chunk.payload) != chunk.checksum)
         verify_failures_.fetch_add(1);
     }
-    payload_pool_.release(std::move(chunk->payload));
-    bytes_written_.fetch_add(chunk->size);
+    payload_pool_.release(std::move(chunk.payload));
+    bytes_written_.fetch_add(chunk.size);
     if (chunks_written_.fetch_add(1) + 1 == total_chunks_) {
       finished_.store(true);
       gate_cv_.notify_all();

@@ -18,6 +18,16 @@
 // checksummed frames (src/net/), one stream per network worker, streams
 // parked/resumed live as set_concurrency() retunes n_n.
 //
+// Hot-path design (DESIGN.md §9): per-chunk coordination cost must be
+// dominated by the payload, not the engine. Staging queues are lock-free
+// Vyukov rings with a spin-then-park blocking shell (common/mpmc_ring.hpp;
+// EngineConfig::lock_free_staging = false keeps the original mutex queue as
+// the measurable baseline for bench_engine_hotpath). Chunk claiming is one
+// atomic cursor. Token buckets are lock-free when a stage is unthrottled,
+// and network workers admit whole coalesced batches with a single bucket
+// round-trip. Under the Tcp backend those batches leave as one gathered
+// write (writev) per batch, bounded by TcpBackendOptions::max_coalesced_bytes.
+//
 // Concurrency is *live-tunable*: each stage pre-spawns max_threads workers
 // and gates them behind an active-count (workers with id >= active park on a
 // condition variable), so set_concurrency() takes effect within one chunk.
@@ -38,6 +48,7 @@
 #include "common/buffer_pool.hpp"
 #include "common/concurrency_tuple.hpp"
 #include "common/mpmc_queue.hpp"
+#include "common/mpmc_ring.hpp"
 #include "common/units.hpp"
 #include "transfer/token_bucket.hpp"
 
@@ -86,6 +97,15 @@ struct TcpBackendOptions {
   double connect_timeout_s = 2.0;
   int connect_attempts = 4;
   double io_timeout_s = 10.0;
+  /// Coalescing bound: a network worker drains up to this many staged bytes
+  /// and emits them as one gathered write (one sendmsg instead of 2-3
+  /// syscalls per chunk). Also bounds the in-process backend's batched
+  /// token-bucket admission. 0 disables coalescing (one chunk per write).
+  std::uint32_t max_coalesced_bytes = 1024 * 1024;
+  /// Socket tuning applied to both ends of the data plane.
+  bool no_delay = true;
+  int send_buffer_bytes = 0;  // SO_SNDBUF; 0 = kernel default
+  int recv_buffer_bytes = 0;  // SO_RCVBUF; 0 = kernel default
 };
 
 struct EngineConfig {
@@ -96,6 +116,10 @@ struct EngineConfig {
   StageThrottle read{}, network{}, write{};
   bool fill_payload = true;      // write a pattern + checksum into each chunk
   bool verify_payload = true;    // writers recompute and compare checksums
+  /// Staging queues: lock-free ring (default) or the original mutex+condvar
+  /// queue, kept selectable as the baseline bench_engine_hotpath measures
+  /// the overhead reduction against.
+  bool lock_free_staging = true;
   NetworkBackend backend = NetworkBackend::kInProcess;
   TcpBackendOptions tcp{};
 };
@@ -109,6 +133,10 @@ struct TransferStats {
   std::uint64_t chunks_written = 0;
   std::uint64_t verify_failures = 0;
   bool finished = false;
+  // Staging-queue contention (lock-free staging only; zero for the mutex
+  // baseline): spins and condvar parks on each side of each queue.
+  MpmcRingCounters sender_queue_counters{};
+  MpmcRingCounters receiver_queue_counters{};
   // Tcp backend only (all zero under InProcess): receiver-side stream
   // gauges and data-plane health.
   int net_streams_open = 0;
@@ -116,9 +144,61 @@ struct TransferStats {
   int net_streams_active = 0;
   std::uint64_t net_frame_errors = 0;
   std::uint64_t net_send_failures = 0;
+  // Frame coalescing effectiveness: chunks sent / gathered writes issued
+  // = average batch size.
+  std::uint64_t net_chunks_coalesced = 0;
+  std::uint64_t net_batch_writes = 0;
   // Payload free-list effectiveness (both backends).
   std::uint64_t payload_pool_hits = 0;
   std::uint64_t payload_pool_misses = 0;
+};
+
+/// The engine's staging buffer behind a one-branch seam: the lock-free ring
+/// queue (default) or the original mutex+condvar MpmcQueue baseline. Both
+/// share push/pop/try_pop/close semantics; size() is approximate (relaxed)
+/// on either path so stats polling never contends with workers.
+class StagingQueue {
+ public:
+  StagingQueue(std::size_t capacity, bool lock_free) {
+    if (lock_free)
+      ring_ = std::make_unique<MpmcRingQueue<Chunk>>(capacity);
+    else
+      mutex_ = std::make_unique<MpmcQueue<Chunk>>(capacity);
+  }
+
+  bool push(Chunk chunk) {
+    return ring_ ? ring_->push(std::move(chunk))
+                 : mutex_->push(std::move(chunk));
+  }
+
+  bool pop(Chunk& out) {
+    if (ring_) return ring_->pop(out);
+    auto v = mutex_->pop();
+    if (!v) return false;
+    out = std::move(*v);
+    return true;
+  }
+
+  bool try_pop(Chunk& out) {
+    if (ring_) return ring_->try_pop(out);
+    auto v = mutex_->try_pop();
+    if (!v) return false;
+    out = std::move(*v);
+    return true;
+  }
+
+  void close() { ring_ ? ring_->close() : mutex_->close(); }
+  std::size_t size() const { return ring_ ? ring_->size() : mutex_->size(); }
+  std::size_t capacity() const {
+    return ring_ ? ring_->capacity() : mutex_->capacity();
+  }
+  MpmcRingCounters counters() const {
+    return ring_ ? ring_->counters() : MpmcRingCounters{};
+  }
+
+ private:
+  std::unique_ptr<MpmcRingQueue<Chunk>> ring_;
+  std::unique_ptr<MpmcQueue<Chunk>> mutex_;
 };
 
 class TransferSession {
@@ -154,20 +234,28 @@ class TransferSession {
   bool wait_for_turn(Stage stage, int worker_id);
   void update_bucket_rates();
   bool start_tcp_backend();
+  /// Drain one blocking pop plus whatever is already staged, bounded by the
+  /// coalescing budget. Returns false iff the queue closed and drained.
+  bool pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
+                 std::uint64_t& total_bytes);
 
   EngineConfig config_;
   std::vector<double> file_sizes_;
   double total_bytes_ = 0.0;
   std::uint64_t total_chunks_ = 0;
 
-  // Chunk claiming (readers).
-  std::mutex claim_mutex_;
-  std::size_t claim_file_ = 0;
-  double claim_offset_ = 0.0;
+  // Chunk claiming (readers): one atomic ticket; file_first_chunk_[f] is the
+  // global index of file f's first chunk, so a ticket maps back to
+  // (file, offset) with a binary search — no claim mutex on the hot path.
+  std::atomic<std::uint64_t> claim_cursor_{0};
+  std::vector<std::uint64_t> file_first_chunk_;
+
+  // Batched-admission / coalescing bound, in chunks (>= 1).
+  std::size_t batch_chunks_ = 1;
 
   // Staging queues sized in chunks.
-  std::unique_ptr<MpmcQueue<Chunk>> sender_queue_;
-  std::unique_ptr<MpmcQueue<Chunk>> receiver_queue_;
+  std::unique_ptr<StagingQueue> sender_queue_;
+  std::unique_ptr<StagingQueue> receiver_queue_;
 
   // Chunk payload free-list: writers release verified payloads, readers
   // (or the Tcp receiver's decoders) acquire them back.

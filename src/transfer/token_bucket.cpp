@@ -9,7 +9,8 @@ TokenBucket::TokenBucket(double rate_bytes_per_s, double burst_bytes)
       burst_(burst_bytes > 0.0 ? burst_bytes
                                : std::max(rate_bytes_per_s * 0.25, 64.0 * 1024)),
       tokens_(burst_),
-      last_refill_(Clock::now()) {}
+      last_refill_(Clock::now()),
+      throttled_(rate_bytes_per_s > 0.0) {}
 
 void TokenBucket::refill_locked(Clock::time_point now) {
   const double dt = std::chrono::duration<double>(now - last_refill_).count();
@@ -17,13 +18,13 @@ void TokenBucket::refill_locked(Clock::time_point now) {
   if (rate_ > 0.0) tokens_ = std::min(burst_, tokens_ + rate_ * dt);
 }
 
-bool TokenBucket::acquire(double bytes) {
-  std::unique_lock lock(mutex_);
+bool TokenBucket::acquire_locked(double bytes) {
+  std::unique_lock lock(mutex_, std::adopt_lock);
   // A request larger than the burst could never be satisfied (tokens cap at
   // burst); widen the bucket so oversized chunks still flow at `rate_`.
   burst_ = std::max(burst_, bytes);
   for (;;) {
-    if (shutdown_) return false;
+    if (shutdown_.load(std::memory_order_relaxed)) return false;
     if (rate_ <= 0.0) return true;  // unlimited
     refill_locked(Clock::now());
     if (tokens_ >= bytes) {
@@ -38,9 +39,27 @@ bool TokenBucket::acquire(double bytes) {
   }
 }
 
+bool TokenBucket::acquire(double bytes) {
+  // Unthrottled fast path: two atomic loads, no mutex, no syscall.
+  if (!throttled_.load(std::memory_order_acquire))
+    return !shutdown_.load(std::memory_order_acquire);
+  mutex_.lock();
+  return acquire_locked(bytes);
+}
+
+bool TokenBucket::acquire_batch(double total_bytes, int grants) {
+  if (grants <= 0) return !shutdown_.load(std::memory_order_acquire);
+  if (!throttled_.load(std::memory_order_acquire))
+    return !shutdown_.load(std::memory_order_acquire);
+  mutex_.lock();
+  return acquire_locked(total_bytes);
+}
+
 bool TokenBucket::try_acquire(double bytes) {
+  if (!throttled_.load(std::memory_order_acquire))
+    return !shutdown_.load(std::memory_order_acquire);
   std::lock_guard lock(mutex_);
-  if (shutdown_) return false;
+  if (shutdown_.load(std::memory_order_relaxed)) return false;
   if (rate_ <= 0.0) return true;
   burst_ = std::max(burst_, bytes);
   refill_locked(Clock::now());
@@ -56,6 +75,7 @@ void TokenBucket::set_rate(double rate_bytes_per_s) {
     std::lock_guard lock(mutex_);
     refill_locked(Clock::now());
     rate_ = rate_bytes_per_s;
+    throttled_.store(rate_bytes_per_s > 0.0, std::memory_order_release);
   }
   cv_.notify_all();
 }
@@ -68,7 +88,7 @@ double TokenBucket::rate() const {
 void TokenBucket::shutdown() {
   {
     std::lock_guard lock(mutex_);
-    shutdown_ = true;
+    shutdown_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
 }

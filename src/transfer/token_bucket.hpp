@@ -4,8 +4,15 @@
 // workers at per-thread rate r and aggregate cap B refills at min(n*r, B)
 // bytes per second. acquire() blocks the calling worker until the bytes are
 // available, which is how a thread "takes d_task seconds" in real time.
+//
+// Hot-path contract: when the rate is unlimited (<= 0) — the common case for
+// every stage that is not the configured bottleneck — acquire()/try_acquire()
+// never touch the mutex: they read two atomics and return. acquire_batch()
+// amortizes one lock round-trip over a whole coalesced batch of chunk grants
+// when the stage *is* throttled.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -19,9 +26,16 @@ class TokenBucket {
 
   /// Block until `bytes` tokens are available, then consume them.
   /// Returns false if the bucket was shut down while waiting.
+  /// Lock-free when the rate is unlimited.
   bool acquire(double bytes);
 
-  /// Non-blocking variant.
+  /// One blocking admission of `total_bytes` covering `grants` chunk-sized
+  /// grants: semantically `grants` sequential acquires, but a single lock
+  /// round-trip (and none at all when unlimited). The burst widens to cover
+  /// the batch so oversized batches still flow at the configured rate.
+  bool acquire_batch(double total_bytes, int grants);
+
+  /// Non-blocking variant. Lock-free when the rate is unlimited.
   bool try_acquire(double bytes);
 
   /// Change the refill rate (e.g. after a concurrency update).
@@ -35,6 +49,7 @@ class TokenBucket {
   using Clock = std::chrono::steady_clock;
 
   void refill_locked(Clock::time_point now);
+  bool acquire_locked(double bytes);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -42,7 +57,12 @@ class TokenBucket {
   double burst_;
   double tokens_;
   Clock::time_point last_refill_;
-  bool shutdown_ = false;
+  // Mirrors of the mutex-guarded state for the lock-free fast path. Written
+  // under the mutex, read relaxed/acquire outside it: a worker that races a
+  // rate change may over-admit one chunk, which is within the throttle's
+  // tolerance (rates are continuous-time targets, not hard budgets).
+  std::atomic<bool> throttled_;
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace automdt::transfer

@@ -72,6 +72,74 @@ TEST(EngineStress, ConcurrentRetuningWhileTransferring) {
   EXPECT_EQ(s.stats().verify_failures, 0u);
 }
 
+TEST(EngineStress, ConcurrentRetuningWhileTransferringMutexBaseline) {
+  // The original mutex staging queues stay selectable (the hot-path bench's
+  // baseline); retuning under load must behave identically there.
+  EngineConfig cfg = tiny();
+  cfg.lock_free_staging = false;
+  TransferSession s(cfg, std::vector<double>(64, 128.0 * 1024));
+  s.start({1, 1, 1});
+  std::atomic<bool> done{false};
+  std::thread tuner([&] {
+    Rng rng(2);
+    while (!done.load()) {
+      s.set_concurrency({rng.uniform_int(1, 4), rng.uniform_int(1, 4),
+                         rng.uniform_int(1, 4)});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const bool finished = s.wait_finished(30.0);
+  done.store(true);
+  tuner.join();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(s.stats().verify_failures, 0u);
+}
+
+TEST(EngineStress, RingQueueStallCountersExported) {
+  // A tiny staging buffer forces producers to stall against consumers; the
+  // counters must surface that through stats() on the lock-free path.
+  EngineConfig cfg = tiny();
+  cfg.sender_buffer_bytes = 2.0 * cfg.chunk_bytes;
+  cfg.receiver_buffer_bytes = 2.0 * cfg.chunk_bytes;
+  TransferSession s(cfg, std::vector<double>(128, 64.0 * 1024));
+  s.start({4, 1, 1});
+  ASSERT_TRUE(s.wait_finished(30.0));
+  const TransferStats stats = s.stats();
+  const auto& snd = stats.sender_queue_counters;
+  const auto& rcv = stats.receiver_queue_counters;
+  EXPECT_GT(snd.push_stalls + snd.pop_stalls + rcv.push_stalls +
+                rcv.pop_stalls,
+            0u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+}
+
+TEST(EngineStress, LockFreeAndMutexBaselineAgreeOnFinalCounters) {
+  const std::vector<double> files(32, 96.0 * 1024);
+  EngineConfig ring_cfg = tiny();
+  EngineConfig mutex_cfg = tiny();
+  mutex_cfg.lock_free_staging = false;
+
+  TransferSession ring_session(ring_cfg, files);
+  ring_session.start({3, 3, 3});
+  ASSERT_TRUE(ring_session.wait_finished(30.0));
+
+  TransferSession mutex_session(mutex_cfg, files);
+  mutex_session.start({3, 3, 3});
+  ASSERT_TRUE(mutex_session.wait_finished(30.0));
+
+  const TransferStats a = ring_session.stats();
+  const TransferStats b = mutex_session.stats();
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.chunks_written, b.chunks_written);
+  EXPECT_EQ(a.verify_failures, 0u);
+  EXPECT_EQ(b.verify_failures, 0u);
+  // The mutex baseline has no ring, so its counters must be all-zero.
+  EXPECT_EQ(b.sender_queue_counters.push_parks, 0u);
+  EXPECT_EQ(b.receiver_queue_counters.pop_parks, 0u);
+}
+
 TEST(EngineStress, SingleByteFiles) {
   TransferSession s(tiny(), std::vector<double>(32, 1.0));
   s.start({2, 2, 2});

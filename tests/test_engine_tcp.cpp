@@ -134,6 +134,72 @@ TEST(TcpBackend, HeaderOnlyChunksTraverseWithoutPayloads) {
   EXPECT_EQ(stats.net_frame_errors, 0u);
 }
 
+TEST(TcpBackend, RetuneUnderLoadCompletesAndVerifies) {
+  // set_concurrency hammered while chunks traverse real sockets: the
+  // transfer must still complete with every checksum intact and the stream
+  // gauges must end consistent.
+  EngineConfig config = tcp_config();
+  TransferSession session(config, dataset(48, 256.0 * 1024));
+  session.start({1, 1, 1});
+  std::atomic<bool> done{false};
+  std::thread tuner([&] {
+    int i = 0;
+    while (!done.load()) {
+      session.set_concurrency({1 + i % 4, 1 + (i / 2) % 4, 1 + (i / 3) % 4});
+      ++i;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const bool finished = session.wait_finished(60.0);
+  done.store(true);
+  tuner.join();
+  ASSERT_TRUE(finished);
+  const TransferStats stats = session.stats();
+  EXPECT_EQ(stats.bytes_written, session.total_bytes());
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.net_frame_errors, 0u);
+}
+
+TEST(TcpBackend, CoalescesFramesIntoGatheredWrites) {
+  // Throttle the writers so chunks pool in the sender queue; network
+  // workers must then drain several per gathered write.
+  EngineConfig config = tcp_config();
+  config.write.aggregate_bytes_per_s = 4.0 * 1024 * 1024;
+  TransferSession session(config, dataset(32, 256.0 * 1024));  // 8 MiB
+  session.start({4, 2, 1});
+  ASSERT_TRUE(session.wait_finished(60.0));
+  const TransferStats stats = session.stats();
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.net_frame_errors, 0u);
+  ASSERT_GT(stats.net_batch_writes, 0u);
+  EXPECT_EQ(stats.net_chunks_coalesced, 128u);  // every chunk went through
+  // Average batch > 1 chunk: coalescing actually happened.
+  EXPECT_LT(stats.net_batch_writes, stats.net_chunks_coalesced);
+}
+
+TEST(TcpBackend, CoalescingDisabledStillCompletes) {
+  EngineConfig config = tcp_config();
+  config.tcp.max_coalesced_bytes = 0;  // one chunk per write
+  TransferSession session(config, dataset(8, 256.0 * 1024));
+  session.start({2, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  const TransferStats stats = session.stats();
+  EXPECT_EQ(stats.bytes_written, session.total_bytes());
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.net_chunks_coalesced, stats.net_batch_writes);
+}
+
+TEST(TcpBackend, SocketBufferAndNodelayOptionsApply) {
+  EngineConfig config = tcp_config();
+  config.tcp.send_buffer_bytes = 256 * 1024;
+  config.tcp.recv_buffer_bytes = 256 * 1024;
+  config.tcp.no_delay = true;
+  TransferSession session(config, dataset(8, 256.0 * 1024));
+  session.start({2, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  EXPECT_EQ(session.stats().verify_failures, 0u);
+}
+
 TEST(TcpBackend, StopMidTransferJoinsCleanly) {
   EngineConfig config = tcp_config();
   config.network.aggregate_bytes_per_s = 1.0 * 1024 * 1024;

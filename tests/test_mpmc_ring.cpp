@@ -1,0 +1,213 @@
+// Semantics + stress coverage for the lock-free staging ring
+// (common/mpmc_ring.hpp): the blocking shell must match MpmcQueue's
+// push/try_push/pop/try_pop/close contract, and the ring must deliver every
+// item exactly once under multi-producer/multi-consumer contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_ring.hpp"
+
+namespace automdt {
+namespace {
+
+TEST(MpmcRing, CapacityRoundsUpToPowerOfTwo) {
+  MpmcRing<int> r3(3);
+  EXPECT_EQ(r3.capacity(), 4u);
+  MpmcRing<int> r4(4);
+  EXPECT_EQ(r4.capacity(), 4u);
+  MpmcRing<int> r1(1);
+  EXPECT_EQ(r1.capacity(), 2u);
+}
+
+TEST(MpmcRing, TryPushTryPopFifo) {
+  MpmcRing<int> r(4);
+  int v = 1;
+  EXPECT_TRUE(r.try_push(v));
+  v = 2;
+  EXPECT_TRUE(r.try_push(v));
+  EXPECT_EQ(r.size_approx(), 2u);
+  int out = 0;
+  EXPECT_TRUE(r.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(r.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(r.try_pop(out));
+}
+
+TEST(MpmcRing, TryPushFailsWhenFullAndLeavesItemIntact) {
+  MpmcRing<std::unique_ptr<int>> r(2);
+  auto a = std::make_unique<int>(1);
+  auto b = std::make_unique<int>(2);
+  auto c = std::make_unique<int>(3);
+  EXPECT_TRUE(r.try_push(a));
+  EXPECT_TRUE(r.try_push(b));
+  EXPECT_FALSE(r.try_push(c));
+  ASSERT_NE(c, nullptr);  // failed push must not consume the item
+  EXPECT_EQ(*c, 3);
+}
+
+TEST(MpmcRing, WrapsAroundManyLaps) {
+  MpmcRing<int> r(4);
+  for (int lap = 0; lap < 1000; ++lap) {
+    int v = lap;
+    ASSERT_TRUE(r.try_push(v));
+    int out = -1;
+    ASSERT_TRUE(r.try_pop(out));
+    ASSERT_EQ(out, lap);
+  }
+}
+
+TEST(MpmcRingQueue, FifoSingleThread) {
+  MpmcRingQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcRingQueue, TryPopOnEmpty) {
+  MpmcRingQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcRingQueue, CloseWhileEmptyDrainsImmediately) {
+  MpmcRingQueue<int> q(4);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcRingQueue, CloseDrainsThenReturnsNullopt) {
+  MpmcRingQueue<int> q(4);
+  q.push(7);
+  q.push(8);
+  q.close();
+  EXPECT_FALSE(q.push(9));  // rejected after close
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcRingQueue, CloseWhileFullWakesBlockedPusherAndDrains) {
+  MpmcRingQueue<int> q(2);  // rounds to capacity 2
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::thread blocked([&] { EXPECT_FALSE(q.push(3)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  blocked.join();
+  // Everything pushed before close() is still drainable.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcRingQueue, CloseWakesBlockedPopper) {
+  MpmcRingQueue<int> q(2);
+  std::thread t([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+}
+
+TEST(MpmcRingQueue, MoveOnlyPayload) {
+  MpmcRingQueue<std::unique_ptr<int>> q(2);
+  q.push(std::make_unique<int>(5));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+TEST(MpmcRingQueue, ParkCountersMoveUnderContention) {
+  MpmcRingQueue<int> q(2);  // tiny, so pushers stall constantly
+  std::thread producer([&] {
+    for (int i = 0; i < 5000; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  long long sum = 0;
+  int received = 0;
+  while (auto v = q.pop()) {
+    sum += *v;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 5000);
+  EXPECT_EQ(sum, 5000LL * 4999 / 2);
+  const MpmcRingCounters c = q.counters();
+  // With a 2-slot ring one side must have stalled at least once.
+  EXPECT_GT(c.push_stalls + c.pop_stalls, 0u);
+}
+
+TEST(MpmcRingQueue, StressAllItemsDeliveredExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr long long kTotal = kProducers * kPerProducer;
+  MpmcRingQueue<int> q(16);
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        sum.fetch_add(*v);
+        received.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  EXPECT_EQ(received.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+  for (long long i = 0; i < kTotal; ++i)
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+}
+
+TEST(MpmcRingQueue, StressMoveOnlyNoLeaksOrDoubleDelivery) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+  MpmcRingQueue<std::unique_ptr<int>> q(8);
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push(std::make_unique<int>(p * kPerProducer + i)));
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) sum.fetch_add(**v);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace automdt

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "common/checksum.hpp"
@@ -134,6 +135,135 @@ TEST(FrameSocketIo, ReaderReportsTruncationOnMidFrameEof) {
   FrameReader reader(b);
   Frame frame;
   EXPECT_EQ(reader.read(frame, 5.0), FrameError::kTruncated);
+}
+
+TEST(FrameSocketIo, ScatterBatchIsWireIdenticalToSequentialWrites) {
+  // A coalesced batch must put exactly the same bytes on the wire as N
+  // individual sends — the receiver has no batching awareness at all.
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head0 = pattern(28);
+  const auto head1 = pattern(28);
+  const auto body0 = pattern(512);
+  const auto body1 = pattern(64);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    const ScatterSegment segments[] = {
+        {head0.data(), head0.size(), body0.data(), body0.size()},
+        {head1.data(), head1.size(), body1.data(), body1.size()},
+        {head0.data(), head0.size(), nullptr, 0},  // header-only chunk
+    };
+    ASSERT_EQ(w.write_scatter_batch(FrameType::kChunk, segments, 3, 5.0),
+              SocketStatus::kOk);
+    a.shutdown_both();
+  });
+  FrameReader reader(b);  // plain reader: proves wire compatibility
+  Frame frame;
+  const std::vector<const std::vector<std::byte>*> heads = {&head0, &head1,
+                                                            &head0};
+  const std::vector<const std::vector<std::byte>*> bodies = {&body0, &body1,
+                                                             nullptr};
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone) << "frame " << i;
+    EXPECT_EQ(frame.type, FrameType::kChunk);
+    std::vector<std::byte> expected = *heads[i];
+    if (bodies[i])
+      expected.insert(expected.end(), bodies[i]->begin(), bodies[i]->end());
+    EXPECT_EQ(frame.payload, expected) << "frame " << i;
+  }
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+  writer.join();
+}
+
+TEST(FrameSocketIo, BufferedReaderDecodesBackToBackFramesFromOneRead) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  // Pre-encode several frames into one contiguous blob and push it with a
+  // single write so the reader's first recv picks up all of them.
+  std::vector<std::byte> blob;
+  const int kFrames = 5;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto encoded =
+        encode_frame({FrameType::kChunk, pattern(100 + 37 * i)});
+    blob.insert(blob.end(), encoded.begin(), encoded.end());
+  }
+  ASSERT_EQ(a.write_all(blob.data(), blob.size(), 5.0), SocketStatus::kOk);
+  a.shutdown_both();
+  BufferedFrameReader reader(b);
+  Frame frame;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone) << "frame " << i;
+    EXPECT_EQ(frame.payload, pattern(100 + 37 * i)) << "frame " << i;
+  }
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+}
+
+TEST(FrameSocketIo, BufferedReaderHandlesFramesSplitAcrossReads) {
+  // Dribble a multi-frame blob a few bytes at a time: the buffered reader
+  // must reassemble frames across arbitrarily misaligned recv boundaries.
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  std::vector<std::byte> blob;
+  for (const std::size_t size : {0ul, 300ul, 1ul, 4096ul}) {
+    const auto encoded = encode_frame({FrameType::kChunk, pattern(size)});
+    blob.insert(blob.end(), encoded.begin(), encoded.end());
+  }
+  std::thread writer([&] {
+    for (std::size_t off = 0; off < blob.size(); off += 7) {
+      const std::size_t n = std::min<std::size_t>(7, blob.size() - off);
+      ASSERT_EQ(a.write_all(blob.data() + off, n, 5.0), SocketStatus::kOk);
+    }
+    a.shutdown_both();
+  });
+  BufferedFrameReader reader(b);
+  Frame frame;
+  for (const std::size_t size : {0ul, 300ul, 1ul, 4096ul}) {
+    ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+    EXPECT_EQ(frame.payload, pattern(size));
+  }
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+  writer.join();
+}
+
+TEST(FrameSocketIo, BufferedReaderReportsTruncationOnMidFrameEof) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto encoded = encode_frame({FrameType::kChunk, pattern(256)});
+  ASSERT_EQ(a.write_all(encoded.data(), encoded.size() / 2, 5.0),
+            SocketStatus::kOk);
+  a.shutdown_both();
+  a.close();
+  BufferedFrameReader reader(b);
+  Frame frame;
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kTruncated);
+}
+
+TEST(FrameSocketIo, BufferedReaderRoundTripsScatterBatch) {
+  // The production pairing: coalesced gathered writes on one end, the
+  // buffered decoder on the other.
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head = pattern(28);
+  const auto body = pattern(2048);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    std::vector<ScatterSegment> segments(
+        16, ScatterSegment{head.data(), head.size(), body.data(), body.size()});
+    ASSERT_EQ(w.write_scatter_batch(FrameType::kChunk, segments.data(),
+                                    segments.size(), 5.0),
+              SocketStatus::kOk);
+    a.shutdown_both();
+  });
+  BufferedFrameReader reader(b);
+  Frame frame;
+  std::vector<std::byte> expected = head;
+  expected.insert(expected.end(), body.begin(), body.end());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone) << "frame " << i;
+    EXPECT_EQ(frame.payload, expected);
+  }
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+  writer.join();
 }
 
 TEST(WireChunkCodec, RoundTrips) {

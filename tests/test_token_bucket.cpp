@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "transfer/token_bucket.hpp"
 
@@ -79,6 +81,71 @@ TEST(TokenBucket, ConcurrentAcquirersShareRate) {
   const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
   EXPECT_DOUBLE_EQ(moved.load(), 40000.0);
   EXPECT_GT(dt, 0.1);  // 39 KB beyond burst at 200 KB/s
+}
+
+TEST(TokenBucket, UnlimitedFastPathIsCheapUnderContention) {
+  // The unlimited path must not serialize workers on the mutex: many
+  // threads hammering acquire() finish quickly even on one core.
+  TokenBucket b(0.0);
+  std::vector<std::thread> threads;
+  std::atomic<int> granted{0};
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 100000; ++j)
+        if (b.acquire(1e6)) granted.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(granted.load(), 400000);
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 2.0);
+}
+
+TEST(TokenBucket, UnlimitedFastPathRespectsShutdown) {
+  TokenBucket b(0.0);
+  EXPECT_TRUE(b.acquire(1.0));
+  b.shutdown();
+  EXPECT_FALSE(b.acquire(1.0));
+  EXPECT_FALSE(b.try_acquire(1.0));
+  EXPECT_FALSE(b.acquire_batch(1.0, 1));
+}
+
+TEST(TokenBucket, AcquireBatchMatchesSequentialRate) {
+  // 8 grants of 1 KB in one batch must pace like 8 sequential acquires.
+  TokenBucket b(100000.0, 1000.0);  // 100 KB/s, 1 KB burst
+  const auto t0 = Clock::now();
+  double moved = 0.0;
+  while (moved < 20000.0) {
+    ASSERT_TRUE(b.acquire_batch(8000.0, 8));
+    moved += 8000.0;
+  }
+  const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+  EXPECT_GT(dt, 0.12);
+  EXPECT_LT(dt, 0.6);
+}
+
+TEST(TokenBucket, AcquireBatchUnlimitedAndDegenerate) {
+  TokenBucket unlimited(0.0);
+  EXPECT_TRUE(unlimited.acquire_batch(1e9, 64));
+  EXPECT_TRUE(unlimited.acquire_batch(0.0, 0));  // empty batch is a no-op
+  TokenBucket limited(1000.0, 1000.0);
+  EXPECT_TRUE(limited.acquire_batch(0.0, 0));
+}
+
+TEST(TokenBucket, BatchShutdownWakesWaiter) {
+  TokenBucket b(1.0, 1.0);
+  std::thread waiter([&] { EXPECT_FALSE(b.acquire_batch(1e9, 4)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b.shutdown();
+  waiter.join();
+}
+
+TEST(TokenBucket, SetRateZeroEnablesFastPathLive) {
+  TokenBucket b(1.0, 1.0);  // glacial
+  b.set_rate(0.0);          // now unlimited: must never block again
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.acquire(1e9));
+  EXPECT_LT(std::chrono::duration<double>(Clock::now() - t0).count(), 0.5);
 }
 
 }  // namespace
