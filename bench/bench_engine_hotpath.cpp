@@ -11,6 +11,7 @@
 //
 // Numbers are machine-local overhead floors, not WAN claims; EXPERIMENTS.md
 // records the run together with the core count printed in the header.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string_view>
@@ -34,7 +35,8 @@ struct Result {
 };
 
 Result run_once(transfer::NetworkBackend backend, bool lock_free,
-                const Sweep& sweep, double total_mib) {
+                const Sweep& sweep, double total_mib,
+                std::uint32_t trace_sample_every = 0) {
   transfer::EngineConfig config;
   config.backend = backend;
   config.lock_free_staging = lock_free;
@@ -44,6 +46,7 @@ Result run_once(transfer::NetworkBackend backend, bool lock_free,
   config.receiver_buffer_bytes = 2.0 * kMiB;
   config.fill_payload = false;  // skip memset/checksum: isolate the hot path
   config.verify_payload = false;
+  config.telemetry.sample_every = trace_sample_every;
   const std::vector<double> files(32, total_mib * kMiB / 32.0);
 
   transfer::TransferSession session(config, files);
@@ -89,6 +92,41 @@ void run_point(transfer::NetworkBackend backend, const Sweep& sweep,
   }
 }
 
+// Telemetry overhead: the same hot-path point with chunk-lifecycle tracing
+// at 0% (sampler off), 1-in-100, and 100% sampling. The acceptance bar for
+// default settings (sampling 1/128 ~ 1%) is < 2% chunks/s regression vs
+// sampling off; the compiled-out floor needs a -DAUTOMDT_TELEMETRY=OFF
+// build of this same binary (EXPERIMENTS.md records both).
+void run_telemetry_overhead(double total_mib) {
+  std::printf("telemetry overhead, in-process <2,2,2> "
+              "(trace spans compiled %s):\n",
+              telemetry::kTraceCompiledIn ? "in" : "out");
+  const Sweep sweep{2, 2, 2};
+  struct Point {
+    const char* label;
+    std::uint32_t every;
+  };
+  const Point points[] = {{"off (0%)", 0}, {"1-in-100", 100}, {"all (100%)", 1}};
+  double baseline = 0.0;
+  for (const Point& p : points) {
+    // Median of 3: single runs of this bench jitter a few percent, which
+    // would drown the effect being measured.
+    double runs[3];
+    for (double& r : runs)
+      r = run_once(transfer::NetworkBackend::kInProcess, /*lock_free=*/true,
+                   sweep, total_mib, p.every)
+              .chunks_per_s;
+    std::sort(std::begin(runs), std::end(runs));
+    const double chunks_per_s = runs[1];
+    if (p.every == 0) baseline = chunks_per_s;
+    const double delta =
+        baseline > 0.0 ? (chunks_per_s / baseline - 1.0) * 100.0 : 0.0;
+    std::printf("  sampling %-10s %8.0f ck/s  (%+.1f%% vs off)\n", p.label,
+                chunks_per_s, delta);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,5 +151,6 @@ int main(int argc, char** argv) {
     for (const Sweep& sweep : sweeps) run_point(backend, sweep, total_mib);
     std::printf("\n");
   }
+  run_telemetry_overhead(total_mib);
   return 0;
 }

@@ -76,6 +76,9 @@ AutoMdt AutoMdt::train_on_scenario(const sim::SimScenario& scenario,
                                               config.ppo);
   out.training_scale_ = env.observation_scale();
   out.r_max_ = scenario.theoretical_max_reward();
+  if (config.telemetry_registry)
+    out.agent_->set_telemetry(config.telemetry_registry,
+                              config.telemetry_recorder);
 
   // §IV-E: PPO training with the R_max-based convergence criterion.
   // num_envs > 1 selects the vectorized collector: N simulator instances of

@@ -42,6 +42,13 @@ struct PipelineConfig {
   UtilityParams utility{};
   int max_threads = 30;
   std::uint64_t seed = 1234;
+  /// Optional training telemetry: when `telemetry_registry` is set the PPO
+  /// agent publishes per-update diagnostics (ppo.approx_kl,
+  /// ppo.clip_fraction, ppo.entropy, ppo.episode_reward) into it; when
+  /// `telemetry_recorder` is also set, one recorder row lands per network
+  /// update (`automdt train --telemetry-csv`). Both must outlive training.
+  telemetry::MetricsRegistry* telemetry_registry = nullptr;
+  telemetry::TimeSeriesRecorder* telemetry_recorder = nullptr;
 };
 
 /// Everything the offline pipeline produced, for reporting and benches.

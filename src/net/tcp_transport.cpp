@@ -16,7 +16,15 @@ enum class RpcTag : std::uint8_t {
   kConcurrencyUpdate = 3,
   kThroughputReport = 4,
   kShutdown = 5,
+  kStatsSnapshotRequest = 6,
+  kStatsSnapshotResponse = 7,
 };
+
+// Decode-side sanity bounds for kStatsSnapshotResponse: a registry dump is
+// a few dozen metrics with short dotted names; anything past these limits is
+// a corrupt or hostile frame, not a bigger registry.
+constexpr std::uint32_t kMaxSnapshotMetrics = 16 * 1024;
+constexpr std::uint32_t kMaxMetricNameBytes = 512;
 
 }  // namespace
 
@@ -51,6 +59,25 @@ void encode_rpc_message(const transfer::RpcMessage& message,
           wire::put_f64(out, m.throughput_mbps.network);
           wire::put_f64(out, m.throughput_mbps.write);
           wire::put_f64(out, m.interval_s);
+        } else if constexpr (std::is_same_v<T, transfer::StatsSnapshotRequest>) {
+          wire::put_u8(out, static_cast<std::uint8_t>(
+                                RpcTag::kStatsSnapshotRequest));
+          wire::put_u64(out, m.request_id);
+        } else if constexpr (std::is_same_v<T,
+                                            transfer::StatsSnapshotResponse>) {
+          wire::put_u8(out, static_cast<std::uint8_t>(
+                                RpcTag::kStatsSnapshotResponse));
+          wire::put_u64(out, m.request_id);
+          wire::put_u64(out, m.generation);
+          wire::put_f64(out, m.uptime_s);
+          wire::put_u32(out, static_cast<std::uint32_t>(m.metrics.size()));
+          for (const transfer::MetricValue& metric : m.metrics) {
+            wire::put_u32(out,
+                          static_cast<std::uint32_t>(metric.name.size()));
+            for (const char c : metric.name)
+              wire::put_u8(out, static_cast<std::uint8_t>(c));
+            wire::put_f64(out, metric.value);
+          }
         } else {
           static_assert(std::is_same_v<T, transfer::Shutdown>);
           wire::put_u8(out, static_cast<std::uint8_t>(RpcTag::kShutdown));
@@ -95,6 +122,35 @@ std::optional<transfer::RpcMessage> decode_rpc_message(const std::byte* data,
       m.throughput_mbps.network = r.f64();
       m.throughput_mbps.write = r.f64();
       m.interval_s = r.f64();
+      return m;
+    }
+    case RpcTag::kStatsSnapshotRequest: {
+      if (r.remaining() < 8) return std::nullopt;
+      transfer::StatsSnapshotRequest m;
+      m.request_id = r.u64();
+      return m;
+    }
+    case RpcTag::kStatsSnapshotResponse: {
+      if (r.remaining() < 8 + 8 + 8 + 4) return std::nullopt;
+      transfer::StatsSnapshotResponse m;
+      m.request_id = r.u64();
+      m.generation = r.u64();
+      m.uptime_s = r.f64();
+      const std::uint32_t n = r.u32();
+      if (n > kMaxSnapshotMetrics) return std::nullopt;
+      m.metrics.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (r.remaining() < 4) return std::nullopt;
+        const std::uint32_t len = r.u32();
+        if (len > kMaxMetricNameBytes || r.remaining() < len + 8)
+          return std::nullopt;
+        transfer::MetricValue metric;
+        metric.name.resize(len);
+        for (std::uint32_t j = 0; j < len; ++j)
+          metric.name[j] = static_cast<char>(r.u8());
+        metric.value = r.f64();
+        m.metrics.push_back(std::move(metric));
+      }
       return m;
     }
     case RpcTag::kShutdown:

@@ -1,11 +1,47 @@
 #include "probe/probe_log.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "telemetry/recorder.hpp"
 
 namespace automdt::probe {
 
 void ProbeLog::write_csv(std::ostream& os) const {
+  // Replay the log through the shared telemetry exporter: gauges registered
+  // in the legacy column order, one sample_at() per probe row. Recorder CSV
+  // prints doubles with the same default ostream formatting the original
+  // formatter used, so the output is byte-identical (see write_csv_legacy).
+  if (samples_.empty()) {
+    // Recorder columns come from recorded rows; with none, only the legacy
+    // formatter knows the schema.
+    write_csv_legacy(os);
+    return;
+  }
+  telemetry::MetricsRegistry registry;
+  telemetry::Gauge* n_read = registry.gauge("n_read");
+  telemetry::Gauge* n_network = registry.gauge("n_network");
+  telemetry::Gauge* n_write = registry.gauge("n_write");
+  telemetry::Gauge* t_read = registry.gauge("t_read_mbps");
+  telemetry::Gauge* t_network = registry.gauge("t_network_mbps");
+  telemetry::Gauge* t_write = registry.gauge("t_write_mbps");
+  telemetry::RecorderConfig config;
+  config.capacity = std::max<std::size_t>(samples_.size(), 1);
+  telemetry::TimeSeriesRecorder recorder(registry, config);
+  for (const auto& s : samples_) {
+    n_read->set(s.threads.read);
+    n_network->set(s.threads.network);
+    n_write->set(s.threads.write);
+    t_read->set(s.throughput_mbps.read);
+    t_network->set(s.throughput_mbps.network);
+    t_write->set(s.throughput_mbps.write);
+    recorder.sample_at(s.time_s);
+  }
+  recorder.write_csv(os);
+}
+
+void ProbeLog::write_csv_legacy(std::ostream& os) const {
   os << "time_s,n_read,n_network,n_write,t_read_mbps,t_network_mbps,"
         "t_write_mbps\n";
   for (const auto& s : samples_) {

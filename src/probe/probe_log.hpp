@@ -26,7 +26,18 @@ class ProbeLog {
   bool empty() const { return samples_.empty(); }
   void clear() { samples_.clear(); }
 
+  /// CSV export with the long-standing probe schema
+  /// (`time_s,n_read,n_network,n_write,t_read_mbps,t_network_mbps,
+  /// t_write_mbps`). Since the telemetry subsystem landed this routes
+  /// through a TimeSeriesRecorder — the log is replayed into a throwaway
+  /// registry whose gauges are registered in exactly the legacy column
+  /// order — so probe logs, bench output, and monitor dumps share one
+  /// exporter. Byte-identical to write_csv_legacy().
   void write_csv(std::ostream& os) const;
+
+  /// The original hand-rolled formatter, kept as the compatibility oracle
+  /// (a test asserts write_csv() output is identical).
+  void write_csv_legacy(std::ostream& os) const;
 
  private:
   std::vector<ProbeSample> samples_;

@@ -59,6 +59,21 @@ PpoAgent::PpoAgent(std::size_t state_dim, int max_threads, PpoConfig config)
   optimizer_ = std::make_unique<nn::Adam>(std::move(params), adam);
 }
 
+void PpoAgent::set_telemetry(telemetry::MetricsRegistry* registry,
+                             telemetry::TimeSeriesRecorder* recorder) {
+  recorder_ = registry ? recorder : nullptr;
+  if (!registry) {
+    g_approx_kl_ = g_clip_fraction_ = g_entropy_ = g_episode_reward_ = nullptr;
+    c_updates_ = nullptr;
+    return;
+  }
+  g_episode_reward_ = registry->gauge("ppo.episode_reward");
+  g_approx_kl_ = registry->gauge("ppo.approx_kl");
+  g_clip_fraction_ = registry->gauge("ppo.clip_fraction");
+  g_entropy_ = registry->gauge("ppo.entropy");
+  c_updates_ = registry->counter("ppo.updates");
+}
+
 TrainResult PpoAgent::train(Env& env, double r_max,
                             const EpisodeCallback& on_episode) {
   return run_training(env, r_max, config_.max_episodes,
@@ -113,13 +128,18 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
     }
     memory.end_episode();
 
+    const double episode_reward =
+        steps > 0 ? reward_sum / static_cast<double>(steps) : 0.0;
+    if (g_episode_reward_) g_episode_reward_->set(episode_reward);
+
     if ((episode + 1) % batch == 0) {
       update_networks(memory);
       memory.clear();
+      // One training-series row per update, stamped with the episode index
+      // (virtual time) rather than wall time.
+      if (recorder_) recorder_->sample_at(static_cast<double>(episode));
     }
 
-    const double episode_reward =
-        steps > 0 ? reward_sum / static_cast<double>(steps) : 0.0;
     result.episode_rewards.push_back(episode_reward);
     ++result.episodes_run;
 
@@ -174,10 +194,13 @@ TrainResult PpoAgent::run_training_vec(VecEnv& envs, double r_max,
         collect_episodes(envs, *policy_, config_.steps_per_episode, r_max,
                          max_threads_, pool, memory);
     pending_episodes += static_cast<int>(round_rewards.size());
+    if (!round_rewards.empty() && g_episode_reward_)
+      g_episode_reward_->set(round_rewards.back());
     if (pending_episodes >= batch) {
       update_networks(memory);
       memory.clear();
       pending_episodes = 0;
+      if (recorder_) recorder_->sample_at(static_cast<double>(episode));
     }
 
     // Episode bookkeeping in env order, so results depend only on
@@ -269,10 +292,32 @@ void PpoAgent::update_networks(const RolloutMemory& memory) {
         add(actor_loss, sub(scale(critic_loss, config_.critic_coef),
                             scale(entropy, config_.entropy_coef)));
 
+    // Update diagnostics (published every epoch; the last epoch's values
+    // stand): approx KL = E[log pi_old - log pi_new], clip fraction =
+    // P(|r_t - 1| > eps). Standard PPO health signals — a KL spike or a
+    // saturated clip fraction is how a diverging update shows up in the
+    // monitor before the reward curve does.
+    if (g_approx_kl_) {
+      const nn::Matrix& new_lp = new_log_probs.value();
+      const nn::Matrix& old_lp = old_log_probs.value();
+      const nn::Matrix& r = ratio.value();
+      double kl_sum = 0.0;
+      std::size_t clipped = 0;
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        kl_sum += old_lp.data()[i] - new_lp.data()[i];
+        if (std::abs(r.data()[i] - 1.0) > config_.clip_epsilon) ++clipped;
+      }
+      const double n = static_cast<double>(std::max<std::size_t>(r.size(), 1));
+      g_approx_kl_->set(kl_sum / n);
+      g_clip_fraction_->set(static_cast<double>(clipped) / n);
+      g_entropy_->set(entropy.value()(0, 0));
+    }
+
     optimizer_->zero_grad();
     loss.backward();
     optimizer_->step();
   }
+  if (c_updates_) c_updates_->add();
 }
 
 ConcurrencyTuple PpoAgent::act(const std::vector<double>& state, Rng& rng,

@@ -19,6 +19,8 @@
 #include "rl/networks.hpp"
 #include "rl/ppo_config.hpp"
 #include "rl/rollout.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace automdt::rl {
 
@@ -67,6 +69,16 @@ class PpoAgent {
   TrainResult fine_tune(Env& env, double r_max, int episodes,
                         const EpisodeCallback& on_episode = nullptr);
 
+  /// Attach a telemetry sink: every network update publishes diagnostic
+  /// gauges (ppo.approx_kl, ppo.clip_fraction, ppo.entropy,
+  /// ppo.episode_reward, ppo.updates) into `registry`, and — if `recorder`
+  /// is non-null — takes one recorder sample per update, stamped with the
+  /// episode index (virtual time), yielding a per-update training series
+  /// exportable as CSV/JSON. Both pointers must outlive the agent; pass
+  /// nullptrs to detach.
+  void set_telemetry(telemetry::MetricsRegistry* registry,
+                     telemetry::TimeSeriesRecorder* recorder = nullptr);
+
   nn::StateDict state_dict();
   void load_state_dict(const nn::StateDict& state);
 
@@ -90,6 +102,14 @@ class PpoAgent {
   std::unique_ptr<PolicyNetwork> policy_;
   std::unique_ptr<ValueNetwork> value_;
   std::unique_ptr<nn::Adam> optimizer_;
+
+  // Optional telemetry sink (set_telemetry); null = no instrumentation.
+  telemetry::TimeSeriesRecorder* recorder_ = nullptr;
+  telemetry::Gauge* g_approx_kl_ = nullptr;
+  telemetry::Gauge* g_clip_fraction_ = nullptr;
+  telemetry::Gauge* g_entropy_ = nullptr;
+  telemetry::Gauge* g_episode_reward_ = nullptr;
+  telemetry::Counter* c_updates_ = nullptr;
 };
 
 // action_to_tuple (round-and-clamp a raw action row) lives in rollout.hpp,

@@ -1,0 +1,145 @@
+// Fixed-bucket log-linear histogram for latency/size distributions.
+//
+// Layout is HdrHistogram-style: values below 2^kSubBucketBits land in
+// exact single-value buckets; above that, each power-of-two range is split
+// into 2^kSubBucketBits linear sub-buckets, so relative error is bounded by
+// 2^-kSubBucketBits (~3%) at any magnitude, with no dynamic allocation and
+// no configuration. record() is one relaxed fetch_add into a fixed array
+// (plus count/sum bookkeeping), so concurrent writers never contend on a
+// lock — the property that lets the transfer engine record per-chunk
+// service times from every worker thread.
+//
+// Queries go through snapshot(): a relaxed copy of the bucket array that
+// percentile/max/mean are computed from, so a reader racing writers sees a
+// (possibly slightly stale) consistent-enough distribution, never a torn
+// quantile walk.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace automdt::telemetry {
+
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  // dense, indexed by bucket
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Value v such that at least p% of recorded values are <= v (upper edge
+  /// of the covering bucket; exact for values in the linear region).
+  /// p in [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double p) const;
+
+  /// Upper edge of the highest non-empty bucket (0 if empty).
+  std::uint64_t max_value() const;
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+class LogLinearHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBucketCount = 1ull << kSubBucketBits;
+  /// Linear region (2^B exact buckets) plus (64 - B) octaves of 2^B
+  /// sub-buckets each: covers the full uint64 range.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(64 - kSubBucketBits + 1) << kSubBucketBits;
+
+  LogLinearHistogram()
+      : counts_(std::make_unique<std::atomic<std::uint64_t>[]>(kBucketCount)) {
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+      counts_[i].store(0, std::memory_order_relaxed);
+  }
+
+  LogLinearHistogram(const LogLinearHistogram&) = delete;
+  LogLinearHistogram& operator=(const LogLinearHistogram&) = delete;
+
+  void record(std::uint64_t value) {
+    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.counts.resize(kBucketCount);
+    // count/sum sampled before the buckets so s.count never exceeds the sum
+    // of sampled bucket counts (percentile walks terminate).
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+      s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    for (std::size_t i = 0; i < kBucketCount; ++i)
+      counts_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Bucket that `value` is recorded into.
+  static std::size_t bucket_index(std::uint64_t value) {
+    if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);
+    const std::uint64_t sub =
+        (value >> (exponent - kSubBucketBits)) - kSubBucketCount;
+    return static_cast<std::size_t>(kSubBucketCount) +
+           (static_cast<std::size_t>(exponent - kSubBucketBits)
+            << kSubBucketBits) +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Smallest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower(std::size_t index) {
+    if (index < kSubBucketCount) return index;
+    const std::size_t group = (index - kSubBucketCount) >> kSubBucketBits;
+    const std::uint64_t sub = (index - kSubBucketCount) & (kSubBucketCount - 1);
+    return (kSubBucketCount + sub) << group;
+  }
+
+  /// Largest value mapping to bucket `index`.
+  static std::uint64_t bucket_upper(std::size_t index) {
+    if (index + 1 >= kBucketCount) return ~0ull;
+    return bucket_lower(index + 1) - 1;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+inline double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target && cumulative > 0)
+      return static_cast<double>(LogLinearHistogram::bucket_upper(i));
+  }
+  return static_cast<double>(max_value());
+}
+
+inline std::uint64_t HistogramSnapshot::max_value() const {
+  for (std::size_t i = counts.size(); i-- > 0;)
+    if (counts[i] > 0) return LogLinearHistogram::bucket_upper(i);
+  return 0;
+}
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,183 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace automdt::telemetry {
+
+double MetricsSnapshot::value_or(std::string_view name, double fallback) const {
+  for (const MetricSample& s : samples)
+    if (s.name == name) return s.value;
+  return fallback;
+}
+
+bool MetricsSnapshot::has(std::string_view name) const {
+  for (const MetricSample& s : samples)
+    if (s.name == name) return true;
+  return false;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON has no NaN/Inf literals; clamp to null-safe numbers.
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;
+    return;
+  }
+  // Integral values (the common case: counters) print without a fraction.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    os << buf;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"generation\":" << snapshot.generation << ",\"uptime_s\":";
+  write_json_number(os, snapshot.uptime_s);
+  os << ",\"metrics\":{";
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(s.name) << "\":";
+    write_json_number(os, s.value);
+  }
+  os << "}}";
+}
+
+MetricsRegistry::MetricsRegistry() : start_(Clock::now()) {}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(const std::string& name,
+                                                     Kind kind) {
+  for (Entry& e : entries_)
+    if (e.kind == kind && e.name == name) return &e;
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, Kind::kCounter); e && e->counter)
+    return e->counter;
+  Counter& c = counters_.emplace_back();
+  entries_.push_back({name, Kind::kCounter, &c, nullptr, nullptr, {}});
+  return &c;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, Kind::kGauge); e && e->gauge)
+    return e->gauge;
+  Gauge& g = gauges_.emplace_back();
+  entries_.push_back({name, Kind::kGauge, nullptr, &g, nullptr, {}});
+  return &g;
+}
+
+LogLinearHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name, Kind::kHistogram); e && e->histogram)
+    return e->histogram;
+  LogLinearHistogram& h = histograms_.emplace_back();
+  entries_.push_back({name, Kind::kHistogram, nullptr, nullptr, &h, {}});
+  return &h;
+}
+
+void MetricsRegistry::register_callback(const std::string& name,
+                                        std::function<double()> fn) {
+  std::lock_guard lock(mutex_);
+  for (Entry& e : entries_) {
+    if (e.name == name && e.kind == Kind::kCallback) {
+      e.callback = std::move(fn);
+      return;
+    }
+  }
+  entries_.push_back({name, Kind::kCallback, nullptr, nullptr, nullptr,
+                      std::move(fn)});
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.generation = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  snap.uptime_s =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  snap.samples.reserve(entries_.size() + histograms_.size() * 5);
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.samples.push_back(
+            {e.name, static_cast<double>(e.counter->value())});
+        break;
+      case Kind::kGauge:
+        snap.samples.push_back({e.name, e.gauge->value()});
+        break;
+      case Kind::kCallback:
+        snap.samples.push_back({e.name, e.callback ? e.callback() : 0.0});
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot h = e.histogram->snapshot();
+        snap.samples.push_back(
+            {e.name + ".count", static_cast<double>(h.count)});
+        snap.samples.push_back({e.name + ".mean", h.mean()});
+        snap.samples.push_back({e.name + ".p50", h.percentile(50.0)});
+        snap.samples.push_back({e.name + ".p90", h.percentile(90.0)});
+        snap.samples.push_back({e.name + ".p99", h.percentile(99.0)});
+        snap.samples.push_back(
+            {e.name + ".max", static_cast<double>(h.max_value())});
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (Counter& c : counters_) c.reset();
+  for (Gauge& g : gauges_) g.reset();
+  for (LogLinearHistogram& h : histograms_) h.reset();
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,155 @@
+// Metrics registry: named lock-free counters/gauges/histograms, sampled as
+// one consistent-enough snapshot.
+//
+// The paper's premise (§IV-A) is that the agent's online signal — per-stage
+// throughputs and buffer occupancies sampled every second — is cheap enough
+// to collect without perturbing the transfer. This registry is that
+// telemetry plane made first-class:
+//
+//   Counter / Gauge        — one relaxed atomic each; add()/set() from any
+//                            worker thread costs a single uncontended RMW or
+//                            store, never a lock.
+//   LogLinearHistogram     — per-stage latency/size distributions
+//                            (histogram.hpp), registered by name like any
+//                            other metric; snapshots flatten them into
+//                            .count/.p50/.p90/.p99/.max/.mean samples.
+//   callbacks              — polled gauges for state owned elsewhere (queue
+//                            occupancy, stream counts); evaluated only at
+//                            snapshot time, so components export existing
+//                            atomics without restructuring.
+//
+// Memory model: registration takes the registry mutex (rare, cold);
+// recording touches only the metric's own relaxed atomics; snapshot() holds
+// the mutex against concurrent *registration* while it samples every metric
+// once, in registration order, and stamps the result with a monotonically
+// increasing generation. Registration order is therefore the tool for
+// cross-metric monotonicity: registering downstream counters before
+// upstream ones makes pipeline invariants (bytes_written <= bytes_sent <=
+// bytes_read) hold in every snapshot, because a later-sampled monotone
+// counter can only be larger. The transfer engine leans on exactly this to
+// fix TransferStats snapshot tearing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+
+namespace automdt::telemetry {
+
+/// Monotone event counter. add() returns the post-add value so callers that
+/// gate on "this was the N-th event" (e.g. last-chunk detection) need no
+/// second load.
+class Counter {
+ public:
+  std::uint64_t add(std::uint64_t n = 1) {
+    return value_.fetch_add(n, std::memory_order_relaxed) + n;
+  }
+  void sub(std::uint64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (double payload).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One pass over every registered metric. `generation` increases by one per
+/// snapshot taken from the same registry, so consumers (TransferStats, the
+/// kStatsSnapshot RPC) can order and dedupe dumps.
+struct MetricsSnapshot {
+  std::uint64_t generation = 0;
+  double uptime_s = 0.0;  // seconds since the registry was created
+  std::vector<MetricSample> samples;
+
+  double value_or(std::string_view name, double fallback = 0.0) const;
+  bool has(std::string_view name) const;
+};
+
+/// Escape for JSON string literals (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// `{"generation":N,"uptime_s":T,"metrics":{"name":value,...}}`
+void write_snapshot_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. Returned pointers are stable for the registry's
+  /// lifetime; registering the same name twice returns the same metric.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LogLinearHistogram* histogram(const std::string& name);
+
+  /// Polled gauge: `fn` runs at snapshot time (keep it cheap and
+  /// thread-safe). Re-registering a name replaces the callback.
+  void register_callback(const std::string& name, std::function<double()> fn);
+
+  /// Sample every metric once, in registration order.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every owned counter/gauge/histogram (callbacks are untouched).
+  void reset();
+
+  std::size_t metric_count() const;
+
+  /// Process-wide default instance (trainer, ad-hoc instrumentation).
+  /// Components with a natural owner (one TransferSession) use their own.
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Entry {
+    std::string name;
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    LogLinearHistogram* histogram = nullptr;
+    std::function<double()> callback;
+  };
+
+  Entry* find_locked(const std::string& name, Kind kind);
+
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mutex_;
+  // Deques: stable element addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LogLinearHistogram> histograms_;
+  std::vector<Entry> entries_;  // registration order
+  mutable std::atomic<std::uint64_t> generation_{0};
+  Clock::time_point start_;
+};
+
+}  // namespace automdt::telemetry

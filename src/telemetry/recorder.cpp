@@ -1,0 +1,154 @@
+#include "telemetry/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace automdt::telemetry {
+
+TimeSeriesRecorder::TimeSeriesRecorder(MetricsRegistry& registry,
+                                       RecorderConfig config)
+    : registry_(registry), config_(config), start_(Clock::now()) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.interval_s <= 0.0) config_.interval_s = 1.0;
+  ring_.resize(config_.capacity);
+}
+
+TimeSeriesRecorder::~TimeSeriesRecorder() { stop(); }
+
+void TimeSeriesRecorder::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  start_ = Clock::now();
+  sampler_ = std::thread([this] { run(); });
+}
+
+void TimeSeriesRecorder::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void TimeSeriesRecorder::run() {
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.interval_s));
+  auto next_tick = start_ + interval;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait_until(lock, next_tick, [&] { return !running_; });
+      if (!running_) return;
+    }
+    // Sample outside the lock: the registry snapshot runs callbacks.
+    sample_now();
+    next_tick += interval;
+    // If sampling fell behind (debugger, suspended VM), re-anchor instead of
+    // firing a burst of stale rows.
+    const auto now = Clock::now();
+    if (next_tick < now) next_tick = now + interval;
+  }
+}
+
+void TimeSeriesRecorder::sample_now() {
+  sample_at(std::chrono::duration<double>(Clock::now() - start_).count());
+}
+
+void TimeSeriesRecorder::sample_at(double time_s) {
+  Row row;
+  row.time_s = time_s;
+  row.samples = registry_.snapshot().samples;
+  push_row(std::move(row));
+}
+
+void TimeSeriesRecorder::push_row(Row row) {
+  std::lock_guard lock(mutex_);
+  ring_[next_] = std::move(row);
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  ++total_;
+}
+
+std::size_t TimeSeriesRecorder::rows() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+std::uint64_t TimeSeriesRecorder::total_samples() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+std::vector<TimeSeriesRecorder::Row> TimeSeriesRecorder::series() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Row> out;
+  out.reserve(count_);
+  // Oldest row first: when full, the slot about to be overwritten is oldest.
+  const std::size_t first = count_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  return out;
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& os) const {
+  const std::vector<Row> series_copy = series();
+  // Columns: union of metric names, in first-appearance order.
+  std::vector<std::string> columns;
+  for (const Row& row : series_copy) {
+    for (const MetricSample& s : row.samples) {
+      if (std::find(columns.begin(), columns.end(), s.name) == columns.end())
+        columns.push_back(s.name);
+    }
+  }
+  os << "time_s";
+  for (const std::string& c : columns) os << ',' << c;
+  os << '\n';
+  for (const Row& row : series_copy) {
+    os << row.time_s;
+    for (const std::string& c : columns) {
+      os << ',';
+      for (const MetricSample& s : row.samples) {
+        if (s.name == c) {
+          os << s.value;
+          break;
+        }
+      }
+    }
+    os << '\n';
+  }
+}
+
+void TimeSeriesRecorder::write_json(std::ostream& os) const {
+  const std::vector<Row> series_copy = series();
+  os << "{\"interval_s\":" << config_.interval_s << ",\"rows\":[";
+  bool first_row = true;
+  for (const Row& row : series_copy) {
+    if (!first_row) os << ',';
+    first_row = false;
+    os << "{\"time_s\":" << row.time_s << ",\"metrics\":{";
+    bool first = true;
+    for (const MetricSample& s : row.samples) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(s.name) << "\":";
+      if (std::isfinite(s.value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", s.value);
+        os << buf;
+      } else {
+        os << 0;
+      }
+    }
+    os << "}}";
+  }
+  os << "]}";
+}
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,98 @@
+// TimeSeriesRecorder: periodic registry snapshots into an in-memory ring.
+//
+// The paper logs ⟨thread counts, per-stage throughputs⟩ once per second
+// (§IV-A) and tunes from that series; this recorder generalizes the habit to
+// every registered metric. start() samples at a configurable cadence
+// (default 1 s, the paper's logging interval) from a background thread;
+// sample_now()/sample_at() drive it manually (probe replay, per-update PPO
+// series, tests). Rows land in a fixed-capacity ring — a day of 1 Hz samples
+// is bounded memory, and a monitor that shows the last N minutes never cares
+// about more.
+//
+// Exports: CSV (one column per metric, in registration order — the shared
+// schema for probe logs, bench output, and monitor dumps) and JSON (rows of
+// {"time_s":..., "metrics":{...}}).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+
+struct RecorderConfig {
+  double interval_s = 1.0;      // paper §IV-A logging cadence
+  std::size_t capacity = 600;   // ring rows (paper: one 10-minute probe run)
+};
+
+class TimeSeriesRecorder {
+ public:
+  struct Row {
+    double time_s = 0.0;
+    std::vector<MetricSample> samples;
+  };
+
+  explicit TimeSeriesRecorder(MetricsRegistry& registry,
+                              RecorderConfig config = {});
+  ~TimeSeriesRecorder();
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Begin background sampling every interval_s. Idempotent.
+  void start();
+
+  /// Stop the background thread (rows are kept). Idempotent; run by ~.
+  void stop();
+
+  /// Take one sample now, stamped with seconds since construction/start.
+  void sample_now();
+
+  /// Take one sample with an explicit timestamp (virtual-time callers:
+  /// probe replay, per-update training series).
+  void sample_at(double time_s);
+
+  /// Rows currently held (<= capacity).
+  std::size_t rows() const;
+
+  /// Total samples ever taken, including rows the ring has overwritten.
+  std::uint64_t total_samples() const;
+
+  /// Copy of the ring, oldest row first.
+  std::vector<Row> series() const;
+
+  /// `time_s,<metric>,...` — columns in first-appearance (registration)
+  /// order; a metric registered after earlier rows gets empty cells there.
+  void write_csv(std::ostream& os) const;
+
+  /// `{"interval_s":...,"rows":[{"time_s":...,"metrics":{...}},...]}`
+  void write_json(std::ostream& os) const;
+
+  const RecorderConfig& config() const { return config_; }
+
+ private:
+  void run();
+  void push_row(Row row);
+
+  using Clock = std::chrono::steady_clock;
+
+  MetricsRegistry& registry_;
+  RecorderConfig config_;
+  Clock::time_point start_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Row> ring_;       // capacity slots, circular
+  std::size_t next_ = 0;        // ring write position
+  std::size_t count_ = 0;       // filled slots (<= capacity)
+  std::uint64_t total_ = 0;
+  bool running_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,125 @@
+#include "telemetry/stats_server.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace automdt::telemetry {
+
+transfer::StatsSnapshotResponse snapshot_to_message(
+    const MetricsSnapshot& snapshot, std::uint64_t request_id) {
+  transfer::StatsSnapshotResponse message;
+  message.request_id = request_id;
+  message.generation = snapshot.generation;
+  message.uptime_s = snapshot.uptime_s;
+  message.metrics.reserve(snapshot.samples.size());
+  for (const MetricSample& sample : snapshot.samples)
+    message.metrics.push_back({sample.name, sample.value});
+  return message;
+}
+
+MetricsSnapshot message_to_snapshot(
+    const transfer::StatsSnapshotResponse& message) {
+  MetricsSnapshot snapshot;
+  snapshot.generation = message.generation;
+  snapshot.uptime_s = message.uptime_s;
+  snapshot.samples.reserve(message.metrics.size());
+  for (const transfer::MetricValue& metric : message.metrics)
+    snapshot.samples.push_back({metric.name, metric.value});
+  return snapshot;
+}
+
+StatsServer::StatsServer(StatsServerConfig config, SnapshotFn source)
+    : config_(std::move(config)), source_(std::move(source)) {}
+
+StatsServer::~StatsServer() { stop(); }
+
+bool StatsServer::start() {
+  if (started_) return true;
+  listener_ = net::Listener::open(config_.host, config_.port);
+  if (!listener_) return false;
+  port_ = listener_->port();
+  started_ = true;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void StatsServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto socket = listener_->accept(config_.accept_poll_s);
+    if (!socket) continue;  // timeout poll, or woken by stop()
+    auto transport = net::TcpTransport::adopt(std::move(*socket));
+    if (!transport) continue;
+    accepted_.fetch_add(1);
+    net::TcpTransport* raw = transport.get();
+    {
+      std::lock_guard lock(connections_mutex_);
+      if (stopping_.load()) return;  // stop() won the race; it joins us next
+      connections_.push_back(std::move(transport));
+      handlers_.emplace_back([this, raw] { serve_connection(raw); });
+    }
+  }
+}
+
+void StatsServer::serve_connection(net::TcpTransport* transport) {
+  // receive() blocks until a message arrives or stop()/peer-close wakes it.
+  while (auto message = transport->receive()) {
+    const auto* request = std::get_if<transfer::StatsSnapshotRequest>(&*message);
+    if (!request) continue;  // only snapshot requests are served here
+    transport->send(snapshot_to_message(source_(), request->request_id));
+    requests_.fetch_add(1);
+  }
+}
+
+void StatsServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  listener_->shutdown();  // wakes a blocked accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<net::TcpTransport>> connections;
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+    handlers.swap(handlers_);
+  }
+  for (auto& transport : connections) transport->close();  // wakes receive()
+  for (auto& handler : handlers)
+    if (handler.joinable()) handler.join();
+  listener_->close();
+  listener_.reset();
+  started_ = false;
+}
+
+std::unique_ptr<StatsClient> StatsClient::connect(
+    const std::string& host, std::uint16_t port,
+    const net::ConnectorConfig& connector) {
+  auto transport = net::TcpTransport::connect(host, port, connector);
+  if (!transport) return nullptr;
+  return std::unique_ptr<StatsClient>(new StatsClient(std::move(transport)));
+}
+
+std::optional<transfer::StatsSnapshotResponse> StatsClient::poll(
+    double timeout_s) {
+  if (!transport_ || !transport_->connected()) return std::nullopt;
+  const std::uint64_t id = next_request_id_++;
+  transport_->send(transfer::StatsSnapshotRequest{id});
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  // try_receive + sleep rather than blocking receive(): a dead server must
+  // not wedge `automdt monitor --once` past its timeout.
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto message = transport_->try_receive()) {
+      auto* response = std::get_if<transfer::StatsSnapshotResponse>(&*message);
+      if (response && response->request_id == id) return std::move(*response);
+      continue;  // stale response or unrelated control traffic: keep draining
+    }
+    if (!transport_->connected()) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return std::nullopt;
+}
+
+}  // namespace automdt::telemetry

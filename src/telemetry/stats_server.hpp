@@ -1,0 +1,107 @@
+// Live monitoring endpoint: the kStatsSnapshot RPC served over TCP.
+//
+// StatsServer listens on a control port and answers StatsSnapshotRequest
+// messages with a registry dump, using the same TcpTransport framing as the
+// DtnPair control channel — a monitor speaks one protocol whether it asks
+// the receiver agent mid-transfer or a standalone telemetry port. The
+// snapshot source is a callback so the server never holds a reference into
+// engine internals: `automdt serve` points it at whichever TransferSession
+// is currently live.
+//
+// StatsClient is the other end: connect, poll(), get a snapshot or time
+// out. `automdt monitor` renders its polls at 1 Hz — the same observation
+// vector the agent consumes, now visible to a human.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"
+#include "telemetry/metrics.hpp"
+#include "transfer/rpc_messages.hpp"
+
+namespace automdt::telemetry {
+
+/// Flatten a registry snapshot into the wire message (and back).
+transfer::StatsSnapshotResponse snapshot_to_message(
+    const MetricsSnapshot& snapshot, std::uint64_t request_id);
+MetricsSnapshot message_to_snapshot(
+    const transfer::StatsSnapshotResponse& message);
+
+struct StatsServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  double accept_poll_s = 0.2;
+};
+
+class StatsServer {
+ public:
+  using SnapshotFn = std::function<MetricsSnapshot()>;
+
+  /// `source` runs on server threads for every request; keep it thread-safe.
+  StatsServer(StatsServerConfig config, SnapshotFn source);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Bind, listen, and start accepting. False if the port is taken.
+  bool start();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, drop every connection, join all threads. Idempotent.
+  void stop();
+
+  std::uint64_t requests_served() const { return requests_.load(); }
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(net::TcpTransport* transport);
+
+  StatsServerConfig config_;
+  SnapshotFn source_;
+  std::optional<net::Listener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<net::TcpTransport>> connections_;
+  std::vector<std::thread> handlers_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+/// Client side of the monitoring endpoint.
+class StatsClient {
+ public:
+  static std::unique_ptr<StatsClient> connect(
+      const std::string& host, std::uint16_t port,
+      const net::ConnectorConfig& connector = {});
+
+  /// One request/response round-trip. nullopt on timeout or closed channel.
+  std::optional<transfer::StatsSnapshotResponse> poll(double timeout_s);
+
+  bool connected() const { return transport_ && transport_->connected(); }
+
+ private:
+  explicit StatsClient(std::unique_ptr<net::TcpTransport> transport)
+      : transport_(std::move(transport)) {}
+
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace automdt::telemetry

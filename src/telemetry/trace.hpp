@@ -1,0 +1,79 @@
+// Chunk-lifecycle trace spans: sampling seam for hot-path instrumentation.
+//
+// The engine's per-chunk cost budget (DESIGN.md §9) leaves no room for a
+// clock read and histogram record on every chunk, so tracing is sampled
+// hdr-style: the reader stage asks the TraceSampler once per chunk (one
+// relaxed fetch_add when sampling is configured, a single relaxed load when
+// it is off) and stamps sampled chunks with a steady-clock timestamp carried
+// in the chunk header. Downstream stages only check "is the stamp non-zero"
+// and pay the clock+histogram cost for the sampled minority.
+//
+// Compile-time seam: configuring with -DAUTOMDT_TELEMETRY=OFF defines
+// AUTOMDT_TELEMETRY_DISABLED, which flips kTraceCompiledIn to false; every
+// trace block in the engine sits behind `if constexpr (kTraceCompiledIn)`,
+// so the compiled-out build carries zero per-chunk telemetry instructions —
+// the baseline bench_engine_hotpath's overhead table compares against.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+
+#if defined(AUTOMDT_TELEMETRY_DISABLED)
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+/// Steady-clock nanoseconds (monotonic within a process). 0 is reserved as
+/// "not sampled" in chunk headers; the clock cannot realistically return it.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// 1-in-N sampling decision shared by concurrent workers. `every` = 0 turns
+/// sampling off (one relaxed load per ask), 1 samples everything.
+class TraceSampler {
+ public:
+  explicit TraceSampler(std::uint32_t every = 0) : every_(every) {}
+
+  void set_every(std::uint32_t n) {
+    every_.store(n, std::memory_order_relaxed);
+  }
+  std::uint32_t every() const {
+    return every_.load(std::memory_order_relaxed);
+  }
+
+  bool should_sample() {
+    const std::uint32_t n = every_.load(std::memory_order_relaxed);
+    if (n == 0) return false;
+    if (n == 1) return true;
+    return counter_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> every_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+/// Non-negative span between two trace timestamps. steady_clock is
+/// monotonic, so end < start can only mean a programming error (timestamps
+/// from different epochs/processes); `skew` counts those instead of letting
+/// a wrapped uint64 poison a histogram.
+inline std::uint64_t span_ns(std::uint64_t start_ns, std::uint64_t end_ns,
+                             Counter* skew = nullptr) {
+  if (end_ns < start_ns) {
+    if (skew) skew->add();
+    return 0;
+  }
+  return end_ns - start_ns;
+}
+
+}  // namespace automdt::telemetry

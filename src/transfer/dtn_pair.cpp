@@ -5,6 +5,7 @@
 
 #include "net/socket.hpp"
 #include "net/tcp_transport.hpp"
+#include "telemetry/stats_server.hpp"
 
 namespace automdt::transfer {
 
@@ -88,6 +89,13 @@ void DtnPairEnv::start_receiver_agent() {
         // On a remote host this retunes the write pool; in-process the
         // session is shared, so the update is counted as applied.
         concurrency_updates_.fetch_add(1);
+      } else if (const auto* stats_req =
+                     std::get_if<StatsSnapshotRequest>(&*msg)) {
+        // kStatsSnapshot: live-monitoring dump of the session's full
+        // telemetry registry, answered over the same control channel.
+        const telemetry::MetricsSnapshot snap = session_->telemetry_snapshot();
+        receiver_endpoint_->send(
+            telemetry::snapshot_to_message(snap, stats_req->request_id));
       }
     }
   });
@@ -113,6 +121,31 @@ std::vector<double> DtnPairEnv::reset(Rng& rng) {
   return build_observation(scale_, last_action_, StageThroughputs{},
                            config_.engine.sender_buffer_bytes,
                            last_receiver_free_);
+}
+
+std::optional<StatsSnapshotResponse> DtnPairEnv::query_stats_snapshot(
+    double timeout_s) {
+  if (!sender_endpoint_ || !session_) return std::nullopt;
+  const std::uint64_t id = next_request_id_++;
+  sender_endpoint_->send(StatsSnapshotRequest{id});
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto msg = sender_endpoint_->try_receive()) {
+      if (auto* resp = std::get_if<StatsSnapshotResponse>(&*msg)) {
+        if (resp->request_id == id) return std::move(*resp);
+      } else if (const auto* buf = std::get_if<BufferStatusResponse>(&*msg)) {
+        // Interleaved buffer-status traffic keeps its usual effect.
+        last_receiver_free_ = buf->free_bytes;
+        rpc_responses_.fetch_add(1);
+      }
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
 }
 
 double DtnPairEnv::query_receiver_free_bytes() {

@@ -62,6 +62,12 @@ class DtnPairEnv final : public Env {
   /// Engine introspection (tests: stream gauges over the Tcp backend).
   const TransferSession* session() const { return session_.get(); }
 
+  /// kStatsSnapshot round-trip: ask the receiver agent for its full registry
+  /// dump over the control channel. Blocks up to `timeout_s` draining other
+  /// control traffic (buffer-status responses are handled as usual); nullopt
+  /// on timeout. Monitor/test hook, not part of the optimizer loop.
+  std::optional<StatsSnapshotResponse> query_stats_snapshot(double timeout_s);
+
  private:
   bool open_control_channel();
   void start_receiver_agent();

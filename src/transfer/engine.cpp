@@ -48,6 +48,84 @@ TransferSession::TransferSession(EngineConfig config,
                                 receiver_queue_->capacity() +
                                 static_cast<std::size_t>(config_.max_threads) * 3;
   payload_pool_.set_max_buffers(std::min<std::size_t>(in_flight, 512));
+  trace_on_ = telemetry::kTraceCompiledIn && config_.telemetry.enabled &&
+              config_.telemetry.sample_every > 0;
+  sampler_.set_every(trace_on_ ? config_.telemetry.sample_every : 0);
+  register_metrics();
+}
+
+void TransferSession::register_metrics() {
+  // Registration order IS the sampling order (metrics.hpp memory model), and
+  // sampling downstream-first is what makes one snapshot self-consistent:
+  // every progress counter is monotone and incremented upstream-first (count-
+  // before-push), so a later-sampled upstream counter can only be >= the
+  // downstream one already in the snapshot. Hence bytes_written <= bytes_sent
+  // <= bytes_read in every stats() view, and finished (sampled first) implies
+  // the totals that follow are final.
+  registry_.register_callback("engine.finished", [this] {
+    return finished_.load() ? 1.0 : 0.0;
+  });
+  bytes_written_ = registry_.counter("write.bytes");
+  chunks_written_ = registry_.counter("write.chunks");
+  verify_failures_ = registry_.counter("write.verify_failures");
+  const auto queue_metrics = [this](const std::string& prefix,
+                                    StagingQueue* queue) {
+    registry_.register_callback(prefix + ".chunks", [queue] {
+      return static_cast<double>(queue->size());
+    });
+    registry_.register_callback(prefix + ".capacity", [queue] {
+      return static_cast<double>(queue->capacity());
+    });
+    registry_.register_callback(prefix + ".push_stalls", [queue] {
+      return static_cast<double>(queue->counters().push_stalls);
+    });
+    registry_.register_callback(prefix + ".push_parks", [queue] {
+      return static_cast<double>(queue->counters().push_parks);
+    });
+    registry_.register_callback(prefix + ".pop_stalls", [queue] {
+      return static_cast<double>(queue->counters().pop_stalls);
+    });
+    registry_.register_callback(prefix + ".pop_parks", [queue] {
+      return static_cast<double>(queue->counters().pop_parks);
+    });
+  };
+  queue_metrics("receiver_queue", receiver_queue_.get());
+  bytes_sent_ = registry_.counter("network.bytes");
+  chunks_forwarded_ = registry_.counter("network.chunks");
+  queue_metrics("sender_queue", sender_queue_.get());
+  bytes_read_ = registry_.counter("read.bytes");
+  chunks_pushed_ = registry_.counter("read.chunks");
+  registry_.register_callback("pool.payload_hits", [this] {
+    return static_cast<double>(payload_pool_.hits());
+  });
+  registry_.register_callback("pool.payload_misses", [this] {
+    return static_cast<double>(payload_pool_.misses());
+  });
+  registry_.register_callback("read.bucket_waits", [this] {
+    return static_cast<double>(read_bucket_.waits());
+  });
+  registry_.register_callback("network.bucket_waits", [this] {
+    return static_cast<double>(network_bucket_.waits());
+  });
+  registry_.register_callback("write.bucket_waits", [this] {
+    return static_cast<double>(write_bucket_.waits());
+  });
+  registry_.register_callback("engine.concurrency_read", [this] {
+    return static_cast<double>(concurrency().read);
+  });
+  registry_.register_callback("engine.concurrency_network", [this] {
+    return static_cast<double>(concurrency().network);
+  });
+  registry_.register_callback("engine.concurrency_write", [this] {
+    return static_cast<double>(concurrency().write);
+  });
+  hist_read_service_ = registry_.histogram("read.service_ns");
+  hist_sender_wait_ = registry_.histogram("sender_queue.wait_ns");
+  hist_net_service_ = registry_.histogram("network.service_ns");
+  hist_recv_wait_ = registry_.histogram("receiver_queue.wait_ns");
+  hist_write_service_ = registry_.histogram("write.service_ns");
+  hist_batch_chunks_ = registry_.histogram("network.batch_chunks");
+  trace_skew_ = registry_.counter("trace.clock_skew");
 }
 
 TransferSession::~TransferSession() { stop(); }
@@ -70,8 +148,15 @@ bool TransferSession::start_tcp_backend() {
         chunk.size = wire.size;
         chunk.checksum = wire.checksum;
         chunk.payload = std::move(wire.payload);
+        // Receiver-side trace sampling: the sender's stamp never crosses the
+        // wire (frame format unchanged), so sampled chunks are re-chosen and
+        // re-stamped here for the receiver-queue-wait / write-service spans.
+        if constexpr (telemetry::kTraceCompiledIn) {
+          if (sampler_.should_sample())
+            chunk.trace_enqueue_ns = telemetry::now_ns();
+        }
         if (!receiver_queue_->push(std::move(chunk))) return false;
-        if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
+        if (chunks_forwarded_->add() == total_chunks_) {
           receiver_queue_->close();
         }
         return true;
@@ -90,6 +175,29 @@ bool TransferSession::start_tcp_backend() {
   pool_config.socket = socket_options;
   stream_pool_ = std::make_unique<net::StreamPool>(pool_config);
   stream_pool_->set_active(concurrency().network);
+  // Data-plane health gauges exist only once the backend does; registered
+  // here (before any worker starts) rather than in register_metrics().
+  registry_.register_callback("net.streams_open", [this] {
+    return static_cast<double>(stream_acceptor_->streams_open());
+  });
+  registry_.register_callback("net.streams_parked", [this] {
+    return static_cast<double>(stream_acceptor_->streams_parked());
+  });
+  registry_.register_callback("net.streams_active", [this] {
+    return static_cast<double>(stream_acceptor_->streams_active());
+  });
+  registry_.register_callback("net.frame_errors", [this] {
+    return static_cast<double>(stream_acceptor_->frame_errors());
+  });
+  registry_.register_callback("net.send_failures", [this] {
+    return static_cast<double>(stream_pool_->send_failures());
+  });
+  registry_.register_callback("net.chunks_coalesced", [this] {
+    return static_cast<double>(stream_pool_->chunks_sent());
+  });
+  registry_.register_callback("net.batch_writes", [this] {
+    return static_cast<double>(stream_pool_->batch_writes());
+  });
   return true;
 }
 
@@ -148,33 +256,47 @@ void TransferSession::update_bucket_rates() {
   write_bucket_.set_rate(config_.write.rate_for(t.write));
 }
 
+telemetry::MetricsSnapshot TransferSession::telemetry_snapshot() const {
+  return registry_.snapshot();
+}
+
 TransferStats TransferSession::stats() const {
+  // One snapshot pass assembles the whole struct: cross-field consistency
+  // comes from the registry's downstream-first sampling order, not from any
+  // lock on the workers (queue sizes remain approximate by design).
+  const telemetry::MetricsSnapshot snap = registry_.snapshot();
+  const auto u64 = [&snap](std::string_view name) {
+    return static_cast<std::uint64_t>(snap.value_or(name));
+  };
   TransferStats s;
-  s.bytes_read = static_cast<double>(bytes_read_.load());
-  s.bytes_sent = static_cast<double>(bytes_sent_.load());
-  s.bytes_written = static_cast<double>(bytes_written_.load());
-  // Approximate sizes by design: polling stats must never contend with
-  // workers on the staging queues.
-  s.sender_queue_chunks = sender_queue_->size();
-  s.receiver_queue_chunks = receiver_queue_->size();
-  s.sender_queue_counters = sender_queue_->counters();
-  s.receiver_queue_counters = receiver_queue_->counters();
-  s.chunks_written = chunks_written_.load();
-  s.verify_failures = verify_failures_.load();
-  s.finished = finished_.load();
-  if (stream_acceptor_) {
-    s.net_streams_open = stream_acceptor_->streams_open();
-    s.net_streams_parked = stream_acceptor_->streams_parked();
-    s.net_streams_active = stream_acceptor_->streams_active();
-    s.net_frame_errors = stream_acceptor_->frame_errors();
-  }
-  if (stream_pool_) {
-    s.net_send_failures = stream_pool_->send_failures();
-    s.net_chunks_coalesced = stream_pool_->chunks_sent();
-    s.net_batch_writes = stream_pool_->batch_writes();
-  }
-  s.payload_pool_hits = payload_pool_.hits();
-  s.payload_pool_misses = payload_pool_.misses();
+  s.generation = snap.generation;
+  s.finished = snap.value_or("engine.finished") != 0.0;
+  s.bytes_written = snap.value_or("write.bytes");
+  s.chunks_written = u64("write.chunks");
+  s.verify_failures = u64("write.verify_failures");
+  s.receiver_queue_chunks = static_cast<std::size_t>(
+      snap.value_or("receiver_queue.chunks"));
+  s.receiver_queue_counters = {u64("receiver_queue.push_stalls"),
+                               u64("receiver_queue.push_parks"),
+                               u64("receiver_queue.pop_stalls"),
+                               u64("receiver_queue.pop_parks")};
+  s.bytes_sent = snap.value_or("network.bytes");
+  s.sender_queue_chunks = static_cast<std::size_t>(
+      snap.value_or("sender_queue.chunks"));
+  s.sender_queue_counters = {u64("sender_queue.push_stalls"),
+                             u64("sender_queue.push_parks"),
+                             u64("sender_queue.pop_stalls"),
+                             u64("sender_queue.pop_parks")};
+  s.bytes_read = snap.value_or("read.bytes");
+  s.net_streams_open = static_cast<int>(snap.value_or("net.streams_open"));
+  s.net_streams_parked = static_cast<int>(snap.value_or("net.streams_parked"));
+  s.net_streams_active = static_cast<int>(snap.value_or("net.streams_active"));
+  s.net_frame_errors = u64("net.frame_errors");
+  s.net_send_failures = u64("net.send_failures");
+  s.net_chunks_coalesced = u64("net.chunks_coalesced");
+  s.net_batch_writes = u64("net.batch_writes");
+  s.payload_pool_hits = u64("pool.payload_hits");
+  s.payload_pool_misses = u64("pool.payload_misses");
   return s;
 }
 
@@ -233,6 +355,15 @@ void TransferSession::reader_loop(int worker_id) {
 
     if (!read_bucket_.acquire(chunk.size)) break;
 
+    // Trace span: service time for this stage's real work (payload fill +
+    // checksum), then stamp the enqueue instant into the chunk header so the
+    // network stage can attribute its queue wait. Unsampled chunks pay one
+    // relaxed load here and a zero-test downstream.
+    std::uint64_t trace_t0 = 0;
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (sampler_.should_sample()) trace_t0 = telemetry::now_ns();
+    }
+
     if (config_.fill_payload) {
       chunk.payload = payload_pool_.acquire(chunk.size);
       // Cheap deterministic pattern derived from (file, offset).
@@ -244,15 +375,24 @@ void TransferSession::reader_loop(int worker_id) {
       chunk.checksum = chunk_checksum(chunk.payload);
     }
 
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (trace_t0 != 0) {
+        const std::uint64_t now = telemetry::now_ns();
+        hist_read_service_->record(
+            telemetry::span_ns(trace_t0, now, trace_skew_));
+        chunk.trace_enqueue_ns = now;
+      }
+    }
+
     const std::uint32_t size = chunk.size;
     // Count before publishing: once the chunk is visible downstream the
     // pipeline can finish, and stats() must already include it.
-    bytes_read_.fetch_add(size);
+    bytes_read_->add(size);
     if (!sender_queue_->push(std::move(chunk))) {
-      bytes_read_.fetch_sub(size);
+      bytes_read_->sub(size);
       break;
     }
-    if (chunks_pushed_.fetch_add(1) + 1 == total_chunks_) {
+    if (chunks_pushed_->add() == total_chunks_) {
       sender_queue_->close();  // no more data will be produced
     }
   }
@@ -290,6 +430,24 @@ void TransferSession::network_loop_tcp(int worker_id) {
                                        static_cast<int>(batch.size()))) {
       break;
     }
+    // The trace stamp does not cross the wire (the acceptor re-samples), so
+    // the sender side closes both spans here: queue wait at pop time,
+    // service once the gathered write returns.
+    std::uint64_t trace_t0 = 0;
+    std::size_t trace_sampled = 0;
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (trace_on_) {
+        trace_t0 = telemetry::now_ns();
+        hist_batch_chunks_->record(batch.size());
+        for (const Chunk& chunk : batch) {
+          if (chunk.trace_enqueue_ns != 0) {
+            ++trace_sampled;
+            hist_sender_wait_->record(telemetry::span_ns(
+                chunk.trace_enqueue_ns, trace_t0, trace_skew_));
+          }
+        }
+      }
+    }
     wires.clear();
     for (Chunk& chunk : batch) {
       net::WireChunk wire;
@@ -302,10 +460,18 @@ void TransferSession::network_loop_tcp(int worker_id) {
     }
     // Count before the frames leave: once the last chunk lands on the
     // receiver the pipeline can finish, and stats() must already show it.
-    bytes_sent_.fetch_add(total);
+    bytes_sent_->add(total);
     if (!stream_pool_->send_chunks(worker_id, wires.data(), wires.size())) {
-      bytes_sent_.fetch_sub(total);
+      bytes_sent_->sub(total);
       break;
+    }
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (trace_sampled != 0) {
+        const std::uint64_t span = telemetry::span_ns(
+            trace_t0, telemetry::now_ns(), trace_skew_);
+        for (std::size_t i = 0; i < trace_sampled; ++i)
+          hist_net_service_->record(span);
+      }
     }
     // The wire copies have left through the socket; recycle the payloads.
     for (net::WireChunk& wire : wires)
@@ -323,14 +489,36 @@ void TransferSession::network_loop(int worker_id) {
                                        static_cast<int>(batch.size()))) {
       break;
     }
+    // One clock read covers the whole batch: it closes every sampled
+    // chunk's sender-queue wait and opens this stage's service span.
+    std::uint64_t trace_t0 = 0;
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (trace_on_) {
+        trace_t0 = telemetry::now_ns();
+        hist_batch_chunks_->record(batch.size());
+        for (const Chunk& chunk : batch) {
+          if (chunk.trace_enqueue_ns != 0)
+            hist_sender_wait_->record(telemetry::span_ns(
+                chunk.trace_enqueue_ns, trace_t0, trace_skew_));
+        }
+      }
+    }
     for (Chunk& chunk : batch) {
+      if constexpr (telemetry::kTraceCompiledIn) {
+        if (chunk.trace_enqueue_ns != 0) {
+          const std::uint64_t now = telemetry::now_ns();
+          hist_net_service_->record(
+              telemetry::span_ns(trace_t0, now, trace_skew_));
+          chunk.trace_enqueue_ns = now;  // re-stamp for the writer stage
+        }
+      }
       const std::uint32_t size = chunk.size;
-      bytes_sent_.fetch_add(size);
+      bytes_sent_->add(size);
       if (!receiver_queue_->push(std::move(chunk))) {
-        bytes_sent_.fetch_sub(size);
+        bytes_sent_->sub(size);
         return;
       }
-      if (chunks_forwarded_.fetch_add(1) + 1 == total_chunks_) {
+      if (chunks_forwarded_->add() == total_chunks_) {
         receiver_queue_->close();
       }
     }
@@ -341,14 +529,27 @@ void TransferSession::writer_loop(int worker_id) {
   while (wait_for_turn(Stage::kWrite, worker_id)) {
     Chunk chunk;
     if (!receiver_queue_->pop(chunk)) break;
+    std::uint64_t trace_t0 = 0;
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (chunk.trace_enqueue_ns != 0) {
+        trace_t0 = telemetry::now_ns();
+        hist_recv_wait_->record(telemetry::span_ns(
+            chunk.trace_enqueue_ns, trace_t0, trace_skew_));
+      }
+    }
     if (!write_bucket_.acquire(chunk.size)) break;
     if (config_.verify_payload && config_.fill_payload) {
       if (chunk_checksum(chunk.payload) != chunk.checksum)
-        verify_failures_.fetch_add(1);
+        verify_failures_->add();
     }
     payload_pool_.release(std::move(chunk.payload));
-    bytes_written_.fetch_add(chunk.size);
-    if (chunks_written_.fetch_add(1) + 1 == total_chunks_) {
+    if constexpr (telemetry::kTraceCompiledIn) {
+      if (trace_t0 != 0)
+        hist_write_service_->record(telemetry::span_ns(
+            trace_t0, telemetry::now_ns(), trace_skew_));
+    }
+    bytes_written_->add(chunk.size);
+    if (chunks_written_->add() == total_chunks_) {
       finished_.store(true);
       gate_cv_.notify_all();
       finish_cv_.notify_all();

@@ -50,6 +50,8 @@
 #include "common/mpmc_queue.hpp"
 #include "common/mpmc_ring.hpp"
 #include "common/units.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "transfer/token_bucket.hpp"
 
 namespace automdt::net {
@@ -65,6 +67,12 @@ struct Chunk {
   std::uint64_t offset = 0;
   std::uint32_t size = 0;
   std::uint64_t checksum = 0;
+  /// Chunk-lifecycle trace stamp: steady-clock ns at the moment the chunk
+  /// entered the staging queue it currently sits in, 0 = not sampled. Set by
+  /// the producing stage for 1-in-N chunks (EngineConfig::telemetry), read by
+  /// the consuming stage to attribute queue-wait vs service time. Process-
+  /// local only — it does not cross the TCP wire (the receiver re-stamps).
+  std::uint64_t trace_enqueue_ns = 0;
   std::vector<std::byte> payload;
 };
 
@@ -108,6 +116,19 @@ struct TcpBackendOptions {
   int recv_buffer_bytes = 0;  // SO_RCVBUF; 0 = kernel default
 };
 
+/// Runtime tracing knobs (the compile-time seam is AUTOMDT_TELEMETRY).
+/// Counters and gauges are always on — they are single relaxed RMWs the
+/// engine paid before the registry existed. What sampling gates is the
+/// per-chunk *trace spans*: clock reads + histogram records for enqueue →
+/// dequeue → service timing.
+struct TelemetryOptions {
+  bool enabled = true;
+  /// Trace 1 chunk in N (hdr-style). 0 disables tracing: the per-chunk cost
+  /// collapses to one relaxed load in the reader and a stamp==0 test
+  /// downstream.
+  std::uint32_t sample_every = 128;
+};
+
 struct EngineConfig {
   int max_threads = 8;           // workers pre-spawned per stage
   std::uint32_t chunk_bytes = 256 * 1024;
@@ -122,9 +143,16 @@ struct EngineConfig {
   bool lock_free_staging = true;
   NetworkBackend backend = NetworkBackend::kInProcess;
   TcpBackendOptions tcp{};
+  TelemetryOptions telemetry{};
 };
 
 struct TransferStats {
+  /// Registry snapshot sequence number this view was assembled from. Every
+  /// field below comes from ONE MetricsRegistry::snapshot() pass (metrics
+  /// sampled downstream-first), so the pipeline invariant bytes_written <=
+  /// bytes_sent <= bytes_read holds in every stats() result — the old
+  /// field-by-field atomic reads could tear across concurrent progress.
+  std::uint64_t generation = 0;
   double bytes_read = 0.0;
   double bytes_sent = 0.0;
   double bytes_written = 0.0;
@@ -218,6 +246,14 @@ class TransferSession {
   ConcurrencyTuple concurrency() const;
 
   TransferStats stats() const;
+
+  /// Full registry dump: every counter/gauge/histogram this session owns, in
+  /// registration order. Backs the kStatsSnapshot RPC and `automdt monitor`.
+  telemetry::MetricsSnapshot telemetry_snapshot() const;
+
+  /// The session-owned registry (tests, recorders that want to attach).
+  telemetry::MetricsRegistry& registry() { return registry_; }
+
   double total_bytes() const { return total_bytes_; }
 
   /// Block until every chunk is written (or timeout). True on completion.
@@ -238,8 +274,14 @@ class TransferSession {
   /// coalescing budget. Returns false iff the queue closed and drained.
   bool pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
                  std::uint64_t& total_bytes);
+  void register_metrics();
 
   EngineConfig config_;
+
+  // Session-owned telemetry plane. Declared before the Counter*/histogram
+  // members below so they can never dangle; all progress counters live here
+  // and TransferStats is assembled from one snapshot() pass.
+  telemetry::MetricsRegistry registry_;
   std::vector<double> file_sizes_;
   double total_bytes_ = 0.0;
   std::uint64_t total_chunks_ = 0;
@@ -274,14 +316,27 @@ class TransferSession {
   std::condition_variable gate_cv_;
   int active_[3] = {1, 1, 1};
 
-  // Progress counters.
-  std::atomic<std::uint64_t> bytes_read_{0};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> bytes_written_{0};
-  std::atomic<std::uint64_t> chunks_pushed_{0};
-  std::atomic<std::uint64_t> chunks_forwarded_{0};
-  std::atomic<std::uint64_t> chunks_written_{0};
-  std::atomic<std::uint64_t> verify_failures_{0};
+  // Progress counters: registry-owned (same relaxed fetch_add cost as the
+  // raw atomics they replaced). Set by register_metrics() in the ctor.
+  telemetry::Counter* bytes_read_ = nullptr;
+  telemetry::Counter* bytes_sent_ = nullptr;
+  telemetry::Counter* bytes_written_ = nullptr;
+  telemetry::Counter* chunks_pushed_ = nullptr;
+  telemetry::Counter* chunks_forwarded_ = nullptr;
+  telemetry::Counter* chunks_written_ = nullptr;
+  telemetry::Counter* verify_failures_ = nullptr;
+
+  // Chunk-lifecycle tracing (compiled out entirely under
+  // -DAUTOMDT_TELEMETRY=OFF; see telemetry/trace.hpp).
+  telemetry::TraceSampler sampler_;
+  bool trace_on_ = false;  // telemetry.enabled && sample_every > 0
+  telemetry::LogLinearHistogram* hist_read_service_ = nullptr;
+  telemetry::LogLinearHistogram* hist_sender_wait_ = nullptr;
+  telemetry::LogLinearHistogram* hist_net_service_ = nullptr;
+  telemetry::LogLinearHistogram* hist_recv_wait_ = nullptr;
+  telemetry::LogLinearHistogram* hist_write_service_ = nullptr;
+  telemetry::LogLinearHistogram* hist_batch_chunks_ = nullptr;
+  telemetry::Counter* trace_skew_ = nullptr;
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> finished_{false};

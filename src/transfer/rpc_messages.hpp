@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <variant>
+#include <vector>
 
 #include "common/concurrency_tuple.hpp"
 
@@ -41,8 +43,31 @@ struct ThroughputReport {
 
 struct Shutdown {};
 
+/// kStatsSnapshot: live-monitoring request for the peer's full telemetry
+/// registry dump (per-stage byte/chunk counters, queue occupancy gauges,
+/// flattened histogram percentiles). Served by the receiver agent on the
+/// DtnPair control channel and by telemetry::StatsServer for external
+/// monitors (`automdt monitor`).
+struct StatsSnapshotRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct MetricValue {
+  std::string name;
+  double value = 0.0;
+};
+
+struct StatsSnapshotResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t generation = 0;  // registry snapshot sequence number
+  double uptime_s = 0.0;         // responder registry age at sample time
+  std::vector<MetricValue> metrics;  // registration order preserved
+};
+
 using RpcMessage = std::variant<BufferStatusRequest, BufferStatusResponse,
-                                ConcurrencyUpdate, ThroughputReport, Shutdown>;
+                                ConcurrencyUpdate, ThroughputReport,
+                                StatsSnapshotRequest, StatsSnapshotResponse,
+                                Shutdown>;
 
 /// One endpoint of a duplex control channel. Implementations: the in-process
 /// RpcChannel views (with simulated one-way latency) and TcpTransport (a real

@@ -35,6 +35,7 @@ bool TokenBucket::acquire_locked(double bytes) {
     // wake (rate may have changed, shutdown may have been requested).
     const double deficit = bytes - tokens_;
     const double wait_s = std::clamp(deficit / rate_, 1e-4, 0.25);
+    waits_.fetch_add(1, std::memory_order_relaxed);
     cv_.wait_for(lock, std::chrono::duration<double>(wait_s));
   }
 }

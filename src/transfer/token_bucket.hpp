@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 namespace automdt::transfer {
@@ -45,6 +46,12 @@ class TokenBucket {
   /// Wake all waiters and make every future acquire fail.
   void shutdown();
 
+  /// Times a worker actually slept for tokens (throttled slow path only; the
+  /// lock-free unlimited path never counts). Telemetry export hook.
+  std::uint64_t waits() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -63,6 +70,7 @@ class TokenBucket {
   // tolerance (rates are continuous-time targets, not hard budgets).
   std::atomic<bool> throttled_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> waits_{0};
 };
 
 }  // namespace automdt::transfer

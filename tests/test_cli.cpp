@@ -102,6 +102,64 @@ TEST(Cli, TransferAutoMdtWithoutCkptFails) {
   EXPECT_NE(r.output.find("--ckpt"), std::string::npos);
 }
 
+CommandResult run_shell(const std::string& script) {
+  std::array<char, 4096> buffer;
+  CommandResult result;
+  FILE* pipe = popen(("( " + script + " ) 2>&1").c_str(), "r");
+  if (!pipe) return result;
+  while (std::fgets(buffer.data(), buffer.size(), pipe))
+    result.output += buffer.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(Cli, ServeAndMonitorOnceRoundTrip) {
+  // serve in the background on a fixed port, then monitor --once must print
+  // one JSON registry snapshot from the live transfer.
+  const std::string bin = AUTOMDT_CLI_PATH;
+  const CommandResult r = run_shell(
+      bin +
+      " serve --files 2 --size-mb 4 --duration 8 --telemetry-port 28641"
+      " >/dev/null & srv=$!; sleep 1; " +
+      bin + " monitor --port 28641 --once; rc=$?; wait $srv; exit $rc");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"generation\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"metrics\":{"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"read.bytes\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"write.service_ns.p99\":"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, MonitorFailsCleanlyWithoutServer) {
+  const CommandResult r = run_cli("monitor --port 28649 --once");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot connect"), std::string::npos) << r.output;
+}
+
+TEST(Cli, TrainWritesTelemetryCsv) {
+  const std::string ckpt = temp_path("automdt_cli_telemetry.ckpt");
+  const std::string csv = temp_path("automdt_cli_telemetry.csv");
+  const CommandResult r = run_cli(
+      "train --preset read --episodes 150 --out " + ckpt +
+      " --telemetry-csv " + csv);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("training telemetry written"), std::string::npos);
+  std::FILE* f = std::fopen(csv.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::array<char, 4096> line{};
+  ASSERT_NE(std::fgets(line.data(), line.size(), f), nullptr);
+  const std::string header = line.data();
+  EXPECT_NE(header.find("ppo.episode_reward"), std::string::npos) << header;
+  EXPECT_NE(header.find("ppo.approx_kl"), std::string::npos) << header;
+  EXPECT_NE(header.find("ppo.clip_fraction"), std::string::npos) << header;
+  // At least one data row followed the header.
+  EXPECT_NE(std::fgets(line.data(), line.size(), f), nullptr);
+  std::fclose(f);
+  std::remove(ckpt.c_str());
+  std::remove(csv.c_str());
+}
+
 TEST(Cli, ConfigOverrideApplied) {
   const std::string conf = temp_path("automdt_cli_test.conf");
   {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "optimizers/marlin_controller.hpp"
 #include "transfer/dtn_pair.hpp"
 
@@ -60,6 +62,41 @@ TEST_P(DtnPairBackends, ObservationUsesRpcReportedReceiverState) {
   // Receiver free-space feature must have dropped (reported over RPC).
   EXPECT_LT(later_free, initial_free);
   EXPECT_GT(env.rpc_responses(), 3u);
+}
+
+TEST_P(DtnPairBackends, StatsSnapshotRpcReportsLiveRegistry) {
+  DtnPairEnv env(small_pair(GetParam()));
+  Rng rng(5);
+  env.reset(rng);
+  for (int i = 0; i < 3; ++i) env.step({4, 4, 4});
+
+  auto first = env.query_stats_snapshot(5.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GT(first->generation, 0u);
+  EXPECT_FALSE(first->metrics.empty());
+  auto value_of = [](const StatsSnapshotResponse& r, std::string_view name) {
+    for (const auto& m : r.metrics)
+      if (m.name == name) return m.value;
+    return -1.0;
+  };
+  // The dump is the full engine registry: per-stage counters present and
+  // consistent with the pipeline invariant.
+  const double bytes_read = value_of(*first, "read.bytes");
+  const double bytes_written = value_of(*first, "write.bytes");
+  EXPECT_GT(bytes_read, 0.0);
+  EXPECT_GE(bytes_read, bytes_written);
+  EXPECT_GE(bytes_written, 0.0);
+
+  // Run the transfer to completion; a later snapshot shows progress and a
+  // strictly larger generation.
+  bool done = false;
+  for (int i = 0; i < 120 && !done; ++i) done = env.step({4, 4, 4}).done;
+  ASSERT_TRUE(done);
+  auto second = env.query_stats_snapshot(5.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->generation, first->generation);
+  EXPECT_DOUBLE_EQ(value_of(*second, "write.bytes"), 6 * 512.0 * 1024);
+  EXPECT_DOUBLE_EQ(value_of(*second, "engine.finished"), 1.0);
 }
 
 TEST(DtnPairEnv, TcpBackendMovesChunksOverRealStreams) {

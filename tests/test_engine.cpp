@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
 
 #include "transfer/engine.hpp"
@@ -126,6 +127,77 @@ TEST(TransferSession, StatsMonotoneDuringRun) {
     if (st.finished) break;
   }
   s.stop();
+}
+
+TEST(TransferSession, StatsComeFromOneRegistrySnapshot) {
+  // The tearing fix: every stats() call is one registry pass with a
+  // generation stamp, and registration order guarantees the pipeline
+  // invariant bytes_written <= bytes_sent <= bytes_read in every snapshot.
+  EngineConfig cfg = small_config();
+  cfg.network.aggregate_bytes_per_s = 6.0 * 1024 * 1024;
+  TransferSession s(cfg, std::vector<double>(16, 512.0 * 1024));
+  s.start({2, 2, 2});
+  std::uint64_t last_generation = 0;
+  for (int i = 0; i < 20; ++i) {
+    const TransferStats st = s.stats();
+    EXPECT_GT(st.generation, last_generation);
+    last_generation = st.generation;
+    EXPECT_LE(st.bytes_written, st.bytes_sent);
+    EXPECT_LE(st.bytes_sent, st.bytes_read);
+    if (st.finished) {
+      // finished is sampled first: once it is set, totals are final.
+      EXPECT_DOUBLE_EQ(st.bytes_written, 16 * 512.0 * 1024);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(s.wait_finished(20.0));
+}
+
+TEST(TransferSession, TraceSpansRecordedAndMonotone) {
+  if (!telemetry::kTraceCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  EngineConfig cfg = small_config();
+  cfg.telemetry.sample_every = 1;  // trace every chunk
+  TransferSession s(cfg, std::vector<double>(8, 256.0 * 1024));
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(20.0));
+
+  const telemetry::MetricsSnapshot snap = s.telemetry_snapshot();
+  // Every stage histogram saw samples...
+  EXPECT_GT(snap.value_or("read.service_ns.count"), 0.0);
+  EXPECT_GT(snap.value_or("sender_queue.wait_ns.count"), 0.0);
+  EXPECT_GT(snap.value_or("network.service_ns.count"), 0.0);
+  EXPECT_GT(snap.value_or("receiver_queue.wait_ns.count"), 0.0);
+  EXPECT_GT(snap.value_or("write.service_ns.count"), 0.0);
+  // ...and timestamps never ran backwards (steady clock, one process).
+  EXPECT_DOUBLE_EQ(snap.value_or("trace.clock_skew"), 0.0);
+}
+
+TEST(TransferSession, TelemetryDisabledStillCountsBytes) {
+  EngineConfig cfg = small_config();
+  cfg.telemetry.enabled = false;  // runtime off: no spans, counters intact
+  TransferSession s(cfg, std::vector<double>(4, 256.0 * 1024));
+  s.start({2, 2, 2});
+  ASSERT_TRUE(s.wait_finished(20.0));
+  const telemetry::MetricsSnapshot snap = s.telemetry_snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("write.bytes"), 4 * 256.0 * 1024);
+  EXPECT_DOUBLE_EQ(snap.value_or("read.service_ns.count"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("write.service_ns.count"), 0.0);
+}
+
+TEST(TransferSession, TelemetrySnapshotExposesQueueGauges) {
+  TransferSession s(small_config(), std::vector<double>(4, 128.0 * 1024));
+  s.start({1, 1, 1});
+  ASSERT_TRUE(s.wait_finished(20.0));
+  const telemetry::MetricsSnapshot snap = s.telemetry_snapshot();
+  for (const char* name :
+       {"engine.finished", "read.bytes", "network.bytes", "write.bytes",
+        "sender_queue.capacity", "receiver_queue.capacity",
+        "engine.concurrency_read", "pool.payload_hits"}) {
+    EXPECT_TRUE(snap.has(name)) << name;
+  }
+  EXPECT_DOUBLE_EQ(snap.value_or("engine.finished"), 1.0);
+  EXPECT_GT(snap.value_or("sender_queue.capacity"), 0.0);
 }
 
 TEST(TransferSession, BoundedStagingQueues) {

@@ -111,6 +111,31 @@ TEST(ProbeLog, CsvOutput) {
   EXPECT_NE(os.str().find("0,1,2,3,10,20,30"), std::string::npos);
 }
 
+TEST(ProbeLog, RecorderBackedCsvMatchesLegacyFormat) {
+  // write_csv now routes through telemetry::TimeSeriesRecorder; the output
+  // must stay byte-identical to the original formatter so existing parsers
+  // (plots, EXPERIMENTS.md pipelines) keep working.
+  ProbeLog log;
+  log.add({0.0, {1, 2, 3}, {10.0, 20.0, 30.0}});
+  log.add({1.5, {4, 5, 6}, {123.456, 0.25, 1e4}});
+  log.add({2.0, {10, 10, 10}, {999.875, 500.0, 0.0}});
+  std::ostringstream current, legacy;
+  log.write_csv(current);
+  log.write_csv_legacy(legacy);
+  EXPECT_EQ(current.str(), legacy.str());
+}
+
+TEST(ProbeLog, EmptyLogStillWritesFullHeader) {
+  ProbeLog log;
+  std::ostringstream current, legacy;
+  log.write_csv(current);
+  log.write_csv_legacy(legacy);
+  EXPECT_EQ(current.str(), legacy.str());
+  EXPECT_EQ(current.str(),
+            "time_s,n_read,n_network,n_write,"
+            "t_read_mbps,t_network_mbps,t_write_mbps\n");
+}
+
 TEST(ScenarioFactory, CarriesEstimatesIntoScenario) {
   ProbeLog log;
   log.add({0.0, {10, 5, 4}, {800.0, 500.0, 600.0}});

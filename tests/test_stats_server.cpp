@@ -1,0 +1,126 @@
+// StatsServer / StatsClient: kStatsSnapshot round-trip over a real socket.
+#include "telemetry/stats_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "transfer/rpc_messages.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+TEST(StatsServer, SnapshotMessageRoundTripPreservesOrderAndValues) {
+  MetricsRegistry registry;
+  registry.counter("write.bytes")->add(4096);
+  registry.counter("read.bytes")->add(8192);
+  registry.gauge("queue.occupancy")->set(0.75);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const transfer::StatsSnapshotResponse msg = snapshot_to_message(snap, 17);
+  EXPECT_EQ(msg.request_id, 17u);
+  EXPECT_EQ(msg.generation, snap.generation);
+  ASSERT_EQ(msg.metrics.size(), snap.samples.size());
+
+  const MetricsSnapshot back = message_to_snapshot(msg);
+  EXPECT_EQ(back.generation, snap.generation);
+  EXPECT_DOUBLE_EQ(back.uptime_s, snap.uptime_s);
+  ASSERT_EQ(back.samples.size(), snap.samples.size());
+  for (std::size_t i = 0; i < snap.samples.size(); ++i) {
+    EXPECT_EQ(back.samples[i].name, snap.samples[i].name);
+    EXPECT_DOUBLE_EQ(back.samples[i].value, snap.samples[i].value);
+  }
+  EXPECT_DOUBLE_EQ(back.value_or("write.bytes"), 4096.0);
+  EXPECT_DOUBLE_EQ(back.value_or("queue.occupancy"), 0.75);
+}
+
+TEST(StatsServer, ClientPollRoundTrip) {
+  MetricsRegistry registry;
+  Counter* bytes = registry.counter("read.bytes");
+  bytes->add(1000);
+
+  StatsServer server({}, [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = StatsClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->connected());
+
+  auto first = client->poll(5.0);
+  ASSERT_TRUE(first.has_value());
+  MetricsSnapshot s1 = message_to_snapshot(*first);
+  EXPECT_DOUBLE_EQ(s1.value_or("read.bytes"), 1000.0);
+
+  // Live state flows through: a second poll sees the updated counter and a
+  // larger generation.
+  bytes->add(24);
+  auto second = client->poll(5.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->generation, first->generation);
+  MetricsSnapshot s2 = message_to_snapshot(*second);
+  EXPECT_DOUBLE_EQ(s2.value_or("read.bytes"), 1024.0);
+
+  EXPECT_GE(server.requests_served(), 2u);
+  EXPECT_GE(server.connections_accepted(), 1u);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(StatsServer, MultipleClientsServedConcurrently) {
+  MetricsRegistry registry;
+  registry.counter("n")->add(7);
+  StatsServer server({}, [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.start());
+
+  auto a = StatsClient::connect("127.0.0.1", server.port());
+  auto b = StatsClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  auto ra = a->poll(5.0);
+  auto rb = b->poll(5.0);
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_DOUBLE_EQ(message_to_snapshot(*ra).value_or("n"), 7.0);
+  EXPECT_DOUBLE_EQ(message_to_snapshot(*rb).value_or("n"), 7.0);
+  EXPECT_GE(server.connections_accepted(), 2u);
+  server.stop();
+}
+
+TEST(StatsServer, PollAfterServerStopTimesOut) {
+  MetricsRegistry registry;
+  StatsServer server({}, [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.start());
+  auto client = StatsClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->poll(5.0).has_value());
+  server.stop();
+  // The connection is gone; poll must return nullopt, not wedge.
+  EXPECT_FALSE(client->poll(0.5).has_value());
+}
+
+TEST(StatsServer, SourceCallbackRunsPerRequest) {
+  std::atomic<int> calls{0};
+  StatsServer server({}, [&calls] {
+    calls.fetch_add(1);
+    MetricsSnapshot snap;
+    snap.generation = 42;
+    snap.samples.push_back({"constant", 3.0});
+    return snap;
+  });
+  ASSERT_TRUE(server.start());
+  auto client = StatsClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  auto resp = client->poll(5.0);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->generation, 42u);
+  EXPECT_DOUBLE_EQ(message_to_snapshot(*resp).value_or("constant"), 3.0);
+  EXPECT_EQ(calls.load(), 1);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

@@ -15,6 +15,8 @@ using transfer::BufferStatusResponse;
 using transfer::ConcurrencyUpdate;
 using transfer::RpcMessage;
 using transfer::Shutdown;
+using transfer::StatsSnapshotRequest;
+using transfer::StatsSnapshotResponse;
 using transfer::ThroughputReport;
 
 std::optional<RpcMessage> round_trip(const RpcMessage& in) {
@@ -49,9 +51,45 @@ TEST(RpcCodec, RoundTripsEveryMessageType) {
   EXPECT_EQ(std::get<ThroughputReport>(*out).throughput_mbps,
             report.throughput_mbps);
 
+  out = round_trip(StatsSnapshotRequest{31});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<StatsSnapshotRequest>(*out).request_id, 31u);
+
+  StatsSnapshotResponse stats;
+  stats.request_id = 31;
+  stats.generation = 12;
+  stats.uptime_s = 3.5;
+  stats.metrics = {{"read.bytes", 1048576.0},
+                   {"queue.occupancy", 0.625},
+                   {"", -7.0}};  // empty name survives the wire
+  out = round_trip(stats);
+  ASSERT_TRUE(out.has_value());
+  const auto& decoded = std::get<StatsSnapshotResponse>(*out);
+  EXPECT_EQ(decoded.request_id, 31u);
+  EXPECT_EQ(decoded.generation, 12u);
+  EXPECT_DOUBLE_EQ(decoded.uptime_s, 3.5);
+  ASSERT_EQ(decoded.metrics.size(), 3u);
+  EXPECT_EQ(decoded.metrics[0].name, "read.bytes");
+  EXPECT_DOUBLE_EQ(decoded.metrics[0].value, 1048576.0);
+  EXPECT_EQ(decoded.metrics[1].name, "queue.occupancy");
+  EXPECT_DOUBLE_EQ(decoded.metrics[1].value, 0.625);
+  EXPECT_EQ(decoded.metrics[2].name, "");
+  EXPECT_DOUBLE_EQ(decoded.metrics[2].value, -7.0);
+
   out = round_trip(Shutdown{});
   ASSERT_TRUE(out.has_value());
   EXPECT_TRUE(std::holds_alternative<Shutdown>(*out));
+}
+
+TEST(RpcCodec, RejectsTruncatedStatsSnapshot) {
+  StatsSnapshotResponse stats;
+  stats.request_id = 1;
+  stats.metrics = {{"a", 1.0}, {"bb", 2.0}};
+  std::vector<std::byte> encoded;
+  encode_rpc_message(stats, encoded);
+  // Any truncation point must be rejected, never read out of bounds.
+  for (std::size_t n = 0; n < encoded.size(); ++n)
+    EXPECT_FALSE(decode_rpc_message(encoded.data(), n).has_value()) << n;
 }
 
 TEST(RpcCodec, RejectsMalformedBuffers) {

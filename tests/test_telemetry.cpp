@@ -1,0 +1,193 @@
+// Metrics registry, histogram, and trace-span primitives.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+TEST(TelemetryCounter, AddReturnsPostAddValue) {
+  Counter c;
+  EXPECT_EQ(c.add(), 1u);
+  EXPECT_EQ(c.add(41), 42u);
+  EXPECT_EQ(c.value(), 42u);
+  c.sub(2);
+  EXPECT_EQ(c.value(), 40u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryRegistry, FindOrCreateReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("read.bytes");
+  Counter* b = registry.counter("read.bytes");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.gauge("occupancy");
+  Gauge* g2 = registry.gauge("occupancy");
+  EXPECT_EQ(g1, g2);
+  LogLinearHistogram* h1 = registry.histogram("latency");
+  LogLinearHistogram* h2 = registry.histogram("latency");
+  EXPECT_EQ(h1, h2);
+  // 1 counter + 1 gauge + 1 histogram.
+  EXPECT_EQ(registry.metric_count(), 3u);
+}
+
+TEST(TelemetryRegistry, SnapshotInRegistrationOrderWithGeneration) {
+  MetricsRegistry registry;
+  registry.counter("z.second")->add(2);
+  registry.counter("a.first")->add(1);
+  registry.register_callback("m.callback", [] { return 7.5; });
+
+  MetricsSnapshot s1 = registry.snapshot();
+  ASSERT_EQ(s1.samples.size(), 3u);
+  // Registration order, not name order.
+  EXPECT_EQ(s1.samples[0].name, "z.second");
+  EXPECT_EQ(s1.samples[1].name, "a.first");
+  EXPECT_EQ(s1.samples[2].name, "m.callback");
+  EXPECT_DOUBLE_EQ(s1.value_or("m.callback"), 7.5);
+  EXPECT_TRUE(s1.has("a.first"));
+  EXPECT_FALSE(s1.has("missing"));
+  EXPECT_DOUBLE_EQ(s1.value_or("missing", -1.0), -1.0);
+
+  MetricsSnapshot s2 = registry.snapshot();
+  EXPECT_EQ(s2.generation, s1.generation + 1);
+  EXPECT_GE(s2.uptime_s, s1.uptime_s);
+}
+
+TEST(TelemetryRegistry, ConcurrentWritersNeverLoseCounts) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry] {
+      // find-or-create raced across threads on purpose.
+      Counter* c = registry.counter("shared.counter");
+      LogLinearHistogram* h = registry.histogram("shared.hist");
+      Gauge* g = registry.gauge("shared.gauge");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->add();
+        h->record(static_cast<std::uint64_t>(i));
+        g->set(static_cast<double>(i));
+        if (i % 1024 == 0) (void)registry.snapshot();  // concurrent sampling
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(registry.counter("shared.counter")->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("shared.hist")->snapshot().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TelemetryRegistry, ResetZeroesOwnedMetrics) {
+  MetricsRegistry registry;
+  registry.counter("c")->add(5);
+  registry.gauge("g")->set(3.5);
+  registry.histogram("h")->record(100);
+  registry.reset();
+  EXPECT_EQ(registry.counter("c")->value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("g")->value(), 0.0);
+  EXPECT_EQ(registry.histogram("h")->snapshot().count, 0u);
+}
+
+TEST(TelemetryHistogram, ExactBelowSubBucketCount) {
+  // Values below 2^kSubBucketBits land in singleton buckets: recorded value
+  // and reported bucket bound agree exactly.
+  for (std::uint64_t v : {0u, 1u, 5u, 31u}) {
+    const std::size_t idx = LogLinearHistogram::bucket_index(v);
+    EXPECT_EQ(LogLinearHistogram::bucket_lower(idx), v) << v;
+    EXPECT_EQ(LogLinearHistogram::bucket_upper(idx), v) << v;
+  }
+}
+
+TEST(TelemetryHistogram, BucketBoundariesArePowerOfTwoEdges) {
+  // At each octave boundary the bucket index jumps to a new group of
+  // kSubBucketCount linear sub-buckets; check exact edges around 2^6.
+  const std::size_t idx63 = LogLinearHistogram::bucket_index(63);
+  const std::size_t idx64 = LogLinearHistogram::bucket_index(64);
+  EXPECT_EQ(idx64, idx63 + 1);
+  EXPECT_EQ(LogLinearHistogram::bucket_lower(idx64), 64u);
+  // 64..127 is covered by 32 sub-buckets of width 2: 64 and 65 share one.
+  EXPECT_EQ(LogLinearHistogram::bucket_index(65), idx64);
+  EXPECT_EQ(LogLinearHistogram::bucket_upper(idx64), 65u);
+  EXPECT_EQ(LogLinearHistogram::bucket_index(66), idx64 + 1);
+}
+
+TEST(TelemetryHistogram, RelativeErrorBounded) {
+  // Log-linear with 5 sub-bucket bits: bucket_upper overestimates the true
+  // value by at most 2^-5 relative.
+  for (std::uint64_t v = 1; v < (1ull << 40); v = v * 3 + 7) {
+    const std::size_t idx = LogLinearHistogram::bucket_index(v);
+    const std::uint64_t lo = LogLinearHistogram::bucket_lower(idx);
+    const std::uint64_t hi = LogLinearHistogram::bucket_upper(idx);
+    ASSERT_LE(lo, v);
+    ASSERT_GE(hi, v);
+    EXPECT_LE(static_cast<double>(hi - lo), static_cast<double>(v) / 32.0 + 1.0)
+        << v;
+  }
+}
+
+TEST(TelemetryHistogram, PercentilesAndMean) {
+  LogLinearHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  // p50 must land within bucket error of 500, p99 within error of 990.
+  EXPECT_NEAR(snap.percentile(50.0), 500.0, 500.0 / 16.0);
+  EXPECT_NEAR(snap.percentile(99.0), 990.0, 990.0 / 16.0);
+  EXPECT_GE(snap.max_value(), 1000u);
+  EXPECT_NEAR(snap.mean(), 500.5, 1e-9);  // sum is tracked exactly
+  // Degenerate cases.
+  LogLinearHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.snapshot().percentile(50.0), 0.0);
+  EXPECT_EQ(empty.snapshot().count, 0u);
+}
+
+TEST(TelemetryJson, SnapshotJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("read.bytes")->add(1024);
+  registry.gauge("ratio")->set(0.25);
+  std::ostringstream os;
+  write_snapshot_json(os, registry.snapshot());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"generation\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"read.bytes\":1024"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\":0.25"), std::string::npos) << json;
+}
+
+TEST(TelemetryJson, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+}
+
+TEST(TraceSampler, ZeroOffOneAlways) {
+  TraceSampler off(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(off.should_sample());
+  TraceSampler always(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(always.should_sample());
+  TraceSampler tenth(10);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) sampled += tenth.should_sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 100);
+}
+
+TEST(TraceSpan, NegativeSpansCountSkewInsteadOfWrapping) {
+  Counter skew;
+  EXPECT_EQ(span_ns(100, 250, &skew), 150u);
+  EXPECT_EQ(skew.value(), 0u);
+  EXPECT_EQ(span_ns(250, 100, &skew), 0u);
+  EXPECT_EQ(skew.value(), 1u);
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

@@ -1,0 +1,137 @@
+// TimeSeriesRecorder: cadence, ring wraparound, CSV/JSON export.
+#include "telemetry/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TelemetryRecorder, ManualSamplingFillsRows) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("events");
+  TimeSeriesRecorder recorder(registry, {.interval_s = 1.0, .capacity = 8});
+  c->add(3);
+  recorder.sample_at(0.0);
+  c->add(4);
+  recorder.sample_at(1.0);
+
+  ASSERT_EQ(recorder.rows(), 2u);
+  EXPECT_EQ(recorder.total_samples(), 2u);
+  const auto series = recorder.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].time_s, 0.0);
+  ASSERT_EQ(series[0].samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].samples[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(series[1].samples[0].value, 7.0);
+}
+
+TEST(TelemetryRecorder, RingWrapsKeepingNewestRows) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("step");
+  TimeSeriesRecorder recorder(registry, {.interval_s = 1.0, .capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    g->set(static_cast<double>(i));
+    recorder.sample_at(static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.rows(), 4u);
+  EXPECT_EQ(recorder.total_samples(), 10u);
+  const auto series = recorder.series();
+  ASSERT_EQ(series.size(), 4u);
+  // Oldest-first order, rows 6..9 survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(series[static_cast<std::size_t>(i)].time_s,
+                     static_cast<double>(6 + i));
+    EXPECT_DOUBLE_EQ(series[static_cast<std::size_t>(i)].samples[0].value,
+                     static_cast<double>(6 + i));
+  }
+}
+
+TEST(TelemetryRecorder, BackgroundCadenceProducesRows) {
+  MetricsRegistry registry;
+  registry.counter("ticks");
+  TimeSeriesRecorder recorder(registry,
+                              {.interval_s = 0.02, .capacity = 256});
+  recorder.start();
+  recorder.start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (recorder.rows() < 3 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  recorder.stop();
+  recorder.stop();  // idempotent
+  EXPECT_GE(recorder.rows(), 3u);
+  const std::size_t frozen = recorder.rows();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(recorder.rows(), frozen);  // stop() really stops sampling
+  // Timestamps are strictly increasing.
+  const auto series = recorder.series();
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GT(series[i].time_s, series[i - 1].time_s);
+}
+
+TEST(TelemetryRecorder, CsvColumnsFollowRegistrationOrder) {
+  MetricsRegistry registry;
+  Gauge* b = registry.gauge("beta");
+  Gauge* a = registry.gauge("alpha");  // registered second, column second
+  TimeSeriesRecorder recorder(registry, {.interval_s = 1.0, .capacity = 4});
+  b->set(1.5);
+  a->set(2.5);
+  recorder.sample_at(0.0);
+  b->set(3.0);
+  a->set(4.0);
+  recorder.sample_at(2.0);
+
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const auto lines = split_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "time_s,beta,alpha");
+  EXPECT_EQ(lines[1], "0,1.5,2.5");
+  EXPECT_EQ(lines[2], "2,3,4");
+}
+
+TEST(TelemetryRecorder, JsonExportHasRowsAndMetrics) {
+  MetricsRegistry registry;
+  registry.counter("n")->add(12);
+  TimeSeriesRecorder recorder(registry, {.interval_s = 0.5, .capacity = 4});
+  recorder.sample_at(1.0);
+  std::ostringstream os;
+  recorder.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"interval_s\":0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"time_s\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"n\":12"), std::string::npos) << json;
+}
+
+TEST(TelemetryRecorder, HistogramMetricsFlattenIntoColumns) {
+  MetricsRegistry registry;
+  LogLinearHistogram* h = registry.histogram("lat");
+  TimeSeriesRecorder recorder(registry, {.interval_s = 1.0, .capacity = 4});
+  h->record(10);
+  h->record(20);
+  recorder.sample_at(0.0);
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const auto lines = split_lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "time_s,lat.count,lat.mean,lat.p50,lat.p90,lat.p99,lat.max");
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

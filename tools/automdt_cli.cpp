@@ -8,6 +8,12 @@
 //   transfer --preset P [--ckpt F]    run a production transfer under a
 //                                     chosen controller
 //   info     --ckpt F                 inspect a checkpoint
+//   serve    [--telemetry-port P]     loop real TCP-backend transfers and
+//                                     serve kStatsSnapshot on port P
+//   monitor  --port P [--once]        poll a serve/DtnPair telemetry port;
+//                                     render 1 Hz per-stage throughput,
+//                                     queue occupancy, and latency
+//                                     percentiles (--once: one JSON dump)
 //
 // Common options:
 //   --config FILE      key=value overrides (see core/config_bindings.hpp)
@@ -22,6 +28,16 @@
 //   --mixed            log-uniform 100KB..2GB mixed dataset (transfer)
 //   --controller C     automdt|marlin|globus|jointgd|monolithic|oracle
 //   --csv FILE         write the per-second transfer trace
+//
+// Telemetry options:
+//   --telemetry-csv FILE    (train) per-update PPO diagnostics series
+//   --telemetry-port P      (serve) kStatsSnapshot listen port (default 28765)
+//   --telemetry-sample N    (serve) trace 1 chunk in N (default 128, 0 = off)
+//   --duration S            (serve) keep transferring for S seconds
+//   --concurrency C         (serve) per-stage worker threads
+//   --port P / --host H     (monitor) endpoint to poll
+//   --interval S            (monitor) poll cadence (default 1 s)
+//   --once                  (monitor) print one JSON snapshot and exit
 //
 // Examples:
 //   automdt train --preset fabric --episodes 6000 --out /tmp/fabric.ckpt
@@ -45,7 +61,10 @@
 #include "optimizers/monolithic_controller.hpp"
 #include "optimizers/runner.hpp"
 #include "optimizers/static_controller.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/stats_server.hpp"
 #include "testbed/presets.hpp"
+#include "transfer/engine.hpp"
 
 using namespace automdt;
 
@@ -76,7 +95,7 @@ Args parse_args(int argc, char** argv) {
     a = a.substr(2);
     // Flags with no value take "1"; otherwise consume the next token.
     static const std::set<std::string> flags = {"mixed", "paper",
-                                                "deterministic"};
+                                                "deterministic", "once"};
     if (flags.count(a)) {
       args.options[a] = "1";
     } else {
@@ -173,9 +192,30 @@ int cmd_train(const Args& args) {
   cfg.buffers = {preset.config.sender_buffer_bytes,
                  preset.config.receiver_buffer_bytes};
 
+  // --telemetry-csv: per-update PPO diagnostics (reward/KL/clip fraction)
+  // through the shared TimeSeriesRecorder exporter.
+  telemetry::MetricsRegistry training_registry;
+  std::unique_ptr<telemetry::TimeSeriesRecorder> training_recorder;
+  if (args.flag("telemetry-csv")) {
+    telemetry::RecorderConfig rec;
+    rec.capacity = static_cast<std::size_t>(
+        std::max<long long>(cfg.ppo.max_episodes, 1));
+    training_recorder =
+        std::make_unique<telemetry::TimeSeriesRecorder>(training_registry, rec);
+    cfg.telemetry_registry = &training_registry;
+    cfg.telemetry_recorder = training_recorder.get();
+  }
+
   testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
   core::OfflineTrainingReport report;
   const core::AutoMdt mdt = core::AutoMdt::train_offline(env, cfg, &report);
+
+  if (training_recorder) {
+    std::ofstream f(args.get("telemetry-csv", ""));
+    training_recorder->write_csv(f);
+    std::printf("training telemetry written to %s\n",
+                args.get("telemetry-csv", "").c_str());
+  }
 
   std::printf("estimates: b=%.0f Mbps, ideal %s, R_max=%.0f\n",
               report.estimates.bottleneck_mbps,
@@ -243,6 +283,151 @@ int cmd_transfer(const Args& args) {
   return res.completed ? 0 : 1;
 }
 
+// Loop real loopback-TCP transfers and expose the live session's registry
+// through a telemetry::StatsServer, so `automdt monitor` (or any
+// kStatsSnapshot client) can watch per-stage state change in real time.
+int cmd_serve(const Args& args) {
+  const auto port =
+      static_cast<std::uint16_t>(args.get_int("telemetry-port", 28765));
+  const double duration_s =
+      std::stod(args.get("duration", "10"));
+  const int concurrency =
+      std::max(1, static_cast<int>(args.get_int("concurrency", 2)));
+
+  transfer::EngineConfig engine;
+  engine.backend = transfer::NetworkBackend::kTcp;
+  engine.max_threads = std::max(concurrency, 4);
+  engine.chunk_bytes = 128 * 1024;
+  engine.telemetry.sample_every =
+      static_cast<std::uint32_t>(args.get_int("telemetry-sample", 128));
+  const std::vector<double> files(
+      static_cast<std::size_t>(args.get_int("files", 4)),
+      static_cast<double>(args.get_int("size-mb", 8)) * kMB);
+
+  // The monitor's snapshot source: whichever session is currently live.
+  // Sessions are recycled as transfers finish, so the server reads through
+  // a mutex-guarded shared_ptr rather than holding engine internals.
+  std::mutex session_mutex;
+  std::shared_ptr<transfer::TransferSession> session;
+  telemetry::StatsServerConfig server_config;
+  server_config.port = port;
+  telemetry::StatsServer server(server_config, [&] {
+    std::shared_ptr<transfer::TransferSession> live;
+    {
+      std::lock_guard lock(session_mutex);
+      live = session;
+    }
+    return live ? live->telemetry_snapshot() : telemetry::MetricsSnapshot{};
+  });
+  if (!server.start()) {
+    std::fprintf(stderr, "serve: cannot bind telemetry port %u\n", port);
+    return 1;
+  }
+  std::printf("serving kStatsSnapshot on 127.0.0.1:%u for %.0f s\n",
+              server.port(), duration_s);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+  int transfers = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto next = std::make_shared<transfer::TransferSession>(engine, files);
+    {
+      std::lock_guard lock(session_mutex);
+      session = next;
+    }
+    next->start({concurrency, concurrency, concurrency});
+    while (!next->wait_finished(0.25)) {
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    next->stop();
+    ++transfers;
+  }
+  server.stop();
+  {
+    std::lock_guard lock(session_mutex);
+    session.reset();
+  }
+  std::printf("served %llu snapshot(s) over %d transfer(s)\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              transfers);
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 28765));
+  const double interval_s = std::stod(args.get("interval", "1"));
+
+  auto client = telemetry::StatsClient::connect(host, port);
+  if (!client) {
+    std::fprintf(stderr, "monitor: cannot connect to %s:%u\n", host.c_str(),
+                 port);
+    return 1;
+  }
+
+  if (args.flag("once")) {
+    const auto resp = client->poll(/*timeout_s=*/5.0);
+    if (!resp) {
+      std::fprintf(stderr, "monitor: no snapshot within 5 s\n");
+      return 1;
+    }
+    telemetry::write_snapshot_json(std::cout,
+                                   telemetry::message_to_snapshot(*resp));
+    std::cout << "\n";
+    return 0;
+  }
+
+  // Live mode: per-stage throughput from byte-counter deltas over the
+  // responder's own uptime clock, queue occupancy, and sampled chunk-latency
+  // percentiles. Runs until the server goes away.
+  double prev_uptime = 0.0;
+  double prev_read = 0.0, prev_net = 0.0, prev_write = 0.0;
+  bool have_prev = false;
+  int misses = 0;
+  for (;;) {
+    const auto resp = client->poll(/*timeout_s=*/interval_s + 2.0);
+    if (!resp) {
+      if (++misses >= 3 || !client->connected()) {
+        std::fprintf(stderr, "monitor: endpoint gone\n");
+        return 0;
+      }
+      continue;
+    }
+    misses = 0;
+    const telemetry::MetricsSnapshot snap =
+        telemetry::message_to_snapshot(*resp);
+    const double read = snap.value_or("read.bytes");
+    const double net = snap.value_or("network.bytes");
+    const double written = snap.value_or("write.bytes");
+    const double dt = snap.uptime_s - prev_uptime;
+    if (have_prev && dt > 0.0) {
+      // Counters reset when serve recycles sessions; clamp negatives to 0.
+      const auto rate = [dt](double now, double before) {
+        return std::max(0.0, to_mbps((now - before) / dt));
+      };
+      std::printf(
+          "[gen %llu t=%7.1fs] read %8.1f | net %8.1f | write %8.1f Mbps"
+          " | sq %3.0f/%3.0f rq %3.0f/%3.0f"
+          " | write p50/p99 %.0f/%.0f us\n",
+          static_cast<unsigned long long>(snap.generation), snap.uptime_s,
+          rate(read, prev_read), rate(net, prev_net),
+          rate(written, prev_write), snap.value_or("sender_queue.chunks"),
+          snap.value_or("sender_queue.capacity"),
+          snap.value_or("receiver_queue.chunks"),
+          snap.value_or("receiver_queue.capacity"),
+          snap.value_or("write.service_ns.p50") / 1000.0,
+          snap.value_or("write.service_ns.p99") / 1000.0);
+      std::fflush(stdout);
+    }
+    prev_uptime = snap.uptime_s;
+    prev_read = read;
+    prev_net = net;
+    prev_write = written;
+    have_prev = true;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
+
 int cmd_info(const Args& args) {
   const std::string ckpt = args.get("ckpt", "");
   if (ckpt.empty()) throw std::runtime_error("info needs --ckpt FILE");
@@ -262,7 +447,8 @@ int cmd_info(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: automdt <list-presets|explore|train|transfer|info> "
+               "usage: automdt "
+               "<list-presets|explore|train|transfer|serve|monitor|info> "
                "[options]\n  see the header of tools/automdt_cli.cpp for "
                "options\n");
 }
@@ -277,6 +463,8 @@ int main(int argc, char** argv) {
     if (args.command == "explore") return cmd_explore(args);
     if (args.command == "train") return cmd_train(args);
     if (args.command == "transfer") return cmd_transfer(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "monitor") return cmd_monitor(args);
     if (args.command == "info") return cmd_info(args);
     usage();
     return 2;
