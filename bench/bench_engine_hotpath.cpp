@@ -36,7 +36,8 @@ struct Result {
 
 Result run_once(transfer::NetworkBackend backend, bool lock_free,
                 const Sweep& sweep, double total_mib,
-                std::uint32_t trace_sample_every = 0) {
+                std::uint32_t trace_sample_every = 0,
+                bool wire_stamp = false) {
   transfer::EngineConfig config;
   config.backend = backend;
   config.lock_free_staging = lock_free;
@@ -47,6 +48,7 @@ Result run_once(transfer::NetworkBackend backend, bool lock_free,
   config.fill_payload = false;  // skip memset/checksum: isolate the hot path
   config.verify_payload = false;
   config.telemetry.sample_every = trace_sample_every;
+  config.telemetry.wire_stamp = wire_stamp;
   const std::vector<double> files(32, total_mib * kMiB / 32.0);
 
   transfer::TransferSession session(config, files);
@@ -127,6 +129,42 @@ void run_telemetry_overhead(double total_mib) {
   std::printf("\n");
 }
 
+// Wire-stamp overhead: the TCP hot path with the 16-byte trace stamp
+// appended to sampled chunk frames at 0% (flag off — byte-identical wire
+// format), the 1-in-128 default, and 100% of chunks. Measures the marginal
+// cost of the bigger header plus the receiver-side e2e/wire histogram
+// updates, on top of local chunk-lifecycle tracing.
+void run_wire_stamp_overhead(double total_mib) {
+  std::printf("wire-stamp overhead, tcp <2,2,2> (16-byte stamp on sampled "
+              "chunk frames):\n");
+  const Sweep sweep{2, 2, 2};
+  struct Point {
+    const char* label;
+    std::uint32_t every;
+    bool stamp;
+  };
+  const Point points[] = {{"off (0%)", 0, false},
+                          {"1-in-128", 128, true},
+                          {"all (100%)", 1, true}};
+  double baseline = 0.0;
+  for (const Point& p : points) {
+    // Median of 3, same rationale as the telemetry sweep above.
+    double runs[3];
+    for (double& r : runs)
+      r = run_once(transfer::NetworkBackend::kTcp, /*lock_free=*/true, sweep,
+                   total_mib, p.every, p.stamp)
+              .chunks_per_s;
+    std::sort(std::begin(runs), std::end(runs));
+    const double chunks_per_s = runs[1];
+    if (p.every == 0) baseline = chunks_per_s;
+    const double delta =
+        baseline > 0.0 ? (chunks_per_s / baseline - 1.0) * 100.0 : 0.0;
+    std::printf("  wire stamp %-10s %8.0f ck/s  (%+.1f%% vs off)\n", p.label,
+                chunks_per_s, delta);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,5 +190,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   run_telemetry_overhead(total_mib);
+  run_wire_stamp_overhead(total_mib);
   return 0;
 }

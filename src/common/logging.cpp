@@ -8,9 +8,16 @@ namespace automdt {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_sink{nullptr};
 std::mutex g_mutex;
 
-const char* level_tag(LogLevel level) {
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* log_level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO ";
@@ -21,17 +28,22 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+void set_log_sink(LogSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
-
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogSink* log_sink() { return g_sink.load(std::memory_order_acquire); }
 
 namespace detail {
 
 void log_line(LogLevel level, const std::string& msg) {
+  // The sink first, outside the stderr lock: a lock-free sink (the flight
+  // recorder journal) must not serialize behind slow terminal writes.
+  if (LogSink* sink = g_sink.load(std::memory_order_acquire)) {
+    sink->write(level, msg);
+  }
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  std::fprintf(stderr, "[%s] %s\n", log_level_tag(level), msg.c_str());
 }
 
 }  // namespace detail

@@ -4,10 +4,19 @@
 // sparingly (training milestones, convergence events). Output goes to stderr
 // so that the structured results printed by bench harnesses on stdout stay
 // machine-parseable.
+//
+// Sink hook: a process-wide LogSink can be installed with set_log_sink() and
+// receives every emitted line in addition to stderr. The telemetry flight
+// recorder (telemetry/journal.hpp) uses this to keep a lock-free in-memory
+// tail of recent events without the logger depending on telemetry. The sink
+// is called outside the stderr lock and must be thread-safe; the installer
+// owns its lifetime and must detach (set_log_sink(nullptr)) before
+// destroying it.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace automdt {
 
@@ -16,6 +25,22 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Global log threshold; messages below it are dropped. Thread-safe.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Fixed-width tag for a level ("INFO ", "ERROR", ...).
+const char* log_level_tag(LogLevel level);
+
+/// Receives every log line that passes the threshold. Implementations must
+/// be thread-safe and must not log (re-entrancy is not guarded).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, std::string_view message) = 0;
+};
+
+/// Install (or with nullptr, remove) the process-wide extra sink. The caller
+/// keeps ownership and must outlive any concurrent logging after install.
+void set_log_sink(LogSink* sink);
+LogSink* log_sink();
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

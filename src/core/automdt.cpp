@@ -79,6 +79,8 @@ AutoMdt AutoMdt::train_on_scenario(const sim::SimScenario& scenario,
   if (config.telemetry_registry)
     out.agent_->set_telemetry(config.telemetry_registry,
                               config.telemetry_recorder);
+  if (config.trace_exporter)
+    out.agent_->set_trace_exporter(config.trace_exporter);
 
   // §IV-E: PPO training with the R_max-based convergence criterion.
   // num_envs > 1 selects the vectorized collector: N simulator instances of

@@ -49,6 +49,10 @@ struct PipelineConfig {
   /// update (`automdt train --telemetry-csv`). Both must outlive training.
   telemetry::MetricsRegistry* telemetry_registry = nullptr;
   telemetry::TimeSeriesRecorder* telemetry_recorder = nullptr;
+  /// Optional Chrome-trace span collector (`automdt train --trace-out`):
+  /// rollout / GAE / update phases land as spans on "trainer" tracks. Must
+  /// outlive training.
+  telemetry::TraceExporter* trace_exporter = nullptr;
 };
 
 /// Everything the offline pipeline produced, for reporting and benches.

@@ -27,7 +27,7 @@ void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
   out.reserve(kFrameHeaderBytes + frame.payload.size());
   wire::put_u32(out, kFrameMagic);
   wire::put_u16(out, kFrameVersion);
-  wire::put_u16(out, static_cast<std::uint16_t>(frame.type));
+  wire::put_u16(out, static_cast<std::uint16_t>(frame.type) | frame.flags);
   wire::put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   wire::put_u64(out, fnv1a(frame.payload));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
@@ -78,7 +78,8 @@ DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
   const std::byte* payload = data + kFrameHeaderBytes;
   if (fnv1a(payload, h.length) != h.checksum)
     return {FrameError::kChecksumMismatch, 0};
-  out.type = static_cast<FrameType>(h.type);
+  out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
+  out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
   out.payload.assign(payload, payload + h.length);
   return {FrameError::kNone, kFrameHeaderBytes + h.length};
 }
@@ -105,19 +106,20 @@ FrameError FrameReader::read(Frame& out, double timeout_s) {
     }
   }
   if (fnv1a(out.payload) != h.checksum) return FrameError::kChecksumMismatch;
-  out.type = static_cast<FrameType>(h.type);
+  out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
+  out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
   return FrameError::kNone;
 }
 
 SocketStatus FrameWriter::write(FrameType type,
                                 const std::vector<std::byte>& payload,
-                                double timeout_s) {
+                                double timeout_s, std::uint16_t flags) {
   // Header and payload go out as two write_all calls so a large chunk
   // payload is never copied into the scratch buffer.
   scratch_.clear();
   wire::put_u32(scratch_, kFrameMagic);
   wire::put_u16(scratch_, kFrameVersion);
-  wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+  wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags);
   wire::put_u32(scratch_, static_cast<std::uint32_t>(payload.size()));
   wire::put_u64(scratch_, fnv1a(payload));
   const SocketStatus s =
@@ -128,18 +130,18 @@ SocketStatus FrameWriter::write(FrameType type,
 }
 
 SocketStatus FrameWriter::write(const Frame& frame, double timeout_s) {
-  return write(frame.type, frame.payload, timeout_s);
+  return write(frame.type, frame.payload, timeout_s, frame.flags);
 }
 
 SocketStatus FrameWriter::write_scatter(FrameType type,
                                         const std::vector<std::byte>& head,
                                         const std::byte* body,
                                         std::size_t body_size,
-                                        double timeout_s) {
+                                        double timeout_s, std::uint16_t flags) {
   scratch_.clear();
   wire::put_u32(scratch_, kFrameMagic);
   wire::put_u16(scratch_, kFrameVersion);
-  wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+  wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags);
   wire::put_u32(scratch_, static_cast<std::uint32_t>(head.size() + body_size));
   wire::put_u64(scratch_, fnv1a(body, body_size, fnv1a(head)));
   SocketStatus s =
@@ -169,7 +171,7 @@ SocketStatus FrameWriter::write_scatter_batch(FrameType type,
     const std::size_t header_at = scratch_.size();
     wire::put_u32(scratch_, kFrameMagic);
     wire::put_u16(scratch_, kFrameVersion);
-    wire::put_u16(scratch_, static_cast<std::uint16_t>(type));
+    wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | seg.flags);
     wire::put_u32(scratch_,
                   static_cast<std::uint32_t>(seg.head_size + seg.body_size));
     wire::put_u64(scratch_, fnv1a(seg.body, seg.body_size,

@@ -5,7 +5,7 @@
 //   offset  size  field
 //        0     4  magic      "AMDT" on the wire (0x54444D41 as LE u32)
 //        4     2  version    kFrameVersion
-//        6     2  type       FrameType
+//        6     2  type       FrameType (low 15 bits) | flags (high bit)
 //        8     4  length     payload bytes (bounded by max_payload_bytes)
 //       12     8  checksum   FNV-1a of the payload bytes
 //
@@ -31,6 +31,15 @@ inline constexpr std::uint32_t kFrameMagic = 0x54444D41u;  // "AMDT" in LE
 inline constexpr std::uint16_t kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 20;
 
+// The header's u16 type field doubles as a small flag word: the low 15 bits
+// are the FrameType, the high bit marks a traced frame (its payload carries
+// the optional trace-stamp extension — see stream_pool.hpp). A frame with no
+// flags set encodes byte-identically to the pre-flag wire format, so tracing
+// off ⇒ unchanged bytes on the wire, and old decoders reject flagged frames
+// as an unknown type instead of mis-parsing the payload.
+inline constexpr std::uint16_t kFrameTypeMask = 0x7FFF;
+inline constexpr std::uint16_t kFrameFlagTraced = 0x8000;
+
 /// Default payload bound: one control message or one data chunk; far below
 /// this in practice, but large enough for any sane chunk_bytes setting.
 inline constexpr std::uint32_t kDefaultMaxPayloadBytes = 64u * 1024 * 1024;
@@ -48,6 +57,7 @@ enum class FrameType : std::uint16_t {
 struct Frame {
   FrameType type = FrameType::kPing;
   std::vector<std::byte> payload;
+  std::uint16_t flags = 0;  // kFrameFlag* bits, 0 for ordinary frames
 };
 
 enum class FrameError {
@@ -105,6 +115,7 @@ struct ScatterSegment {
   std::size_t head_size = 0;
   const std::byte* body = nullptr;
   std::size_t body_size = 0;
+  std::uint16_t flags = 0;  // per-frame kFrameFlag* bits (traced chunks)
 };
 
 /// Writes frames to a socket; serializes into a reused scratch buffer. Not
@@ -115,7 +126,7 @@ class FrameWriter {
 
   SocketStatus write(const Frame& frame, double timeout_s);
   SocketStatus write(FrameType type, const std::vector<std::byte>& payload,
-                     double timeout_s);
+                     double timeout_s, std::uint16_t flags = 0);
 
   /// Write one frame whose logical payload is `head` followed by `body`,
   /// without concatenating them (the chunk hot path: head = chunk metadata,
@@ -124,7 +135,7 @@ class FrameWriter {
   SocketStatus write_scatter(FrameType type,
                              const std::vector<std::byte>& head,
                              const std::byte* body, std::size_t body_size,
-                             double timeout_s);
+                             double timeout_s, std::uint16_t flags = 0);
 
   /// Coalesced hot path: emit `count` frames of `type` as one gathered
   /// write (a single sendmsg in the common case), so a batch of staged

@@ -7,24 +7,38 @@
 
 namespace automdt::net {
 
-void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out) {
+void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out,
+                       bool traced) {
   out.clear();
-  out.reserve(kWireChunkHeaderBytes);
+  out.reserve(traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes);
   wire::put_u64(out, chunk.file_id);
   wire::put_u64(out, chunk.offset);
   wire::put_u32(out, chunk.size);
   wire::put_u64(out, chunk.checksum);
+  if (traced) {
+    wire::put_u64(out, chunk.trace_origin_ns);
+    wire::put_u64(out, chunk.trace_send_ns);
+  }
 }
 
-bool decode_wire_chunk(const std::byte* data, std::size_t size,
-                       WireChunk& out) {
-  if (size < kWireChunkHeaderBytes) return false;
+bool decode_wire_chunk(const std::byte* data, std::size_t size, WireChunk& out,
+                       bool traced) {
+  const std::size_t header_bytes =
+      traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes;
+  if (size < header_bytes) return false;
   wire::Reader r(data, size);
   out.file_id = r.u64();
   out.offset = r.u64();
   out.size = r.u32();
   out.checksum = r.u64();
-  const std::size_t payload_size = size - kWireChunkHeaderBytes;
+  if (traced) {
+    out.trace_origin_ns = r.u64();
+    out.trace_send_ns = r.u64();
+  } else {
+    out.trace_origin_ns = 0;
+    out.trace_send_ns = 0;
+  }
+  const std::size_t payload_size = size - header_bytes;
   if (payload_size > out.size) return false;  // payload larger than declared
   out.payload.resize(payload_size);
   if (payload_size > 0)
@@ -114,24 +128,34 @@ bool StreamPool::send_chunks(int stream_id, const WireChunk* chunks,
 bool StreamPool::send_chunks_locked(Stream& stream, const WireChunk* chunks,
                                     std::size_t count) {
   // All chunk metadata headers go into one scratch buffer; segment pointers
-  // are taken after the buffer stops growing.
+  // are taken after the buffer stops growing. Traced chunks (non-zero send
+  // stamp) carry the 16-byte trace extension and flag their frame.
   stream.scratch.clear();
-  stream.scratch.reserve(count * kWireChunkHeaderBytes);
+  stream.scratch.reserve(count * kWireChunkTracedHeaderBytes);
   for (std::size_t i = 0; i < count; ++i) {
     const WireChunk& chunk = chunks[i];
     wire::put_u64(stream.scratch, chunk.file_id);
     wire::put_u64(stream.scratch, chunk.offset);
     wire::put_u32(stream.scratch, chunk.size);
     wire::put_u64(stream.scratch, chunk.checksum);
+    if (chunk.trace_send_ns != 0) {
+      wire::put_u64(stream.scratch, chunk.trace_origin_ns);
+      wire::put_u64(stream.scratch, chunk.trace_send_ns);
+    }
   }
   stream.segments.clear();
   stream.segments.reserve(count);
+  std::size_t header_at = 0;
   for (std::size_t i = 0; i < count; ++i) {
+    const bool traced = chunks[i].trace_send_ns != 0;
     ScatterSegment seg;
-    seg.head = stream.scratch.data() + i * kWireChunkHeaderBytes;
-    seg.head_size = kWireChunkHeaderBytes;
+    seg.head = stream.scratch.data() + header_at;
+    seg.head_size =
+        traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes;
     seg.body = chunks[i].payload.data();
     seg.body_size = chunks[i].payload.size();
+    seg.flags = traced ? kFrameFlagTraced : 0;
+    header_at += seg.head_size;
     stream.segments.push_back(seg);
   }
   if (stream.writer->write_scatter_batch(FrameType::kChunk,
@@ -246,7 +270,8 @@ void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
         if (config_.payload_pool)
           chunk.payload = config_.payload_pool->acquire(0);
         if (!decode_wire_chunk(frame.payload.data(), frame.payload.size(),
-                               chunk)) {
+                               chunk,
+                               (frame.flags & kFrameFlagTraced) != 0)) {
           frame_errors_.fetch_add(1);
           socket->shutdown_both();
           goto done;

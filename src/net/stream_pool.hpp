@@ -40,19 +40,33 @@ struct WireChunk {
   std::uint64_t offset = 0;
   std::uint32_t size = 0;
   std::uint64_t checksum = 0;
+  // Distributed-tracing stamps (sender steady-clock ns; 0 = not traced).
+  // Carried on the wire only when the chunk's frame has kFrameFlagTraced set
+  // — i.e. for the sampled 1-in-N minority when --wire-stamp is on — so the
+  // untraced wire format stays byte-identical.
+  std::uint64_t trace_origin_ns = 0;  // reader stage stamped the chunk
+  std::uint64_t trace_send_ns = 0;    // network stage handed it to the socket
   std::vector<std::byte> payload;  // may be shorter than size (header-only)
 };
 
 /// Fixed part of a serialized chunk: file_id + offset + size + checksum.
 inline constexpr std::size_t kWireChunkHeaderBytes = 8 + 8 + 4 + 8;
+/// Trace-stamp extension appended to the fixed header on traced frames.
+inline constexpr std::size_t kWireChunkTraceBytes = 8 + 8;
+inline constexpr std::size_t kWireChunkTracedHeaderBytes =
+    kWireChunkHeaderBytes + kWireChunkTraceBytes;
 
-/// Serialize into `out` (cleared first; capacity reused).
-void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out);
+/// Serialize into `out` (cleared first; capacity reused). With `traced` the
+/// header grows by the two trace stamps; the matching frame must then carry
+/// kFrameFlagTraced so the decoder knows to expect them.
+void encode_wire_chunk(const WireChunk& chunk, std::vector<std::byte>& out,
+                       bool traced = false);
 
-/// Decode from a frame payload. Returns false on malformed input. The
-/// chunk's payload vector is filled by copy so callers can pool buffers.
-bool decode_wire_chunk(const std::byte* data, std::size_t size,
-                       WireChunk& out);
+/// Decode from a frame payload. Returns false on malformed input. `traced`
+/// comes from the frame's kFrameFlagTraced bit. The chunk's payload vector
+/// is filled by copy so callers can pool buffers.
+bool decode_wire_chunk(const std::byte* data, std::size_t size, WireChunk& out,
+                       bool traced = false);
 
 struct StreamPoolConfig {
   std::string host = "127.0.0.1";

@@ -18,6 +18,8 @@ enum class RpcTag : std::uint8_t {
   kShutdown = 5,
   kStatsSnapshotRequest = 6,
   kStatsSnapshotResponse = 7,
+  kClockSyncRequest = 8,
+  kClockSyncResponse = 9,
 };
 
 // Decode-side sanity bounds for kStatsSnapshotResponse: a registry dump is
@@ -78,6 +80,18 @@ void encode_rpc_message(const transfer::RpcMessage& message,
               wire::put_u8(out, static_cast<std::uint8_t>(c));
             wire::put_f64(out, metric.value);
           }
+        } else if constexpr (std::is_same_v<T, transfer::ClockSyncRequest>) {
+          wire::put_u8(out,
+                       static_cast<std::uint8_t>(RpcTag::kClockSyncRequest));
+          wire::put_u64(out, m.request_id);
+          wire::put_u64(out, m.t0_ns);
+        } else if constexpr (std::is_same_v<T, transfer::ClockSyncResponse>) {
+          wire::put_u8(out,
+                       static_cast<std::uint8_t>(RpcTag::kClockSyncResponse));
+          wire::put_u64(out, m.request_id);
+          wire::put_u64(out, m.t0_ns);
+          wire::put_u64(out, m.t1_ns);
+          wire::put_u64(out, m.t2_ns);
         } else {
           static_assert(std::is_same_v<T, transfer::Shutdown>);
           wire::put_u8(out, static_cast<std::uint8_t>(RpcTag::kShutdown));
@@ -151,6 +165,22 @@ std::optional<transfer::RpcMessage> decode_rpc_message(const std::byte* data,
         metric.value = r.f64();
         m.metrics.push_back(std::move(metric));
       }
+      return m;
+    }
+    case RpcTag::kClockSyncRequest: {
+      if (r.remaining() < 2 * 8) return std::nullopt;
+      transfer::ClockSyncRequest m;
+      m.request_id = r.u64();
+      m.t0_ns = r.u64();
+      return m;
+    }
+    case RpcTag::kClockSyncResponse: {
+      if (r.remaining() < 4 * 8) return std::nullopt;
+      transfer::ClockSyncResponse m;
+      m.request_id = r.u64();
+      m.t0_ns = r.u64();
+      m.t1_ns = r.u64();
+      m.t2_ns = r.u64();
       return m;
     }
     case RpcTag::kShutdown:

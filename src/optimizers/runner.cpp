@@ -1,5 +1,8 @@
 #include "optimizers/runner.hpp"
 
+#include "telemetry/trace.hpp"
+#include "telemetry/trace_export.hpp"
+
 namespace automdt::optimizers {
 
 RunResult run_transfer(testbed::EmulatedEnvironment& env,
@@ -11,9 +14,19 @@ RunResult run_transfer(testbed::EmulatedEnvironment& env,
   last.observation = env.reset(rng);
   controller.reset(rng);
 
+  const int trk = options.exporter
+                      ? options.exporter->track("optimizer", "controller")
+                      : -1;
+
   ConcurrencyTuple tuple = controller.initial_action();
   while (env.virtual_time_s() < options.max_time_s) {
+    const std::uint64_t step_t0 =
+        options.exporter ? telemetry::now_ns() : 0;
     last = env.step(tuple);
+    if (options.exporter) {
+      options.exporter->emit(trk, "step", step_t0,
+                             telemetry::now_ns() - step_t0);
+    }
 
     testbed::TimePoint p;
     p.time_s = env.virtual_time_s();
@@ -28,7 +41,13 @@ RunResult run_transfer(testbed::EmulatedEnvironment& env,
       result.completed = true;
       break;
     }
+    const std::uint64_t decide_t0 =
+        options.exporter ? telemetry::now_ns() : 0;
     tuple = controller.decide(last, tuple);
+    if (options.exporter) {
+      options.exporter->emit(trk, "decide", decide_t0,
+                             telemetry::now_ns() - decide_t0);
+    }
   }
 
   result.completion_time_s = env.virtual_time_s();

@@ -8,11 +8,19 @@
 #include "testbed/environment.hpp"
 #include "testbed/recorder.hpp"
 
+namespace automdt::telemetry {
+class TraceExporter;
+}
+
 namespace automdt::optimizers {
 
 struct RunOptions {
   /// Abort the run after this much virtual time even if unfinished.
   double max_time_s = 36000.0;
+  /// Optional Chrome-trace span collector: each controller interval emits a
+  /// wall-clock "step"/"decide" span pair on an "optimizer" track. Not
+  /// owned; must outlive the run.
+  telemetry::TraceExporter* exporter = nullptr;
 };
 
 struct RunResult {

@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/trace.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace automdt::rl {
 namespace {
@@ -74,6 +76,16 @@ void PpoAgent::set_telemetry(telemetry::MetricsRegistry* registry,
   c_updates_ = registry->counter("ppo.updates");
 }
 
+void PpoAgent::set_trace_exporter(telemetry::TraceExporter* exporter) {
+  exporter_ = exporter;
+  if (!exporter_) {
+    trk_rollout_ = trk_update_ = -1;
+    return;
+  }
+  trk_rollout_ = exporter_->track("trainer", "rollout");
+  trk_update_ = exporter_->track("trainer", "update");
+}
+
 TrainResult PpoAgent::train(Env& env, double r_max,
                             const EpisodeCallback& on_episode) {
   return run_training(env, r_max, config_.max_episodes,
@@ -110,6 +122,8 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
     double reward_sum = 0.0;
     int steps = 0;
 
+    const std::uint64_t rollout_t0 =
+        exporter_ ? telemetry::now_ns() : 0;
     for (int m = 0; m < config_.steps_per_episode; ++m) {
       const nn::DiagonalGaussian dist = policy_->forward_one(state);
       const nn::Matrix raw_action = dist.sample(rng_);          // 1 x 3
@@ -127,6 +141,11 @@ TrainResult PpoAgent::run_training(Env& env, double r_max, int max_episodes,
       if (out.done) break;
     }
     memory.end_episode();
+    if (exporter_) {
+      exporter_->emit(trk_rollout_, "rollout",
+                      rollout_t0, telemetry::now_ns() - rollout_t0,
+                      "ep" + std::to_string(episode));
+    }
 
     const double episode_reward =
         steps > 0 ? reward_sum / static_cast<double>(steps) : 0.0;
@@ -190,9 +209,15 @@ TrainResult PpoAgent::run_training_vec(VecEnv& envs, double r_max,
   for (int episode = 0; episode < max_episodes && !stop;) {
     // One round: every env runs one episode concurrently under the current
     // policy (on-policy, like synchronized PPO workers).
+    const std::uint64_t rollout_t0 = exporter_ ? telemetry::now_ns() : 0;
     const std::vector<double> round_rewards =
         collect_episodes(envs, *policy_, config_.steps_per_episode, r_max,
                          max_threads_, pool, memory);
+    if (exporter_) {
+      exporter_->emit(trk_rollout_, "rollout",
+                      rollout_t0, telemetry::now_ns() - rollout_t0,
+                      "ep" + std::to_string(episode));
+    }
     pending_episodes += static_cast<int>(round_rewards.size());
     if (!round_rewards.empty() && g_episode_reward_)
       g_episode_reward_->set(round_rewards.back());
@@ -247,12 +272,19 @@ TrainResult PpoAgent::run_training_vec(VecEnv& envs, double r_max,
 void PpoAgent::update_networks(const RolloutMemory& memory) {
   if (memory.empty()) return;
 
+  // Return/advantage preparation is the "GAE" phase of the trace timeline
+  // (this trainer uses discounted-returns advantages; the span name keeps
+  // the conventional label).
+  const std::uint64_t gae_t0 = exporter_ ? telemetry::now_ns() : 0;
   const nn::Tensor states = nn::Tensor::constant(memory.states_matrix());
   const nn::Matrix actions = memory.actions_matrix();
   const nn::Tensor old_log_probs =
       nn::Tensor::constant(memory.log_probs_column());
   const nn::Matrix returns = memory.discounted_returns(config_.gamma);
   const nn::Tensor returns_t = nn::Tensor::constant(returns);
+  const std::uint64_t update_t0 = exporter_ ? telemetry::now_ns() : 0;
+  if (exporter_)
+    exporter_->emit(trk_update_, "gae", gae_t0, update_t0 - gae_t0);
 
   for (int epoch = 0; epoch < config_.update_epochs; ++epoch) {
     const nn::DiagonalGaussian dist = policy_->forward(states);
@@ -316,6 +348,10 @@ void PpoAgent::update_networks(const RolloutMemory& memory) {
     optimizer_->zero_grad();
     loss.backward();
     optimizer_->step();
+  }
+  if (exporter_) {
+    exporter_->emit(trk_update_, "update", update_t0,
+                    telemetry::now_ns() - update_t0);
   }
   if (c_updates_) c_updates_->add();
 }

@@ -22,6 +22,10 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/recorder.hpp"
 
+namespace automdt::telemetry {
+class TraceExporter;
+}
+
 namespace automdt::rl {
 
 struct TrainResult {
@@ -79,6 +83,13 @@ class PpoAgent {
   void set_telemetry(telemetry::MetricsRegistry* registry,
                      telemetry::TimeSeriesRecorder* recorder = nullptr);
 
+  /// Attach a Chrome-trace span collector: each training phase (rollout
+  /// collection, GAE/returns computation, the PPO epoch loop) emits one span
+  /// per occurrence onto "trainer" tracks, time-correlated with any engine
+  /// chunk spans sharing the exporter. Must outlive the agent; nullptr
+  /// detaches.
+  void set_trace_exporter(telemetry::TraceExporter* exporter);
+
   nn::StateDict state_dict();
   void load_state_dict(const nn::StateDict& state);
 
@@ -105,6 +116,10 @@ class PpoAgent {
 
   // Optional telemetry sink (set_telemetry); null = no instrumentation.
   telemetry::TimeSeriesRecorder* recorder_ = nullptr;
+  // Optional span collector (set_trace_exporter); null = no spans.
+  telemetry::TraceExporter* exporter_ = nullptr;
+  int trk_rollout_ = -1;
+  int trk_update_ = -1;
   telemetry::Gauge* g_approx_kl_ = nullptr;
   telemetry::Gauge* g_clip_fraction_ = nullptr;
   telemetry::Gauge* g_entropy_ = nullptr;

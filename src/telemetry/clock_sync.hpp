@@ -1,0 +1,130 @@
+// NTP-style clock synchronization between two DTN agents' steady clocks.
+//
+// std::chrono::steady_clock is monotonic but process-local: the sender's and
+// receiver's timestamps live in unrelated timebases, which is why chunk trace
+// stamps historically stopped at the TCP boundary (the receiver re-stamped).
+// To correlate a sender-side wire stamp with receiver-side events we estimate
+// the offset between the two clocks over the existing control channel:
+//
+//   sender                          receiver
+//   t0 = now() ── ClockSyncRequest ──▶ t1 = now()
+//   t3 = now() ◀─ ClockSyncResponse ── t2 = now()
+//
+//   offset = ((t1 - t0) + (t2 - t3)) / 2      (receiver = sender + offset)
+//   rtt    = (t3 - t0) - (t2 - t1)
+//
+// With symmetric path delay the offset is exact; with asymmetry the error is
+// bounded by rtt/2, so the estimator keeps the sample with the smallest RTT
+// (the classic NTP filter) and the bound shrinks as samples accumulate.
+// Re-syncing periodically bounds drift; each re-sync round only replaces the
+// estimate if its best sample is at least as tight as the current one within
+// the round's window.
+//
+// ClockModel is the hot-path view: one relaxed atomic load for the offset,
+// written whenever the estimator improves. The engine's receiver-side chunk
+// handler reads it to shift wire stamps into the local timebase.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+namespace automdt::telemetry {
+
+/// One request/response round trip's four timestamps, all in nanoseconds:
+/// t0/t3 on the requester's clock, t1/t2 on the responder's.
+struct ClockSyncSample {
+  std::uint64_t t0_ns = 0;  // requester: request sent
+  std::uint64_t t1_ns = 0;  // responder: request received
+  std::uint64_t t2_ns = 0;  // responder: response sent
+  std::uint64_t t3_ns = 0;  // requester: response received
+
+  /// responder_clock = requester_clock + offset.
+  std::int64_t offset_ns() const {
+    // Averaged as two signed one-way deltas; each fits i64 for any two
+    // steady-clock epochs that are less than ~292 years apart.
+    const auto forward = static_cast<std::int64_t>(t1_ns - t0_ns);
+    const auto backward = static_cast<std::int64_t>(t2_ns - t3_ns);
+    return (forward + backward) / 2;
+  }
+
+  /// Path delay excluding responder processing time. 0 for malformed samples
+  /// (t3 < t0 or processing longer than the round trip).
+  std::uint64_t rtt_ns() const {
+    if (t3_ns < t0_ns || t2_ns < t1_ns) return 0;
+    const std::uint64_t total = t3_ns - t0_ns;
+    const std::uint64_t processing = t2_ns - t1_ns;
+    return processing > total ? 0 : total - processing;
+  }
+
+  bool valid() const { return t3_ns >= t0_ns && t2_ns >= t1_ns; }
+};
+
+/// Lock-free published estimate: the consumer side (engine chunk handler)
+/// pays one relaxed load per traced chunk; the producer (sync loop) stores
+/// whenever a better sample lands. A default-constructed model reads as
+/// offset 0 — correct for the single-process loopback deployments where both
+/// "hosts" share one steady clock.
+class ClockModel {
+ public:
+  void publish(std::int64_t offset_ns, std::uint64_t rtt_ns) {
+    offset_ns_.store(offset_ns, std::memory_order_relaxed);
+    rtt_ns_.store(rtt_ns, std::memory_order_relaxed);
+    synced_.store(true, std::memory_order_release);
+  }
+
+  std::int64_t offset_ns() const {
+    return offset_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rtt_ns() const {
+    return rtt_ns_.load(std::memory_order_relaxed);
+  }
+  bool synced() const { return synced_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::int64_t> offset_ns_{0};
+  std::atomic<std::uint64_t> rtt_ns_{0};
+  std::atomic<bool> synced_{false};
+};
+
+/// Min-RTT sample filter. add() returns true when the new sample became the
+/// estimate (strictly tighter RTT than anything seen in this round's window).
+/// Not thread-safe — one sync loop owns it and publishes into a ClockModel.
+class ClockSyncEstimator {
+ public:
+  bool add(const ClockSyncSample& sample) {
+    if (!sample.valid() || sample.rtt_ns() == 0) return false;
+    ++samples_;
+    if (!have_best_ || sample.rtt_ns() < best_rtt_ns_) {
+      best_rtt_ns_ = sample.rtt_ns();
+      best_offset_ns_ = sample.offset_ns();
+      have_best_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool valid() const { return have_best_; }
+  std::int64_t offset_ns() const { return best_offset_ns_; }
+  std::uint64_t rtt_ns() const { return best_rtt_ns_; }
+  /// Asymmetric-delay error bound on offset_ns(): ±rtt/2.
+  std::uint64_t error_bound_ns() const { return best_rtt_ns_ / 2; }
+  std::uint64_t samples() const { return samples_; }
+
+  /// Start a fresh re-sync round: keep nothing, so periodic re-syncs track
+  /// drift instead of pinning to a historic minimum forever.
+  void reset() {
+    have_best_ = false;
+    best_rtt_ns_ = 0;
+    best_offset_ns_ = 0;
+    samples_ = 0;
+  }
+
+ private:
+  bool have_best_ = false;
+  std::uint64_t best_rtt_ns_ = 0;
+  std::int64_t best_offset_ns_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace automdt::telemetry

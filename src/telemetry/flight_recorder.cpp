@@ -1,0 +1,144 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "telemetry/trace.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+std::string wall_clock_stamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  gmtime_s(&tm_buf, &now);
+#else
+  gmtime_r(&now, &tm_buf);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y%m%dT%H%M%SZ", &tm_buf);
+  return buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config,
+                               const MetricsRegistry* registry,
+                               const EventJournal* journal)
+    : config_(std::move(config)), registry_(registry), journal_(journal) {}
+
+void FlightRecorder::write(std::ostream& os, std::string_view reason) const {
+  os << "=== automdt flight recorder dump ===\n";
+  os << "reason: " << reason << "\n";
+  os << "wall_time_utc: " << wall_clock_stamp() << "\n";
+  os << "steady_ns: " << now_ns() << "\n";
+  if (const MetricsRegistry* reg =
+          registry_.load(std::memory_order_acquire)) {
+    os << "\n--- metrics snapshot ---\n";
+    write_snapshot_json(os, reg->snapshot());
+    os << "\n";
+  }
+  if (journal_ != nullptr) {
+    os << "\n--- event journal tail (last " << config_.journal_tail
+       << ", " << journal_->appended() << " total, " << journal_->dropped()
+       << " dropped) ---\n";
+    journal_->dump(os, config_.journal_tail);
+  }
+  os << "=== end of dump ===\n";
+}
+
+std::string FlightRecorder::dump(std::string_view reason) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t n = dumps_.load(std::memory_order_relaxed);
+  std::ostringstream path;
+  path << config_.out_dir << "/" << config_.prefix << "-" << wall_clock_stamp()
+       << "-" << n << ".log";
+  std::ofstream f(path.str());
+  if (!f) {
+    LOG_ERROR("flight recorder: cannot open dump file " << path.str());
+    return "";
+  }
+  write(f, reason);
+  f.flush();
+  if (!f) return "";
+  dumps_.store(n + 1, std::memory_order_relaxed);
+  last_path_ = path.str();
+  LOG_WARN("flight recorder dump written: " << last_path_
+                                            << " (reason: " << reason << ")");
+  return last_path_;
+}
+
+std::string FlightRecorder::last_path() const {
+  std::lock_guard lock(mutex_);
+  return last_path_;
+}
+
+PipelineWatchdog::PipelineWatchdog(WatchdogConfig config, ProgressFn progress,
+                                   FlightRecorder* recorder)
+    : config_(config), progress_(std::move(progress)), recorder_(recorder) {}
+
+PipelineWatchdog::~PipelineWatchdog() { stop(); }
+
+void PipelineWatchdog::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void PipelineWatchdog::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PipelineWatchdog::rearm() { armed_.store(true, std::memory_order_relaxed); }
+
+void PipelineWatchdog::loop() {
+  const auto poll = std::chrono::duration<double>(config_.poll_interval_s);
+  std::optional<std::uint64_t> last_value;
+  std::uint64_t stalled_since_ns = 0;
+
+  std::unique_lock lock(mutex_);
+  while (running_) {
+    cv_.wait_for(lock, poll, [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+
+    const std::optional<std::uint64_t> value = progress_();
+    const std::uint64_t t = now_ns();
+    if (!value.has_value() || value != last_value) {
+      // Idle, done, or advancing: reset the timer, and re-arm if a previous
+      // stall resolved itself so a *new* stall dumps again.
+      if (last_value.has_value() && value.has_value() && value != last_value) {
+        armed_.store(true, std::memory_order_relaxed);
+      }
+      last_value = value;
+      stalled_since_ns = t;
+    } else if (t - stalled_since_ns >=
+               static_cast<std::uint64_t>(config_.stall_after_s * 1e9)) {
+      if (armed_.exchange(false, std::memory_order_relaxed)) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream reason;
+        reason << "pipeline stall: no progress past " << *value << " for "
+               << config_.stall_after_s << "s with work remaining";
+        LOG_ERROR(reason.str());
+        if (recorder_ != nullptr) recorder_->dump(reason.str());
+      }
+    }
+
+    lock.lock();
+  }
+}
+
+}  // namespace automdt::telemetry

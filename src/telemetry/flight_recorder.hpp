@@ -1,0 +1,127 @@
+// Flight recorder: one-call post-mortem dumps, plus the pipeline watchdog
+// that triggers them on stalls.
+//
+// A dump is a single timestamped text file containing, in order: the reason,
+// wall-clock and steady-clock stamps, a generation-stamped JSON snapshot of
+// every registered metric (histogram percentiles included), and the ordered
+// tail of the event journal. That is everything the "which stage stalled and
+// why" diagnosis needs, captured at the moment of failure rather than
+// reconstructed afterwards.
+//
+// The PipelineWatchdog owns a background thread that polls a progress
+// function every poll_interval_s. The progress function returns the current
+// progress value (e.g. bytes written) while unfinished work remains, or
+// nullopt when the pipeline is idle/done. If the value stops advancing for
+// stall_after_s while work remains, the watchdog fires exactly one dump and
+// disarms; it re-arms automatically when progress resumes (or explicitly via
+// rearm() at episode boundaries), so a persistent stall produces one file,
+// not one per poll. The predicate is deliberately "no progress while work
+// remains" rather than "queues non-empty": a stalled *writer* drains nothing,
+// but a stalled *reader* lets the queues run empty while bytes_written is
+// still short of the goal — both must trip it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+
+struct FlightRecorderConfig {
+  std::string out_dir = ".";              // dump files land here
+  std::string prefix = "automdt-flight";  // file name prefix
+  std::size_t journal_tail = 256;         // max journal events per dump
+};
+
+class FlightRecorder {
+ public:
+  /// Either source may be null; the dump simply omits that section.
+  FlightRecorder(FlightRecorderConfig config, const MetricsRegistry* registry,
+                 const EventJournal* journal);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Write one dump file; returns its path, or "" on I/O failure. Serialized
+  /// internally — concurrent callers produce distinct, complete files.
+  std::string dump(std::string_view reason);
+
+  /// Write the dump body (no file) — the file path header excluded.
+  void write(std::ostream& os, std::string_view reason) const;
+
+  /// Re-point the metrics source (e.g. when a serve loop recycles transfer
+  /// sessions and their registries). Null detaches; safe against concurrent
+  /// dump() calls.
+  void set_registry(const MetricsRegistry* registry) {
+    registry_.store(registry, std::memory_order_release);
+  }
+
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  std::string last_path() const;
+
+ private:
+  FlightRecorderConfig config_;
+  std::atomic<const MetricsRegistry*> registry_;
+  const EventJournal* journal_;
+  mutable std::mutex mutex_;
+  std::atomic<std::uint64_t> dumps_{0};
+  std::string last_path_;
+};
+
+struct WatchdogConfig {
+  double poll_interval_s = 0.5;
+  double stall_after_s = 5.0;
+};
+
+class PipelineWatchdog {
+ public:
+  /// Returns the monotone progress value while unfinished work remains, or
+  /// nullopt when idle/complete (which always resets the stall timer).
+  using ProgressFn = std::function<std::optional<std::uint64_t>()>;
+
+  /// `recorder` may be null (stalls are then only counted and logged).
+  PipelineWatchdog(WatchdogConfig config, ProgressFn progress,
+                   FlightRecorder* recorder);
+  ~PipelineWatchdog();
+
+  PipelineWatchdog(const PipelineWatchdog&) = delete;
+  PipelineWatchdog& operator=(const PipelineWatchdog&) = delete;
+
+  void start();
+  void stop();
+
+  /// Allow the next stall to dump again (episode boundary). Also happens
+  /// automatically when progress resumes after a stall.
+  void rearm();
+
+  std::uint64_t stalls_detected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  WatchdogConfig config_;
+  ProgressFn progress_;
+  FlightRecorder* recorder_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<bool> armed_{true};
+};
+
+}  // namespace automdt::telemetry

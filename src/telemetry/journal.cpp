@@ -1,0 +1,104 @@
+#include "telemetry/journal.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "telemetry/trace.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint32_t thread_tag() {
+  // A stable small tag per thread; the hash is only for display, collisions
+  // are cosmetic.
+  const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint32_t>(h ^ (h >> 32)) & 0xFFFF;
+}
+
+}  // namespace
+
+EventJournal::EventJournal(std::size_t capacity)
+    : slots_n_(round_up_pow2(capacity)),
+      mask_(slots_n_ - 1),
+      slots_(std::make_unique<Slot[]>(slots_n_)) {}
+
+void EventJournal::append(LogLevel level, std::string_view text) {
+  const std::uint64_t ticket =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Per-slot version lock: claim with one CAS. Losing it means another
+  // writer lapped the whole ring onto this slot mid-claim; drop rather than
+  // spin — the journal must never backpressure the thread that logs.
+  std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  if ((v & 1) != 0 ||
+      !slot.version.compare_exchange_strong(v, v + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.seq.store(ticket, std::memory_order_relaxed);
+  slot.t_ns.store(now_ns(), std::memory_order_relaxed);
+  slot.thread.store(thread_tag(), std::memory_order_relaxed);
+  slot.level.store(static_cast<std::uint8_t>(level),
+                   std::memory_order_relaxed);
+  const std::size_t n = std::min(text.size(), kTextBytes - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    slot.text[i].store(text[i], std::memory_order_relaxed);
+  slot.length.store(static_cast<std::uint16_t>(n), std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+}
+
+std::vector<JournalEvent> EventJournal::tail(std::size_t max_events) const {
+  std::vector<JournalEvent> out;
+  out.reserve(std::min(max_events, slots_n_));
+  for (std::size_t i = 0; i < slots_n_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) continue;  // empty or mid-write
+    JournalEvent e;
+    e.seq = slot.seq.load(std::memory_order_relaxed);
+    e.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+    e.thread = slot.thread.load(std::memory_order_relaxed);
+    e.level = static_cast<LogLevel>(slot.level.load(std::memory_order_relaxed));
+    const std::size_t n = std::min<std::size_t>(
+        slot.length.load(std::memory_order_relaxed), kTextBytes - 1);
+    e.text.resize(n);
+    for (std::size_t j = 0; j < n; ++j)
+      e.text[j] = slot.text[j].load(std::memory_order_relaxed);
+    // Torn-read check: if a writer touched the slot during the copy, the
+    // version moved — discard rather than surface a spliced record.
+    if (slot.version.load(std::memory_order_acquire) != v1) continue;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JournalEvent& a, const JournalEvent& b) {
+              return a.seq < b.seq;
+            });
+  if (out.size() > max_events)
+    out.erase(out.begin(),
+              out.end() - static_cast<std::ptrdiff_t>(max_events));
+  return out;
+}
+
+void EventJournal::dump(std::ostream& os, std::size_t max_events) const {
+  const std::vector<JournalEvent> events = tail(max_events);
+  const std::uint64_t t0 = events.empty() ? 0 : events.front().t_ns;
+  for (const JournalEvent& e : events) {
+    os << e.seq << "  +" << static_cast<double>(e.t_ns - t0) / 1e6 << "ms  ["
+       << log_level_tag(e.level) << "] [t" << e.thread << "] " << e.text
+       << "\n";
+  }
+  const std::uint64_t drops = dropped();
+  if (drops > 0) os << "(" << drops << " event(s) dropped on collision)\n";
+}
+
+void install_log_journal(EventJournal* journal) { set_log_sink(journal); }
+
+}  // namespace automdt::telemetry

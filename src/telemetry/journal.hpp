@@ -1,0 +1,114 @@
+// Flight-recorder event journal: a lock-free, bounded, overwrite-oldest ring
+// of recent log events, readable at any moment for post-mortem dumps.
+//
+// The problem it solves: a hung or crashed transfer leaves zero evidence —
+// stderr is gone with the terminal, and grepping per-worker logs back into a
+// timeline is exactly the "which stage stalled" diagnosis the paper calls
+// hard. The journal keeps the last N events (default 4096) in memory with
+// sequence numbers and thread ids, so the watchdog / failure paths can dump
+// an ordered tail alongside a registry snapshot.
+//
+// Memory model (DESIGN.md §11): writers never block and never allocate
+// inside the journal. append() claims a slot with one relaxed fetch_add on
+// the global cursor, then takes the slot's per-slot version lock with a
+// single CAS (even = stable, odd = being written). The CAS can only fail if
+// another writer lapped the entire ring and landed on the same slot while
+// this writer was mid-claim — vanishingly rare at 4096 slots — and then the
+// event is dropped and counted rather than waited for; the hot path has no
+// loops, locks, or syscalls. Every payload field (including the text bytes)
+// is a relaxed atomic, so concurrent read/write is well-defined and
+// TSan-clean; readers detect torn slots by re-checking the version after
+// copying and simply skip them.
+//
+// Readers (watchdog dump, tests) are cold-path: they sweep the ring, keep
+// slots whose version was stable across the copy, and sort by sequence
+// number. A reader never impedes writers.
+//
+// install_log_journal() bridges the existing LOG_* macros: every log line at
+// or above the journal's level is appended here (in addition to the locked
+// stderr sink in common/logging.cpp, which stays authoritative for live
+// output).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace automdt::telemetry {
+
+/// One copied-out journal event (reader-side view).
+struct JournalEvent {
+  std::uint64_t seq = 0;    // global append order (0-based)
+  std::uint64_t t_ns = 0;   // steady-clock nanoseconds at append
+  std::uint32_t thread = 0; // hashed thread id (stable within a run)
+  LogLevel level = LogLevel::kInfo;
+  std::string text;
+};
+
+class EventJournal : public LogSink {
+ public:
+  static constexpr std::size_t kTextBytes = 216;
+
+  /// `capacity` is rounded up to a power of two (min 64).
+  explicit EventJournal(std::size_t capacity = 4096);
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Record one event; text beyond kTextBytes-1 is truncated. Never blocks:
+  /// worst case is one failed CAS and a bumped drop counter.
+  void append(LogLevel level, std::string_view text);
+
+  /// LogSink: the LOG_* macro bridge.
+  void write(LogLevel level, std::string_view message) override {
+    append(level, message);
+  }
+
+  /// Events ever appended (including those since overwritten).
+  std::uint64_t appended() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to writer collisions (not to normal ring overwrite).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return slots_n_; }
+
+  /// The most recent `max_events` events, oldest first. Torn slots (written
+  /// concurrently with the sweep) are skipped, so under heavy concurrent
+  /// writes the result can be slightly shorter than the ring.
+  std::vector<JournalEvent> tail(std::size_t max_events) const;
+
+  /// Human-readable tail dump: "seq  +t_ms  [LEVEL] [tid] text" lines.
+  void dump(std::ostream& os, std::size_t max_events) const;
+
+ private:
+  struct Slot {
+    // Even = stable, odd = mid-write; advances by 2 per successful write.
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<std::uint32_t> thread{0};
+    std::atomic<std::uint8_t> level{0};
+    std::atomic<std::uint16_t> length{0};
+    std::atomic<char> text[kTextBytes];
+  };
+
+  std::size_t slots_n_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Install `journal` as the process-wide LOG_* sink (nullptr to detach).
+/// Equivalent to set_log_sink(journal); named for discoverability.
+void install_log_journal(EventJournal* journal);
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,152 @@
+#include "telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "telemetry/metrics.hpp"  // json_escape
+
+namespace automdt::telemetry {
+
+TraceExporter::TraceExporter(std::size_t max_events)
+    : max_events_(std::max<std::size_t>(max_events, 1)) {
+  events_.reserve(std::min<std::size_t>(max_events_, 4096));
+}
+
+int TraceExporter::track(const std::string& process,
+                         const std::string& thread) {
+  std::lock_guard lock(mutex_);
+  int pid = 0, tid = 0, max_pid = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].process == process) {
+      if (tracks_[i].thread == thread) return static_cast<int>(i);
+      pid = tracks_[i].pid;
+      tid = std::max(tid, tracks_[i].tid);
+    }
+    max_pid = std::max(max_pid, tracks_[i].pid);
+  }
+  Track t;
+  t.process = process;
+  t.thread = thread;
+  t.pid = pid != 0 ? pid : max_pid + 1;
+  t.tid = tid + 1;
+  tracks_.push_back(std::move(t));
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void TraceExporter::emit(int track, std::string_view name,
+                         std::uint64_t start_ns, std::uint64_t duration_ns,
+                         std::string_view id, std::string_view args_json) {
+  std::lock_guard lock(mutex_);
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.track = track;
+  e.start_ns = start_ns;
+  e.duration_ns = duration_ns;
+  e.name.assign(name);
+  e.id.assign(id);
+  e.args_json.assign(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceExporter::instant(int track, std::string_view name,
+                            std::uint64_t ts_ns) {
+  std::lock_guard lock(mutex_);
+  if (track < 0 || track >= static_cast<int>(tracks_.size())) return;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.track = track;
+  e.instant = true;
+  e.start_ns = ts_ns;
+  e.name.assign(name);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceExporter::events() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceExporter::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TraceExporter::write_chrome_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  // Rebase onto the earliest event so the viewer opens near t=0 and the
+  // microsecond doubles keep sub-microsecond precision.
+  std::uint64_t epoch_ns = 0;
+  bool have_epoch = false;
+  for (const Event& e : events_) {
+    if (!have_epoch || e.start_ns < epoch_ns) {
+      epoch_ns = e.start_ns;
+      have_epoch = true;
+    }
+  }
+  const auto us = [epoch_ns](std::uint64_t ns) {
+    return static_cast<double>(ns - epoch_ns) / 1000.0;
+  };
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&os, &first] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // Metadata first: names for every registered process/thread pair. One
+  // process_name event per distinct pid is enough, but emitting it per track
+  // is harmless and keeps this loop trivial.
+  for (const Track& t : tracks_) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << t.pid
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+       << json_escape(t.process) << "\"}}";
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << t.pid
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+       << json_escape(t.thread) << "\"}}";
+  }
+  const auto old_precision = os.precision(3);
+  const auto old_flags = os.setf(std::ios::fixed, std::ios::floatfield);
+  for (const Event& e : events_) {
+    const Track& t = tracks_[static_cast<std::size_t>(e.track)];
+    sep();
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\""
+       << (e.instant ? "i" : "X") << "\",\"pid\":" << t.pid
+       << ",\"tid\":" << t.tid << ",\"ts\":" << us(e.start_ns);
+    if (e.instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      os << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1000.0;
+    }
+    if (!e.id.empty() || !e.args_json.empty()) {
+      os << ",\"args\":{";
+      if (!e.id.empty()) os << "\"chunk\":\"" << json_escape(e.id) << "\"";
+      if (!e.args_json.empty()) {
+        if (!e.id.empty()) os << ",";
+        os << e.args_json;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os.precision(old_precision);
+  os.flags(old_flags);
+  os << "\n]}\n";
+}
+
+bool TraceExporter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,90 @@
+// Chrome trace-event JSON export for cross-stage timelines.
+//
+// One TraceExporter collects duration spans from every instrumented
+// component — sampled chunk lifecycles from the transfer engine, PPO trainer
+// phases (rollout / GAE / update), controller intervals from the transfer
+// runner — and writes them as a single Chrome trace-event file
+// (chrome://tracing, Perfetto, speedscope all read it). Tracks map onto the
+// trace viewer's process/thread hierarchy: a "process" per pipeline end
+// (sender / receiver / trainer) and a "thread" per stage, registered up
+// front so the metadata events land before any span.
+//
+// Concurrency: emit() appends under a mutex. That is deliberate — spans are
+// only emitted for the sampled 1-in-N chunk minority and for coarse trainer
+// phases, so the exporter is never on the per-chunk hot path (the journal in
+// journal.hpp is the lock-free component). The buffer is bounded: past
+// max_events further spans are dropped and counted, so a runaway trace can
+// not eat the heap mid-transfer.
+//
+// Timestamps are steady-clock nanoseconds (telemetry::now_ns); the writer
+// converts to the microsecond doubles the trace-event format wants and
+// rebases onto the earliest event so files start near ts=0. Receiver-side
+// spans for wire-stamped chunks are already offset-corrected into the local
+// timebase by the engine (clock_sync.hpp) before they reach the exporter.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace automdt::telemetry {
+
+class TraceExporter {
+ public:
+  explicit TraceExporter(std::size_t max_events = 1u << 16);
+
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Register a (process, thread) track; returns its id for emit(). The same
+  /// pair registers once — repeated calls return the existing id.
+  int track(const std::string& process, const std::string& thread);
+
+  /// One complete ("ph":"X") span on `track`. `id`, when non-empty, lands in
+  /// args.chunk so spans of one chunk correlate across tracks; `args_json`,
+  /// when non-empty, must be extra `"key":value` pairs (no braces).
+  void emit(int track, std::string_view name, std::uint64_t start_ns,
+            std::uint64_t duration_ns, std::string_view id = {},
+            std::string_view args_json = {});
+
+  /// One instant ("ph":"i") marker on `track`.
+  void instant(int track, std::string_view name, std::uint64_t ts_ns);
+
+  std::size_t events() const;
+  std::uint64_t dropped() const;
+
+  /// Serialize everything collected so far as one Chrome trace JSON object.
+  void write_chrome_json(std::ostream& os) const;
+
+  /// write_chrome_json to `path`; false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Track {
+    std::string process;
+    std::string thread;
+    int pid = 0;  // trace-viewer process id (1-based, per distinct process)
+    int tid = 0;  // trace-viewer thread id (1-based within the process)
+  };
+
+  struct Event {
+    int track = 0;
+    bool instant = false;
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+    std::string name;
+    std::string id;
+    std::string args_json;
+  };
+
+  std::size_t max_events_;
+  mutable std::mutex mutex_;
+  std::vector<Track> tracks_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace automdt::telemetry

@@ -6,6 +6,7 @@
 #include "net/socket.hpp"
 #include "net/tcp_transport.hpp"
 #include "telemetry/stats_server.hpp"
+#include "telemetry/trace.hpp"
 
 namespace automdt::transfer {
 
@@ -96,6 +97,14 @@ void DtnPairEnv::start_receiver_agent() {
         const telemetry::MetricsSnapshot snap = session_->telemetry_snapshot();
         receiver_endpoint_->send(
             telemetry::snapshot_to_message(snap, stats_req->request_id));
+      } else if (const auto* sync_req = std::get_if<ClockSyncRequest>(&*msg)) {
+        // Clock-sync responder: stamp receipt (t1) and send (t2) on the
+        // receiver's clock; the requester derives offset and RTT. t1 is
+        // taken as early as possible after delivery so responder processing
+        // time stays out of the RTT estimate.
+        const std::uint64_t t1 = telemetry::now_ns();
+        receiver_endpoint_->send(ClockSyncResponse{
+            sync_req->request_id, sync_req->t0_ns, t1, telemetry::now_ns()});
       }
     }
   });
@@ -104,8 +113,20 @@ void DtnPairEnv::start_receiver_agent() {
 std::vector<double> DtnPairEnv::reset(Rng& rng) {
   (void)rng;
   stop_all();
+  // The engine's receiver side shifts wire stamps through this env-owned
+  // clock model; point the new session at it before construction.
+  config_.engine.telemetry.clock = &clock_model_;
   session_ = std::make_unique<TransferSession>(config_.engine,
                                                config_.file_sizes_bytes);
+  session_->registry().register_callback("clock.offset_ns", [this] {
+    return static_cast<double>(clock_model_.offset_ns());
+  });
+  session_->registry().register_callback("clock.rtt_ns", [this] {
+    return static_cast<double>(clock_model_.rtt_ns());
+  });
+  session_->registry().register_callback("clock.syncs", [this] {
+    return static_cast<double>(clock_syncs_.load());
+  });
   if (!open_control_channel()) {
     // Control plane unavailable (ephemeral port exhaustion, ...): degrade
     // to the in-process channel rather than crash mid-experiment.
@@ -114,6 +135,13 @@ std::vector<double> DtnPairEnv::reset(Rng& rng) {
     receiver_endpoint_ = std::move(receiver);
   }
   start_receiver_agent();
+  // Clock-sync handshake before data flows, so the first wire-stamped chunk
+  // already lands in a synced timebase.
+  if (config_.clock_sync_samples > 0) {
+    sync_clock(std::max(1.0, 8.0 * config_.rpc_latency_s *
+                                 config_.clock_sync_samples));
+    last_clock_sync_ = std::chrono::steady_clock::now();
+  }
   last_action_ = ConcurrencyTuple{1, 1, 1};
   session_->start(last_action_);
   last_stats_ = session_->stats();
@@ -148,6 +176,50 @@ std::optional<StatsSnapshotResponse> DtnPairEnv::query_stats_snapshot(
   return std::nullopt;
 }
 
+bool DtnPairEnv::sync_clock(double timeout_s) {
+  if (!sender_endpoint_) return false;
+  // Fresh round: re-syncs must track drift, not pin to a historic minimum.
+  clock_estimator_.reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (int i = 0; i < config_.clock_sync_samples; ++i) {
+    const std::uint64_t id = next_request_id_++;
+    const std::uint64_t t0 = telemetry::now_ns();
+    sender_endpoint_->send(ClockSyncRequest{id, t0});
+    bool got_response = false;
+    while (!got_response && std::chrono::steady_clock::now() < deadline) {
+      auto msg = sender_endpoint_->try_receive();
+      if (!msg) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (const auto* resp = std::get_if<ClockSyncResponse>(&*msg)) {
+        if (resp->request_id != id) continue;  // stale round-trip
+        telemetry::ClockSyncSample sample;
+        sample.t0_ns = t0;
+        sample.t1_ns = resp->t1_ns;
+        sample.t2_ns = resp->t2_ns;
+        sample.t3_ns = telemetry::now_ns();
+        clock_estimator_.add(sample);
+        got_response = true;
+      } else if (const auto* buf = std::get_if<BufferStatusResponse>(&*msg)) {
+        // Interleaved buffer-status traffic keeps its usual effect.
+        last_receiver_free_ = buf->free_bytes;
+        rpc_responses_.fetch_add(1);
+      }
+    }
+    if (!got_response) break;  // timed out; publish whatever we have
+  }
+  if (!clock_estimator_.valid()) return false;
+  // sample offset = responder − requester = receiver − sender: exactly the
+  // shift the engine applies to sender-side wire stamps.
+  clock_model_.publish(clock_estimator_.offset_ns(), clock_estimator_.rtt_ns());
+  clock_syncs_.fetch_add(1);
+  return true;
+}
+
 double DtnPairEnv::query_receiver_free_bytes() {
   sender_endpoint_->send(BufferStatusRequest{next_request_id_++});
   // Drain any responses that have arrived (including older ones); the most
@@ -162,6 +234,17 @@ double DtnPairEnv::query_receiver_free_bytes() {
 }
 
 EnvStep DtnPairEnv::step(const ConcurrencyTuple& action) {
+  // Periodic clock re-sync: bounds drift between the two agents' steady
+  // clocks without adding control traffic to every step.
+  if (config_.clock_sync_samples > 0 && config_.clock_sync_interval_s > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_clock_sync_).count() >=
+        config_.clock_sync_interval_s) {
+      sync_clock(std::max(0.25, 4.0 * config_.rpc_latency_s *
+                                    config_.clock_sync_samples));
+      last_clock_sync_ = now;
+    }
+  }
   last_action_ = action.clamped(1, config_.engine.max_threads);
   session_->set_concurrency(last_action_);
   // Tell the receiver agent about the new write concurrency (control-plane

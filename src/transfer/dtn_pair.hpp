@@ -20,11 +20,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
 #include "common/env.hpp"
 #include "common/utility.hpp"
+#include "telemetry/clock_sync.hpp"
 #include "transfer/engine.hpp"
 #include "transfer/rpc.hpp"
 
@@ -39,6 +41,13 @@ struct DtnPairConfig {
   /// Applied to both planes: the control channel here and the engine's
   /// chunk path (overrides engine.backend so the pair cannot be split).
   NetworkBackend backend = NetworkBackend::kInProcess;
+  /// Clock-sync cadence on the control channel (telemetry/clock_sync.hpp):
+  /// one round of `clock_sync_samples` request/response round trips at
+  /// reset, re-run every `clock_sync_interval_s` of step() time to bound
+  /// drift. 0 samples disables the handshake entirely; interval <= 0 syncs
+  /// only once at reset.
+  double clock_sync_interval_s = 2.0;
+  int clock_sync_samples = 4;
 };
 
 /// Env implementation whose receiver-side observation features arrive via
@@ -68,6 +77,19 @@ class DtnPairEnv final : public Env {
   /// on timeout. Monitor/test hook, not part of the optimizer loop.
   std::optional<StatsSnapshotResponse> query_stats_snapshot(double timeout_s);
 
+  /// One clock-sync round over the control channel: clock_sync_samples
+  /// request/response round trips, best (min-RTT) sample published into the
+  /// clock model. True if at least one valid sample landed within
+  /// `timeout_s`. Runs automatically at reset and every
+  /// clock_sync_interval_s; exposed for tests.
+  bool sync_clock(double timeout_s);
+
+  /// The published sender→receiver offset estimate (engine reads it to
+  /// shift wire stamps; tests assert loopback offset ≈ 0 within rtt/2).
+  const telemetry::ClockModel& clock() const { return clock_model_; }
+  /// Completed sync rounds (at least one valid sample each).
+  std::uint64_t clock_syncs() const { return clock_syncs_.load(); }
+
  private:
   bool open_control_channel();
   void start_receiver_agent();
@@ -89,6 +111,14 @@ class DtnPairEnv final : public Env {
   double last_receiver_free_ = 0.0;
   TransferStats last_stats_{};
   ConcurrencyTuple last_action_{1, 1, 1};
+
+  // Steady-clock offset sender→receiver, estimated over the control channel
+  // and consumed by the engine's receiver side for wire-stamped chunks. The
+  // model outlives sessions (reset() re-points each new session at it).
+  telemetry::ClockModel clock_model_;
+  telemetry::ClockSyncEstimator clock_estimator_;
+  std::atomic<std::uint64_t> clock_syncs_{0};
+  std::chrono::steady_clock::time_point last_clock_sync_{};
 };
 
 }  // namespace automdt::transfer

@@ -3,11 +3,38 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
+#include <thread>
 
 #include "common/checksum.hpp"
+#include "common/logging.hpp"
 #include "net/stream_pool.hpp"
+#include "telemetry/clock_sync.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace automdt::transfer {
+namespace {
+
+/// Stable cross-host correlation key for one chunk's trace spans: the same
+/// (file, offset) names the chunk on the sender and the receiver, so no
+/// extra id has to cross the wire.
+std::string chunk_trace_id(std::uint64_t file_id, std::uint64_t offset) {
+  std::string id = "f";
+  id += std::to_string(file_id);
+  id += ':';
+  id += std::to_string(offset);
+  return id;
+}
+
+/// Shift a remote (sender-clock) stamp into the local (receiver-clock)
+/// timebase: local = remote + offset. Unsigned wraparound implements the
+/// signed add.
+std::uint64_t shift_ns(std::uint64_t remote_ns, std::int64_t offset_ns) {
+  return remote_ns + static_cast<std::uint64_t>(offset_ns);
+}
+
+}  // namespace
 
 std::uint64_t chunk_checksum(const std::vector<std::byte>& payload) {
   return fnv1a(payload);
@@ -50,7 +77,15 @@ TransferSession::TransferSession(EngineConfig config,
   payload_pool_.set_max_buffers(std::min<std::size_t>(in_flight, 512));
   trace_on_ = telemetry::kTraceCompiledIn && config_.telemetry.enabled &&
               config_.telemetry.sample_every > 0;
+  wire_stamp_on_ = trace_on_ && config_.telemetry.wire_stamp;
   sampler_.set_every(trace_on_ ? config_.telemetry.sample_every : 0);
+  if (trace_on_ && config_.telemetry.exporter != nullptr) {
+    telemetry::TraceExporter& exp = *config_.telemetry.exporter;
+    trk_read_ = exp.track("sender", "read");
+    trk_net_ = exp.track("sender", "network");
+    trk_write_ = exp.track("receiver", "write");
+    trk_e2e_ = exp.track("receiver", "e2e");
+  }
   register_metrics();
 }
 
@@ -125,6 +160,12 @@ void TransferSession::register_metrics() {
   hist_recv_wait_ = registry_.histogram("receiver_queue.wait_ns");
   hist_write_service_ = registry_.histogram("write.service_ns");
   hist_batch_chunks_ = registry_.histogram("network.batch_chunks");
+  // End-to-end spans: reader origin stamp → writer completion. Under the Tcp
+  // backend these only fill in with wire_stamp on (the origin must cross the
+  // wire); trace.wire_ns additionally needs the clock-sync offset to be
+  // meaningful across real hosts.
+  hist_e2e_ = registry_.histogram("trace.e2e_ns");
+  hist_wire_ = registry_.histogram("trace.wire_ns");
   trace_skew_ = registry_.counter("trace.clock_skew");
 }
 
@@ -148,12 +189,27 @@ bool TransferSession::start_tcp_backend() {
         chunk.size = wire.size;
         chunk.checksum = wire.checksum;
         chunk.payload = std::move(wire.payload);
-        // Receiver-side trace sampling: the sender's stamp never crosses the
-        // wire (frame format unchanged), so sampled chunks are re-chosen and
-        // re-stamped here for the receiver-queue-wait / write-service spans.
         if constexpr (telemetry::kTraceCompiledIn) {
-          if (sampler_.should_sample())
+          if (wire.trace_send_ns != 0) {
+            // Wire-stamped chunk: the sender's stamps arrived in the traced
+            // frame extension. Shift them into the local timebase with the
+            // clock-sync offset (0 when unsynced — exact for single-process
+            // loopback) and close the wire-latency span here.
+            const std::int64_t off =
+                config_.telemetry.clock ? config_.telemetry.clock->offset_ns()
+                                        : 0;
+            const std::uint64_t now = telemetry::now_ns();
+            chunk.trace_origin_ns = shift_ns(wire.trace_origin_ns, off);
+            chunk.trace_enqueue_ns = now;
+            hist_wire_->record(telemetry::span_ns(
+                shift_ns(wire.trace_send_ns, off), now, trace_skew_));
+          } else if (!wire_stamp_on_ && sampler_.should_sample()) {
+            // Untraced frame without wire stamping: sampled chunks are
+            // re-chosen and re-stamped here for the receiver-queue-wait /
+            // write-service spans (no cross-wire correlation). With wire
+            // stamping on, sampling is decided once, on the sender.
             chunk.trace_enqueue_ns = telemetry::now_ns();
+          }
         }
         if (!receiver_queue_->push(std::move(chunk))) return false;
         if (chunks_forwarded_->add() == total_chunks_) {
@@ -341,6 +397,22 @@ void TransferSession::reader_loop(int worker_id) {
     const std::uint64_t idx =
         claim_cursor_.fetch_add(1, std::memory_order_relaxed);
     if (idx >= total_chunks_) break;  // all chunks claimed
+    // Fault injection (tests / CI stall smoke): the reader claiming this
+    // chunk goes silent once while its siblings drain the rest, so the
+    // pipeline stalls just short of completion — the watchdog's signature.
+    if (config_.fault.reader_stall_after_chunks > 0 &&
+        idx >= config_.fault.reader_stall_after_chunks &&
+        !fault_fired_.exchange(true)) {
+      LOG_WARN("fault injection: reader stalling "
+               << config_.fault.reader_stall_s << "s at chunk " << idx);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.fault.reader_stall_s));
+      while (!stopping_.load() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (stopping_.load()) break;
+    }
     const auto it = std::upper_bound(file_first_chunk_.begin(),
                                      file_first_chunk_.end(), idx);
     const auto file = static_cast<std::size_t>(
@@ -381,6 +453,12 @@ void TransferSession::reader_loop(int worker_id) {
         hist_read_service_->record(
             telemetry::span_ns(trace_t0, now, trace_skew_));
         chunk.trace_enqueue_ns = now;
+        chunk.trace_origin_ns = trace_t0;
+        if (trk_read_ >= 0) {
+          config_.telemetry.exporter->emit(
+              trk_read_, "read", trace_t0, now - trace_t0,
+              chunk_trace_id(chunk.file_id, chunk.offset));
+        }
       }
     }
 
@@ -455,6 +533,14 @@ void TransferSession::network_loop_tcp(int worker_id) {
       wire.offset = chunk.offset;
       wire.size = chunk.size;
       wire.checksum = chunk.checksum;
+      if constexpr (telemetry::kTraceCompiledIn) {
+        // Sampled chunk + wire stamping on: the stamps ride the traced
+        // frame extension; trace_send_ns != 0 is what flags the frame.
+        if (wire_stamp_on_ && chunk.trace_enqueue_ns != 0) {
+          wire.trace_origin_ns = chunk.trace_origin_ns;
+          wire.trace_send_ns = telemetry::now_ns();
+        }
+      }
       wire.payload = std::move(chunk.payload);
       wires.push_back(std::move(wire));
     }
@@ -463,14 +549,26 @@ void TransferSession::network_loop_tcp(int worker_id) {
     bytes_sent_->add(total);
     if (!stream_pool_->send_chunks(worker_id, wires.data(), wires.size())) {
       bytes_sent_->sub(total);
+      if (!stopping_.load() && config_.telemetry.flight != nullptr)
+        config_.telemetry.flight->dump("data-plane send failure");
       break;
     }
     if constexpr (telemetry::kTraceCompiledIn) {
       if (trace_sampled != 0) {
-        const std::uint64_t span = telemetry::span_ns(
-            trace_t0, telemetry::now_ns(), trace_skew_);
+        const std::uint64_t now = telemetry::now_ns();
+        const std::uint64_t span =
+            telemetry::span_ns(trace_t0, now, trace_skew_);
         for (std::size_t i = 0; i < trace_sampled; ++i)
           hist_net_service_->record(span);
+        if (trk_net_ >= 0) {
+          for (const Chunk& chunk : batch) {
+            if (chunk.trace_enqueue_ns != 0) {
+              config_.telemetry.exporter->emit(
+                  trk_net_, "network", trace_t0, now - trace_t0,
+                  chunk_trace_id(chunk.file_id, chunk.offset));
+            }
+          }
+        }
       }
     }
     // The wire copies have left through the socket; recycle the payloads.
@@ -509,6 +607,11 @@ void TransferSession::network_loop(int worker_id) {
           const std::uint64_t now = telemetry::now_ns();
           hist_net_service_->record(
               telemetry::span_ns(trace_t0, now, trace_skew_));
+          if (trk_net_ >= 0) {
+            config_.telemetry.exporter->emit(
+                trk_net_, "network", trace_t0, now - trace_t0,
+                chunk_trace_id(chunk.file_id, chunk.offset));
+          }
           chunk.trace_enqueue_ns = now;  // re-stamp for the writer stage
         }
       }
@@ -539,14 +642,37 @@ void TransferSession::writer_loop(int worker_id) {
     }
     if (!write_bucket_.acquire(chunk.size)) break;
     if (config_.verify_payload && config_.fill_payload) {
-      if (chunk_checksum(chunk.payload) != chunk.checksum)
-        verify_failures_->add();
+      if (chunk_checksum(chunk.payload) != chunk.checksum) {
+        if (verify_failures_->add() == 1 &&
+            config_.telemetry.flight != nullptr) {
+          // First corruption gets a full dump; the counter tracks the rest.
+          config_.telemetry.flight->dump("payload checksum verify failure");
+        }
+      }
     }
     payload_pool_.release(std::move(chunk.payload));
     if constexpr (telemetry::kTraceCompiledIn) {
-      if (trace_t0 != 0)
-        hist_write_service_->record(telemetry::span_ns(
-            trace_t0, telemetry::now_ns(), trace_skew_));
+      if (trace_t0 != 0) {
+        const std::uint64_t now = telemetry::now_ns();
+        hist_write_service_->record(
+            telemetry::span_ns(trace_t0, now, trace_skew_));
+        const bool have_origin = chunk.trace_origin_ns != 0;
+        if (have_origin) {
+          hist_e2e_->record(telemetry::span_ns(chunk.trace_origin_ns, now,
+                                               trace_skew_));
+        }
+        if (trk_write_ >= 0) {
+          const std::string id =
+              chunk_trace_id(chunk.file_id, chunk.offset);
+          config_.telemetry.exporter->emit(trk_write_, "write", trace_t0,
+                                           now - trace_t0, id);
+          if (have_origin && now >= chunk.trace_origin_ns) {
+            config_.telemetry.exporter->emit(trk_e2e_, "chunk.e2e",
+                                             chunk.trace_origin_ns,
+                                             now - chunk.trace_origin_ns, id);
+          }
+        }
+      }
     }
     bytes_written_->add(chunk.size);
     if (chunks_written_->add() == total_chunks_) {

@@ -59,6 +59,12 @@ class StreamPool;
 class StreamAcceptor;
 }  // namespace automdt::net
 
+namespace automdt::telemetry {
+class ClockModel;
+class FlightRecorder;
+class TraceExporter;
+}  // namespace automdt::telemetry
+
 namespace automdt::transfer {
 
 /// One staged unit of data in flight.
@@ -71,8 +77,16 @@ struct Chunk {
   /// entered the staging queue it currently sits in, 0 = not sampled. Set by
   /// the producing stage for 1-in-N chunks (EngineConfig::telemetry), read by
   /// the consuming stage to attribute queue-wait vs service time. Process-
-  /// local only — it does not cross the TCP wire (the receiver re-stamps).
+  /// local only — it crosses the TCP wire only when
+  /// TelemetryOptions::wire_stamp flags the frame (otherwise the receiver
+  /// re-stamps).
   std::uint64_t trace_enqueue_ns = 0;
+  /// End-to-end trace origin: steady-clock ns when the reader stage first
+  /// touched this chunk (0 = not sampled). Unlike trace_enqueue_ns it is
+  /// never re-stamped, so the writer can close an end-to-end span against
+  /// it. Under the Tcp backend with wire_stamp on, the receiver shifts the
+  /// sender's origin into the local timebase via the clock-sync offset.
+  std::uint64_t trace_origin_ns = 0;
   std::vector<std::byte> payload;
 };
 
@@ -127,6 +141,34 @@ struct TelemetryOptions {
   /// collapses to one relaxed load in the reader and a stamp==0 test
   /// downstream.
   std::uint32_t sample_every = 128;
+  /// Carry sampled chunks' trace stamps across the Tcp data plane (16 extra
+  /// header bytes + kFrameFlagTraced on those frames only). Off by default:
+  /// the wire format stays byte-identical and the receiver re-stamps. With
+  /// it on, sampled chunks gain correlated sender→receiver spans and the
+  /// trace.e2e_ns / trace.wire_ns histograms fill in.
+  bool wire_stamp = false;
+  /// Optional span collector (chrome://tracing export). Not owned; must
+  /// outlive the session. Only sampled chunks emit spans, so this is off the
+  /// per-chunk hot path.
+  telemetry::TraceExporter* exporter = nullptr;
+  /// Clock offset receiver→sender for wire-stamped chunks (clock_sync.hpp).
+  /// Not owned; null or unsynced reads as offset 0, which is exact for the
+  /// single-process loopback deployments.
+  const telemetry::ClockModel* clock = nullptr;
+  /// Flight recorder for failure-path dumps (payload verify failures, data-
+  /// plane send failures). Not owned; null disables.
+  telemetry::FlightRecorder* flight = nullptr;
+};
+
+/// Fault injection for tests and the CI stall smoke: makes "a stage silently
+/// stops making progress" reproducible on demand.
+struct FaultOptions {
+  /// After this many chunks have been claimed, the reader holding the next
+  /// claim sleeps reader_stall_s once before proceeding (0 = off). Other
+  /// readers keep draining, so the pipeline visibly stalls just short of
+  /// completion — the exact signature the watchdog exists to catch.
+  std::uint64_t reader_stall_after_chunks = 0;
+  double reader_stall_s = 0.0;
 };
 
 struct EngineConfig {
@@ -144,6 +186,7 @@ struct EngineConfig {
   NetworkBackend backend = NetworkBackend::kInProcess;
   TcpBackendOptions tcp{};
   TelemetryOptions telemetry{};
+  FaultOptions fault{};
 };
 
 struct TransferStats {
@@ -330,13 +373,26 @@ class TransferSession {
   // -DAUTOMDT_TELEMETRY=OFF; see telemetry/trace.hpp).
   telemetry::TraceSampler sampler_;
   bool trace_on_ = false;  // telemetry.enabled && sample_every > 0
+  bool wire_stamp_on_ = false;  // trace_on_ && telemetry.wire_stamp
   telemetry::LogLinearHistogram* hist_read_service_ = nullptr;
   telemetry::LogLinearHistogram* hist_sender_wait_ = nullptr;
   telemetry::LogLinearHistogram* hist_net_service_ = nullptr;
   telemetry::LogLinearHistogram* hist_recv_wait_ = nullptr;
   telemetry::LogLinearHistogram* hist_write_service_ = nullptr;
   telemetry::LogLinearHistogram* hist_batch_chunks_ = nullptr;
+  telemetry::LogLinearHistogram* hist_e2e_ = nullptr;
+  telemetry::LogLinearHistogram* hist_wire_ = nullptr;
   telemetry::Counter* trace_skew_ = nullptr;
+
+  // Chrome-trace export tracks (registered once in the ctor when an
+  // exporter is configured; emission happens only for sampled chunks).
+  int trk_read_ = -1;
+  int trk_net_ = -1;
+  int trk_write_ = -1;
+  int trk_e2e_ = -1;
+
+  // One-shot latch for FaultOptions::reader_stall_after_chunks.
+  std::atomic<bool> fault_fired_{false};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> finished_{false};

@@ -64,9 +64,28 @@ struct StatsSnapshotResponse {
   std::vector<MetricValue> metrics;  // registration order preserved
 };
 
+/// kClockSync*: NTP-style steady-clock offset estimation between the two
+/// agents (telemetry/clock_sync.hpp). The requester stamps t0 at send; the
+/// responder echoes it back with its own receive (t1) and send (t2) stamps;
+/// the requester adds t3 at receipt. All stamps are process-local
+/// steady-clock nanoseconds — meaningful only to the clock that produced
+/// them, which is exactly what the offset estimator needs.
+struct ClockSyncRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t t0_ns = 0;  // requester clock: request sent
+};
+
+struct ClockSyncResponse {
+  std::uint64_t request_id = 0;
+  std::uint64_t t0_ns = 0;  // echoed from the request
+  std::uint64_t t1_ns = 0;  // responder clock: request received
+  std::uint64_t t2_ns = 0;  // responder clock: response sent
+};
+
 using RpcMessage = std::variant<BufferStatusRequest, BufferStatusResponse,
                                 ConcurrencyUpdate, ThroughputReport,
                                 StatsSnapshotRequest, StatsSnapshotResponse,
+                                ClockSyncRequest, ClockSyncResponse,
                                 Shutdown>;
 
 /// One endpoint of a duplex control channel. Implementations: the in-process

@@ -160,6 +160,74 @@ TEST(Cli, TrainWritesTelemetryCsv) {
   std::remove(csv.c_str());
 }
 
+TEST(Cli, TransferWritesChromeTrace) {
+  const std::string trace = temp_path("automdt_cli_transfer_trace.json");
+  const CommandResult r = run_cli(
+      "transfer --preset read --controller oracle --files 2 --size-mb 100"
+      " --trace-out " + trace);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace written to"), std::string::npos) << r.output;
+  std::FILE* f = std::fopen(trace.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  std::array<char, 4096> buf{};
+  while (std::fgets(buf.data(), buf.size(), f)) contents += buf.data();
+  std::fclose(f);
+  EXPECT_NE(contents.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(contents.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(contents.find("\"name\":\"decide\""), std::string::npos);
+  EXPECT_NE(contents.find("\"optimizer\""), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, ServeWritesTraceAndInjectedStallDumpsFlightRecorder) {
+  // The acceptance path: a real loopback-TCP serve window with tracing on
+  // and one injected reader stall. It must produce (a) a Chrome trace with
+  // wire-stamped sender/receiver spans, and (b) exactly one watchdog dump.
+  const std::string bin = AUTOMDT_CLI_PATH;
+  const std::string trace = temp_path("automdt_cli_serve_trace.json");
+  const std::string flight_dir = temp_path("automdt_cli_flight");
+  run_shell("rm -rf " + flight_dir + " && mkdir -p " + flight_dir);
+  const CommandResult r = run_shell(
+      bin +
+      // duration < stall-seconds: exactly one transfer (the 2 s stall pins
+      // it past the deadline), hence exactly one watchdog dump.
+      " serve --files 2 --size-mb 4 --duration 2 --telemetry-port 28653"
+      " --telemetry-sample 8 --trace-out " + trace +
+      " --flight-dir " + flight_dir +
+      " --inject-reader-stall 8 --stall-seconds 2 --watchdog-seconds 0.5");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace written to"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("watchdog:"), std::string::npos) << r.output;
+
+  std::FILE* f = std::fopen(trace.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  std::array<char, 4096> buf{};
+  while (std::fgets(buf.data(), buf.size(), f)) contents += buf.data();
+  std::fclose(f);
+  // Correlated tracks from both pipeline ends, with chunk-id span args.
+  EXPECT_NE(contents.find("\"sender\""), std::string::npos);
+  EXPECT_NE(contents.find("\"receiver\""), std::string::npos);
+  EXPECT_NE(contents.find("\"chunk\":\"f"), std::string::npos);
+
+  // Exactly one flight-recorder dump, containing snapshot + journal tail.
+  const CommandResult ls = run_shell("ls " + flight_dir);
+  int dumps = 0;
+  for (std::size_t at = ls.output.find("automdt-flight-");
+       at != std::string::npos;
+       at = ls.output.find("automdt-flight-", at + 1))
+    ++dumps;
+  EXPECT_EQ(dumps, 1) << ls.output;
+  const CommandResult dump = run_shell("cat " + flight_dir + "/*.log");
+  EXPECT_NE(dump.output.find("pipeline stall"), std::string::npos)
+      << dump.output;
+  EXPECT_NE(dump.output.find("metrics snapshot"), std::string::npos);
+  EXPECT_NE(dump.output.find("event journal tail"), std::string::npos);
+  run_shell("rm -rf " + flight_dir);
+  std::remove(trace.c_str());
+}
+
 TEST(Cli, ConfigOverrideApplied) {
   const std::string conf = temp_path("automdt_cli_test.conf");
   {

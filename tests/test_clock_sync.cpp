@@ -1,0 +1,154 @@
+// NTP-style clock-offset estimation between two steady clocks
+// (telemetry/clock_sync.hpp): sample arithmetic, the min-RTT filter, and the
+// published ClockModel the engine's receiver path reads.
+#include "telemetry/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace automdt::telemetry {
+namespace {
+
+// Build a sample from ground truth: the responder's clock reads the
+// requester's clock plus `offset` (signed), with one-way delays `fwd`/`bwd`
+// and responder processing time `proc`, all in ns.
+ClockSyncSample make_sample(std::uint64_t t0, std::int64_t offset,
+                            std::uint64_t fwd, std::uint64_t bwd,
+                            std::uint64_t proc) {
+  ClockSyncSample s;
+  s.t0_ns = t0;
+  s.t1_ns = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(t0 + fwd) + offset);
+  s.t2_ns = s.t1_ns + proc;
+  s.t3_ns = t0 + fwd + proc + bwd;
+  return s;
+}
+
+TEST(ClockSyncSample, SymmetricDelayRecoversOffsetExactly) {
+  for (const std::int64_t offset : {0ll, 123456789ll, -987654321ll}) {
+    const ClockSyncSample s =
+        make_sample(1'000'000'000ull, offset, /*fwd=*/40'000, /*bwd=*/40'000,
+                    /*proc=*/5'000);
+    ASSERT_TRUE(s.valid());
+    EXPECT_EQ(s.offset_ns(), offset) << "offset " << offset;
+    EXPECT_EQ(s.rtt_ns(), 80'000u);
+  }
+}
+
+TEST(ClockSyncSample, ResponderClockFarBehindRequester) {
+  // The responder's steady clock booted much later: huge negative offset.
+  // offset_ns() works through unsigned wraparound, so this must stay exact.
+  const std::int64_t offset = -3'600'000'000'000ll;  // -1 hour
+  const ClockSyncSample s =
+      make_sample(7'200'000'000'000ull, offset, 10'000, 10'000, 1'000);
+  EXPECT_EQ(s.offset_ns(), offset);
+}
+
+TEST(ClockSyncSample, AsymmetricDelayErrorBoundedByHalfRtt) {
+  // fwd != bwd skews the estimate by (fwd - bwd) / 2; the estimator's
+  // documented bound is +/- rtt / 2.
+  const std::int64_t true_offset = 5'000'000;
+  const ClockSyncSample s =
+      make_sample(1'000'000ull, true_offset, /*fwd=*/90'000, /*bwd=*/10'000,
+                  /*proc=*/0);
+  const std::int64_t error = s.offset_ns() - true_offset;
+  EXPECT_EQ(error, (90'000 - 10'000) / 2);
+  EXPECT_LE(static_cast<std::uint64_t>(error > 0 ? error : -error),
+            s.rtt_ns() / 2);
+}
+
+TEST(ClockSyncSample, ProcessingTimeIsExcludedFromRtt) {
+  const ClockSyncSample s =
+      make_sample(0, /*offset=*/0, /*fwd=*/30'000, /*bwd=*/30'000,
+                  /*proc=*/500'000);
+  EXPECT_EQ(s.rtt_ns(), 60'000u);  // not 560'000
+  EXPECT_EQ(s.offset_ns(), 0);
+}
+
+TEST(ClockSyncSample, MalformedSamplesAreInvalid) {
+  ClockSyncSample backwards;  // response "received" before request sent
+  backwards.t0_ns = 100;
+  backwards.t1_ns = 100;
+  backwards.t2_ns = 100;
+  backwards.t3_ns = 50;
+  EXPECT_FALSE(backwards.valid());
+  EXPECT_EQ(backwards.rtt_ns(), 0u);
+
+  ClockSyncSample negative_proc;
+  negative_proc.t0_ns = 100;
+  negative_proc.t1_ns = 500;
+  negative_proc.t2_ns = 400;  // t2 < t1
+  negative_proc.t3_ns = 900;
+  EXPECT_FALSE(negative_proc.valid());
+  EXPECT_EQ(negative_proc.rtt_ns(), 0u);
+}
+
+TEST(ClockSyncEstimator, KeepsMinimumRttSample) {
+  ClockSyncEstimator est;
+  EXPECT_FALSE(est.valid());
+
+  // Jittery link: same true offset, varying delay symmetry. The tightest
+  // (most symmetric) sample must win and pin the estimate.
+  const std::int64_t offset = 42'000'000;
+  EXPECT_TRUE(est.add(make_sample(0, offset, 400'000, 100'000, 0)));
+  const std::int64_t skewed = est.offset_ns();
+  EXPECT_NE(skewed, offset);  // asymmetric first sample is off...
+  EXPECT_LE(std::abs(skewed - offset),
+            static_cast<std::int64_t>(est.error_bound_ns()));  // ...but bounded
+
+  EXPECT_TRUE(est.add(make_sample(1'000'000, offset, 20'000, 20'000, 5'000)));
+  EXPECT_EQ(est.offset_ns(), offset);  // symmetric + tighter: exact
+  EXPECT_EQ(est.rtt_ns(), 40'000u);
+  EXPECT_EQ(est.error_bound_ns(), 20'000u);
+
+  // A looser sample never replaces a tighter one.
+  EXPECT_FALSE(est.add(make_sample(2'000'000, offset + 777, 50'000, 50'000, 0)));
+  EXPECT_EQ(est.offset_ns(), offset);
+  EXPECT_EQ(est.samples(), 3u);
+}
+
+TEST(ClockSyncEstimator, RejectsInvalidAndZeroRttSamples) {
+  ClockSyncEstimator est;
+  ClockSyncSample zero;  // all-zero timestamps: rtt 0
+  EXPECT_FALSE(est.add(zero));
+  EXPECT_FALSE(est.valid());
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(ClockSyncEstimator, ResetStartsAFreshRound) {
+  ClockSyncEstimator est;
+  ASSERT_TRUE(est.add(make_sample(0, 1'000, 10'000, 10'000, 0)));
+  est.reset();
+  EXPECT_FALSE(est.valid());
+  EXPECT_EQ(est.samples(), 0u);
+  // After reset even a looser sample becomes the estimate (drift tracking).
+  EXPECT_TRUE(est.add(make_sample(0, 2'000, 500'000, 500'000, 0)));
+  EXPECT_EQ(est.offset_ns(), 2'000);
+}
+
+TEST(ClockModel, DefaultReadsAsUnsyncedZeroOffset) {
+  ClockModel model;
+  EXPECT_FALSE(model.synced());
+  EXPECT_EQ(model.offset_ns(), 0);
+  EXPECT_EQ(model.rtt_ns(), 0u);
+
+  model.publish(-123, 456);
+  EXPECT_TRUE(model.synced());
+  EXPECT_EQ(model.offset_ns(), -123);
+  EXPECT_EQ(model.rtt_ns(), 456u);
+}
+
+TEST(ClockModel, UnsignedShiftImplementsSignedCorrection) {
+  // The engine shifts remote stamps with `remote + (uint64)offset`; unsigned
+  // wraparound must implement the signed add for both offset signs.
+  const auto shift = [](std::uint64_t remote, std::int64_t offset) {
+    return remote + static_cast<std::uint64_t>(offset);
+  };
+  EXPECT_EQ(shift(1'000'000, 500), 1'000'500u);
+  EXPECT_EQ(shift(1'000'000, -500), 999'500u);
+  EXPECT_EQ(shift(1'000'000, -1'000'000), 0u);
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

@@ -99,6 +99,52 @@ TEST_P(DtnPairBackends, StatsSnapshotRpcReportsLiveRegistry) {
   EXPECT_DOUBLE_EQ(value_of(*second, "engine.finished"), 1.0);
 }
 
+TEST_P(DtnPairBackends, ClockSyncEstimatesLoopbackOffsetWithinBound) {
+  DtnPairConfig cfg = small_pair(GetParam());
+  cfg.clock_sync_samples = 4;
+  DtnPairEnv env(cfg);
+  Rng rng(7);
+  env.reset(rng);  // reset() runs the initial sync round
+
+  ASSERT_GE(env.clock_syncs(), 1u);
+  const telemetry::ClockModel& clock = env.clock();
+  ASSERT_TRUE(clock.synced());
+  // Both agents share one process and one steady clock: the true offset is
+  // exactly 0, so the estimate must sit inside the +/- rtt/2 error bound.
+  const std::int64_t offset = clock.offset_ns();
+  const std::uint64_t magnitude =
+      static_cast<std::uint64_t>(offset >= 0 ? offset : -offset);
+  EXPECT_GT(clock.rtt_ns(), 0u);
+  EXPECT_LE(magnitude, clock.rtt_ns() / 2 + 1);
+
+  // An explicit re-sync keeps working after the pipeline has been running.
+  EXPECT_TRUE(env.sync_clock(5.0));
+  EXPECT_GE(env.clock_syncs(), 2u);
+}
+
+TEST_P(DtnPairBackends, ClockSyncCanBeDisabled) {
+  DtnPairConfig cfg = small_pair(GetParam());
+  cfg.clock_sync_samples = 0;
+  DtnPairEnv env(cfg);
+  Rng rng(8);
+  env.reset(rng);
+  env.step({2, 2, 2});
+  EXPECT_EQ(env.clock_syncs(), 0u);
+  EXPECT_FALSE(env.clock().synced());
+}
+
+TEST_P(DtnPairBackends, PeriodicReSyncHappensDuringStepping) {
+  DtnPairConfig cfg = small_pair(GetParam());
+  cfg.clock_sync_samples = 2;
+  cfg.clock_sync_interval_s = 0.001;  // elapses within any 0.1 s probe step
+  DtnPairEnv env(cfg);
+  Rng rng(9);
+  env.reset(rng);
+  const std::uint64_t after_reset = env.clock_syncs();
+  for (int i = 0; i < 3; ++i) env.step({2, 2, 2});
+  EXPECT_GT(env.clock_syncs(), after_reset);
+}
+
 TEST(DtnPairEnv, TcpBackendMovesChunksOverRealStreams) {
   DtnPairEnv env(small_pair(NetworkBackend::kTcp));
   Rng rng(7);

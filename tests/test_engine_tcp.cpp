@@ -6,9 +6,16 @@
 
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <thread>
 
+#include "common/logging.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/trace_export.hpp"
 #include "transfer/engine.hpp"
 
 namespace automdt::transfer {
@@ -198,6 +205,132 @@ TEST(TcpBackend, SocketBufferAndNodelayOptionsApply) {
   session.start({2, 2, 2});
   ASSERT_TRUE(session.wait_finished(30.0));
   EXPECT_EQ(session.stats().verify_failures, 0u);
+}
+
+TEST(TcpBackend, WireStampFillsEndToEndAndWireHistograms) {
+  EngineConfig config = tcp_config();
+  config.telemetry.sample_every = 1;  // stamp every chunk
+  config.telemetry.wire_stamp = true;
+  TransferSession session(config, dataset(4, 256.0 * 1024));
+  session.start({2, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  const auto snap = session.telemetry_snapshot();
+  // Stamps crossed the wire: the receiver correlated sender send-time with
+  // local arrival (wire) and reader origin with write completion (e2e).
+  EXPECT_GT(snap.value_or("trace.wire_ns.count"), 0.0);
+  EXPECT_GT(snap.value_or("trace.e2e_ns.count"), 0.0);
+  // Single process, one clock: e2e spans at least the write-service time.
+  EXPECT_GE(snap.value_or("trace.e2e_ns.p50"),
+            snap.value_or("write.service_ns.p50"));
+}
+
+TEST(TcpBackend, WireStampOffLeavesCrossHostHistogramsEmpty) {
+  EngineConfig config = tcp_config();
+  config.telemetry.sample_every = 1;
+  config.telemetry.wire_stamp = false;  // default: receiver re-stamps
+  TransferSession session(config, dataset(4, 256.0 * 1024));
+  session.start({2, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  const auto snap = session.telemetry_snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("trace.wire_ns.count"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("trace.e2e_ns.count"), 0.0);
+  // Local per-stage tracing still works without the wire extension.
+  EXPECT_GT(snap.value_or("write.service_ns.count"), 0.0);
+}
+
+TEST(TcpBackend, ExportedTraceCorrelatesSenderAndReceiverSpansPerChunk) {
+  telemetry::TraceExporter exporter;
+  EngineConfig config = tcp_config();
+  config.telemetry.sample_every = 1;
+  config.telemetry.wire_stamp = true;
+  config.telemetry.exporter = &exporter;
+  TransferSession session(config, dataset(2, 128.0 * 1024));
+  session.start({2, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  session.stop();
+
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  const std::string json = os.str();
+
+  // Every event line for one chunk id, keyed by span name -> (ts, dur).
+  const auto spans_for = [&json](const std::string& id) {
+    std::map<std::string, std::pair<double, double>> spans;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"chunk\":\"" + id + "\"") == std::string::npos) continue;
+      const auto name_at = line.find("\"name\":\"") + 8;
+      const std::string name = line.substr(name_at, line.find('"', name_at) -
+                                                        name_at);
+      double ts = -1.0, dur = -1.0;
+      const auto ts_at = line.find("\"ts\":");
+      if (ts_at != std::string::npos) ts = std::stod(line.substr(ts_at + 5));
+      const auto dur_at = line.find("\"dur\":");
+      if (dur_at != std::string::npos)
+        dur = std::stod(line.substr(dur_at + 6));
+      spans[name] = {ts, dur};
+    }
+    return spans;
+  };
+
+  // Chunk f0:0 exists in any dataset and sample_every=1 guarantees it was
+  // traced end to end.
+  const auto spans = spans_for("f0:0");
+  ASSERT_TRUE(spans.count("read")) << json;
+  ASSERT_TRUE(spans.count("network")) << json;
+  ASSERT_TRUE(spans.count("write")) << json;
+  ASSERT_TRUE(spans.count("chunk.e2e")) << json;
+
+  const auto& [read_ts, read_dur] = spans.at("read");
+  const auto& [net_ts, net_dur] = spans.at("network");
+  const auto& [write_ts, write_dur] = spans.at("write");
+  const auto& [e2e_ts, e2e_dur] = spans.at("chunk.e2e");
+  (void)net_dur;
+  // Correlated timeline: the stages happen in pipeline order (same steady
+  // clock on both "hosts" here, so ordering is exact, not just bounded).
+  EXPECT_LE(read_ts, net_ts);
+  EXPECT_LE(net_ts, write_ts + 1e-3);
+  // The end-to-end span starts at the read origin and covers each stage.
+  EXPECT_DOUBLE_EQ(e2e_ts, read_ts);
+  EXPECT_GE(e2e_dur, read_dur);
+  EXPECT_GE(e2e_dur, write_dur);
+  EXPECT_GE(e2e_dur + 1e-3, (write_ts + write_dur) - read_ts);
+}
+
+TEST(TcpBackend, InjectedReaderStallTripsWatchdogExactlyOnce) {
+  EngineConfig config = tcp_config();
+  config.fault.reader_stall_after_chunks = 4;
+  config.fault.reader_stall_s = 0.6;
+  // One reader: the stall freezes the whole read stage, which is the
+  // "pipeline wedged short of completion" signature the watchdog detects.
+  TransferSession session(config, dataset(8, 128.0 * 1024));
+
+  telemetry::FlightRecorderConfig fr;
+  fr.out_dir = ::testing::TempDir();
+  fr.prefix = "engine-stall";
+  telemetry::FlightRecorder recorder(fr, &session.registry(), nullptr);
+  telemetry::PipelineWatchdog watchdog(
+      {0.02, 0.15},
+      [&session]() -> std::optional<std::uint64_t> {
+        const TransferStats s = session.stats();
+        if (s.finished) return std::nullopt;
+        return static_cast<std::uint64_t>(s.bytes_written);
+      },
+      &recorder);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  watchdog.start();
+  session.start({1, 2, 2});
+  ASSERT_TRUE(session.wait_finished(30.0));  // stall resolves, completes
+  watchdog.stop();
+  set_log_level(prev);
+
+  EXPECT_EQ(session.stats().verify_failures, 0u);
+  EXPECT_EQ(session.stats().bytes_written, session.total_bytes());
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  EXPECT_EQ(recorder.dumps(), 1u);
+  EXPECT_FALSE(recorder.last_path().empty());
 }
 
 TEST(TcpBackend, StopMidTransferJoinsCleanly) {

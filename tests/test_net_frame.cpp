@@ -285,6 +285,123 @@ TEST(WireChunkCodec, RoundTrips) {
   EXPECT_EQ(out.payload, in.payload);
 }
 
+TEST(FrameCodec, FlagBitsRoundTripAndStayOutOfType) {
+  Frame in{FrameType::kChunk, pattern(64)};
+  in.flags = kFrameFlagTraced;
+  const auto encoded = encode_frame(in);
+  Frame out;
+  const DecodeResult r = decode_frame(encoded.data(), encoded.size(), out);
+  ASSERT_EQ(r.error, FrameError::kNone);
+  EXPECT_EQ(out.type, FrameType::kChunk);  // flag split out, not a new type
+  EXPECT_EQ(out.flags, kFrameFlagTraced);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(FrameCodec, NoFlagsIsByteIdenticalToDefaultEncoding) {
+  // The wire format with the trace flag off must be bit-for-bit what it was
+  // before flags existed: Frame{type, payload} (flags defaulted) and an
+  // explicit flags=0 encode to identical bytes, and decode with flags == 0.
+  Frame plain{FrameType::kChunk, pattern(128)};
+  Frame explicit_zero{FrameType::kChunk, pattern(128)};
+  explicit_zero.flags = 0;
+  EXPECT_EQ(encode_frame(plain), encode_frame(explicit_zero));
+  Frame out;
+  const auto encoded = encode_frame(plain);
+  ASSERT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kNone);
+  EXPECT_EQ(out.flags, 0u);
+}
+
+TEST(FrameSocketIo, WriterCarriesFlagsPerFrameInScatterBatches) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head = pattern(28);
+  const auto traced_head = pattern(44);
+  const auto body = pattern(256);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    ScatterSegment segments[] = {
+        {head.data(), head.size(), body.data(), body.size(), 0},
+        {traced_head.data(), traced_head.size(), body.data(), body.size(),
+         kFrameFlagTraced},
+    };
+    ASSERT_EQ(w.write_scatter_batch(FrameType::kChunk, segments, 2, 5.0),
+              SocketStatus::kOk);
+    a.shutdown_both();
+  });
+  BufferedFrameReader reader(b);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.flags, 0u);
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.type, FrameType::kChunk);
+  EXPECT_EQ(frame.flags, kFrameFlagTraced);
+  EXPECT_EQ(frame.payload.size(), traced_head.size() + body.size());
+  writer.join();
+}
+
+TEST(WireChunkCodec, TracedHeaderRoundTripsStamps) {
+  WireChunk in;
+  in.file_id = 3;
+  in.offset = 512 * 1024;
+  in.size = 777;
+  in.checksum = 0x1234;
+  in.trace_origin_ns = 111'222'333'444ull;
+  in.trace_send_ns = 111'222'999'000ull;
+  in.payload = pattern(777);
+  std::vector<std::byte> encoded;
+  encode_wire_chunk(in, encoded, /*traced=*/true);
+  EXPECT_EQ(encoded.size(), kWireChunkTracedHeaderBytes);
+  encoded.insert(encoded.end(), in.payload.begin(), in.payload.end());
+  WireChunk out;
+  ASSERT_TRUE(
+      decode_wire_chunk(encoded.data(), encoded.size(), out, /*traced=*/true));
+  EXPECT_EQ(out.trace_origin_ns, in.trace_origin_ns);
+  EXPECT_EQ(out.trace_send_ns, in.trace_send_ns);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(WireChunkCodec, UntracedEncodingIsByteIdenticalWithStampsSet) {
+  // Stamps on the in-memory chunk must not leak into the wire bytes unless
+  // the traced extension is explicitly requested.
+  WireChunk stamped;
+  stamped.file_id = 9;
+  stamped.size = 0;
+  stamped.trace_origin_ns = 42;
+  stamped.trace_send_ns = 43;
+  WireChunk clean;
+  clean.file_id = 9;
+  clean.size = 0;
+  std::vector<std::byte> a, b;
+  encode_wire_chunk(stamped, a);
+  encode_wire_chunk(clean, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), kWireChunkHeaderBytes);
+  // And an untraced decode never invents stamps.
+  WireChunk out;
+  out.trace_origin_ns = 1;
+  out.trace_send_ns = 1;
+  ASSERT_TRUE(decode_wire_chunk(a.data(), a.size(), out));
+  EXPECT_EQ(out.trace_origin_ns, 0u);
+  EXPECT_EQ(out.trace_send_ns, 0u);
+}
+
+TEST(WireChunkCodec, TracedDecodeRejectsShortHeader) {
+  WireChunk in;
+  in.size = 0;
+  std::vector<std::byte> encoded;
+  encode_wire_chunk(in, encoded, /*traced=*/true);
+  WireChunk out;
+  EXPECT_FALSE(decode_wire_chunk(encoded.data(),
+                                 kWireChunkTracedHeaderBytes - 1, out,
+                                 /*traced=*/true));
+  // A plain header is too short for a traced decode.
+  std::vector<std::byte> plain;
+  encode_wire_chunk(in, plain);
+  EXPECT_FALSE(
+      decode_wire_chunk(plain.data(), plain.size(), out, /*traced=*/true));
+}
+
 TEST(WireChunkCodec, RejectsShortAndOverlongInputs) {
   WireChunk out;
   std::vector<std::byte> tiny(kWireChunkHeaderBytes - 1);

@@ -81,6 +81,38 @@ TEST(RpcCodec, RoundTripsEveryMessageType) {
   EXPECT_TRUE(std::holds_alternative<Shutdown>(*out));
 }
 
+TEST(RpcCodec, RoundTripsClockSyncMessages) {
+  auto out = round_trip(transfer::ClockSyncRequest{55, 987'654'321'000ull});
+  ASSERT_TRUE(out.has_value());
+  const auto& req = std::get<transfer::ClockSyncRequest>(*out);
+  EXPECT_EQ(req.request_id, 55u);
+  EXPECT_EQ(req.t0_ns, 987'654'321'000ull);
+
+  transfer::ClockSyncResponse in;
+  in.request_id = 55;
+  in.t0_ns = 987'654'321'000ull;
+  in.t1_ns = 987'654'400'000ull;
+  in.t2_ns = 987'654'410'000ull;
+  out = round_trip(in);
+  ASSERT_TRUE(out.has_value());
+  const auto& resp = std::get<transfer::ClockSyncResponse>(*out);
+  EXPECT_EQ(resp.request_id, in.request_id);
+  EXPECT_EQ(resp.t0_ns, in.t0_ns);
+  EXPECT_EQ(resp.t1_ns, in.t1_ns);
+  EXPECT_EQ(resp.t2_ns, in.t2_ns);
+}
+
+TEST(RpcCodec, RejectsTruncatedClockSyncMessages) {
+  std::vector<std::byte> encoded;
+  encode_rpc_message(transfer::ClockSyncRequest{1, 2}, encoded);
+  for (std::size_t n = 0; n < encoded.size(); ++n)
+    EXPECT_FALSE(decode_rpc_message(encoded.data(), n).has_value()) << n;
+  encoded.clear();
+  encode_rpc_message(transfer::ClockSyncResponse{1, 2, 3, 4}, encoded);
+  for (std::size_t n = 0; n < encoded.size(); ++n)
+    EXPECT_FALSE(decode_rpc_message(encoded.data(), n).has_value()) << n;
+}
+
 TEST(RpcCodec, RejectsTruncatedStatsSnapshot) {
   StatsSnapshotResponse stats;
   stats.request_id = 1;

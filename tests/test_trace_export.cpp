@@ -1,0 +1,145 @@
+// Chrome trace-event export (telemetry/trace_export.hpp): track/pid/tid
+// assignment, the golden serialized form, and the structural invariants the
+// viewer relies on (metadata-before-spans, rebased timestamps, correlated
+// chunk ids).
+#include "telemetry/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace automdt::telemetry {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(TraceExporter, TracksDedupeAndAssignPidTid) {
+  TraceExporter exporter;
+  const int a = exporter.track("sender", "read");
+  const int b = exporter.track("sender", "network");
+  const int c = exporter.track("receiver", "write");
+  const int a2 = exporter.track("sender", "read");
+  EXPECT_EQ(a, a2);  // same (process, thread) pair: same track
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  const std::string json = os.str();
+  // Two distinct processes; sender has two threads.
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2,\"tid\":1"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"process_name\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 3u);
+}
+
+// Golden serialization: fixed inputs must produce this exact document. If
+// this changes, chrome://tracing / Perfetto compatibility must be re-checked
+// by hand before updating the expectation.
+TEST(TraceExporter, GoldenChromeJson) {
+  TraceExporter exporter;
+  const int trk = exporter.track("sender", "read");
+  exporter.emit(trk, "chunk.read", /*start_ns=*/2'000, /*duration_ns=*/1'500,
+                "f0:0");
+  exporter.emit(trk, "chunk.read", /*start_ns=*/5'250, /*duration_ns=*/250,
+                "f0:65536", "\"bytes\":65536");
+  exporter.instant(trk, "stall", /*ts_ns=*/7'000);
+
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"sender\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"read\"}},\n"
+      "{\"name\":\"chunk.read\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+      "\"ts\":0.000,\"dur\":1.500,\"args\":{\"chunk\":\"f0:0\"}},\n"
+      "{\"name\":\"chunk.read\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+      "\"ts\":3.250,\"dur\":0.250,"
+      "\"args\":{\"chunk\":\"f0:65536\",\"bytes\":65536}},\n"
+      "{\"name\":\"stall\",\"ph\":\"i\",\"pid\":1,\"tid\":1,"
+      "\"ts\":5.000,\"s\":\"t\"}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceExporter, TimestampsRebaseOntoEarliestEvent) {
+  TraceExporter exporter;
+  const int trk = exporter.track("p", "t");
+  // Realistic steady-clock magnitudes: hours of uptime in ns.
+  const std::uint64_t base = 7'200'000'000'000ull;
+  exporter.emit(trk, "late", base + 10'000'000, 1'000);
+  exporter.emit(trk, "early", base, 2'000);
+
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"early\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                      "\"ts\":0.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"late\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                      "\"ts\":10000.000"),
+            std::string::npos);
+}
+
+TEST(TraceExporter, BoundedBufferDropsAndCounts) {
+  TraceExporter exporter(/*max_events=*/4);
+  const int trk = exporter.track("p", "t");
+  for (int i = 0; i < 10; ++i) exporter.emit(trk, "e", 100 + i, 1);
+  EXPECT_EQ(exporter.events(), 4u);
+  EXPECT_EQ(exporter.dropped(), 6u);
+
+  // The document still serializes cleanly with exactly 4 span events.
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  EXPECT_EQ(count_occurrences(os.str(), "\"ph\":\"X\""), 4u);
+}
+
+TEST(TraceExporter, InvalidTrackIsIgnored) {
+  TraceExporter exporter;
+  exporter.emit(-1, "nope", 0, 1);
+  exporter.emit(99, "nope", 0, 1);
+  EXPECT_EQ(exporter.events(), 0u);
+}
+
+TEST(TraceExporter, NamesAndIdsAreJsonEscaped) {
+  TraceExporter exporter;
+  const int trk = exporter.track("pro\"cess", "thr\\ead");
+  exporter.emit(trk, "na\"me", 0, 1, "id\"1");
+  std::ostringstream os;
+  exporter.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("pro\\\"cess"), std::string::npos);
+  EXPECT_NE(json.find("thr\\\\ead"), std::string::npos);
+  EXPECT_NE(json.find("na\\\"me"), std::string::npos);
+  EXPECT_NE(json.find("id\\\"1"), std::string::npos);
+}
+
+TEST(TraceExporter, WriteFileRoundTrip) {
+  TraceExporter exporter;
+  const int trk = exporter.track("p", "t");
+  exporter.emit(trk, "e", 1'000, 500);
+  const std::string path = ::testing::TempDir() + "automdt_trace_test.json";
+  ASSERT_TRUE(exporter.write_file(path));
+  std::ifstream f(path);
+  std::stringstream contents;
+  contents << f.rdbuf();
+  std::ostringstream direct;
+  exporter.write_chrome_json(direct);
+  EXPECT_EQ(contents.str(), direct.str());
+  EXPECT_FALSE(exporter.write_file("/nonexistent-dir/x/y/trace.json"));
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

@@ -1,0 +1,200 @@
+// Flight recorder + pipeline watchdog (telemetry/flight_recorder.hpp):
+// dump contents, the exactly-one-dump-per-stall guarantee, re-arming, and
+// that healthy or idle pipelines never trip it.
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/journal.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void sleep_s(double s) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+TEST(FlightRecorder, DumpContainsReasonSnapshotAndJournalTail) {
+  MetricsRegistry registry;
+  registry.counter("write.bytes")->add(12345);
+  EventJournal journal(64);
+  journal.append(LogLevel::kWarn, "reader 3 wedged");
+
+  FlightRecorderConfig config;
+  config.out_dir = ::testing::TempDir();
+  config.prefix = "wd-test";
+  FlightRecorder recorder(config, &registry, &journal);
+
+  const std::string path = recorder.dump("unit test stall");
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(recorder.dumps(), 1u);
+  EXPECT_EQ(recorder.last_path(), path);
+  EXPECT_NE(path.find(::testing::TempDir()), std::string::npos);
+  EXPECT_NE(path.find("wd-test-"), std::string::npos);
+
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("reason: unit test stall"), std::string::npos);
+  EXPECT_NE(text.find("write.bytes"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_NE(text.find("reader 3 wedged"), std::string::npos);
+  EXPECT_NE(text.find("=== end of dump ==="), std::string::npos);
+
+  // Subsequent dumps land in distinct files (numbered suffix).
+  const std::string second = recorder.dump("again");
+  EXPECT_NE(second, path);
+  EXPECT_EQ(recorder.dumps(), 2u);
+}
+
+TEST(FlightRecorder, NullSourcesAreOmittedNotFatal) {
+  FlightRecorderConfig config;
+  config.out_dir = ::testing::TempDir();
+  config.prefix = "wd-null";
+  FlightRecorder recorder(config, nullptr, nullptr);
+  const std::string path = recorder.dump("no sources");
+  ASSERT_FALSE(path.empty());
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.find("metrics snapshot"), std::string::npos);
+  EXPECT_EQ(text.find("event journal"), std::string::npos);
+  EXPECT_NE(text.find("reason: no sources"), std::string::npos);
+}
+
+TEST(FlightRecorder, UnwritableDirectoryReportsFailure) {
+  FlightRecorderConfig config;
+  config.out_dir = "/nonexistent-dir/x/y";
+  FlightRecorder recorder(config, nullptr, nullptr);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(recorder.dump("doomed"), "");
+  set_log_level(prev);
+  EXPECT_EQ(recorder.dumps(), 0u);
+}
+
+TEST(Watchdog, StalledProgressDumpsExactlyOnce) {
+  FlightRecorderConfig config;
+  config.out_dir = ::testing::TempDir();
+  config.prefix = "wd-stall";
+  FlightRecorder recorder(config, nullptr, nullptr);
+
+  WatchdogConfig wd;
+  wd.poll_interval_s = 0.01;
+  wd.stall_after_s = 0.05;
+  // Work remains (a value), but it never advances: a stall.
+  PipelineWatchdog watchdog(
+      wd, []() -> std::optional<std::uint64_t> { return 1000; }, &recorder);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  watchdog.start();
+  sleep_s(0.5);  // ~10x the stall threshold: still only ONE dump
+  watchdog.stop();
+  set_log_level(prev);
+
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  EXPECT_EQ(recorder.dumps(), 1u);
+  const std::string text = slurp(recorder.last_path());
+  EXPECT_NE(text.find("pipeline stall"), std::string::npos);
+  EXPECT_NE(text.find("1000"), std::string::npos);
+}
+
+TEST(Watchdog, HealthyProgressNeverTrips) {
+  std::atomic<std::uint64_t> bytes{0};
+  PipelineWatchdog watchdog(
+      {0.01, 0.05},
+      [&bytes]() -> std::optional<std::uint64_t> {
+        return bytes.fetch_add(1) + 1;  // always advancing
+      },
+      nullptr);
+  watchdog.start();
+  sleep_s(0.3);
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+}
+
+TEST(Watchdog, IdlePipelineNeverTrips) {
+  PipelineWatchdog watchdog(
+      {0.01, 0.05}, []() -> std::optional<std::uint64_t> { return std::nullopt; },
+      nullptr);
+  watchdog.start();
+  sleep_s(0.3);
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+}
+
+TEST(Watchdog, ReArmsWhenProgressResumes) {
+  // Phase 0: stuck at 1. Phase 1: advancing. Phase 2: stuck at 10^6.
+  std::atomic<int> phase{0};
+  std::atomic<std::uint64_t> counter{0};
+  PipelineWatchdog watchdog(
+      {0.01, 0.05},
+      [&]() -> std::optional<std::uint64_t> {
+        switch (phase.load()) {
+          case 0: return 1;
+          case 1: return counter.fetch_add(1) + 2;
+          default: return 1'000'000;
+        }
+      },
+      nullptr);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  watchdog.start();
+  sleep_s(0.25);
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);  // first stall
+  phase.store(1);
+  sleep_s(0.15);  // progress resumes: watchdog re-arms itself
+  phase.store(2);
+  sleep_s(0.25);
+  watchdog.stop();
+  set_log_level(prev);
+  EXPECT_EQ(watchdog.stalls_detected(), 2u);  // second stall dumps again
+}
+
+TEST(Watchdog, ExplicitRearmAllowsNextDump) {
+  FlightRecorderConfig config;
+  config.out_dir = ::testing::TempDir();
+  config.prefix = "wd-rearm";
+  FlightRecorder recorder(config, nullptr, nullptr);
+  PipelineWatchdog watchdog(
+      {0.01, 0.05}, []() -> std::optional<std::uint64_t> { return 7; },
+      &recorder);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::kOff);
+  watchdog.start();
+  sleep_s(0.2);
+  EXPECT_EQ(recorder.dumps(), 1u);
+  watchdog.rearm();  // episode boundary: the same flatline may dump once more
+  sleep_s(0.2);
+  watchdog.stop();
+  set_log_level(prev);
+  EXPECT_EQ(recorder.dumps(), 2u);
+}
+
+TEST(Watchdog, StartStopAreIdempotent) {
+  PipelineWatchdog watchdog(
+      {0.01, 10.0}, []() -> std::optional<std::uint64_t> { return 1; },
+      nullptr);
+  watchdog.start();
+  watchdog.start();
+  watchdog.stop();
+  watchdog.stop();
+  watchdog.start();
+  watchdog.stop();
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

@@ -39,6 +39,18 @@
 //   --interval S            (monitor) poll cadence (default 1 s)
 //   --once                  (monitor) print one JSON snapshot and exit
 //
+// Tracing / flight-recorder options:
+//   --trace-out FILE        (train|transfer|serve) write a Chrome trace-event
+//                           JSON (chrome://tracing, Perfetto). On serve it
+//                           also turns wire stamping on, so sampled chunks
+//                           carry correlated sender/receiver spans.
+//   --flight-dir DIR        (serve) flight-recorder dump directory (default .)
+//   --watchdog-seconds S    (serve) dump after S seconds without byte
+//                           progress while work remains (default 1)
+//   --inject-reader-stall N (serve) fault injection: after N claimed chunks
+//                           one reader sleeps --stall-seconds (default 3),
+//                           so the watchdog path is testable on demand
+//
 // Examples:
 //   automdt train --preset fabric --episodes 6000 --out /tmp/fabric.ckpt
 //   automdt transfer --preset fabric --ckpt /tmp/fabric.ckpt
@@ -61,8 +73,11 @@
 #include "optimizers/monolithic_controller.hpp"
 #include "optimizers/runner.hpp"
 #include "optimizers/static_controller.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/journal.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/stats_server.hpp"
+#include "telemetry/trace_export.hpp"
 #include "testbed/presets.hpp"
 #include "transfer/engine.hpp"
 
@@ -105,6 +120,20 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+// --trace-out: flush the collected spans as Chrome trace-event JSON.
+// Returns false (and complains) on I/O failure.
+bool write_trace(const telemetry::TraceExporter& exporter,
+                 const std::string& path) {
+  if (!exporter.write_file(path)) {
+    std::fprintf(stderr, "failed to write trace %s\n", path.c_str());
+    return false;
+  }
+  std::printf("trace written to %s (%zu events, %llu dropped)\n", path.c_str(),
+              exporter.events(),
+              static_cast<unsigned long long>(exporter.dropped()));
+  return true;
 }
 
 testbed::ScenarioPreset preset_by_name(const std::string& name) {
@@ -206,6 +235,13 @@ int cmd_train(const Args& args) {
     cfg.telemetry_recorder = training_recorder.get();
   }
 
+  // --trace-out: rollout / GAE / update phase spans as a Chrome trace.
+  std::unique_ptr<telemetry::TraceExporter> trace;
+  if (args.flag("trace-out")) {
+    trace = std::make_unique<telemetry::TraceExporter>();
+    cfg.trace_exporter = trace.get();
+  }
+
   testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
   core::OfflineTrainingReport report;
   const core::AutoMdt mdt = core::AutoMdt::train_offline(env, cfg, &report);
@@ -216,6 +252,7 @@ int cmd_train(const Args& args) {
     std::printf("training telemetry written to %s\n",
                 args.get("telemetry-csv", "").c_str());
   }
+  if (trace) write_trace(*trace, args.get("trace-out", "trace.json"));
 
   std::printf("estimates: b=%.0f Mbps, ideal %s, R_max=%.0f\n",
               report.estimates.bottleneck_mbps,
@@ -270,7 +307,14 @@ int cmd_transfer(const Args& args) {
               dataset.name().c_str(),
               format_bytes(dataset.total_bytes()).c_str(),
               preset.name.c_str(), ctrl->name().c_str());
-  const auto res = optimizers::run_transfer(env, *ctrl, rng, {36000.0});
+  optimizers::RunOptions run_options;
+  run_options.max_time_s = 36000.0;
+  std::unique_ptr<telemetry::TraceExporter> trace;
+  if (args.flag("trace-out")) {
+    trace = std::make_unique<telemetry::TraceExporter>();
+    run_options.exporter = trace.get();
+  }
+  const auto res = optimizers::run_transfer(env, *ctrl, rng, run_options);
   std::printf("%s in %s (virtual), average %s\n",
               res.completed ? "completed" : "TIMED OUT",
               format_duration(res.completion_time_s).c_str(),
@@ -280,6 +324,7 @@ int cmd_transfer(const Args& args) {
     res.series.write_csv(f);
     std::printf("trace written to %s\n", args.get("csv", "").c_str());
   }
+  if (trace) write_trace(*trace, args.get("trace-out", "trace.json"));
   return res.completed ? 0 : 1;
 }
 
@@ -294,12 +339,40 @@ int cmd_serve(const Args& args) {
   const int concurrency =
       std::max(1, static_cast<int>(args.get_int("concurrency", 2)));
 
+  // Structured logging: every LOG_* line also lands in a lock-free bounded
+  // journal, so the flight recorder can dump the moments leading up to a
+  // failure without any logging-path contention.
+  telemetry::EventJournal journal(4096);
+  telemetry::install_log_journal(&journal);
+
   transfer::EngineConfig engine;
   engine.backend = transfer::NetworkBackend::kTcp;
   engine.max_threads = std::max(concurrency, 4);
   engine.chunk_bytes = 128 * 1024;
   engine.telemetry.sample_every =
       static_cast<std::uint32_t>(args.get_int("telemetry-sample", 128));
+
+  // --trace-out: collect sampled chunk spans across every transfer of the
+  // serve window. Wire stamping rides along so the sampled chunks carry
+  // correlated sender/receiver spans (single process: clock offset 0 exact).
+  std::unique_ptr<telemetry::TraceExporter> trace;
+  if (args.flag("trace-out")) {
+    trace = std::make_unique<telemetry::TraceExporter>();
+    engine.telemetry.exporter = trace.get();
+    engine.telemetry.wire_stamp = true;
+  }
+
+  // --inject-reader-stall N: make one reader sleep --stall-seconds after N
+  // claimed chunks, so the watchdog's stall->dump path is demonstrable.
+  engine.fault.reader_stall_after_chunks = static_cast<std::uint64_t>(
+      args.get_int("inject-reader-stall", 0));
+  engine.fault.reader_stall_s = std::stod(args.get("stall-seconds", "3"));
+
+  telemetry::FlightRecorderConfig flight_config;
+  flight_config.out_dir = args.get("flight-dir", ".");
+  telemetry::FlightRecorder flight(flight_config, nullptr, &journal);
+  engine.telemetry.flight = &flight;
+
   const std::vector<double> files(
       static_cast<std::size_t>(args.get_int("files", 4)),
       static_cast<double>(args.get_int("size-mb", 8)) * kMB);
@@ -321,16 +394,40 @@ int cmd_serve(const Args& args) {
   });
   if (!server.start()) {
     std::fprintf(stderr, "serve: cannot bind telemetry port %u\n", port);
+    telemetry::install_log_journal(nullptr);
     return 1;
   }
   std::printf("serving kStatsSnapshot on 127.0.0.1:%u for %.0f s\n",
               server.port(), duration_s);
+
+  // Pipeline watchdog: whichever session is live must advance bytes_written
+  // while work remains; --watchdog-seconds of flatline dumps the flight
+  // recorder exactly once (it re-arms when progress resumes).
+  telemetry::WatchdogConfig watchdog_config;
+  watchdog_config.poll_interval_s = 0.1;
+  watchdog_config.stall_after_s = std::stod(args.get("watchdog-seconds", "1"));
+  telemetry::PipelineWatchdog watchdog(
+      watchdog_config,
+      [&]() -> std::optional<std::uint64_t> {
+        std::shared_ptr<transfer::TransferSession> live;
+        {
+          std::lock_guard lock(session_mutex);
+          live = session;
+        }
+        if (!live) return std::nullopt;
+        const auto stats = live->stats();
+        if (stats.finished) return std::nullopt;
+        return static_cast<std::uint64_t>(stats.bytes_written);
+      },
+      &flight);
+  watchdog.start();
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(duration_s);
   int transfers = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     auto next = std::make_shared<transfer::TransferSession>(engine, files);
+    flight.set_registry(&next->registry());
     {
       std::lock_guard lock(session_mutex);
       session = next;
@@ -339,17 +436,27 @@ int cmd_serve(const Args& args) {
     while (!next->wait_finished(0.25)) {
       if (std::chrono::steady_clock::now() >= deadline) break;
     }
+    {
+      std::lock_guard lock(session_mutex);
+      session.reset();
+    }
+    flight.set_registry(nullptr);
     next->stop();
     ++transfers;
   }
+  watchdog.stop();
   server.stop();
-  {
-    std::lock_guard lock(session_mutex);
-    session.reset();
-  }
+  telemetry::install_log_journal(nullptr);
   std::printf("served %llu snapshot(s) over %d transfer(s)\n",
               static_cast<unsigned long long>(server.requests_served()),
               transfers);
+  if (watchdog.stalls_detected() > 0) {
+    std::printf("watchdog: %llu stall(s) detected, last dump %s\n",
+                static_cast<unsigned long long>(watchdog.stalls_detected()),
+                flight.last_path().c_str());
+  }
+  if (trace && !write_trace(*trace, args.get("trace-out", "trace.json")))
+    return 1;
   return 0;
 }
 
