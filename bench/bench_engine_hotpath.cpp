@@ -14,10 +14,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "net/uring.hpp"
 #include "transfer/engine.hpp"
 
 using namespace automdt;
@@ -34,10 +37,20 @@ struct Result {
   transfer::TransferStats stats;
 };
 
+/// I/O-backend knobs for the A/B section; the default reproduces the
+/// historical hot-path setup (syscall backend, header-only chunks).
+struct IoSetup {
+  transfer::IoBackend backend = transfer::IoBackend::kSyscall;
+  bool fill = false;
+  bool sendfile = false;
+  std::string source_dir;
+  std::string sink_dir;
+};
+
 Result run_once(transfer::NetworkBackend backend, bool lock_free,
                 const Sweep& sweep, double total_mib,
                 std::uint32_t trace_sample_every = 0,
-                bool wire_stamp = false) {
+                bool wire_stamp = false, const IoSetup& io = {}) {
   transfer::EngineConfig config;
   config.backend = backend;
   config.lock_free_staging = lock_free;
@@ -45,8 +58,12 @@ Result run_once(transfer::NetworkBackend backend, bool lock_free,
   config.chunk_bytes = 16 * 1024;  // small: coordination dominates
   config.sender_buffer_bytes = 2.0 * kMiB;
   config.receiver_buffer_bytes = 2.0 * kMiB;
-  config.fill_payload = false;  // skip memset/checksum: isolate the hot path
+  config.fill_payload = io.fill;
   config.verify_payload = false;
+  config.io_backend = io.backend;
+  config.tcp.sendfile = io.sendfile;
+  config.file_io.source_dir = io.source_dir;
+  config.file_io.sink_dir = io.sink_dir;
   config.telemetry.sample_every = trace_sample_every;
   config.telemetry.wire_stamp = wire_stamp;
   const std::vector<double> files(32, total_mib * kMiB / 32.0);
@@ -165,6 +182,73 @@ void run_wire_stamp_overhead(double total_mib) {
   std::printf("\n");
 }
 
+// I/O backend A/B (DESIGN.md §12): the syscall baseline vs the io_uring
+// batched/zero-copy backend on the real TCP data plane. On a 1-core CI box
+// wall-clock is noise-bound, so the headline columns are the per-chunk
+// overhead denominators from the engine counters: sys/ck (io.syscalls_total
+// / chunks — storage preads/pwrites + socket sends/recvs/polls + ring
+// enters) and cp/ck (io.payload_copies_total / chunks — payload memcpys
+// after the payload first exists). The legacy receive path alone costs 2
+// copies per chunk; the leased path carves payloads out of the recv block
+// in place, so its only copies are the partial-frame respills at block
+// boundaries (a per-block, not per-chunk, cost).
+void run_io_backend_ab(double total_mib) {
+  const bool uring_available = net::UringRing::available();
+  std::printf("io-backend A/B, tcp <2,2,2> (uring %s):\n",
+              uring_available ? "available" : "UNAVAILABLE - rows fall back");
+  struct Row {
+    const char* label;
+    IoSetup io;
+  };
+  // Synthetic payloads (reader fills chunks in memory) isolate the data
+  // plane; the file rows add real storage endpoints so batched READ/WRITE
+  // SQEs and the sendfile fast path show up in sys/ck.
+  std::vector<Row> rows;
+  rows.push_back({"syscall mem ", {transfer::IoBackend::kSyscall, true}});
+  rows.push_back({"uring   mem ", {transfer::IoBackend::kUring, true}});
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "automdt_bench_io").string();
+  std::error_code ec;
+  std::filesystem::create_directories(dir + "/src", ec);
+  std::filesystem::create_directories(dir + "/dst", ec);
+  if (!ec) {
+    rows.push_back({"syscall file",
+                    {transfer::IoBackend::kSyscall, false, false,
+                     dir + "/src", dir + "/dst"}});
+    rows.push_back({"uring   file",
+                    {transfer::IoBackend::kUring, false, false,
+                     dir + "/src", dir + "/dst"}});
+    rows.push_back({"sendfile    ",
+                    {transfer::IoBackend::kUring, false, true,
+                     dir + "/src", dir + "/dst"}});
+  }
+  const Sweep sweep{2, 2, 2};
+  for (const Row& row : rows) {
+    // Median of 3 for throughput; the per-chunk counters are deterministic
+    // enough that the last run's stats serve for the ratio columns.
+    double runs[3];
+    Result last;
+    for (double& r : runs) {
+      last = run_once(transfer::NetworkBackend::kTcp, /*lock_free=*/true,
+                      sweep, total_mib, 0, false, row.io);
+      r = last.chunks_per_s;
+    }
+    std::sort(std::begin(runs), std::end(runs));
+    const double chunks =
+        std::max<double>(1.0, static_cast<double>(last.stats.chunks_written));
+    std::printf("  %s  %8.0f ck/s  sys/ck %6.2f  cp/ck %5.2f  "
+                "(backend=%s fallbacks=%llu)\n",
+                row.label, runs[1],
+                static_cast<double>(last.stats.io_syscalls) / chunks,
+                static_cast<double>(last.stats.payload_copies) / chunks,
+                last.stats.io_backend_uring ? "uring" : "syscall",
+                static_cast<unsigned long long>(
+                    last.stats.io_backend_fallbacks));
+  }
+  std::filesystem::remove_all(dir, ec);
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +273,7 @@ int main(int argc, char** argv) {
     for (const Sweep& sweep : sweeps) run_point(backend, sweep, total_mib);
     std::printf("\n");
   }
+  run_io_backend_ab(total_mib);
   run_telemetry_overhead(total_mib);
   run_wire_stamp_overhead(total_mib);
   return 0;

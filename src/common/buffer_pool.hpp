@@ -1,15 +1,34 @@
-// Small free-list of byte buffers for hot-path chunk payloads.
+// Payload buffer reuse for the hot path: a free-list of heap vectors
+// (BufferPool, the original seam) and a registered-buffer arena handing out
+// refcounted leases (ArenaPool/BufferLease, the io_uring zero-copy seam).
 //
-// The transfer engine moves one std::vector<std::byte> per chunk through the
-// pipeline; without reuse, every chunk costs a fresh heap allocation in the
-// reader (or, on the TCP backend, the receiver-side frame decoder) and a free
-// in the writer. The pool closes that loop: writers release() payloads after
-// verification, readers acquire() them back. Bounded so a stalled stage can
-// never hoard unbounded memory; overflow buffers are simply freed.
+// BufferPool closes the allocate/free loop for the vector-payload path: the
+// transfer engine moves one std::vector<std::byte> per chunk through the
+// pipeline; writers release() payloads after verification, readers (or the
+// TCP receiver's frame decoder) acquire() them back. Bounded so a stalled
+// stage can never hoard unbounded memory; overflow buffers are simply freed.
+//
+// ArenaPool preallocates a fixed set of equally-sized blocks at stable
+// addresses — exactly the shape io_uring's IORING_REGISTER_BUFFERS wants —
+// and hands each out as a single-owner BufferLease. A lease is a move-only
+// view [data, data+size) into one block; the block returns to the free list
+// when the last lease on it drops. subspan() is the only way to share a
+// block (the TCP receiver carves per-chunk payload views out of one recv
+// block); everything else follows strict single-owner hand-off through the
+// pipeline (DESIGN.md §12 has the stage-by-stage ownership rules). When the
+// arena is exhausted the pool falls back to one-shot heap blocks, which are
+// genuinely freed on release — so ASan can catch any use-after-release, the
+// lease-lifecycle canary tests rely on it — and optional poison_on_release
+// scribbles recycled arena blocks for the same bug class in plain builds.
 #pragma once
 
+#include <sys/uio.h>
+
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -79,5 +98,211 @@ class BufferPool {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
+
+class ArenaPool;
+
+namespace detail {
+
+/// Shared control block behind every BufferLease: one per arena block
+/// (embedded in the pool) or one per heap-fallback block (freed with it).
+struct ArenaCtrl {
+  std::atomic<std::uint32_t> refs{0};
+  ArenaPool* pool = nullptr;  // null => heap-fallback block
+  std::uint32_t index = 0;    // registered-buffer index within the pool
+  std::byte* base = nullptr;
+  std::size_t capacity = 0;
+};
+
+}  // namespace detail
+
+/// Move-only view of a byte range inside one refcounted arena (or heap-
+/// fallback) block. Default-constructed leases are null. The viewed block is
+/// recycled (or freed) when the last lease on it is reset/destroyed; any
+/// access after that is a bug the heap-fallback path makes ASan-visible and
+/// ArenaPool's poison option makes checksum-visible.
+class BufferLease {
+ public:
+  /// registered_index() value for blocks io_uring cannot address as fixed
+  /// buffers (heap fallbacks).
+  static constexpr std::uint32_t kUnregistered = 0xFFFFFFFFu;
+
+  BufferLease() = default;
+  ~BufferLease() { reset(); }
+
+  BufferLease(BufferLease&& other) noexcept
+      : ctrl_(other.ctrl_), data_(other.data_), size_(other.size_) {
+    other.ctrl_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  BufferLease& operator=(BufferLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ctrl_ = other.ctrl_;
+      data_ = other.data_;
+      size_ = other.size_;
+      other.ctrl_ = nullptr;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+
+  bool valid() const { return ctrl_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+  std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// Index of the underlying block in the pool's registered-iovec table
+  /// (io_uring buf_index), or kUnregistered for heap-fallback blocks.
+  std::uint32_t registered_index() const {
+    return ctrl_ != nullptr && ctrl_->pool != nullptr ? ctrl_->index
+                                                      : kUnregistered;
+  }
+
+  /// Narrow the view without transferring ownership away: the new lease
+  /// shares the block's refcount, so the block outlives every carved view.
+  /// This is the ONE sanctioned way to alias a block (receiver-side payload
+  /// slicing); pipeline hand-off otherwise moves the single owner.
+  BufferLease subspan(std::size_t offset, std::size_t length) const {
+    BufferLease view;
+    if (ctrl_ == nullptr || offset + length > size_) return view;
+    ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+    view.ctrl_ = ctrl_;
+    view.data_ = data_ + offset;
+    view.size_ = length;
+    return view;
+  }
+
+  /// Resize the view in place (shrink within the block's capacity; used by
+  /// whole-block leases that only filled a prefix).
+  void truncate(std::size_t length) {
+    if (length < size_) size_ = length;
+  }
+
+  void reset();
+
+ private:
+  friend class ArenaPool;
+  detail::ArenaCtrl* ctrl_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Fixed arena of equally-sized blocks at stable addresses, handed out as
+/// whole-block BufferLeases. registered_iovecs() describes every block for
+/// io_uring buffer registration; blocks keep index == iovec position for the
+/// life of the pool. Exhaustion falls back to one-shot heap blocks (counted)
+/// so producers never block on the arena itself.
+class ArenaPool {
+ public:
+  ArenaPool(std::size_t block_bytes, std::size_t block_count,
+            bool poison_on_release = false)
+      : block_bytes_(block_bytes),
+        poison_(poison_on_release),
+        arena_(std::make_unique<std::byte[]>(block_bytes * block_count)),
+        ctrls_(std::make_unique<detail::ArenaCtrl[]>(block_count)),
+        block_count_(block_count) {
+    iovecs_.reserve(block_count);
+    free_.reserve(block_count);
+    for (std::size_t i = 0; i < block_count; ++i) {
+      detail::ArenaCtrl& c = ctrls_[i];
+      c.pool = this;
+      c.index = static_cast<std::uint32_t>(i);
+      c.base = arena_.get() + i * block_bytes;
+      c.capacity = block_bytes;
+      iovecs_.push_back({c.base, block_bytes_});
+      free_.push_back(c.index);
+    }
+  }
+
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  /// One whole free block as a lease (refcount 1). Falls back to a fresh
+  /// heap block of the same size when the arena is exhausted.
+  BufferLease acquire() {
+    detail::ArenaCtrl* ctrl = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      ++acquires_;
+      if (!free_.empty()) {
+        ctrl = &ctrls_[free_.back()];
+        free_.pop_back();
+      } else {
+        ++heap_fallbacks_;
+      }
+    }
+    if (ctrl == nullptr) {
+      ctrl = new detail::ArenaCtrl;
+      ctrl->base = new std::byte[block_bytes_];
+      ctrl->capacity = block_bytes_;
+    }
+    ctrl->refs.store(1, std::memory_order_relaxed);
+    BufferLease lease;
+    lease.ctrl_ = ctrl;
+    lease.data_ = ctrl->base;
+    lease.size_ = ctrl->capacity;
+    return lease;
+  }
+
+  std::size_t block_bytes() const { return block_bytes_; }
+  std::size_t block_count() const { return block_count_; }
+  /// Stable iovec table for IORING_REGISTER_BUFFERS; entry i is block i.
+  const iovec* registered_iovecs() const { return iovecs_.data(); }
+
+  std::uint64_t acquires() const {
+    std::lock_guard lock(mutex_);
+    return acquires_;
+  }
+  std::uint64_t heap_fallbacks() const {
+    std::lock_guard lock(mutex_);
+    return heap_fallbacks_;
+  }
+  std::size_t blocks_free() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  friend class BufferLease;
+
+  void recycle(detail::ArenaCtrl* ctrl) {
+    if (poison_) std::memset(ctrl->base, 0xDD, ctrl->capacity);
+    std::lock_guard lock(mutex_);
+    free_.push_back(ctrl->index);
+  }
+
+  const std::size_t block_bytes_;
+  const bool poison_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::unique_ptr<detail::ArenaCtrl[]> ctrls_;
+  const std::size_t block_count_;
+  std::vector<iovec> iovecs_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+};
+
+inline void BufferLease::reset() {
+  if (ctrl_ == nullptr) return;
+  detail::ArenaCtrl* ctrl = ctrl_;
+  ctrl_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  if (ctrl->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (ctrl->pool != nullptr) {
+      ctrl->pool->recycle(ctrl);
+    } else {
+      delete[] ctrl->base;  // heap fallback: really freed => ASan-checkable
+      delete ctrl;
+    }
+  }
+}
 
 }  // namespace automdt

@@ -28,11 +28,18 @@
 // u64 tickets, so ABA would need 2^64 operations.
 //
 // Blocking policy: a failed immediate attempt spins with a CPU pause, then
-// yields, then parks on a condvar with a bounded timeout. Wakeups are
-// best-effort — the opposite side notifies only when it observes waiters —
-// and the timed wait is the lost-wakeup backstop, so no wakeup protocol has
-// to be airtight for progress. Parks and pre-park stalls are counted and
-// exported through TransferStats.
+// yields, then parks PRECISELY on a per-direction epoch word with C++20
+// std::atomic wait/notify (a futex on Linux). The handshake is the classic
+// waiter protocol: register as a waiter (seq_cst RMW), fence, snapshot the
+// epoch, re-attempt the operation, and only then sleep until the epoch
+// moves. The waking side publishes its ring slot, fences, and bumps+notifies
+// the epoch only when it observes waiters — so the uncontended hot path pays
+// one relaxed load and the parked path wakes on the next matching operation
+// instead of a 1 ms timer tick (the previous design parked on a condvar
+// with a timed backstop, which put a millisecond of dead air into every
+// lost-wakeup race and a spurious wake every millisecond into every long
+// stall). Parks and pre-park stalls are counted and exported through
+// TransferStats.
 //
 // close() semantics match MpmcQueue except for one documented window: a
 // push that has passed its closed-check when close() lands may still
@@ -44,12 +51,9 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -198,7 +202,13 @@ class MpmcRingQueue {
         wake_poppers();
         return true;
       }
-      if (!backoff(spins, push_parks_, push_waiters_, not_full_)) spins = 0;
+      if (keep_spinning(spins)) continue;
+      spins = 0;
+      if (park(push_parks_, push_waiters_, not_full_epoch_,
+               [&] { return ring_.try_push(item); })) {
+        wake_poppers();
+        return true;
+      }
     }
   }
 
@@ -230,7 +240,13 @@ class MpmcRingQueue {
         wake_pushers();
         return true;
       }
-      if (!backoff(spins, pop_parks_, pop_waiters_, not_empty_)) spins = 0;
+      if (keep_spinning(spins)) continue;
+      spins = 0;
+      if (park(pop_parks_, pop_waiters_, not_empty_epoch_,
+               [&] { return ring_.try_pop(out); })) {
+        wake_pushers();
+        return true;
+      }
     }
   }
 
@@ -252,12 +268,16 @@ class MpmcRingQueue {
     return out;
   }
 
-  /// No more pushes accepted; pops drain remaining items then fail.
+  /// No more pushes accepted; pops drain remaining items then fail. The
+  /// seq_cst store + epoch bumps pair with park()'s registered-then-recheck
+  /// sequence: any thread that snapshots an epoch after these bumps must
+  /// also observe closed_ and skips the wait entirely.
   void close() {
-    closed_.store(true, std::memory_order_release);
-    std::lock_guard lock(park_mutex_);
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    closed_.store(true, std::memory_order_seq_cst);
+    not_full_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    not_empty_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    not_full_epoch_.notify_all();
+    not_empty_epoch_.notify_all();
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -280,10 +300,10 @@ class MpmcRingQueue {
   static constexpr int kSpinIters = 64;   // cpu_pause() spins
   static constexpr int kYieldIters = 16;  // sched yields after spinning
 
-  /// One step of the spin/yield/park ladder. Returns false once it parked
-  /// (caller restarts the ladder), true while still spinning.
-  bool backoff(int& spins, std::atomic<std::uint64_t>& parks,
-               std::atomic<int>& waiters, std::condition_variable& cv) {
+  /// Pre-park ladder: true while the caller should keep retrying (pause,
+  /// then yield); false once the spin budget is exhausted and it is time to
+  /// park for real.
+  static bool keep_spinning(int& spins) {
     if (spins < kSpinIters) {
       ++spins;
       cpu_pause();
@@ -294,26 +314,50 @@ class MpmcRingQueue {
       std::this_thread::yield();
       return true;
     }
-    parks.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock lock(park_mutex_);
-    waiters.fetch_add(1, std::memory_order_seq_cst);
-    // The timed wait bounds any lost wakeup; notifies make the common case
-    // prompt. Condition re-check happens in the caller's loop.
-    cv.wait_for(lock, std::chrono::milliseconds(1));
-    waiters.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
 
+  /// Precise park on an epoch word. The waiter handshake that makes this
+  /// lost-wakeup-free without any timed backstop:
+  ///   1. register   — waiters RMW (seq_cst), so wakers can see us;
+  ///   2. fence      — orders the registration against the re-attempt;
+  ///   3. snapshot   — read the epoch we will sleep on;
+  ///   4. re-attempt — `retry()`; success means a waker freed a slot before
+  ///                   seeing our registration, and we must not sleep;
+  ///   5. sleep      — epoch.wait(e) blocks until a waker (which saw our
+  ///                   registration, because of the paired fences) or
+  ///                   close() bumps the epoch.
+  /// Returns true iff the operation succeeded inside the park (the caller
+  /// then skips its own retry); false means "woken or closed — loop again".
+  template <typename Retry>
+  bool park(std::atomic<std::uint64_t>& parks, std::atomic<int>& waiters,
+            std::atomic<std::uint32_t>& epoch, Retry&& retry) {
+    parks.fetch_add(1, std::memory_order_relaxed);
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint32_t e = epoch.load(std::memory_order_seq_cst);
+    bool done = retry();
+    if (!done && !closed_.load(std::memory_order_seq_cst)) epoch.wait(e);
+    waiters.fetch_sub(1, std::memory_order_relaxed);
+    return done;
+  }
+
+  // Waker side of the handshake: the ring slot was published (release store
+  // on the cell seq) before this runs; the fence pairs with park()'s so
+  // either we see the waiter's registration here, or the waiter's re-attempt
+  // sees our slot. One relaxed-ish load is the whole uncontended cost.
   void wake_poppers() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (pop_waiters_.load(std::memory_order_seq_cst) == 0) return;
-    std::lock_guard lock(park_mutex_);
-    not_empty_.notify_one();
+    not_empty_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    not_empty_epoch_.notify_one();
   }
 
   void wake_pushers() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (push_waiters_.load(std::memory_order_seq_cst) == 0) return;
-    std::lock_guard lock(park_mutex_);
-    not_full_.notify_one();
+    not_full_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    not_full_epoch_.notify_one();
   }
 
   MpmcRing<T> ring_;
@@ -322,9 +366,11 @@ class MpmcRingQueue {
   std::atomic<std::uint64_t> push_parks_{0};
   std::atomic<std::uint64_t> pop_stalls_{0};
   std::atomic<std::uint64_t> pop_parks_{0};
-  std::mutex park_mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  // Park/wake state: per-direction epoch words (futex-backed via C++20
+  // atomic wait) on their own cache lines, plus waiter counts gating the
+  // notify so uncontended operations never touch the futex.
+  alignas(64) std::atomic<std::uint32_t> not_full_epoch_{0};
+  alignas(64) std::atomic<std::uint32_t> not_empty_epoch_{0};
   std::atomic<int> push_waiters_{0};
   std::atomic<int> pop_waiters_{0};
 };

@@ -39,10 +39,11 @@ const std::set<std::string>& known_testbed_keys() {
 
 testbed::TestbedConfig apply_testbed_overrides(testbed::TestbedConfig base,
                                                const Config& config) {
-  // Reject unknown testbed-ish keys (anything that is not a ppo.* key and
-  // not recognized here is almost certainly a typo).
+  // Reject unknown testbed-ish keys (anything that is not a ppo.* or
+  // engine.* key and not recognized here is almost certainly a typo).
   for (const std::string& key : config.keys()) {
     if (key.rfind("ppo.", 0) == 0) continue;
+    if (key.rfind("engine.", 0) == 0) continue;
     if (!known_testbed_keys().count(key))
       throw ConfigError("unknown config key: " + key);
   }
@@ -107,6 +108,38 @@ rl::PpoConfig apply_ppo_overrides(rl::PpoConfig base, const Config& config) {
       static_cast<int>(config.get_int("ppo.num_envs", base.num_envs));
   base.seed = static_cast<std::uint64_t>(
       config.get_int("ppo.seed", static_cast<long long>(base.seed)));
+  return base;
+}
+
+transfer::EngineConfig apply_engine_overrides(transfer::EngineConfig base,
+                                              const Config& config) {
+  if (config.has("engine.io_backend")) {
+    const std::string backend = config.get_string("engine.io_backend");
+    if (backend == "uring") {
+      base.io_backend = transfer::IoBackend::kUring;
+    } else if (backend == "syscall") {
+      base.io_backend = transfer::IoBackend::kSyscall;
+    } else {
+      throw ConfigError("engine.io_backend must be syscall or uring, got: " +
+                        backend);
+    }
+  }
+  if (config.has("engine.chunk_kb"))
+    base.chunk_bytes = static_cast<std::size_t>(
+        config.get_int("engine.chunk_kb")) * 1024;
+  base.lock_free_staging =
+      config.get_bool("engine.lock_free_staging", base.lock_free_staging);
+  base.fill_payload =
+      config.get_bool("engine.fill_payload", base.fill_payload);
+  base.verify_payload =
+      config.get_bool("engine.verify_payload", base.verify_payload);
+  base.tcp.sendfile = config.get_bool("engine.sendfile", base.tcp.sendfile);
+  base.debug_poison_leases = config.get_bool("engine.debug_poison_leases",
+                                             base.debug_poison_leases);
+  base.file_io.source_dir =
+      config.get_string("engine.source_dir", base.file_io.source_dir);
+  base.file_io.sink_dir =
+      config.get_string("engine.sink_dir", base.file_io.sink_dir);
   return base;
 }
 

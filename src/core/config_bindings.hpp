@@ -16,11 +16,18 @@
 //              ppo.clip_epsilon, ppo.entropy_coef, ppo.update_epochs,
 //              ppo.episodes_per_batch, ppo.hidden_dim, ppo.policy_blocks,
 //              ppo.value_blocks, ppo.stagnation_episodes, ppo.seed
+//
+//   engine:    engine.io_backend (syscall|uring), engine.chunk_kb,
+//              engine.lock_free_staging, engine.fill_payload,
+//              engine.verify_payload, engine.sendfile,
+//              engine.debug_poison_leases, engine.source_dir,
+//              engine.sink_dir
 #pragma once
 
 #include "common/config.hpp"
 #include "rl/ppo_config.hpp"
 #include "testbed/environment.hpp"
+#include "transfer/engine.hpp"
 
 namespace automdt::core {
 
@@ -31,5 +38,11 @@ testbed::TestbedConfig apply_testbed_overrides(testbed::TestbedConfig base,
 
 /// Apply ppo.* overrides onto a base PPO config.
 rl::PpoConfig apply_ppo_overrides(rl::PpoConfig base, const Config& config);
+
+/// Apply engine.* overrides onto a base transfer-engine config (the real
+/// data-plane knobs: I/O backend seam, chunk size, staging backend, file
+/// endpoints). Throws ConfigError on an unrecognized engine.io_backend.
+transfer::EngineConfig apply_engine_overrides(transfer::EngineConfig base,
+                                              const Config& config);
 
 }  // namespace automdt::core

@@ -76,12 +76,31 @@ DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
   if (size < kFrameHeaderBytes + h.length)
     return {FrameError::kNeedMoreData, 0};
   const std::byte* payload = data + kFrameHeaderBytes;
-  if (fnv1a(payload, h.length) != h.checksum)
+  const auto flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  if ((flags & kFrameFlagUnchecked) == 0 &&
+      fnv1a(payload, h.length) != h.checksum) {
     return {FrameError::kChecksumMismatch, 0};
+  }
   out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
-  out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  out.flags = flags;
   out.payload.assign(payload, payload + h.length);
   return {FrameError::kNone, kFrameHeaderBytes + h.length};
+}
+
+FrameError parse_frame_header(const std::byte* data, std::size_t size,
+                              FrameHeaderView& out,
+                              std::uint32_t max_payload_bytes) {
+  if (size < kFrameHeaderBytes) return FrameError::kNeedMoreData;
+  Header h;
+  if (const FrameError e = parse_header(data, max_payload_bytes, h);
+      e != FrameError::kNone) {
+    return e;
+  }
+  out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
+  out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  out.length = h.length;
+  out.checksum = h.checksum;
+  return FrameError::kNone;
 }
 
 FrameError FrameReader::read(Frame& out, double timeout_s) {
@@ -105,9 +124,11 @@ FrameError FrameReader::read(Frame& out, double timeout_s) {
       case SocketStatus::kError: return FrameError::kTruncated;
     }
   }
-  if (fnv1a(out.payload) != h.checksum) return FrameError::kChecksumMismatch;
+  const auto flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  if ((flags & kFrameFlagUnchecked) == 0 && fnv1a(out.payload) != h.checksum)
+    return FrameError::kChecksumMismatch;
   out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
-  out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  out.flags = flags;
   return FrameError::kNone;
 }
 
@@ -155,17 +176,17 @@ SocketStatus FrameWriter::write_scatter(FrameType type,
   return socket_.write_all(body, body_size, timeout_s);
 }
 
-SocketStatus FrameWriter::write_scatter_batch(FrameType type,
-                                              const ScatterSegment* segments,
-                                              std::size_t count,
-                                              double timeout_s) {
-  if (count == 0) return SocketStatus::kOk;
+std::size_t FrameWriter::build_scatter_batch(FrameType type,
+                                             const ScatterSegment* segments,
+                                             std::size_t count,
+                                             std::vector<iovec>& iov) {
   // All frame headers are serialized into scratch_ up front; reserve first so
   // the iovec base pointers into it stay valid.
   scratch_.clear();
   scratch_.reserve(count * kFrameHeaderBytes);
-  iov_.clear();
-  iov_.reserve(count * 3);
+  iov.clear();
+  iov.reserve(count * 3);
+  std::size_t total = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const ScatterSegment& seg = segments[i];
     const std::size_t header_at = scratch_.size();
@@ -176,15 +197,49 @@ SocketStatus FrameWriter::write_scatter_batch(FrameType type,
                   static_cast<std::uint32_t>(seg.head_size + seg.body_size));
     wire::put_u64(scratch_, fnv1a(seg.body, seg.body_size,
                                   fnv1a(seg.head, seg.head_size)));
-    iov_.push_back({const_cast<std::byte*>(scratch_.data() + header_at),
-                    kFrameHeaderBytes});
+    iov.push_back({const_cast<std::byte*>(scratch_.data() + header_at),
+                   kFrameHeaderBytes});
     if (seg.head_size > 0)
-      iov_.push_back({const_cast<std::byte*>(seg.head), seg.head_size});
+      iov.push_back({const_cast<std::byte*>(seg.head), seg.head_size});
     if (seg.body_size > 0)
-      iov_.push_back({const_cast<std::byte*>(seg.body), seg.body_size});
+      iov.push_back({const_cast<std::byte*>(seg.body), seg.body_size});
+    total += kFrameHeaderBytes + seg.head_size + seg.body_size;
   }
+  return total;
+}
+
+SocketStatus FrameWriter::write_scatter_batch(FrameType type,
+                                              const ScatterSegment* segments,
+                                              std::size_t count,
+                                              double timeout_s) {
+  if (count == 0) return SocketStatus::kOk;
+  build_scatter_batch(type, segments, count, iov_);
   return socket_.write_vec(iov_.data(), static_cast<int>(iov_.size()),
                            timeout_s);
+}
+
+SocketStatus FrameWriter::write_file(FrameType type,
+                                     const std::vector<std::byte>& head,
+                                     int file_fd, std::uint64_t file_offset,
+                                     std::uint32_t file_size, double timeout_s,
+                                     std::uint16_t flags) {
+  scratch_.clear();
+  wire::put_u32(scratch_, kFrameMagic);
+  wire::put_u16(scratch_, kFrameVersion);
+  wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags |
+                              kFrameFlagUnchecked);
+  wire::put_u32(scratch_,
+                static_cast<std::uint32_t>(head.size() + file_size));
+  wire::put_u64(scratch_, 0);  // unchecked: payload bytes stay in the kernel
+  SocketStatus s =
+      socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
+  if (s != SocketStatus::kOk) return s;
+  if (!head.empty()) {
+    s = socket_.write_all(head.data(), head.size(), timeout_s);
+    if (s != SocketStatus::kOk) return s;
+  }
+  if (file_size == 0) return SocketStatus::kOk;
+  return socket_.send_file(file_fd, file_offset, file_size, timeout_s);
 }
 
 FrameError BufferedFrameReader::read(Frame& out, double timeout_s) {

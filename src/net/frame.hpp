@@ -5,9 +5,9 @@
 //   offset  size  field
 //        0     4  magic      "AMDT" on the wire (0x54444D41 as LE u32)
 //        4     2  version    kFrameVersion
-//        6     2  type       FrameType (low 15 bits) | flags (high bit)
+//        6     2  type       FrameType (low 14 bits) | flag bits (top two)
 //        8     4  length     payload bytes (bounded by max_payload_bytes)
-//       12     8  checksum   FNV-1a of the payload bytes
+//       12     8  checksum   FNV-1a of the payload bytes (0 if unchecked)
 //
 // The checksum is the same FNV-1a the engine uses for chunk payloads
 // (common/checksum.hpp), so a frame that decodes cleanly has also proven its
@@ -31,14 +31,18 @@ inline constexpr std::uint32_t kFrameMagic = 0x54444D41u;  // "AMDT" in LE
 inline constexpr std::uint16_t kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 20;
 
-// The header's u16 type field doubles as a small flag word: the low 15 bits
-// are the FrameType, the high bit marks a traced frame (its payload carries
-// the optional trace-stamp extension — see stream_pool.hpp). A frame with no
-// flags set encodes byte-identically to the pre-flag wire format, so tracing
-// off ⇒ unchanged bytes on the wire, and old decoders reject flagged frames
-// as an unknown type instead of mis-parsing the payload.
-inline constexpr std::uint16_t kFrameTypeMask = 0x7FFF;
+// The header's u16 type field doubles as a small flag word: the low 14 bits
+// are the FrameType; the top bit marks a traced frame (its payload carries
+// the optional trace-stamp extension — see stream_pool.hpp) and bit 14 marks
+// an unchecked frame (checksum field 0, verification skipped — the sendfile
+// fast path, whose payload bytes never transit sender user space, cannot
+// FNV them). A frame with no flags set encodes byte-identically to the
+// pre-flag wire format, so default traffic ⇒ unchanged bytes on the wire,
+// and old decoders reject flagged frames as an unknown type instead of
+// mis-parsing the payload.
+inline constexpr std::uint16_t kFrameTypeMask = 0x3FFF;
 inline constexpr std::uint16_t kFrameFlagTraced = 0x8000;
+inline constexpr std::uint16_t kFrameFlagUnchecked = 0x4000;
 
 /// Default payload bound: one control message or one data chunk; far below
 /// this in practice, but large enough for any sane chunk_bytes setting.
@@ -88,6 +92,23 @@ struct DecodeResult {
 DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
                           std::uint32_t max_payload_bytes =
                               kDefaultMaxPayloadBytes);
+
+/// Parsed-and-validated view of one 20-byte frame header.
+struct FrameHeaderView {
+  FrameType type = FrameType::kPing;
+  std::uint16_t flags = 0;
+  std::uint32_t length = 0;    // payload bytes following the header
+  std::uint64_t checksum = 0;  // 0 and unverified under kFrameFlagUnchecked
+};
+
+/// Validate just the header without touching the payload — the in-place
+/// (zero-copy) decode seam: callers verify the checksum against the payload
+/// bytes where they already sit and slice them out as leases. Returns kNone,
+/// kNeedMoreData (size < 20), or a validation error.
+FrameError parse_frame_header(const std::byte* data, std::size_t size,
+                              FrameHeaderView& out,
+                              std::uint32_t max_payload_bytes =
+                                  kDefaultMaxPayloadBytes);
 
 /// Reads one frame at a time from a socket, reusing its scratch buffers.
 /// Not thread-safe; one reader per socket.
@@ -146,6 +167,25 @@ class FrameWriter {
   SocketStatus write_scatter_batch(FrameType type,
                                    const ScatterSegment* segments,
                                    std::size_t count, double timeout_s);
+
+  /// Build the gathered-iovec form of write_scatter_batch without writing:
+  /// serializes every frame header into the reused scratch buffer and fills
+  /// `iov` (cleared first) with the up-to-3-iovecs-per-frame layout. The
+  /// bytes described are exactly what write_scatter_batch would send — this
+  /// is the seam the io_uring sender submits through (one WRITEV SQE over
+  /// the returned vector). The iovecs stay valid until the next call.
+  std::size_t build_scatter_batch(FrameType type,
+                                  const ScatterSegment* segments,
+                                  std::size_t count, std::vector<iovec>& iov);
+
+  /// Emit one frame whose payload is `head` followed by `file_size` bytes
+  /// sendfile(2)'d straight out of `file_fd` at `file_offset` — the kernel-
+  /// to-kernel file→socket fast path. The payload never transits user space,
+  /// so the frame carries kFrameFlagUnchecked (checksum 0) on top of `flags`.
+  SocketStatus write_file(FrameType type, const std::vector<std::byte>& head,
+                          int file_fd, std::uint64_t file_offset,
+                          std::uint32_t file_size, double timeout_s,
+                          std::uint16_t flags = 0);
 
  private:
   Socket& socket_;

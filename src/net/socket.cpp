@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -27,7 +28,9 @@ Clock::time_point deadline_from(double timeout_s) {
 /// poll() one fd for `events`, honouring an absolute deadline. Returns
 /// kOk when ready, kTimeout, or kError. EINTR restarts with the remaining
 /// time (the deadline is absolute, so retries cannot extend the wait).
-SocketStatus poll_until(int fd, short events, Clock::time_point deadline) {
+/// `counter`, when given, counts each poll() issued (data-path accounting).
+SocketStatus poll_until(int fd, short events, Clock::time_point deadline,
+                        std::atomic<std::uint64_t>* counter = nullptr) {
   for (;;) {
     int timeout_ms = -1;
     if (deadline != Clock::time_point::max()) {
@@ -40,6 +43,7 @@ SocketStatus poll_until(int fd, short events, Clock::time_point deadline) {
     }
     pollfd pfd{fd, events, 0};
     const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (counter != nullptr) counter->fetch_add(1, std::memory_order_relaxed);
     if (rc > 0) return SocketStatus::kOk;
     if (rc == 0) return SocketStatus::kTimeout;
     if (errno == EINTR) continue;
@@ -78,12 +82,18 @@ Socket::Socket(int fd) : fd_(fd) {
 
 Socket::~Socket() { close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_),
+      syscalls_(other.syscalls_.load(std::memory_order_relaxed)) {
+  other.fd_ = -1;
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
+    syscalls_.store(other.syscalls_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
     other.fd_ = -1;
   }
   return *this;
@@ -97,6 +107,7 @@ SocketStatus Socket::read_exact(void* data, std::size_t size,
   std::size_t done = 0;
   while (done < size) {
     const ssize_t n = ::recv(fd_, out + done, size - done, 0);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
       continue;
@@ -107,7 +118,7 @@ SocketStatus Socket::read_exact(void* data, std::size_t size,
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      const SocketStatus s = poll_until(fd_, POLLIN, deadline);
+      const SocketStatus s = poll_until(fd_, POLLIN, deadline, &syscalls_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
@@ -124,6 +135,7 @@ SocketStatus Socket::read_some(void* data, std::size_t size, double timeout_s,
   const auto deadline = deadline_from(timeout_s);
   for (;;) {
     const ssize_t n = ::recv(fd_, data, size, 0);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       *received = static_cast<std::size_t>(n);
       return SocketStatus::kOk;
@@ -131,7 +143,7 @@ SocketStatus Socket::read_some(void* data, std::size_t size, double timeout_s,
     if (n == 0) return SocketStatus::kClosed;  // orderly EOF
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      const SocketStatus s = poll_until(fd_, POLLIN, deadline);
+      const SocketStatus s = poll_until(fd_, POLLIN, deadline, &syscalls_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
@@ -147,13 +159,14 @@ SocketStatus Socket::write_all(const void* data, std::size_t size,
   std::size_t done = 0;
   while (done < size) {
     const ssize_t n = ::send(fd_, in + done, size - done, MSG_NOSIGNAL);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const SocketStatus s = poll_until(fd_, POLLOUT, deadline);
+      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
@@ -176,6 +189,7 @@ SocketStatus Socket::write_vec(iovec* iov, int count, double timeout_s) {
     msg.msg_iov = iov;
     msg.msg_iovlen = static_cast<std::size_t>(count);
     const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (n > 0) {
       std::size_t done = static_cast<std::size_t>(n);
       while (count > 0 && done >= iov->iov_len) {
@@ -191,11 +205,37 @@ SocketStatus Socket::write_vec(iovec* iov, int count, double timeout_s) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const SocketStatus s = poll_until(fd_, POLLOUT, deadline);
+      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
     if (n < 0 && errno == EPIPE) return SocketStatus::kClosed;
+    return SocketStatus::kError;
+  }
+  return SocketStatus::kOk;
+}
+
+SocketStatus Socket::send_file(int file_fd, std::uint64_t offset,
+                               std::size_t size, double timeout_s) {
+  if (fd_ < 0) return SocketStatus::kClosed;
+  const auto deadline = deadline_from(timeout_s);
+  auto off = static_cast<off_t>(offset);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::sendfile(fd_, file_fd, &off, size - done);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return SocketStatus::kError;  // file shorter than declared
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
+      if (s != SocketStatus::kOk) return s;
+      continue;
+    }
+    if (errno == EPIPE) return SocketStatus::kClosed;
     return SocketStatus::kError;
   }
   return SocketStatus::kOk;

@@ -19,6 +19,7 @@
 
 #include <sys/uio.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -78,6 +79,12 @@ class Socket {
   /// One syscall per coalesced batch of frames in the common case.
   SocketStatus write_vec(iovec* iov, int count, double timeout_s);
 
+  /// sendfile(2) the byte range [offset, offset+size) of `file_fd` into this
+  /// socket — the file→socket fast path where payload bytes never transit
+  /// user space. Handles partial sends / EAGAIN like write_all.
+  SocketStatus send_file(int file_fd, std::uint64_t offset, std::size_t size,
+                         double timeout_s);
+
   /// Disable Nagle; harmless to call on non-TCP sockets.
   void set_no_delay();
 
@@ -93,8 +100,16 @@ class Socket {
   /// Connected AF_UNIX pair for tests and in-process loopback-free plumbing.
   static bool make_pair(Socket& a, Socket& b);
 
+  /// Data-path syscalls this socket has issued (recv/send/sendmsg/sendfile
+  /// plus their readiness polls) — the denominator behind the engine's
+  /// io.syscalls_total counter. Relaxed; readable from any thread.
+  std::uint64_t syscalls() const {
+    return syscalls_.load(std::memory_order_relaxed);
+  }
+
  private:
   int fd_ = -1;
+  mutable std::atomic<std::uint64_t> syscalls_{0};
 };
 
 /// Listening TCP socket. open() binds immediately so port() is known even

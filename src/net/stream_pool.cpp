@@ -1,8 +1,11 @@
 #include "net/stream_pool.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
+#include "common/checksum.hpp"
 #include "net/wire.hpp"
 
 namespace automdt::net {
@@ -46,6 +49,37 @@ bool decode_wire_chunk(const std::byte* data, std::size_t size, WireChunk& out,
   return true;
 }
 
+namespace {
+
+/// In-place wire-chunk decode: fills every metadata field of `out` and
+/// reports where the payload starts, without touching the payload bytes —
+/// the leased receive path then carves them out as a subspan. Mirrors
+/// decode_wire_chunk's validation exactly.
+bool decode_wire_chunk_meta(const std::byte* data, std::size_t size,
+                            bool traced, WireChunk& out,
+                            std::size_t& payload_at) {
+  const std::size_t header_bytes =
+      traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes;
+  if (size < header_bytes) return false;
+  wire::Reader r(data, size);
+  out.file_id = r.u64();
+  out.offset = r.u64();
+  out.size = r.u32();
+  out.checksum = r.u64();
+  if (traced) {
+    out.trace_origin_ns = r.u64();
+    out.trace_send_ns = r.u64();
+  } else {
+    out.trace_origin_ns = 0;
+    out.trace_send_ns = 0;
+  }
+  if (size - header_bytes > out.size) return false;  // larger than declared
+  payload_at = header_bytes;
+  return true;
+}
+
+}  // namespace
+
 StreamPool::StreamPool(StreamPoolConfig config)
     : config_(std::move(config)), active_(config_.max_streams) {
   streams_.reserve(static_cast<std::size_t>(config_.max_streams));
@@ -72,6 +106,15 @@ bool StreamPool::ensure_ready(Stream& stream, int stream_id) {
   stream.connected = true;
   stream.parked = false;
   connected_.fetch_add(1);
+  if (config_.use_uring && !stream.ring_tried) {
+    // One ring per stream (rings are single-threaded); a failed probe or
+    // setup just leaves the stream on the sendmsg path.
+    stream.ring_tried = true;
+    if (UringRing::available()) {
+      stream.ring = UringRing::create(8);
+      if (stream.ring) uring_streams_.fetch_add(1);
+    }
+  }
   std::vector<std::byte> hello;
   wire::put_u32(hello, static_cast<std::uint32_t>(stream_id));
   if (stream.writer->write(FrameType::kStreamHello, hello,
@@ -152,22 +195,137 @@ bool StreamPool::send_chunks_locked(Stream& stream, const WireChunk* chunks,
     seg.head = stream.scratch.data() + header_at;
     seg.head_size =
         traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes;
-    seg.body = chunks[i].payload.data();
-    seg.body_size = chunks[i].payload.size();
+    seg.body = chunks[i].payload_data();
+    seg.body_size = chunks[i].payload_size();
     seg.flags = traced ? kFrameFlagTraced : 0;
     header_at += seg.head_size;
     stream.segments.push_back(seg);
   }
-  if (stream.writer->write_scatter_batch(FrameType::kChunk,
-                                         stream.segments.data(), count,
-                                         config_.io_timeout_s) !=
-      SocketStatus::kOk) {
+  if (stream.ring) {
+    const std::size_t total = stream.writer->build_scatter_batch(
+        FrameType::kChunk, stream.segments.data(), count, stream.iov);
+    if (!uring_send_locked(stream, total)) return false;
+  } else if (stream.writer->write_scatter_batch(FrameType::kChunk,
+                                                stream.segments.data(), count,
+                                                config_.io_timeout_s) !=
+             SocketStatus::kOk) {
     stream.failed = true;
     return false;
   }
   chunks_sent_.fetch_add(count);
   batch_writes_.fetch_add(1);
   return true;
+}
+
+bool StreamPool::uring_send_locked(Stream& stream, std::size_t total) {
+  iovec* iov = stream.iov.data();
+  std::size_t iovcnt = stream.iov.size();
+  std::size_t done = 0;
+  while (done < total) {
+    bool punt = false;
+    if (!stream.ring->prep_writev(stream.socket.fd(), iov,
+                                  static_cast<unsigned>(iovcnt), 1)) {
+      punt = true;  // SQ full (cannot happen at one SQE per batch) — degrade
+    } else if (stream.ring->submit_and_wait(1, stream.cqes) <= 0 ||
+               stream.cqes.empty()) {
+      // Ring-level failure: retire the ring for good, finish via sendmsg.
+      stream.retired_ring_enters += stream.ring->enters();
+      stream.ring.reset();
+      uring_streams_.fetch_sub(1);
+      punt = true;
+    } else {
+      const std::int32_t res = stream.cqes.front().res;
+      if (res > 0) {
+        done += static_cast<std::size_t>(res);
+        // Partial gathered write: advance the iovec window in place, exactly
+        // like Socket::write_vec does between sendmsg calls.
+        std::size_t left = static_cast<std::size_t>(res);
+        while (iovcnt > 0 && left >= iov->iov_len) {
+          left -= iov->iov_len;
+          ++iov;
+          --iovcnt;
+        }
+        if (iovcnt > 0 && left > 0) {
+          iov->iov_base = static_cast<std::byte*>(iov->iov_base) + left;
+          iov->iov_len -= left;
+        }
+        continue;
+      }
+      if (res == -EINTR) continue;
+      // -EAGAIN (no fast-poll?) or a zero-byte writev: let write_vec's
+      // poll-driven loop wait for the socket properly instead of spinning.
+      if (res == -EAGAIN || res == 0) {
+        punt = true;
+      } else {
+        stream.failed = true;
+        return false;
+      }
+    }
+    if (punt) {
+      if (stream.socket.write_vec(iov, static_cast<int>(iovcnt),
+                                  config_.io_timeout_s) != SocketStatus::kOk) {
+        stream.failed = true;
+        return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+bool StreamPool::send_chunk_file(int stream_id, const WireChunk& meta,
+                                 int file_fd) {
+  if (closed_.load()) return false;
+  if (stream_id < 0 || stream_id >= static_cast<int>(streams_.size()))
+    return false;
+  Stream& stream = *streams_[static_cast<std::size_t>(stream_id)];
+  std::lock_guard lock(stream.mutex);
+  if (closed_.load()) return false;
+  if (!ensure_ready(stream, stream_id)) {
+    send_failures_.fetch_add(1);
+    return false;
+  }
+  if (stream.parked) {
+    if (stream.writer->write(FrameType::kStreamResume, {},
+                             config_.io_timeout_s) != SocketStatus::kOk) {
+      stream.failed = true;
+      send_failures_.fetch_add(1);
+      return false;
+    }
+    stream.parked = false;
+  }
+  const bool traced = meta.trace_send_ns != 0;
+  stream.scratch.clear();
+  wire::put_u64(stream.scratch, meta.file_id);
+  wire::put_u64(stream.scratch, meta.offset);
+  wire::put_u32(stream.scratch, meta.size);
+  wire::put_u64(stream.scratch, meta.checksum);
+  if (traced) {
+    wire::put_u64(stream.scratch, meta.trace_origin_ns);
+    wire::put_u64(stream.scratch, meta.trace_send_ns);
+  }
+  if (stream.writer->write_file(FrameType::kChunk, stream.scratch, file_fd,
+                                meta.offset, meta.size, config_.io_timeout_s,
+                                traced ? kFrameFlagTraced : 0) !=
+      SocketStatus::kOk) {
+    stream.failed = true;
+    send_failures_.fetch_add(1);
+    return false;
+  }
+  chunks_sent_.fetch_add(1);
+  batch_writes_.fetch_add(1);
+  return true;
+}
+
+std::uint64_t StreamPool::io_syscalls() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : streams_) {
+    Stream& stream = *entry;
+    std::lock_guard lock(stream.mutex);
+    total += stream.socket.syscalls() + stream.retired_ring_enters;
+    if (stream.ring) total += stream.ring->enters();
+  }
+  return total;
 }
 
 void StreamPool::set_active(int n) {
@@ -229,8 +387,13 @@ void StreamAcceptor::accept_loop() {
       return;
     }
     stream_sockets_.push_back(shared);
-    reader_threads_.emplace_back(
-        [this, shared = std::move(shared)] { reader_loop(shared); });
+    reader_threads_.emplace_back([this, shared = std::move(shared)] {
+      if (config_.lease_pool != nullptr) {
+        reader_loop_leased(shared);
+      } else {
+        reader_loop(shared);
+      }
+    });
   }
 }
 
@@ -277,6 +440,8 @@ void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
           goto done;
         }
         chunks_received_.fetch_add(1);
+        // Copied path: recv buffer -> Frame::payload -> WireChunk::payload.
+        payload_copies_.fetch_add(2);
         if (!on_chunk_(std::move(chunk))) goto done;  // downstream closed
         chunk = WireChunk{};
         break;
@@ -288,6 +453,210 @@ void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
 done:
   if (parked) streams_parked_.fetch_sub(1);
   streams_open_.fetch_sub(1);
+}
+
+void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
+  ArenaPool& pool = *config_.lease_pool;
+  const std::size_t cap = pool.block_bytes();
+
+  // Optional io_uring receive: one ring per reader; the arena's stable block
+  // table is registered once so recvs into arena-backed blocks can go out as
+  // READ_FIXED SQEs.
+  std::shared_ptr<UringRing> ring;
+  if (config_.use_uring && UringRing::available()) {
+    if (auto created = UringRing::create(8)) {
+      created->register_buffers(pool.registered_iovecs(),
+                                static_cast<unsigned>(pool.block_count()));
+      ring = std::move(created);
+      std::lock_guard lock(streams_mutex_);
+      reader_rings_.push_back(ring);
+      uring_streams_.fetch_add(1);
+    }
+  }
+  std::vector<UringRing::Completion> cqes;
+
+  // One recv into `dst`: io_uring READ (fixed when the block is registered),
+  // degrading transparently to the classic poll+recv pair.
+  auto recv_some = [&](std::byte* dst, std::size_t room, std::size_t* got,
+                       std::uint32_t buf_index) -> SocketStatus {
+    while (ring) {
+      const auto len =
+          static_cast<unsigned>(std::min<std::size_t>(room, 1u << 30));
+      const bool prepped =
+          ring->buffers_registered() && buf_index != BufferLease::kUnregistered
+              ? ring->prep_read_fixed(socket->fd(), dst, len, 0, buf_index, 1)
+              : ring->prep_read(socket->fd(), dst, len, 0, 1);
+      if (!prepped || ring->submit_and_wait(1, cqes) <= 0 || cqes.empty()) {
+        // Ring-level failure: this reader goes classic for good. The shared
+        // handle in reader_rings_ keeps enters() visible to io_syscalls().
+        uring_streams_.fetch_sub(1);
+        ring.reset();
+        break;
+      }
+      const std::int32_t res = cqes.front().res;
+      if (res > 0) {
+        *got = static_cast<std::size_t>(res);
+        return SocketStatus::kOk;
+      }
+      if (res == 0) return SocketStatus::kClosed;
+      if (res == -EINTR) continue;
+      if (res == -EAGAIN) break;  // no fast poll: this one recv goes classic
+      return SocketStatus::kError;
+    }
+    return socket->read_some(dst, room, /*timeout_s=*/-1.0, got);
+  };
+
+  BufferLease block = pool.acquire();
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  WireChunk chunk;
+  bool parked = false;
+  if (cap < kFrameHeaderBytes) {  // pathological pool; nothing can ever parse
+    frame_errors_.fetch_add(1);
+    socket->shutdown_both();
+    goto done;
+  }
+  for (;;) {
+    // 1) Slice a complete frame straight out of the block, in place.
+    FrameHeaderView hdr;
+    const FrameError pe = parse_frame_header(
+        block.data() + begin, end - begin, hdr, config_.max_payload_bytes);
+    if (pe != FrameError::kNone && pe != FrameError::kNeedMoreData) {
+      frame_errors_.fetch_add(1);
+      socket->shutdown_both();
+      goto done;
+    }
+    if (pe == FrameError::kNone &&
+        end - begin >= kFrameHeaderBytes + hdr.length) {
+      const std::byte* payload = block.data() + begin + kFrameHeaderBytes;
+      if ((hdr.flags & kFrameFlagUnchecked) == 0 &&
+          fnv1a(payload, hdr.length) != hdr.checksum) {
+        frame_errors_.fetch_add(1);
+        socket->shutdown_both();
+        goto done;
+      }
+      switch (hdr.type) {
+        case FrameType::kStreamHello:
+          break;
+        case FrameType::kStreamPark:
+          if (!parked) {
+            parked = true;
+            streams_parked_.fetch_add(1);
+          }
+          break;
+        case FrameType::kStreamResume:
+          if (parked) {
+            parked = false;
+            streams_parked_.fetch_sub(1);
+          }
+          break;
+        case FrameType::kChunk: {
+          std::size_t payload_at = 0;
+          if (!decode_wire_chunk_meta(payload, hdr.length,
+                                      (hdr.flags & kFrameFlagTraced) != 0,
+                                      chunk, payload_at)) {
+            frame_errors_.fetch_add(1);
+            socket->shutdown_both();
+            goto done;
+          }
+          // Zero-copy hand-off: the payload stays exactly where recv wrote
+          // it and the consumer gets a refcounted view of those bytes.
+          chunk.payload.clear();
+          chunk.lease =
+              block.subspan(begin + kFrameHeaderBytes + payload_at,
+                            hdr.length - payload_at);
+          chunks_received_.fetch_add(1);
+          if (!on_chunk_(std::move(chunk))) goto done;  // downstream closed
+          chunk = WireChunk{};
+          break;
+        }
+        default:
+          break;  // ping/pong and future types are ignorable on this plane
+      }
+      begin += kFrameHeaderBytes + hdr.length;
+      continue;
+    }
+
+    // 2) Frame incomplete. Carved payload leases forbid rewinding a block,
+    // so a frame that cannot finish in the tail moves its partial bytes to a
+    // fresh block (the one counted copy a boundary-spanning frame pays).
+    const std::size_t need = pe == FrameError::kNone
+                                 ? kFrameHeaderBytes + hdr.length
+                                 : kFrameHeaderBytes;
+    if (need > cap) {
+      // Frame larger than an arena block (foreign sender): assemble this one
+      // in a one-shot heap buffer — the copied path — and keep streaming.
+      const std::size_t partial = end - begin;
+      std::vector<std::byte> big(need);
+      std::memcpy(big.data(), block.data() + begin, partial);
+      begin = end;
+      if (socket->read_exact(big.data() + partial, need - partial,
+                             /*timeout_s=*/-1.0) != SocketStatus::kOk) {
+        frame_errors_.fetch_add(1);
+        socket->shutdown_both();
+        goto done;
+      }
+      Frame frame;
+      if (decode_frame(big.data(), big.size(), frame,
+                       config_.max_payload_bytes)
+              .error != FrameError::kNone) {
+        frame_errors_.fetch_add(1);
+        socket->shutdown_both();
+        goto done;
+      }
+      if (frame.type == FrameType::kChunk) {
+        if (!decode_wire_chunk(frame.payload.data(), frame.payload.size(),
+                               chunk,
+                               (frame.flags & kFrameFlagTraced) != 0)) {
+          frame_errors_.fetch_add(1);
+          socket->shutdown_both();
+          goto done;
+        }
+        chunks_received_.fetch_add(1);
+        payload_copies_.fetch_add(2);
+        if (!on_chunk_(std::move(chunk))) goto done;
+        chunk = WireChunk{};
+      }
+      continue;
+    }
+    if (begin + need > cap) {
+      BufferLease next = pool.acquire();
+      const std::size_t partial = end - begin;
+      if (partial > 0) {
+        std::memcpy(next.data(), block.data() + begin, partial);
+        payload_copies_.fetch_add(1);  // the block-boundary-spanning frame
+      }
+      block = std::move(next);  // old block recycles once its leases drop
+      begin = 0;
+      end = partial;
+    }
+
+    // 3) Pull more bytes into the tail.
+    std::size_t got = 0;
+    const SocketStatus s = recv_some(block.data() + end, cap - end, &got,
+                                     block.registered_index());
+    if (s == SocketStatus::kOk) {
+      end += got;
+      continue;
+    }
+    if (s == SocketStatus::kClosed && begin == end) goto done;  // orderly EOF
+    // Truncated mid-frame or errno-level failure: unrecoverable stream.
+    frame_errors_.fetch_add(1);
+    socket->shutdown_both();
+    goto done;
+  }
+done:
+  if (parked) streams_parked_.fetch_sub(1);
+  streams_open_.fetch_sub(1);
+  if (ring) uring_streams_.fetch_sub(1);
+}
+
+std::uint64_t StreamAcceptor::io_syscalls() const {
+  std::uint64_t total = 0;
+  std::lock_guard lock(streams_mutex_);
+  for (const auto& socket : stream_sockets_) total += socket->syscalls();
+  for (const auto& ring : reader_rings_) total += ring->enters();
+  return total;
 }
 
 void StreamAcceptor::stop() {

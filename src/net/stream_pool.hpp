@@ -15,6 +15,14 @@
 // hands decoded chunks to a callback. Exposes opened/active/parked stream
 // counts so the far side of a set_concurrency() change is observable — the
 // acceptance signal for live concurrency tuning over a real network path.
+//
+// Two hot-path variants ride on the same wire format (DESIGN.md §12):
+//   io_uring — with use_uring, senders submit each coalesced batch as one
+//     WRITEV SQE (one io_uring_enter) and receivers read through READ SQEs
+//     into registered arena buffers; both degrade silently to sendmsg/recv.
+//   zero-copy receive — with lease_pool, frames land in arena blocks and
+//     chunk payloads are carved out as BufferLease subspans of the very
+//     bytes recv wrote: no per-chunk payload copy on the receive side.
 #pragma once
 
 #include <atomic>
@@ -30,6 +38,7 @@
 #include "common/buffer_pool.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "net/uring.hpp"
 
 namespace automdt::net {
 
@@ -47,6 +56,19 @@ struct WireChunk {
   std::uint64_t trace_origin_ns = 0;  // reader stage stamped the chunk
   std::uint64_t trace_send_ns = 0;    // network stage handed it to the socket
   std::vector<std::byte> payload;  // may be shorter than size (header-only)
+  // Zero-copy alternative to `payload`: a refcounted view of the bytes where
+  // they already sit (the receive block the frame landed in, or the reader's
+  // arena block on the send side). When valid it IS the payload and the
+  // vector stays empty — consumers go through payload_data()/payload_size()
+  // so both representations look alike.
+  BufferLease lease;
+
+  const std::byte* payload_data() const {
+    return lease.valid() ? lease.data() : payload.data();
+  }
+  std::size_t payload_size() const {
+    return lease.valid() ? lease.size() : payload.size();
+  }
 };
 
 /// Fixed part of a serialized chunk: file_id + offset + size + checksum.
@@ -76,6 +98,9 @@ struct StreamPoolConfig {
   double io_timeout_s = 10.0;
   std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
   SocketOptions socket{};  // applied to each stream as it connects
+  /// Send each coalesced batch as one io_uring WRITEV SQE (one enter) when
+  /// the kernel supports it; silently stays on sendmsg otherwise.
+  bool use_uring = false;
 };
 
 class StreamPool {
@@ -96,6 +121,12 @@ class StreamPool {
   /// `count` send_chunk calls; the receiver just sees back-to-back frames.
   bool send_chunks(int stream_id, const WireChunk* chunks, std::size_t count);
 
+  /// Kernel-to-kernel fast path: send one chunk whose payload is read by
+  /// sendfile(2) straight out of `file_fd` at `meta.offset` — the bytes never
+  /// transit sender user space, so the frame goes out unchecked (checksum 0).
+  /// `meta.payload`/`meta.lease` are ignored; `meta.size` is the byte count.
+  bool send_chunk_file(int stream_id, const WireChunk& meta, int file_fd);
+
   /// Park streams >= n, resume connected streams < n (live n_n retune).
   void set_active(int n);
 
@@ -108,6 +139,12 @@ class StreamPool {
   /// (chunks_sent / batch_writes = average batch size).
   std::uint64_t chunks_sent() const { return chunks_sent_.load(); }
   std::uint64_t batch_writes() const { return batch_writes_.load(); }
+  /// Data-path syscalls across every stream: socket recv/send/poll calls plus
+  /// io_uring enters. Takes each stream lock briefly (sockets move during
+  /// lazy connect), so call from the telemetry plane, not the hot path.
+  std::uint64_t io_syscalls() const;
+  /// Streams currently sending through an io_uring ring (0 after fallback).
+  int uring_streams() const { return uring_streams_.load(); }
 
  private:
   struct Stream {
@@ -119,11 +156,23 @@ class StreamPool {
     bool failed = false;
     std::vector<std::byte> scratch;  // serialized chunk headers, reused
     std::vector<ScatterSegment> segments;  // batch descriptors, reused
+    // io_uring send state: the ring is created lazily with the connection
+    // (one ring per stream — rings are single-threaded) and dropped for good
+    // on the first ring-level failure.
+    std::unique_ptr<UringRing> ring;
+    bool ring_tried = false;
+    std::uint64_t retired_ring_enters = 0;       // enters of a dropped ring
+    std::vector<iovec> iov;                      // batch iovecs, reused
+    std::vector<UringRing::Completion> cqes;     // completion scratch, reused
   };
 
   bool ensure_ready(Stream& stream, int stream_id);
   bool send_chunks_locked(Stream& stream, const WireChunk* chunks,
                           std::size_t count);
+  /// One WRITEV SQE over stream.iov (total bytes = `total`); advances through
+  /// partial completions and punts any remainder to Socket::write_vec. False
+  /// = stream failed (mirrors write_scatter_batch's error contract).
+  bool uring_send_locked(Stream& stream, std::size_t total);
 
   StreamPoolConfig config_;
   std::vector<std::unique_ptr<Stream>> streams_;
@@ -132,6 +181,7 @@ class StreamPool {
   std::atomic<std::uint64_t> send_failures_{0};
   std::atomic<std::uint64_t> chunks_sent_{0};
   std::atomic<std::uint64_t> batch_writes_{0};
+  std::atomic<int> uring_streams_{0};
   std::atomic<bool> closed_{false};
 };
 
@@ -143,6 +193,15 @@ struct StreamAcceptorConfig {
   /// Optional payload recycling: decoded chunk payloads are acquired here.
   BufferPool* payload_pool = nullptr;
   SocketOptions socket{};  // applied to each accepted stream
+  /// Zero-copy receive: frames land in arena blocks from this pool and chunk
+  /// payloads are handed out as subspan leases of the very bytes recv wrote —
+  /// no per-chunk copy (payload_pool is then ignored). Block size must hold
+  /// at least one max-size frame; undersized frames fall back to a copied
+  /// vector payload (counted in payload_copies). Null = legacy copying path.
+  ArenaPool* lease_pool = nullptr;
+  /// Receive through io_uring READ SQEs (requires lease_pool; registered
+  /// buffers when the lease block is arena-backed). Falls back silently.
+  bool use_uring = false;
 };
 
 class StreamAcceptor {
@@ -174,10 +233,20 @@ class StreamAcceptor {
   std::uint64_t streams_accepted() const { return streams_accepted_.load(); }
   std::uint64_t chunks_received() const { return chunks_received_.load(); }
   std::uint64_t frame_errors() const { return frame_errors_.load(); }
+  /// Payload copies made on the receive path. Legacy path: 2 per chunk
+  /// (frame buffer -> Frame::payload -> WireChunk::payload). Leased path: 0,
+  /// plus 1 for each frame that straddled a block boundary (its partial
+  /// bytes move to the next block) or overflowed the block size.
+  std::uint64_t payload_copies() const { return payload_copies_.load(); }
+  /// Data-path syscalls across every reader (socket + io_uring enters).
+  std::uint64_t io_syscalls() const;
+  /// Readers currently receiving through io_uring (0 after fallback).
+  int uring_streams() const { return uring_streams_.load(); }
 
  private:
   void accept_loop();
   void reader_loop(std::shared_ptr<Socket> socket);
+  void reader_loop_leased(std::shared_ptr<Socket> socket);
 
   StreamAcceptorConfig config_;
   ChunkHandler on_chunk_;
@@ -185,8 +254,9 @@ class StreamAcceptor {
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
 
-  std::mutex streams_mutex_;
+  mutable std::mutex streams_mutex_;
   std::vector<std::shared_ptr<Socket>> stream_sockets_;
+  std::vector<std::shared_ptr<UringRing>> reader_rings_;
   std::vector<std::thread> reader_threads_;
 
   std::atomic<int> streams_open_{0};
@@ -194,6 +264,8 @@ class StreamAcceptor {
   std::atomic<std::uint64_t> streams_accepted_{0};
   std::atomic<std::uint64_t> chunks_received_{0};
   std::atomic<std::uint64_t> frame_errors_{0};
+  std::atomic<std::uint64_t> payload_copies_{0};
+  std::atomic<int> uring_streams_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };

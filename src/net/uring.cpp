@@ -1,0 +1,273 @@
+#include "net/uring.hpp"
+
+#include <cstdlib>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define AUTOMDT_HAS_URING 1
+#endif
+
+#ifdef AUTOMDT_HAS_URING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace automdt::net {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+bool kernel_supports_uring() {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  const int fd = sys_io_uring_setup(4, &params);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+bool disabled_by_env() {
+  const char* v = std::getenv("AUTOMDT_DISABLE_URING");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+bool UringRing::available() {
+  static const bool kernel_ok = kernel_supports_uring();
+  return kernel_ok && !disabled_by_env();
+}
+
+std::unique_ptr<UringRing> UringRing::create(unsigned entries) {
+  if (!available() || entries == 0) return nullptr;
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  const int fd = sys_io_uring_setup(entries, &params);
+  if (fd < 0) return nullptr;
+
+  std::unique_ptr<UringRing> ring(new UringRing);
+  ring->ring_fd_ = fd;
+  ring->sq_entries_ = params.sq_entries;
+
+  std::size_t sq_bytes =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  std::size_t cq_bytes =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+  ring->sq_ring_bytes_ = sq_bytes;
+  ring->sq_ring_ = ::mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring->sq_ring_ == MAP_FAILED) {
+    ring->sq_ring_ = nullptr;
+    return nullptr;
+  }
+  if (single_mmap) {
+    ring->cq_ring_ = ring->sq_ring_;
+  } else {
+    ring->cq_ring_bytes_ = cq_bytes;
+    ring->cq_ring_ = ::mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (ring->cq_ring_ == MAP_FAILED) {
+      ring->cq_ring_ = nullptr;
+      return nullptr;
+    }
+  }
+  ring->sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  ring->sqes_ = ::mmap(nullptr, ring->sqes_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (ring->sqes_ == MAP_FAILED) {
+    ring->sqes_ = nullptr;
+    return nullptr;
+  }
+
+  auto* sq = static_cast<std::byte*>(ring->sq_ring_);
+  ring->sq_khead_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  ring->sq_ktail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  ring->sq_kmask_ = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  ring->sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  auto* cq = static_cast<std::byte*>(ring->cq_ring_);
+  ring->cq_khead_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  ring->cq_ktail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  ring->cq_kmask_ = reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  ring->cqes_ = cq + params.cq_off.cqes;
+  ring->sq_tail_local_ = *ring->sq_ktail_;
+  return ring;
+}
+
+UringRing::~UringRing() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_)
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+bool UringRing::register_buffers(const iovec* iovecs, unsigned count) {
+  if (ring_fd_ < 0 || count == 0) return false;
+  if (sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, iovecs,
+                            count) != 0) {
+    return false;
+  }
+  buffers_registered_ = true;
+  return true;
+}
+
+void* UringRing::prep(int fd, std::uint8_t opcode, const void* addr,
+                      unsigned len, std::uint64_t offset,
+                      std::uint64_t user_data) {
+  const unsigned head =
+      __atomic_load_n(sq_khead_, __ATOMIC_ACQUIRE);
+  if (sq_tail_local_ - head >= sq_entries_) return nullptr;  // SQ full
+  const unsigned idx = sq_tail_local_ & *sq_kmask_;
+  auto* sqe = static_cast<io_uring_sqe*>(sqes_) + idx;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = opcode;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(addr);
+  sqe->len = len;
+  sqe->off = offset;
+  sqe->user_data = user_data;
+  sq_array_[idx] = idx;
+  ++sq_tail_local_;
+  ++pending_;
+  return sqe;
+}
+
+bool UringRing::prep_read(int fd, void* buf, unsigned len,
+                          std::uint64_t offset, std::uint64_t user_data) {
+  return prep(fd, IORING_OP_READ, buf, len, offset, user_data) != nullptr;
+}
+
+bool UringRing::prep_write(int fd, const void* buf, unsigned len,
+                           std::uint64_t offset, std::uint64_t user_data) {
+  return prep(fd, IORING_OP_WRITE, buf, len, offset, user_data) != nullptr;
+}
+
+bool UringRing::prep_read_fixed(int fd, void* buf, unsigned len,
+                                std::uint64_t offset, unsigned buf_index,
+                                std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(
+      prep(fd, IORING_OP_READ_FIXED, buf, len, offset, user_data));
+  if (sqe == nullptr) return false;
+  sqe->buf_index = static_cast<std::uint16_t>(buf_index);
+  return true;
+}
+
+bool UringRing::prep_write_fixed(int fd, const void* buf, unsigned len,
+                                 std::uint64_t offset, unsigned buf_index,
+                                 std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(
+      prep(fd, IORING_OP_WRITE_FIXED, buf, len, offset, user_data));
+  if (sqe == nullptr) return false;
+  sqe->buf_index = static_cast<std::uint16_t>(buf_index);
+  return true;
+}
+
+bool UringRing::prep_writev(int fd, const iovec* iovecs, unsigned count,
+                            std::uint64_t user_data) {
+  return prep(fd, IORING_OP_WRITEV, iovecs, count, 0, user_data) != nullptr;
+}
+
+void UringRing::reap(std::vector<Completion>& out) {
+  unsigned head = *cq_khead_;
+  const unsigned mask = *cq_kmask_;
+  for (;;) {
+    const unsigned tail = __atomic_load_n(cq_ktail_, __ATOMIC_ACQUIRE);
+    if (head == tail) break;
+    while (head != tail) {
+      const auto* cqe =
+          static_cast<const io_uring_cqe*>(cqes_) + (head & mask);
+      out.push_back({cqe->user_data, cqe->res});
+      ++head;
+    }
+  }
+  __atomic_store_n(cq_khead_, head, __ATOMIC_RELEASE);
+}
+
+int UringRing::submit_and_wait(unsigned wait_n, std::vector<Completion>& out) {
+  out.clear();
+  if (ring_fd_ < 0) return -1;
+  __atomic_store_n(sq_ktail_, sq_tail_local_, __ATOMIC_RELEASE);
+  unsigned to_submit = pending_;
+  pending_ = 0;
+  for (;;) {
+    reap(out);
+    if (to_submit == 0 && out.size() >= wait_n)
+      return static_cast<int>(out.size());
+    const unsigned need =
+        out.size() >= wait_n ? 0
+                             : wait_n - static_cast<unsigned>(out.size());
+    const int rc = sys_io_uring_enter(ring_fd_, to_submit, need,
+                                      IORING_ENTER_GETEVENTS);
+    enters_.fetch_add(1, std::memory_order_relaxed);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return -1;
+    }
+    to_submit -= std::min(to_submit, static_cast<unsigned>(rc));
+  }
+}
+
+}  // namespace automdt::net
+
+#else  // !AUTOMDT_HAS_URING: unavailable stub — the engine probes and stays
+       // on the syscall backend.
+
+namespace automdt::net {
+
+bool UringRing::available() { return false; }
+std::unique_ptr<UringRing> UringRing::create(unsigned) { return nullptr; }
+UringRing::~UringRing() = default;
+bool UringRing::register_buffers(const iovec*, unsigned) { return false; }
+bool UringRing::prep_read(int, void*, unsigned, std::uint64_t,
+                          std::uint64_t) {
+  return false;
+}
+bool UringRing::prep_write(int, const void*, unsigned, std::uint64_t,
+                           std::uint64_t) {
+  return false;
+}
+bool UringRing::prep_read_fixed(int, void*, unsigned, std::uint64_t, unsigned,
+                                std::uint64_t) {
+  return false;
+}
+bool UringRing::prep_write_fixed(int, const void*, unsigned, std::uint64_t,
+                                 unsigned, std::uint64_t) {
+  return false;
+}
+bool UringRing::prep_writev(int, const iovec*, unsigned, std::uint64_t) {
+  return false;
+}
+void UringRing::reap(std::vector<Completion>&) {}
+void* UringRing::prep(int, std::uint8_t, const void*, unsigned, std::uint64_t,
+                      std::uint64_t) {
+  return nullptr;
+}
+int UringRing::submit_and_wait(unsigned, std::vector<Completion>&) {
+  return -1;
+}
+
+}  // namespace automdt::net
+
+#endif  // AUTOMDT_HAS_URING

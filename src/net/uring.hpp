@@ -1,0 +1,121 @@
+// Minimal io_uring wrapper for the batched-I/O backend (DESIGN.md §12).
+//
+// The container has no liburing, so this speaks the raw syscall ABI:
+// io_uring_setup + two/three mmaps for the SQ/CQ rings, io_uring_register
+// for fixed buffers, and io_uring_enter with IORING_ENTER_GETEVENTS as the
+// single submit-and-reap syscall. That last point is the whole reason the
+// engine wants it — a worker preps one SQE per operation in its chunk batch
+// and pays ONE enter for the lot, where the syscall backend pays one (often
+// two, recv+poll) per operation.
+//
+// Threading contract: a ring is single-threaded — each engine worker /
+// stream / acceptor reader owns its own UringRing. enters() is atomic so the
+// telemetry plane can sum live rings from other threads; everything else is
+// owner-only. Rings are intentionally synchronous (prep a batch, then
+// submit_and_wait for all of it): completions never outlive the caller's
+// borrowed buffers, which is what lets the zero-copy lease path hand raw
+// iovecs into the kernel.
+//
+// Capability probing: available() is the runtime gate the engine's
+// EngineConfig::io_backend = kUring request goes through. It caches one
+// io_uring_setup attempt per process (kernels without io_uring fail it with
+// ENOSYS) and re-reads AUTOMDT_DISABLE_URING on every call so tests and CI
+// can force the graceful-fallback path on a capable kernel. On platforms
+// without <linux/io_uring.h> this whole file compiles to the unavailable
+// stub and the engine stays on the syscall backend.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace automdt::net {
+
+class UringRing {
+ public:
+  struct Completion {
+    std::uint64_t user_data = 0;
+    std::int32_t res = 0;  // bytes transferred, or -errno
+  };
+
+  /// Can this process use io_uring right now? Kernel probe cached once;
+  /// AUTOMDT_DISABLE_URING=<non-zero> re-checked per call forces false.
+  static bool available();
+
+  /// A ring with at least `entries` SQ slots, or null on any setup failure
+  /// (callers fall back to the syscall path — never an error).
+  static std::unique_ptr<UringRing> create(unsigned entries);
+
+  ~UringRing();
+  UringRing(const UringRing&) = delete;
+  UringRing& operator=(const UringRing&) = delete;
+
+  /// Register `count` fixed buffers; buffer i must stay mapped for the life
+  /// of the ring. prep_*_fixed buf_index values refer to this table.
+  bool register_buffers(const iovec* iovecs, unsigned count);
+  bool buffers_registered() const { return buffers_registered_; }
+
+  // SQE preparation. Each returns false when the SQ is full (callers size
+  // batches <= sq_entries()); nothing reaches the kernel until
+  // submit_and_wait. `offset` is a file offset (pass 0 for sockets).
+  bool prep_read(int fd, void* buf, unsigned len, std::uint64_t offset,
+                 std::uint64_t user_data);
+  bool prep_write(int fd, const void* buf, unsigned len, std::uint64_t offset,
+                  std::uint64_t user_data);
+  bool prep_read_fixed(int fd, void* buf, unsigned len, std::uint64_t offset,
+                       unsigned buf_index, std::uint64_t user_data);
+  bool prep_write_fixed(int fd, const void* buf, unsigned len,
+                        std::uint64_t offset, unsigned buf_index,
+                        std::uint64_t user_data);
+  bool prep_writev(int fd, const iovec* iovecs, unsigned count,
+                   std::uint64_t user_data);
+
+  /// Submit every prepped SQE and block until at least `wait_n` completions
+  /// are reaped into `out` (cleared first). One io_uring_enter in the common
+  /// case. Returns completions reaped, or -1 on a ring-level failure (the
+  /// prepped operations are lost; callers fall back to syscalls).
+  int submit_and_wait(unsigned wait_n, std::vector<Completion>& out);
+
+  unsigned sq_entries() const { return sq_entries_; }
+  /// io_uring_enter calls issued — the ring's contribution to
+  /// io.syscalls_total. Readable from any thread.
+  std::uint64_t enters() const {
+    return enters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  UringRing() = default;
+  void reap(std::vector<Completion>& out);
+  void* prep(int fd, std::uint8_t opcode, const void* addr, unsigned len,
+             std::uint64_t offset, std::uint64_t user_data);
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned pending_ = 0;           // SQEs prepped since the last submit
+  unsigned sq_tail_local_ = 0;     // our tail shadow, published on submit
+  bool buffers_registered_ = false;
+  std::atomic<std::uint64_t> enters_{0};
+
+  // mmap regions (raw because their layout comes from io_uring_params).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;  // == sq_ring_ under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  // Ring pointers resolved from the params offsets.
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned* sq_kmask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  unsigned* cq_kmask_ = nullptr;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace automdt::net

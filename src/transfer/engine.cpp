@@ -1,7 +1,11 @@
 #include "transfer/engine.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -9,6 +13,7 @@
 #include "common/checksum.hpp"
 #include "common/logging.hpp"
 #include "net/stream_pool.hpp"
+#include "net/uring.hpp"
 #include "telemetry/clock_sync.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/trace_export.hpp"
@@ -38,6 +43,10 @@ std::uint64_t shift_ns(std::uint64_t remote_ns, std::int64_t offset_ns) {
 
 std::uint64_t chunk_checksum(const std::vector<std::byte>& payload) {
   return fnv1a(payload);
+}
+
+std::uint64_t chunk_checksum(const std::byte* data, std::size_t size) {
+  return fnv1a(data, size);
 }
 
 TransferSession::TransferSession(EngineConfig config,
@@ -75,6 +84,41 @@ TransferSession::TransferSession(EngineConfig config,
                                 receiver_queue_->capacity() +
                                 static_cast<std::size_t>(config_.max_threads) * 3;
   payload_pool_.set_max_buffers(std::min<std::size_t>(in_flight, 512));
+  // I/O backend seam: resolve the kUring *request* against the kernel once,
+  // here, so every downstream decision (arena allocation, stream pool
+  // config, worker loop selection) keys off one bool and the io.backend_*
+  // telemetry always reflects what actually runs.
+  if (config_.io_backend == IoBackend::kUring) {
+    uring_active_ = net::UringRing::available();
+    if (!uring_active_) {
+      io_fallbacks_.fetch_add(1);
+      LOG_WARN("io_uring requested but unavailable; falling back to the "
+               "syscall backend");
+    }
+  }
+  if (uring_active_) {
+    // Reader-side payload blocks: one chunk per block, stable addresses for
+    // IORING_REGISTER_BUFFERS, bounded like the vector pool.
+    payload_arena_ = std::make_unique<ArenaPool>(
+        config_.chunk_bytes, std::min<std::size_t>(in_flight, 512),
+        config_.debug_poison_leases);
+    if (config_.backend == NetworkBackend::kTcp) {
+      // Receive blocks hold several coalesced frames each; a block must fit
+      // at least one full frame or every chunk pays a boundary copy.
+      const std::size_t block_bytes = std::max<std::size_t>(
+          2 * (static_cast<std::size_t>(config_.chunk_bytes) + 128),
+          256 * 1024);
+      const std::size_t block_count = std::clamp<std::size_t>(
+          2 * receiver_queue_->capacity() * config_.chunk_bytes / block_bytes +
+              4,
+          4, 512);
+      recv_arena_ = std::make_unique<ArenaPool>(block_bytes, block_count,
+                                                config_.debug_poison_leases);
+    }
+  }
+  sendfile_on_ = config_.backend == NetworkBackend::kTcp &&
+                 config_.tcp.sendfile && !config_.file_io.source_dir.empty() &&
+                 !config_.verify_payload;
   trace_on_ = telemetry::kTraceCompiledIn && config_.telemetry.enabled &&
               config_.telemetry.sample_every > 0;
   wire_stamp_on_ = trace_on_ && config_.telemetry.wire_stamp;
@@ -136,6 +180,37 @@ void TransferSession::register_metrics() {
   registry_.register_callback("pool.payload_misses", [this] {
     return static_cast<double>(payload_pool_.misses());
   });
+  // I/O backend seam: which backend actually runs plus the two per-chunk
+  // overhead denominators. syscalls_total sums storage I/O (pread/pwrite and
+  // storage-ring enters) with the data plane's socket syscalls and ring
+  // enters; the net pointers only exist once the Tcp backend is up, hence
+  // the net_ready_ acquire gate.
+  registry_.register_callback("io.backend_uring", [this] {
+    return uring_active_ ? 1.0 : 0.0;
+  });
+  registry_.register_callback("io.backend_fallbacks", [this] {
+    return static_cast<double>(io_fallbacks_.load());
+  });
+  registry_.register_callback("io.syscalls_total", [this] {
+    std::uint64_t total = storage_syscalls_.load();
+    if (net_ready_.load(std::memory_order_acquire)) {
+      total += stream_pool_->io_syscalls() + stream_acceptor_->io_syscalls();
+    }
+    return static_cast<double>(total);
+  });
+  registry_.register_callback("io.payload_copies_total", [this] {
+    std::uint64_t total = engine_payload_copies_.load();
+    if (net_ready_.load(std::memory_order_acquire))
+      total += stream_acceptor_->payload_copies();
+    return static_cast<double>(total);
+  });
+  if (uring_active_) {
+    registry_.register_callback("pool.arena_heap_fallbacks", [this] {
+      return static_cast<double>(
+          payload_arena_->heap_fallbacks() +
+          (recv_arena_ ? recv_arena_->heap_fallbacks() : 0));
+    });
+  }
   registry_.register_callback("read.bucket_waits", [this] {
     return static_cast<double>(read_bucket_.waits());
   });
@@ -181,6 +256,10 @@ bool TransferSession::start_tcp_backend() {
   acceptor_config.port = config_.tcp.port;
   acceptor_config.payload_pool = &payload_pool_;
   acceptor_config.socket = socket_options;
+  // Uring backend: frames land in recv-arena blocks and payloads are carved
+  // out as leases — the zero-copy receive path.
+  acceptor_config.lease_pool = recv_arena_.get();
+  acceptor_config.use_uring = uring_active_;
   stream_acceptor_ = std::make_unique<net::StreamAcceptor>(
       acceptor_config, [this](net::WireChunk&& wire) {
         Chunk chunk;
@@ -189,6 +268,7 @@ bool TransferSession::start_tcp_backend() {
         chunk.size = wire.size;
         chunk.checksum = wire.checksum;
         chunk.payload = std::move(wire.payload);
+        chunk.lease = std::move(wire.lease);
         if constexpr (telemetry::kTraceCompiledIn) {
           if (wire.trace_send_ns != 0) {
             // Wire-stamped chunk: the sender's stamps arrived in the traced
@@ -229,8 +309,11 @@ bool TransferSession::start_tcp_backend() {
   pool_config.connector.max_attempts = config_.tcp.connect_attempts;
   pool_config.io_timeout_s = config_.tcp.io_timeout_s;
   pool_config.socket = socket_options;
+  pool_config.use_uring = uring_active_;
   stream_pool_ = std::make_unique<net::StreamPool>(pool_config);
   stream_pool_->set_active(concurrency().network);
+  // Publish both data-plane pointers to the io.* metric callbacks.
+  net_ready_.store(true, std::memory_order_release);
   // Data-plane health gauges exist only once the backend does; registered
   // here (before any worker starts) rather than in register_metrics().
   registry_.register_callback("net.streams_open", [this] {
@@ -268,6 +351,12 @@ void TransferSession::start(ConcurrencyTuple initial) {
     finish_cv_.notify_all();
     return;
   }
+  if (!setup_file_io()) {
+    // Unusable source/sink directory: surface as an immediately-stopped
+    // session rather than a hang (same contract as a dead listener below).
+    stop();
+    return;
+  }
   const bool tcp = config_.backend == NetworkBackend::kTcp;
   if (tcp && !start_tcp_backend()) {
     // Could not bind the data-plane listener (port in use): surface as an
@@ -276,8 +365,11 @@ void TransferSession::start(ConcurrencyTuple initial) {
     return;
   }
   workers_.reserve(static_cast<std::size_t>(config_.max_threads) * 3);
+  const bool file_source = !source_fds_.empty();
   for (int i = 0; i < config_.max_threads; ++i)
-    workers_.emplace_back([this, i] { reader_loop(i); });
+    workers_.emplace_back([this, i, file_source] {
+      file_source ? reader_loop_file(i) : reader_loop(i);
+    });
   for (int i = 0; i < config_.max_threads; ++i)
     workers_.emplace_back(
         [this, i, tcp] { tcp ? network_loop_tcp(i) : network_loop(i); });
@@ -353,6 +445,10 @@ TransferStats TransferSession::stats() const {
   s.net_batch_writes = u64("net.batch_writes");
   s.payload_pool_hits = u64("pool.payload_hits");
   s.payload_pool_misses = u64("pool.payload_misses");
+  s.io_backend_uring = static_cast<int>(snap.value_or("io.backend_uring"));
+  s.io_backend_fallbacks = u64("io.backend_fallbacks");
+  s.io_syscalls = u64("io.syscalls_total");
+  s.payload_copies = u64("io.payload_copies_total");
   return s;
 }
 
@@ -379,6 +475,13 @@ void TransferSession::stop() {
   gate_cv_.notify_all();
   finish_cv_.notify_all();
   workers_.clear();  // jthread joins
+  // Workers are gone; the file descriptors they read/wrote can close now.
+  for (int fd : source_fds_)
+    if (fd >= 0) ::close(fd);
+  for (int fd : sink_fds_)
+    if (fd >= 0) ::close(fd);
+  source_fds_.clear();
+  sink_fds_.clear();
 }
 
 bool TransferSession::wait_for_turn(Stage stage, int worker_id) {
@@ -437,14 +540,27 @@ void TransferSession::reader_loop(int worker_id) {
     }
 
     if (config_.fill_payload) {
-      chunk.payload = payload_pool_.acquire(chunk.size);
       // Cheap deterministic pattern derived from (file, offset).
       const auto seed = static_cast<std::uint8_t>(
           chunk.file_id * 131 + chunk.offset / config_.chunk_bytes);
-      for (std::size_t i = 0; i < chunk.payload.size(); ++i)
-        chunk.payload[i] = static_cast<std::byte>(
-            static_cast<std::uint8_t>(seed + i));
-      chunk.checksum = chunk_checksum(chunk.payload);
+      if (payload_arena_) {
+        // Uring backend: the payload is born in an arena lease and never
+        // copied again — the network stage gathers it straight into the
+        // socket and the writer releases the same bytes.
+        chunk.lease = payload_arena_->acquire();
+        chunk.lease.truncate(chunk.size);
+        std::byte* data = chunk.lease.data();
+        for (std::size_t i = 0; i < chunk.size; ++i)
+          data[i] = static_cast<std::byte>(
+              static_cast<std::uint8_t>(seed + i));
+        chunk.checksum = chunk_checksum(data, chunk.size);
+      } else {
+        chunk.payload = payload_pool_.acquire(chunk.size);
+        for (std::size_t i = 0; i < chunk.payload.size(); ++i)
+          chunk.payload[i] = static_cast<std::byte>(
+              static_cast<std::uint8_t>(seed + i));
+        chunk.checksum = chunk_checksum(chunk.payload);
+      }
     }
 
     if constexpr (telemetry::kTraceCompiledIn) {
@@ -508,6 +624,33 @@ void TransferSession::network_loop_tcp(int worker_id) {
                                        static_cast<int>(batch.size()))) {
       break;
     }
+    if (sendfile_on_) {
+      // Kernel fast path: each chunk leaves as a header write plus one
+      // sendfile(2) straight out of the source fd — the payload bytes never
+      // transit sender user space (so the frames go out unchecked).
+      bytes_sent_->add(total);
+      bool ok = true;
+      for (Chunk& chunk : batch) {
+        net::WireChunk meta;
+        meta.file_id = chunk.file_id;
+        meta.offset = chunk.offset;
+        meta.size = chunk.size;
+        meta.checksum = chunk.checksum;
+        if (!stream_pool_->send_chunk_file(
+                worker_id, meta,
+                source_fds_[static_cast<std::size_t>(chunk.file_id)])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        bytes_sent_->sub(total);
+        if (!stopping_.load() && config_.telemetry.flight != nullptr)
+          config_.telemetry.flight->dump("data-plane send failure");
+        break;
+      }
+      continue;
+    }
     // The trace stamp does not cross the wire (the acceptor re-samples), so
     // the sender side closes both spans here: queue wait at pop time,
     // service once the gathered write returns.
@@ -542,6 +685,7 @@ void TransferSession::network_loop_tcp(int worker_id) {
         }
       }
       wire.payload = std::move(chunk.payload);
+      wire.lease = std::move(chunk.lease);
       wires.push_back(std::move(wire));
     }
     // Count before the frames leave: once the last chunk lands on the
@@ -571,9 +715,15 @@ void TransferSession::network_loop_tcp(int worker_id) {
         }
       }
     }
-    // The wire copies have left through the socket; recycle the payloads.
-    for (net::WireChunk& wire : wires)
-      payload_pool_.release(std::move(wire.payload));
+    // The wire bytes have left through the socket; recycle the payloads
+    // (a lease drops straight back to its arena).
+    for (net::WireChunk& wire : wires) {
+      if (wire.lease.valid()) {
+        wire.lease.reset();
+      } else {
+        payload_pool_.release(std::move(wire.payload));
+      }
+    }
   }
 }
 
@@ -629,6 +779,16 @@ void TransferSession::network_loop(int worker_id) {
 }
 
 void TransferSession::writer_loop(int worker_id) {
+  if (uring_active_ && !sink_fds_.empty()) {
+    // Sink writes on the uring backend retire as batched WRITE SQEs.
+    writer_loop_uring(worker_id);
+    return;
+  }
+  // Payloads exist (and so can be verified) when the reader filled them or
+  // read them from real source files; sendfile'd frames arrive unchecked
+  // with no sender-side checksum to verify against.
+  const bool verify = config_.verify_payload &&
+                      (config_.fill_payload || !source_fds_.empty());
   while (wait_for_turn(Stage::kWrite, worker_id)) {
     Chunk chunk;
     if (!receiver_queue_->pop(chunk)) break;
@@ -641,8 +801,9 @@ void TransferSession::writer_loop(int worker_id) {
       }
     }
     if (!write_bucket_.acquire(chunk.size)) break;
-    if (config_.verify_payload && config_.fill_payload) {
-      if (chunk_checksum(chunk.payload) != chunk.checksum) {
+    if (verify) {
+      if (chunk_checksum(chunk.payload_data(), chunk.payload_size()) !=
+          chunk.checksum) {
         if (verify_failures_->add() == 1 &&
             config_.telemetry.flight != nullptr) {
           // First corruption gets a full dump; the counter tracks the rest.
@@ -650,7 +811,17 @@ void TransferSession::writer_loop(int worker_id) {
         }
       }
     }
-    payload_pool_.release(std::move(chunk.payload));
+    if (!sink_fds_.empty() &&
+        !pwrite_full(sink_fds_[static_cast<std::size_t>(chunk.file_id)],
+                     chunk.payload_data(), chunk.payload_size(),
+                     chunk.offset)) {
+      LOG_WARN("sink pwrite failed for chunk at offset " << chunk.offset);
+    }
+    if (chunk.lease.valid()) {
+      chunk.lease.reset();
+    } else {
+      payload_pool_.release(std::move(chunk.payload));
+    }
     if constexpr (telemetry::kTraceCompiledIn) {
       if (trace_t0 != 0) {
         const std::uint64_t now = telemetry::now_ns();
@@ -681,6 +852,360 @@ void TransferSession::writer_loop(int worker_id) {
       finish_cv_.notify_all();
     }
   }
+}
+
+void TransferSession::reader_loop_file(int worker_id) {
+  // Real-file reader (FileIoOptions::source_dir). On the uring backend each
+  // iteration claims a batch of chunk tickets, materializes them as arena
+  // leases, and retires the whole batch of storage reads with ONE
+  // submit-and-wait enter (READ_FIXED SQEs when the lease block is in the
+  // registered table). On the syscall backend it claims one chunk at a time
+  // and preads it. A ring-level failure degrades this worker to preads for
+  // good and counts an io.backend_fallbacks.
+  std::unique_ptr<net::UringRing> ring;
+  if (uring_active_) {
+    ring = net::UringRing::create(
+        static_cast<unsigned>(std::max<std::size_t>(8, batch_chunks_ * 2)));
+    if (ring && payload_arena_) {
+      ring->register_buffers(
+          payload_arena_->registered_iovecs(),
+          static_cast<unsigned>(payload_arena_->block_count()));
+    }
+    if (!ring) io_fallbacks_.fetch_add(1);
+  }
+  std::uint64_t enters_seen = 0;
+  std::vector<net::UringRing::Completion> cqes;
+  std::vector<std::uint32_t> done;
+  const std::uint64_t claim = ring ? batch_chunks_ : 1;
+  std::vector<Chunk> batch;
+  batch.reserve(static_cast<std::size_t>(claim));
+  while (wait_for_turn(Stage::kRead, worker_id)) {
+    const std::uint64_t base =
+        claim_cursor_.fetch_add(claim, std::memory_order_relaxed);
+    if (base >= total_chunks_) break;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(claim, total_chunks_ - base));
+    // Fault injection parity with the in-memory reader.
+    if (config_.fault.reader_stall_after_chunks > 0 &&
+        base + n > config_.fault.reader_stall_after_chunks &&
+        !fault_fired_.exchange(true)) {
+      LOG_WARN("fault injection: reader stalling "
+               << config_.fault.reader_stall_s << "s at chunk " << base);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.fault.reader_stall_s));
+      while (!stopping_.load() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (stopping_.load()) break;
+    }
+    batch.clear();
+    std::uint64_t total = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t idx = base + j;
+      const auto it = std::upper_bound(file_first_chunk_.begin(),
+                                       file_first_chunk_.end(), idx);
+      const auto file = static_cast<std::size_t>(
+          std::distance(file_first_chunk_.begin(), it) - 1);
+      Chunk chunk;
+      chunk.file_id = file;
+      chunk.offset = (idx - file_first_chunk_[file]) * config_.chunk_bytes;
+      const double remaining =
+          file_sizes_[file] - static_cast<double>(chunk.offset);
+      chunk.size = static_cast<std::uint32_t>(
+          std::min<double>(config_.chunk_bytes, remaining));
+      total += chunk.size;
+      batch.push_back(std::move(chunk));
+    }
+    if (!read_bucket_.acquire_batch(static_cast<double>(total),
+                                    static_cast<int>(batch.size()))) {
+      break;
+    }
+    if (!sendfile_on_) {
+      // Materialize payloads: arena leases on the uring backend (filled in
+      // place, never copied again), pooled vectors otherwise.
+      for (Chunk& chunk : batch) {
+        if (payload_arena_) {
+          chunk.lease = payload_arena_->acquire();
+          chunk.lease.truncate(chunk.size);
+        } else {
+          chunk.payload = payload_pool_.acquire(chunk.size);
+        }
+      }
+      bool ring_ok = ring != nullptr;
+      if (ring) {
+        std::size_t prepped = 0;
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          Chunk& chunk = batch[j];
+          const int fd =
+              source_fds_[static_cast<std::size_t>(chunk.file_id)];
+          std::byte* data =
+              chunk.lease.valid() ? chunk.lease.data() : chunk.payload.data();
+          const std::uint32_t buf_index = chunk.lease.registered_index();
+          const bool ok =
+              ring->buffers_registered() &&
+                      buf_index != BufferLease::kUnregistered
+                  ? ring->prep_read_fixed(fd, data, chunk.size, chunk.offset,
+                                          buf_index, j)
+                  : ring->prep_read(fd, data, chunk.size, chunk.offset, j);
+          if (!ok) break;
+          ++prepped;
+        }
+        done.assign(batch.size(), 0);
+        if (prepped == batch.size() &&
+            ring->submit_and_wait(static_cast<unsigned>(prepped), cqes) ==
+                static_cast<int>(prepped)) {
+          storage_syscalls_.fetch_add(ring->enters() - enters_seen,
+                                      std::memory_order_relaxed);
+          enters_seen = ring->enters();
+          for (const net::UringRing::Completion& c : cqes) {
+            if (c.user_data < done.size() && c.res > 0)
+              done[static_cast<std::size_t>(c.user_data)] =
+                  static_cast<std::uint32_t>(c.res);
+          }
+          // Short or failed reads finish the scalar way.
+          for (std::size_t j = 0; j < batch.size(); ++j) {
+            Chunk& chunk = batch[j];
+            if (done[j] < chunk.size) {
+              std::byte* data = chunk.lease.valid() ? chunk.lease.data()
+                                                    : chunk.payload.data();
+              pread_full(
+                  source_fds_[static_cast<std::size_t>(chunk.file_id)],
+                  data + done[j], chunk.size - done[j],
+                  chunk.offset + done[j]);
+            }
+          }
+        } else {
+          // Ring went bad mid-flight: account its enters, drop to preads for
+          // the rest of this worker's life.
+          storage_syscalls_.fetch_add(ring->enters() - enters_seen,
+                                      std::memory_order_relaxed);
+          ring.reset();
+          io_fallbacks_.fetch_add(1);
+          ring_ok = false;
+        }
+      }
+      if (!ring_ok) {
+        for (Chunk& chunk : batch) {
+          std::byte* data =
+              chunk.lease.valid() ? chunk.lease.data() : chunk.payload.data();
+          pread_full(source_fds_[static_cast<std::size_t>(chunk.file_id)],
+                     data, chunk.size, chunk.offset);
+        }
+      }
+      if (config_.verify_payload) {
+        for (Chunk& chunk : batch)
+          chunk.checksum =
+              chunk_checksum(chunk.payload_data(), chunk.payload_size());
+      }
+    }
+    // Hand off chunk by chunk with the count-before-push invariant (same
+    // contract as reader_loop; trace spans reduce to origin stamps here —
+    // the storage read is batch-granular, not per-chunk).
+    for (Chunk& chunk : batch) {
+      if constexpr (telemetry::kTraceCompiledIn) {
+        if (sampler_.should_sample()) {
+          const std::uint64_t now = telemetry::now_ns();
+          chunk.trace_enqueue_ns = now;
+          chunk.trace_origin_ns = now;
+        }
+      }
+      const std::uint32_t size = chunk.size;
+      bytes_read_->add(size);
+      if (!sender_queue_->push(std::move(chunk))) {
+        bytes_read_->sub(size);
+        return;
+      }
+      if (chunks_pushed_->add() == total_chunks_) {
+        sender_queue_->close();
+      }
+    }
+  }
+}
+
+void TransferSession::writer_loop_uring(int worker_id) {
+  // Uring sink writer: each receiver-queue batch retires as one ring of
+  // WRITE SQEs (plain, not fixed — the payload leases belong to the recv
+  // arena, which is not registered on this storage ring) and one enter.
+  // Short or failed writes — and a dead ring — finish via pwrite.
+  std::unique_ptr<net::UringRing> ring = net::UringRing::create(
+      static_cast<unsigned>(std::max<std::size_t>(8, batch_chunks_ * 2)));
+  if (!ring) io_fallbacks_.fetch_add(1);
+  std::uint64_t enters_seen = 0;
+  std::vector<net::UringRing::Completion> cqes;
+  std::vector<Chunk> batch;
+  std::vector<std::uint32_t> done;
+  batch.reserve(batch_chunks_);
+  const bool verify = config_.verify_payload &&
+                      (config_.fill_payload || !source_fds_.empty());
+  while (wait_for_turn(Stage::kWrite, worker_id)) {
+    std::uint64_t total = 0;
+    if (!pop_batch(*receiver_queue_, batch, total)) break;
+    if (!write_bucket_.acquire_batch(static_cast<double>(total),
+                                     static_cast<int>(batch.size()))) {
+      break;
+    }
+    if (verify) {
+      for (const Chunk& chunk : batch) {
+        if (chunk_checksum(chunk.payload_data(), chunk.payload_size()) !=
+            chunk.checksum) {
+          if (verify_failures_->add() == 1 &&
+              config_.telemetry.flight != nullptr) {
+            config_.telemetry.flight->dump("payload checksum verify failure");
+          }
+        }
+      }
+    }
+    done.assign(batch.size(), 0);
+    if (ring) {
+      std::size_t prepped = 0;
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        const Chunk& chunk = batch[j];
+        if (!ring->prep_write(
+                sink_fds_[static_cast<std::size_t>(chunk.file_id)],
+                chunk.payload_data(),
+                static_cast<unsigned>(chunk.payload_size()), chunk.offset,
+                j)) {
+          break;
+        }
+        ++prepped;
+      }
+      if (prepped == batch.size() &&
+          ring->submit_and_wait(static_cast<unsigned>(prepped), cqes) ==
+              static_cast<int>(prepped)) {
+        storage_syscalls_.fetch_add(ring->enters() - enters_seen,
+                                    std::memory_order_relaxed);
+        enters_seen = ring->enters();
+        for (const net::UringRing::Completion& c : cqes) {
+          if (c.user_data < done.size() && c.res > 0)
+            done[static_cast<std::size_t>(c.user_data)] =
+                static_cast<std::uint32_t>(c.res);
+        }
+      } else {
+        storage_syscalls_.fetch_add(ring->enters() - enters_seen,
+                                    std::memory_order_relaxed);
+        ring.reset();
+        io_fallbacks_.fetch_add(1);
+      }
+    }
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      Chunk& chunk = batch[j];
+      const std::size_t want = chunk.payload_size();
+      if (done[j] < want) {
+        pwrite_full(sink_fds_[static_cast<std::size_t>(chunk.file_id)],
+                    chunk.payload_data() + done[j], want - done[j],
+                    chunk.offset + done[j]);
+      }
+      if (chunk.lease.valid()) {
+        chunk.lease.reset();
+      } else {
+        payload_pool_.release(std::move(chunk.payload));
+      }
+      bytes_written_->add(chunk.size);
+      if (chunks_written_->add() == total_chunks_) {
+        finished_.store(true);
+        gate_cv_.notify_all();
+        finish_cv_.notify_all();
+      }
+    }
+  }
+}
+
+bool TransferSession::pread_full(int fd, std::byte* dst, std::size_t size,
+                                 std::uint64_t offset) {
+  std::size_t filled = 0;
+  while (filled < size) {
+    storage_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::pread(fd, dst + filled, size - filled,
+                              static_cast<off_t>(offset + filled));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // file shorter than the dataset declares
+    filled += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TransferSession::pwrite_full(int fd, const std::byte* src,
+                                  std::size_t size, std::uint64_t offset) {
+  std::size_t written = 0;
+  while (written < size) {
+    storage_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::pwrite(fd, src + written, size - written,
+                               static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TransferSession::setup_file_io() {
+  if (config_.file_io.source_dir.empty() && config_.file_io.sink_dir.empty())
+    return true;  // in-memory mode: nothing to do
+  const std::size_t n_files = file_sizes_.size();
+  if (!config_.file_io.source_dir.empty()) {
+    // Create the source files with the reader's exact deterministic pattern
+    // so the writer-side checksum proves the full storage→wire→storage path.
+    source_fds_.assign(n_files, -1);
+    std::vector<std::byte> block(config_.chunk_bytes);
+    for (std::size_t f = 0; f < n_files; ++f) {
+      const std::string path = config_.file_io.source_dir + "/automdt_src_" +
+                               std::to_string(f) + ".dat";
+      const int wfd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (wfd < 0) {
+        LOG_WARN("cannot create source file " << path);
+        return false;
+      }
+      auto remaining = static_cast<std::uint64_t>(file_sizes_[f]);
+      std::uint64_t offset = 0;
+      bool ok = true;
+      while (ok && remaining > 0) {
+        const auto len = static_cast<std::size_t>(std::min<std::uint64_t>(
+            config_.chunk_bytes, remaining));
+        const auto seed = static_cast<std::uint8_t>(
+            f * 131 + offset / config_.chunk_bytes);
+        for (std::size_t i = 0; i < len; ++i)
+          block[i] = static_cast<std::byte>(
+              static_cast<std::uint8_t>(seed + i));
+        std::size_t filled = 0;
+        while (filled < len) {
+          const ssize_t w = ::pwrite(wfd, block.data() + filled, len - filled,
+                                     static_cast<off_t>(offset + filled));
+          if (w < 0) {
+            if (errno == EINTR) continue;
+            ok = false;
+            break;
+          }
+          filled += static_cast<std::size_t>(w);
+        }
+        offset += len;
+        remaining -= len;
+      }
+      ::close(wfd);
+      if (!ok) return false;
+      source_fds_[f] = ::open(path.c_str(), O_RDONLY);
+      if (source_fds_[f] < 0) return false;
+    }
+  }
+  if (!config_.file_io.sink_dir.empty()) {
+    sink_fds_.assign(n_files, -1);
+    for (std::size_t f = 0; f < n_files; ++f) {
+      const std::string path = config_.file_io.sink_dir + "/automdt_sink_" +
+                               std::to_string(f) + ".out";
+      sink_fds_[f] = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (sink_fds_[f] < 0) {
+        LOG_WARN("cannot create sink file " << path);
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace automdt::transfer

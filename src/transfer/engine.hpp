@@ -88,6 +88,20 @@ struct Chunk {
   /// sender's origin into the local timebase via the clock-sync offset.
   std::uint64_t trace_origin_ns = 0;
   std::vector<std::byte> payload;
+  /// Zero-copy alternative to `payload` (io_uring backend): a refcounted
+  /// view of the arena block the bytes were read (or received) into. When
+  /// valid the lease IS the payload and the vector stays empty; the bytes
+  /// are filled exactly once and never memcpy'd as they move reader →
+  /// staging ring → net scatter list → writer. Consumers go through
+  /// payload_data()/payload_size() so both representations look alike.
+  BufferLease lease;
+
+  const std::byte* payload_data() const {
+    return lease.valid() ? lease.data() : payload.data();
+  }
+  std::size_t payload_size() const {
+    return lease.valid() ? lease.size() : payload.size();
+  }
 };
 
 struct StageThrottle {
@@ -111,6 +125,30 @@ enum class NetworkBackend {
   kTcp,        // real loopback TCP streams via src/net/
 };
 
+/// How the engine performs bulk I/O — storage reads/writes and the TCP data
+/// plane. kUring is a *request*: the session probes the kernel once at
+/// construction (net::UringRing::available()) and degrades gracefully to
+/// kSyscall when io_uring is missing or disabled; io.backend_uring gauges
+/// the outcome and io.backend_fallbacks counts the degradation, so an
+/// operator can always tell which backend actually ran.
+enum class IoBackend {
+  kSyscall,  // pread/pwrite + recv/sendmsg (default; the A/B baseline)
+  kUring,    // batched io_uring SQEs, registered buffers, zero-copy leases
+};
+
+/// Real-file storage endpoints. Both default empty = the original fully
+/// in-memory synthetic dataset. Directories must exist; the session creates
+/// (and pattern-fills) its source files at start.
+struct FileIoOptions {
+  /// Non-empty: readers pread() chunks out of per-file sources in this
+  /// directory instead of synthesizing payloads (io_uring backend: batched
+  /// READ SQEs into registered arena blocks — one ring submit per batch).
+  std::string source_dir;
+  /// Non-empty: writers pwrite() chunks into per-file sinks here (io_uring
+  /// backend: batched WRITE SQEs).
+  std::string sink_dir;
+};
+
 /// Tcp-backend knobs. The data plane always listens on `host`; port 0 picks
 /// an ephemeral port (the sender side learns it in-process).
 struct TcpBackendOptions {
@@ -128,6 +166,12 @@ struct TcpBackendOptions {
   bool no_delay = true;
   int send_buffer_bytes = 0;  // SO_SNDBUF; 0 = kernel default
   int recv_buffer_bytes = 0;  // SO_RCVBUF; 0 = kernel default
+  /// File→socket kernel fast path: when the source is a real file
+  /// (FileIoOptions::source_dir) and payload verification is off, network
+  /// workers sendfile(2) each chunk straight out of the source fd — the
+  /// payload never transits sender user space (frames go out with
+  /// kFrameFlagUnchecked / checksum 0, hence the verify_payload gate).
+  bool sendfile = false;
 };
 
 /// Runtime tracing knobs (the compile-time seam is AUTOMDT_TELEMETRY).
@@ -185,6 +229,17 @@ struct EngineConfig {
   bool lock_free_staging = true;
   NetworkBackend backend = NetworkBackend::kInProcess;
   TcpBackendOptions tcp{};
+  /// I/O backend seam (DESIGN.md §12): kSyscall keeps every byte on the
+  /// portable pread/recv/sendmsg paths; kUring routes storage reads, socket
+  /// sends/recvs, and storage writes through batched io_uring submission
+  /// with registered buffers and the zero-copy lease hot path. A/B default
+  /// is kSyscall so existing configs measure against an unchanged baseline.
+  IoBackend io_backend = IoBackend::kSyscall;
+  FileIoOptions file_io{};
+  /// Scribble 0xDD over recycled arena blocks (ArenaPool poison_on_release):
+  /// a use-after-release on the lease hot path then flips payload checksums
+  /// in plain builds, not just under ASan. Debug aid; off for benchmarks.
+  bool debug_poison_leases = false;
   TelemetryOptions telemetry{};
   FaultOptions fault{};
 };
@@ -222,6 +277,14 @@ struct TransferStats {
   // Payload free-list effectiveness (both backends).
   std::uint64_t payload_pool_hits = 0;
   std::uint64_t payload_pool_misses = 0;
+  // I/O backend seam: which backend actually runs (1 = io_uring), how many
+  // times a uring request degraded to syscalls, and the two per-chunk
+  // overhead denominators bench_engine_hotpath reports (data-path syscalls
+  // and payload copies; see io.* in telemetry_snapshot()).
+  int io_backend_uring = 0;
+  std::uint64_t io_backend_fallbacks = 0;
+  std::uint64_t io_syscalls = 0;
+  std::uint64_t payload_copies = 0;
 };
 
 /// The engine's staging buffer behind a one-branch seam: the lock-free ring
@@ -307,9 +370,23 @@ class TransferSession {
 
  private:
   void reader_loop(int worker_id);
+  /// File-source reader: claims a whole batch of chunk tickets and reads
+  /// them with one io_uring submit (or scalar preads on the syscall
+  /// backend / after a per-worker ring failure).
+  void reader_loop_file(int worker_id);
   void network_loop(int worker_id);
   void network_loop_tcp(int worker_id);
   void writer_loop(int worker_id);
+  /// File-sink writer on the uring backend: pops a batch and retires it as
+  /// one ring of WRITE SQEs, one enter for the lot.
+  void writer_loop_uring(int worker_id);
+  bool pread_full(int fd, std::byte* dst, std::size_t size,
+                  std::uint64_t offset);
+  bool pwrite_full(int fd, const std::byte* src, std::size_t size,
+                   std::uint64_t offset);
+  /// Create + pattern-fill source files, open sink files. True when file
+  /// I/O is unconfigured or ready; false on any filesystem failure.
+  bool setup_file_io();
   bool wait_for_turn(Stage stage, int worker_id);
   void update_bucket_rates();
   bool start_tcp_backend();
@@ -338,6 +415,15 @@ class TransferSession {
   // Batched-admission / coalescing bound, in chunks (>= 1).
   std::size_t batch_chunks_ = 1;
 
+  // Lease arenas (io_uring backend; null on kSyscall). Declared BEFORE the
+  // staging queues: a queue destroyed with chunks still inside drops their
+  // leases, so the arenas must outlive the queues.
+  // payload_arena_: reader-side blocks, one chunk each, registered-buffer
+  // friendly. recv_arena_: receiver-side blocks holding several coalesced
+  // frames each; payloads are carved out as subspan leases.
+  std::unique_ptr<ArenaPool> payload_arena_;
+  std::unique_ptr<ArenaPool> recv_arena_;
+
   // Staging queues sized in chunks.
   std::unique_ptr<StagingQueue> sender_queue_;
   std::unique_ptr<StagingQueue> receiver_queue_;
@@ -346,7 +432,23 @@ class TransferSession {
   // (or the Tcp receiver's decoders) acquire them back.
   BufferPool payload_pool_;
 
-  // Tcp backend (null under InProcess).
+  // io_uring backend state (DESIGN.md §12). uring_active_ is the resolved
+  // capability probe: config asked for kUring AND the kernel delivered.
+  bool uring_active_ = false;
+  bool sendfile_on_ = false;  // tcp.sendfile resolved against its gates
+  // Real-file endpoints (FileIoOptions); empty = in-memory synthetic data.
+  std::vector<int> source_fds_;
+  std::vector<int> sink_fds_;
+  // io.* denominators: pread/pwrite/storage-ring enters, engine-side payload
+  // copies (the net layer counts its own), and uring→syscall degradations.
+  std::atomic<std::uint64_t> storage_syscalls_{0};
+  std::atomic<std::uint64_t> engine_payload_copies_{0};
+  std::atomic<std::uint64_t> io_fallbacks_{0};
+
+  // Tcp backend (null under InProcess). net_ready_ gates the io.* metric
+  // callbacks' access to the two pointers below (set with release after both
+  // exist; callbacks acquire), since the registry outlives neither.
+  std::atomic<bool> net_ready_{false};
   std::unique_ptr<net::StreamPool> stream_pool_;
   std::unique_ptr<net::StreamAcceptor> stream_acceptor_;
 
@@ -405,5 +507,7 @@ class TransferSession {
 
 /// Checksum used for payload verification (FNV-1a over the payload bytes).
 std::uint64_t chunk_checksum(const std::vector<std::byte>& payload);
+/// Same checksum over a raw byte range (lease-backed payloads).
+std::uint64_t chunk_checksum(const std::byte* data, std::size_t size);
 
 }  // namespace automdt::transfer

@@ -145,6 +145,41 @@ TEST(MpmcRingQueue, ParkCountersMoveUnderContention) {
   EXPECT_GT(c.push_stalls + c.pop_stalls, 0u);
 }
 
+TEST(MpmcRingQueue, ParkedPopperWakesOnPushWithoutTimedBackstop) {
+  // The precise futex handshake replaced the 1 ms timed park; if a wakeup
+  // were ever lost the popper would now sleep FOREVER, so this test doubles
+  // as a lost-wakeup detector (the suite timeout catches a hang). Park the
+  // popper for real (long idle), then push once and require delivery.
+  MpmcRingQueue<int> q(4);
+  std::atomic<bool> got{false};
+  std::thread popper([&] {
+    int v = 0;
+    if (q.pop(v) && v == 42) got.store(true);
+  });
+  // Long enough that the popper has exhausted its spin budget and parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GT(q.counters().pop_parks, 0u);
+  ASSERT_TRUE(q.push(42));
+  popper.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(MpmcRingQueue, ParkedPusherWakesOnPop) {
+  MpmcRingQueue<int> q(2);
+  while (q.try_push(7)) {  // fill to capacity
+  }
+  std::atomic<bool> pushed{false};
+  std::thread pusher([&] {
+    if (q.push(99)) pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_GT(q.counters().push_parks, 0u);
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));  // frees one slot; must wake the parked pusher
+  pusher.join();
+  EXPECT_TRUE(pushed.load());
+}
+
 TEST(MpmcRingQueue, StressAllItemsDeliveredExactlyOnce) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 4;

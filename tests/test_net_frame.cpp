@@ -402,6 +402,94 @@ TEST(WireChunkCodec, TracedDecodeRejectsShortHeader) {
       decode_wire_chunk(plain.data(), plain.size(), out, /*traced=*/true));
 }
 
+TEST(FrameCodec, UncheckedFlagSkipsChecksumVerification) {
+  // kFrameFlagUnchecked marks payloads that never transit user space on the
+  // sender (sendfile fast path): the header carries checksum 0 and the
+  // decoder must not verify. Corrupt a byte and require the frame to still
+  // decode — delivery, not integrity, is the contract on this path.
+  Frame in{FrameType::kChunk, pattern(64)};
+  in.flags = kFrameFlagUnchecked;
+  auto encoded = encode_frame(in);
+  encoded[kFrameHeaderBytes + 3] ^= std::byte{0x55};
+  Frame out;
+  const DecodeResult r = decode_frame(encoded.data(), encoded.size(), out);
+  ASSERT_EQ(r.error, FrameError::kNone);
+  EXPECT_EQ(out.type, FrameType::kChunk);
+  EXPECT_EQ(out.flags & kFrameFlagUnchecked, kFrameFlagUnchecked);
+  // The same corruption without the flag is caught.
+  Frame checked{FrameType::kChunk, pattern(64)};
+  auto strict = encode_frame(checked);
+  strict[kFrameHeaderBytes + 3] ^= std::byte{0x55};
+  EXPECT_EQ(decode_frame(strict.data(), strict.size(), out).error,
+            FrameError::kChecksumMismatch);
+}
+
+TEST(FrameCodec, ParseFrameHeaderValidatesWithoutPayload) {
+  Frame in{FrameType::kChunk, pattern(300)};
+  in.flags = kFrameFlagTraced;
+  const auto encoded = encode_frame(in);
+  FrameHeaderView view;
+  // Short of a full header: ask for more data.
+  EXPECT_EQ(parse_frame_header(encoded.data(), kFrameHeaderBytes - 1, view),
+            FrameError::kNeedMoreData);
+  // Exactly the header, zero payload bytes present: the whole point of the
+  // seam is that validation never touches the payload.
+  ASSERT_EQ(parse_frame_header(encoded.data(), kFrameHeaderBytes, view),
+            FrameError::kNone);
+  EXPECT_EQ(view.type, FrameType::kChunk);
+  EXPECT_EQ(view.flags, kFrameFlagTraced);
+  EXPECT_EQ(view.length, 300u);
+  EXPECT_NE(view.checksum, 0u);  // caller verifies against in-place bytes
+  // Header-level validation still applies.
+  auto bad = encoded;
+  bad[0] ^= std::byte{0xFF};
+  EXPECT_EQ(parse_frame_header(bad.data(), bad.size(), view),
+            FrameError::kBadMagic);
+  EXPECT_EQ(parse_frame_header(encoded.data(), encoded.size(), view,
+                               /*max_payload_bytes=*/128),
+            FrameError::kOversized);
+}
+
+TEST(FrameSocketIo, BuildScatterBatchDescribesExactWireBytes) {
+  // build_scatter_batch is what the io_uring sender submits (one WRITEV SQE
+  // over the returned iovecs); flattening those iovecs must yield the exact
+  // bytes the canonical codec produces, or the two backends diverge on the
+  // wire.
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  FrameWriter w(a);
+  const auto head0 = pattern(28);
+  const auto head1 = pattern(44);
+  const auto body = pattern(512);
+  const ScatterSegment segments[] = {
+      {head0.data(), head0.size(), body.data(), body.size(), 0},
+      {head1.data(), head1.size(), body.data(), body.size(),
+       kFrameFlagTraced},
+      {head0.data(), head0.size(), nullptr, 0, 0},  // header-only chunk
+  };
+  std::vector<iovec> iov;
+  const std::size_t total =
+      w.build_scatter_batch(FrameType::kChunk, segments, 3, iov);
+  std::vector<std::byte> flat;
+  for (const iovec& v : iov) {
+    const auto* base = static_cast<const std::byte*>(v.iov_base);
+    flat.insert(flat.end(), base, base + v.iov_len);
+  }
+  ASSERT_EQ(flat.size(), total);
+  std::vector<std::byte> expected;
+  for (const ScatterSegment& seg : segments) {
+    Frame frame{FrameType::kChunk, {}};
+    frame.flags = seg.flags;
+    frame.payload.assign(seg.head, seg.head + seg.head_size);
+    if (seg.body_size > 0)
+      frame.payload.insert(frame.payload.end(), seg.body,
+                           seg.body + seg.body_size);
+    const auto encoded = encode_frame(frame);
+    expected.insert(expected.end(), encoded.begin(), encoded.end());
+  }
+  EXPECT_EQ(flat, expected);
+}
+
 TEST(WireChunkCodec, RejectsShortAndOverlongInputs) {
   WireChunk out;
   std::vector<std::byte> tiny(kWireChunkHeaderBytes - 1);

@@ -1,0 +1,243 @@
+// UringRing coverage (net/uring.hpp): the capability probe and its env
+// override, batched file I/O through one io_uring_enter, fixed-buffer reads
+// over a registered ArenaPool, and — the wire-identity satellite at net
+// level — a prep_writev submission of build_scatter_batch iovecs producing
+// byte-identical output to the syscall write_scatter_batch path.
+//
+// Every kernel-touching test GTEST_SKIPs when io_uring is unavailable, so
+// the suite stays green on kernels without it (the engine falls back there
+// too; test_engine_uring.cpp covers that seam).
+#include "net/uring.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace automdt::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::byte>(static_cast<std::uint8_t>(i * 31 + 7));
+  return out;
+}
+
+// Scoped env override, restoring the prior value on destruction so the
+// DISABLE probe test cannot poison later tests in the same process.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// A unique temp file path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const char* tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("automdt_uring_") + tag + ".dat"))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Uring, DisableEnvForcesUnavailable) {
+  // AUTOMDT_DISABLE_URING is re-read on every available() call — this is the
+  // knob CI uses to exercise the graceful-fallback path on capable kernels.
+  ScopedEnv disable("AUTOMDT_DISABLE_URING", "1");
+  EXPECT_FALSE(UringRing::available());
+}
+
+TEST(Uring, DisableEnvZeroMeansEnabled) {
+  // "0" is explicitly non-disabling; the result is then just the kernel
+  // probe, whatever it says on this machine.
+  ScopedEnv disable("AUTOMDT_DISABLE_URING", "0");
+  const bool probe = UringRing::available();
+  ScopedEnv off("AUTOMDT_DISABLE_URING", "");
+  EXPECT_EQ(UringRing::available(), probe);
+}
+
+TEST(Uring, CreateReturnsNullWhenUnavailable) {
+  ScopedEnv disable("AUTOMDT_DISABLE_URING", "1");
+  EXPECT_EQ(UringRing::create(8), nullptr);
+}
+
+TEST(Uring, BatchedFileWriteThenReadRoundTrips) {
+  if (!UringRing::available()) GTEST_SKIP() << "io_uring unavailable";
+  auto ring = UringRing::create(8);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_GE(ring->sq_entries(), 8u);
+
+  TempFile file("rw");
+  const int fd = ::open(file.path().c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+
+  // Batch of 4 writes at distinct offsets -> ONE io_uring_enter.
+  const auto data = pattern(4096);
+  const std::uint64_t enters_before = ring->enters();
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(ring->prep_write(fd, data.data() + i * 1024, 1024, i * 1024,
+                                 /*user_data=*/i));
+  std::vector<UringRing::Completion> cqes;
+  ASSERT_EQ(ring->submit_and_wait(4, cqes), 4);
+  EXPECT_EQ(ring->enters() - enters_before, 1u);
+  for (const auto& cqe : cqes) {
+    EXPECT_EQ(cqe.res, 1024);
+    EXPECT_LT(cqe.user_data, 4u);
+  }
+
+  // Read the whole file back through the ring and compare.
+  std::vector<std::byte> back(4096);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(ring->prep_read(fd, back.data() + i * 1024, 1024, i * 1024,
+                                /*user_data=*/i));
+  ASSERT_EQ(ring->submit_and_wait(4, cqes), 4);
+  EXPECT_EQ(back, data);
+  ::close(fd);
+}
+
+TEST(Uring, FixedBufferReadThroughRegisteredArena) {
+  if (!UringRing::available()) GTEST_SKIP() << "io_uring unavailable";
+  auto ring = UringRing::create(8);
+  ASSERT_NE(ring, nullptr);
+
+  ArenaPool arena(2048, 2);
+  ASSERT_TRUE(
+      ring->register_buffers(arena.registered_iovecs(),
+                             static_cast<unsigned>(arena.block_count())));
+  EXPECT_TRUE(ring->buffers_registered());
+
+  TempFile file("fixed");
+  const auto data = pattern(2048);
+  const int fd = ::open(file.path().c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::pwrite(fd, data.data(), data.size(), 0),
+            static_cast<ssize_t>(data.size()));
+
+  BufferLease lease = arena.acquire();
+  ASSERT_TRUE(lease.valid());
+  ASSERT_NE(lease.registered_index(), BufferLease::kUnregistered);
+  ASSERT_TRUE(ring->prep_read_fixed(fd, lease.data(), 2048, 0,
+                                    lease.registered_index(),
+                                    /*user_data=*/7));
+  std::vector<UringRing::Completion> cqes;
+  ASSERT_EQ(ring->submit_and_wait(1, cqes), 1);
+  ASSERT_EQ(cqes.size(), 1u);
+  EXPECT_EQ(cqes[0].user_data, 7u);
+  ASSERT_EQ(cqes[0].res, 2048);
+  EXPECT_EQ(std::memcmp(lease.data(), data.data(), data.size()), 0);
+  ::close(fd);
+}
+
+TEST(Uring, PrepFailsWhenSqFullAndRecoversAfterSubmit) {
+  if (!UringRing::available()) GTEST_SKIP() << "io_uring unavailable";
+  auto ring = UringRing::create(4);
+  ASSERT_NE(ring, nullptr);
+  const unsigned slots = ring->sq_entries();
+
+  TempFile file("full");
+  const int fd = ::open(file.path().c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  const auto data = pattern(64);
+  for (unsigned i = 0; i < slots; ++i)
+    ASSERT_TRUE(ring->prep_write(fd, data.data(), 64, i * 64, i));
+  // SQ is full: the next prep must refuse instead of clobbering.
+  EXPECT_FALSE(ring->prep_write(fd, data.data(), 64, slots * 64, slots));
+  std::vector<UringRing::Completion> cqes;
+  ASSERT_EQ(ring->submit_and_wait(slots, cqes),
+            static_cast<int>(slots));
+  // Slots free again after the reap.
+  EXPECT_TRUE(ring->prep_write(fd, data.data(), 64, slots * 64, slots));
+  ASSERT_EQ(ring->submit_and_wait(1, cqes), 1);
+  ::close(fd);
+}
+
+TEST(Uring, WritevScatterBatchIsWireIdenticalToSyscallPath) {
+  // The uring sender's actual submission shape: build_scatter_batch fills
+  // the iovec list, one WRITEV SQE ships it. The receiving side must see
+  // byte-for-byte what the syscall writer would have sent — decoded here by
+  // the stock BufferedFrameReader with zero batching awareness.
+  if (!UringRing::available()) GTEST_SKIP() << "io_uring unavailable";
+  auto ring = UringRing::create(4);
+  ASSERT_NE(ring, nullptr);
+
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head0 = pattern(28);
+  const auto head1 = pattern(44);
+  const auto body = pattern(512);
+  const ScatterSegment segments[] = {
+      {head0.data(), head0.size(), body.data(), body.size(), 0},
+      {head1.data(), head1.size(), body.data(), body.size(), kFrameFlagTraced},
+  };
+
+  FrameWriter w(a);
+  std::vector<iovec> iov;
+  const std::size_t total =
+      w.build_scatter_batch(FrameType::kChunk, segments, 2, iov);
+  std::thread sender([&] {
+    ASSERT_TRUE(ring->prep_writev(a.fd(), iov.data(),
+                                  static_cast<unsigned>(iov.size()),
+                                  /*user_data=*/1));
+    std::vector<UringRing::Completion> cqes;
+    ASSERT_EQ(ring->submit_and_wait(1, cqes), 1);
+    ASSERT_EQ(cqes[0].res, static_cast<std::int32_t>(total));
+    a.shutdown_both();
+  });
+
+  BufferedFrameReader reader(b);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.flags, 0u);
+  std::vector<std::byte> expected = head0;
+  expected.insert(expected.end(), body.begin(), body.end());
+  EXPECT_EQ(frame.payload, expected);
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.flags, kFrameFlagTraced);
+  expected = head1;
+  expected.insert(expected.end(), body.begin(), body.end());
+  EXPECT_EQ(frame.payload, expected);
+  EXPECT_EQ(reader.read(frame, 5.0), FrameError::kClosed);
+  sender.join();
+}
+
+}  // namespace
+}  // namespace automdt::net

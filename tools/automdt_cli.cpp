@@ -33,6 +33,12 @@
 //   --telemetry-csv FILE    (train) per-update PPO diagnostics series
 //   --telemetry-port P      (serve) kStatsSnapshot listen port (default 28765)
 //   --telemetry-sample N    (serve) trace 1 chunk in N (default 128, 0 = off)
+//   --io-backend B          (serve) storage/socket I/O backend: syscall
+//                           (default) or uring — a uring request on a kernel
+//                           without io_uring degrades gracefully; the
+//                           io.backend_uring gauge reports what actually ran
+//                           (engine.* --config keys override more knobs, see
+//                           core/config_bindings.hpp)
 //   --duration S            (serve) keep transferring for S seconds
 //   --concurrency C         (serve) per-stage worker threads
 //   --port P / --host H     (monitor) endpoint to poll
@@ -351,6 +357,20 @@ int cmd_serve(const Args& args) {
   engine.chunk_bytes = 128 * 1024;
   engine.telemetry.sample_every =
       static_cast<std::uint32_t>(args.get_int("telemetry-sample", 128));
+  // --io-backend: the EngineConfig::io_backend seam. The session resolves a
+  // uring request against the kernel at construction; io.backend_uring and
+  // io.backend_fallbacks report the outcome over the telemetry port.
+  const std::string io_backend = args.get("io-backend", "syscall");
+  if (io_backend == "uring") {
+    engine.io_backend = transfer::IoBackend::kUring;
+  } else if (io_backend != "syscall") {
+    throw std::runtime_error("--io-backend must be syscall or uring, got: " +
+                             io_backend);
+  }
+  // --config: engine.* keys override any remaining data-plane knob.
+  if (args.flag("config"))
+    engine = core::apply_engine_overrides(
+        engine, Config::load(args.get("config", "")));
 
   // --trace-out: collect sampled chunk spans across every transfer of the
   // serve window. Wire stamping rides along so the sampled chunks carry
