@@ -204,8 +204,10 @@ void run_io_backend_ab(double total_mib) {
   // plane; the file rows add real storage endpoints so batched READ/WRITE
   // SQEs and the sendfile fast path show up in sys/ck.
   std::vector<Row> rows;
-  rows.push_back({"syscall mem ", {transfer::IoBackend::kSyscall, true}});
-  rows.push_back({"uring   mem ", {transfer::IoBackend::kUring, true}});
+  rows.push_back(
+      {"syscall mem ", {transfer::IoBackend::kSyscall, true, false, {}, {}}});
+  rows.push_back(
+      {"uring   mem ", {transfer::IoBackend::kUring, true, false, {}, {}}});
   const std::string dir =
       (std::filesystem::temp_directory_path() / "automdt_bench_io").string();
   std::error_code ec;

@@ -1,0 +1,156 @@
+// Serve-plane loopback benchmark (DESIGN.md §13).
+//
+// For N concurrent sessions in {1, 8, 64}: aggregate verified chunk
+// throughput, per-session fairness spread (min/max share of the aggregate),
+// and the process-wide fd and thread counts while all N sessions are live —
+// the last two are the tentpole claim: the event-driven plane holds thread
+// count constant as session count grows (fds grow with connections, not
+// sessions; here a handful of driver connections carry all N).
+//
+// Numbers are loopback on the build machine; EXPERIMENTS.md records the run
+// and the core count. On 1–2 CI cores the client drivers, event loop, and
+// workers all contend for the same cores, so chunks/s across N is a noise
+// floor, not a scaling curve — the fairness spread and the flat thread count
+// are the signals.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/session_client.hpp"
+#include "serve/session_server.hpp"
+
+using namespace automdt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::size_t proc_count(const char* dir) {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(dir))
+    ++n;
+  return n;
+}
+
+struct RunResult {
+  int sessions = 0;
+  double chunks_per_s = 0.0;
+  double mib_per_s = 0.0;
+  std::uint64_t chunks_total = 0;
+  double fairness_min = 0.0;  // min per-session share of the ideal 1/N
+  double fairness_max = 0.0;  // max share
+  std::size_t fds = 0;
+  std::size_t threads = 0;
+};
+
+RunResult run_sessions(int n_sessions, double duration_s,
+                       std::size_t chunk_bytes) {
+  serve::SessionServerConfig config;
+  config.max_sessions = static_cast<std::size_t>(n_sessions) + 4;
+  config.worker_threads = 4;
+  config.queue_capacity = 512;
+  serve::SessionServer server(std::move(config));
+  if (!server.start()) {
+    std::fprintf(stderr, "bench_serve: server failed to start\n");
+    return {};
+  }
+
+  const int n_drivers = std::min(4, n_sessions);
+  std::vector<std::uint64_t> per_session(
+      static_cast<std::size_t>(n_sessions), 0);
+  std::vector<std::thread> drivers;
+  std::atomic<std::size_t> live_fds{0};
+  std::atomic<std::size_t> live_threads{0};
+  const auto t0 = Clock::now();
+  for (int d = 0; d < n_drivers; ++d) {
+    drivers.emplace_back([&, d] {
+      auto client = serve::SessionClient::connect("127.0.0.1", server.port());
+      if (!client) return;
+      std::vector<std::uint32_t> ids;
+      std::vector<int> slots;
+      for (int s = d; s < n_sessions; s += n_drivers) {
+        auto open = client->open("bench");
+        if (!open.ok()) return;
+        ids.push_back(open.session_id);
+        slots.push_back(s);
+      }
+      if (d == 0) {
+        // Sample while every session is live and data is about to flow.
+        live_fds = proc_count("/proc/self/fd");
+        live_threads = proc_count("/proc/self/task");
+      }
+      std::vector<std::uint64_t> offsets(ids.size(), 0);
+      const auto deadline =
+          t0 + std::chrono::duration<double>(duration_s);
+      while (Clock::now() < deadline) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (!client->send_pattern_chunk(ids[i], offsets[i], chunk_bytes))
+            return;
+          offsets[i] += chunk_bytes;
+        }
+      }
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        auto stats = client->close_session(ids[i]);
+        if (stats)
+          per_session[static_cast<std::size_t>(slots[i])] = stats->chunks_ok;
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.stop();
+
+  RunResult result;
+  result.sessions = n_sessions;
+  for (const std::uint64_t c : per_session) result.chunks_total += c;
+  result.chunks_per_s = static_cast<double>(result.chunks_total) / elapsed;
+  result.mib_per_s = result.chunks_per_s *
+                     static_cast<double>(chunk_bytes) / (1024.0 * 1024.0);
+  const double ideal = static_cast<double>(result.chunks_total) /
+                       static_cast<double>(n_sessions);
+  const auto [min_it, max_it] =
+      std::minmax_element(per_session.begin(), per_session.end());
+  result.fairness_min =
+      ideal > 0 ? static_cast<double>(*min_it) / ideal : 0.0;
+  result.fairness_max =
+      ideal > 0 ? static_cast<double>(*max_it) / ideal : 0.0;
+  result.fds = live_fds;
+  result.threads = live_threads;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 2.0;
+  std::size_t chunk_bytes = 64 * 1024;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--duration" && i + 1 < argc)
+      duration_s = std::stod(argv[++i]);
+    else if (arg == "--chunk-kb" && i + 1 < argc)
+      chunk_bytes = static_cast<std::size_t>(std::stoul(argv[++i])) * 1024;
+  }
+
+  std::printf("serve-plane loopback: 4 workers + 1 event loop, "
+              "%.1f s per point, %zu KiB chunks\n\n",
+              duration_s, chunk_bytes / 1024);
+  std::printf("%9s %12s %10s %12s %18s %6s %8s\n", "sessions", "chunks",
+              "chunks/s", "MiB/s", "fairness min/max", "fds", "threads");
+  for (const int n : {1, 8, 64}) {
+    const RunResult r = run_sessions(n, duration_s, chunk_bytes);
+    std::printf("%9d %12llu %10.0f %12.1f %8.2f / %-7.2f %6zu %8zu\n",
+                r.sessions,
+                static_cast<unsigned long long>(r.chunks_total),
+                r.chunks_per_s, r.mib_per_s, r.fairness_min, r.fairness_max,
+                r.fds, r.threads);
+  }
+  std::printf("\nfairness = per-session chunk count relative to the ideal "
+              "1/N share (1.00 = perfectly fair).\n");
+  return 0;
+}

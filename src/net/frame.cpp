@@ -22,14 +22,49 @@ const char* to_string(FrameError error) {
   return "?";
 }
 
+namespace {
+
+/// The 4 little-endian session-id extension bytes, as both the wire encoding
+/// and the checksum-chain prefix.
+struct SessionExt {
+  std::byte bytes[kFrameSessionExtBytes];
+
+  explicit SessionExt(std::uint32_t id) {
+    for (std::size_t i = 0; i < kFrameSessionExtBytes; ++i)
+      bytes[i] = static_cast<std::byte>((id >> (8 * i)) & 0xFF);
+  }
+
+  std::uint64_t checksum_seed() const {
+    return fnv1a(bytes, kFrameSessionExtBytes);
+  }
+};
+
+std::uint32_t read_session_ext(const std::byte* ext) {
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < kFrameSessionExtBytes; ++i)
+    id |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(ext[i]))
+          << (8 * i);
+  return id;
+}
+
+}  // namespace
+
 void encode_frame(const Frame& frame, std::vector<std::byte>& out) {
+  const std::uint16_t flags =
+      frame.session_id != 0 ? frame.flags | kFrameFlagSession : frame.flags;
+  const bool session = (flags & kFrameFlagSession) != 0;
+  const SessionExt ext(frame.session_id);
   out.clear();
-  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.reserve(kFrameHeaderBytes + (session ? kFrameSessionExtBytes : 0) +
+              frame.payload.size());
   wire::put_u32(out, kFrameMagic);
   wire::put_u16(out, kFrameVersion);
-  wire::put_u16(out, static_cast<std::uint16_t>(frame.type) | frame.flags);
+  wire::put_u16(out, static_cast<std::uint16_t>(frame.type) | flags);
   wire::put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
-  wire::put_u64(out, fnv1a(frame.payload));
+  wire::put_u64(out, fnv1a(frame.payload,
+                           session ? ext.checksum_seed() : kFnv1aOffsetBasis));
+  if (session)
+    out.insert(out.end(), ext.bytes, ext.bytes + kFrameSessionExtBytes);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
 }
 
@@ -73,18 +108,28 @@ DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
       e != FrameError::kNone) {
     return {e, 0};
   }
-  if (size < kFrameHeaderBytes + h.length)
-    return {FrameError::kNeedMoreData, 0};
-  const std::byte* payload = data + kFrameHeaderBytes;
   const auto flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  const bool session = (flags & kFrameFlagSession) != 0;
+  const std::size_t header_bytes =
+      kFrameHeaderBytes + (session ? kFrameSessionExtBytes : 0);
+  if (size < header_bytes + h.length) return {FrameError::kNeedMoreData, 0};
+  const std::byte* payload = data + header_bytes;
+  std::uint64_t seed = kFnv1aOffsetBasis;
+  std::uint32_t session_id = 0;
+  if (session) {
+    const std::byte* ext = data + kFrameHeaderBytes;
+    session_id = read_session_ext(ext);
+    seed = fnv1a(ext, kFrameSessionExtBytes);
+  }
   if ((flags & kFrameFlagUnchecked) == 0 &&
-      fnv1a(payload, h.length) != h.checksum) {
+      fnv1a(payload, h.length, seed) != h.checksum) {
     return {FrameError::kChecksumMismatch, 0};
   }
   out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
   out.flags = flags;
+  out.session_id = session_id;
   out.payload.assign(payload, payload + h.length);
-  return {FrameError::kNone, kFrameHeaderBytes + h.length};
+  return {FrameError::kNone, header_bytes + h.length};
 }
 
 FrameError parse_frame_header(const std::byte* data, std::size_t size,
@@ -100,6 +145,16 @@ FrameError parse_frame_header(const std::byte* data, std::size_t size,
   out.flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
   out.length = h.length;
   out.checksum = h.checksum;
+  out.session_id = 0;
+  out.header_bytes = kFrameHeaderBytes;
+  out.checksum_seed = kFnv1aOffsetBasis;
+  if ((out.flags & kFrameFlagSession) != 0) {
+    out.header_bytes = kFrameHeaderBytes + kFrameSessionExtBytes;
+    if (size < out.header_bytes) return FrameError::kNeedMoreData;
+    const std::byte* ext = data + kFrameHeaderBytes;
+    out.session_id = read_session_ext(ext);
+    out.checksum_seed = fnv1a(ext, kFrameSessionExtBytes);
+  }
   return FrameError::kNone;
 }
 
@@ -115,6 +170,20 @@ FrameError FrameReader::read(Frame& out, double timeout_s) {
       e != FrameError::kNone) {
     return e;
   }
+  const auto flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
+  std::uint64_t seed = kFnv1aOffsetBasis;
+  std::uint32_t session_id = 0;
+  if ((flags & kFrameFlagSession) != 0) {
+    std::byte* ext = header_ + kFrameHeaderBytes;
+    switch (socket_.read_exact(ext, kFrameSessionExtBytes, timeout_s)) {
+      case SocketStatus::kOk: break;
+      case SocketStatus::kTimeout: return FrameError::kTimeout;
+      case SocketStatus::kClosed: return FrameError::kTruncated;
+      case SocketStatus::kError: return FrameError::kTruncated;
+    }
+    session_id = read_session_ext(ext);
+    seed = fnv1a(ext, kFrameSessionExtBytes);
+  }
   out.payload.resize(h.length);
   if (h.length > 0) {
     switch (socket_.read_exact(out.payload.data(), h.length, timeout_s)) {
@@ -124,25 +193,34 @@ FrameError FrameReader::read(Frame& out, double timeout_s) {
       case SocketStatus::kError: return FrameError::kTruncated;
     }
   }
-  const auto flags = static_cast<std::uint16_t>(h.type & ~kFrameTypeMask);
-  if ((flags & kFrameFlagUnchecked) == 0 && fnv1a(out.payload) != h.checksum)
+  if ((flags & kFrameFlagUnchecked) == 0 &&
+      fnv1a(out.payload, seed) != h.checksum)
     return FrameError::kChecksumMismatch;
   out.type = static_cast<FrameType>(h.type & kFrameTypeMask);
   out.flags = flags;
+  out.session_id = session_id;
   return FrameError::kNone;
 }
 
 SocketStatus FrameWriter::write(FrameType type,
                                 const std::vector<std::byte>& payload,
-                                double timeout_s, std::uint16_t flags) {
+                                double timeout_s, std::uint16_t flags,
+                                std::uint32_t session_id) {
   // Header and payload go out as two write_all calls so a large chunk
   // payload is never copied into the scratch buffer.
+  if (session_id != 0) flags |= kFrameFlagSession;
+  const bool session = (flags & kFrameFlagSession) != 0;
+  const SessionExt ext(session_id);
   scratch_.clear();
   wire::put_u32(scratch_, kFrameMagic);
   wire::put_u16(scratch_, kFrameVersion);
   wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags);
   wire::put_u32(scratch_, static_cast<std::uint32_t>(payload.size()));
-  wire::put_u64(scratch_, fnv1a(payload));
+  wire::put_u64(scratch_, fnv1a(payload, session ? ext.checksum_seed()
+                                                 : kFnv1aOffsetBasis));
+  if (session)
+    scratch_.insert(scratch_.end(), ext.bytes,
+                    ext.bytes + kFrameSessionExtBytes);
   const SocketStatus s =
       socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
   if (s != SocketStatus::kOk) return s;
@@ -151,20 +229,31 @@ SocketStatus FrameWriter::write(FrameType type,
 }
 
 SocketStatus FrameWriter::write(const Frame& frame, double timeout_s) {
-  return write(frame.type, frame.payload, timeout_s, frame.flags);
+  return write(frame.type, frame.payload, timeout_s, frame.flags,
+               frame.session_id);
 }
 
 SocketStatus FrameWriter::write_scatter(FrameType type,
                                         const std::vector<std::byte>& head,
                                         const std::byte* body,
                                         std::size_t body_size,
-                                        double timeout_s, std::uint16_t flags) {
+                                        double timeout_s, std::uint16_t flags,
+                                        std::uint32_t session_id) {
+  if (session_id != 0) flags |= kFrameFlagSession;
+  const bool session = (flags & kFrameFlagSession) != 0;
+  const SessionExt ext(session_id);
   scratch_.clear();
   wire::put_u32(scratch_, kFrameMagic);
   wire::put_u16(scratch_, kFrameVersion);
   wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags);
   wire::put_u32(scratch_, static_cast<std::uint32_t>(head.size() + body_size));
-  wire::put_u64(scratch_, fnv1a(body, body_size, fnv1a(head)));
+  wire::put_u64(scratch_,
+                fnv1a(body, body_size,
+                      fnv1a(head, session ? ext.checksum_seed()
+                                          : kFnv1aOffsetBasis)));
+  if (session)
+    scratch_.insert(scratch_.end(), ext.bytes,
+                    ext.bytes + kFrameSessionExtBytes);
   SocketStatus s =
       socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
   if (s != SocketStatus::kOk) return s;
@@ -180,30 +269,44 @@ std::size_t FrameWriter::build_scatter_batch(FrameType type,
                                              const ScatterSegment* segments,
                                              std::size_t count,
                                              std::vector<iovec>& iov) {
-  // All frame headers are serialized into scratch_ up front; reserve first so
-  // the iovec base pointers into it stay valid.
+  // All frame headers (plus any session extensions — the extension stays
+  // contiguous with its header, so one iovec still covers both) are
+  // serialized into scratch_ up front; reserve first so the iovec base
+  // pointers into it stay valid.
   scratch_.clear();
-  scratch_.reserve(count * kFrameHeaderBytes);
+  scratch_.reserve(count * (kFrameHeaderBytes + kFrameSessionExtBytes));
   iov.clear();
   iov.reserve(count * 3);
   std::size_t total = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const ScatterSegment& seg = segments[i];
+    std::uint16_t flags = seg.flags;
+    if (seg.session_id != 0) flags |= kFrameFlagSession;
+    const bool session = (flags & kFrameFlagSession) != 0;
+    const SessionExt ext(seg.session_id);
+    const std::size_t header_bytes =
+        kFrameHeaderBytes + (session ? kFrameSessionExtBytes : 0);
     const std::size_t header_at = scratch_.size();
     wire::put_u32(scratch_, kFrameMagic);
     wire::put_u16(scratch_, kFrameVersion);
-    wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | seg.flags);
+    wire::put_u16(scratch_, static_cast<std::uint16_t>(type) | flags);
     wire::put_u32(scratch_,
                   static_cast<std::uint32_t>(seg.head_size + seg.body_size));
-    wire::put_u64(scratch_, fnv1a(seg.body, seg.body_size,
-                                  fnv1a(seg.head, seg.head_size)));
+    wire::put_u64(scratch_,
+                  fnv1a(seg.body, seg.body_size,
+                        fnv1a(seg.head, seg.head_size,
+                              session ? ext.checksum_seed()
+                                      : kFnv1aOffsetBasis)));
+    if (session)
+      scratch_.insert(scratch_.end(), ext.bytes,
+                      ext.bytes + kFrameSessionExtBytes);
     iov.push_back({const_cast<std::byte*>(scratch_.data() + header_at),
-                   kFrameHeaderBytes});
+                   header_bytes});
     if (seg.head_size > 0)
       iov.push_back({const_cast<std::byte*>(seg.head), seg.head_size});
     if (seg.body_size > 0)
       iov.push_back({const_cast<std::byte*>(seg.body), seg.body_size});
-    total += kFrameHeaderBytes + seg.head_size + seg.body_size;
+    total += header_bytes + seg.head_size + seg.body_size;
   }
   return total;
 }
@@ -222,7 +325,9 @@ SocketStatus FrameWriter::write_file(FrameType type,
                                      const std::vector<std::byte>& head,
                                      int file_fd, std::uint64_t file_offset,
                                      std::uint32_t file_size, double timeout_s,
-                                     std::uint16_t flags) {
+                                     std::uint16_t flags,
+                                     std::uint32_t session_id) {
+  if (session_id != 0) flags |= kFrameFlagSession;
   scratch_.clear();
   wire::put_u32(scratch_, kFrameMagic);
   wire::put_u16(scratch_, kFrameVersion);
@@ -231,6 +336,11 @@ SocketStatus FrameWriter::write_file(FrameType type,
   wire::put_u32(scratch_,
                 static_cast<std::uint32_t>(head.size() + file_size));
   wire::put_u64(scratch_, 0);  // unchecked: payload bytes stay in the kernel
+  if ((flags & kFrameFlagSession) != 0) {
+    const SessionExt ext(session_id);
+    scratch_.insert(scratch_.end(), ext.bytes,
+                    ext.bytes + kFrameSessionExtBytes);
+  }
   SocketStatus s =
       socket_.write_all(scratch_.data(), scratch_.size(), timeout_s);
   if (s != SocketStatus::kOk) return s;

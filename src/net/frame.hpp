@@ -5,9 +5,12 @@
 //   offset  size  field
 //        0     4  magic      "AMDT" on the wire (0x54444D41 as LE u32)
 //        4     2  version    kFrameVersion
-//        6     2  type       FrameType (low 14 bits) | flag bits (top two)
+//        6     2  type       FrameType (low 13 bits) | flag bits (top three)
 //        8     4  length     payload bytes (bounded by max_payload_bytes)
 //       12     8  checksum   FNV-1a of the payload bytes (0 if unchecked)
+//      [20     4  session]   u32 session id, only under kFrameFlagSession;
+//                            the checksum then covers these 4 bytes followed
+//                            by the payload (seed chaining)
 //
 // The checksum is the same FNV-1a the engine uses for chunk payloads
 // (common/checksum.hpp), so a frame that decodes cleanly has also proven its
@@ -23,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "net/socket.hpp"
 
 namespace automdt::net {
@@ -31,18 +35,25 @@ inline constexpr std::uint32_t kFrameMagic = 0x54444D41u;  // "AMDT" in LE
 inline constexpr std::uint16_t kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 20;
 
-// The header's u16 type field doubles as a small flag word: the low 14 bits
+// The header's u16 type field doubles as a small flag word: the low 13 bits
 // are the FrameType; the top bit marks a traced frame (its payload carries
-// the optional trace-stamp extension — see stream_pool.hpp) and bit 14 marks
+// the optional trace-stamp extension — see stream_pool.hpp), bit 14 marks
 // an unchecked frame (checksum field 0, verification skipped — the sendfile
 // fast path, whose payload bytes never transit sender user space, cannot
-// FNV them). A frame with no flags set encodes byte-identically to the
-// pre-flag wire format, so default traffic ⇒ unchanged bytes on the wire,
-// and old decoders reject flagged frames as an unknown type instead of
-// mis-parsing the payload.
-inline constexpr std::uint16_t kFrameTypeMask = 0x3FFF;
+// FNV them), and bit 13 marks a session-addressed frame: the header grows a
+// 4-byte little-endian session id between the fixed 20 bytes and the
+// payload, and the checksum covers those 4 id bytes followed by the payload
+// (FNV-1a seed chaining), so a corrupted id fails validation like corrupted
+// data. A frame with no flags set encodes byte-identically to the pre-flag
+// wire format, so default traffic ⇒ unchanged bytes on the wire, and old
+// decoders reject flagged frames as an unknown type instead of mis-parsing
+// the payload.
+inline constexpr std::uint16_t kFrameTypeMask = 0x1FFF;
 inline constexpr std::uint16_t kFrameFlagTraced = 0x8000;
 inline constexpr std::uint16_t kFrameFlagUnchecked = 0x4000;
+inline constexpr std::uint16_t kFrameFlagSession = 0x2000;
+/// Bytes the header grows by under kFrameFlagSession (the u32 session id).
+inline constexpr std::size_t kFrameSessionExtBytes = 4;
 
 /// Default payload bound: one control message or one data chunk; far below
 /// this in practice, but large enough for any sane chunk_bytes setting.
@@ -56,12 +67,24 @@ enum class FrameType : std::uint16_t {
   kRpc = 5,           // control plane: one serialized RpcMessage
   kPing = 6,          // liveness / latency probes
   kPong = 7,
+  // Serve-plane session control (src/serve/): sessions multiplex over one
+  // connection, addressed by the kFrameFlagSession header id on data frames.
+  kSessionOpen = 8,    // client → server: admit a new session (payload =
+                       // token/tenant/size — serve/session.hpp codecs)
+  kSessionAccept = 9,  // server → client: admitted; payload carries the id
+  kSessionReject = 10, // server → client: refused; payload carries the reason
+  kSessionClose = 11,  // client → server: all chunks sent (id in header)
+  kSessionClosed = 12, // server → client: drained + final per-session stats
 };
 
 struct Frame {
   FrameType type = FrameType::kPing;
   std::vector<std::byte> payload;
   std::uint16_t flags = 0;  // kFrameFlag* bits, 0 for ordinary frames
+  /// Serve-plane session id. Nonzero ids (or kFrameFlagSession in `flags`)
+  /// encode the 4-byte header extension; 0 without the flag keeps the legacy
+  /// byte-identical format. Decoders fill it from the extension (0 if none).
+  std::uint32_t session_id = 0;
 };
 
 enum class FrameError {
@@ -93,18 +116,27 @@ DecodeResult decode_frame(const std::byte* data, std::size_t size, Frame& out,
                           std::uint32_t max_payload_bytes =
                               kDefaultMaxPayloadBytes);
 
-/// Parsed-and-validated view of one 20-byte frame header.
+/// Parsed-and-validated view of one frame header (20 bytes, or 24 with the
+/// session extension).
 struct FrameHeaderView {
   FrameType type = FrameType::kPing;
   std::uint16_t flags = 0;
   std::uint32_t length = 0;    // payload bytes following the header
   std::uint64_t checksum = 0;  // 0 and unverified under kFrameFlagUnchecked
+  std::uint32_t session_id = 0;     // from the extension; 0 if none
+  std::size_t header_bytes = kFrameHeaderBytes;  // 20, or 24 with session id
+  /// Seed for verifying `checksum` against the payload: the FNV-1a basis
+  /// normally, or the hash of the 4 session-id bytes under kFrameFlagSession
+  /// (the checksum chain covers id ++ payload). Callers verify with
+  /// fnv1a(payload, length, checksum_seed).
+  std::uint64_t checksum_seed = kFnv1aOffsetBasis;
 };
 
 /// Validate just the header without touching the payload — the in-place
 /// (zero-copy) decode seam: callers verify the checksum against the payload
 /// bytes where they already sit and slice them out as leases. Returns kNone,
-/// kNeedMoreData (size < 20), or a validation error.
+/// kNeedMoreData (size < the full header incl. any session extension), or a
+/// validation error.
 FrameError parse_frame_header(const std::byte* data, std::size_t size,
                               FrameHeaderView& out,
                               std::uint32_t max_payload_bytes =
@@ -125,7 +157,7 @@ class FrameReader {
  private:
   Socket& socket_;
   std::uint32_t max_payload_bytes_;
-  std::byte header_[kFrameHeaderBytes];
+  std::byte header_[kFrameHeaderBytes + kFrameSessionExtBytes];
 };
 
 /// One frame of a coalesced batch: logical payload = head ++ body, neither
@@ -137,6 +169,9 @@ struct ScatterSegment {
   const std::byte* body = nullptr;
   std::size_t body_size = 0;
   std::uint16_t flags = 0;  // per-frame kFrameFlag* bits (traced chunks)
+  /// Nonzero stamps the frame with the session header extension (the flag
+  /// bit is added automatically); 0 keeps the legacy layout.
+  std::uint32_t session_id = 0;
 };
 
 /// Writes frames to a socket; serializes into a reused scratch buffer. Not
@@ -147,7 +182,8 @@ class FrameWriter {
 
   SocketStatus write(const Frame& frame, double timeout_s);
   SocketStatus write(FrameType type, const std::vector<std::byte>& payload,
-                     double timeout_s, std::uint16_t flags = 0);
+                     double timeout_s, std::uint16_t flags = 0,
+                     std::uint32_t session_id = 0);
 
   /// Write one frame whose logical payload is `head` followed by `body`,
   /// without concatenating them (the chunk hot path: head = chunk metadata,
@@ -156,7 +192,8 @@ class FrameWriter {
   SocketStatus write_scatter(FrameType type,
                              const std::vector<std::byte>& head,
                              const std::byte* body, std::size_t body_size,
-                             double timeout_s, std::uint16_t flags = 0);
+                             double timeout_s, std::uint16_t flags = 0,
+                             std::uint32_t session_id = 0);
 
   /// Coalesced hot path: emit `count` frames of `type` as one gathered
   /// write (a single sendmsg in the common case), so a batch of staged
@@ -185,7 +222,8 @@ class FrameWriter {
   SocketStatus write_file(FrameType type, const std::vector<std::byte>& head,
                           int file_fd, std::uint64_t file_offset,
                           std::uint32_t file_size, double timeout_s,
-                          std::uint16_t flags = 0);
+                          std::uint16_t flags = 0,
+                          std::uint32_t session_id = 0);
 
  private:
   Socket& socket_;

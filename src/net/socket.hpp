@@ -125,6 +125,8 @@ class Listener {
 
   bool valid() const { return socket_.valid(); }
   std::uint16_t port() const { return port_; }
+  /// Listening fd, for event-loop integration (epoll on the serve plane).
+  int fd() const { return socket_.fd(); }
 
   /// Accept one connection. `timeout_s` <= 0 waits forever. nullopt on
   /// timeout or after close()/shutdown.

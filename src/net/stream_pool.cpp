@@ -198,6 +198,8 @@ bool StreamPool::send_chunks_locked(Stream& stream, const WireChunk* chunks,
     seg.body = chunks[i].payload_data();
     seg.body_size = chunks[i].payload_size();
     seg.flags = traced ? kFrameFlagTraced : 0;
+    seg.session_id = chunks[i].session_id != 0 ? chunks[i].session_id
+                                               : config_.session_id;
     header_at += seg.head_size;
     stream.segments.push_back(seg);
   }
@@ -306,7 +308,9 @@ bool StreamPool::send_chunk_file(int stream_id, const WireChunk& meta,
   }
   if (stream.writer->write_file(FrameType::kChunk, stream.scratch, file_fd,
                                 meta.offset, meta.size, config_.io_timeout_s,
-                                traced ? kFrameFlagTraced : 0) !=
+                                traced ? kFrameFlagTraced : 0,
+                                meta.session_id != 0 ? meta.session_id
+                                                     : config_.session_id) !=
       SocketStatus::kOk) {
     stream.failed = true;
     send_failures_.fetch_add(1);
@@ -439,6 +443,7 @@ void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
           socket->shutdown_both();
           goto done;
         }
+        chunk.session_id = frame.session_id;
         chunks_received_.fetch_add(1);
         // Copied path: recv buffer -> Frame::payload -> WireChunk::payload.
         payload_copies_.fetch_add(2);
@@ -527,10 +532,10 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
       goto done;
     }
     if (pe == FrameError::kNone &&
-        end - begin >= kFrameHeaderBytes + hdr.length) {
-      const std::byte* payload = block.data() + begin + kFrameHeaderBytes;
+        end - begin >= hdr.header_bytes + hdr.length) {
+      const std::byte* payload = block.data() + begin + hdr.header_bytes;
       if ((hdr.flags & kFrameFlagUnchecked) == 0 &&
-          fnv1a(payload, hdr.length) != hdr.checksum) {
+          fnv1a(payload, hdr.length, hdr.checksum_seed) != hdr.checksum) {
         frame_errors_.fetch_add(1);
         socket->shutdown_both();
         goto done;
@@ -561,9 +566,10 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
           }
           // Zero-copy hand-off: the payload stays exactly where recv wrote
           // it and the consumer gets a refcounted view of those bytes.
+          chunk.session_id = hdr.session_id;
           chunk.payload.clear();
           chunk.lease =
-              block.subspan(begin + kFrameHeaderBytes + payload_at,
+              block.subspan(begin + hdr.header_bytes + payload_at,
                             hdr.length - payload_at);
           chunks_received_.fetch_add(1);
           if (!on_chunk_(std::move(chunk))) goto done;  // downstream closed
@@ -573,16 +579,19 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
         default:
           break;  // ping/pong and future types are ignorable on this plane
       }
-      begin += kFrameHeaderBytes + hdr.length;
+      begin += hdr.header_bytes + hdr.length;
       continue;
     }
 
     // 2) Frame incomplete. Carved payload leases forbid rewinding a block,
     // so a frame that cannot finish in the tail moves its partial bytes to a
     // fresh block (the one counted copy a boundary-spanning frame pays).
+    // With an incomplete header, demand the session-extended size — a
+    // 4-byte overshoot only ever costs one extra boundary move, and step 3
+    // recvs whatever is available regardless.
     const std::size_t need = pe == FrameError::kNone
-                                 ? kFrameHeaderBytes + hdr.length
-                                 : kFrameHeaderBytes;
+                                 ? hdr.header_bytes + hdr.length
+                                 : kFrameHeaderBytes + kFrameSessionExtBytes;
     if (need > cap) {
       // Frame larger than an arena block (foreign sender): assemble this one
       // in a one-shot heap buffer — the copied path — and keep streaming.
@@ -612,6 +621,7 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
           socket->shutdown_both();
           goto done;
         }
+        chunk.session_id = frame.session_id;
         chunks_received_.fetch_add(1);
         payload_copies_.fetch_add(2);
         if (!on_chunk_(std::move(chunk))) goto done;

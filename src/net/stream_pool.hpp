@@ -49,6 +49,11 @@ struct WireChunk {
   std::uint64_t offset = 0;
   std::uint32_t size = 0;
   std::uint64_t checksum = 0;
+  /// Serve-plane session this chunk belongs to. Frame-level, not part of the
+  /// chunk encoding: senders stamp it via the kFrameFlagSession header
+  /// extension and receivers fill it back from the frame. 0 = legacy
+  /// single-session traffic (byte-identical wire format).
+  std::uint32_t session_id = 0;
   // Distributed-tracing stamps (sender steady-clock ns; 0 = not traced).
   // Carried on the wire only when the chunk's frame has kFrameFlagTraced set
   // — i.e. for the sampled 1-in-N minority when --wire-stamp is on — so the
@@ -101,6 +106,10 @@ struct StreamPoolConfig {
   /// Send each coalesced batch as one io_uring WRITEV SQE (one enter) when
   /// the kernel supports it; silently stays on sendmsg otherwise.
   bool use_uring = false;
+  /// Stamp every outgoing chunk frame with this session id (the serve-plane
+  /// header extension). 0 = legacy byte-identical frames. Per-chunk ids in
+  /// WireChunk::session_id take precedence when nonzero.
+  std::uint32_t session_id = 0;
 };
 
 class StreamPool {

@@ -1,0 +1,288 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "net/wire.hpp"
+
+namespace automdt::serve {
+
+namespace wire = net::wire;
+
+const char* to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kAtCapacity: return "at-capacity";
+    case RejectReason::kTenantSessions: return "tenant-session-quota";
+    case RejectReason::kBadRequest: return "bad-request";
+  }
+  return "unknown";
+}
+
+const char* to_string(SessionLifecycle state) {
+  switch (state) {
+    case SessionLifecycle::kAdmitted: return "admitted";
+    case SessionLifecycle::kActive: return "active";
+    case SessionLifecycle::kDraining: return "draining";
+    case SessionLifecycle::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+
+std::vector<std::byte> encode_session_open(const SessionOpenRequest& msg) {
+  std::vector<std::byte> out;
+  out.reserve(24 + msg.tenant.size());
+  wire::put_u64(out, msg.client_token);
+  wire::put_u64(out, msg.expected_bytes);
+  wire::put_u32(out, msg.chunk_bytes);
+  wire::put_u32(out, static_cast<std::uint32_t>(msg.tenant.size()));
+  for (char c : msg.tenant) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+bool decode_session_open(const std::byte* data, std::size_t size,
+                         SessionOpenRequest& out) {
+  if (size < 24) return false;
+  wire::Reader r(data, size);
+  out.client_token = r.u64();
+  out.expected_bytes = r.u64();
+  out.chunk_bytes = r.u32();
+  const std::uint32_t tenant_len = r.u32();
+  if (tenant_len > r.remaining()) return false;
+  out.tenant.assign(reinterpret_cast<const char*>(r.cursor()), tenant_len);
+  return true;
+}
+
+std::vector<std::byte> encode_session_accept(const SessionAccept& msg) {
+  std::vector<std::byte> out;
+  out.reserve(12);
+  wire::put_u64(out, msg.client_token);
+  wire::put_u32(out, msg.session_id);
+  return out;
+}
+
+bool decode_session_accept(const std::byte* data, std::size_t size,
+                           SessionAccept& out) {
+  if (size < 12) return false;
+  wire::Reader r(data, size);
+  out.client_token = r.u64();
+  out.session_id = r.u32();
+  return true;
+}
+
+std::vector<std::byte> encode_session_reject(const SessionReject& msg) {
+  std::vector<std::byte> out;
+  out.reserve(16 + msg.message.size());
+  wire::put_u64(out, msg.client_token);
+  wire::put_u32(out, static_cast<std::uint32_t>(msg.reason));
+  wire::put_u32(out, static_cast<std::uint32_t>(msg.message.size()));
+  for (char c : msg.message) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+bool decode_session_reject(const std::byte* data, std::size_t size,
+                           SessionReject& out) {
+  if (size < 16) return false;
+  wire::Reader r(data, size);
+  out.client_token = r.u64();
+  out.reason = static_cast<RejectReason>(r.u32());
+  const std::uint32_t msg_len = r.u32();
+  if (msg_len > r.remaining()) return false;
+  out.message.assign(reinterpret_cast<const char*>(r.cursor()), msg_len);
+  return true;
+}
+
+std::vector<std::byte> encode_session_final(const SessionFinalStats& msg) {
+  std::vector<std::byte> out;
+  out.reserve(24);
+  wire::put_u64(out, msg.bytes_ok);
+  wire::put_u64(out, msg.chunks_ok);
+  wire::put_u64(out, msg.verify_failures);
+  return out;
+}
+
+bool decode_session_final(const std::byte* data, std::size_t size,
+                          SessionFinalStats& out) {
+  if (size < 24) return false;
+  wire::Reader r(data, size);
+  out.bytes_ok = r.u64();
+  out.chunks_ok = r.u64();
+  out.verify_failures = r.u64();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TenantState / TenantTable.
+
+TenantState::TenantState(std::string name, const TenantQuota& quota,
+                         telemetry::MetricsRegistry& registry)
+    : bytes_admitted(*registry.counter("tenant." + name + ".bytes_admitted")),
+      rejects(*registry.counter("tenant." + name + ".rejects")),
+      throttle_defers(*registry.counter("tenant." + name + ".throttle_defers")),
+      name_(std::move(name)),
+      quota_(quota),
+      // Burst = 1s of rate so a tenant idle for a while cannot dump an
+      // unbounded backlog through admission in one tick.
+      bucket_(quota.rate_bytes_per_s, quota.rate_bytes_per_s) {
+  registry.register_callback("tenant." + name_ + ".sessions",
+                             [this] { return static_cast<double>(sessions()); });
+  registry.register_callback("tenant." + name_ + ".buffer_bytes", [this] {
+    return static_cast<double>(buffer_bytes());
+  });
+}
+
+bool TenantState::try_reserve_buffer(std::uint64_t bytes) {
+  if (quota_.max_buffer_bytes == 0) {
+    buffer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return true;
+  }
+  const std::uint64_t prev =
+      buffer_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (prev + bytes > quota_.max_buffer_bytes) {
+    buffer_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void TenantState::release_buffer(std::uint64_t bytes) {
+  buffer_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+bool TenantState::try_add_session() {
+  const int prev = sessions_.fetch_add(1, std::memory_order_relaxed);
+  if (quota_.max_sessions > 0 && prev >= quota_.max_sessions) {
+    sessions_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void TenantState::remove_session() {
+  sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+TenantState* TenantTable::configure(const std::string& name,
+                                    const TenantQuota& quota) {
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second.get();
+  auto state = std::make_unique<TenantState>(name, quota, registry_);
+  TenantState* raw = state.get();
+  tenants_.emplace(name, std::move(state));
+  return raw;
+}
+
+TenantState* TenantTable::get_or_create(const std::string& name) {
+  const std::string& key = name.empty() ? std::string("default") : name;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = tenants_.find(key);
+    if (it != tenants_.end()) return it->second.get();
+  }
+  return configure(key, default_quota_);
+}
+
+TenantState* TenantTable::find(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = tenants_.find(name);
+  return it != tenants_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<TenantState*> TenantTable::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TenantState*> out;
+  out.reserve(tenants_.size());
+  for (const auto& [_, state] : tenants_) out.push_back(state.get());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ServeSession / SessionRegistry.
+
+namespace {
+std::string session_metric(std::uint32_t id, const char* leaf) {
+  return "session." + std::to_string(id) + "." + leaf;
+}
+}  // namespace
+
+ServeSession::ServeSession(std::uint32_t id, TenantState* tenant,
+                           const SessionOpenRequest& open,
+                           telemetry::MetricsRegistry& registry)
+    : bytes_ok(*registry.counter(session_metric(id, "bytes_ok"))),
+      chunks_ok(*registry.counter(session_metric(id, "chunks_ok"))),
+      verify_failures(*registry.counter(session_metric(id, "verify_failures"))),
+      id_(id),
+      tenant_(tenant),
+      expected_bytes_(open.expected_bytes) {
+  // Callbacks rather than gauges: state/inflight already live in this
+  // object's atomics, and a polled view can never go stale. `this` outlives
+  // the registry references only because SessionRegistry hands out
+  // shared_ptrs that the server's registry-callback wrapper captures — see
+  // SessionServer::register_session_callbacks.
+}
+
+void ServeSession::mark_active() {
+  SessionLifecycle expected = SessionLifecycle::kAdmitted;
+  state_.compare_exchange_strong(expected, SessionLifecycle::kActive,
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_relaxed);
+}
+
+SessionFinalStats ServeSession::final_stats() const {
+  SessionFinalStats out;
+  out.bytes_ok = bytes_ok.value();
+  out.chunks_ok = chunks_ok.value();
+  out.verify_failures = verify_failures.value();
+  return out;
+}
+
+SessionRegistry::AdmitResult SessionRegistry::admit(
+    const SessionOpenRequest& open, TenantState* tenant,
+    telemetry::MetricsRegistry& registry) {
+  AdmitResult result;
+  std::lock_guard lock(mutex_);
+  if (live_.size() >= max_sessions_) {
+    result.reason = RejectReason::kAtCapacity;
+    return result;
+  }
+  if (!tenant->try_add_session()) {
+    result.reason = RejectReason::kTenantSessions;
+    return result;
+  }
+  const std::uint32_t id = next_id_++;
+  result.session = std::make_shared<ServeSession>(id, tenant, open, registry);
+  live_.emplace(id, result.session);
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+  admitted_total_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::shared_ptr<ServeSession> SessionRegistry::get(std::uint32_t id) const {
+  std::lock_guard lock(mutex_);
+  auto it = live_.find(id);
+  return it != live_.end() ? it->second : nullptr;
+}
+
+void SessionRegistry::remove(std::uint32_t id) {
+  std::shared_ptr<ServeSession> doomed;
+  std::lock_guard lock(mutex_);
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  doomed = std::move(it->second);  // destructor (if last ref) outside the map
+  live_.erase(it);
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+  doomed->tenant()->remove_session();
+}
+
+std::vector<std::shared_ptr<ServeSession>> SessionRegistry::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<ServeSession>> out;
+  out.reserve(live_.size());
+  for (const auto& [_, session] : live_) out.push_back(session);
+  return out;
+}
+
+}  // namespace automdt::serve

@@ -1,0 +1,299 @@
+// Serve-plane session model: many concurrent transfer sessions in one
+// process, multiplexed over shared connections and addressed by the frame
+// header's session id (net/frame.hpp, kFrameFlagSession).
+//
+// Three pieces (DESIGN.md §13):
+//
+//   ServeSession    — per-session state: lifecycle (admitted → active →
+//                     draining → closed), byte/chunk counters backed by the
+//                     server's MetricsRegistry (so kStatsSnapshot exports a
+//                     session dimension for free), and the in-flight
+//                     accounting the drain path rides on.
+//   TenantTable     — fair-share admission state per tenant: a session-count
+//                     cap, an in-flight buffer-byte quota against the shared
+//                     receive arena, and a TokenBucket rate share. Quota
+//                     exhaustion defers (backpressure), never drops.
+//   SessionRegistry — id → session map. Lock-free-friendly by construction:
+//                     the mutex guards only cold admit/remove; the event
+//                     loop resolves per-frame ids through its own
+//                     single-threaded mirror and workers hold shared_ptrs,
+//                     so no per-chunk path takes the registry lock.
+//
+// The open/accept/reject control payloads (FrameType::kSession*) are encoded
+// here too, next to the state they create.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "transfer/token_bucket.hpp"
+
+namespace automdt::serve {
+
+// ---------------------------------------------------------------------------
+// Session control payloads (FrameType::kSessionOpen/Accept/Reject/Closed).
+// Little-endian, length-checked decodes; kSessionClose carries no payload
+// (the header's session id says everything).
+
+struct SessionOpenRequest {
+  std::uint64_t client_token = 0;  // echoed in accept/reject for correlation
+  std::uint64_t expected_bytes = 0;  // 0 = unknown up front
+  std::uint32_t chunk_bytes = 0;     // advisory; server only accounts bytes
+  std::string tenant;                // "" binds to the default tenant
+};
+
+struct SessionAccept {
+  std::uint64_t client_token = 0;
+  std::uint32_t session_id = 0;
+};
+
+enum class RejectReason : std::uint32_t {
+  kNone = 0,
+  kAtCapacity = 1,      // registry full (--max-sessions)
+  kTenantSessions = 2,  // tenant's session-count quota exhausted
+  kBadRequest = 3,      // malformed open payload
+};
+
+const char* to_string(RejectReason reason);
+
+struct SessionReject {
+  std::uint64_t client_token = 0;
+  RejectReason reason = RejectReason::kNone;
+  std::string message;
+};
+
+/// Final per-session stats, sent as the kSessionClosed payload once the
+/// session has fully drained.
+struct SessionFinalStats {
+  std::uint64_t bytes_ok = 0;
+  std::uint64_t chunks_ok = 0;
+  std::uint64_t verify_failures = 0;
+};
+
+std::vector<std::byte> encode_session_open(const SessionOpenRequest& msg);
+bool decode_session_open(const std::byte* data, std::size_t size,
+                         SessionOpenRequest& out);
+std::vector<std::byte> encode_session_accept(const SessionAccept& msg);
+bool decode_session_accept(const std::byte* data, std::size_t size,
+                           SessionAccept& out);
+std::vector<std::byte> encode_session_reject(const SessionReject& msg);
+bool decode_session_reject(const std::byte* data, std::size_t size,
+                           SessionReject& out);
+std::vector<std::byte> encode_session_final(const SessionFinalStats& msg);
+bool decode_session_final(const std::byte* data, std::size_t size,
+                          SessionFinalStats& out);
+
+// ---------------------------------------------------------------------------
+// Tenants.
+
+struct TenantQuota {
+  /// Concurrent sessions this tenant may hold open. 0 = unlimited.
+  int max_sessions = 0;
+  /// In-flight (admitted, not yet processed) payload bytes. 0 = unlimited.
+  std::uint64_t max_buffer_bytes = 0;
+  /// Fair-share admission rate in bytes/s (TokenBucket). <= 0 = unlimited.
+  double rate_bytes_per_s = 0.0;
+};
+
+/// Per-tenant admission state. Buffer accounting is a relaxed atomic so the
+/// event loop and workers never share a lock; the one-chunk overshoot a race
+/// could admit is within quota tolerance (quotas bound memory, they are not
+/// exact budgets — same contract as TokenBucket rates).
+class TenantState {
+ public:
+  TenantState(std::string name, const TenantQuota& quota,
+              telemetry::MetricsRegistry& registry);
+
+  const std::string& name() const { return name_; }
+  const TenantQuota& quota() const { return quota_; }
+  transfer::TokenBucket& bucket() { return bucket_; }
+
+  /// True if `bytes` fit under the buffer quota; reserves them on success.
+  bool try_reserve_buffer(std::uint64_t bytes);
+  void release_buffer(std::uint64_t bytes);
+  std::uint64_t buffer_bytes() const {
+    return buffer_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// True if another session fits under max_sessions; counts it on success.
+  bool try_add_session();
+  void remove_session();
+  int sessions() const { return sessions_.load(std::memory_order_relaxed); }
+
+  // Registry-backed observability (tenant.<name>.*).
+  telemetry::Counter& bytes_admitted;     // payload bytes through admission
+  telemetry::Counter& rejects;            // session opens refused
+  telemetry::Counter& throttle_defers;    // chunk admissions deferred
+
+ private:
+  std::string name_;
+  TenantQuota quota_;
+  transfer::TokenBucket bucket_;
+  std::atomic<std::uint64_t> buffer_bytes_{0};
+  std::atomic<int> sessions_{0};
+};
+
+/// Name → TenantState map with a default quota for unknown tenants. Mutex
+/// only on (cold) first-contact creation and list(); get_or_create returns
+/// stable pointers for the table's lifetime.
+class TenantTable {
+ public:
+  TenantTable(TenantQuota default_quota, telemetry::MetricsRegistry& registry)
+      : default_quota_(default_quota), registry_(registry) {}
+
+  /// Pre-declare a tenant with an explicit quota (CLI --tenant-quota).
+  TenantState* configure(const std::string& name, const TenantQuota& quota);
+  TenantState* get_or_create(const std::string& name);
+  TenantState* find(const std::string& name);
+  std::vector<TenantState*> list() const;
+
+ private:
+  TenantQuota default_quota_;
+  telemetry::MetricsRegistry& registry_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+};
+
+// ---------------------------------------------------------------------------
+// Sessions.
+
+enum class SessionLifecycle : std::uint32_t {
+  kAdmitted = 0,  // accepted, no data yet
+  kActive = 1,    // chunks flowing
+  kDraining = 2,  // close requested (or connection lost); in-flight chunks
+                  // still working through the pool
+  kClosed = 3,    // fully drained and finalized
+};
+
+const char* to_string(SessionLifecycle state);
+
+class ServeSession {
+ public:
+  ServeSession(std::uint32_t id, TenantState* tenant,
+               const SessionOpenRequest& open,
+               telemetry::MetricsRegistry& registry);
+
+  std::uint32_t id() const { return id_; }
+  TenantState* tenant() const { return tenant_; }
+  std::uint64_t expected_bytes() const { return expected_bytes_; }
+
+  SessionLifecycle state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  void set_state(SessionLifecycle s) {
+    state_.store(s, std::memory_order_release);
+  }
+  /// admitted → active on the first chunk (relaxed CAS; any thread).
+  void mark_active();
+
+  /// True when the connection died before kSessionClose — the drain then
+  /// skips the kSessionClosed reply (nobody is listening).
+  bool abandoned() const { return abandoned_.load(std::memory_order_relaxed); }
+  void set_abandoned() { abandoned_.store(true, std::memory_order_relaxed); }
+
+  /// Exactly-once finalize claim: both the event loop (close with nothing in
+  /// flight) and a worker (last in-flight chunk of a draining session) can
+  /// observe "drained"; whoever wins the exchange runs the finalize.
+  bool claim_finalize() { return !finalized_.exchange(true); }
+
+  // In-flight accounting: admitted by the event loop before the work-queue
+  // push, released by the worker after processing (or by the push-failure
+  // unwind). Drain-complete == draining && inflight_chunks == 0.
+  void add_inflight(std::uint64_t bytes) {
+    inflight_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    inflight_chunks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// Returns the number of chunks still in flight after this release.
+  std::uint64_t release_inflight(std::uint64_t bytes) {
+    inflight_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    return inflight_chunks_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  }
+  std::uint64_t inflight_chunks() const {
+    return inflight_chunks_.load(std::memory_order_acquire);
+  }
+  std::uint64_t inflight_bytes() const {
+    return inflight_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Stall attribution (watchdog context): stamped on every admitted chunk
+  /// and on every worker completion.
+  void stamp_progress(std::uint64_t now_ns) {
+    last_progress_ns_.store(now_ns, std::memory_order_relaxed);
+  }
+  std::uint64_t last_progress_ns() const {
+    return last_progress_ns_.load(std::memory_order_relaxed);
+  }
+
+  SessionFinalStats final_stats() const;
+
+  // Registry-backed counters (session.<id>.*), written by workers.
+  telemetry::Counter& bytes_ok;
+  telemetry::Counter& chunks_ok;
+  telemetry::Counter& verify_failures;
+
+ private:
+  std::uint32_t id_;
+  TenantState* tenant_;
+  std::uint64_t expected_bytes_;
+  std::atomic<SessionLifecycle> state_{SessionLifecycle::kAdmitted};
+  std::atomic<bool> abandoned_{false};
+  std::atomic<bool> finalized_{false};
+  std::atomic<std::uint64_t> inflight_chunks_{0};
+  std::atomic<std::uint64_t> inflight_bytes_{0};
+  std::atomic<std::uint64_t> last_progress_ns_{0};
+};
+
+/// Live-session map. The mutex covers admit/remove/list only — per-frame
+/// lookups go through the event loop's single-threaded connection mirror and
+/// never touch it (see SessionServer). get() exists for cold paths (tests,
+/// monitor drill-down).
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(std::size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Admit a new session, or explain why not. On success the session is
+  /// registered, counted against its tenant, and its session.<id>.* metrics
+  /// exist in `registry`.
+  struct AdmitResult {
+    std::shared_ptr<ServeSession> session;  // null on rejection
+    RejectReason reason = RejectReason::kNone;
+  };
+  AdmitResult admit(const SessionOpenRequest& open, TenantState* tenant,
+                    telemetry::MetricsRegistry& registry);
+
+  std::shared_ptr<ServeSession> get(std::uint32_t id) const;
+  /// Drop the (closed) session from the live map. The shared_ptr keeps any
+  /// in-flight work items and metric callbacks valid.
+  void remove(std::uint32_t id);
+
+  std::size_t live() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t max_sessions() const { return max_sessions_; }
+  std::uint64_t admitted_total() const {
+    return admitted_total_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::shared_ptr<ServeSession>> list() const;
+
+ private:
+  std::size_t max_sessions_;
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, std::shared_ptr<ServeSession>> live_;
+  /// Mirrors live_.size(); lock-free so the serve.sessions_active metrics
+  /// callback never takes mutex_ (snapshot() holds the registry-of-metrics
+  /// lock while running callbacks, and admit() builds session counters under
+  /// mutex_ — live() locking too would order those two mutexes both ways).
+  std::atomic<std::size_t> live_count_{0};
+  std::uint32_t next_id_ = 1;
+  std::atomic<std::uint64_t> admitted_total_{0};
+};
+
+}  // namespace automdt::serve

@@ -1,0 +1,228 @@
+#include "serve/session_client.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "common/checksum.hpp"
+#include "net/stream_pool.hpp"
+#include "net/tcp_transport.hpp"
+#include "telemetry/trace.hpp"
+
+namespace automdt::serve {
+
+std::unique_ptr<SessionClient> SessionClient::connect(
+    const std::string& host, std::uint16_t port, SessionClientConfig config) {
+  net::Connector connector(config.connector);
+  std::optional<net::Socket> socket = connector.connect(host, port);
+  if (!socket) return nullptr;
+  socket->set_no_delay();
+  return std::unique_ptr<SessionClient>(
+      new SessionClient(std::move(*socket), std::move(config)));
+}
+
+SessionClient::SessionClient(net::Socket socket, SessionClientConfig config)
+    : socket_(std::move(socket)),
+      config_(std::move(config)),
+      reader_(socket_),
+      writer_(socket_) {}
+
+bool SessionClient::pump_one() {
+  net::Frame frame;
+  if (reader_.read(frame, config_.io_timeout_s) != net::FrameError::kNone)
+    return false;
+  switch (frame.type) {
+    case net::FrameType::kSessionAccept: {
+      SessionAccept accept;
+      if (decode_session_accept(frame.payload.data(), frame.payload.size(),
+                                accept)) {
+        OpenReply& reply = open_replies_[accept.client_token];
+        reply.accepted = true;
+        reply.session_id = accept.session_id;
+      }
+      break;
+    }
+    case net::FrameType::kSessionReject: {
+      SessionReject reject;
+      if (decode_session_reject(frame.payload.data(), frame.payload.size(),
+                                reject)) {
+        OpenReply& reply = open_replies_[reject.client_token];
+        reply.accepted = false;
+        reply.reason = reject.reason;
+        reply.message = std::move(reject.message);
+      }
+      break;
+    }
+    case net::FrameType::kSessionClosed: {
+      SessionFinalStats stats;
+      if (decode_session_final(frame.payload.data(), frame.payload.size(),
+                               stats))
+        closed_[frame.session_id] = stats;
+      break;
+    }
+    case net::FrameType::kRpc: {
+      std::optional<transfer::RpcMessage> message = net::decode_rpc_message(
+          frame.payload.data(), frame.payload.size());
+      if (!message) break;
+      std::uint64_t id = 0;
+      if (const auto* stats =
+              std::get_if<transfer::StatsSnapshotResponse>(&*message))
+        id = stats->request_id;
+      else if (const auto* sync =
+                   std::get_if<transfer::ClockSyncResponse>(&*message))
+        id = sync->request_id;
+      if (id != 0) rpc_replies_.emplace(id, std::move(*message));
+      break;
+    }
+    case net::FrameType::kPong:
+      ++pongs_;
+      break;
+    default:
+      break;  // nothing else flows server -> client today
+  }
+  return true;
+}
+
+SessionClient::OpenResult SessionClient::open(const std::string& tenant,
+                                              std::uint64_t expected_bytes,
+                                              std::uint32_t chunk_bytes) {
+  OpenResult result;
+  SessionOpenRequest request;
+  request.client_token = next_token_++;
+  request.expected_bytes = expected_bytes;
+  request.chunk_bytes = chunk_bytes;
+  request.tenant = tenant;
+  if (writer_.write(net::FrameType::kSessionOpen,
+                    encode_session_open(request),
+                    config_.io_timeout_s) != net::SocketStatus::kOk) {
+    result.message = "send failed";
+    return result;
+  }
+  for (;;) {
+    auto it = open_replies_.find(request.client_token);
+    if (it != open_replies_.end()) {
+      if (it->second.accepted) {
+        result.session_id = it->second.session_id;
+      } else {
+        result.reason = it->second.reason;
+        result.message = std::move(it->second.message);
+      }
+      open_replies_.erase(it);
+      return result;
+    }
+    if (!pump_one()) {
+      result.message = "timed out waiting for accept/reject";
+      return result;
+    }
+  }
+}
+
+bool SessionClient::send_chunk(std::uint32_t session_id, std::uint64_t offset,
+                               const std::vector<std::byte>& payload,
+                               std::uint64_t file_id) {
+  net::WireChunk chunk;
+  chunk.file_id = file_id;
+  chunk.offset = offset;
+  chunk.size = static_cast<std::uint32_t>(payload.size());
+  chunk.checksum = fnv1a(payload.data(), payload.size());
+  // encode_wire_chunk emits the metadata header only; the payload rides
+  // behind it in the same frame (the gather-write the stream pool does).
+  net::encode_wire_chunk(chunk, scratch_);
+  scratch_.insert(scratch_.end(), payload.begin(), payload.end());
+  return writer_.write(net::FrameType::kChunk, scratch_, config_.io_timeout_s,
+                       0, session_id) == net::SocketStatus::kOk;
+}
+
+bool SessionClient::send_pattern_chunk(std::uint32_t session_id,
+                                       std::uint64_t offset,
+                                       std::size_t size) {
+  std::vector<std::byte> payload(size);
+  for (std::size_t i = 0; i < size; ++i)
+    payload[i] = static_cast<std::byte>((offset + i) & 0xFF);
+  return send_chunk(session_id, offset, payload);
+}
+
+std::optional<SessionFinalStats> SessionClient::close_session(
+    std::uint32_t session_id) {
+  net::Frame frame;
+  frame.type = net::FrameType::kSessionClose;
+  frame.session_id = session_id;
+  if (writer_.write(frame, config_.io_timeout_s) != net::SocketStatus::kOk)
+    return std::nullopt;
+  for (;;) {
+    auto it = closed_.find(session_id);
+    if (it != closed_.end()) {
+      SessionFinalStats stats = it->second;
+      closed_.erase(it);
+      return stats;
+    }
+    if (!pump_one()) return std::nullopt;
+  }
+}
+
+std::optional<transfer::StatsSnapshotResponse> SessionClient::query_stats() {
+  transfer::StatsSnapshotRequest request;
+  request.request_id = next_request_id_++;
+  std::vector<std::byte> payload;
+  net::encode_rpc_message(request, payload);
+  if (writer_.write(net::FrameType::kRpc, payload, config_.io_timeout_s) !=
+      net::SocketStatus::kOk)
+    return std::nullopt;
+  for (;;) {
+    auto it = rpc_replies_.find(request.request_id);
+    if (it != rpc_replies_.end()) {
+      auto* response = std::get_if<transfer::StatsSnapshotResponse>(&it->second);
+      std::optional<transfer::StatsSnapshotResponse> out;
+      if (response != nullptr) out = std::move(*response);
+      rpc_replies_.erase(it);
+      return out;
+    }
+    if (!pump_one()) return std::nullopt;
+  }
+}
+
+bool SessionClient::sync_clock(telemetry::ClockModel& model, int rounds) {
+  telemetry::ClockSyncEstimator estimator;
+  for (int i = 0; i < rounds; ++i) {
+    transfer::ClockSyncRequest request;
+    request.request_id = next_request_id_++;
+    request.t0_ns = telemetry::now_ns();
+    std::vector<std::byte> payload;
+    net::encode_rpc_message(request, payload);
+    if (writer_.write(net::FrameType::kRpc, payload, config_.io_timeout_s) !=
+        net::SocketStatus::kOk)
+      return false;
+    for (;;) {
+      auto it = rpc_replies_.find(request.request_id);
+      if (it != rpc_replies_.end()) {
+        if (const auto* response =
+                std::get_if<transfer::ClockSyncResponse>(&it->second)) {
+          telemetry::ClockSyncSample sample;
+          sample.t0_ns = response->t0_ns;
+          sample.t1_ns = response->t1_ns;
+          sample.t2_ns = response->t2_ns;
+          sample.t3_ns = telemetry::now_ns();
+          estimator.add(sample);
+        }
+        rpc_replies_.erase(it);
+        break;
+      }
+      if (!pump_one()) return false;
+    }
+  }
+  if (!estimator.valid()) return false;
+  model.publish(estimator.offset_ns(), estimator.rtt_ns());
+  return true;
+}
+
+bool SessionClient::ping() {
+  const int before = pongs_;
+  if (writer_.write(net::FrameType::kPing, {}, config_.io_timeout_s) !=
+      net::SocketStatus::kOk)
+    return false;
+  while (pongs_ == before) {
+    if (!pump_one()) return false;
+  }
+  return true;
+}
+
+}  // namespace automdt::serve

@@ -1,0 +1,107 @@
+// Client side of the serve plane: one connection multiplexing any number of
+// id-addressed sessions.
+//
+// Blocking, single-threaded by design — the server side is where the
+// concurrency lives. A dispatcher underneath every wait routes interleaved
+// replies to their waiters: session accepts/rejects match on the client
+// token, kSessionClosed on the header's session id, RPC responses on the
+// request id, so replies arriving out of order (a close ack overtaking a
+// stats response) never wedge a caller. Tests and the CLI loopback driver
+// run one SessionClient per driver thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "serve/session.hpp"
+#include "telemetry/clock_sync.hpp"
+#include "transfer/rpc_messages.hpp"
+
+namespace automdt::serve {
+
+struct SessionClientConfig {
+  double io_timeout_s = 10.0;
+  net::ConnectorConfig connector{};
+};
+
+class SessionClient {
+ public:
+  static std::unique_ptr<SessionClient> connect(
+      const std::string& host, std::uint16_t port,
+      SessionClientConfig config = {});
+
+  struct OpenResult {
+    std::uint32_t session_id = 0;  // 0 = rejected / failed
+    RejectReason reason = RejectReason::kNone;
+    std::string message;  // server's rejection text, "" when accepted
+    bool ok() const { return session_id != 0; }
+  };
+
+  /// Open one session; blocks for the accept/reject round trip.
+  OpenResult open(const std::string& tenant, std::uint64_t expected_bytes = 0,
+                  std::uint32_t chunk_bytes = 0);
+
+  /// Send one data chunk into `session_id`. The chunk checksum is computed
+  /// here (FNV-1a over the payload), so the server's verify path is
+  /// exercised end to end.
+  bool send_chunk(std::uint32_t session_id, std::uint64_t offset,
+                  const std::vector<std::byte>& payload,
+                  std::uint64_t file_id = 0);
+
+  /// Convenience for tests/bench: a deterministic pattern payload of `size`
+  /// bytes (byte i of a chunk at `offset` is (offset + i) & 0xFF).
+  bool send_pattern_chunk(std::uint32_t session_id, std::uint64_t offset,
+                          std::size_t size);
+
+  /// Graceful close: sends kSessionClose, waits for the server's drained
+  /// kSessionClosed ack carrying the session's final stats.
+  std::optional<SessionFinalStats> close_session(std::uint32_t session_id);
+
+  /// kStatsSnapshot over the data connection: the server's full registry,
+  /// including every session.<id>.* and tenant.<name>.* metric.
+  std::optional<transfer::StatsSnapshotResponse> query_stats();
+
+  /// NTP-style clock sync against the serve process (satellite: the serve
+  /// path no longer hardcodes a null clock). Runs `rounds` request/response
+  /// exchanges through the min-RTT filter and publishes into `model`.
+  bool sync_clock(telemetry::ClockModel& model, int rounds = 4);
+
+  bool ping();
+
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  explicit SessionClient(net::Socket socket, SessionClientConfig config);
+
+  /// Read and route one frame; false on timeout/close.
+  bool pump_one();
+
+  net::Socket socket_;
+  SessionClientConfig config_;
+  net::FrameReader reader_;
+  net::FrameWriter writer_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::byte> scratch_;
+
+  // Reply stashes filled by the dispatcher while a caller waits for
+  // something else.
+  struct OpenReply {
+    bool accepted = false;
+    std::uint32_t session_id = 0;
+    RejectReason reason = RejectReason::kNone;
+    std::string message;
+  };
+  std::map<std::uint64_t, OpenReply> open_replies_;        // by client token
+  std::map<std::uint32_t, SessionFinalStats> closed_;      // by session id
+  std::map<std::uint64_t, transfer::RpcMessage> rpc_replies_;  // by request id
+  int pongs_ = 0;
+};
+
+}  // namespace automdt::serve

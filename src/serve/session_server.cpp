@@ -1,0 +1,666 @@
+#include "serve/session_server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <variant>
+
+#include "common/checksum.hpp"
+#include "common/logging.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/wire.hpp"
+#include "telemetry/stats_server.hpp"
+#include "telemetry/trace.hpp"
+
+namespace automdt::serve {
+
+namespace {
+
+constexpr int kEpollTickMs = 50;
+/// Receive chunk per epoll readiness: one recv's worth, grown on demand.
+constexpr std::size_t kRecvChunkBytes = 256 * 1024;
+
+/// Mirror of stream_pool.cpp's decode_wire_chunk_meta: metadata fields only,
+/// payload left in place so it can be copied once into its final home (arena
+/// lease or vector).
+bool decode_chunk_meta(const std::byte* data, std::size_t size, bool traced,
+                       net::WireChunk& out, std::size_t& payload_at) {
+  const std::size_t header_bytes = traced ? net::kWireChunkTracedHeaderBytes
+                                          : net::kWireChunkHeaderBytes;
+  if (size < header_bytes) return false;
+  net::wire::Reader r(data, size);
+  out.file_id = r.u64();
+  out.offset = r.u64();
+  out.size = r.u32();
+  out.checksum = r.u64();
+  if (traced) {
+    out.trace_origin_ns = r.u64();
+    out.trace_send_ns = r.u64();
+  }
+  if (size - header_bytes > out.size) return false;
+  payload_at = header_bytes;
+  return true;
+}
+
+}  // namespace
+
+SessionServer::SessionServer(SessionServerConfig config)
+    : config_(std::move(config)),
+      tenants_(config_.default_quota, metrics_),
+      registry_(config_.max_sessions),
+      work_ring_(config_.queue_capacity),
+      bytes_ok_(*metrics_.counter("serve.bytes_ok")),
+      chunks_ok_(*metrics_.counter("serve.chunks_ok")),
+      verify_failures_(*metrics_.counter("serve.verify_failures")),
+      rejected_total_(*metrics_.counter("serve.sessions_rejected")),
+      legacy_sessions_(*metrics_.counter("serve.legacy_sessions")) {
+  if (config_.arena_blocks > 0)
+    arena_ = std::make_unique<ArenaPool>(config_.arena_block_bytes,
+                                         config_.arena_blocks);
+  metrics_.register_callback("serve.sessions_active", [this] {
+    return static_cast<double>(registry_.live());
+  });
+  metrics_.register_callback("serve.sessions_admitted", [this] {
+    return static_cast<double>(registry_.admitted_total());
+  });
+  metrics_.register_callback("serve.worker_threads", [this] {
+    return static_cast<double>(config_.worker_threads);
+  });
+  metrics_.register_callback("serve.queue_depth", [this] {
+    return static_cast<double>(work_ring_.size());
+  });
+  metrics_.register_callback("serve.connections", [this] {
+    return static_cast<double>(connections());
+  });
+  if (arena_) {
+    metrics_.register_callback("serve.arena_blocks_free", [this] {
+      return static_cast<double>(arena_->blocks_free());
+    });
+  }
+}
+
+SessionServer::~SessionServer() { stop(); }
+
+void SessionServer::configure_tenant(const std::string& name,
+                                     const TenantQuota& quota) {
+  tenants_.configure(name, quota);
+}
+
+bool SessionServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listener_ = net::Listener::open(config_.host, config_.port);
+  if (!listener_) return false;
+  port_ = listener_->port();
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    listener_->close();
+    listener_.reset();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_->fd(), &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { event_loop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.worker_threads));
+  for (int i = 0; i < config_.worker_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  return true;
+}
+
+void SessionServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (loop_thread_.joinable()) loop_thread_.join();
+  work_ring_.close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // The event loop has exited: its state is now safe to tear down here.
+  conns_.clear();
+  deferred_.clear();
+  draining_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+  if (listener_) {
+    listener_->close();
+    listener_.reset();
+  }
+}
+
+std::uint64_t SessionServer::total_bytes_ok() const {
+  return bytes_ok_.value();
+}
+
+std::uint64_t SessionServer::total_chunks_ok() const {
+  return chunks_ok_.value();
+}
+
+std::optional<std::uint64_t> SessionServer::watchdog_progress() const {
+  bool inflight = false;
+  for (const auto& s : registry_.list()) {
+    if (s->inflight_chunks() > 0) {
+      inflight = true;
+      break;
+    }
+  }
+  if (!inflight) return std::nullopt;
+  // Monotone under any activity a stall would mask: verified chunks and
+  // failed verifications both count as the pool making progress.
+  return chunks_ok_.value() + verify_failures_.value();
+}
+
+std::string SessionServer::stall_report() const {
+  struct Stalled {
+    std::uint32_t id;
+    std::string tenant;
+    std::uint64_t inflight;
+    double idle_s;
+  };
+  std::vector<Stalled> stalled;
+  const std::uint64_t now = telemetry::now_ns();
+  for (const auto& s : registry_.list()) {
+    const std::uint64_t inflight = s->inflight_chunks();
+    if (inflight == 0) continue;
+    const std::uint64_t last = s->last_progress_ns();
+    const double idle_s =
+        last == 0 || now < last ? 0.0 : static_cast<double>(now - last) / 1e9;
+    stalled.push_back({s->id(), s->tenant()->name(), inflight, idle_s});
+  }
+  if (stalled.empty()) return "";
+  std::sort(stalled.begin(), stalled.end(),
+            [](const Stalled& a, const Stalled& b) { return a.idle_s > b.idle_s; });
+  std::ostringstream os;
+  os << "stalled sessions:";
+  const std::size_t shown = std::min<std::size_t>(stalled.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Stalled& s = stalled[i];
+    if (i > 0) os << ",";
+    os << " session " << s.id << " (tenant " << s.tenant << ", " << s.inflight
+       << " in flight, idle " << s.idle_s << "s)";
+  }
+  if (stalled.size() > shown) os << ", +" << (stalled.size() - shown) << " more";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void SessionServer::event_loop() {
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, kEpollTickMs);
+    if (!running_.load(std::memory_order_acquire)) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+      } else if (listener_ && fd == listener_->fd()) {
+        accept_ready();
+      } else {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn_readable(*it->second);
+      }
+    }
+    retry_deferred();
+    sweep_draining();
+  }
+  // Connections die with conns_ in stop(); sessions left draining are
+  // abandoned — their in-flight work finishes in the pool and the final
+  // counters stay queryable through the registry.
+}
+
+void SessionServer::accept_ready() {
+  // The listener fd polled readable, so this accept returns immediately.
+  std::optional<net::Socket> accepted = listener_->accept(0.1);
+  if (!accepted) return;
+  accepted->set_no_delay();
+  auto conn = std::make_unique<Conn>();
+  conn->socket = std::move(*accepted);
+  conn->writer = std::make_unique<net::FrameWriter>(conn->socket);
+  const int fd = conn->socket.fd();
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return;
+  conns_.emplace(fd, std::move(conn));
+  connections_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionServer::conn_readable(Conn& conn) {
+  if (conn.pending.has_value()) return;  // paused; the kernel buffers for us
+  if (conn.rbuf.size() < conn.rend + kRecvChunkBytes)
+    conn.rbuf.resize(conn.rend + kRecvChunkBytes);
+  std::size_t received = 0;
+  const net::SocketStatus status = conn.socket.read_some(
+      conn.rbuf.data() + conn.rend, conn.rbuf.size() - conn.rend, 0.001,
+      &received);
+  if (status == net::SocketStatus::kTimeout) return;  // spurious readiness
+  if (status != net::SocketStatus::kOk || received == 0) {
+    close_conn(conn.socket.fd());
+    return;
+  }
+  conn.rend += received;
+  process_rbuf(conn);
+}
+
+void SessionServer::process_rbuf(Conn& conn) {
+  net::Frame frame;
+  while (!conn.pending.has_value() && !conn.closing) {
+    const net::DecodeResult r =
+        net::decode_frame(conn.rbuf.data() + conn.rbegin,
+                          conn.rend - conn.rbegin, frame,
+                          config_.max_payload_bytes);
+    if (r.error == net::FrameError::kNeedMoreData) break;
+    if (r.error != net::FrameError::kNone) {
+      LOG_WARN("serve: dropping connection on frame error: "
+               << net::to_string(r.error));
+      conn.closing = true;
+      break;
+    }
+    conn.rbegin += r.consumed;
+    if (!dispatch_frame(conn, frame)) conn.closing = true;
+  }
+  if (conn.closing) {
+    close_conn(conn.socket.fd());
+    return;
+  }
+  // Compact the consumed prefix so the buffer never grows without bound.
+  if (conn.rbegin > 0) {
+    if (conn.rbegin == conn.rend) {
+      conn.rbegin = conn.rend = 0;
+    } else {
+      std::memmove(conn.rbuf.data(), conn.rbuf.data() + conn.rbegin,
+                   conn.rend - conn.rbegin);
+      conn.rend -= conn.rbegin;
+      conn.rbegin = 0;
+    }
+  }
+}
+
+bool SessionServer::dispatch_frame(Conn& conn, net::Frame& frame) {
+  switch (frame.type) {
+    case net::FrameType::kChunk:
+      return handle_chunk(conn, frame);
+    case net::FrameType::kSessionOpen:
+      handle_open(conn, frame);
+      return true;
+    case net::FrameType::kSessionClose:
+      handle_close(conn, frame.session_id);
+      return true;
+    case net::FrameType::kRpc:
+      handle_rpc(conn, frame);
+      return true;
+    case net::FrameType::kPing:
+      conn.writer->write(net::FrameType::kPong, frame.payload,
+                         config_.io_timeout_s);
+      return true;
+    // Legacy stream-control chatter from an unmodified StreamPool peer: the
+    // serve plane has no per-stream parking, so these are harmless no-ops.
+    case net::FrameType::kStreamHello:
+    case net::FrameType::kStreamPark:
+    case net::FrameType::kStreamResume:
+      return true;
+    default:
+      return true;  // forward compatibility: ignore unknown control frames
+  }
+}
+
+void SessionServer::handle_open(Conn& conn, const net::Frame& frame) {
+  SessionOpenRequest open;
+  if (!decode_session_open(frame.payload.data(), frame.payload.size(), open)) {
+    SessionReject reject;
+    reject.reason = RejectReason::kBadRequest;
+    reject.message = "malformed kSessionOpen payload";
+    rejected_total_.add();
+    conn.writer->write(net::FrameType::kSessionReject,
+                       encode_session_reject(reject), config_.io_timeout_s);
+    return;
+  }
+  TenantState* tenant = tenants_.get_or_create(open.tenant);
+  SessionRegistry::AdmitResult admitted =
+      registry_.admit(open, tenant, metrics_);
+  if (!admitted.session) {
+    tenant->rejects.add();
+    rejected_total_.add();
+    SessionReject reject;
+    reject.client_token = open.client_token;
+    reject.reason = admitted.reason;
+    reject.message = to_string(admitted.reason);
+    conn.writer->write(net::FrameType::kSessionReject,
+                       encode_session_reject(reject), config_.io_timeout_s);
+    return;
+  }
+  register_session_callbacks(admitted.session);
+  conn.sessions.emplace(admitted.session->id(), admitted.session);
+  SessionAccept accept;
+  accept.client_token = open.client_token;
+  accept.session_id = admitted.session->id();
+  conn.writer->write(net::FrameType::kSessionAccept,
+                     encode_session_accept(accept), config_.io_timeout_s);
+}
+
+bool SessionServer::handle_chunk(Conn& conn, const net::Frame& frame) {
+  std::shared_ptr<ServeSession> session;
+  if (frame.session_id != 0) {
+    auto it = conn.sessions.find(frame.session_id);
+    if (it == conn.sessions.end()) {
+      // Unknown id on this connection: either a peer bug or a frame for an
+      // already-finalized session. Drop the chunk, keep the connection.
+      metrics_.counter("serve.unknown_session_frames")->add();
+      return true;
+    }
+    session = it->second;
+  } else {
+    // Legacy flagless traffic: bind an implicit session on first contact so
+    // an unmodified engine/StreamPool sender flows through the same
+    // admission, accounting, and telemetry as session-aware peers.
+    if (!conn.legacy) {
+      SessionOpenRequest open;
+      open.client_token =
+          next_legacy_token_.fetch_add(1, std::memory_order_relaxed);
+      SessionRegistry::AdmitResult admitted = registry_.admit(
+          open, tenants_.get_or_create("default"), metrics_);
+      if (!admitted.session) {
+        LOG_WARN("serve: rejecting legacy connection: "
+                 << to_string(admitted.reason));
+        return false;  // a legacy peer cannot parse kSessionReject
+      }
+      register_session_callbacks(admitted.session);
+      conn.legacy = admitted.session;
+      conn.sessions.emplace(admitted.session->id(), admitted.session);
+      legacy_sessions_.add();
+    }
+    session = conn.legacy;
+  }
+  if (session->state() >= SessionLifecycle::kDraining) {
+    metrics_.counter("serve.late_chunks")->add();
+    return true;  // data after close: drop
+  }
+
+  Conn::Pending pending;
+  pending.session = std::move(session);
+  pending.unchecked = (frame.flags & net::kFrameFlagUnchecked) != 0;
+  std::size_t payload_at = 0;
+  if (!decode_chunk_meta(frame.payload.data(), frame.payload.size(),
+                         (frame.flags & net::kFrameFlagTraced) != 0,
+                         pending.chunk, payload_at)) {
+    LOG_WARN("serve: malformed chunk payload; dropping connection");
+    return false;
+  }
+  pending.chunk.session_id = frame.session_id;
+  const std::size_t payload_bytes = frame.payload.size() - payload_at;
+  // One copy out of the frame buffer into the chunk's final home: an arena
+  // block when configured (so tenant quotas bound real arena usage), a heap
+  // vector otherwise.
+  if (arena_ && payload_bytes <= arena_->block_bytes()) {
+    BufferLease lease = arena_->acquire();
+    std::memcpy(lease.data(), frame.payload.data() + payload_at,
+                payload_bytes);
+    lease.truncate(payload_bytes);
+    pending.chunk.lease = std::move(lease);
+  } else {
+    pending.chunk.payload.assign(frame.payload.begin() + payload_at,
+                                 frame.payload.end());
+  }
+
+  if (!admit_chunk(conn, std::move(pending))) pause_conn(conn);
+  return true;
+}
+
+bool SessionServer::admit_chunk(Conn& conn, Conn::Pending&& pending) {
+  TenantState* tenant = pending.session->tenant();
+  const std::uint64_t bytes = pending.chunk.payload_size();
+  if (!pending.rate_ok) {
+    if (!tenant->bucket().try_acquire(static_cast<double>(bytes))) {
+      tenant->throttle_defers.add();
+      conn.pending = std::move(pending);
+      return false;
+    }
+    pending.rate_ok = true;
+  }
+  if (!pending.quota_ok) {
+    if (!tenant->try_reserve_buffer(bytes)) {
+      tenant->throttle_defers.add();
+      conn.pending = std::move(pending);
+      return false;
+    }
+    pending.quota_ok = true;
+  }
+  // Single producer: only this thread pushes, so a non-full ring cannot fill
+  // before the push lands and the blocking push below never actually blocks.
+  if (work_ring_.size() >= work_ring_.capacity()) {
+    conn.pending = std::move(pending);
+    return false;
+  }
+  pending.session->mark_active();
+  pending.session->add_inflight(bytes);
+  pending.session->stamp_progress(telemetry::now_ns());
+  tenant->bytes_admitted.add(bytes);
+  WorkItem item;
+  item.session = std::move(pending.session);
+  item.chunk = std::move(pending.chunk);
+  item.unchecked = pending.unchecked;
+  work_ring_.push(std::move(item));
+  return true;
+}
+
+void SessionServer::handle_close(Conn& conn, std::uint32_t session_id) {
+  auto it = conn.sessions.find(session_id);
+  if (it == conn.sessions.end()) return;
+  std::shared_ptr<ServeSession> session = it->second;
+  if (session->state() >= SessionLifecycle::kDraining) return;
+  session->set_state(SessionLifecycle::kDraining);
+  draining_.emplace_back(conn.socket.fd(), std::move(session));
+  sweep_draining();  // nothing in flight => finalize + reply immediately
+}
+
+void SessionServer::handle_rpc(Conn& conn, const net::Frame& frame) {
+  const std::uint64_t t1 = telemetry::now_ns();
+  std::optional<transfer::RpcMessage> message =
+      net::decode_rpc_message(frame.payload.data(), frame.payload.size());
+  if (!message) return;
+  transfer::RpcMessage reply;
+  if (const auto* stats =
+          std::get_if<transfer::StatsSnapshotRequest>(&*message)) {
+    reply = telemetry::snapshot_to_message(metrics_.snapshot(),
+                                           stats->request_id);
+  } else if (const auto* sync =
+                 std::get_if<transfer::ClockSyncRequest>(&*message)) {
+    transfer::ClockSyncResponse response;
+    response.request_id = sync->request_id;
+    response.t0_ns = sync->t0_ns;
+    response.t1_ns = t1;
+    response.t2_ns = telemetry::now_ns();
+    reply = response;
+  } else {
+    return;  // not a serve-plane request; ignore
+  }
+  std::vector<std::byte> payload;
+  net::encode_rpc_message(reply, payload);
+  conn.writer->write(net::FrameType::kRpc, payload, config_.io_timeout_s);
+}
+
+void SessionServer::retry_deferred() {
+  if (deferred_.empty()) return;
+  // Swap the list out first: a retried connection that re-parks during
+  // process_rbuf appends to deferred_ again via pause_conn, which must not
+  // invalidate this iteration.
+  std::vector<int> work;
+  work.swap(deferred_);
+  for (int fd : work) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn* conn = it->second.get();
+    if (!conn->pending.has_value()) continue;
+    Conn::Pending pending = std::move(*conn->pending);
+    conn->pending.reset();
+    if (admit_chunk(*conn, std::move(pending))) {
+      resume_conn(*conn, fd);
+      process_rbuf(*conn);  // decode what buffered behind the parked chunk
+    } else {
+      deferred_.push_back(fd);  // still parked; the fd stays masked
+    }
+  }
+}
+
+void SessionServer::sweep_draining() {
+  if (draining_.empty()) return;
+  std::vector<std::pair<int, std::shared_ptr<ServeSession>>> still;
+  still.reserve(draining_.size());
+  for (auto& [fd, session] : draining_) {
+    if (session->inflight_chunks() > 0) {
+      still.emplace_back(fd, std::move(session));
+      continue;
+    }
+    auto it = conns_.find(fd);
+    finalize_session(it != conns_.end() ? it->second.get() : nullptr, session);
+  }
+  draining_ = std::move(still);
+}
+
+void SessionServer::finalize_session(Conn* conn,
+                                     const std::shared_ptr<ServeSession>& s) {
+  if (!s->claim_finalize()) return;
+  s->set_state(SessionLifecycle::kClosed);
+  if (conn != nullptr && !s->abandoned()) {
+    conn->writer->write(net::FrameType::kSessionClosed,
+                        encode_session_final(s->final_stats()),
+                        config_.io_timeout_s, 0, s->id());
+    conn->sessions.erase(s->id());
+    if (conn->legacy && conn->legacy->id() == s->id()) conn->legacy.reset();
+  }
+  registry_.remove(s->id());
+}
+
+void SessionServer::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  // Undo gates a parked chunk already charged (the rate tokens are sunk cost
+  // — the bucket has no refund — but buffer reservations must not leak).
+  if (conn.pending.has_value()) {
+    if (conn.pending->quota_ok)
+      conn.pending->session->tenant()->release_buffer(
+          conn.pending->chunk.payload_size());
+    conn.pending.reset();
+  }
+  for (auto& [id, session] : conn.sessions) {
+    session->set_abandoned();
+    if (session->state() < SessionLifecycle::kDraining) {
+      session->set_state(SessionLifecycle::kDraining);
+      draining_.emplace_back(-1, session);
+    } else {
+      // Already draining via handle_close: repoint its reply fd at nothing.
+      for (auto& [dfd, dsession] : draining_) {
+        if (dsession->id() == id) dfd = -1;
+      }
+    }
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(it);
+  connections_.fetch_sub(1, std::memory_order_relaxed);
+  sweep_draining();
+}
+
+void SessionServer::pause_conn(Conn& conn) {
+  const int fd = conn.socket.fd();
+  epoll_event ev{};
+  ev.events = 0;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  deferred_.push_back(fd);
+}
+
+void SessionServer::resume_conn(Conn& conn, int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  (void)conn;
+}
+
+void SessionServer::register_session_callbacks(
+    const std::shared_ptr<ServeSession>& s) {
+  // Capturing the shared_ptr keeps closed sessions queryable over
+  // kStatsSnapshot after they leave the registry (monitor drill-down into a
+  // finished transfer's totals).
+  const std::string prefix = "session." + std::to_string(s->id());
+  metrics_.register_callback(prefix + ".state", [s] {
+    return static_cast<double>(static_cast<std::uint32_t>(s->state()));
+  });
+  metrics_.register_callback(prefix + ".inflight_chunks", [s] {
+    return static_cast<double>(s->inflight_chunks());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+void SessionServer::worker_loop(int index) {
+  (void)index;
+  WorkItem item;
+  while (work_ring_.pop(item)) {
+    ServeSession& session = *item.session;
+    if (config_.inject_worker_stall_s > 0.0 &&
+        (config_.stall_session_id == 0 ||
+         config_.stall_session_id == session.id())) {
+      // Simulated wedge, interruptible so teardown never waits out the full
+      // stall; the watchdog sees per-session progress stop meanwhile.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.inject_worker_stall_s));
+      while (std::chrono::steady_clock::now() < deadline &&
+             running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    const std::size_t bytes = item.chunk.payload_size();
+    const bool ok =
+        item.unchecked ||
+        fnv1a(item.chunk.payload_data(), bytes) == item.chunk.checksum;
+    if (ok) {
+      session.bytes_ok.add(bytes);
+      session.chunks_ok.add();
+      bytes_ok_.add(bytes);
+      chunks_ok_.add();
+    } else {
+      session.verify_failures.add();
+      verify_failures_.add();
+    }
+    session.tenant()->release_buffer(bytes);
+    item.chunk.lease.reset();
+    item.chunk.payload.clear();
+    const std::uint64_t remaining = session.release_inflight(bytes);
+    session.stamp_progress(telemetry::now_ns());
+    if (remaining == 0 &&
+        session.state() == SessionLifecycle::kDraining) {
+      // Nudge the event loop so the drain sweep runs now, not at the next
+      // tick (the sweep itself is the correctness path; this is latency).
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    }
+  }
+}
+
+}  // namespace automdt::serve

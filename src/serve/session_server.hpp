@@ -1,0 +1,223 @@
+// Event-driven many-session serve plane (ISSUE: "serve plane" tentpole).
+//
+// One SessionServer turns the thread-per-stream receiver inside-out: a single
+// epoll event-loop thread owns the listener and every connection fd, decodes
+// frames where they land, and admits chunk work onto a fixed MpmcRingQueue
+// worker pool. Thread count is max(1 event loop + worker_threads) regardless
+// of how many sessions or connections are live — the E2E test drives 32+
+// sessions through a 4-thread pool and asserts the process thread count
+// never follows session count.
+//
+// Per-frame flow (data plane):
+//
+//   epoll → recv into the connection buffer → decode_frame → session lookup
+//   in the connection's OWN id map (single-threaded, no registry lock) →
+//   admission gates → work ring → worker verifies + accounts → completion
+//   eventfd → event loop finalizes drained sessions.
+//
+// Admission gates, in order, each remembered across retries so a deferred
+// chunk never double-charges an earlier gate:
+//
+//   1. tenant TokenBucket.try_acquire(bytes)   — fair-share rate
+//   2. tenant buffer-byte reservation          — arena/memory quota
+//   3. work-ring try_push                      — pool backpressure
+//
+// A failed gate DEFERS the connection (its fd is masked out of epoll, the
+// decoded chunk parked) rather than dropping the chunk; the event loop's tick
+// retries parked connections, so quota exhaustion shows up to the peer as
+// TCP backpressure — exactly how the single-session engine behaves when its
+// staging queues fill. Session opens, by contrast, are rejected explicitly
+// (kSessionReject) when the registry or the tenant's session quota is full.
+//
+// Legacy interop: a connection that never sends session frames (an
+// unmodified StreamPool) is bound to one implicit session under the
+// "default" tenant on its first data frame, so the serve plane speaks the
+// pre-session wire format unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "common/mpmc_ring.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/stream_pool.hpp"
+#include "serve/session.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace automdt::serve {
+
+struct SessionServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  /// Registry capacity: concurrent sessions across all tenants.
+  std::size_t max_sessions = 64;
+  /// Fixed chunk-processing pool size. The event loop adds one more thread.
+  int worker_threads = 4;
+  /// Applied to tenants that never got an explicit configure_tenant() call.
+  TenantQuota default_quota{};
+  /// Work-ring capacity (chunks admitted but not yet processed).
+  std::size_t queue_capacity = 256;
+  /// Receive arena backing admitted chunk payloads: block size and count.
+  /// block_count 0 disables the arena (payloads ride heap vectors instead).
+  std::size_t arena_block_bytes = 256 * 1024;
+  std::size_t arena_blocks = 0;
+  std::uint32_t max_payload_bytes = net::kDefaultMaxPayloadBytes;
+  double io_timeout_s = 10.0;  // control-reply write deadline
+  /// Test hook: worker-side per-chunk stall (simulates a wedged verifier so
+  /// the watchdog/flight-recorder path has something real to attribute).
+  double inject_worker_stall_s = 0.0;
+  /// Stall a session id's chunks specifically (0 = stall none / all per
+  /// inject_worker_stall_s alone).
+  std::uint32_t stall_session_id = 0;
+};
+
+class SessionServer {
+ public:
+  explicit SessionServer(SessionServerConfig config);
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Pre-declare a tenant's quota (CLI --tenant-quota). Call before start().
+  void configure_tenant(const std::string& name, const TenantQuota& quota);
+
+  /// Bind, listen, spawn the event loop + worker pool. False if the port is
+  /// taken.
+  bool start();
+  /// Close every connection, drain nothing further, join all threads.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  SessionRegistry& registry() { return registry_; }
+  TenantTable& tenants() { return tenants_; }
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  /// Null when the config disabled the arena.
+  ArenaPool* arena() { return arena_.get(); }
+
+  /// Aggregate verified payload bytes across all sessions — the watchdog's
+  /// progress counter.
+  std::uint64_t total_bytes_ok() const;
+  std::uint64_t total_chunks_ok() const;
+
+  /// Watchdog ProgressFn: the aggregate byte counter while any session has
+  /// work in flight, nullopt (idle) otherwise.
+  std::optional<std::uint64_t> watchdog_progress() const;
+
+  /// Watchdog context_fn: names the session(s) sitting on in-flight work the
+  /// longest — "session 3 (tenant acme, 5 in flight, idle 6.1s)" — so a
+  /// flight-recorder dump from a many-session process identifies WHICH
+  /// session stalled, not just that some aggregate counter stopped.
+  std::string stall_report() const;
+
+  int connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkItem {
+    std::shared_ptr<ServeSession> session;
+    net::WireChunk chunk;
+    bool unchecked = false;  // frame carried kFrameFlagUnchecked
+  };
+
+  /// One live connection, owned by the event loop thread exclusively.
+  struct Conn {
+    net::Socket socket;
+    std::unique_ptr<net::FrameWriter> writer;
+    std::vector<std::byte> rbuf;
+    std::size_t rbegin = 0;
+    std::size_t rend = 0;
+    /// Sessions opened on this connection: the event loop's lock-free lookup
+    /// path (single-threaded map, no registry mutex per frame).
+    std::unordered_map<std::uint32_t, std::shared_ptr<ServeSession>> sessions;
+    /// Implicit session for legacy (flagless) data frames; null until the
+    /// first such frame.
+    std::shared_ptr<ServeSession> legacy;
+    /// Parked chunk waiting on an admission gate; while set the fd is masked
+    /// out of epoll and rbuf decoding is paused (per-connection ordering).
+    struct Pending {
+      std::shared_ptr<ServeSession> session;
+      net::WireChunk chunk;
+      bool unchecked = false;
+      bool rate_ok = false;   // gate 1 already charged
+      bool quota_ok = false;  // gate 2 already reserved
+    };
+    std::optional<Pending> pending;
+    bool closing = false;
+  };
+
+  void event_loop();
+  void worker_loop(int index);
+
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  /// Decode and dispatch everything buffered; stops at a deferral.
+  void process_rbuf(Conn& conn);
+  /// Returns false when the connection must close (protocol error / EOF).
+  bool dispatch_frame(Conn& conn, net::Frame& frame);
+  void handle_open(Conn& conn, const net::Frame& frame);
+  bool handle_chunk(Conn& conn, const net::Frame& frame);
+  void handle_close(Conn& conn, std::uint32_t session_id);
+  void handle_rpc(Conn& conn, const net::Frame& frame);
+  /// Run the admission gates over a decoded chunk. True = admitted (pushed);
+  /// false = parked in conn.pending.
+  bool admit_chunk(Conn& conn, Conn::Pending&& pending);
+  void retry_deferred();
+  /// Finalize every draining session whose in-flight count reached zero.
+  /// Runs on every loop wake (workers nudge the eventfd on the last chunk),
+  /// and doubles as the tick backstop, so no store-load ordering between a
+  /// worker's decrement and the loop's drain check can lose a finalize.
+  void sweep_draining();
+  void finalize_session(Conn* conn, const std::shared_ptr<ServeSession>& s);
+  void close_conn(int fd);
+  void pause_conn(Conn& conn);
+  void resume_conn(Conn& conn, int fd);
+
+  void register_session_callbacks(const std::shared_ptr<ServeSession>& s);
+
+  SessionServerConfig config_;
+  telemetry::MetricsRegistry metrics_;
+  TenantTable tenants_;
+  SessionRegistry registry_;
+  std::unique_ptr<ArenaPool> arena_;
+
+  std::optional<net::Listener> listener_;
+  std::uint16_t port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: worker completions + stop
+
+  MpmcRingQueue<WorkItem> work_ring_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> connections_{0};
+
+  // Event-loop-owned state (no locks; only loop_thread_ touches these).
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<int> deferred_;  // fds with a parked chunk
+  /// Draining sessions awaiting their last in-flight chunk, with the fd of
+  /// the connection that should receive kSessionClosed (-1 once it died).
+  std::vector<std::pair<int, std::shared_ptr<ServeSession>>> draining_;
+
+  // serve.* aggregates.
+  telemetry::Counter& bytes_ok_;
+  telemetry::Counter& chunks_ok_;
+  telemetry::Counter& verify_failures_;
+  telemetry::Counter& rejected_total_;
+  telemetry::Counter& legacy_sessions_;
+  std::atomic<std::uint64_t> next_legacy_token_{1};
+};
+
+}  // namespace automdt::serve

@@ -132,6 +132,10 @@ void PipelineWatchdog::loop() {
         std::ostringstream reason;
         reason << "pipeline stall: no progress past " << *value << " for "
                << config_.stall_after_s << "s with work remaining";
+        if (config_.context_fn) {
+          const std::string context = config_.context_fn();
+          if (!context.empty()) reason << "; " << context;
+        }
         LOG_ERROR(reason.str());
         if (recorder_ != nullptr) recorder_->dump(reason.str());
       }

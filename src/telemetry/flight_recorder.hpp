@@ -81,6 +81,11 @@ class FlightRecorder {
 struct WatchdogConfig {
   double poll_interval_s = 0.5;
   double stall_after_s = 5.0;
+  /// Optional stall-context provider, evaluated at dump time and appended to
+  /// the dump reason. The serve plane uses it to name *which* session(s)
+  /// stalled — a multi-session process's aggregate progress counter alone
+  /// cannot say. Keep it cheap and thread-safe (runs on the watchdog thread).
+  std::function<std::string()> context_fn;
 };
 
 class PipelineWatchdog {

@@ -310,6 +310,9 @@ bool TransferSession::start_tcp_backend() {
   pool_config.io_timeout_s = config_.tcp.io_timeout_s;
   pool_config.socket = socket_options;
   pool_config.use_uring = uring_active_;
+  // Serve-plane addressing: a nonzero session id stamps every chunk frame
+  // with the 4-byte header extension; 0 keeps the legacy wire format.
+  pool_config.session_id = config_.session_id;
   stream_pool_ = std::make_unique<net::StreamPool>(pool_config);
   stream_pool_->set_active(concurrency().network);
   // Publish both data-plane pointers to the io.* metric callbacks.

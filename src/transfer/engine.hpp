@@ -240,6 +240,12 @@ struct EngineConfig {
   /// a use-after-release on the lease hot path then flips payload checksums
   /// in plain builds, not just under ASan. Debug aid; off for benchmarks.
   bool debug_poison_leases = false;
+  /// Serve-plane identity (src/serve/): a nonzero id makes the TCP data
+  /// plane stamp every outgoing chunk frame with the kFrameFlagSession
+  /// header extension, so a SessionServer can address this transfer among
+  /// many. 0 (default) keeps the legacy byte-identical single-session wire
+  /// format — the DtnPair/optimizer special case.
+  std::uint32_t session_id = 0;
   TelemetryOptions telemetry{};
   FaultOptions fault{};
 };

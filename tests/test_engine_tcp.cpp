@@ -60,6 +60,22 @@ TEST(TcpBackend, CompletesAndVerifiesEveryChunkAcrossLoopback) {
   EXPECT_GT(stats.net_streams_open, 0);
 }
 
+TEST(TcpBackend, SessionIdStampedFramesCompleteAndVerify) {
+  // EngineConfig::session_id threads the serve-plane header extension
+  // through every data frame; the transfer must behave identically.
+  EngineConfig config = tcp_config();
+  config.session_id = 7;
+  const auto files = dataset(4, 256.0 * 1024);  // 1 MiB, 16 chunks
+  TransferSession session(config, files);
+  session.start({4, 4, 4});
+  ASSERT_TRUE(session.wait_finished(30.0));
+  const TransferStats stats = session.stats();
+  EXPECT_EQ(stats.bytes_written, session.total_bytes());
+  EXPECT_EQ(stats.chunks_written, 16u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+  EXPECT_EQ(stats.net_frame_errors, 0u);
+}
+
 TEST(TcpBackend, FinalCountersMatchInProcessBackend) {
   const auto files = dataset(6, 256.0 * 1024);
   EngineConfig in_process = tcp_config();

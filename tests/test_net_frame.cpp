@@ -504,5 +504,109 @@ TEST(WireChunkCodec, RejectsShortAndOverlongInputs) {
   EXPECT_FALSE(decode_wire_chunk(encoded.data(), encoded.size(), out));
 }
 
+TEST(FrameCodec, SessionIdRoundTripsWithHeaderExtension) {
+  Frame in{FrameType::kChunk, pattern(96)};
+  in.session_id = 0xA1B2C3D4u;
+  const auto encoded = encode_frame(in);
+  ASSERT_EQ(encoded.size(),
+            kFrameHeaderBytes + kFrameSessionExtBytes + in.payload.size());
+  Frame out;
+  const DecodeResult r = decode_frame(encoded.data(), encoded.size(), out);
+  ASSERT_EQ(r.error, FrameError::kNone);
+  EXPECT_EQ(r.consumed, encoded.size());
+  EXPECT_EQ(out.type, FrameType::kChunk);
+  EXPECT_EQ(out.session_id, in.session_id);
+  EXPECT_NE(out.flags & kFrameFlagSession, 0);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(FrameCodec, ChecksumCoversSessionId) {
+  // The checksum chain covers the 4 id bytes followed by the payload, so a
+  // flipped id bit must fail validation like corrupted data would.
+  Frame in{FrameType::kChunk, pattern(64)};
+  in.session_id = 7;
+  auto encoded = encode_frame(in);
+  encoded[kFrameHeaderBytes + 1] ^= std::byte{0x01};  // inside the id ext
+  Frame out;
+  EXPECT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kChecksumMismatch);
+}
+
+TEST(FrameCodec, ZeroSessionIdStaysByteIdenticalToLegacyEncoding) {
+  // session_id == 0 without the flag must keep the pre-session wire format
+  // bit-for-bit, so single-session deployments see unchanged bytes.
+  Frame plain{FrameType::kChunk, pattern(128)};
+  Frame zero_session{FrameType::kChunk, pattern(128)};
+  zero_session.session_id = 0;
+  EXPECT_EQ(encode_frame(plain), encode_frame(zero_session));
+  Frame out;
+  const auto encoded = encode_frame(zero_session);
+  ASSERT_EQ(decode_frame(encoded.data(), encoded.size(), out).error,
+            FrameError::kNone);
+  EXPECT_EQ(out.session_id, 0u);
+  EXPECT_EQ(out.flags & kFrameFlagSession, 0);
+}
+
+TEST(FrameCodec, TruncatedSessionExtensionAsksForMoreData) {
+  Frame in{FrameType::kPing, pattern(16)};
+  in.session_id = 42;
+  const auto encoded = encode_frame(in);
+  // Cut mid-extension: the fixed header parses but the id bytes are missing.
+  for (std::size_t size = kFrameHeaderBytes;
+       size < kFrameHeaderBytes + kFrameSessionExtBytes; ++size) {
+    Frame out;
+    EXPECT_EQ(decode_frame(encoded.data(), size, out).error,
+              FrameError::kNeedMoreData);
+    FrameHeaderView hdr;
+    EXPECT_EQ(parse_frame_header(encoded.data(), size, hdr),
+              FrameError::kNeedMoreData);
+  }
+}
+
+TEST(FrameCodec, ParseFrameHeaderReportsSessionSeed) {
+  Frame in{FrameType::kChunk, pattern(48)};
+  in.session_id = 99;
+  const auto encoded = encode_frame(in);
+  FrameHeaderView hdr;
+  ASSERT_EQ(parse_frame_header(encoded.data(), encoded.size(), hdr),
+            FrameError::kNone);
+  EXPECT_EQ(hdr.session_id, 99u);
+  EXPECT_EQ(hdr.header_bytes, kFrameHeaderBytes + kFrameSessionExtBytes);
+  EXPECT_EQ(hdr.length, in.payload.size());
+  // The reported seed must verify the payload where it sits (the zero-copy
+  // receive path's contract).
+  EXPECT_EQ(fnv1a(encoded.data() + hdr.header_bytes, hdr.length,
+                  hdr.checksum_seed),
+            hdr.checksum);
+}
+
+TEST(FrameSocketIo, ScatterBatchCarriesPerFrameSessionIds) {
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  const auto head = pattern(28);
+  const auto body = pattern(256);
+  std::thread writer([&] {
+    FrameWriter w(a);
+    ScatterSegment segments[] = {
+        {head.data(), head.size(), body.data(), body.size(), 0, 0},
+        {head.data(), head.size(), body.data(), body.size(), 0, 31},
+        {head.data(), head.size(), body.data(), body.size(), 0, 17},
+    };
+    ASSERT_EQ(w.write_scatter_batch(FrameType::kChunk, segments, 3, 5.0),
+              SocketStatus::kOk);
+    a.shutdown_both();
+  });
+  BufferedFrameReader reader(b);
+  Frame frame;
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.session_id, 0u);
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.session_id, 31u);
+  ASSERT_EQ(reader.read(frame, 5.0), FrameError::kNone);
+  EXPECT_EQ(frame.session_id, 17u);
+  EXPECT_EQ(frame.payload.size(), head.size() + body.size());
+  writer.join();
+}
+
 }  // namespace
 }  // namespace automdt::net

@@ -1,0 +1,374 @@
+// End-to-end serve-plane tests: many concurrent sessions over loopback
+// through a fixed worker pool, quota/rate backpressure, drain-on-teardown,
+// legacy (flagless) interop, and stall attribution.
+#include "serve/session_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "net/stream_pool.hpp"
+#include "serve/session_client.hpp"
+#include "telemetry/clock_sync.hpp"
+
+namespace automdt::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::size_t count_threads() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task"))
+    ++n;
+  return n;
+}
+
+/// Spin until `pred` holds or `deadline` elapses; true iff it held.
+template <typename Pred>
+bool wait_for(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+TEST(ServeServer, ManySessionsOnFixedWorkerPool) {
+  SessionServerConfig config;
+  config.max_sessions = 64;
+  config.worker_threads = 3;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  const std::size_t threads_idle = count_threads();
+
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  // Acceptance floor: >= 32 concurrent sessions, one fixed pool.
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto open = client->open(i % 2 == 0 ? "acme" : "beta");
+    ASSERT_TRUE(open.ok()) << open.message;
+    ids.push_back(open.session_id);
+  }
+  EXPECT_EQ(server.registry().live(), 32u);
+
+  constexpr std::size_t kChunk = 16 * 1024;
+  for (int round = 0; round < 3; ++round)
+    for (std::uint32_t id : ids)
+      ASSERT_TRUE(client->send_pattern_chunk(
+          id, static_cast<std::uint64_t>(round) * kChunk, kChunk));
+
+  // The whole point of the event-driven plane: thread count must not follow
+  // session count. (Other tests in the process may start/stop threads, so
+  // compare against the server's own post-start baseline.)
+  EXPECT_EQ(count_threads(), threads_idle);
+
+  std::uint64_t total_bytes = 0;
+  for (std::uint32_t id : ids) {
+    auto stats = client->close_session(id);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->chunks_ok, 3u);
+    EXPECT_EQ(stats->verify_failures, 0u);
+    total_bytes += stats->bytes_ok;
+  }
+  EXPECT_EQ(total_bytes, 32ull * 3 * kChunk);
+  EXPECT_TRUE(wait_for([&] { return server.registry().live() == 0; }));
+  server.stop();
+}
+
+TEST(ServeServer, RejectsOpensAtCapacityUntilSlotFrees) {
+  SessionServerConfig config;
+  config.max_sessions = 2;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto a = client->open("acme");
+  auto b = client->open("acme");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto rejected = client->open("acme");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.reason, RejectReason::kAtCapacity);
+
+  ASSERT_TRUE(client->close_session(a.session_id).has_value());
+  ASSERT_TRUE(wait_for([&] { return server.registry().live() == 1; }));
+  EXPECT_TRUE(client->open("acme").ok());  // the slot came back
+  server.stop();
+}
+
+TEST(ServeServer, EnforcesTenantSessionQuota) {
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  TenantQuota one;
+  one.max_sessions = 1;
+  server.configure_tenant("small", one);
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->open("small").ok());
+  auto rejected = client->open("small");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.reason, RejectReason::kTenantSessions);
+  // Another tenant is unaffected by small's quota.
+  EXPECT_TRUE(client->open("roomy").ok());
+  EXPECT_GE(server.tenants().find("small")->rejects.value(), 1u);
+  server.stop();
+}
+
+TEST(ServeServer, RateQuotaDefersWithoutDropping) {
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  TenantQuota slow;
+  slow.rate_bytes_per_s = 256.0 * 1024;  // burst = 256 KiB, then ~256 KiB/s
+  server.configure_tenant("slow", slow);
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto open = client->open("slow");
+  ASSERT_TRUE(open.ok());
+  constexpr std::size_t kChunk = 64 * 1024;
+  constexpr int kChunks = 8;  // 512 KiB total: ~1s beyond the burst
+  for (int i = 0; i < kChunks; ++i)
+    ASSERT_TRUE(client->send_pattern_chunk(
+        open.session_id, static_cast<std::uint64_t>(i) * kChunk, kChunk));
+  auto stats = client->close_session(open.session_id);
+  ASSERT_TRUE(stats.has_value());
+  // Backpressure, not loss: every chunk arrived and verified...
+  EXPECT_EQ(stats->chunks_ok, static_cast<std::uint64_t>(kChunks));
+  EXPECT_EQ(stats->verify_failures, 0u);
+  // ...and the bucket actually deferred some of them.
+  EXPECT_GE(server.tenants().find("slow")->throttle_defers.value(), 1u);
+  server.stop();
+}
+
+TEST(ServeServer, BufferQuotaDefersWithoutDropping) {
+  SessionServerConfig config;
+  config.worker_threads = 1;
+  SessionServer server(std::move(config));
+  TenantQuota tight;
+  tight.max_buffer_bytes = 64 * 1024;  // one chunk in flight at a time
+  server.configure_tenant("tight", tight);
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto open = client->open("tight");
+  ASSERT_TRUE(open.ok());
+  constexpr std::size_t kChunk = 64 * 1024;
+  for (int i = 0; i < 16; ++i)
+    ASSERT_TRUE(client->send_pattern_chunk(
+        open.session_id, static_cast<std::uint64_t>(i) * kChunk, kChunk));
+  auto stats = client->close_session(open.session_id);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->chunks_ok, 16u);
+  EXPECT_EQ(stats->verify_failures, 0u);
+  TenantState* tenant = server.tenants().find("tight");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->buffer_bytes(), 0u);  // every reservation released
+  server.stop();
+}
+
+TEST(ServeServer, AbruptDisconnectDrainsWithoutLeakingArenaBlocks) {
+  SessionServerConfig config;
+  config.arena_block_bytes = 64 * 1024;
+  config.arena_blocks = 8;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.arena(), nullptr);
+  const std::size_t blocks_total = server.arena()->blocks_free();
+
+  {
+    auto client = SessionClient::connect("127.0.0.1", server.port());
+    ASSERT_NE(client, nullptr);
+    auto open = client->open("acme");
+    ASSERT_TRUE(open.ok());
+    for (int i = 0; i < 12; ++i)
+      ASSERT_TRUE(client->send_pattern_chunk(
+          open.session_id, static_cast<std::uint64_t>(i) * 32 * 1024,
+          32 * 1024));
+    // Destroy the client mid-transfer: no close handshake, the socket just
+    // dies under the server.
+  }
+
+  // The orphaned session must drain (workers finish what was admitted, the
+  // rest is discarded with the connection) and give every arena block back.
+  EXPECT_TRUE(wait_for([&] { return server.registry().live() == 0; }));
+  EXPECT_TRUE(
+      wait_for([&] { return server.arena()->blocks_free() == blocks_total; }));
+  server.stop();
+}
+
+TEST(ServeServer, LegacyFlaglessConnectionBindsImplicitSession) {
+  // An unmodified pre-session peer: raw kChunk frames with no session
+  // extension. The server must serve it as one implicit default-tenant
+  // session rather than rejecting the old wire format.
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+
+  net::Connector connector{net::ConnectorConfig{}};
+  auto socket = connector.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(socket.has_value());
+  net::FrameWriter writer(*socket);
+
+  std::vector<std::byte> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i * 13 + 5);
+  net::WireChunk chunk;
+  chunk.file_id = 1;
+  chunk.offset = 0;
+  chunk.size = static_cast<std::uint32_t>(payload.size());
+  chunk.checksum = fnv1a(payload.data(), payload.size());
+  std::vector<std::byte> wire;
+  net::encode_wire_chunk(chunk, wire);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  ASSERT_EQ(writer.write(net::FrameType::kChunk, wire, 5.0),
+            net::SocketStatus::kOk);
+
+  EXPECT_TRUE(wait_for([&] { return server.total_chunks_ok() == 1; }));
+  EXPECT_EQ(server.total_bytes_ok(), payload.size());
+  EXPECT_EQ(server.registry().live(), 1u);  // the implicit session
+  TenantState* dflt = server.tenants().find("default");
+  ASSERT_NE(dflt, nullptr);
+  EXPECT_EQ(dflt->sessions(), 1);
+
+  socket->shutdown_both();
+  EXPECT_TRUE(wait_for([&] { return server.registry().live() == 0; }));
+  server.stop();
+}
+
+TEST(ServeServer, GracefulCloseWaitsForInflightChunks) {
+  // Teardown mid-transfer: the close ack must not arrive until the stalled
+  // in-flight chunk finished, and its bytes must be in the final stats.
+  SessionServerConfig config;
+  config.inject_worker_stall_s = 0.6;
+  config.stall_session_id = 1;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto open = client->open("acme");
+  ASSERT_TRUE(open.ok());
+  ASSERT_EQ(open.session_id, 1u);  // the id the stall hook targets
+  ASSERT_TRUE(client->send_pattern_chunk(open.session_id, 0, 8192));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stats = client->close_session(open.session_id);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->chunks_ok, 1u);
+  EXPECT_EQ(stats->bytes_ok, 8192u);
+  EXPECT_GE(waited, 200ms);  // close really waited on the stalled worker
+  server.stop();
+}
+
+TEST(ServeServer, StallReportNamesTheStalledSession) {
+  SessionServerConfig config;
+  config.inject_worker_stall_s = 1.5;
+  config.stall_session_id = 1;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto stalled = client->open("acme");
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_EQ(stalled.session_id, 1u);
+  auto healthy = client->open("beta");
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(client->send_pattern_chunk(stalled.session_id, 0, 4096));
+
+  // While the worker sits in the injected stall the session holds in-flight
+  // work, so the watchdog context must name it (and its tenant).
+  ASSERT_TRUE(wait_for(
+      [&] { return server.stall_report().find("session 1") !=
+                   std::string::npos; },
+      1000ms))
+      << server.stall_report();
+  EXPECT_NE(server.stall_report().find("acme"), std::string::npos);
+  // Progress gauge reports a value while work is in flight...
+  EXPECT_TRUE(server.watchdog_progress().has_value());
+  ASSERT_TRUE(client->close_session(stalled.session_id).has_value());
+  // ...and goes idle (nullopt) once nothing is in flight, so the watchdog
+  // arms only under load.
+  EXPECT_TRUE(wait_for([&] { return !server.watchdog_progress().has_value(); }));
+  EXPECT_EQ(server.stall_report(), "");
+  server.stop();
+}
+
+TEST(ServeServer, ClockSyncPublishesOverServeConnection) {
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+  telemetry::ClockModel model;
+  EXPECT_FALSE(model.synced());
+  ASSERT_TRUE(client->sync_clock(model));
+  EXPECT_TRUE(model.synced());
+  server.stop();
+}
+
+TEST(ServeServer, StatsSnapshotExportsPerSessionCounters) {
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto client = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(client, nullptr);
+
+  auto open = client->open("acme");
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(client->send_pattern_chunk(open.session_id, 0, 4096));
+  const std::string prefix =
+      "session." + std::to_string(open.session_id) + ".";
+  ASSERT_TRUE(wait_for([&] {
+    auto stats = client->query_stats();
+    if (!stats) return false;
+    for (const auto& metric : stats->metrics)
+      if (metric.name == prefix + "chunks_ok" && metric.value == 1.0)
+        return true;
+    return false;
+  }));
+  server.stop();
+}
+
+TEST(ServeServer, PingAndMultipleClients) {
+  SessionServerConfig config;
+  SessionServer server(std::move(config));
+  ASSERT_TRUE(server.start());
+  auto a = SessionClient::connect("127.0.0.1", server.port());
+  auto b = SessionClient::connect("127.0.0.1", server.port());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(a->ping());
+  EXPECT_TRUE(b->ping());
+  auto open_a = a->open("acme");
+  auto open_b = b->open("acme");
+  ASSERT_TRUE(open_a.ok());
+  ASSERT_TRUE(open_b.ok());
+  EXPECT_NE(open_a.session_id, open_b.session_id);
+  EXPECT_EQ(server.connections(), 2);
+  ASSERT_TRUE(a->send_pattern_chunk(open_a.session_id, 0, 1024));
+  ASSERT_TRUE(b->send_pattern_chunk(open_b.session_id, 0, 2048));
+  auto stats_a = a->close_session(open_a.session_id);
+  auto stats_b = b->close_session(open_b.session_id);
+  ASSERT_TRUE(stats_a.has_value());
+  ASSERT_TRUE(stats_b.has_value());
+  EXPECT_EQ(stats_a->bytes_ok, 1024u);
+  EXPECT_EQ(stats_b->bytes_ok, 2048u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace automdt::serve

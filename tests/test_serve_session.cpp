@@ -1,0 +1,272 @@
+#include "serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace automdt::serve {
+namespace {
+
+SessionOpenRequest open_request(const std::string& tenant = "",
+                                std::uint64_t expected_bytes = 0) {
+  SessionOpenRequest open;
+  open.client_token = 0xFEEDBEEFu;
+  open.expected_bytes = expected_bytes;
+  open.chunk_bytes = 64 * 1024;
+  open.tenant = tenant;
+  return open;
+}
+
+TEST(ServeCodec, OpenRoundTrips) {
+  SessionOpenRequest in = open_request("acme", 1 << 20);
+  const auto encoded = encode_session_open(in);
+  SessionOpenRequest out;
+  ASSERT_TRUE(decode_session_open(encoded.data(), encoded.size(), out));
+  EXPECT_EQ(out.client_token, in.client_token);
+  EXPECT_EQ(out.expected_bytes, in.expected_bytes);
+  EXPECT_EQ(out.chunk_bytes, in.chunk_bytes);
+  EXPECT_EQ(out.tenant, in.tenant);
+}
+
+TEST(ServeCodec, OpenRoundTripsEmptyTenant) {
+  SessionOpenRequest in = open_request("");
+  const auto encoded = encode_session_open(in);
+  SessionOpenRequest out;
+  ASSERT_TRUE(decode_session_open(encoded.data(), encoded.size(), out));
+  EXPECT_EQ(out.tenant, "");
+}
+
+TEST(ServeCodec, AcceptRejectFinalRoundTrip) {
+  SessionAccept accept{123, 7};
+  const auto ea = encode_session_accept(accept);
+  SessionAccept accept_out;
+  ASSERT_TRUE(decode_session_accept(ea.data(), ea.size(), accept_out));
+  EXPECT_EQ(accept_out.client_token, 123u);
+  EXPECT_EQ(accept_out.session_id, 7u);
+
+  SessionReject reject{123, RejectReason::kAtCapacity, "server full"};
+  const auto er = encode_session_reject(reject);
+  SessionReject reject_out;
+  ASSERT_TRUE(decode_session_reject(er.data(), er.size(), reject_out));
+  EXPECT_EQ(reject_out.client_token, 123u);
+  EXPECT_EQ(reject_out.reason, RejectReason::kAtCapacity);
+  EXPECT_EQ(reject_out.message, "server full");
+
+  SessionFinalStats final_stats{1 << 20, 16, 1};
+  const auto ef = encode_session_final(final_stats);
+  SessionFinalStats final_out;
+  ASSERT_TRUE(decode_session_final(ef.data(), ef.size(), final_out));
+  EXPECT_EQ(final_out.bytes_ok, final_stats.bytes_ok);
+  EXPECT_EQ(final_out.chunks_ok, final_stats.chunks_ok);
+  EXPECT_EQ(final_out.verify_failures, final_stats.verify_failures);
+}
+
+TEST(ServeCodec, TruncatedPayloadsDecodeFalse) {
+  const auto encoded = encode_session_open(open_request("acme"));
+  SessionOpenRequest open_out;
+  for (std::size_t size = 0; size < 24; ++size)
+    EXPECT_FALSE(decode_session_open(encoded.data(), size, open_out));
+  SessionAccept accept_out;
+  EXPECT_FALSE(decode_session_accept(encoded.data(), 11, accept_out));
+  SessionFinalStats final_out;
+  EXPECT_FALSE(decode_session_final(encoded.data(), 23, final_out));
+}
+
+TEST(ServeTenant, BufferQuotaReservesAndReleases) {
+  telemetry::MetricsRegistry registry;
+  TenantQuota quota;
+  quota.max_buffer_bytes = 1000;
+  TenantState tenant("acme", quota, registry);
+  EXPECT_TRUE(tenant.try_reserve_buffer(600));
+  EXPECT_TRUE(tenant.try_reserve_buffer(400));
+  EXPECT_FALSE(tenant.try_reserve_buffer(1));  // quota exhausted
+  tenant.release_buffer(400);
+  EXPECT_TRUE(tenant.try_reserve_buffer(300));
+  EXPECT_EQ(tenant.buffer_bytes(), 900u);
+}
+
+TEST(ServeTenant, ZeroBufferQuotaIsUnlimited) {
+  telemetry::MetricsRegistry registry;
+  TenantState tenant("acme", TenantQuota{}, registry);
+  EXPECT_TRUE(tenant.try_reserve_buffer(1ull << 40));
+}
+
+TEST(ServeTenant, SessionCountQuota) {
+  telemetry::MetricsRegistry registry;
+  TenantQuota quota;
+  quota.max_sessions = 2;
+  TenantState tenant("acme", quota, registry);
+  EXPECT_TRUE(tenant.try_add_session());
+  EXPECT_TRUE(tenant.try_add_session());
+  EXPECT_FALSE(tenant.try_add_session());
+  tenant.remove_session();
+  EXPECT_TRUE(tenant.try_add_session());
+  EXPECT_EQ(tenant.sessions(), 2);
+}
+
+TEST(ServeTenant, TableCreatesOnDemandAndMapsEmptyToDefault) {
+  telemetry::MetricsRegistry registry;
+  TenantTable table(TenantQuota{}, registry);
+  TenantState* a = table.get_or_create("acme");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, table.get_or_create("acme"));  // stable pointer
+  EXPECT_EQ(a, table.find("acme"));
+  EXPECT_EQ(table.get_or_create(""), table.get_or_create("default"));
+  EXPECT_EQ(table.list().size(), 2u);
+}
+
+TEST(ServeTenant, ConfigureOverridesDefaultQuota) {
+  telemetry::MetricsRegistry registry;
+  TenantQuota dflt;
+  dflt.max_sessions = 100;
+  TenantTable table(dflt, registry);
+  TenantQuota tight;
+  tight.max_sessions = 1;
+  TenantState* t = table.configure("vip", tight);
+  EXPECT_EQ(t->quota().max_sessions, 1);
+  EXPECT_EQ(table.get_or_create("other")->quota().max_sessions, 100);
+}
+
+TEST(ServeRegistry, AdmitAssignsMonotonicIdsAndCounts) {
+  telemetry::MetricsRegistry registry;
+  TenantTable tenants(TenantQuota{}, registry);
+  SessionRegistry sessions(8);
+  TenantState* tenant = tenants.get_or_create("acme");
+  auto a = sessions.admit(open_request("acme"), tenant, registry);
+  auto b = sessions.admit(open_request("acme"), tenant, registry);
+  ASSERT_NE(a.session, nullptr);
+  ASSERT_NE(b.session, nullptr);
+  EXPECT_LT(a.session->id(), b.session->id());
+  EXPECT_EQ(sessions.live(), 2u);
+  EXPECT_EQ(sessions.admitted_total(), 2u);
+  EXPECT_EQ(tenant->sessions(), 2);
+  EXPECT_EQ(sessions.get(a.session->id()), a.session);
+}
+
+TEST(ServeRegistry, RejectsAtGlobalCapacity) {
+  telemetry::MetricsRegistry registry;
+  TenantTable tenants(TenantQuota{}, registry);
+  SessionRegistry sessions(2);
+  TenantState* tenant = tenants.get_or_create("acme");
+  ASSERT_NE(sessions.admit(open_request(), tenant, registry).session, nullptr);
+  ASSERT_NE(sessions.admit(open_request(), tenant, registry).session, nullptr);
+  auto rejected = sessions.admit(open_request(), tenant, registry);
+  EXPECT_EQ(rejected.session, nullptr);
+  EXPECT_EQ(rejected.reason, RejectReason::kAtCapacity);
+  EXPECT_EQ(tenant->sessions(), 2);  // the reject did not leak a slot
+}
+
+TEST(ServeRegistry, RejectsOverTenantSessionQuota) {
+  telemetry::MetricsRegistry registry;
+  TenantQuota quota;
+  quota.max_sessions = 1;
+  TenantTable tenants(quota, registry);
+  SessionRegistry sessions(8);
+  TenantState* tenant = tenants.get_or_create("acme");
+  ASSERT_NE(sessions.admit(open_request(), tenant, registry).session, nullptr);
+  auto rejected = sessions.admit(open_request(), tenant, registry);
+  EXPECT_EQ(rejected.session, nullptr);
+  EXPECT_EQ(rejected.reason, RejectReason::kTenantSessions);
+  EXPECT_EQ(sessions.live(), 1u);  // global slot not leaked either
+}
+
+TEST(ServeRegistry, RemoveFreesSlotAndTenantCount) {
+  telemetry::MetricsRegistry registry;
+  TenantQuota quota;
+  quota.max_sessions = 1;
+  TenantTable tenants(quota, registry);
+  SessionRegistry sessions(1);
+  TenantState* tenant = tenants.get_or_create("acme");
+  auto a = sessions.admit(open_request(), tenant, registry);
+  ASSERT_NE(a.session, nullptr);
+  sessions.remove(a.session->id());
+  EXPECT_EQ(sessions.live(), 0u);
+  EXPECT_EQ(tenant->sessions(), 0);
+  EXPECT_EQ(sessions.get(a.session->id()), nullptr);
+  // Both the global and the tenant slot are reusable.
+  EXPECT_NE(sessions.admit(open_request(), tenant, registry).session, nullptr);
+}
+
+TEST(ServeLifecycle, StatesProgressAndFinalizeClaimsOnce) {
+  telemetry::MetricsRegistry registry;
+  TenantTable tenants(TenantQuota{}, registry);
+  SessionRegistry sessions(4);
+  auto admitted = sessions.admit(open_request("acme"),
+                                 tenants.get_or_create("acme"), registry);
+  ASSERT_NE(admitted.session, nullptr);
+  ServeSession& s = *admitted.session;
+  EXPECT_EQ(s.state(), SessionLifecycle::kAdmitted);
+  s.mark_active();
+  EXPECT_EQ(s.state(), SessionLifecycle::kActive);
+  s.set_state(SessionLifecycle::kDraining);
+  s.mark_active();  // a late chunk must not resurrect a draining session
+  EXPECT_EQ(s.state(), SessionLifecycle::kDraining);
+  EXPECT_TRUE(s.claim_finalize());
+  EXPECT_FALSE(s.claim_finalize());  // exactly once
+}
+
+TEST(ServeLifecycle, InflightAccountingDrainsToZero) {
+  telemetry::MetricsRegistry registry;
+  TenantTable tenants(TenantQuota{}, registry);
+  SessionRegistry sessions(4);
+  auto admitted = sessions.admit(open_request(),
+                                 tenants.get_or_create(""), registry);
+  ServeSession& s = *admitted.session;
+  s.add_inflight(100);
+  s.add_inflight(200);
+  EXPECT_EQ(s.inflight_chunks(), 2u);
+  EXPECT_EQ(s.inflight_bytes(), 300u);
+  EXPECT_EQ(s.release_inflight(100), 1u);
+  EXPECT_EQ(s.release_inflight(200), 0u);
+  EXPECT_EQ(s.inflight_bytes(), 0u);
+}
+
+TEST(ServeLifecycle, CountersLandInRegistryUnderSessionId) {
+  telemetry::MetricsRegistry registry;
+  TenantTable tenants(TenantQuota{}, registry);
+  SessionRegistry sessions(4);
+  auto admitted = sessions.admit(open_request("acme"),
+                                 tenants.get_or_create("acme"), registry);
+  ServeSession& s = *admitted.session;
+  s.bytes_ok.add(4096);
+  s.chunks_ok.add(1);
+  const auto snapshot = registry.snapshot();
+  const std::string prefix = "session." + std::to_string(s.id()) + ".";
+  EXPECT_TRUE(snapshot.has(prefix + "bytes_ok"));
+  EXPECT_EQ(snapshot.value_or(prefix + "bytes_ok"), 4096.0);
+  EXPECT_EQ(snapshot.value_or(prefix + "chunks_ok"), 1.0);
+  const SessionFinalStats stats = s.final_stats();
+  EXPECT_EQ(stats.bytes_ok, 4096u);
+  EXPECT_EQ(stats.chunks_ok, 1u);
+}
+
+TEST(ServeTenant, ConcurrentReserveNeverExceedsQuotaByMoreThanOneChunk) {
+  // The relaxed fetch_add/undo pattern may transiently overshoot but must
+  // never admit more than the quota once settled: hammer it from 4 threads
+  // and check the final accounting is exact.
+  telemetry::MetricsRegistry registry;
+  TenantQuota quota;
+  quota.max_buffer_bytes = 1 << 20;
+  TenantState tenant("acme", quota, registry);
+  std::atomic<std::uint64_t> reserved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (tenant.try_reserve_buffer(4096)) {
+          reserved.fetch_add(4096);
+          tenant.release_buffer(4096);
+          reserved.fetch_sub(4096);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tenant.buffer_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace automdt::serve

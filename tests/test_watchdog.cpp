@@ -30,6 +30,13 @@ void sleep_s(double s) {
   std::this_thread::sleep_for(std::chrono::duration<double>(s));
 }
 
+WatchdogConfig fast_wd(double poll_s, double stall_s) {
+  WatchdogConfig wd;
+  wd.poll_interval_s = poll_s;
+  wd.stall_after_s = stall_s;
+  return wd;
+}
+
 TEST(FlightRecorder, DumpContainsReasonSnapshotAndJournalTail) {
   MetricsRegistry registry;
   registry.counter("write.bytes")->add(12345);
@@ -114,7 +121,7 @@ TEST(Watchdog, StalledProgressDumpsExactlyOnce) {
 TEST(Watchdog, HealthyProgressNeverTrips) {
   std::atomic<std::uint64_t> bytes{0};
   PipelineWatchdog watchdog(
-      {0.01, 0.05},
+      fast_wd(0.01, 0.05),
       [&bytes]() -> std::optional<std::uint64_t> {
         return bytes.fetch_add(1) + 1;  // always advancing
       },
@@ -127,8 +134,8 @@ TEST(Watchdog, HealthyProgressNeverTrips) {
 
 TEST(Watchdog, IdlePipelineNeverTrips) {
   PipelineWatchdog watchdog(
-      {0.01, 0.05}, []() -> std::optional<std::uint64_t> { return std::nullopt; },
-      nullptr);
+      fast_wd(0.01, 0.05),
+      []() -> std::optional<std::uint64_t> { return std::nullopt; }, nullptr);
   watchdog.start();
   sleep_s(0.3);
   watchdog.stop();
@@ -140,7 +147,7 @@ TEST(Watchdog, ReArmsWhenProgressResumes) {
   std::atomic<int> phase{0};
   std::atomic<std::uint64_t> counter{0};
   PipelineWatchdog watchdog(
-      {0.01, 0.05},
+      fast_wd(0.01, 0.05),
       [&]() -> std::optional<std::uint64_t> {
         switch (phase.load()) {
           case 0: return 1;
@@ -169,7 +176,7 @@ TEST(Watchdog, ExplicitRearmAllowsNextDump) {
   config.prefix = "wd-rearm";
   FlightRecorder recorder(config, nullptr, nullptr);
   PipelineWatchdog watchdog(
-      {0.01, 0.05}, []() -> std::optional<std::uint64_t> { return 7; },
+      fast_wd(0.01, 0.05), []() -> std::optional<std::uint64_t> { return 7; },
       &recorder);
   const LogLevel prev = log_level();
   set_log_level(LogLevel::kOff);
@@ -185,7 +192,7 @@ TEST(Watchdog, ExplicitRearmAllowsNextDump) {
 
 TEST(Watchdog, StartStopAreIdempotent) {
   PipelineWatchdog watchdog(
-      {0.01, 10.0}, []() -> std::optional<std::uint64_t> { return 1; },
+      fast_wd(0.01, 10.0), []() -> std::optional<std::uint64_t> { return 1; },
       nullptr);
   watchdog.start();
   watchdog.start();

@@ -57,6 +57,21 @@
 //                           one reader sleeps --stall-seconds (default 3),
 //                           so the watchdog path is testable on demand
 //
+// Serve-plane options (serve --max-sessions N switches to the many-tenant
+// session server; without it the single-session loop above runs unchanged):
+//   --max-sessions N        session-registry capacity (opens the serve plane)
+//   --worker-threads N      fixed chunk-processing pool size (default 4);
+//                           total threads stay N+1 regardless of sessions
+//   --sessions N            concurrent loopback driver sessions (default 32)
+//   --tenant-quota SPEC     per-tenant fair-share admission, SPEC =
+//                           name=max_sessions:max_buffer_mb:rate_mbps[,...]
+//                           (0 = unlimited); drivers spread sessions across
+//                           the named tenants round-robin
+//   --chunk-kb K            driver chunk size (default 64)
+//   --arena-blocks N        shared receive-arena blocks (default 64)
+//   --list-sessions         (monitor) one snapshot rendered as a per-session
+//                           table (state, in-flight, verified bytes)
+//
 // Examples:
 //   automdt train --preset fabric --episodes 6000 --out /tmp/fabric.ckpt
 //   automdt transfer --preset fabric --ckpt /tmp/fabric.ckpt
@@ -79,6 +94,9 @@
 #include "optimizers/monolithic_controller.hpp"
 #include "optimizers/runner.hpp"
 #include "optimizers/static_controller.hpp"
+#include "serve/session_client.hpp"
+#include "serve/session_server.hpp"
+#include "telemetry/clock_sync.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/journal.hpp"
 #include "telemetry/recorder.hpp"
@@ -115,10 +133,10 @@ Args parse_args(int argc, char** argv) {
     }
     a = a.substr(2);
     // Flags with no value take "1"; otherwise consume the next token.
-    static const std::set<std::string> flags = {"mixed", "paper",
-                                                "deterministic", "once"};
+    static const std::set<std::string> flags = {
+        "mixed", "paper", "deterministic", "once", "list-sessions"};
     if (flags.count(a)) {
-      args.options[a] = "1";
+      args.options.insert_or_assign(a, "1");
     } else {
       if (i + 1 >= argc)
         throw std::runtime_error("option --" + a + " needs a value");
@@ -334,10 +352,190 @@ int cmd_transfer(const Args& args) {
   return res.completed ? 0 : 1;
 }
 
+// --tenant-quota "name=max_sessions:max_buffer_mb:rate_mbps[,name=...]"
+// (0 in any position = unlimited).
+std::vector<std::pair<std::string, serve::TenantQuota>> parse_tenant_quotas(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, serve::TenantQuota>> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(at, comma - at);
+    at = comma + 1;
+    const std::size_t eq = entry.find('=');
+    const std::size_t c1 = entry.find(':', eq + 1);
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : entry.find(':', c1 + 1);
+    if (eq == std::string::npos || c1 == std::string::npos ||
+        c2 == std::string::npos) {
+      throw std::runtime_error(
+          "--tenant-quota entries look like name=max_sessions:max_buffer_mb:"
+          "rate_mbps, got: " + entry);
+    }
+    serve::TenantQuota quota;
+    quota.max_sessions = std::stoi(entry.substr(eq + 1, c1 - eq - 1));
+    quota.max_buffer_bytes = static_cast<std::uint64_t>(
+        std::stod(entry.substr(c1 + 1, c2 - c1 - 1)) * kMB);
+    quota.rate_bytes_per_s = std::stod(entry.substr(c2 + 1)) * 1e6 / 8.0;
+    out.emplace_back(entry.substr(0, eq), quota);
+  }
+  return out;
+}
+
+// Multi-session serve plane (--max-sessions): one SessionServer, a fixed
+// worker pool, and a few in-process loopback driver threads that multiplex
+// --sessions concurrent sessions over their connections. Per-session and
+// per-tenant state is served over the same kStatsSnapshot telemetry port the
+// single-session path uses (`automdt monitor --list-sessions`).
+int cmd_serve_sessions(const Args& args) {
+  const auto max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", 64));
+  const int worker_threads =
+      std::max(1, static_cast<int>(args.get_int("worker-threads", 4)));
+  const int n_sessions =
+      std::max(1, static_cast<int>(args.get_int("sessions", 32)));
+  const double duration_s = std::stod(args.get("duration", "10"));
+  const auto telemetry_port =
+      static_cast<std::uint16_t>(args.get_int("telemetry-port", 28765));
+  const std::size_t chunk_bytes =
+      static_cast<std::size_t>(args.get_int("chunk-kb", 64)) * 1024;
+
+  telemetry::EventJournal journal(4096);
+  telemetry::install_log_journal(&journal);
+
+  serve::SessionServerConfig config;
+  config.max_sessions = max_sessions;
+  config.worker_threads = worker_threads;
+  config.arena_blocks = static_cast<std::size_t>(
+      args.get_int("arena-blocks", 64));
+  config.arena_block_bytes = std::max<std::size_t>(chunk_bytes, 64 * 1024);
+  // --inject-reader-stall: on the serve plane the "reader" is the worker
+  // pool, so the injection wedges session 1's chunks for --stall-seconds;
+  // the watchdog dump then names that session via stall_report().
+  if (args.get_int("inject-reader-stall", 0) > 0) {
+    config.inject_worker_stall_s = std::stod(args.get("stall-seconds", "3"));
+    config.stall_session_id = 1;
+  }
+  serve::SessionServer server(config);
+  std::vector<std::string> tenant_names;
+  if (args.flag("tenant-quota")) {
+    for (const auto& [name, quota] :
+         parse_tenant_quotas(args.get("tenant-quota", ""))) {
+      server.configure_tenant(name, quota);
+      tenant_names.push_back(name);
+    }
+  }
+  if (tenant_names.empty()) tenant_names.push_back("default");
+  if (!server.start()) {
+    std::fprintf(stderr, "serve: cannot bind session server\n");
+    telemetry::install_log_journal(nullptr);
+    return 1;
+  }
+
+  telemetry::FlightRecorderConfig flight_config;
+  flight_config.out_dir = args.get("flight-dir", ".");
+  telemetry::FlightRecorder flight(flight_config, &server.metrics(), &journal);
+
+  telemetry::WatchdogConfig watchdog_config;
+  watchdog_config.poll_interval_s = 0.1;
+  watchdog_config.stall_after_s = std::stod(args.get("watchdog-seconds", "1"));
+  // The context hook is what makes a many-session stall dump actionable: the
+  // aggregate progress counter says "stuck", stall_report() says WHO.
+  watchdog_config.context_fn = [&server] { return server.stall_report(); };
+  telemetry::PipelineWatchdog watchdog(
+      watchdog_config, [&server] { return server.watchdog_progress(); },
+      &flight);
+  watchdog.start();
+
+  telemetry::StatsServerConfig stats_config;
+  stats_config.port = telemetry_port;
+  telemetry::StatsServer stats(stats_config,
+                               [&server] { return server.metrics().snapshot(); });
+  if (!stats.start()) {
+    std::fprintf(stderr, "serve: cannot bind telemetry port %u\n",
+                 telemetry_port);
+    watchdog.stop();
+    server.stop();
+    telemetry::install_log_journal(nullptr);
+    return 1;
+  }
+  std::printf(
+      "serve plane: %d worker thread(s), %zu session slots, data port %u, "
+      "telemetry port %u, %.0f s\n",
+      worker_threads, max_sessions, server.port(), stats.port(), duration_s);
+
+  // Serve-path clock model (no more hardcoded null clock): driver 0 runs the
+  // NTP-style sync against the server's kRpc responder. Loopback makes the
+  // offset ~0, but the estimate now flows through the real seam.
+  telemetry::ClockModel clock;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration_s);
+  const int driver_count = std::min(4, n_sessions);
+  std::atomic<std::uint64_t> chunks_sent{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < driver_count; ++d) {
+    drivers.emplace_back([&, d] {
+      auto client = serve::SessionClient::connect("127.0.0.1", server.port());
+      if (!client) return;
+      if (d == 0) client->sync_clock(clock);
+      std::vector<std::uint32_t> ids;
+      for (int s = d; s < n_sessions; s += driver_count) {
+        const auto result = client->open(
+            tenant_names[static_cast<std::size_t>(s) % tenant_names.size()]);
+        if (result.ok())
+          ids.push_back(result.session_id);
+        else
+          rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::vector<std::uint64_t> offsets(ids.size(), 0);
+      while (std::chrono::steady_clock::now() < deadline && !ids.empty()) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (!client->send_pattern_chunk(ids[i], offsets[i], chunk_bytes))
+            return;
+          offsets[i] += chunk_bytes;
+          chunks_sent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      for (std::uint32_t id : ids) client->close_session(id);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  stats.stop();
+  watchdog.stop();
+  const std::uint64_t bytes_ok = server.total_bytes_ok();
+  const std::uint64_t chunks_ok = server.total_chunks_ok();
+  const std::size_t live_left = server.registry().live();
+  server.stop();
+  telemetry::install_log_journal(nullptr);
+  std::printf(
+      "sessions: %llu admitted, %d rejected, %zu still live; "
+      "%llu/%llu chunks verified (%s); clock %s\n",
+      static_cast<unsigned long long>(server.registry().admitted_total()),
+      rejected.load(), live_left,
+      static_cast<unsigned long long>(chunks_ok),
+      static_cast<unsigned long long>(chunks_sent.load()),
+      format_bytes(static_cast<double>(bytes_ok)).c_str(),
+      clock.synced() ? "synced" : "unsynced");
+  if (watchdog.stalls_detected() > 0) {
+    std::printf("watchdog: %llu stall(s) detected, last dump %s\n",
+                static_cast<unsigned long long>(watchdog.stalls_detected()),
+                flight.last_path().c_str());
+  }
+  return 0;
+}
+
 // Loop real loopback-TCP transfers and expose the live session's registry
 // through a telemetry::StatsServer, so `automdt monitor` (or any
 // kStatsSnapshot client) can watch per-stage state change in real time.
 int cmd_serve(const Args& args) {
+  // --max-sessions selects the many-tenant serve plane; without it the
+  // original single-session loop below runs unchanged (CI and test_cli pin
+  // its output and ports).
+  if (args.flag("max-sessions")) return cmd_serve_sessions(args);
   const auto port =
       static_cast<std::uint16_t>(args.get_int("telemetry-port", 28765));
   const double duration_s =
@@ -392,6 +590,15 @@ int cmd_serve(const Args& args) {
   flight_config.out_dir = args.get("flight-dir", ".");
   telemetry::FlightRecorder flight(flight_config, nullptr, &journal);
   engine.telemetry.flight = &flight;
+
+  // Serve-path clock model: previously hardcoded null, which read as
+  // "offset 0" by accident. Publish the loopback truth (both endpoints
+  // share one steady clock) through the real ClockModel seam, so
+  // wire-stamped trace correlation exercises the same path a two-host
+  // deployment would, with a synced model.
+  telemetry::ClockModel serve_clock;
+  serve_clock.publish(/*offset_ns=*/0, /*rtt_ns=*/0);
+  engine.telemetry.clock = &serve_clock;
 
   const std::vector<double> files(
       static_cast<std::size_t>(args.get_int("files", 4)),
@@ -490,6 +697,65 @@ int cmd_monitor(const Args& args) {
     std::fprintf(stderr, "monitor: cannot connect to %s:%u\n", host.c_str(),
                  port);
     return 1;
+  }
+
+  // --list-sessions: one snapshot, rendered as a per-session table (serve
+  // --max-sessions exports session.<id>.* through the same kStatsSnapshot).
+  if (args.flag("list-sessions")) {
+    const auto resp = client->poll(/*timeout_s=*/5.0);
+    if (!resp) {
+      std::fprintf(stderr, "monitor: no snapshot within 5 s\n");
+      return 1;
+    }
+    const telemetry::MetricsSnapshot snap =
+        telemetry::message_to_snapshot(*resp);
+    struct SessionRow {
+      double state = -1.0;
+      double inflight = 0.0;
+      double chunks = 0.0;
+      double bytes = 0.0;
+      double fails = 0.0;
+    };
+    std::map<long long, SessionRow> rows;
+    for (const auto& sample : snap.samples) {
+      if (sample.name.rfind("session.", 0) != 0) continue;
+      const std::size_t dot = sample.name.find('.', 8);
+      if (dot == std::string::npos) continue;
+      long long id = 0;
+      try {
+        id = std::stoll(sample.name.substr(8, dot - 8));
+      } catch (const std::exception&) {
+        continue;
+      }
+      const std::string leaf = sample.name.substr(dot + 1);
+      SessionRow& row = rows[id];
+      if (leaf == "state") row.state = sample.value;
+      else if (leaf == "inflight_chunks") row.inflight = sample.value;
+      else if (leaf == "chunks_ok") row.chunks = sample.value;
+      else if (leaf == "bytes_ok") row.bytes = sample.value;
+      else if (leaf == "verify_failures") row.fails = sample.value;
+    }
+    if (rows.empty()) {
+      std::printf("no sessions in snapshot (generation %llu)\n",
+                  static_cast<unsigned long long>(snap.generation));
+      return 0;
+    }
+    Table table({"session", "state", "inflight", "chunks_ok", "bytes_ok",
+                 "verify_failures"});
+    for (const auto& [id, row] : rows) {
+      const char* state =
+          row.state < 0
+              ? "?"
+              : serve::to_string(static_cast<serve::SessionLifecycle>(
+                    static_cast<std::uint32_t>(row.state)));
+      table.add_row({std::to_string(id), std::string(state),
+                     std::to_string(static_cast<long long>(row.inflight)),
+                     std::to_string(static_cast<long long>(row.chunks)),
+                     format_bytes(row.bytes),
+                     std::to_string(static_cast<long long>(row.fails))});
+    }
+    table.print(std::cout);
+    return 0;
   }
 
   if (args.flag("once")) {
