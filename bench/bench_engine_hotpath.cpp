@@ -191,7 +191,11 @@ void run_wire_stamp_overhead(double total_mib) {
 // after the payload first exists). The legacy receive path alone costs 2
 // copies per chunk; the leased path carves payloads out of the recv block
 // in place, so its only copies are the partial-frame respills at block
-// boundaries (a per-block, not per-chunk, cost).
+// boundaries (a per-block, not per-chunk, cost). rsys/ck and rcp/ck are the
+// receiver-side slices of the same denominators (io.recv_syscalls_total and
+// io.recv_copies_total / chunks): the multishot provided-buffer reader
+// should pull both well under the syscall backend's poll+recv, 2-copy
+// baseline.
 void run_io_backend_ab(double total_mib) {
   const bool uring_available = net::UringRing::available();
   std::printf("io-backend A/B, tcp <2,2,2> (uring %s):\n",
@@ -239,10 +243,12 @@ void run_io_backend_ab(double total_mib) {
     const double chunks =
         std::max<double>(1.0, static_cast<double>(last.stats.chunks_written));
     std::printf("  %s  %8.0f ck/s  sys/ck %6.2f  cp/ck %5.2f  "
-                "(backend=%s fallbacks=%llu)\n",
+                "rsys/ck %5.2f  rcp/ck %5.2f  (backend=%s fallbacks=%llu)\n",
                 row.label, runs[1],
                 static_cast<double>(last.stats.io_syscalls) / chunks,
                 static_cast<double>(last.stats.payload_copies) / chunks,
+                static_cast<double>(last.stats.recv_syscalls) / chunks,
+                static_cast<double>(last.stats.recv_copies) / chunks,
                 last.stats.io_backend_uring ? "uring" : "syscall",
                 static_cast<unsigned long long>(
                     last.stats.io_backend_fallbacks));

@@ -38,6 +38,7 @@ std::size_t proc_count(const char* dir) {
 
 struct RunResult {
   int sessions = 0;
+  int loops = 1;
   double chunks_per_s = 0.0;
   double mib_per_s = 0.0;
   std::uint64_t chunks_total = 0;
@@ -48,11 +49,12 @@ struct RunResult {
 };
 
 RunResult run_sessions(int n_sessions, double duration_s,
-                       std::size_t chunk_bytes) {
+                       std::size_t chunk_bytes, int event_loops) {
   serve::SessionServerConfig config;
   config.max_sessions = static_cast<std::size_t>(n_sessions) + 4;
   config.worker_threads = 4;
   config.queue_capacity = 512;
+  config.event_loops = event_loops;
   serve::SessionServer server(std::move(config));
   if (!server.start()) {
     std::fprintf(stderr, "bench_serve: server failed to start\n");
@@ -72,8 +74,12 @@ RunResult run_sessions(int n_sessions, double duration_s,
       if (!client) return;
       std::vector<std::uint32_t> ids;
       std::vector<int> slots;
+      // One tenant per driver connection: with sharded loops the tenant
+      // hash spreads the driver connections across loops, so the bench
+      // exercises cross-shard admission rather than one loop doing it all.
+      const std::string tenant = "bench" + std::to_string(d);
       for (int s = d; s < n_sessions; s += n_drivers) {
-        auto open = client->open("bench");
+        auto open = client->open(tenant);
         if (!open.ok()) return;
         ids.push_back(open.session_id);
         slots.push_back(s);
@@ -107,6 +113,7 @@ RunResult run_sessions(int n_sessions, double duration_s,
 
   RunResult result;
   result.sessions = n_sessions;
+  result.loops = event_loops;
   for (const std::uint64_t c : per_session) result.chunks_total += c;
   result.chunks_per_s = static_cast<double>(result.chunks_total) / elapsed;
   result.mib_per_s = result.chunks_per_s *
@@ -137,18 +144,21 @@ int main(int argc, char** argv) {
       chunk_bytes = static_cast<std::size_t>(std::stoul(argv[++i])) * 1024;
   }
 
-  std::printf("serve-plane loopback: 4 workers + 1 event loop, "
+  std::printf("serve-plane loopback: 4 workers, sharded event loops, "
               "%.1f s per point, %zu KiB chunks\n\n",
               duration_s, chunk_bytes / 1024);
-  std::printf("%9s %12s %10s %12s %18s %6s %8s\n", "sessions", "chunks",
-              "chunks/s", "MiB/s", "fairness min/max", "fds", "threads");
-  for (const int n : {1, 8, 64}) {
-    const RunResult r = run_sessions(n, duration_s, chunk_bytes);
-    std::printf("%9d %12llu %10.0f %12.1f %8.2f / %-7.2f %6zu %8zu\n",
-                r.sessions,
-                static_cast<unsigned long long>(r.chunks_total),
-                r.chunks_per_s, r.mib_per_s, r.fairness_min, r.fairness_max,
-                r.fds, r.threads);
+  std::printf("%6s %9s %12s %10s %12s %18s %6s %8s\n", "loops", "sessions",
+              "chunks", "chunks/s", "MiB/s", "fairness min/max", "fds",
+              "threads");
+  for (const int loops : {1, 2}) {
+    for (const int n : {1, 8, 64}) {
+      const RunResult r = run_sessions(n, duration_s, chunk_bytes, loops);
+      std::printf("%6d %9d %12llu %10.0f %12.1f %8.2f / %-7.2f %6zu %8zu\n",
+                  r.loops, r.sessions,
+                  static_cast<unsigned long long>(r.chunks_total),
+                  r.chunks_per_s, r.mib_per_s, r.fairness_min, r.fairness_max,
+                  r.fds, r.threads);
+    }
   }
   std::printf("\nfairness = per-session chunk count relative to the ideal "
               "1/N share (1.00 = perfectly fair).\n");

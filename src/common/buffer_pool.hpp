@@ -164,6 +164,19 @@ class BufferLease {
                                                       : kUnregistered;
   }
 
+  /// The owning arena, or nullptr for heap-fallback blocks and null leases.
+  /// A registered_index() is only meaningful against the iovec table of THIS
+  /// pool — the writer's storage ring checks identity before WRITE_FIXED.
+  ArenaPool* pool() const { return ctrl_ != nullptr ? ctrl_->pool : nullptr; }
+
+  /// Current refcount on the underlying block (approximate under
+  /// concurrency). ref_count() == 1 on a held lease means no other view is
+  /// alive — the multishot receive loop uses this to decide when a block can
+  /// be handed back to the kernel's provided-buffer ring.
+  std::uint32_t ref_count() const {
+    return ctrl_ != nullptr ? ctrl_->refs.load(std::memory_order_acquire) : 0;
+  }
+
   /// Narrow the view without transferring ownership away: the new lease
   /// shares the block's refcount, so the block outlives every carved view.
   /// This is the ONE sanctioned way to alias a block (receiver-side payload

@@ -220,6 +220,17 @@ class MpmcRingQueue {
     return true;
   }
 
+  /// Non-blocking push that moves from `item` only on success — a full (or
+  /// closed) ring leaves it intact in the caller's hands, unlike the
+  /// by-value overload which consumes it either way. For producers that
+  /// must re-park the item on backpressure (serve-plane chunk admission).
+  bool try_push_inplace(T& item) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    if (!ring_.try_push(item)) return false;
+    wake_poppers();
+    return true;
+  }
+
   /// Blocks while the ring is empty. False iff closed *and* drained.
   bool pop(T& out) {
     if (ring_.try_pop(out)) {

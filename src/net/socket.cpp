@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -237,6 +238,82 @@ SocketStatus Socket::send_file(int file_fd, std::uint64_t offset,
     }
     if (errno == EPIPE) return SocketStatus::kClosed;
     return SocketStatus::kError;
+  }
+  return SocketStatus::kOk;
+}
+
+SocketStatus Socket::splice_to_file(int file_fd, std::uint64_t file_offset,
+                                    std::size_t size, int pipe_rd, int pipe_wr,
+                                    double timeout_s, bool* unsupported) {
+  *unsupported = false;
+  if (fd_ < 0) return SocketStatus::kClosed;
+  const auto deadline = deadline_from(timeout_s);
+  std::size_t done = 0;
+  while (done < size) {
+    // Socket → pipe. Cap each slice at a default pipe capacity; the kernel
+    // clamps to the actual free space, the drain below always empties it.
+    ssize_t moved = ::splice(fd_, nullptr, pipe_wr, nullptr,
+                             std::min<std::size_t>(size - done, 64 * 1024),
+                             SPLICE_F_MOVE);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (moved < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        const SocketStatus s = poll_until(fd_, POLLIN, deadline, &syscalls_);
+        if (s != SocketStatus::kOk) return s;
+        continue;
+      }
+      if (done == 0 && (errno == EINVAL || errno == ENOSYS)) {
+        *unsupported = true;  // nothing consumed: caller reverts to recv
+      }
+      return SocketStatus::kError;
+    }
+    if (moved == 0) {
+      // Peer closed mid-payload: bytes already spliced are on disk, but the
+      // frame is truncated — an error either way.
+      return SocketStatus::kError;
+    }
+    // Pipe → file, fully drained so the pipe is empty for the next slice.
+    std::size_t in_pipe = static_cast<std::size_t>(moved);
+    auto off = static_cast<off_t>(file_offset + done);
+    while (in_pipe > 0) {
+      const ssize_t out = ::splice(pipe_rd, nullptr, file_fd, &off, in_pipe,
+                                   SPLICE_F_MOVE);
+      syscalls_.fetch_add(1, std::memory_order_relaxed);
+      if (out > 0) {
+        in_pipe -= static_cast<std::size_t>(out);
+        continue;
+      }
+      if (out < 0 && errno == EINTR) continue;
+      // The sink refuses splice (e.g. an O_APPEND or non-seekable fd):
+      // finish this slice through userspace so the pipe never strands data.
+      std::byte scratch[16 * 1024];
+      while (in_pipe > 0) {
+        const ssize_t got =
+            ::read(pipe_rd, scratch,
+                   std::min(in_pipe, sizeof(scratch)));
+        syscalls_.fetch_add(1, std::memory_order_relaxed);
+        if (got <= 0) {
+          if (got < 0 && errno == EINTR) continue;
+          return SocketStatus::kError;
+        }
+        std::size_t written = 0;
+        while (written < static_cast<std::size_t>(got)) {
+          const ssize_t w = ::pwrite(file_fd, scratch + written,
+                                     static_cast<std::size_t>(got) - written,
+                                     off);
+          syscalls_.fetch_add(1, std::memory_order_relaxed);
+          if (w < 0) {
+            if (errno == EINTR) continue;
+            return SocketStatus::kError;
+          }
+          written += static_cast<std::size_t>(w);
+          off += w;
+        }
+        in_pipe -= static_cast<std::size_t>(got);
+      }
+    }
+    done += static_cast<std::size_t>(moved);
   }
   return SocketStatus::kOk;
 }

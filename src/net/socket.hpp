@@ -85,6 +85,18 @@ class Socket {
   SocketStatus send_file(int file_fd, std::uint64_t offset, std::size_t size,
                          double timeout_s);
 
+  /// splice(2) the next `size` inbound socket bytes into `file_fd` at
+  /// `file_offset` (pwrite semantics) through the caller's pipe — the
+  /// socket→file twin of send_file, payload never transits user space. On
+  /// kernels/filesystems that refuse the first socket→pipe splice before any
+  /// byte moved, sets *unsupported and returns kError so the caller can fall
+  /// back to recv with nothing consumed; once bytes are in the pipe, a
+  /// pipe→file refusal is completed internally via read+pwrite so no data is
+  /// ever stranded.
+  SocketStatus splice_to_file(int file_fd, std::uint64_t file_offset,
+                              std::size_t size, int pipe_rd, int pipe_wr,
+                              double timeout_s, bool* unsupported);
+
   /// Disable Nagle; harmless to call on non-TCP sockets.
   void set_no_delay();
 

@@ -1,7 +1,13 @@
 #include "net/stream_pool.hpp"
 
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -372,7 +378,20 @@ bool StreamAcceptor::start() {
   listener_ = std::move(*listener);
   port_ = listener_.port();
   started_ = true;
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  bool uring_accept = false;
+  if (config_.use_uring && UringRing::multishot_available()) {
+    // The multishot accept ring blocks in io_uring_enter, so stop() wakes it
+    // through an eventfd READ armed alongside the accept SQE.
+    stop_event_fd_ = ::eventfd(0, EFD_CLOEXEC);
+    uring_accept = stop_event_fd_ >= 0;
+  }
+  accept_thread_ = std::thread([this, uring_accept] {
+    if (uring_accept) {
+      accept_loop_uring();
+    } else {
+      accept_loop();
+    }
+  });
   return true;
 }
 
@@ -380,25 +399,90 @@ void StreamAcceptor::accept_loop() {
   while (!stopping_.load()) {
     auto socket = listener_.accept(/*timeout_s=*/0.2);
     if (!socket) continue;  // timeout or shutdown; loop re-checks stopping_
-    socket->configure(config_.socket);
-    auto shared = std::make_shared<Socket>(std::move(*socket));
-    streams_accepted_.fetch_add(1);
-    streams_open_.fetch_add(1);
-    std::lock_guard lock(streams_mutex_);
-    if (stopping_.load()) {
-      streams_open_.fetch_sub(1);
-      shared->shutdown_both();
-      return;
-    }
-    stream_sockets_.push_back(shared);
-    reader_threads_.emplace_back([this, shared = std::move(shared)] {
-      if (config_.lease_pool != nullptr) {
-        reader_loop_leased(shared);
-      } else {
-        reader_loop(shared);
-      }
-    });
+    handle_accepted(std::make_shared<Socket>(std::move(*socket)));
   }
+}
+
+void StreamAcceptor::accept_loop_uring() {
+  constexpr std::uint64_t kAcceptUd = 1;
+  constexpr std::uint64_t kStopUd = 2;
+  std::shared_ptr<UringRing> ring = UringRing::create(8);
+  if (!ring) {
+    accept_loop();
+    return;
+  }
+  {
+    std::lock_guard lock(streams_mutex_);
+    reader_rings_.push_back(ring);  // enters() visible to io_syscalls()
+  }
+  std::uint64_t stop_buf = 0;
+  bool accept_armed = false;
+  bool stop_armed = false;
+  std::vector<UringRing::Completion> cqes;
+  while (!stopping_.load()) {
+    if (!accept_armed) {
+      if (!ring->prep_accept_multishot(listener_.fd(), kAcceptUd)) break;
+      accept_armed = true;
+    }
+    if (!stop_armed) {
+      if (!ring->prep_read(stop_event_fd_, &stop_buf, sizeof(stop_buf), 0,
+                           kStopUd)) {
+        break;
+      }
+      stop_armed = true;
+    }
+    if (ring->submit_and_wait(1, cqes) <= 0) break;
+    for (const auto& cqe : cqes) {
+      if (cqe.user_data == kStopUd) return;
+      if ((cqe.flags & UringRing::kCqeFlagMore) == 0) accept_armed = false;
+      if (cqe.res >= 0) {
+        handle_accepted(std::make_shared<Socket>(cqe.res));
+      } else if (cqe.res == -EINVAL || cqe.res == -EOPNOTSUPP) {
+        // Kernel without multishot accept: nothing was consumed — the
+        // classic poll-accept loop takes over on the same listener.
+        accept_loop();
+        return;
+      }
+      // Transient failures (-ECONNABORTED, -EINTR, ...) just re-arm.
+    }
+  }
+  // Ring-level failure mid-run: the listener is untouched, so the classic
+  // loop can keep accepting until stop().
+  if (!stopping_.load()) accept_loop();
+}
+
+void StreamAcceptor::handle_accepted(std::shared_ptr<Socket> shared) {
+  shared->configure(config_.socket);
+  streams_accepted_.fetch_add(1);
+  streams_open_.fetch_add(1);
+  std::lock_guard lock(streams_mutex_);
+  if (stopping_.load()) {
+    streams_open_.fetch_sub(1);
+    shared->shutdown_both();
+    return;
+  }
+  stream_sockets_.push_back(shared);
+  reader_threads_.emplace_back([this, shared = std::move(shared)] {
+    if (config_.lease_pool != nullptr) {
+      // Splice needs to stop reading at frame boundaries, which a multishot
+      // recv (kernel picks how much lands per completion) cannot do — so a
+      // live splice seam keeps the stream on the single-shot leased reader.
+      if (config_.use_uring && UringRing::multishot_available() &&
+          !splice_enabled()) {
+        reader_loop_multishot(shared);
+      } else {
+        reader_loop_leased(shared);
+      }
+    } else {
+      reader_loop(shared);
+    }
+  });
+}
+
+bool StreamAcceptor::splice_enabled() const {
+  if (!config_.splice_sink) return false;
+  const char* value = std::getenv("AUTOMDT_DISABLE_SPLICE");
+  return value == nullptr || value[0] == '\0' || value[0] == '0';
 }
 
 void StreamAcceptor::reader_loop(std::shared_ptr<Socket> socket) {
@@ -516,6 +600,11 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
   std::size_t end = 0;
   WireChunk chunk;
   bool parked = false;
+  // Splice seam state: the pipe pair is created lazily on the first eligible
+  // frame; any setup failure or kernel refusal turns the seam off for this
+  // stream only (splice_ok) and the classic assemble-in-block path resumes.
+  bool splice_ok = splice_enabled();
+  int pipe_fds[2] = {-1, -1};
   if (cap < kFrameHeaderBytes) {  // pathological pool; nothing can ever parse
     frame_errors_.fetch_add(1);
     socket->shutdown_both();
@@ -583,6 +672,87 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
       continue;
     }
 
+    // 2a) Incomplete unchecked chunk with its wire header fully buffered:
+    // splice the rest of the payload socket→file when the engine resolves a
+    // sink fd — the receive twin of the sendfile send path. The payload
+    // bytes that already landed in the block go out via pwrite (same offset
+    // math the writer stage would use); everything still in flight moves
+    // kernel-to-kernel through the reader's pipe. Any refusal before a byte
+    // is consumed falls through to the classic path — the duplicate pwrite
+    // of the buffered prefix is byte-identical and therefore harmless.
+    if (pe == FrameError::kNone && splice_ok &&
+        hdr.type == FrameType::kChunk &&
+        (hdr.flags & kFrameFlagUnchecked) != 0) {
+      const bool traced = (hdr.flags & kFrameFlagTraced) != 0;
+      const std::size_t meta_bytes =
+          traced ? kWireChunkTracedHeaderBytes : kWireChunkHeaderBytes;
+      std::size_t payload_at = 0;
+      const std::byte* body = block.data() + begin + hdr.header_bytes;
+      const std::size_t body_have = end - begin - hdr.header_bytes;
+      if (body_have >= meta_bytes &&
+          decode_wire_chunk_meta(body, meta_bytes, traced, chunk,
+                                 payload_at)) {
+        const int sink_fd =
+            config_.splice_sink(chunk.file_id, chunk.offset, chunk.size);
+        if (sink_fd >= 0 && pipe_fds[0] < 0 &&
+            ::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+          pipe_fds[0] = pipe_fds[1] = -1;
+          splice_ok = false;
+        }
+        if (sink_fd >= 0 && splice_ok) {
+          const std::size_t total = hdr.length - payload_at;
+          const std::size_t buffered = body_have - payload_at;
+          // 1. Already-received payload bytes: pwrite from the block.
+          std::size_t put = 0;
+          bool sink_ok = true;
+          while (put < buffered) {
+            const ssize_t n =
+                ::pwrite(sink_fd, body + payload_at + put, buffered - put,
+                         static_cast<off_t>(chunk.offset + put));
+            splice_syscalls_.fetch_add(1);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) {
+              sink_ok = false;
+              break;
+            }
+            put += static_cast<std::size_t>(n);
+          }
+          if (!sink_ok) {
+            splice_ok = false;  // sink refused; classic path will surface it
+          } else {
+            bool unsupported = false;
+            SocketStatus ss = SocketStatus::kOk;
+            if (total > buffered) {
+              ss = socket->splice_to_file(sink_fd, chunk.offset + buffered,
+                                          total - buffered, pipe_fds[0],
+                                          pipe_fds[1], /*timeout_s=*/-1.0,
+                                          &unsupported);
+            }
+            if (ss == SocketStatus::kOk) {
+              chunk.session_id = hdr.session_id;
+              chunk.payload.clear();
+              chunk.persisted = true;
+              begin = end;  // every buffered byte belonged to this frame
+              chunks_received_.fetch_add(1);
+              splices_.fetch_add(1);
+              if (!on_chunk_(std::move(chunk))) goto done;
+              chunk = WireChunk{};
+              continue;
+            }
+            if (unsupported) {
+              splice_ok = false;  // nothing consumed; finish frame classically
+            } else {
+              // Bytes were consumed off the socket mid-frame: the stream
+              // cannot be resynchronized.
+              frame_errors_.fetch_add(1);
+              socket->shutdown_both();
+              goto done;
+            }
+          }
+        }
+      }
+    }
+
     // 2) Frame incomplete. Carved payload leases forbid rewinding a block,
     // so a frame that cannot finish in the tail moves its partial bytes to a
     // fresh block (the one counted copy a boundary-spanning frame pays).
@@ -593,6 +763,31 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
                                  ? hdr.header_bytes + hdr.length
                                  : kFrameHeaderBytes + kFrameSessionExtBytes;
     if (need > cap) {
+      // A splice-eligible frame can land with its wire-chunk meta still in
+      // flight (a byte-starved first recv): pull the missing meta bytes into
+      // the block tail and re-parse, so arrival timing cannot silently
+      // demote the frame to the copied heap path below. (If the tail cannot
+      // fit the meta — frame parsed near the block edge — the heap path is
+      // still correct, just counted as copies.)
+      if (pe == FrameError::kNone && splice_ok &&
+          hdr.type == FrameType::kChunk &&
+          (hdr.flags & kFrameFlagUnchecked) != 0) {
+        const std::size_t splice_need =
+            hdr.header_bytes + (((hdr.flags & kFrameFlagTraced) != 0)
+                                    ? kWireChunkTracedHeaderBytes
+                                    : kWireChunkHeaderBytes);
+        if (end - begin < splice_need && begin + splice_need <= cap) {
+          std::size_t got = 0;
+          if (recv_some(block.data() + end, cap - end, &got,
+                        block.registered_index()) != SocketStatus::kOk) {
+            frame_errors_.fetch_add(1);  // truncated mid-frame
+            socket->shutdown_both();
+            goto done;
+          }
+          end += got;
+          continue;
+        }
+      }
       // Frame larger than an arena block (foreign sender): assemble this one
       // in a one-shot heap buffer — the copied path — and keep streaming.
       const std::size_t partial = end - begin;
@@ -656,13 +851,301 @@ void StreamAcceptor::reader_loop_leased(std::shared_ptr<Socket> socket) {
     goto done;
   }
 done:
+  if (pipe_fds[0] >= 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+  }
   if (parked) streams_parked_.fetch_sub(1);
   streams_open_.fetch_sub(1);
   if (ring) uring_streams_.fetch_sub(1);
 }
 
+void StreamAcceptor::reader_loop_multishot(std::shared_ptr<Socket> socket) {
+  ArenaPool& pool = *config_.lease_pool;
+  const std::size_t cap = pool.block_bytes();
+  constexpr unsigned kGroupEntries = 8;  // pbuf slots == max live blocks
+  constexpr std::uint64_t kRecvUd = 1;
+
+  std::shared_ptr<UringRing> ring;
+  if (cap >= kFrameHeaderBytes + kFrameSessionExtBytes) {
+    if (auto created = UringRing::create(16)) {
+      if (created->setup_buf_ring(kGroupEntries, /*bgid=*/0)) {
+        ring = std::move(created);
+        std::lock_guard lock(streams_mutex_);
+        reader_rings_.push_back(ring);
+      }
+    }
+  }
+  if (!ring) {
+    reader_loop_leased(std::move(socket));
+    return;
+  }
+  uring_streams_.fetch_add(1);
+  multishot_streams_.fetch_add(1);
+
+  // Provided-buffer group: whole arena blocks, bid == slot index. A block is
+  // kernel-owned from provide_buffer until the completion naming its bid
+  // comes back; afterwards it may still be pinned by chunk leases carved out
+  // of it (ref_count > 1) and is only re-provided once those drop.
+  struct Slot {
+    BufferLease lease;
+    bool kernel_owned = false;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(kGroupEntries);
+  auto provide = [&](std::size_t bid) {
+    ring->provide_buffer(slots[bid].lease.data(), static_cast<unsigned>(cap),
+                         static_cast<unsigned short>(bid));
+    slots[bid].kernel_owned = true;
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    slots.push_back({pool.acquire(), false});
+    provide(i);
+  }
+  // Returned blocks whose leases all dropped go back to the kernel; while
+  // the consumer still pins everything the group grows, up to the ring size.
+  auto replenish = [&]() -> bool {
+    bool provided = false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].kernel_owned && slots[i].lease.ref_count() == 1) {
+        provide(i);
+        provided = true;
+      }
+    }
+    if (!provided && slots.size() < kGroupEntries) {
+      slots.push_back({pool.acquire(), false});
+      provide(slots.size() - 1);
+      provided = true;
+    }
+    return provided;
+  };
+
+  std::vector<std::byte> carry;  // partial frame spanning completions
+  std::vector<UringRing::Completion> cqes;
+  WireChunk chunk;
+  bool parked = false;
+  bool armed = false;
+  bool first_completion = true;
+  bool failed = false;    // frame/ring error: count + shutdown
+  bool finished = false;  // orderly EOF, downstream closed, or stop()
+
+  auto handle_control = [&](FrameType type) {
+    if (type == FrameType::kStreamPark) {
+      if (!parked) {
+        parked = true;
+        streams_parked_.fetch_add(1);
+      }
+    } else if (type == FrameType::kStreamResume) {
+      if (parked) {
+        parked = false;
+        streams_parked_.fetch_sub(1);
+      }
+    }
+  };
+
+  // One fully-reassembled frame out of the carry buffer (the copied path).
+  // Returns false to stop the stream.
+  auto dispatch_carry = [&]() -> bool {
+    Frame frame;
+    if (decode_frame(carry.data(), carry.size(), frame,
+                     config_.max_payload_bytes)
+            .error != FrameError::kNone) {
+      failed = true;
+      return false;
+    }
+    if (frame.type == FrameType::kChunk) {
+      if (!decode_wire_chunk(frame.payload.data(), frame.payload.size(),
+                             chunk, (frame.flags & kFrameFlagTraced) != 0)) {
+        failed = true;
+        return false;
+      }
+      chunk.session_id = frame.session_id;
+      chunks_received_.fetch_add(1);
+      payload_copies_.fetch_add(2);  // carry -> Frame -> WireChunk
+      if (!on_chunk_(std::move(chunk))) {
+        finished = true;  // downstream closed
+        return false;
+      }
+      chunk = WireChunk{};
+    } else {
+      handle_control(frame.type);
+    }
+    carry.clear();
+    return true;
+  };
+
+  // Feed carry from data[pos..len) until its frame completes (dispatched) or
+  // the buffer is exhausted. Returns false to stop the stream.
+  auto complete_carry = [&](const std::byte* data, std::size_t len,
+                            std::size_t& pos) -> bool {
+    while (true) {
+      FrameHeaderView hdr;
+      const FrameError ce = parse_frame_header(carry.data(), carry.size(),
+                                               hdr, config_.max_payload_bytes);
+      std::size_t need = 0;
+      if (ce == FrameError::kNeedMoreData) {
+        need = kFrameHeaderBytes + kFrameSessionExtBytes;
+      } else if (ce == FrameError::kNone) {
+        need = hdr.header_bytes + hdr.length;
+        if (carry.size() >= need) return dispatch_carry();
+      } else {
+        failed = true;
+        return false;
+      }
+      if (pos >= len) return true;  // buffer exhausted; carry keeps growing
+      const std::size_t take = std::min(need - carry.size(), len - pos);
+      carry.insert(carry.end(), data + pos, data + pos + take);
+      pos += take;
+    }
+  };
+
+  // Parse one filled provided buffer. Complete frames become zero-copy
+  // subspan leases of the slot's block; a partial tail moves into carry.
+  // Returns false to stop the stream.
+  auto process_buffer = [&](std::size_t bid, std::size_t len) -> bool {
+    const std::byte* data = slots[bid].lease.data();
+    std::size_t pos = 0;
+    if (!carry.empty() && !complete_carry(data, len, pos)) return false;
+    while (pos < len) {
+      FrameHeaderView hdr;
+      const FrameError pe = parse_frame_header(data + pos, len - pos, hdr,
+                                               config_.max_payload_bytes);
+      if (pe != FrameError::kNone && pe != FrameError::kNeedMoreData) {
+        failed = true;
+        return false;
+      }
+      if (pe == FrameError::kNeedMoreData ||
+          len - pos < hdr.header_bytes + hdr.length) {
+        carry.assign(data + pos, data + len);
+        payload_copies_.fetch_add(1);  // completion-boundary-spanning frame
+        return true;
+      }
+      const std::byte* payload = data + pos + hdr.header_bytes;
+      if ((hdr.flags & kFrameFlagUnchecked) == 0 &&
+          fnv1a(payload, hdr.length, hdr.checksum_seed) != hdr.checksum) {
+        failed = true;
+        return false;
+      }
+      if (hdr.type == FrameType::kChunk) {
+        std::size_t payload_at = 0;
+        if (!decode_wire_chunk_meta(payload, hdr.length,
+                                    (hdr.flags & kFrameFlagTraced) != 0,
+                                    chunk, payload_at)) {
+          failed = true;
+          return false;
+        }
+        chunk.session_id = hdr.session_id;
+        chunk.payload.clear();
+        chunk.lease = slots[bid].lease.subspan(
+            pos + hdr.header_bytes + payload_at, hdr.length - payload_at);
+        chunks_received_.fetch_add(1);
+        if (!on_chunk_(std::move(chunk))) {
+          finished = true;
+          return false;
+        }
+        chunk = WireChunk{};
+      } else {
+        handle_control(hdr.type);
+      }
+      pos += hdr.header_bytes + hdr.length;
+    }
+    return true;
+  };
+
+  while (!failed && !finished && !stopping_.load()) {
+    if (!armed) {
+      if (!ring->prep_recv_multishot(socket->fd(), kRecvUd)) {
+        failed = true;
+        break;
+      }
+      armed = true;
+    }
+    if (ring->submit_and_wait(1, cqes) <= 0 || cqes.empty()) {
+      failed = true;
+      break;
+    }
+    for (const auto& cqe : cqes) {
+      if ((cqe.flags & UringRing::kCqeFlagMore) == 0) armed = false;
+      if (failed || finished) continue;  // drain the rest of the batch
+      if (cqe.res == -ENOBUFS) {
+        // The group was dry at the instant the kernel reached for a buffer,
+        // and this CQE also killed the multishot. Any slot re-provided while
+        // draining this batch is still sitting unconsumed in the ring (dead
+        // recvs don't take buffers), so re-arming over it suffices; only if
+        // truly nothing is in flight do we wait for chunk consumers to drop
+        // their leases and free a block.
+        const auto ring_stocked = [&] {
+          for (const auto& slot : slots)
+            if (slot.kernel_owned) return true;
+          return false;
+        };
+        while (!replenish() && !ring_stocked()) {
+          if (stopping_.load()) {
+            finished = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        continue;
+      }
+      if (cqe.res == -EINTR || cqe.res == -EAGAIN) continue;  // just re-arm
+      if (cqe.res == 0) {
+        if (!carry.empty()) failed = true;  // truncated mid-frame
+        finished = true;
+        continue;
+      }
+      if (cqe.res < 0) {
+        if (first_completion &&
+            (cqe.res == -EINVAL || cqe.res == -EOPNOTSUPP)) {
+          // Kernel without multishot recv: nothing was consumed. Retire the
+          // provided blocks (they must outlive the ring kept in
+          // reader_rings_) and fall back to the single-shot leased reader.
+          uring_streams_.fetch_sub(1);
+          multishot_streams_.fetch_sub(1);
+          {
+            std::lock_guard lock(streams_mutex_);
+            for (auto& slot : slots)
+              retired_blocks_.push_back(std::move(slot.lease));
+          }
+          reader_loop_leased(std::move(socket));
+          return;
+        }
+        failed = true;  // -ECONNRESET and friends
+        continue;
+      }
+      first_completion = false;
+      std::size_t bid = slots.size();
+      if ((cqe.flags & UringRing::kCqeFlagBuffer) != 0)
+        bid = cqe.flags >> UringRing::kCqeBufferShift;
+      if (bid >= slots.size()) {
+        failed = true;  // buffer id outside our group: ABI violation
+        continue;
+      }
+      slots[bid].kernel_owned = false;
+      if (!process_buffer(bid, static_cast<std::size_t>(cqe.res))) continue;
+      // Hand fully-released blocks straight back to the kernel.
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].kernel_owned && slots[i].lease.ref_count() == 1)
+          provide(i);
+      }
+    }
+  }
+  if (failed) {
+    frame_errors_.fetch_add(1);
+    socket->shutdown_both();
+  }
+  if (parked) streams_parked_.fetch_sub(1);
+  streams_open_.fetch_sub(1);
+  uring_streams_.fetch_sub(1);
+  multishot_streams_.fetch_sub(1);
+  // Blocks that ever sat in the kernel's provided-buffer group must outlive
+  // the armed multishot SQE; park them on the acceptor until destruction.
+  std::lock_guard lock(streams_mutex_);
+  for (auto& slot : slots) retired_blocks_.push_back(std::move(slot.lease));
+}
+
 std::uint64_t StreamAcceptor::io_syscalls() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = splice_syscalls_.load();
   std::lock_guard lock(streams_mutex_);
   for (const auto& socket : stream_sockets_) total += socket->syscalls();
   for (const auto& ring : reader_rings_) total += ring->enters();
@@ -672,6 +1155,12 @@ std::uint64_t StreamAcceptor::io_syscalls() const {
 void StreamAcceptor::stop() {
   if (!started_ || stopping_.exchange(true)) return;
   listener_.shutdown();
+  if (stop_event_fd_ >= 0) {
+    // Wake the multishot accept ring out of io_uring_enter.
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(stop_event_fd_, &one, sizeof(one));
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     std::lock_guard lock(streams_mutex_);
@@ -680,6 +1169,10 @@ void StreamAcceptor::stop() {
   for (auto& thread : reader_threads_)
     if (thread.joinable()) thread.join();
   listener_.close();
+  if (stop_event_fd_ >= 0) {
+    ::close(stop_event_fd_);
+    stop_event_fd_ = -1;
+  }
 }
 
 }  // namespace automdt::net

@@ -67,6 +67,10 @@ struct WireChunk {
   // vector stays empty — consumers go through payload_data()/payload_size()
   // so both representations look alike.
   BufferLease lease;
+  // The receiver already spliced the payload to its file sink: `size` bytes
+  // sit on disk at `offset`, payload/lease stay empty, and the downstream
+  // writer must not write (payload_size() == 0 naturally no-ops there).
+  bool persisted = false;
 
   const std::byte* payload_data() const {
     return lease.valid() ? lease.data() : payload.data();
@@ -210,7 +214,20 @@ struct StreamAcceptorConfig {
   ArenaPool* lease_pool = nullptr;
   /// Receive through io_uring READ SQEs (requires lease_pool; registered
   /// buffers when the lease block is arena-backed). Falls back silently.
+  /// On kernels with the multishot plane the readers upgrade further to
+  /// multishot RECV over provided-buffer groups (one armed SQE, one
+  /// completion per filled arena block) and the acceptor itself runs on a
+  /// multishot ACCEPT ring.
   bool use_uring = false;
+  /// Receive-side splice seam: maps (file_id, offset, size) of an inbound
+  /// kFrameFlagUnchecked chunk to the sink fd its payload should land in, or
+  /// -1 to decline. When set, readers splice(2) such payloads socket→file
+  /// and deliver the chunk with `persisted` set — the receive twin of the
+  /// sendfile path. Null (or AUTOMDT_DISABLE_SPLICE) keeps payloads in
+  /// userspace. Called from reader threads; must be thread-safe.
+  std::function<int(std::uint64_t file_id, std::uint64_t offset,
+                    std::uint32_t size)>
+      splice_sink;
 };
 
 class StreamAcceptor {
@@ -251,22 +268,47 @@ class StreamAcceptor {
   std::uint64_t io_syscalls() const;
   /// Readers currently receiving through io_uring (0 after fallback).
   int uring_streams() const { return uring_streams_.load(); }
+  /// Readers currently on the multishot RECV plane (0 after fallback).
+  int multishot_streams() const { return multishot_streams_.load(); }
+  /// Chunk payloads spliced socket→file (persisted deliveries).
+  std::uint64_t splices() const { return splices_.load(); }
 
  private:
   void accept_loop();
+  /// Multishot ACCEPT ring variant; falls back to accept_loop on any ring
+  /// failure or a kernel that rejects the multishot arm (nothing consumed).
+  void accept_loop_uring();
+  /// Spawn the right reader for one accepted connection.
+  void handle_accepted(std::shared_ptr<Socket> socket);
   void reader_loop(std::shared_ptr<Socket> socket);
   void reader_loop_leased(std::shared_ptr<Socket> socket);
+  /// Provided-buffer multishot RECV variant of reader_loop_leased. Frames
+  /// wholly inside one provided block become subspan leases (zero-copy);
+  /// frames straddling completions are reassembled through a carry buffer
+  /// (counted copies). Falls back to reader_loop_leased before the first
+  /// byte lands when the kernel rejects the multishot arm.
+  void reader_loop_multishot(std::shared_ptr<Socket> socket);
+  /// True when the splice seam is live for this run (resolver set and not
+  /// disabled by AUTOMDT_DISABLE_SPLICE).
+  bool splice_enabled() const;
 
   StreamAcceptorConfig config_;
   ChunkHandler on_chunk_;
   Listener listener_;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
+  int stop_event_fd_ = -1;  // wakes the multishot accept ring on stop()
 
   mutable std::mutex streams_mutex_;
   std::vector<std::shared_ptr<Socket>> stream_sockets_;
   std::vector<std::shared_ptr<UringRing>> reader_rings_;
   std::vector<std::thread> reader_threads_;
+  // Arena blocks retired by finished multishot readers. A block that was ever
+  // handed to a kernel provided-buffer ring stays pinned until the acceptor
+  // is destroyed (its ring, kept alive in reader_rings_, may still hold an
+  // armed multishot SQE) — this removes any write-after-recycle window at
+  // stream teardown at the cost of a few blocks per finished stream.
+  std::vector<BufferLease> retired_blocks_;
 
   std::atomic<int> streams_open_{0};
   std::atomic<int> streams_parked_{0};
@@ -275,6 +317,10 @@ class StreamAcceptor {
   std::atomic<std::uint64_t> frame_errors_{0};
   std::atomic<std::uint64_t> payload_copies_{0};
   std::atomic<int> uring_streams_{0};
+  std::atomic<int> multishot_streams_{0};
+  std::atomic<std::uint64_t> splices_{0};
+  std::atomic<std::uint64_t> splice_syscalls_{0};  // pwrites finishing a
+                                                   // partially-buffered splice
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 };

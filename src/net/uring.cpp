@@ -10,6 +10,7 @@
 
 #include <linux/io_uring.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -50,11 +51,75 @@ bool disabled_by_env() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+bool multishot_disabled_by_env() {
+  const char* v = std::getenv("AUTOMDT_DISABLE_URING_MULTISHOT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// The installed <linux/io_uring.h> may predate the multishot ABI, so every
+// constant the receive plane needs is spelled out here (values are kernel
+// ABI, frozen forever). Opcodes are plain integers rather than enum members
+// for the same reason.
+constexpr std::uint8_t kOpAccept = 13;   // IORING_OP_ACCEPT
+constexpr std::uint8_t kOpRecv = 27;     // IORING_OP_RECV
+constexpr std::uint16_t kAcceptMultishot = 1u << 0;  // IORING_ACCEPT_MULTISHOT
+constexpr std::uint16_t kRecvMultishot = 1u << 1;    // IORING_RECV_MULTISHOT
+constexpr std::uint8_t kSqeBufferSelect = 1u << 5;   // IOSQE_BUFFER_SELECT
+constexpr unsigned kRegisterPbufRing = 22;    // IORING_REGISTER_PBUF_RING
+constexpr unsigned kUnregisterPbufRing = 23;  // IORING_UNREGISTER_PBUF_RING
+
+// struct io_uring_buf / io_uring_buf_reg mirrors. The tail the kernel
+// consumes from lives in entry 0's resv slot (io_uring_buf_ring ABI).
+struct PbufRingEntry {
+  std::uint64_t addr;
+  std::uint32_t len;
+  std::uint16_t bid;
+  std::uint16_t resv;
+};
+static_assert(sizeof(PbufRingEntry) == 16);
+
+struct PbufRingReg {
+  std::uint64_t ring_addr;
+  std::uint32_t ring_entries;
+  std::uint16_t bgid;
+  std::uint16_t flags;
+  std::uint64_t resv[3];
+};
+
 }  // namespace
 
 bool UringRing::available() {
   static const bool kernel_ok = kernel_supports_uring();
   return kernel_ok && !disabled_by_env();
+}
+
+bool UringRing::multishot_available() {
+  // Probe once: a kernel that accepts IORING_REGISTER_PBUF_RING (5.19+) is
+  // close enough to the multishot plane (6.0+) that the remaining gap is
+  // covered by the callers' first-completion -EINVAL fallback.
+  static const bool kernel_ok = [] {
+    if (!kernel_supports_uring()) return false;
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const int fd = sys_io_uring_setup(4, &params);
+    if (fd < 0) return false;
+    void* mem = ::mmap(nullptr, 8 * sizeof(PbufRingEntry),
+                       PROT_READ | PROT_WRITE, MAP_ANONYMOUS | MAP_PRIVATE,
+                       -1, 0);
+    bool ok = false;
+    if (mem != MAP_FAILED) {
+      PbufRingReg reg;
+      std::memset(&reg, 0, sizeof(reg));
+      reg.ring_addr = reinterpret_cast<std::uint64_t>(mem);
+      reg.ring_entries = 8;
+      reg.bgid = 0;
+      ok = sys_io_uring_register(fd, kRegisterPbufRing, &reg, 1) == 0;
+      ::munmap(mem, 8 * sizeof(PbufRingEntry));
+    }
+    ::close(fd);
+    return ok;
+  }();
+  return kernel_ok && !disabled_by_env() && !multishot_disabled_by_env();
 }
 
 std::unique_ptr<UringRing> UringRing::create(unsigned entries) {
@@ -116,11 +181,80 @@ std::unique_ptr<UringRing> UringRing::create(unsigned entries) {
 }
 
 UringRing::~UringRing() {
+  if (buf_ring_ != nullptr && ring_fd_ >= 0) {
+    PbufRingReg reg;
+    std::memset(&reg, 0, sizeof(reg));
+    reg.bgid = buf_ring_bgid_;
+    sys_io_uring_register(ring_fd_, kUnregisterPbufRing, &reg, 1);
+  }
   if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
   if (cq_ring_ != nullptr && cq_ring_ != sq_ring_)
     ::munmap(cq_ring_, cq_ring_bytes_);
   if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
   if (ring_fd_ >= 0) ::close(ring_fd_);
+  if (buf_ring_ != nullptr) ::munmap(buf_ring_, buf_ring_bytes_);
+}
+
+bool UringRing::setup_buf_ring(unsigned entries, unsigned short bgid) {
+  if (ring_fd_ < 0 || buf_ring_ != nullptr || entries == 0 ||
+      (entries & (entries - 1)) != 0) {
+    return false;
+  }
+  const std::size_t bytes = entries * sizeof(PbufRingEntry);
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  std::memset(mem, 0, bytes);
+  PbufRingReg reg;
+  std::memset(&reg, 0, sizeof(reg));
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(mem);
+  reg.ring_entries = entries;
+  reg.bgid = bgid;
+  if (sys_io_uring_register(ring_fd_, kRegisterPbufRing, &reg, 1) != 0) {
+    ::munmap(mem, bytes);
+    return false;
+  }
+  buf_ring_ = mem;
+  buf_ring_bytes_ = bytes;
+  buf_ring_entries_ = entries;
+  buf_ring_tail_local_ = 0;
+  buf_ring_bgid_ = bgid;
+  return true;
+}
+
+void UringRing::provide_buffer(void* addr, unsigned len, unsigned short bid) {
+  if (buf_ring_ == nullptr) return;
+  auto* ring = static_cast<PbufRingEntry*>(buf_ring_);
+  PbufRingEntry& e = ring[buf_ring_tail_local_ & (buf_ring_entries_ - 1)];
+  e.addr = reinterpret_cast<std::uint64_t>(addr);
+  e.len = len;
+  e.bid = bid;
+  // Entry 0's resv slot doubles as the ring tail (kernel ABI) — never write
+  // e.resv directly, publish through the release store below only.
+  ++buf_ring_tail_local_;
+  __atomic_store_n(&ring[0].resv,
+                   static_cast<std::uint16_t>(buf_ring_tail_local_),
+                   __ATOMIC_RELEASE);
+}
+
+bool UringRing::prep_recv_multishot(int fd, std::uint64_t user_data) {
+  if (buf_ring_ == nullptr) return false;
+  auto* sqe = static_cast<io_uring_sqe*>(
+      prep(fd, kOpRecv, nullptr, 0, 0, user_data));
+  if (sqe == nullptr) return false;
+  sqe->ioprio = kRecvMultishot;
+  sqe->flags |= kSqeBufferSelect;
+  sqe->buf_index = buf_ring_bgid_;  // union with buf_group
+  return true;
+}
+
+bool UringRing::prep_accept_multishot(int fd, std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(
+      prep(fd, kOpAccept, nullptr, 0, 0, user_data));
+  if (sqe == nullptr) return false;
+  sqe->ioprio = kAcceptMultishot;
+  sqe->accept_flags = SOCK_CLOEXEC;
+  return true;
 }
 
 bool UringRing::register_buffers(const iovec* iovecs, unsigned count) {
@@ -198,7 +332,7 @@ void UringRing::reap(std::vector<Completion>& out) {
     while (head != tail) {
       const auto* cqe =
           static_cast<const io_uring_cqe*>(cqes_) + (head & mask);
-      out.push_back({cqe->user_data, cqe->res});
+      out.push_back({cqe->user_data, cqe->res, cqe->flags});
       ++head;
     }
   }
@@ -237,9 +371,14 @@ int UringRing::submit_and_wait(unsigned wait_n, std::vector<Completion>& out) {
 namespace automdt::net {
 
 bool UringRing::available() { return false; }
+bool UringRing::multishot_available() { return false; }
 std::unique_ptr<UringRing> UringRing::create(unsigned) { return nullptr; }
 UringRing::~UringRing() = default;
 bool UringRing::register_buffers(const iovec*, unsigned) { return false; }
+bool UringRing::setup_buf_ring(unsigned, unsigned short) { return false; }
+void UringRing::provide_buffer(void*, unsigned, unsigned short) {}
+bool UringRing::prep_recv_multishot(int, std::uint64_t) { return false; }
+bool UringRing::prep_accept_multishot(int, std::uint64_t) { return false; }
 bool UringRing::prep_read(int, void*, unsigned, std::uint64_t,
                           std::uint64_t) {
   return false;

@@ -38,12 +38,25 @@ class UringRing {
  public:
   struct Completion {
     std::uint64_t user_data = 0;
-    std::int32_t res = 0;  // bytes transferred, or -errno
+    std::int32_t res = 0;       // bytes transferred, or -errno
+    std::uint32_t flags = 0;    // CQE flags (buffer id, more-completions bit)
   };
+
+  // CQE flag bits mirrored from the kernel ABI, so callers don't need a
+  // recent <linux/io_uring.h> to decode multishot completions.
+  static constexpr std::uint32_t kCqeFlagBuffer = 1u << 0;  // flags>>16 = bid
+  static constexpr std::uint32_t kCqeFlagMore = 1u << 1;    // SQE still armed
+  static constexpr unsigned kCqeBufferShift = 16;
 
   /// Can this process use io_uring right now? Kernel probe cached once;
   /// AUTOMDT_DISABLE_URING=<non-zero> re-checked per call forces false.
   static bool available();
+
+  /// Can this kernel additionally do the multishot receive plane (provided-
+  /// buffer rings + multishot RECV/ACCEPT)? Implies available().
+  /// AUTOMDT_DISABLE_URING_MULTISHOT=<non-zero> re-checked per call forces
+  /// false so tests/CI can exercise the single-shot fallback on any kernel.
+  static bool multishot_available();
 
   /// A ring with at least `entries` SQ slots, or null on any setup failure
   /// (callers fall back to the syscall path — never an error).
@@ -73,6 +86,29 @@ class UringRing {
   bool prep_writev(int fd, const iovec* iovecs, unsigned count,
                    std::uint64_t user_data);
 
+  // --- Multishot receive plane -------------------------------------------
+  // One provided-buffer ring per UringRing (group id `bgid`): the owner
+  // thread hands kernel-writable blocks to the ring with provide_buffer and
+  // a single multishot RECV SQE then produces one completion per filled
+  // buffer until the group runs dry (-ENOBUFS) or the kernel drops the
+  // kCqeFlagMore bit, at which point the caller re-arms.
+
+  /// Allocate + register a provided-buffer ring with `entries` slots (power
+  /// of two). False when the kernel lacks IORING_REGISTER_PBUF_RING.
+  bool setup_buf_ring(unsigned entries, unsigned short bgid);
+  bool buf_ring_ready() const { return buf_ring_ != nullptr; }
+
+  /// Hand one buffer to the kernel under id `bid`. ids come back to the
+  /// caller via Completion::flags (kCqeFlagBuffer, flags >> kCqeBufferShift).
+  void provide_buffer(void* addr, unsigned len, unsigned short bid);
+
+  /// Arm a multishot RECV on `fd` drawing from the provided-buffer ring.
+  bool prep_recv_multishot(int fd, std::uint64_t user_data);
+
+  /// Arm a multishot ACCEPT on listening `fd`: one SQE yields one completion
+  /// (res = accepted fd) per inbound connection.
+  bool prep_accept_multishot(int fd, std::uint64_t user_data);
+
   /// Submit every prepped SQE and block until at least `wait_n` completions
   /// are reaped into `out` (cleared first). One io_uring_enter in the common
   /// case. Returns completions reaped, or -1 on a ring-level failure (the
@@ -98,6 +134,15 @@ class UringRing {
   unsigned sq_tail_local_ = 0;     // our tail shadow, published on submit
   bool buffers_registered_ = false;
   std::atomic<std::uint64_t> enters_{0};
+
+  // Provided-buffer ring (multishot receive). The entry array is a plain
+  // anonymous mmap shared with the kernel; its tail lives inside entry 0
+  // (kernel ABI) and is published with a release store by the owner thread.
+  void* buf_ring_ = nullptr;
+  std::size_t buf_ring_bytes_ = 0;
+  unsigned buf_ring_entries_ = 0;
+  unsigned buf_ring_tail_local_ = 0;
+  unsigned short buf_ring_bgid_ = 0;
 
   // mmap regions (raw because their layout comes from io_uring_params).
   void* sq_ring_ = nullptr;

@@ -14,6 +14,7 @@ const char* to_string(RejectReason reason) {
     case RejectReason::kAtCapacity: return "at-capacity";
     case RejectReason::kTenantSessions: return "tenant-session-quota";
     case RejectReason::kBadRequest: return "bad-request";
+    case RejectReason::kQuotaTooSmall: return "quota-too-small";
   }
   return "unknown";
 }

@@ -59,6 +59,10 @@ enum class RejectReason : std::uint32_t {
   kAtCapacity = 1,      // registry full (--max-sessions)
   kTenantSessions = 2,  // tenant's session-count quota exhausted
   kBadRequest = 3,      // malformed open payload
+  /// The advertised chunk_bytes can never pass the tenant's admission gates
+  /// (larger than the rate bucket's burst or the buffer quota): rejected at
+  /// open instead of wedging the session on its first chunk forever.
+  kQuotaTooSmall = 4,
 };
 
 const char* to_string(RejectReason reason);

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 #include <variant>
 
 #include "common/checksum.hpp"
@@ -58,7 +59,9 @@ SessionServer::SessionServer(SessionServerConfig config)
       chunks_ok_(*metrics_.counter("serve.chunks_ok")),
       verify_failures_(*metrics_.counter("serve.verify_failures")),
       rejected_total_(*metrics_.counter("serve.sessions_rejected")),
-      legacy_sessions_(*metrics_.counter("serve.legacy_sessions")) {
+      legacy_sessions_(*metrics_.counter("serve.legacy_sessions")),
+      conns_routed_(*metrics_.counter("serve.conns_routed")) {
+  config_.event_loops = std::clamp(config_.event_loops, 1, 64);
   if (config_.arena_blocks > 0)
     arena_ = std::make_unique<ArenaPool>(config_.arena_block_bytes,
                                          config_.arena_blocks);
@@ -70,6 +73,9 @@ SessionServer::SessionServer(SessionServerConfig config)
   });
   metrics_.register_callback("serve.worker_threads", [this] {
     return static_cast<double>(config_.worker_threads);
+  });
+  metrics_.register_callback("serve.event_loops", [this] {
+    return static_cast<double>(config_.event_loops);
   });
   metrics_.register_callback("serve.queue_depth", [this] {
     return static_cast<double>(work_ring_.size());
@@ -97,25 +103,43 @@ bool SessionServer::start() {
   if (!listener_) return false;
   port_ = listener_->port();
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    epoll_fd_ = wake_fd_ = -1;
+  auto teardown = [this] {
+    for (auto& shard : shards_) {
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+      if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+    }
+    shards_.clear();
     listener_->close();
     listener_.reset();
-    return false;
+  };
+  shards_.reserve(static_cast<std::size_t>(config_.event_loops));
+  for (int i = 0; i < config_.event_loops; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = static_cast<std::size_t>(i);
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (shard->epoll_fd < 0 || shard->wake_fd < 0) {
+      shards_.push_back(std::move(shard));
+      teardown();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = shard->wake_fd;
+    ::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->wake_fd, &ev);
+    shards_.push_back(std::move(shard));
   }
+  // Shard 0 alone owns the listener; routing fans connections out from it.
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listener_->fd();
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_->fd(), &ev);
-  ev.data.fd = wake_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ::epoll_ctl(shards_[0]->epoll_fd, EPOLL_CTL_ADD, listener_->fd(), &ev);
 
   running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { event_loop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { event_loop(*s); });
+  }
   workers_.reserve(static_cast<std::size_t>(config_.worker_threads));
   for (int i = 0; i < config_.worker_threads; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -124,21 +148,24 @@ bool SessionServer::start() {
 
 void SessionServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& shard : shards_) wake_shard(*shard);
+  for (auto& shard : shards_)
+    if (shard->thread.joinable()) shard->thread.join();
   work_ring_.close();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // The event loop has exited: its state is now safe to tear down here.
-  conns_.clear();
-  deferred_.clear();
-  draining_.clear();
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  epoll_fd_ = wake_fd_ = -1;
+  // Every loop has exited: shard state is now safe to tear down here.
+  for (auto& shard : shards_) {
+    shard->conns.clear();
+    shard->deferred.clear();
+    shard->draining.clear();
+    shard->inbox.clear();  // routed conns nobody adopted before stop
+    if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+    if (shard->wake_fd >= 0) ::close(shard->wake_fd);
+  }
+  shards_.clear();
   if (listener_) {
     listener_->close();
     listener_.reset();
@@ -203,33 +230,34 @@ std::string SessionServer::stall_report() const {
 // ---------------------------------------------------------------------------
 // Event loop.
 
-void SessionServer::event_loop() {
+void SessionServer::event_loop(Shard& shard) {
   epoll_event events[64];
   while (running_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, kEpollTickMs);
+    const int n = ::epoll_wait(shard.epoll_fd, events, 64, kEpollTickMs);
     if (!running_.load(std::memory_order_acquire)) break;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      if (fd == shard.wake_fd) {
         std::uint64_t drain = 0;
-        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        while (::read(shard.wake_fd, &drain, sizeof(drain)) > 0) {
         }
-      } else if (listener_ && fd == listener_->fd()) {
-        accept_ready();
+      } else if (shard.index == 0 && listener_ && fd == listener_->fd()) {
+        accept_ready(shard);
       } else {
-        auto it = conns_.find(fd);
-        if (it != conns_.end()) conn_readable(*it->second);
+        auto it = shard.conns.find(fd);
+        if (it != shard.conns.end()) conn_readable(shard, *it->second);
       }
     }
-    retry_deferred();
-    sweep_draining();
+    adopt_routed(shard);
+    retry_deferred(shard);
+    sweep_draining(shard);
   }
-  // Connections die with conns_ in stop(); sessions left draining are
+  // Connections die with shard.conns in stop(); sessions left draining are
   // abandoned — their in-flight work finishes in the pool and the final
   // counters stay queryable through the registry.
 }
 
-void SessionServer::accept_ready() {
+void SessionServer::accept_ready(Shard& shard) {
   // The listener fd polled readable, so this accept returns immediately.
   std::optional<net::Socket> accepted = listener_->accept(0.1);
   if (!accepted) return;
@@ -241,12 +269,51 @@ void SessionServer::accept_ready() {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return;
-  conns_.emplace(fd, std::move(conn));
+  if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) return;
+  shard.conns.emplace(fd, std::move(conn));
   connections_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SessionServer::conn_readable(Conn& conn) {
+void SessionServer::adopt_routed(Shard& shard) {
+  std::vector<std::unique_ptr<Conn>> moved;
+  {
+    std::lock_guard lock(shard.inbox_mutex);
+    moved.swap(shard.inbox);
+  }
+  for (std::unique_ptr<Conn>& conn : moved) {
+    const int fd = conn->socket.fd();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // conn dies here; it owned no sessions yet
+    }
+    auto [it, inserted] = shard.conns.emplace(fd, std::move(conn));
+    // The frame that triggered routing is still buffered: process it now.
+    if (inserted) process_rbuf(shard, *it->second);
+  }
+}
+
+std::size_t SessionServer::route_target(const net::Frame& frame) const {
+  // A connection is pinned by the tenant its FIRST frame names: an explicit
+  // kSessionOpen routes by that tenant, anything else (legacy flagless
+  // traffic, control chatter) lands with the "default" tenant's shard. One
+  // tenant's connections therefore always share a loop, which keeps
+  // per-tenant frame ordering identical to the single-loop plane.
+  std::string_view tenant = "default";
+  SessionOpenRequest open;
+  if (frame.type == net::FrameType::kSessionOpen &&
+      decode_session_open(frame.payload.data(), frame.payload.size(), open) &&
+      !open.tenant.empty()) {
+    tenant = open.tenant;
+  }
+  return static_cast<std::size_t>(
+             fnv1a(tenant.data(), tenant.size())) %
+         shards_.size();
+}
+
+void SessionServer::conn_readable(Shard& shard, Conn& conn) {
   if (conn.pending.has_value()) return;  // paused; the kernel buffers for us
   if (conn.rbuf.size() < conn.rend + kRecvChunkBytes)
     conn.rbuf.resize(conn.rend + kRecvChunkBytes);
@@ -256,14 +323,14 @@ void SessionServer::conn_readable(Conn& conn) {
       &received);
   if (status == net::SocketStatus::kTimeout) return;  // spurious readiness
   if (status != net::SocketStatus::kOk || received == 0) {
-    close_conn(conn.socket.fd());
+    close_conn(shard, conn.socket.fd());
     return;
   }
   conn.rend += received;
-  process_rbuf(conn);
+  process_rbuf(shard, conn);
 }
 
-void SessionServer::process_rbuf(Conn& conn) {
+void SessionServer::process_rbuf(Shard& shard, Conn& conn) {
   net::Frame frame;
   while (!conn.pending.has_value() && !conn.closing) {
     const net::DecodeResult r =
@@ -277,11 +344,34 @@ void SessionServer::process_rbuf(Conn& conn) {
       conn.closing = true;
       break;
     }
+    if (!conn.routed) {
+      // First complete frame: pin the connection to its tenant's shard
+      // BEFORE consuming the frame, so a cross-shard move replays it intact
+      // on the owner. No session exists yet, so nothing else migrates.
+      conn.routed = true;
+      const std::size_t target =
+          shards_.size() > 1 ? route_target(frame) : shard.index;
+      if (target != shard.index) {
+        const int fd = conn.socket.fd();
+        auto it = shard.conns.find(fd);
+        ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+        std::unique_ptr<Conn> owned = std::move(it->second);
+        shard.conns.erase(it);
+        conns_routed_.add();
+        Shard& to = *shards_[target];
+        {
+          std::lock_guard lock(to.inbox_mutex);
+          to.inbox.push_back(std::move(owned));
+        }
+        wake_shard(to);
+        return;  // `conn` now belongs to the target shard
+      }
+    }
     conn.rbegin += r.consumed;
-    if (!dispatch_frame(conn, frame)) conn.closing = true;
+    if (!dispatch_frame(shard, conn, frame)) conn.closing = true;
   }
   if (conn.closing) {
-    close_conn(conn.socket.fd());
+    close_conn(shard, conn.socket.fd());
     return;
   }
   // Compact the consumed prefix so the buffer never grows without bound.
@@ -297,15 +387,16 @@ void SessionServer::process_rbuf(Conn& conn) {
   }
 }
 
-bool SessionServer::dispatch_frame(Conn& conn, net::Frame& frame) {
+bool SessionServer::dispatch_frame(Shard& shard, Conn& conn,
+                                   net::Frame& frame) {
   switch (frame.type) {
     case net::FrameType::kChunk:
-      return handle_chunk(conn, frame);
+      return handle_chunk(shard, conn, frame);
     case net::FrameType::kSessionOpen:
       handle_open(conn, frame);
       return true;
     case net::FrameType::kSessionClose:
-      handle_close(conn, frame.session_id);
+      handle_close(shard, conn, frame.session_id);
       return true;
     case net::FrameType::kRpc:
       handle_rpc(conn, frame);
@@ -337,6 +428,30 @@ void SessionServer::handle_open(Conn& conn, const net::Frame& frame) {
     return;
   }
   TenantState* tenant = tenants_.get_or_create(open.tenant);
+  // ROADMAP (d): validate the advertised chunk size against the tenant's
+  // quotas at open time. A chunk bigger than the rate bucket's burst (one
+  // second of rate) or the buffer quota can never pass admission — without
+  // this check the session opens fine and then wedges forever on its first
+  // chunk, indistinguishable from ordinary backpressure to the peer.
+  if (open.chunk_bytes > 0) {
+    const TenantQuota& quota = tenant->quota();
+    const bool over_burst =
+        quota.rate_bytes_per_s > 0.0 &&
+        static_cast<double>(open.chunk_bytes) > quota.rate_bytes_per_s;
+    const bool over_buffer = quota.max_buffer_bytes > 0 &&
+                             open.chunk_bytes > quota.max_buffer_bytes;
+    if (over_burst || over_buffer) {
+      tenant->rejects.add();
+      rejected_total_.add();
+      SessionReject reject;
+      reject.client_token = open.client_token;
+      reject.reason = RejectReason::kQuotaTooSmall;
+      reject.message = to_string(RejectReason::kQuotaTooSmall);
+      conn.writer->write(net::FrameType::kSessionReject,
+                         encode_session_reject(reject), config_.io_timeout_s);
+      return;
+    }
+  }
   SessionRegistry::AdmitResult admitted =
       registry_.admit(open, tenant, metrics_);
   if (!admitted.session) {
@@ -359,7 +474,8 @@ void SessionServer::handle_open(Conn& conn, const net::Frame& frame) {
                      encode_session_accept(accept), config_.io_timeout_s);
 }
 
-bool SessionServer::handle_chunk(Conn& conn, const net::Frame& frame) {
+bool SessionServer::handle_chunk(Shard& shard, Conn& conn,
+                                 const net::Frame& frame) {
   std::shared_ptr<ServeSession> session;
   if (frame.session_id != 0) {
     auto it = conn.sessions.find(frame.session_id);
@@ -423,11 +539,12 @@ bool SessionServer::handle_chunk(Conn& conn, const net::Frame& frame) {
                                  frame.payload.end());
   }
 
-  if (!admit_chunk(conn, std::move(pending))) pause_conn(conn);
+  if (!admit_chunk(shard, conn, std::move(pending))) pause_conn(shard, conn);
   return true;
 }
 
-bool SessionServer::admit_chunk(Conn& conn, Conn::Pending&& pending) {
+bool SessionServer::admit_chunk(Shard& shard, Conn& conn,
+                                Conn::Pending&& pending) {
   TenantState* tenant = pending.session->tenant();
   const std::uint64_t bytes = pending.chunk.payload_size();
   if (!pending.rate_ok) {
@@ -446,32 +563,37 @@ bool SessionServer::admit_chunk(Conn& conn, Conn::Pending&& pending) {
     }
     pending.quota_ok = true;
   }
-  // Single producer: only this thread pushes, so a non-full ring cannot fill
-  // before the push lands and the blocking push below never actually blocks.
-  if (work_ring_.size() >= work_ring_.capacity()) {
-    conn.pending = std::move(pending);
-    return false;
-  }
+  // Every shard produces into the one shared ring, so claim a slot with
+  // try_push and only then publish the in-flight accounting a worker will
+  // unwind. The session shared_ptr is copied (not moved) into the item so a
+  // failed push can re-park `pending` without reconstructing it.
   pending.session->mark_active();
   pending.session->add_inflight(bytes);
   pending.session->stamp_progress(telemetry::now_ns());
-  tenant->bytes_admitted.add(bytes);
   WorkItem item;
-  item.session = std::move(pending.session);
+  item.session = pending.session;
   item.chunk = std::move(pending.chunk);
   item.unchecked = pending.unchecked;
-  work_ring_.push(std::move(item));
+  item.shard = shard.index;
+  if (!work_ring_.try_push_inplace(item)) {
+    pending.session->release_inflight(bytes);
+    pending.chunk = std::move(item.chunk);
+    conn.pending = std::move(pending);
+    return false;
+  }
+  tenant->bytes_admitted.add(bytes);
   return true;
 }
 
-void SessionServer::handle_close(Conn& conn, std::uint32_t session_id) {
+void SessionServer::handle_close(Shard& shard, Conn& conn,
+                                 std::uint32_t session_id) {
   auto it = conn.sessions.find(session_id);
   if (it == conn.sessions.end()) return;
   std::shared_ptr<ServeSession> session = it->second;
   if (session->state() >= SessionLifecycle::kDraining) return;
   session->set_state(SessionLifecycle::kDraining);
-  draining_.emplace_back(conn.socket.fd(), std::move(session));
-  sweep_draining();  // nothing in flight => finalize + reply immediately
+  shard.draining.emplace_back(conn.socket.fd(), std::move(session));
+  sweep_draining(shard);  // nothing in flight => finalize + reply immediately
 }
 
 void SessionServer::handle_rpc(Conn& conn, const net::Frame& frame) {
@@ -500,42 +622,43 @@ void SessionServer::handle_rpc(Conn& conn, const net::Frame& frame) {
   conn.writer->write(net::FrameType::kRpc, payload, config_.io_timeout_s);
 }
 
-void SessionServer::retry_deferred() {
-  if (deferred_.empty()) return;
+void SessionServer::retry_deferred(Shard& shard) {
+  if (shard.deferred.empty()) return;
   // Swap the list out first: a retried connection that re-parks during
-  // process_rbuf appends to deferred_ again via pause_conn, which must not
-  // invalidate this iteration.
+  // process_rbuf appends to shard.deferred again via pause_conn, which must
+  // not invalidate this iteration.
   std::vector<int> work;
-  work.swap(deferred_);
+  work.swap(shard.deferred);
   for (int fd : work) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) continue;
+    auto it = shard.conns.find(fd);
+    if (it == shard.conns.end()) continue;
     Conn* conn = it->second.get();
     if (!conn->pending.has_value()) continue;
     Conn::Pending pending = std::move(*conn->pending);
     conn->pending.reset();
-    if (admit_chunk(*conn, std::move(pending))) {
-      resume_conn(*conn, fd);
-      process_rbuf(*conn);  // decode what buffered behind the parked chunk
+    if (admit_chunk(shard, *conn, std::move(pending))) {
+      resume_conn(shard, *conn, fd);
+      process_rbuf(shard, *conn);  // decode what buffered behind the park
     } else {
-      deferred_.push_back(fd);  // still parked; the fd stays masked
+      shard.deferred.push_back(fd);  // still parked; the fd stays masked
     }
   }
 }
 
-void SessionServer::sweep_draining() {
-  if (draining_.empty()) return;
+void SessionServer::sweep_draining(Shard& shard) {
+  if (shard.draining.empty()) return;
   std::vector<std::pair<int, std::shared_ptr<ServeSession>>> still;
-  still.reserve(draining_.size());
-  for (auto& [fd, session] : draining_) {
+  still.reserve(shard.draining.size());
+  for (auto& [fd, session] : shard.draining) {
     if (session->inflight_chunks() > 0) {
       still.emplace_back(fd, std::move(session));
       continue;
     }
-    auto it = conns_.find(fd);
-    finalize_session(it != conns_.end() ? it->second.get() : nullptr, session);
+    auto it = shard.conns.find(fd);
+    finalize_session(it != shard.conns.end() ? it->second.get() : nullptr,
+                     session);
   }
-  draining_ = std::move(still);
+  shard.draining = std::move(still);
 }
 
 void SessionServer::finalize_session(Conn* conn,
@@ -552,9 +675,9 @@ void SessionServer::finalize_session(Conn* conn,
   registry_.remove(s->id());
 }
 
-void SessionServer::close_conn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+void SessionServer::close_conn(Shard& shard, int fd) {
+  auto it = shard.conns.find(fd);
+  if (it == shard.conns.end()) return;
   Conn& conn = *it->second;
   // Undo gates a parked chunk already charged (the rate tokens are sunk cost
   // — the bucket has no refund — but buffer reservations must not leak).
@@ -568,35 +691,40 @@ void SessionServer::close_conn(int fd) {
     session->set_abandoned();
     if (session->state() < SessionLifecycle::kDraining) {
       session->set_state(SessionLifecycle::kDraining);
-      draining_.emplace_back(-1, session);
+      shard.draining.emplace_back(-1, session);
     } else {
       // Already draining via handle_close: repoint its reply fd at nothing.
-      for (auto& [dfd, dsession] : draining_) {
+      for (auto& [dfd, dsession] : shard.draining) {
         if (dsession->id() == id) dfd = -1;
       }
     }
   }
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  conns_.erase(it);
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  shard.conns.erase(it);
   connections_.fetch_sub(1, std::memory_order_relaxed);
-  sweep_draining();
+  sweep_draining(shard);
 }
 
-void SessionServer::pause_conn(Conn& conn) {
+void SessionServer::pause_conn(Shard& shard, Conn& conn) {
   const int fd = conn.socket.fd();
   epoll_event ev{};
   ev.events = 0;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
-  deferred_.push_back(fd);
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
+  shard.deferred.push_back(fd);
 }
 
-void SessionServer::resume_conn(Conn& conn, int fd) {
+void SessionServer::resume_conn(Shard& shard, Conn& conn, int fd) {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  ::epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
   (void)conn;
+}
+
+void SessionServer::wake_shard(Shard& shard) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(shard.wake_fd, &one, sizeof(one));
 }
 
 void SessionServer::register_session_callbacks(
@@ -655,10 +783,10 @@ void SessionServer::worker_loop(int index) {
     session.stamp_progress(telemetry::now_ns());
     if (remaining == 0 &&
         session.state() == SessionLifecycle::kDraining) {
-      // Nudge the event loop so the drain sweep runs now, not at the next
-      // tick (the sweep itself is the correctness path; this is latency).
-      const std::uint64_t one = 1;
-      [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      // Nudge the owning event loop so its drain sweep runs now, not at the
+      // next tick (the sweep itself is the correctness path; this is
+      // latency).
+      if (item.shard < shards_.size()) wake_shard(*shards_[item.shard]);
     }
   }
 }

@@ -1,12 +1,17 @@
 // Event-driven many-session serve plane (ISSUE: "serve plane" tentpole).
 //
-// One SessionServer turns the thread-per-stream receiver inside-out: a single
-// epoll event-loop thread owns the listener and every connection fd, decodes
-// frames where they land, and admits chunk work onto a fixed MpmcRingQueue
-// worker pool. Thread count is max(1 event loop + worker_threads) regardless
-// of how many sessions or connections are live — the E2E test drives 32+
-// sessions through a 4-thread pool and asserts the process thread count
-// never follows session count.
+// One SessionServer turns the thread-per-stream receiver inside-out: a small
+// fixed set of epoll event-loop shards (--event-loops, default 1) owns every
+// connection fd, decodes frames where they land, and admits chunk work onto
+// one shared MpmcRingQueue worker pool. Shard 0 owns the listener; each new
+// connection is pinned to a shard by a consistent hash of the tenant named
+// in its first complete frame (kSessionOpen's tenant, "default" otherwise),
+// so one tenant's decode burst cannot head-of-line-block other tenants'
+// ingest while admission state stays fully shared. Thread count is
+// event_loops + worker_threads regardless of how many sessions or
+// connections are live — the E2E test drives 32+ sessions through a
+// 4-thread pool and asserts the process thread count never follows session
+// count.
 //
 // Per-frame flow (data plane):
 //
@@ -39,6 +44,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -60,8 +66,14 @@ struct SessionServerConfig {
   std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
   /// Registry capacity: concurrent sessions across all tenants.
   std::size_t max_sessions = 64;
-  /// Fixed chunk-processing pool size. The event loop adds one more thread.
+  /// Fixed chunk-processing pool size. Each event loop adds one more thread.
   int worker_threads = 4;
+  /// Sharded event loops (--event-loops). Connections are pinned to a loop
+  /// by a consistent hash of the tenant named in their first frame, so one
+  /// hot tenant's frame decode can no longer head-of-line-block every other
+  /// tenant's ingest. Admission state (registry, tenant table, work ring)
+  /// stays shared: quota and fair-share semantics are identical at any N.
+  int event_loops = 1;
   /// Applied to tenants that never got an explicit configure_tenant() call.
   TenantQuota default_quota{};
   /// Work-ring capacity (chunks admitted but not yet processed).
@@ -129,6 +141,9 @@ class SessionServer {
     std::shared_ptr<ServeSession> session;
     net::WireChunk chunk;
     bool unchecked = false;  // frame carried kFrameFlagUnchecked
+    /// Owning event loop: the worker nudges this shard's wake_fd when the
+    /// session's last in-flight chunk drains.
+    std::size_t shard = 0;
   };
 
   /// One live connection, owned by the event loop thread exclusively.
@@ -155,34 +170,62 @@ class SessionServer {
     };
     std::optional<Pending> pending;
     bool closing = false;
+    /// Tenant-hash routing ran for this connection (first complete frame).
+    bool routed = false;
   };
 
-  void event_loop();
+  /// One event loop: epoll fd, wake eventfd, thread, and loop-owned
+  /// connection state. Shard 0 additionally owns the listener. The inbox is
+  /// the only cross-shard surface: shard 0 parks freshly routed connections
+  /// there and nudges wake_fd; the owner adopts them on its next wake.
+  struct Shard {
+    std::size_t index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd: worker completions, routed conns, stop
+    std::thread thread;
+    // Loop-owned (only this shard's thread touches these while running).
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    std::vector<int> deferred;  // fds with a parked chunk
+    /// Draining sessions awaiting their last in-flight chunk, with the fd of
+    /// the connection that should receive kSessionClosed (-1 once it died).
+    std::vector<std::pair<int, std::shared_ptr<ServeSession>>> draining;
+    // Cross-shard handoff.
+    std::mutex inbox_mutex;
+    std::vector<std::unique_ptr<Conn>> inbox;
+  };
+
+  void event_loop(Shard& shard);
   void worker_loop(int index);
 
-  void accept_ready();
-  void conn_readable(Conn& conn);
-  /// Decode and dispatch everything buffered; stops at a deferral.
-  void process_rbuf(Conn& conn);
+  void accept_ready(Shard& shard);
+  void adopt_routed(Shard& shard);
+  /// Tenant-hash target for a connection's first complete frame.
+  std::size_t route_target(const net::Frame& frame) const;
+  void conn_readable(Shard& shard, Conn& conn);
+  /// Decode and dispatch everything buffered; stops at a deferral. May MOVE
+  /// the connection to another shard's inbox (tenant routing), after which
+  /// the caller must not touch it — it returns immediately when that happens.
+  void process_rbuf(Shard& shard, Conn& conn);
   /// Returns false when the connection must close (protocol error / EOF).
-  bool dispatch_frame(Conn& conn, net::Frame& frame);
+  bool dispatch_frame(Shard& shard, Conn& conn, net::Frame& frame);
   void handle_open(Conn& conn, const net::Frame& frame);
-  bool handle_chunk(Conn& conn, const net::Frame& frame);
-  void handle_close(Conn& conn, std::uint32_t session_id);
+  bool handle_chunk(Shard& shard, Conn& conn, const net::Frame& frame);
+  void handle_close(Shard& shard, Conn& conn, std::uint32_t session_id);
   void handle_rpc(Conn& conn, const net::Frame& frame);
   /// Run the admission gates over a decoded chunk. True = admitted (pushed);
   /// false = parked in conn.pending.
-  bool admit_chunk(Conn& conn, Conn::Pending&& pending);
-  void retry_deferred();
+  bool admit_chunk(Shard& shard, Conn& conn, Conn::Pending&& pending);
+  void retry_deferred(Shard& shard);
   /// Finalize every draining session whose in-flight count reached zero.
   /// Runs on every loop wake (workers nudge the eventfd on the last chunk),
   /// and doubles as the tick backstop, so no store-load ordering between a
   /// worker's decrement and the loop's drain check can lose a finalize.
-  void sweep_draining();
+  void sweep_draining(Shard& shard);
   void finalize_session(Conn* conn, const std::shared_ptr<ServeSession>& s);
-  void close_conn(int fd);
-  void pause_conn(Conn& conn);
-  void resume_conn(Conn& conn, int fd);
+  void close_conn(Shard& shard, int fd);
+  void pause_conn(Shard& shard, Conn& conn);
+  void resume_conn(Shard& shard, Conn& conn, int fd);
+  void wake_shard(Shard& shard);
 
   void register_session_callbacks(const std::shared_ptr<ServeSession>& s);
 
@@ -194,22 +237,13 @@ class SessionServer {
 
   std::optional<net::Listener> listener_;
   std::uint16_t port_ = 0;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: worker completions + stop
 
   MpmcRingQueue<WorkItem> work_ring_;
 
-  std::thread loop_thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<int> connections_{0};
-
-  // Event-loop-owned state (no locks; only loop_thread_ touches these).
-  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
-  std::vector<int> deferred_;  // fds with a parked chunk
-  /// Draining sessions awaiting their last in-flight chunk, with the fd of
-  /// the connection that should receive kSessionClosed (-1 once it died).
-  std::vector<std::pair<int, std::shared_ptr<ServeSession>>> draining_;
 
   // serve.* aggregates.
   telemetry::Counter& bytes_ok_;
@@ -217,6 +251,7 @@ class SessionServer {
   telemetry::Counter& verify_failures_;
   telemetry::Counter& rejected_total_;
   telemetry::Counter& legacy_sessions_;
+  telemetry::Counter& conns_routed_;
   std::atomic<std::uint64_t> next_legacy_token_{1};
 };
 

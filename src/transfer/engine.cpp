@@ -204,6 +204,26 @@ void TransferSession::register_metrics() {
       total += stream_acceptor_->payload_copies();
     return static_cast<double>(total);
   });
+  // Receive-plane slice of the two denominators above, plus how the
+  // zero-copy ingest paths engaged: chunks spliced socket→file and readers
+  // currently on the multishot RECV plane. All acceptor-side, so they read
+  // zero under InProcess and before the Tcp backend is up.
+  registry_.register_callback("io.recv_syscalls_total", [this] {
+    if (!net_ready_.load(std::memory_order_acquire)) return 0.0;
+    return static_cast<double>(stream_acceptor_->io_syscalls());
+  });
+  registry_.register_callback("io.recv_copies_total", [this] {
+    if (!net_ready_.load(std::memory_order_acquire)) return 0.0;
+    return static_cast<double>(stream_acceptor_->payload_copies());
+  });
+  registry_.register_callback("io.recv_splices", [this] {
+    if (!net_ready_.load(std::memory_order_acquire)) return 0.0;
+    return static_cast<double>(stream_acceptor_->splices());
+  });
+  registry_.register_callback("io.recv_multishot_streams", [this] {
+    if (!net_ready_.load(std::memory_order_acquire)) return 0.0;
+    return static_cast<double>(stream_acceptor_->multishot_streams());
+  });
   if (uring_active_) {
     registry_.register_callback("pool.arena_heap_fallbacks", [this] {
       return static_cast<double>(
@@ -260,6 +280,21 @@ bool TransferSession::start_tcp_backend() {
   // out as leases — the zero-copy receive path.
   acceptor_config.lease_pool = recv_arena_.get();
   acceptor_config.use_uring = uring_active_;
+  // Receive-side splice seam (the socket→file twin of sendfile): only
+  // unchecked inbound frames qualify, so this can never bypass payload
+  // verification — with verify on the sender checksums every frame and the
+  // acceptor assembles it in userspace as before. setup_file_io() has
+  // already run, so the sink fds referenced here exist for the session's
+  // whole life.
+  if (uring_active_ && config_.tcp.splice && !sink_fds_.empty() &&
+      !config_.verify_payload) {
+    acceptor_config.splice_sink = [this](std::uint64_t file_id, std::uint64_t,
+                                         std::uint32_t) {
+      return file_id < sink_fds_.size()
+                 ? sink_fds_[static_cast<std::size_t>(file_id)]
+                 : -1;
+    };
+  }
   stream_acceptor_ = std::make_unique<net::StreamAcceptor>(
       acceptor_config, [this](net::WireChunk&& wire) {
         Chunk chunk;
@@ -452,6 +487,11 @@ TransferStats TransferSession::stats() const {
   s.io_backend_fallbacks = u64("io.backend_fallbacks");
   s.io_syscalls = u64("io.syscalls_total");
   s.payload_copies = u64("io.payload_copies_total");
+  s.recv_syscalls = u64("io.recv_syscalls_total");
+  s.recv_copies = u64("io.recv_copies_total");
+  s.recv_splices = u64("io.recv_splices");
+  s.recv_multishot_streams =
+      static_cast<int>(snap.value_or("io.recv_multishot_streams"));
   return s;
 }
 
@@ -1028,12 +1068,24 @@ void TransferSession::reader_loop_file(int worker_id) {
 
 void TransferSession::writer_loop_uring(int worker_id) {
   // Uring sink writer: each receiver-queue batch retires as one ring of
-  // WRITE SQEs (plain, not fixed — the payload leases belong to the recv
-  // arena, which is not registered on this storage ring) and one enter.
-  // Short or failed writes — and a dead ring — finish via pwrite.
+  // WRITE SQEs and one enter. The arena the inbound leases actually come
+  // from (the recv arena under Tcp, the payload arena in process) is
+  // registered on this storage ring, so a chunk whose payload still sits in
+  // the very block the frame landed in goes out as WRITE_FIXED — receive
+  // and sink write share one pinned buffer, no intermediate copy, no
+  // per-write page pinning. Short or failed writes — and a dead ring —
+  // finish via pwrite.
   std::unique_ptr<net::UringRing> ring = net::UringRing::create(
       static_cast<unsigned>(std::max<std::size_t>(8, batch_chunks_ * 2)));
   if (!ring) io_fallbacks_.fetch_add(1);
+  ArenaPool* write_arena =
+      recv_arena_ ? recv_arena_.get() : payload_arena_.get();
+  if (ring && write_arena &&
+      !ring->register_buffers(
+          write_arena->registered_iovecs(),
+          static_cast<unsigned>(write_arena->block_count()))) {
+    write_arena = nullptr;
+  }
   std::uint64_t enters_seen = 0;
   std::vector<net::UringRing::Completion> cqes;
   std::vector<Chunk> batch;
@@ -1064,13 +1116,21 @@ void TransferSession::writer_loop_uring(int worker_id) {
       std::size_t prepped = 0;
       for (std::size_t j = 0; j < batch.size(); ++j) {
         const Chunk& chunk = batch[j];
-        if (!ring->prep_write(
-                sink_fds_[static_cast<std::size_t>(chunk.file_id)],
-                chunk.payload_data(),
-                static_cast<unsigned>(chunk.payload_size()), chunk.offset,
-                j)) {
-          break;
-        }
+        const int fd = sink_fds_[static_cast<std::size_t>(chunk.file_id)];
+        const auto len = static_cast<unsigned>(chunk.payload_size());
+        // WRITE_FIXED needs the lease's registered index to be valid against
+        // THIS ring's iovec table, so the pool identity check is essential —
+        // an in-process payload-arena lease must not reuse a recv-arena slot.
+        const std::uint32_t buf_index = chunk.lease.registered_index();
+        const bool fixed = ring->buffers_registered() &&
+                           chunk.lease.pool() == write_arena &&
+                           buf_index != BufferLease::kUnregistered;
+        const bool ok =
+            fixed ? ring->prep_write_fixed(fd, chunk.payload_data(), len,
+                                           chunk.offset, buf_index, j)
+                  : ring->prep_write(fd, chunk.payload_data(), len,
+                                     chunk.offset, j);
+        if (!ok) break;
         ++prepped;
       }
       if (prepped == batch.size() &&

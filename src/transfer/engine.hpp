@@ -172,6 +172,13 @@ struct TcpBackendOptions {
   /// payload never transits sender user space (frames go out with
   /// kFrameFlagUnchecked / checksum 0, hence the verify_payload gate).
   bool sendfile = false;
+  /// Socket→file kernel fast path on the RECEIVE side (the splice twin of
+  /// sendfile): with the uring backend, a real file sink, and verification
+  /// off, acceptor readers splice(2) inbound kFrameFlagUnchecked payloads
+  /// straight into the sink fd and deliver the chunk pre-persisted. Only
+  /// such frames qualify, so this activates exactly opposite the sender's
+  /// sendfile gate. On by default — it is inert unless those gates align.
+  bool splice = true;
 };
 
 /// Runtime tracing knobs (the compile-time seam is AUTOMDT_TELEMETRY).
@@ -291,6 +298,15 @@ struct TransferStats {
   std::uint64_t io_backend_fallbacks = 0;
   std::uint64_t io_syscalls = 0;
   std::uint64_t payload_copies = 0;
+  // Receive-plane slice of the two denominators above (Tcp backend only):
+  // acceptor-side data-path syscalls and payload copies, plus how the
+  // zero-copy ingest paths engaged — chunks spliced socket→file and readers
+  // currently on the multishot RECV plane. bench_engine_hotpath reports
+  // recv_syscalls/chunk and recv_copies/chunk from these.
+  std::uint64_t recv_syscalls = 0;
+  std::uint64_t recv_copies = 0;
+  std::uint64_t recv_splices = 0;
+  int recv_multishot_streams = 0;
 };
 
 /// The engine's staging buffer behind a one-branch seam: the lock-free ring

@@ -239,5 +239,89 @@ TEST(Uring, WritevScatterBatchIsWireIdenticalToSyscallPath) {
   sender.join();
 }
 
+TEST(Uring, MultishotDisableEnvForcesUnavailable) {
+  // AUTOMDT_DISABLE_URING_MULTISHOT is re-read per call, the CI knob for
+  // exercising the single-shot fallback on kernels that do have multishot.
+  ScopedEnv disable("AUTOMDT_DISABLE_URING_MULTISHOT", "1");
+  EXPECT_FALSE(UringRing::multishot_available());
+}
+
+TEST(Uring, MultishotImpliesAvailable) {
+  if (UringRing::multishot_available()) EXPECT_TRUE(UringRing::available());
+  // Disabling the base capability must take the multishot plane with it.
+  ScopedEnv disable("AUTOMDT_DISABLE_URING", "1");
+  EXPECT_FALSE(UringRing::multishot_available());
+}
+
+TEST(Uring, MultishotRecvDrawsFromProvidedBuffers) {
+  if (!UringRing::multishot_available())
+    GTEST_SKIP() << "multishot io_uring unavailable";
+  auto ring = UringRing::create(8);
+  ASSERT_NE(ring, nullptr);
+  ASSERT_FALSE(ring->buf_ring_ready());
+  ASSERT_TRUE(ring->setup_buf_ring(/*entries=*/4, /*bgid=*/7));
+  ASSERT_TRUE(ring->buf_ring_ready());
+  std::vector<std::vector<std::byte>> bufs(2, std::vector<std::byte>(4096));
+  ring->provide_buffer(bufs[0].data(), 4096, 0);
+  ring->provide_buffer(bufs[1].data(), 4096, 1);
+
+  Socket a, b;
+  ASSERT_TRUE(Socket::make_pair(a, b));
+  ASSERT_TRUE(ring->prep_recv_multishot(a.fd(), /*user_data=*/42));
+
+  const auto expect = pattern(1000);
+  ASSERT_EQ(b.write_all(expect.data(), expect.size(), 2.0), SocketStatus::kOk);
+
+  // One armed SQE, one completion per filled buffer: the CQE names the
+  // buffer id in its flags and the bytes sit exactly where we provided.
+  std::vector<UringRing::Completion> cqes;
+  std::size_t got = 0;
+  while (got < expect.size()) {
+    ASSERT_GT(ring->submit_and_wait(1, cqes), 0);
+    for (const UringRing::Completion& c : cqes) {
+      ASSERT_EQ(c.user_data, 42u);
+      ASSERT_GT(c.res, 0) << "recv completion failed: " << c.res;
+      ASSERT_NE(c.flags & UringRing::kCqeFlagBuffer, 0u);
+      const unsigned bid = c.flags >> UringRing::kCqeBufferShift;
+      ASSERT_LT(bid, bufs.size());
+      ASSERT_LE(got + static_cast<std::size_t>(c.res), expect.size());
+      EXPECT_EQ(std::memcmp(bufs[bid].data(), expect.data() + got,
+                            static_cast<std::size_t>(c.res)),
+                0);
+      got += static_cast<std::size_t>(c.res);
+    }
+  }
+  EXPECT_EQ(got, expect.size());
+}
+
+TEST(Uring, MultishotAcceptYieldsOneCompletionPerConnection) {
+  if (!UringRing::multishot_available())
+    GTEST_SKIP() << "multishot io_uring unavailable";
+  auto listener = Listener::open("127.0.0.1", 0);
+  ASSERT_TRUE(listener.has_value());
+  auto ring = UringRing::create(8);
+  ASSERT_NE(ring, nullptr);
+  ASSERT_TRUE(ring->prep_accept_multishot(listener->fd(), /*user_data=*/9));
+
+  Connector connector;
+  auto c1 = connector.connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(c1.has_value());
+  auto c2 = connector.connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(c2.has_value());
+
+  std::vector<UringRing::Completion> cqes;
+  int accepted = 0;
+  while (accepted < 2) {
+    ASSERT_GT(ring->submit_and_wait(1, cqes), 0);
+    for (const UringRing::Completion& c : cqes) {
+      ASSERT_EQ(c.user_data, 9u);
+      ASSERT_GE(c.res, 0) << "accept completion failed: " << c.res;
+      ::close(c.res);  // we only care that the fd arrived
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 2);
+}
+
 }  // namespace
 }  // namespace automdt::net

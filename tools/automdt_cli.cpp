@@ -61,6 +61,8 @@
 // session server; without it the single-session loop above runs unchanged):
 //   --max-sessions N        session-registry capacity (opens the serve plane)
 //   --worker-threads N      fixed chunk-processing pool size (default 4);
+//   --event-loops N         sharded epoll loops; connections pin to a loop
+//                           by tenant hash (default 1);
 //                           total threads stay N+1 regardless of sessions
 //   --sessions N            concurrent loopback driver sessions (default 32)
 //   --tenant-quota SPEC     per-tenant fair-share admission, SPEC =
@@ -407,6 +409,8 @@ int cmd_serve_sessions(const Args& args) {
   serve::SessionServerConfig config;
   config.max_sessions = max_sessions;
   config.worker_threads = worker_threads;
+  config.event_loops =
+      std::max(1, static_cast<int>(args.get_int("event-loops", 1)));
   config.arena_blocks = static_cast<std::size_t>(
       args.get_int("arena-blocks", 64));
   config.arena_block_bytes = std::max<std::size_t>(chunk_bytes, 64 * 1024);
@@ -461,9 +465,10 @@ int cmd_serve_sessions(const Args& args) {
     return 1;
   }
   std::printf(
-      "serve plane: %d worker thread(s), %zu session slots, data port %u, "
-      "telemetry port %u, %.0f s\n",
-      worker_threads, max_sessions, server.port(), stats.port(), duration_s);
+      "serve plane: %d event loop(s), %d worker thread(s), %zu session "
+      "slots, data port %u, telemetry port %u, %.0f s\n",
+      config.event_loops, worker_threads, max_sessions, server.port(),
+      stats.port(), duration_s);
 
   // Serve-path clock model (no more hardcoded null clock): driver 0 runs the
   // NTP-style sync against the server's kRpc responder. Loopback makes the
