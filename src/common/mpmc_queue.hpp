@@ -36,6 +36,20 @@ class MpmcQueue {
     return true;
   }
 
+  /// Non-blocking push that moves from `item` only on success — a full (or
+  /// closed) queue leaves it intact in the caller's hands (mutex twin of
+  /// MpmcRingQueue::try_push_inplace).
+  bool try_push_inplace(T& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      size_.store(items_.size(), std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push. Returns false if full or closed.
   bool try_push(T item) {
     {

@@ -52,6 +52,21 @@ SocketStatus poll_until(int fd, short events, Clock::time_point deadline,
   }
 }
 
+/// poll_until for POLLOUT on a send path, accumulating the time spent parked
+/// into `wait_ns`. Only reached after an EAGAIN (the socket buffer is full),
+/// so the two clock reads ride on an already-slow path.
+SocketStatus poll_out_timed(int fd, Clock::time_point deadline,
+                            std::atomic<std::uint64_t>* counter,
+                            std::atomic<std::uint64_t>* wait_ns) {
+  const auto t0 = Clock::now();
+  const SocketStatus status = poll_until(fd, POLLOUT, deadline, counter);
+  wait_ns->fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count(),
+      std::memory_order_relaxed);
+  return status;
+}
+
 bool set_non_blocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
@@ -85,7 +100,8 @@ Socket::~Socket() { close(); }
 
 Socket::Socket(Socket&& other) noexcept
     : fd_(other.fd_),
-      syscalls_(other.syscalls_.load(std::memory_order_relaxed)) {
+      syscalls_(other.syscalls_.load(std::memory_order_relaxed)),
+      send_wait_ns_(other.send_wait_ns_.load(std::memory_order_relaxed)) {
   other.fd_ = -1;
 }
 
@@ -95,6 +111,8 @@ Socket& Socket::operator=(Socket&& other) noexcept {
     fd_ = other.fd_;
     syscalls_.store(other.syscalls_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    send_wait_ns_.store(other.send_wait_ns_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     other.fd_ = -1;
   }
   return *this;
@@ -167,7 +185,8 @@ SocketStatus Socket::write_all(const void* data, std::size_t size,
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
+      const SocketStatus s =
+          poll_out_timed(fd_, deadline, &syscalls_, &send_wait_ns_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
@@ -206,7 +225,8 @@ SocketStatus Socket::write_vec(iovec* iov, int count, double timeout_s) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
+      const SocketStatus s =
+          poll_out_timed(fd_, deadline, &syscalls_, &send_wait_ns_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }
@@ -232,7 +252,8 @@ SocketStatus Socket::send_file(int file_fd, std::uint64_t offset,
     if (n == 0) return SocketStatus::kError;  // file shorter than declared
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      const SocketStatus s = poll_until(fd_, POLLOUT, deadline, &syscalls_);
+      const SocketStatus s =
+          poll_out_timed(fd_, deadline, &syscalls_, &send_wait_ns_);
       if (s != SocketStatus::kOk) return s;
       continue;
     }

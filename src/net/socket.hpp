@@ -119,9 +119,18 @@ class Socket {
     return syscalls_.load(std::memory_order_relaxed);
   }
 
+  /// Nanoseconds send paths (write_all/write_vec/send_file) spent parked in
+  /// POLLOUT waiting for the kernel send buffer to drain — the socket-level
+  /// "blocked downstream" signal behind the stage clocks. Only the EAGAIN
+  /// slow path is timed, so an unsaturated socket never reads the clock.
+  std::uint64_t send_wait_ns() const {
+    return send_wait_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   int fd_ = -1;
   mutable std::atomic<std::uint64_t> syscalls_{0};
+  mutable std::atomic<std::uint64_t> send_wait_ns_{0};
 };
 
 /// Listening TCP socket. open() binds immediately so port() is known even

@@ -338,6 +338,16 @@ std::uint64_t StreamPool::io_syscalls() const {
   return total;
 }
 
+std::uint64_t StreamPool::send_wait_ns() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : streams_) {
+    Stream& stream = *entry;
+    std::lock_guard lock(stream.mutex);
+    total += stream.socket.send_wait_ns();
+  }
+  return total;
+}
+
 void StreamPool::set_active(int n) {
   n = std::clamp(n, 0, static_cast<int>(streams_.size()));
   active_.store(n);

@@ -156,6 +156,12 @@ class StreamPool {
   /// io_uring enters. Takes each stream lock briefly (sockets move during
   /// lazy connect), so call from the telemetry plane, not the hot path.
   std::uint64_t io_syscalls() const;
+  /// Nanoseconds send paths spent parked in POLLOUT across every stream
+  /// (Socket::send_wait_ns) — the network stage's socket-level
+  /// blocked-downstream time for the stage clocks. Same locking caveat as
+  /// io_syscalls(). Not visible on the uring send path (ring enters block in
+  /// the kernel instead of polling).
+  std::uint64_t send_wait_ns() const;
   /// Streams currently sending through an io_uring ring (0 after fallback).
   int uring_streams() const { return uring_streams_.load(); }
 

@@ -1,14 +1,54 @@
 #include "optimizers/runner.hpp"
 
+#include <optional>
+#include <string>
+
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/trace_export.hpp"
 
 namespace automdt::optimizers {
 
+namespace {
+
+/// Live-metrics gauges for one run, resolved once so the step loop only does
+/// relaxed stores.
+struct RunGauges {
+  telemetry::Gauge* time_s = nullptr;
+  telemetry::Gauge* reward = nullptr;
+  telemetry::Gauge* threads[3] = {};
+  telemetry::Gauge* throughput[3] = {};
+
+  explicit RunGauges(telemetry::MetricsRegistry& registry) {
+    time_s = registry.gauge("transfer.time_s");
+    reward = registry.gauge("transfer.reward");
+    for (Stage s : kAllStages) {
+      const std::string stage = stage_name(s);
+      threads[static_cast<int>(s)] =
+          registry.gauge("transfer.threads." + stage);
+      throughput[static_cast<int>(s)] =
+          registry.gauge("transfer.throughput_mbps." + stage);
+    }
+  }
+
+  void update(const testbed::TimePoint& p) {
+    time_s->set(p.time_s);
+    reward->set(p.reward);
+    for (Stage s : kAllStages) {
+      threads[static_cast<int>(s)]->set(p.threads[s]);
+      throughput[static_cast<int>(s)]->set(p.throughput_mbps[s]);
+    }
+  }
+};
+
+}  // namespace
+
 RunResult run_transfer(testbed::EmulatedEnvironment& env,
                        ConcurrencyController& controller, Rng& rng,
                        RunOptions options) {
   RunResult result;
+  std::optional<RunGauges> gauges;
+  if (options.metrics != nullptr) gauges.emplace(*options.metrics);
 
   EnvStep last;
   last.observation = env.reset(rng);
@@ -36,6 +76,7 @@ RunResult run_transfer(testbed::EmulatedEnvironment& env,
     p.sender_buffer_used = env.sender_buffer_used();
     p.receiver_buffer_used = env.receiver_buffer_used();
     result.series.add(p);
+    if (gauges.has_value()) gauges->update(p);
 
     if (last.done) {
       result.completed = true;

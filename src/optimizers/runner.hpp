@@ -9,6 +9,7 @@
 #include "testbed/recorder.hpp"
 
 namespace automdt::telemetry {
+class MetricsRegistry;
 class TraceExporter;
 }
 
@@ -21,6 +22,11 @@ struct RunOptions {
   /// wall-clock "step"/"decide" span pair on an "optimizer" track. Not
   /// owned; must outlive the run.
   telemetry::TraceExporter* exporter = nullptr;
+  /// Optional live-metrics sink: each controller interval updates
+  /// transfer.{time_s,reward} and per-stage transfer.{threads,
+  /// throughput_mbps}.* gauges, so a /metrics endpoint scraped mid-run sees
+  /// the emulated transfer progressing. Not owned; must outlive the run.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunResult {

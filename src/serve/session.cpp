@@ -122,6 +122,7 @@ TenantState::TenantState(std::string name, const TenantQuota& quota,
     : bytes_admitted(*registry.counter("tenant." + name + ".bytes_admitted")),
       rejects(*registry.counter("tenant." + name + ".rejects")),
       throttle_defers(*registry.counter("tenant." + name + ".throttle_defers")),
+      busy_ns(*registry.counter("tenant." + name + ".busy_ns")),
       name_(std::move(name)),
       quota_(quota),
       // Burst = 1s of rate so a tenant idle for a while cannot dump an
@@ -215,6 +216,7 @@ ServeSession::ServeSession(std::uint32_t id, TenantState* tenant,
     : bytes_ok(*registry.counter(session_metric(id, "bytes_ok"))),
       chunks_ok(*registry.counter(session_metric(id, "chunks_ok"))),
       verify_failures(*registry.counter(session_metric(id, "verify_failures"))),
+      busy_ns(*registry.counter(session_metric(id, "busy_ns"))),
       id_(id),
       tenant_(tenant),
       expected_bytes_(open.expected_bytes) {

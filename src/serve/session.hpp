@@ -135,6 +135,8 @@ class TenantState {
   telemetry::Counter& bytes_admitted;     // payload bytes through admission
   telemetry::Counter& rejects;            // session opens refused
   telemetry::Counter& throttle_defers;    // chunk admissions deferred
+  telemetry::Counter& busy_ns;            // pool worker-time spent on this
+                                          // tenant's chunks (stage clocks)
 
  private:
   std::string name_;
@@ -241,6 +243,9 @@ class ServeSession {
   telemetry::Counter& bytes_ok;
   telemetry::Counter& chunks_ok;
   telemetry::Counter& verify_failures;
+  /// Pool worker-time spent processing this session's chunks — the per-
+  /// session slice of the worker stage clocks' busy time.
+  telemetry::Counter& busy_ns;
 
  private:
   std::uint32_t id_;

@@ -62,6 +62,9 @@ SessionServer::SessionServer(SessionServerConfig config)
       legacy_sessions_(*metrics_.counter("serve.legacy_sessions")),
       conns_routed_(*metrics_.counter("serve.conns_routed")) {
   config_.event_loops = std::clamp(config_.event_loops, 1, 64);
+  loop_clocks_.resize(static_cast<std::size_t>(config_.event_loops));
+  pool_clocks_.resize(
+      static_cast<std::size_t>(std::max(config_.worker_threads, 1)));
   if (config_.arena_blocks > 0)
     arena_ = std::make_unique<ArenaPool>(config_.arena_block_bytes,
                                          config_.arena_blocks);
@@ -88,6 +91,25 @@ SessionServer::SessionServer(SessionServerConfig config)
       return static_cast<double>(arena_->blocks_free());
     });
   }
+  // Stage-clock aggregates: the loop shards park in epoll_wait and run busy
+  // between wakes; the pool workers block upstream on the work ring and run
+  // busy while verifying. Exported in nanoseconds so monitor/scrapers can
+  // form fractions over any window they like.
+  metrics_.register_callback("serve.loop.busy_ns", [this] {
+    return static_cast<double>(loop_clocks_.totals().busy_ns);
+  });
+  metrics_.register_callback("serve.loop.parked_ns", [this] {
+    return static_cast<double>(loop_clocks_.totals().parked_ns);
+  });
+  metrics_.register_callback("serve.pool.busy_ns", [this] {
+    return static_cast<double>(pool_clocks_.totals().busy_ns);
+  });
+  metrics_.register_callback("serve.pool.blocked_up_ns", [this] {
+    return static_cast<double>(pool_clocks_.totals().blocked_upstream_ns);
+  });
+  metrics_.register_callback("serve.pool.parked_ns", [this] {
+    return static_cast<double>(pool_clocks_.totals().parked_ns);
+  });
 }
 
 SessionServer::~SessionServer() { stop(); }
@@ -224,6 +246,37 @@ std::string SessionServer::stall_report() const {
        << " in flight, idle " << s.idle_s << "s)";
   }
   if (stalled.size() > shown) os << ", +" << (stalled.size() - shown) << " more";
+  const std::string util = utilization_report();
+  if (!util.empty()) os << " | " << util;
+  return os.str();
+}
+
+std::string SessionServer::utilization_report() const {
+  const telemetry::StageClockTotals pool = pool_clocks_.totals();
+  const telemetry::StageClockTotals loop = loop_clocks_.totals();
+  // Parked time is deliberate idleness (epoll wait, ring wait before the
+  // first chunk) and is excluded from the pool's denominator, mirroring the
+  // engine-side attribution rule.
+  const double pool_active =
+      static_cast<double>(pool.busy_ns + pool.blocked_upstream_ns +
+                          pool.blocked_downstream_ns);
+  const double loop_wall = static_cast<double>(
+      loop.busy_ns + loop.blocked_upstream_ns + loop.blocked_downstream_ns +
+      loop.parked_ns);
+  if (pool_active <= 0.0 && loop_wall <= 0.0) return "";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  if (pool_active > 0.0) {
+    os << "pool busy " << static_cast<double>(pool.busy_ns) / pool_active
+       << " starved "
+       << static_cast<double>(pool.blocked_upstream_ns) / pool_active;
+  } else {
+    os << "pool idle";
+  }
+  if (loop_wall > 0.0) {
+    os << ", loops busy " << static_cast<double>(loop.busy_ns) / loop_wall;
+  }
   return os.str();
 }
 
@@ -231,9 +284,16 @@ std::string SessionServer::stall_report() const {
 // Event loop.
 
 void SessionServer::event_loop(Shard& shard) {
+  // Stage clock: an event loop is parked while it sits in epoll_wait (idle
+  // by design, not evidence of a bottleneck) and busy from wake to the next
+  // wait — decode, admission, deferral retries, drain sweeps all count.
+  telemetry::StageClock& clock = loop_clocks_.slot(shard.index);
+  clock.start();
+  clock.enter(telemetry::WorkerState::kParked);
   epoll_event events[64];
   while (running_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(shard.epoll_fd, events, 64, kEpollTickMs);
+    clock.enter(telemetry::WorkerState::kBusy);
     if (!running_.load(std::memory_order_acquire)) break;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -251,7 +311,9 @@ void SessionServer::event_loop(Shard& shard) {
     adopt_routed(shard);
     retry_deferred(shard);
     sweep_draining(shard);
+    clock.enter(telemetry::WorkerState::kParked);
   }
+  clock.enter(telemetry::WorkerState::kParked);
   // Connections die with shard.conns in stop(); sessions left draining are
   // abandoned — their in-flight work finishes in the pool and the final
   // counters stay queryable through the registry.
@@ -745,9 +807,22 @@ void SessionServer::register_session_callbacks(
 // Worker pool.
 
 void SessionServer::worker_loop(int index) {
-  (void)index;
+  // Stage clock: a pool worker is blocked-upstream while the work ring is
+  // empty (the event loops are not feeding it) and busy while verifying and
+  // accounting a chunk. The try_pop fast path keeps a saturated pool free of
+  // clock reads on pops that never wait.
+  telemetry::StageClock& clock =
+      pool_clocks_.slot(static_cast<std::size_t>(index));
+  clock.start();
   WorkItem item;
-  while (work_ring_.pop(item)) {
+  for (;;) {
+    if (!work_ring_.try_pop(item)) {
+      clock.enter(telemetry::WorkerState::kBlockedUpstream);
+      const bool alive = work_ring_.pop(item);
+      clock.enter(telemetry::WorkerState::kBusy);
+      if (!alive) break;
+    }
+    const std::uint64_t work_t0 = telemetry::now_ns();
     ServeSession& session = *item.session;
     if (config_.inject_worker_stall_s > 0.0 &&
         (config_.stall_session_id == 0 ||
@@ -780,7 +855,14 @@ void SessionServer::worker_loop(int index) {
     item.chunk.lease.reset();
     item.chunk.payload.clear();
     const std::uint64_t remaining = session.release_inflight(bytes);
-    session.stamp_progress(telemetry::now_ns());
+    const std::uint64_t work_t1 = telemetry::now_ns();
+    // Slice the worker's busy time onto the session and tenant that caused
+    // it — the per-session/per-tenant aggregation of the pool stage clocks.
+    if (work_t1 > work_t0) {
+      session.busy_ns.add(work_t1 - work_t0);
+      session.tenant()->busy_ns.add(work_t1 - work_t0);
+    }
+    session.stamp_progress(work_t1);
     if (remaining == 0 &&
         session.state() == SessionLifecycle::kDraining) {
       // Nudge the owning event loop so its drain sweep runs now, not at the
@@ -789,6 +871,7 @@ void SessionServer::worker_loop(int index) {
       if (item.shard < shards_.size()) wake_shard(*shards_[item.shard]);
     }
   }
+  clock.enter(telemetry::WorkerState::kParked);
 }
 
 }  // namespace automdt::serve

@@ -58,6 +58,7 @@
 #include "net/stream_pool.hpp"
 #include "serve/session.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/stage_clock.hpp"
 
 namespace automdt::serve {
 
@@ -129,8 +130,15 @@ class SessionServer {
   /// Watchdog context_fn: names the session(s) sitting on in-flight work the
   /// longest — "session 3 (tenant acme, 5 in flight, idle 6.1s)" — so a
   /// flight-recorder dump from a many-session process identifies WHICH
-  /// session stalled, not just that some aggregate counter stopped.
+  /// session stalled, not just that some aggregate counter stopped. Appends
+  /// the pool/loop utilization evidence from the stage clocks, so the dump
+  /// also says whether the pool was wedged busy or starving for work.
   std::string stall_report() const;
+
+  /// One-line pool + event-loop utilization summary from the stage clocks,
+  /// e.g. "pool busy 0.84 starved 0.16, loops busy 0.02". Empty before any
+  /// thread started.
+  std::string utilization_report() const;
 
   int connections() const {
     return connections_.load(std::memory_order_relaxed);
@@ -244,6 +252,13 @@ class SessionServer {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<int> connections_{0};
+
+  /// Always-on stage clocks (DESIGN.md §14): one per event-loop shard
+  /// (parked while waiting in epoll, busy while processing) and one per pool
+  /// worker (blocked-upstream while waiting on the work ring, busy while
+  /// verifying). Aggregated under serve.loop.* / serve.pool.* callbacks.
+  telemetry::StageClockSet loop_clocks_;
+  telemetry::StageClockSet pool_clocks_;
 
   // serve.* aggregates.
   telemetry::Counter& bytes_ok_;

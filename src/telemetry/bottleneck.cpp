@@ -1,0 +1,119 @@
+#include "telemetry/bottleneck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace automdt::telemetry {
+namespace {
+
+std::uint64_t delta(std::uint64_t now, std::uint64_t then) {
+  return now >= then ? now - then : 0;  // counters are monotone; belt-and-braces
+}
+
+}  // namespace
+
+BottleneckAttributor::BottleneckAttributor(Config config) : config_(config) {}
+
+const char* BottleneckAttributor::stage_label(int stage) {
+  switch (stage) {
+    case 0: return "read";
+    case 1: return "network";
+    case 2: return "write";
+  }
+  return "?";
+}
+
+bool BottleneckAttributor::update(const PipelineSample& sample,
+                                  std::uint64_t now_ns) {
+  std::lock_guard lock(mutex_);
+  if (primed_ &&
+      now_ns < last_update_ns_ +
+                   static_cast<std::uint64_t>(config_.min_interval_s * 1e9))
+    return false;
+
+  Attribution next;
+  double best_self_frac = 0.0;
+  double max_wall_s = 0.0;
+  for (int s = 0; s < kPipelineStageCount; ++s) {
+    const StageSample& cur = sample.stages[s];
+    const StageSample& prev = last_.stages[s];
+    const double busy_s =
+        delta(cur.clocks.busy_ns, prev.clocks.busy_ns) * 1e-9;
+    const double starved_s =
+        delta(cur.clocks.blocked_upstream_ns, prev.clocks.blocked_upstream_ns) *
+        1e-9;
+    const double down_s = delta(cur.clocks.blocked_downstream_ns,
+                                prev.clocks.blocked_downstream_ns) *
+                          1e-9;
+    const double throttle_s =
+        std::min(down_s, delta(cur.throttle_ns, prev.throttle_ns) * 1e-9);
+    const double bytes = static_cast<double>(delta(cur.bytes, prev.bytes));
+
+    const double self_s = busy_s + throttle_s;
+    const double backpressed_s = down_s - throttle_s;
+    const double wall_s = self_s + starved_s + backpressed_s;
+    max_wall_s = std::max(max_wall_s, wall_s);
+
+    StageAttribution& out = next.stages[s];
+    out.active_s = wall_s;
+    if (wall_s < config_.min_active_s) continue;  // fractions stay 0
+    out.busy_frac = self_s / wall_s;
+    out.starved_frac = starved_s / wall_s;
+    out.backpressure_frac = backpressed_s / wall_s;
+    out.blocked_frac = out.starved_frac + out.backpressure_frac;
+    if (self_s > 0) out.eff_mbps = bytes * 8.0 / 1e6 / self_s;
+    if (out.busy_frac > best_self_frac) {
+      best_self_frac = out.busy_frac;
+      next.bottleneck = s;
+    }
+  }
+  next.window_s = primed_ ? (now_ns - last_update_ns_) * 1e-9 : max_wall_s;
+
+  last_ = sample;
+  last_update_ns_ = now_ns;
+  primed_ = true;
+  current_ = next;
+  return true;
+}
+
+Attribution BottleneckAttributor::attribution() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
+std::string BottleneckAttributor::describe() const {
+  Attribution a;
+  {
+    std::lock_guard lock(mutex_);
+    if (!primed_) return {};  // no window yet: nothing to report
+    a = current_;
+  }
+  std::string out;
+  if (a.bottleneck >= 0) {
+    out += "bottleneck: ";
+    out += stage_label(a.bottleneck);
+    out += " | ";
+  } else {
+    out += "bottleneck: unclassified | ";
+  }
+  char buf[128];
+  for (int s = 0; s < kPipelineStageCount; ++s) {
+    const StageAttribution& st = a.stages[s];
+    std::snprintf(buf, sizeof(buf), "%s %.2f busy", stage_label(s),
+                  st.busy_frac);
+    out += buf;
+    // Name the dominant blocked mode only when it is the stage's main story.
+    if (st.starved_frac > st.busy_frac ||
+        st.backpressure_frac > st.busy_frac) {
+      const bool starved = st.starved_frac >= st.backpressure_frac;
+      std::snprintf(buf, sizeof(buf), " %.2f %s",
+                    starved ? st.starved_frac : st.backpressure_frac,
+                    starved ? "blocked-upstream" : "blocked-downstream");
+      out += buf;
+    }
+    if (s + 1 < kPipelineStageCount) out += ", ";
+  }
+  return out;
+}
+
+}  // namespace automdt::telemetry

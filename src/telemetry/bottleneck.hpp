@@ -1,0 +1,102 @@
+// Online bottleneck attribution from stage clocks + byte counters.
+//
+// The paper's control story is built on the end-to-end bottleneck
+// b = min(B_read, B_network, B_write); the probe estimates it *offline* from
+// throttled sweeps (probe_log.cpp). This classifier answers the live
+// question — "which stage is the bottleneck right now, and how utilized is
+// each stage?" — from the always-on StageClock totals plus the per-stage
+// byte counters the engine already exports.
+//
+// Attribution rule (DESIGN.md §14): over a delta window, each stage's time
+// splits into
+//   self        = busy + token-bucket throttle wait (the stage running at
+//                 its own — possibly emulated — speed)
+//   starved     = blocked-upstream (input not arriving)
+//   backpressed = blocked-downstream minus throttle (output not draining)
+// with parked time excluded from the denominator (gated workers are
+// deliberately idle, not evidence). The bottleneck is the stage with the
+// highest self fraction: the stage that is the constraint spends its time
+// working or waiting on its own rate limit, while the others starve or back
+// up behind it. Effective per-stage bandwidth is bytes / self-seconds — the
+// per-worker-second rate the stage actually achieved while it was the one
+// doing the work.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "telemetry/stage_clock.hpp"
+
+namespace automdt::telemetry {
+
+/// One pipeline stage's monotone totals, as fed to update().
+struct StageSample {
+  StageClockTotals clocks;
+  /// Token-bucket wait, a subset of clocks.blocked_downstream_ns.
+  std::uint64_t throttle_ns = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline constexpr int kPipelineStageCount = 3;  // read / network / write
+
+struct PipelineSample {
+  StageSample stages[kPipelineStageCount];
+};
+
+/// Per-stage utilization fractions for the last computed window.
+struct StageAttribution {
+  double busy_frac = 0.0;          // self / (self + starved + backpressed)
+  double blocked_frac = 0.0;       // 1 - busy_frac (when classifiable)
+  double starved_frac = 0.0;       // blocked-upstream share
+  double backpressure_frac = 0.0;  // blocked-downstream share, throttle removed
+  double eff_mbps = 0.0;           // bytes over self-time, Mbit per worker-second
+  double active_s = 0.0;           // non-parked worker-seconds in the window
+};
+
+struct Attribution {
+  int bottleneck = -1;  // 0 read, 1 network, 2 write; -1 = not classifiable
+  double window_s = 0.0;
+  StageAttribution stages[kPipelineStageCount];
+};
+
+class BottleneckAttributor {
+ public:
+  struct Config {
+    /// Minimum spacing between window recomputes; update() calls inside the
+    /// interval keep the previous attribution (snapshot storms stay cheap).
+    double min_interval_s = 0.2;
+    /// A stage needs this many non-parked worker-seconds in the window to be
+    /// eligible; below it the verdict is "not classifiable" rather than a
+    /// guess from noise.
+    double min_active_s = 1e-3;
+  };
+
+  BottleneckAttributor() : BottleneckAttributor(Config()) {}
+  explicit BottleneckAttributor(Config config);
+
+  /// Feed monotone absolute totals. Recomputes the window at most every
+  /// min_interval_s (the first call computes from zero, i.e. run-so-far).
+  /// Returns true when a new window was computed. Thread-safe.
+  bool update(const PipelineSample& sample, std::uint64_t now_ns);
+
+  /// Copy of the last computed attribution. Thread-safe.
+  Attribution attribution() const;
+
+  /// Human utilization evidence for stall reports, e.g.
+  /// "bottleneck: write | read 0.04 busy 0.92 backpressured, network 0.07
+  ///  busy 0.89 starved, write 0.97 busy". Empty until the first window.
+  std::string describe() const;
+
+  static const char* stage_label(int stage);  // "read" / "network" / "write"
+
+ private:
+  const Config config_;
+  mutable std::mutex mutex_;
+  bool primed_ = false;
+  std::uint64_t last_update_ns_ = 0;
+  PipelineSample last_;
+  Attribution current_;
+};
+
+}  // namespace automdt::telemetry

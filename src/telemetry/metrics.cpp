@@ -163,6 +163,30 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+void MetricsRegistry::visit(Visitor& visitor) const {
+  std::lock_guard lock(mutex_);
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        visitor.on_counter(e.name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        visitor.on_gauge(e.name, e.gauge->value());
+        break;
+      case Kind::kCallback:
+        visitor.on_gauge(e.name, e.callback ? e.callback() : 0.0);
+        break;
+      case Kind::kHistogram:
+        visitor.on_histogram(e.name, e.histogram->snapshot());
+        break;
+    }
+  }
+}
+
+double MetricsRegistry::uptime_s() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (Counter& c : counters_) c.reset();

@@ -117,6 +117,24 @@ class MetricsRegistry {
   /// Sample every metric once, in registration order.
   MetricsSnapshot snapshot() const;
 
+  /// Typed walk over every registered metric, in registration order, holding
+  /// the registry mutex (blocks registration, not recording). Unlike
+  /// snapshot(), histograms are delivered raw — the OpenMetrics exposition
+  /// (openmetrics.cpp) needs real bucket counts, not flattened quantiles.
+  /// Callbacks are evaluated and delivered as gauges.
+  class Visitor {
+   public:
+    virtual ~Visitor() = default;
+    virtual void on_counter(const std::string& name, std::uint64_t value) = 0;
+    virtual void on_gauge(const std::string& name, double value) = 0;
+    virtual void on_histogram(const std::string& name,
+                              const HistogramSnapshot& snapshot) = 0;
+  };
+  void visit(Visitor& visitor) const;
+
+  /// Seconds since the registry was created (same clock as snapshots).
+  double uptime_s() const;
+
   /// Zero every owned counter/gauge/histogram (callbacks are untouched).
   void reset();
 

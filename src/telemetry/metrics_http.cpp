@@ -1,0 +1,107 @@
+#include "telemetry/metrics_http.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace automdt::telemetry {
+namespace {
+
+// Content-Type per the OpenMetrics spec; Prometheus and curl both accept it.
+constexpr char kContentType[] =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string http_response(const char* status, const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += kContentType;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsHttpServerConfig config,
+                                     RenderFn render)
+    : config_(std::move(config)), render_(std::move(render)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start() {
+  if (started_) return true;
+  listener_ = net::Listener::open(config_.host, config_.port);
+  if (!listener_) return false;
+  port_ = listener_->port();
+  started_ = true;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto socket = listener_->accept(config_.accept_poll_s);
+    if (!socket) continue;  // timeout poll, or woken by stop()
+    std::lock_guard lock(connections_mutex_);
+    if (stopping_.load()) return;  // stop() won the race; it joins us next
+    net::Socket& slot = connections_.emplace_back(std::move(*socket));
+    handlers_.emplace_back([this, s = &slot] { serve_connection(s); });
+  }
+}
+
+void MetricsHttpServer::serve_connection(net::Socket* socket) {
+  // Read until the end of the request head; scrape requests have no body.
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    std::size_t received = 0;
+    const auto status =
+        socket->read_some(buf, sizeof(buf), config_.io_timeout_s, &received);
+    if (status != net::SocketStatus::kOk || received == 0) return;
+    request.append(buf, received);
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const std::string line = request.substr(0, line_end);
+
+  std::string response;
+  if (line.rfind("GET ", 0) != 0) {
+    response = http_response("405 Method Not Allowed", "method not allowed\n");
+  } else if (line.rfind("GET /metrics ", 0) == 0 ||
+             line.rfind("GET /metrics?", 0) == 0) {
+    response = http_response("200 OK", render_ ? render_() : "# EOF\n");
+  } else {
+    response = http_response("404 Not Found", "only /metrics is served\n");
+  }
+  if (socket->write_all(response.data(), response.size(),
+                        config_.io_timeout_s) == net::SocketStatus::kOk)
+    requests_.fetch_add(1);
+  socket->shutdown_both();
+}
+
+void MetricsHttpServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  listener_->shutdown();  // wakes a blocked accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::deque<net::Socket> connections;
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+    handlers.swap(handlers_);
+  }
+  for (net::Socket& socket : connections) socket.shutdown_both();
+  for (std::thread& handler : handlers)
+    if (handler.joinable()) handler.join();
+  listener_->close();
+  listener_.reset();
+  started_ = false;
+}
+
+}  // namespace automdt::telemetry

@@ -1,0 +1,70 @@
+// Minimal HTTP/1.1 responder for `GET /metrics`.
+//
+// Serves a Prometheus-/OpenMetrics-format scrape endpoint next to the
+// existing kStatsSnapshot RPC plane (stats_server.hpp): same accept-thread +
+// thread-per-connection shape, but speaking just enough HTTP/1.1 for
+// `curl :PORT/metrics` and a Prometheus scraper — one request per
+// connection, `Connection: close`, no keep-alive, no TLS. The body is
+// produced by a caller-supplied render function so the CLI can serve a live
+// TransferSession registry (re-resolved per scrape: sessions recycle across
+// transfers), a SessionServer registry, or the trainer's local registry
+// through one server type.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace automdt::telemetry {
+
+struct MetricsHttpServerConfig {
+  std::string host = "0.0.0.0";  // scrape endpoints are usually remote
+  std::uint16_t port = 0;        // 0 = ephemeral (tests)
+  double accept_poll_s = 0.2;    // stop() latency bound
+  double io_timeout_s = 5.0;     // per-request read/write budget
+};
+
+class MetricsHttpServer {
+ public:
+  /// Renders one scrape body (OpenMetrics text, see openmetrics.hpp). Called
+  /// per request from a connection thread; must be thread-safe.
+  using RenderFn = std::function<std::string()>;
+
+  MetricsHttpServer(MetricsHttpServerConfig config, RenderFn render);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  bool start();
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(net::Socket* socket);
+
+  MetricsHttpServerConfig config_;
+  RenderFn render_;
+  std::optional<net::Listener> listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::deque<net::Socket> connections_;  // stable addresses across growth
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace automdt::telemetry

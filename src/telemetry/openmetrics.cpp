@@ -1,0 +1,191 @@
+#include "telemetry/openmetrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace automdt::telemetry {
+namespace {
+
+bool valid_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+std::string sanitize(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+/// "0.97", "123", "NaN", "+Inf" — integral values print without a fraction
+/// so counters stay exact and the golden test stays readable.
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 9.0e15)
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  else
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+struct Item {
+  OpenMetricsName name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value = 0.0;
+  HistogramSnapshot hist;
+};
+
+class Collector : public MetricsRegistry::Visitor {
+ public:
+  void on_counter(const std::string& name, std::uint64_t value) override {
+    items_.push_back({openmetrics_name(name), Item::Kind::kCounter,
+                      static_cast<double>(value), {}});
+  }
+  void on_gauge(const std::string& name, double value) override {
+    items_.push_back({openmetrics_name(name), Item::Kind::kGauge, value, {}});
+  }
+  void on_histogram(const std::string& name,
+                    const HistogramSnapshot& snapshot) override {
+    items_.push_back(
+        {openmetrics_name(name), Item::Kind::kHistogram, 0.0, snapshot});
+  }
+  std::vector<Item> items_;
+};
+
+/// `{session="7"}` / `{session="7",le="63"}` / `{le="63"}` / ``.
+std::string label_set(const OpenMetricsName& name, const char* le = nullptr) {
+  if (name.label_key.empty() && le == nullptr) return "";
+  std::string out = "{";
+  if (!name.label_key.empty()) {
+    out += name.label_key;
+    out += "=\"";
+    out += openmetrics_escape_label(name.label_value);
+    out += '"';
+    if (le != nullptr) out += ',';
+  }
+  if (le != nullptr) {
+    out += "le=\"";
+    out += le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void render_item(std::string& out, const Item& item) {
+  const std::string labels = label_set(item.name);
+  switch (item.kind) {
+    case Item::Kind::kCounter:
+      out += item.name.family + "_total" + labels + ' ' +
+             format_value(item.value) + '\n';
+      break;
+    case Item::Kind::kGauge:
+      out += item.name.family + labels + ' ' + format_value(item.value) + '\n';
+      break;
+    case Item::Kind::kHistogram: {
+      // Cumulative buckets over the histogram's exact integer upper bounds;
+      // empty buckets are skipped (1920 log-linear buckets would bloat every
+      // scrape), +Inf always closes the series.
+      std::uint64_t cumulative = 0;
+      char le[32];
+      for (std::size_t i = 0; i < item.hist.counts.size(); ++i) {
+        if (item.hist.counts[i] == 0) continue;
+        cumulative += item.hist.counts[i];
+        std::snprintf(le, sizeof(le), "%llu",
+                      static_cast<unsigned long long>(
+                          LogLinearHistogram::bucket_upper(i)));
+        out += item.name.family + "_bucket" + label_set(item.name, le) + ' ' +
+               format_value(static_cast<double>(cumulative)) + '\n';
+      }
+      out += item.name.family + "_bucket" + label_set(item.name, "+Inf") +
+             ' ' + format_value(static_cast<double>(item.hist.count)) + '\n';
+      out += item.name.family + "_sum" + labels + ' ' +
+             format_value(static_cast<double>(item.hist.sum)) + '\n';
+      out += item.name.family + "_count" + labels + ' ' +
+             format_value(static_cast<double>(item.hist.count)) + '\n';
+      break;
+    }
+  }
+}
+
+const char* type_name(Item::Kind kind) {
+  switch (kind) {
+    case Item::Kind::kCounter: return "counter";
+    case Item::Kind::kGauge: return "gauge";
+    case Item::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+OpenMetricsName openmetrics_name(std::string_view raw) {
+  OpenMetricsName out;
+  // session.<id>.rest / tenant.<name>.rest -> label; the middle component is
+  // operator data (tenant names especially), not a metric name.
+  for (const std::string_view prefix : {"session.", "tenant."}) {
+    if (raw.size() > prefix.size() &&
+        raw.substr(0, prefix.size()) == prefix) {
+      const std::size_t dot = raw.find('.', prefix.size());
+      if (dot != std::string_view::npos && dot + 1 < raw.size()) {
+        out.label_key = std::string(prefix.substr(0, prefix.size() - 1));
+        out.label_value = std::string(raw.substr(prefix.size(),
+                                                 dot - prefix.size()));
+        out.family = "automdt_" + out.label_key + '_' +
+                     sanitize(raw.substr(dot + 1));
+        return out;
+      }
+    }
+  }
+  out.family = "automdt_" + sanitize(raw);
+  return out;
+}
+
+std::string openmetrics_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_openmetrics(const MetricsRegistry& registry) {
+  Collector collector;
+  collector.on_gauge("uptime_seconds", registry.uptime_s());
+  registry.visit(collector);
+
+  // Group samples by family: one # TYPE line per family, all samples (e.g.
+  // every session's label variant) directly beneath it, first-seen order.
+  std::vector<std::size_t> family_order;
+  std::map<std::string, std::vector<std::size_t>> families;
+  for (std::size_t i = 0; i < collector.items_.size(); ++i) {
+    auto [it, inserted] =
+        families.try_emplace(collector.items_[i].name.family);
+    if (inserted) family_order.push_back(i);
+    it->second.push_back(i);
+  }
+
+  std::string out;
+  out.reserve(4096);
+  for (const std::size_t first : family_order) {
+    const Item& head = collector.items_[first];
+    out += "# TYPE " + head.name.family + ' ' + type_name(head.kind) + '\n';
+    for (const std::size_t i : families[head.name.family])
+      render_item(out, collector.items_[i]);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace automdt::telemetry

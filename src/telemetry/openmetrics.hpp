@@ -1,0 +1,47 @@
+// OpenMetrics / Prometheus text exposition for a MetricsRegistry.
+//
+// The registry's dotted names are mapped onto the Prometheus data model
+// (DESIGN.md §14):
+//
+//   read.bytes            -> automdt_read_bytes_total        (counter)
+//   queue.occupancy       -> automdt_queue_occupancy         (gauge)
+//   session.7.bytes_ok    -> automdt_session_bytes_ok_total{session="7"}
+//   tenant.alice.rejects  -> automdt_tenant_rejects_total{tenant="alice"}
+//   read.latency_ns       -> automdt_read_latency_ns_bucket{le="..."} series
+//                            + _sum + _count                 (histogram)
+//
+// i.e. every name gets the `automdt_` prefix, characters outside
+// [a-zA-Z0-9_:] become `_`, the per-session / per-tenant middle component is
+// lifted into a label (escaped per the exposition format), samples of one
+// family are grouped under a single `# TYPE` line, counters get the `_total`
+// suffix, and `LogLinearHistogram`s render as cumulative `_bucket` series
+// over their exact integer bucket upper bounds. Output ends with `# EOF`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+
+namespace automdt::telemetry {
+
+/// Family name + optional session/tenant label derived from a dotted
+/// registry metric name. Exposed for tests.
+struct OpenMetricsName {
+  std::string family;       // sanitized, automdt_-prefixed, no type suffix
+  std::string label_key;    // "session", "tenant", or empty
+  std::string label_value;  // unescaped
+};
+
+OpenMetricsName openmetrics_name(std::string_view raw);
+
+/// Escape a label value per the exposition format: backslash, double quote,
+/// and newline.
+std::string openmetrics_escape_label(std::string_view value);
+
+/// Render the whole registry (counters, gauges, callbacks-as-gauges,
+/// histograms) as OpenMetrics text, terminated by `# EOF`. Also emits
+/// `automdt_uptime_seconds`. Safe to call while workers record.
+std::string render_openmetrics(const MetricsRegistry& registry);
+
+}  // namespace automdt::telemetry

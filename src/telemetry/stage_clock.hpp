@@ -1,0 +1,168 @@
+// Always-on per-worker stage time accounting.
+//
+// Each pipeline worker (reader / network / writer thread, serve-plane event
+// loop or pool worker) owns one StageClock slot and records which of four
+// states it is in:
+//
+//   busy               servicing its stage (reading, sending, verifying, ...)
+//   blocked-upstream   waiting for input (staging-ring pop, work-ring pop)
+//   blocked-downstream waiting for output (staging-ring push, token-bucket
+//                      acquire, socket POLLOUT, admission defer)
+//   parked             concurrency gate below this worker's id, epoll idle
+//                      wait, or the worker has retired
+//
+// The design goal is zero cost on the unblocked hot path: transitions are
+// *lazy*. A worker only calls enter() when an operation actually blocks
+// (try_pop/try_push failed, the token bucket is throttled, the gate predicate
+// is false), so a pipeline running at full speed performs no clock reads at
+// all — busy time accumulates implicitly as `now - since` and is folded in by
+// the reader at aggregation time. Each slot is single-writer (the owning
+// thread) / multi-reader (metrics callbacks), all relaxed atomics, one cache
+// line per worker so aggregation scans never bounce a hot line between
+// workers (same discipline as the MetricsRegistry counters, DESIGN.md §8).
+//
+// Readers get totals that are accurate to within one in-flight transition;
+// for the seconds-scale windows the BottleneckAttributor integrates over,
+// that error is negligible (documented in DESIGN.md §14).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "telemetry/trace.hpp"
+
+namespace automdt::telemetry {
+
+enum class WorkerState : std::uint32_t {
+  kBusy = 0,
+  kBlockedUpstream = 1,
+  kBlockedDownstream = 2,
+  kParked = 3,
+};
+
+inline constexpr std::size_t kWorkerStateCount = 4;
+
+inline const char* to_string(WorkerState state) {
+  switch (state) {
+    case WorkerState::kBusy: return "busy";
+    case WorkerState::kBlockedUpstream: return "blocked-upstream";
+    case WorkerState::kBlockedDownstream: return "blocked-downstream";
+    case WorkerState::kParked: return "parked";
+  }
+  return "?";
+}
+
+/// Per-state nanosecond totals summed across a set of worker slots.
+struct StageClockTotals {
+  std::uint64_t busy_ns = 0;
+  std::uint64_t blocked_upstream_ns = 0;
+  std::uint64_t blocked_downstream_ns = 0;
+  std::uint64_t parked_ns = 0;
+
+  std::uint64_t state_ns(WorkerState state) const {
+    switch (state) {
+      case WorkerState::kBusy: return busy_ns;
+      case WorkerState::kBlockedUpstream: return blocked_upstream_ns;
+      case WorkerState::kBlockedDownstream: return blocked_downstream_ns;
+      case WorkerState::kParked: return parked_ns;
+    }
+    return 0;
+  }
+};
+
+/// One worker's clock. Single writer (the owning thread); any number of
+/// concurrent readers via read_into(). Padded to a cache line.
+class alignas(64) StageClock {
+ public:
+  StageClock() = default;
+  StageClock(const StageClock&) = delete;
+  StageClock& operator=(const StageClock&) = delete;
+
+  /// Owner thread: begin accounting (state = busy). Until start() the slot
+  /// contributes nothing, so pre-sized sets cost nothing for idle slots.
+  void start() {
+    state_.store(static_cast<std::uint32_t>(WorkerState::kBusy),
+                 std::memory_order_relaxed);
+    since_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Owner thread: transition to `next`, crediting the elapsed interval to
+  /// the outgoing state. Returns the timestamp used, so callers that need a
+  /// span around a blocking call (e.g. token-bucket throttle accounting) can
+  /// reuse it without a second clock read.
+  std::uint64_t enter(WorkerState next) {
+    const std::uint64_t now = now_ns();
+    const std::uint64_t since = since_ns_.load(std::memory_order_relaxed);
+    if (since == 0) {  // enter() before start(): begin accounting here
+      state_.store(static_cast<std::uint32_t>(next), std::memory_order_relaxed);
+      since_ns_.store(now, std::memory_order_relaxed);
+      return now;
+    }
+    const auto current = state_.load(std::memory_order_relaxed);
+    acc_[current].fetch_add(now - since, std::memory_order_relaxed);
+    state_.store(static_cast<std::uint32_t>(next), std::memory_order_relaxed);
+    since_ns_.store(now, std::memory_order_relaxed);
+    return now;
+  }
+
+  WorkerState state() const {
+    return static_cast<WorkerState>(state_.load(std::memory_order_relaxed));
+  }
+
+  /// Reader: add this slot's per-state totals (completed intervals plus the
+  /// in-progress one) into `totals`. Tolerates a concurrent transition: the
+  /// worst case misattributes one interval boundary by one transition.
+  void read_into(StageClockTotals& totals, std::uint64_t now) const {
+    const std::uint64_t since = since_ns_.load(std::memory_order_relaxed);
+    const auto current = state_.load(std::memory_order_relaxed);
+    std::uint64_t acc[kWorkerStateCount];
+    for (std::size_t i = 0; i < kWorkerStateCount; ++i)
+      acc[i] = acc_[i].load(std::memory_order_relaxed);
+    if (since != 0 && now > since) acc[current] += now - since;
+    totals.busy_ns += acc[0];
+    totals.blocked_upstream_ns += acc[1];
+    totals.blocked_downstream_ns += acc[2];
+    totals.parked_ns += acc[3];
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kWorkerStateCount> acc_{};
+  std::atomic<std::uint32_t> state_{0};
+  std::atomic<std::uint64_t> since_ns_{0};  // 0 = not started
+};
+
+/// Fixed set of worker slots for one stage (sized once before workers start;
+/// slots are never reallocated, so worker threads hold stable pointers).
+class StageClockSet {
+ public:
+  StageClockSet() = default;
+  explicit StageClockSet(std::size_t slots) { resize(slots); }
+
+  /// Not thread-safe; call before any worker uses a slot.
+  void resize(std::size_t slots) {
+    slots_ = std::make_unique<StageClock[]>(slots);
+    count_ = slots;
+  }
+
+  std::size_t size() const { return count_; }
+
+  StageClock& slot(std::size_t i) { return slots_[i]; }
+  const StageClock& slot(std::size_t i) const { return slots_[i]; }
+
+  /// Sum all slots as of `now` (defaults to a fresh clock read).
+  StageClockTotals totals(std::uint64_t now = 0) const {
+    if (now == 0) now = now_ns();
+    StageClockTotals sum;
+    for (std::size_t i = 0; i < count_; ++i) slots_[i].read_into(sum, now);
+    return sum;
+  }
+
+ private:
+  std::unique_ptr<StageClock[]> slots_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace automdt::telemetry

@@ -119,6 +119,11 @@ TransferSession::TransferSession(EngineConfig config,
   sendfile_on_ = config_.backend == NetworkBackend::kTcp &&
                  config_.tcp.sendfile && !config_.file_io.source_dir.empty() &&
                  !config_.verify_payload;
+  stage_clocks_on_ =
+      config_.telemetry.enabled && config_.telemetry.stage_clocks;
+  if (stage_clocks_on_)
+    for (telemetry::StageClockSet& set : stage_clocks_)
+      set.resize(static_cast<std::size_t>(config_.max_threads));
   trace_on_ = telemetry::kTraceCompiledIn && config_.telemetry.enabled &&
               config_.telemetry.sample_every > 0;
   wire_stamp_on_ = trace_on_ && config_.telemetry.wire_stamp;
@@ -262,6 +267,78 @@ void TransferSession::register_metrics() {
   hist_e2e_ = registry_.histogram("trace.e2e_ns");
   hist_wire_ = registry_.histogram("trace.wire_ns");
   trace_skew_ = registry_.counter("trace.clock_skew");
+
+  // Stage clocks + online bottleneck attribution (DESIGN.md §14). All cold:
+  // evaluated only at snapshot time, reading relaxed per-worker slots.
+  if (!stage_clocks_on_) return;
+  for (const Stage stage : kAllStages) {
+    const int s = static_cast<int>(stage);
+    const std::string prefix = std::string("stage.") + stage_name(stage);
+    registry_.register_callback(prefix + ".busy_ns", [this, s] {
+      return static_cast<double>(stage_clocks_[s].totals().busy_ns);
+    });
+    registry_.register_callback(prefix + ".blocked_up_ns", [this, s] {
+      return static_cast<double>(stage_clocks_[s].totals().blocked_upstream_ns);
+    });
+    registry_.register_callback(prefix + ".blocked_down_ns", [this, s] {
+      return static_cast<double>(
+          stage_clocks_[s].totals().blocked_downstream_ns);
+    });
+    registry_.register_callback(prefix + ".parked_ns", [this, s] {
+      return static_cast<double>(stage_clocks_[s].totals().parked_ns);
+    });
+    registry_.register_callback(prefix + ".throttle_ns", [this, s] {
+      return static_cast<double>(stage_throttle_ns_[s].load());
+    });
+  }
+  // pipeline.bottleneck refreshes the attributor (rate-limited internally);
+  // it registers BEFORE the fraction gauges so one snapshot reads one
+  // consistent attribution window.
+  registry_.register_callback("pipeline.bottleneck", [this] {
+    attributor_.update(pipeline_sample(), telemetry::now_ns());
+    return static_cast<double>(attributor_.attribution().bottleneck);
+  });
+  for (const Stage stage : kAllStages) {
+    const int s = static_cast<int>(stage);
+    const std::string prefix = std::string("stage.") + stage_name(stage);
+    registry_.register_callback(prefix + ".busy_frac", [this, s] {
+      return attributor_.attribution().stages[s].busy_frac;
+    });
+    registry_.register_callback(prefix + ".blocked_frac", [this, s] {
+      return attributor_.attribution().stages[s].blocked_frac;
+    });
+    registry_.register_callback(prefix + ".eff_mbps", [this, s] {
+      return attributor_.attribution().stages[s].eff_mbps;
+    });
+  }
+}
+
+telemetry::PipelineSample TransferSession::pipeline_sample() const {
+  telemetry::PipelineSample sample;
+  const std::uint64_t now = telemetry::now_ns();
+  const telemetry::Counter* bytes[3] = {bytes_read_, bytes_sent_,
+                                        bytes_written_};
+  for (int s = 0; s < 3; ++s) {
+    sample.stages[s].clocks = stage_clocks_[s].totals(now);
+    sample.stages[s].throttle_ns = stage_throttle_ns_[s].load();
+    sample.stages[s].bytes = bytes[s] ? bytes[s]->value() : 0;
+  }
+  // The network stage blocks *inside* the socket layer when the kernel send
+  // buffer is full (its workers look busy to their own clock); fold the
+  // socket-level POLLOUT wait back into blocked-downstream.
+  if (net_ready_.load(std::memory_order_acquire)) {
+    const std::uint64_t wait = stream_pool_->send_wait_ns();
+    telemetry::StageClockTotals& net = sample.stages[1].clocks;
+    net.blocked_downstream_ns += wait;
+    net.busy_ns -= std::min(net.busy_ns, wait);
+  }
+  return sample;
+}
+
+std::string TransferSession::bottleneck_report() {
+  if (!stage_clocks_on_) return {};
+  attributor_.update(pipeline_sample(), telemetry::now_ns());
+  return attributor_.describe();
 }
 
 TransferSession::~TransferSession() { stop(); }
@@ -527,17 +604,77 @@ void TransferSession::stop() {
   sink_fds_.clear();
 }
 
-bool TransferSession::wait_for_turn(Stage stage, int worker_id) {
+bool TransferSession::wait_for_turn(Stage stage, int worker_id,
+                                    telemetry::StageClock* clock) {
   const int idx = static_cast<int>(stage);
   std::unique_lock lock(gate_mutex_);
-  gate_cv_.wait(lock, [&] {
+  const auto turn = [&] {
     return stopping_.load() || finished_.load() || worker_id < active_[idx];
-  });
+  };
+  if (!turn()) {
+    // Gated below the active count: deliberately idle, not blocked — the
+    // lazy-transition discipline means an ungated worker never gets here.
+    if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
+    gate_cv_.wait(lock, turn);
+    if (clock != nullptr) clock->enter(telemetry::WorkerState::kBusy);
+  }
   return !stopping_.load() && !finished_.load();
 }
 
+bool TransferSession::pop_staged(StagingQueue& queue, Chunk& out,
+                                 telemetry::StageClock* clock) {
+  if (clock == nullptr) return queue.pop(out);
+  if (queue.try_pop(out)) return true;  // hot path: no clock reads
+  clock->enter(telemetry::WorkerState::kBlockedUpstream);
+  const bool ok = queue.pop(out);
+  clock->enter(telemetry::WorkerState::kBusy);
+  return ok;
+}
+
+bool TransferSession::push_staged(StagingQueue& queue, Chunk chunk,
+                                  telemetry::StageClock* clock) {
+  if (clock == nullptr) return queue.push(std::move(chunk));
+  if (queue.try_push(chunk)) return true;  // moves only on success
+  clock->enter(telemetry::WorkerState::kBlockedDownstream);
+  const bool ok = queue.push(std::move(chunk));
+  clock->enter(telemetry::WorkerState::kBusy);
+  return ok;
+}
+
+bool TransferSession::acquire_timed(TokenBucket& bucket, double bytes,
+                                    Stage stage,
+                                    telemetry::StageClock* clock) {
+  // Unthrottled buckets keep their lock-free no-clock fast path; a throttled
+  // stage is already on a sleeping path, so two clock reads are free there.
+  if (clock == nullptr || !bucket.throttled()) return bucket.acquire(bytes);
+  const std::uint64_t t0 =
+      clock->enter(telemetry::WorkerState::kBlockedDownstream);
+  const bool ok = bucket.acquire(bytes);
+  const std::uint64_t t1 = clock->enter(telemetry::WorkerState::kBusy);
+  stage_throttle_ns_[static_cast<int>(stage)].fetch_add(
+      t1 - t0, std::memory_order_relaxed);
+  return ok;
+}
+
+bool TransferSession::acquire_batch_timed(TokenBucket& bucket,
+                                          double total_bytes, int grants,
+                                          Stage stage,
+                                          telemetry::StageClock* clock) {
+  if (clock == nullptr || !bucket.throttled())
+    return bucket.acquire_batch(total_bytes, grants);
+  const std::uint64_t t0 =
+      clock->enter(telemetry::WorkerState::kBlockedDownstream);
+  const bool ok = bucket.acquire_batch(total_bytes, grants);
+  const std::uint64_t t1 = clock->enter(telemetry::WorkerState::kBusy);
+  stage_throttle_ns_[static_cast<int>(stage)].fetch_add(
+      t1 - t0, std::memory_order_relaxed);
+  return ok;
+}
+
 void TransferSession::reader_loop(int worker_id) {
-  while (wait_for_turn(Stage::kRead, worker_id)) {
+  telemetry::StageClock* clock = stage_clock(Stage::kRead, worker_id);
+  if (clock != nullptr) clock->start();
+  while (wait_for_turn(Stage::kRead, worker_id, clock)) {
     // Claim the next chunk of the dataset: one atomic ticket, then map the
     // global chunk index back to (file, offset).
     const std::uint64_t idx =
@@ -571,7 +708,7 @@ void TransferSession::reader_loop(int worker_id) {
     chunk.size = static_cast<std::uint32_t>(
         std::min<double>(config_.chunk_bytes, remaining));
 
-    if (!read_bucket_.acquire(chunk.size)) break;
+    if (!acquire_timed(read_bucket_, chunk.size, Stage::kRead, clock)) break;
 
     // Trace span: service time for this stage's real work (payload fill +
     // checksum), then stamp the enqueue instant into the chunk header so the
@@ -625,7 +762,7 @@ void TransferSession::reader_loop(int worker_id) {
     // Count before publishing: once the chunk is visible downstream the
     // pipeline can finish, and stats() must already include it.
     bytes_read_->add(size);
-    if (!sender_queue_->push(std::move(chunk))) {
+    if (!push_staged(*sender_queue_, std::move(chunk), clock)) {
       bytes_read_->sub(size);
       break;
     }
@@ -633,14 +770,16 @@ void TransferSession::reader_loop(int worker_id) {
       sender_queue_->close();  // no more data will be produced
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 bool TransferSession::pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
-                                std::uint64_t& total_bytes) {
+                                std::uint64_t& total_bytes,
+                                telemetry::StageClock* clock) {
   batch.clear();
   total_bytes = 0;
   Chunk first;
-  if (!queue.pop(first)) return false;  // closed and drained
+  if (!pop_staged(queue, first, clock)) return false;  // closed and drained
   total_bytes += first.size;
   batch.push_back(std::move(first));
   const std::uint64_t byte_budget = config_.tcp.max_coalesced_bytes;
@@ -654,17 +793,20 @@ bool TransferSession::pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
 }
 
 void TransferSession::network_loop_tcp(int worker_id) {
+  telemetry::StageClock* clock = stage_clock(Stage::kNetwork, worker_id);
+  if (clock != nullptr) clock->start();
   std::vector<Chunk> batch;
   std::vector<net::WireChunk> wires;
   batch.reserve(batch_chunks_);
   wires.reserve(batch_chunks_);
-  while (wait_for_turn(Stage::kNetwork, worker_id)) {
+  while (wait_for_turn(Stage::kNetwork, worker_id, clock)) {
     std::uint64_t total = 0;
-    if (!pop_batch(*sender_queue_, batch, total)) break;
+    if (!pop_batch(*sender_queue_, batch, total, clock)) break;
     // One admission for the whole batch: a single bucket round-trip (none
     // at all when the stage is unthrottled).
-    if (!network_bucket_.acquire_batch(static_cast<double>(total),
-                                       static_cast<int>(batch.size()))) {
+    if (!acquire_batch_timed(network_bucket_, static_cast<double>(total),
+                             static_cast<int>(batch.size()), Stage::kNetwork,
+                             clock)) {
       break;
     }
     if (sendfile_on_) {
@@ -768,16 +910,20 @@ void TransferSession::network_loop_tcp(int worker_id) {
       }
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 void TransferSession::network_loop(int worker_id) {
+  telemetry::StageClock* clock = stage_clock(Stage::kNetwork, worker_id);
+  if (clock != nullptr) clock->start();
   std::vector<Chunk> batch;
   batch.reserve(batch_chunks_);
-  while (wait_for_turn(Stage::kNetwork, worker_id)) {
+  while (wait_for_turn(Stage::kNetwork, worker_id, clock)) {
     std::uint64_t total = 0;
-    if (!pop_batch(*sender_queue_, batch, total)) break;
-    if (!network_bucket_.acquire_batch(static_cast<double>(total),
-                                       static_cast<int>(batch.size()))) {
+    if (!pop_batch(*sender_queue_, batch, total, clock)) break;
+    if (!acquire_batch_timed(network_bucket_, static_cast<double>(total),
+                             static_cast<int>(batch.size()), Stage::kNetwork,
+                             clock)) {
       break;
     }
     // One clock read covers the whole batch: it closes every sampled
@@ -810,8 +956,10 @@ void TransferSession::network_loop(int worker_id) {
       }
       const std::uint32_t size = chunk.size;
       bytes_sent_->add(size);
-      if (!receiver_queue_->push(std::move(chunk))) {
+      if (!push_staged(*receiver_queue_, std::move(chunk), clock)) {
         bytes_sent_->sub(size);
+        if (clock != nullptr)
+          clock->enter(telemetry::WorkerState::kParked);
         return;
       }
       if (chunks_forwarded_->add() == total_chunks_) {
@@ -819,6 +967,7 @@ void TransferSession::network_loop(int worker_id) {
       }
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 void TransferSession::writer_loop(int worker_id) {
@@ -827,14 +976,16 @@ void TransferSession::writer_loop(int worker_id) {
     writer_loop_uring(worker_id);
     return;
   }
+  telemetry::StageClock* clock = stage_clock(Stage::kWrite, worker_id);
+  if (clock != nullptr) clock->start();
   // Payloads exist (and so can be verified) when the reader filled them or
   // read them from real source files; sendfile'd frames arrive unchecked
   // with no sender-side checksum to verify against.
   const bool verify = config_.verify_payload &&
                       (config_.fill_payload || !source_fds_.empty());
-  while (wait_for_turn(Stage::kWrite, worker_id)) {
+  while (wait_for_turn(Stage::kWrite, worker_id, clock)) {
     Chunk chunk;
-    if (!receiver_queue_->pop(chunk)) break;
+    if (!pop_staged(*receiver_queue_, chunk, clock)) break;
     std::uint64_t trace_t0 = 0;
     if constexpr (telemetry::kTraceCompiledIn) {
       if (chunk.trace_enqueue_ns != 0) {
@@ -843,7 +994,8 @@ void TransferSession::writer_loop(int worker_id) {
             chunk.trace_enqueue_ns, trace_t0, trace_skew_));
       }
     }
-    if (!write_bucket_.acquire(chunk.size)) break;
+    if (!acquire_timed(write_bucket_, chunk.size, Stage::kWrite, clock))
+      break;
     if (verify) {
       if (chunk_checksum(chunk.payload_data(), chunk.payload_size()) !=
           chunk.checksum) {
@@ -895,6 +1047,7 @@ void TransferSession::writer_loop(int worker_id) {
       finish_cv_.notify_all();
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 void TransferSession::reader_loop_file(int worker_id) {
@@ -922,7 +1075,9 @@ void TransferSession::reader_loop_file(int worker_id) {
   const std::uint64_t claim = ring ? batch_chunks_ : 1;
   std::vector<Chunk> batch;
   batch.reserve(static_cast<std::size_t>(claim));
-  while (wait_for_turn(Stage::kRead, worker_id)) {
+  telemetry::StageClock* clock = stage_clock(Stage::kRead, worker_id);
+  if (clock != nullptr) clock->start();
+  while (wait_for_turn(Stage::kRead, worker_id, clock)) {
     const std::uint64_t base =
         claim_cursor_.fetch_add(claim, std::memory_order_relaxed);
     if (base >= total_chunks_) break;
@@ -960,8 +1115,9 @@ void TransferSession::reader_loop_file(int worker_id) {
       total += chunk.size;
       batch.push_back(std::move(chunk));
     }
-    if (!read_bucket_.acquire_batch(static_cast<double>(total),
-                                    static_cast<int>(batch.size()))) {
+    if (!acquire_batch_timed(read_bucket_, static_cast<double>(total),
+                             static_cast<int>(batch.size()), Stage::kRead,
+                             clock)) {
       break;
     }
     if (!sendfile_on_) {
@@ -1055,8 +1211,10 @@ void TransferSession::reader_loop_file(int worker_id) {
       }
       const std::uint32_t size = chunk.size;
       bytes_read_->add(size);
-      if (!sender_queue_->push(std::move(chunk))) {
+      if (!push_staged(*sender_queue_, std::move(chunk), clock)) {
         bytes_read_->sub(size);
+        if (clock != nullptr)
+          clock->enter(telemetry::WorkerState::kParked);
         return;
       }
       if (chunks_pushed_->add() == total_chunks_) {
@@ -1064,6 +1222,7 @@ void TransferSession::reader_loop_file(int worker_id) {
       }
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 void TransferSession::writer_loop_uring(int worker_id) {
@@ -1093,11 +1252,14 @@ void TransferSession::writer_loop_uring(int worker_id) {
   batch.reserve(batch_chunks_);
   const bool verify = config_.verify_payload &&
                       (config_.fill_payload || !source_fds_.empty());
-  while (wait_for_turn(Stage::kWrite, worker_id)) {
+  telemetry::StageClock* clock = stage_clock(Stage::kWrite, worker_id);
+  if (clock != nullptr) clock->start();
+  while (wait_for_turn(Stage::kWrite, worker_id, clock)) {
     std::uint64_t total = 0;
-    if (!pop_batch(*receiver_queue_, batch, total)) break;
-    if (!write_bucket_.acquire_batch(static_cast<double>(total),
-                                     static_cast<int>(batch.size()))) {
+    if (!pop_batch(*receiver_queue_, batch, total, clock)) break;
+    if (!acquire_batch_timed(write_bucket_, static_cast<double>(total),
+                             static_cast<int>(batch.size()), Stage::kWrite,
+                             clock)) {
       break;
     }
     if (verify) {
@@ -1172,6 +1334,7 @@ void TransferSession::writer_loop_uring(int worker_id) {
       }
     }
   }
+  if (clock != nullptr) clock->enter(telemetry::WorkerState::kParked);
 }
 
 bool TransferSession::pread_full(int fd, std::byte* dst, std::size_t size,

@@ -50,7 +50,9 @@
 #include "common/mpmc_queue.hpp"
 #include "common/mpmc_ring.hpp"
 #include "common/units.hpp"
+#include "telemetry/bottleneck.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/stage_clock.hpp"
 #include "telemetry/trace.hpp"
 #include "transfer/token_bucket.hpp"
 
@@ -209,6 +211,11 @@ struct TelemetryOptions {
   /// Flight recorder for failure-path dumps (payload verify failures, data-
   /// plane send failures). Not owned; null disables.
   telemetry::FlightRecorder* flight = nullptr;
+  /// Per-worker stage clocks + online bottleneck attribution (DESIGN.md §14).
+  /// Transitions are lazy (recorded only when an operation actually blocks),
+  /// so this stays on by default; the flag exists as the A/B seam for the
+  /// bench_engine_hotpath overhead column.
+  bool stage_clocks = true;
 };
 
 /// Fault injection for tests and the CI stall smoke: makes "a stage silently
@@ -343,6 +350,13 @@ class StagingQueue {
     return true;
   }
 
+  /// Non-blocking push that moves from `chunk` only on success, so stage
+  /// clocks can probe for backpressure before committing to a blocking push.
+  bool try_push(Chunk& chunk) {
+    return ring_ ? ring_->try_push_inplace(chunk)
+                 : mutex_->try_push_inplace(chunk);
+  }
+
   void close() { ring_ ? ring_->close() : mutex_->close(); }
   std::size_t size() const { return ring_ ? ring_->size() : mutex_->size(); }
   std::size_t capacity() const {
@@ -382,6 +396,11 @@ class TransferSession {
   /// The session-owned registry (tests, recorders that want to attach).
   telemetry::MetricsRegistry& registry() { return registry_; }
 
+  /// Current utilization evidence ("bottleneck: write | read 0.04 busy ...")
+  /// from the online attributor, refreshing it first. Empty when stage
+  /// clocks are disabled. Fed to the watchdog as stall-report context.
+  std::string bottleneck_report();
+
   double total_bytes() const { return total_bytes_; }
 
   /// Block until every chunk is written (or timeout). True on completion.
@@ -409,14 +428,42 @@ class TransferSession {
   /// Create + pattern-fill source files, open sink files. True when file
   /// I/O is unconfigured or ready; false on any filesystem failure.
   bool setup_file_io();
-  bool wait_for_turn(Stage stage, int worker_id);
+  bool wait_for_turn(Stage stage, int worker_id,
+                     telemetry::StageClock* clock = nullptr);
   void update_bucket_rates();
   bool start_tcp_backend();
   /// Drain one blocking pop plus whatever is already staged, bounded by the
   /// coalescing budget. Returns false iff the queue closed and drained.
   bool pop_batch(StagingQueue& queue, std::vector<Chunk>& batch,
-                 std::uint64_t& total_bytes);
+                 std::uint64_t& total_bytes,
+                 telemetry::StageClock* clock = nullptr);
   void register_metrics();
+
+  // Stage-clock seams (DESIGN.md §14). All are no-ops resolving to the plain
+  // operation when clocks are off (null clock), and on the unblocked hot
+  // path they cost exactly one failed-probe branch: state transitions are
+  // recorded only when the operation actually blocks.
+  telemetry::StageClock* stage_clock(Stage stage, int worker_id) {
+    return stage_clocks_on_ ? &stage_clocks_[static_cast<int>(stage)].slot(
+                                  static_cast<std::size_t>(worker_id))
+                            : nullptr;
+  }
+  /// pop that books empty-queue wait as blocked-upstream.
+  bool pop_staged(StagingQueue& queue, Chunk& out,
+                  telemetry::StageClock* clock);
+  /// push that books full-queue wait as blocked-downstream.
+  bool push_staged(StagingQueue& queue, Chunk chunk,
+                   telemetry::StageClock* clock);
+  /// Token-bucket admissions that book throttled waits as blocked-downstream
+  /// and additionally accrue stage_throttle_ns_ so the attributor can
+  /// separate "waiting on my own rate limit" from real backpressure.
+  bool acquire_timed(TokenBucket& bucket, double bytes, Stage stage,
+                     telemetry::StageClock* clock);
+  bool acquire_batch_timed(TokenBucket& bucket, double total_bytes,
+                           int grants, Stage stage,
+                           telemetry::StageClock* clock);
+  /// Monotone stage-clock + byte-counter totals for the attributor.
+  telemetry::PipelineSample pipeline_sample() const;
 
   EngineConfig config_;
 
@@ -477,6 +524,16 @@ class TransferSession {
   TokenBucket read_bucket_;
   TokenBucket network_bucket_;
   TokenBucket write_bucket_;
+
+  // Per-worker stage clocks, one set per stage sized max_threads (stable
+  // slots; workers index by worker_id), plus the per-stage token-bucket wait
+  // side-channel and the online bottleneck classifier fed from both
+  // (DESIGN.md §14). stage_clocks_on_ resolves telemetry.enabled &&
+  // telemetry.stage_clocks once so worker loops test one bool.
+  bool stage_clocks_on_ = true;
+  telemetry::StageClockSet stage_clocks_[3];
+  std::atomic<std::uint64_t> stage_throttle_ns_[3] = {};
+  telemetry::BottleneckAttributor attributor_;
 
   // Live concurrency gate.
   mutable std::mutex gate_mutex_;

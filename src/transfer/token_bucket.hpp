@@ -52,6 +52,13 @@ class TokenBucket {
     return waits_.load(std::memory_order_relaxed);
   }
 
+  /// True when a finite rate is set (acquire may block). Stage clocks use
+  /// this to decide whether an acquire is worth timing: the unlimited fast
+  /// path stays free of clock reads.
+  bool throttled() const {
+    return throttled_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 

@@ -1,0 +1,250 @@
+// BottleneckAttributor: classification rule unit tests on synthetic clock
+// samples, plus the ISSUE's acceptance check — the ONLINE attributor watching
+// a real throttled TransferSession must name the same bottleneck stage that
+// the probe's OFFLINE sweep derives for the matching Fig. 5 preset.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "probe/explorer.hpp"
+#include "probe/probe_log.hpp"
+#include "sim/simulator_env.hpp"
+#include "telemetry/bottleneck.hpp"
+#include "transfer/engine.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+StageSample make_stage(double busy_s, double up_s, double down_s,
+                       double throttle_s = 0.0, std::uint64_t bytes = 0) {
+  StageSample s;
+  s.clocks.busy_ns = static_cast<std::uint64_t>(busy_s * kSecond);
+  s.clocks.blocked_upstream_ns = static_cast<std::uint64_t>(up_s * kSecond);
+  s.clocks.blocked_downstream_ns =
+      static_cast<std::uint64_t>(down_s * kSecond);
+  s.throttle_ns = static_cast<std::uint64_t>(throttle_s * kSecond);
+  s.bytes = bytes;
+  return s;
+}
+
+BottleneckAttributor::Config immediate() {
+  BottleneckAttributor::Config c;
+  c.min_interval_s = 0.0;
+  return c;
+}
+
+TEST(BottleneckAttributor, ClassifiesBusyDominantStage) {
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  p.stages[0] = make_stage(0.9, 0.0, 0.1);  // read: almost always working
+  p.stages[1] = make_stage(0.2, 0.8, 0.0);  // network: starved
+  p.stages[2] = make_stage(0.1, 0.9, 0.0);  // write: starved
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_EQ(a.bottleneck, 0);
+  EXPECT_NEAR(a.stages[0].busy_frac, 0.9, 1e-9);
+  EXPECT_NEAR(a.stages[1].starved_frac, 0.8, 1e-9);
+  EXPECT_NEAR(a.stages[1].blocked_frac, 1.0 - a.stages[1].busy_frac, 1e-9);
+}
+
+TEST(BottleneckAttributor, ThrottleWaitCountsAsSelfNotBackpressure) {
+  // An emulated-rate stage books its token-bucket waits as blocked-downstream
+  // with a matching throttle_ns; the rule must fold that back into self so a
+  // throttled-but-constraining stage is still the bottleneck.
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  p.stages[0] = make_stage(0.1, 0.0, 0.9, /*throttle_s=*/0.9);
+  p.stages[1] = make_stage(0.3, 0.7, 0.0);
+  p.stages[2] = make_stage(0.2, 0.8, 0.0);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_EQ(a.bottleneck, 0);
+  EXPECT_NEAR(a.stages[0].busy_frac, 1.0, 1e-9);
+  EXPECT_NEAR(a.stages[0].backpressure_frac, 0.0, 1e-9);
+}
+
+TEST(BottleneckAttributor, BackpressureWithoutThrottleIsNotSelf) {
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  p.stages[0] = make_stage(0.2, 0.0, 0.8);  // read backed up behind network
+  p.stages[1] = make_stage(0.95, 0.05, 0.0);
+  p.stages[2] = make_stage(0.2, 0.8, 0.0);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_EQ(a.bottleneck, 1);
+  EXPECT_NEAR(a.stages[0].backpressure_frac, 0.8, 1e-9);
+}
+
+TEST(BottleneckAttributor, ParkedTimeIsExcludedFromDenominator) {
+  // Gated workers (concurrency below max_threads) are deliberately idle;
+  // 10 worker-seconds of parked time must not dilute a 1-second busy stage.
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  p.stages[0] = make_stage(1.0, 0.0, 0.0);
+  p.stages[0].clocks.parked_ns = 10 * kSecond;
+  p.stages[1] = make_stage(0.3, 0.7, 0.0);
+  p.stages[2] = make_stage(0.3, 0.7, 0.0);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_EQ(a.bottleneck, 0);
+  EXPECT_NEAR(a.stages[0].busy_frac, 1.0, 1e-9);
+  EXPECT_NEAR(a.stages[0].active_s, 1.0, 1e-9);
+}
+
+TEST(BottleneckAttributor, EffectiveBandwidthIsBytesOverSelfSeconds) {
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  // 125 MB over 1 busy worker-second = 1000 Mbit/s.
+  p.stages[0] = make_stage(1.0, 0.0, 0.0, 0.0, 125'000'000ull);
+  p.stages[1] = make_stage(0.5, 0.5, 0.0, 0.0, 125'000'000ull);
+  p.stages[2] = make_stage(0.5, 0.5, 0.0, 0.0, 125'000'000ull);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_NEAR(a.stages[0].eff_mbps, 1000.0, 1.0);
+  EXPECT_NEAR(a.stages[1].eff_mbps, 2000.0, 2.0);
+}
+
+TEST(BottleneckAttributor, RateLimitKeepsPreviousWindow) {
+  BottleneckAttributor::Config c;
+  c.min_interval_s = 1000.0;  // nothing after the first update recomputes
+  BottleneckAttributor attr(c);
+  PipelineSample p;
+  p.stages[0] = make_stage(0.9, 0.1, 0.0);
+  p.stages[1] = make_stage(0.2, 0.8, 0.0);
+  p.stages[2] = make_stage(0.2, 0.8, 0.0);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  EXPECT_EQ(attr.attribution().bottleneck, 0);
+
+  PipelineSample q;  // totals that would flip the verdict to write
+  q.stages[0] = make_stage(1.0, 1.0, 0.0);
+  q.stages[1] = make_stage(0.4, 1.6, 0.0);
+  q.stages[2] = make_stage(2.1, 0.9, 0.0);
+  EXPECT_FALSE(attr.update(q, 2 * kSecond));
+  EXPECT_EQ(attr.attribution().bottleneck, 0);  // unchanged inside interval
+}
+
+TEST(BottleneckAttributor, AttributesTheDeltaWindowNotTheCumulativeRun) {
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;  // first second: read-bound
+  p.stages[0] = make_stage(1.0, 0.0, 0.0);
+  p.stages[1] = make_stage(0.1, 0.9, 0.0);
+  p.stages[2] = make_stage(0.1, 0.9, 0.0);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  ASSERT_EQ(attr.attribution().bottleneck, 0);
+
+  // Second second: write becomes the constraint. Cumulatively read still has
+  // more busy time (1.1 vs 1.05 worker-seconds); only a delta window names
+  // write.
+  PipelineSample q;
+  q.stages[0] = make_stage(1.1, 0.0, 0.9);
+  q.stages[1] = make_stage(0.2, 1.0, 0.8);
+  q.stages[2] = make_stage(1.05, 0.95, 0.0);
+  ASSERT_TRUE(attr.update(q, 2 * kSecond));
+  const Attribution a = attr.attribution();
+  EXPECT_EQ(a.bottleneck, 2);
+  EXPECT_NEAR(a.window_s, 1.0, 1e-9);
+  EXPECT_NEAR(a.stages[2].busy_frac, 0.95, 1e-9);
+}
+
+TEST(BottleneckAttributor, InactivePipelineIsNotClassifiable) {
+  BottleneckAttributor attr(immediate());
+  EXPECT_TRUE(attr.describe().empty());  // no window computed yet
+  PipelineSample p;
+  for (auto& s : p.stages) s.clocks.parked_ns = kSecond;  // all parked
+  attr.update(p, kSecond);
+  EXPECT_EQ(attr.attribution().bottleneck, -1);
+  EXPECT_NE(attr.describe().find("unclassified"), std::string::npos);
+}
+
+TEST(BottleneckAttributor, DescribeNamesStagesAndEvidence) {
+  BottleneckAttributor attr(immediate());
+  PipelineSample p;
+  p.stages[0] = make_stage(0.2, 0.8, 0.0);
+  p.stages[1] = make_stage(0.9, 0.1, 0.0);
+  p.stages[2] = make_stage(0.3, 0.0, 0.7);
+  ASSERT_TRUE(attr.update(p, kSecond));
+  const std::string text = attr.describe();
+  EXPECT_NE(text.find("network"), std::string::npos);
+  EXPECT_NE(text.find("read"), std::string::npos);
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_STREQ(BottleneckAttributor::stage_label(0), "read");
+  EXPECT_STREQ(BottleneckAttributor::stage_label(1), "network");
+  EXPECT_STREQ(BottleneckAttributor::stage_label(2), "write");
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: online attribution vs the probe's offline ground truth on the
+// three Fig. 5 presets. The probe sweeps the emulated link and reports
+// per-thread stage rates; its weakest stage is the offline bottleneck. The
+// engine runs a REAL threaded transfer throttled to the same rate ratios; the
+// live attributor must name that same stage.
+// ---------------------------------------------------------------------------
+
+struct PresetCase {
+  const char* name;
+  double rates_mbps[3];  // per-connection read / network / write
+  int expected_stage;
+};
+
+int probe_offline_bottleneck(const PresetCase& preset) {
+  sim::SimScenario scenario;
+  scenario.sender_capacity = 2.0 * kGiB;
+  scenario.receiver_capacity = 2.0 * kGiB;
+  scenario.tpt_mbps = {preset.rates_mbps[0], preset.rates_mbps[1],
+                       preset.rates_mbps[2]};
+  scenario.bandwidth_mbps = {1000.0, 1000.0, 1000.0};
+  sim::SimulatorEnv env(scenario);
+  probe::Explorer explorer({600, 5, true});
+  Rng rng(7);
+  const probe::LinkEstimates e =
+      probe::LinkEstimates::from_log(explorer.run(env, rng));
+  const double tpt[3] = {e.tpt_mbps.read, e.tpt_mbps.network,
+                         e.tpt_mbps.write};
+  int weakest = 0;
+  for (int s = 1; s < 3; ++s)
+    if (tpt[s] < tpt[weakest]) weakest = s;
+  return weakest;
+}
+
+int engine_online_bottleneck(const PresetCase& preset) {
+  using transfer::EngineConfig;
+  using transfer::TransferSession;
+  EngineConfig cfg;
+  cfg.max_threads = 2;
+  cfg.chunk_bytes = 64 * 1024;
+  cfg.sender_buffer_bytes = 256.0 * 1024;
+  cfg.receiver_buffer_bytes = 256.0 * 1024;
+  // Same rate *ratios* as the preset, scaled so the run takes ~5 s:
+  // 1 "Mbps" -> 12.5 KB/s per thread. The run must be long enough that the
+  // token buckets' 0.25 s burst transient (where every stage looks
+  // self-limited) is dominated by steady-state queue backpressure.
+  cfg.read.per_thread_bytes_per_s = preset.rates_mbps[0] * 12'500.0;
+  cfg.network.per_thread_bytes_per_s = preset.rates_mbps[1] * 12'500.0;
+  cfg.write.per_thread_bytes_per_s = preset.rates_mbps[2] * 12'500.0;
+  TransferSession session(cfg, std::vector<double>(40, 256.0 * 1024));
+  session.start({2, 2, 2});
+  EXPECT_TRUE(session.wait_finished(60.0));
+  const MetricsSnapshot snap = session.telemetry_snapshot();
+  return static_cast<int>(snap.value_or("pipeline.bottleneck", -1.0));
+}
+
+TEST(BottleneckAttributor, OnlineAgreesWithProbeOfflineAcrossPresets) {
+  const PresetCase presets[] = {
+      {"bottleneck_read", {80.0, 160.0, 200.0}, 0},
+      {"bottleneck_network", {205.0, 75.0, 195.0}, 1},
+      {"bottleneck_write", {200.0, 150.0, 70.0}, 2},
+  };
+  for (const PresetCase& preset : presets) {
+    SCOPED_TRACE(preset.name);
+    const int offline = probe_offline_bottleneck(preset);
+    EXPECT_EQ(offline, preset.expected_stage);
+    const int online = engine_online_bottleneck(preset);
+    EXPECT_EQ(online, offline);
+  }
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

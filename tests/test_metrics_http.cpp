@@ -1,0 +1,166 @@
+// MetricsHttpServer: a raw TCP client speaking minimal HTTP/1.1 against the
+// /metrics endpoint — status codes, OpenMetrics content type, body framing —
+// plus the ISSUE's concurrent-scrape case: hammering /metrics while a real
+// TransferSession is moving bytes must always yield complete, EOF-terminated
+// scrapes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/metrics_http.hpp"
+#include "telemetry/openmetrics.hpp"
+#include "transfer/engine.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+/// One-shot HTTP exchange: send `request` verbatim, read to connection close.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  net::Connector connector;
+  auto socket = connector.connect("127.0.0.1", port);
+  if (!socket.has_value()) return "";
+  if (socket->write_all(request.data(), request.size(), 5.0) !=
+      net::SocketStatus::kOk)
+    return "";
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    std::size_t received = 0;
+    const auto status = socket->read_some(buf, sizeof(buf), 5.0, &received);
+    if (status != net::SocketStatus::kOk || received == 0) break;
+    response.append(buf, received);
+  }
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path +
+                                 " HTTP/1.1\r\nHost: localhost\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+MetricsHttpServerConfig loopback_config() {
+  MetricsHttpServerConfig config;
+  config.host = "127.0.0.1";
+  config.port = 0;
+  return config;
+}
+
+TEST(MetricsHttpServer, ServesRenderedBodyWithOpenMetricsContentType) {
+  MetricsRegistry registry;
+  registry.counter("read.bytes")->add(7);
+  MetricsHttpServer server(loopback_config(),
+                           [&] { return render_openmetrics(registry); });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+
+  const std::string response = get(server.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(response.find("Content-Type: application/openmetrics-text; "
+                          "version=1.0.0; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("automdt_read_bytes_total 7\n"), std::string::npos);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+  // Content-Length must frame the body exactly.
+  EXPECT_NE(response.find("Content-Length: " + std::to_string(body.size()) +
+                          "\r\n"),
+            std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, QueryStringAndUnknownPathsAndMethods) {
+  MetricsHttpServer server(loopback_config(), [] { return "# EOF\n"; });
+  ASSERT_TRUE(server.start());
+
+  EXPECT_EQ(get(server.port(), "/metrics?x=1").rfind("HTTP/1.1 200", 0), 0u);
+  EXPECT_EQ(get(server.port(), "/").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(get(server.port(), "/metricsX").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(http_exchange(server.port(),
+                          "POST /metrics HTTP/1.1\r\n"
+                          "Content-Length: 0\r\n\r\n")
+                .rfind("HTTP/1.1 405", 0),
+            0u);
+  server.stop();
+}
+
+TEST(MetricsHttpServer, NullRenderServesBareEof) {
+  MetricsHttpServer server(loopback_config(), nullptr);
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(body_of(get(server.port(), "/metrics")), "# EOF\n");
+  server.stop();
+}
+
+TEST(MetricsHttpServer, StopIsIdempotentAndRestartable) {
+  MetricsHttpServer server(loopback_config(), [] { return "# EOF\n"; });
+  ASSERT_TRUE(server.start());
+  const std::uint16_t first_port = server.port();
+  EXPECT_NE(first_port, 0);
+  server.stop();
+  server.stop();  // no crash
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(body_of(get(server.port(), "/metrics")), "# EOF\n");
+  server.stop();
+}
+
+TEST(MetricsHttpServer, ConcurrentScrapesDuringLiveTransferStayComplete) {
+  // Serve a real engine registry and scrape it from several clients while
+  // the pipeline runs: every response must be a 200 with a complete,
+  // EOF-terminated OpenMetrics body containing the stage-clock gauges, and
+  // the transfer itself must finish clean despite the snapshot storm.
+  transfer::EngineConfig cfg;
+  cfg.max_threads = 4;
+  cfg.chunk_bytes = 64 * 1024;
+  cfg.sender_buffer_bytes = 1.0 * kMiB;
+  cfg.receiver_buffer_bytes = 1.0 * kMiB;
+  transfer::TransferSession session(
+      cfg, std::vector<double>(64, 512.0 * 1024));
+  MetricsHttpServer server(
+      loopback_config(), [&] { return render_openmetrics(session.registry()); });
+  ASSERT_TRUE(server.start());
+
+  session.start({2, 2, 2});
+
+  std::atomic<int> good{0};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string response = get(server.port(), "/metrics");
+        if (response.rfind("HTTP/1.1 200 OK\r\n", 0) != 0) continue;
+        const std::string body = body_of(response);
+        if (body.size() < 6 || body.substr(body.size() - 6) != "# EOF\n")
+          continue;
+        if (body.find("# TYPE automdt_stage_read_busy_ns gauge") ==
+            std::string::npos)
+          continue;
+        if (body.find("automdt_pipeline_bottleneck") == std::string::npos)
+          continue;
+        good.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& s : scrapers) s.join();
+  EXPECT_EQ(good.load(), 3 * 8);
+
+  ASSERT_TRUE(session.wait_finished(30.0));
+  EXPECT_EQ(session.stats().verify_failures, 0u);
+  EXPECT_GE(server.requests_served(), 24u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

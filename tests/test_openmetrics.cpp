@@ -1,0 +1,158 @@
+// OpenMetrics exposition: pinned golden output (same discipline as
+// test_trace_export.cpp — byte-exact text, not substring spot checks), name
+// mapping, label lifting + escaping, and histogram bucket-boundary
+// rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/openmetrics.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+/// The uptime sample is the single non-deterministic line; replace its value
+/// so the rest of the scrape can be compared byte-exactly.
+std::string normalize_uptime(std::string text) {
+  const std::string prefix = "\nautomdt_uptime_seconds ";
+  const std::size_t at = text.find(prefix);
+  if (at == std::string::npos) return text;
+  const std::size_t eol = text.find('\n', at + prefix.size());
+  text.replace(at + prefix.size(), eol - at - prefix.size(), "<uptime>");
+  return text;
+}
+
+TEST(OpenMetrics, GoldenRegistryRendering) {
+  MetricsRegistry registry;
+  registry.counter("read.bytes")->add(1024);
+  registry.gauge("queue.occupancy")->set(0.5);
+  registry.register_callback("engine.finished", [] { return 1.0; });
+  registry.counter("session.7.bytes_ok")->add(42);
+  registry.counter("tenant.acme.rejects")->add(2);
+  LogLinearHistogram* hist = registry.histogram("read.latency_ns");
+  hist->record(5);
+  hist->record(7);
+  hist->record(5);
+
+  const std::string expected =
+      "# TYPE automdt_uptime_seconds gauge\n"
+      "automdt_uptime_seconds <uptime>\n"
+      "# TYPE automdt_read_bytes counter\n"
+      "automdt_read_bytes_total 1024\n"
+      "# TYPE automdt_queue_occupancy gauge\n"
+      "automdt_queue_occupancy 0.5\n"
+      "# TYPE automdt_engine_finished gauge\n"
+      "automdt_engine_finished 1\n"
+      "# TYPE automdt_session_bytes_ok counter\n"
+      "automdt_session_bytes_ok_total{session=\"7\"} 42\n"
+      "# TYPE automdt_tenant_rejects counter\n"
+      "automdt_tenant_rejects_total{tenant=\"acme\"} 2\n"
+      "# TYPE automdt_read_latency_ns histogram\n"
+      "automdt_read_latency_ns_bucket{le=\"5\"} 2\n"
+      "automdt_read_latency_ns_bucket{le=\"7\"} 3\n"
+      "automdt_read_latency_ns_bucket{le=\"+Inf\"} 3\n"
+      "automdt_read_latency_ns_sum 17\n"
+      "automdt_read_latency_ns_count 3\n"
+      "# EOF\n";
+  EXPECT_EQ(normalize_uptime(render_openmetrics(registry)), expected);
+}
+
+TEST(OpenMetrics, LabelVariantsGroupUnderOneTypeLine) {
+  MetricsRegistry registry;
+  registry.counter("session.1.bytes_ok")->add(10);
+  registry.counter("session.2.bytes_ok")->add(20);
+  const std::string expected =
+      "# TYPE automdt_uptime_seconds gauge\n"
+      "automdt_uptime_seconds <uptime>\n"
+      "# TYPE automdt_session_bytes_ok counter\n"
+      "automdt_session_bytes_ok_total{session=\"1\"} 10\n"
+      "automdt_session_bytes_ok_total{session=\"2\"} 20\n"
+      "# EOF\n";
+  EXPECT_EQ(normalize_uptime(render_openmetrics(registry)), expected);
+}
+
+TEST(OpenMetrics, NameMappingLiftsSessionAndTenantLabels) {
+  OpenMetricsName plain = openmetrics_name("read.bytes");
+  EXPECT_EQ(plain.family, "automdt_read_bytes");
+  EXPECT_TRUE(plain.label_key.empty());
+
+  OpenMetricsName session = openmetrics_name("session.7.bytes_ok");
+  EXPECT_EQ(session.family, "automdt_session_bytes_ok");
+  EXPECT_EQ(session.label_key, "session");
+  EXPECT_EQ(session.label_value, "7");
+
+  OpenMetricsName tenant = openmetrics_name("tenant.acme.throttle_defers");
+  EXPECT_EQ(tenant.family, "automdt_tenant_throttle_defers");
+  EXPECT_EQ(tenant.label_key, "tenant");
+  EXPECT_EQ(tenant.label_value, "acme");
+
+  // Invalid name characters sanitize to '_'.
+  EXPECT_EQ(openmetrics_name("io.backend-mode").family,
+            "automdt_io_backend_mode");
+
+  // Two-component session names have no metric part to lift; they stay
+  // plain (sanitized) families rather than producing an empty name.
+  EXPECT_TRUE(openmetrics_name("session.7").label_key.empty());
+  EXPECT_EQ(openmetrics_name("session.7").family, "automdt_session_7");
+}
+
+TEST(OpenMetrics, LabelValuesEscapePerExpositionFormat) {
+  EXPECT_EQ(openmetrics_escape_label("plain"), "plain");
+  EXPECT_EQ(openmetrics_escape_label("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(openmetrics_escape_label("line\nbreak"), "line\\nbreak");
+
+  // End to end: a hostile tenant name renders as a correctly escaped label.
+  MetricsRegistry registry;
+  registry.counter("tenant.a\"b\\c.rejects")->add(1);
+  const std::string text = render_openmetrics(registry);
+  EXPECT_NE(
+      text.find("automdt_tenant_rejects_total{tenant=\"a\\\"b\\\\c\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramBucketBoundariesUseExactIntegerUppers) {
+  // Below the first log-linear range every value is its own bucket; beyond
+  // it widths double, so 64 and 65 share the [64,65] bucket and 100 lands
+  // in [100,101]. The rendered `le` must be the histogram's exact integer
+  // upper bound, cumulative across non-empty buckets.
+  MetricsRegistry registry;
+  LogLinearHistogram* hist = registry.histogram("net.batch");
+  hist->record(63);
+  hist->record(64);
+  hist->record(65);
+  hist->record(100);
+  const std::string text = render_openmetrics(registry);
+  EXPECT_NE(text.find("automdt_net_batch_bucket{le=\"63\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("automdt_net_batch_bucket{le=\"65\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("automdt_net_batch_bucket{le=\"101\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("automdt_net_batch_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("automdt_net_batch_sum 292\n"), std::string::npos);
+  EXPECT_NE(text.find("automdt_net_batch_count 4\n"), std::string::npos);
+  // No empty bucket between 65 and 100 leaked into the exposition.
+  EXPECT_EQ(text.find("le=\"67\""), std::string::npos);
+}
+
+TEST(OpenMetrics, NonFiniteGaugesRenderSpecNames) {
+  MetricsRegistry registry;
+  registry.gauge("a.nan")->set(std::nan(""));
+  registry.gauge("b.inf")->set(HUGE_VAL);
+  const std::string text = render_openmetrics(registry);
+  EXPECT_NE(text.find("automdt_a_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("automdt_b_inf +Inf\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, EmptyRegistryStillEndsWithEof) {
+  MetricsRegistry registry;
+  const std::string text = render_openmetrics(registry);
+  EXPECT_EQ(text.find("# TYPE automdt_uptime_seconds gauge"), 0u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

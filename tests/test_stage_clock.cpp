@@ -1,0 +1,169 @@
+// StageClock / StageClockSet: lazy-transition state accounting, idle-slot
+// semantics, set aggregation, and single-writer / multi-reader safety (the
+// tsan job runs this suite).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "telemetry/stage_clock.hpp"
+
+namespace automdt::telemetry {
+namespace {
+
+void spin_for_ms(int ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(StageClock, IdleSlotContributesNothing) {
+  StageClock clock;
+  StageClockTotals totals;
+  clock.read_into(totals, now_ns());
+  EXPECT_EQ(totals.busy_ns, 0u);
+  EXPECT_EQ(totals.blocked_upstream_ns, 0u);
+  EXPECT_EQ(totals.blocked_downstream_ns, 0u);
+  EXPECT_EQ(totals.parked_ns, 0u);
+}
+
+TEST(StageClock, BusyAccruesImplicitlyWithoutTransitions) {
+  // The hot-path contract: a worker that never blocks performs no enter()
+  // calls, yet readers still see its busy time as now - since.
+  StageClock clock;
+  clock.start();
+  spin_for_ms(5);
+  StageClockTotals totals;
+  clock.read_into(totals, now_ns());
+  EXPECT_GT(totals.busy_ns, 1'000'000u);  // >= 1 ms of the 5 we spun
+  EXPECT_EQ(totals.blocked_upstream_ns, 0u);
+  EXPECT_EQ(totals.blocked_downstream_ns, 0u);
+  EXPECT_EQ(totals.parked_ns, 0u);
+}
+
+TEST(StageClock, EnterCreditsOutgoingStateExactly) {
+  StageClock clock;
+  clock.start();
+  const std::uint64_t t0 = clock.enter(WorkerState::kBlockedDownstream);
+  spin_for_ms(2);
+  const std::uint64_t t1 = clock.enter(WorkerState::kBusy);
+  ASSERT_GE(t1, t0);
+  // Reading "as of t1" excludes the in-progress busy interval, so the
+  // blocked-downstream total is exactly the returned-span difference.
+  StageClockTotals totals;
+  clock.read_into(totals, t1);
+  EXPECT_EQ(totals.blocked_downstream_ns, t1 - t0);
+  EXPECT_GT(totals.busy_ns, 0u);  // start() -> first enter()
+  EXPECT_EQ(totals.parked_ns, 0u);
+}
+
+TEST(StageClock, EnterBeforeStartBeginsAccounting) {
+  StageClock clock;
+  clock.enter(WorkerState::kParked);
+  spin_for_ms(2);
+  StageClockTotals totals;
+  clock.read_into(totals, now_ns());
+  EXPECT_GT(totals.parked_ns, 0u);
+  EXPECT_EQ(totals.busy_ns, 0u);
+}
+
+TEST(StageClock, StateReflectsLastTransition) {
+  StageClock clock;
+  clock.start();
+  EXPECT_EQ(clock.state(), WorkerState::kBusy);
+  clock.enter(WorkerState::kBlockedUpstream);
+  EXPECT_EQ(clock.state(), WorkerState::kBlockedUpstream);
+  EXPECT_STREQ(to_string(clock.state()), "blocked-upstream");
+  EXPECT_STREQ(to_string(WorkerState::kBlockedDownstream),
+               "blocked-downstream");
+  EXPECT_STREQ(to_string(WorkerState::kParked), "parked");
+  EXPECT_STREQ(to_string(WorkerState::kBusy), "busy");
+}
+
+TEST(StageClockSet, SumsStartedSlotsAndIgnoresIdleOnes) {
+  StageClockSet set(4);
+  ASSERT_EQ(set.size(), 4u);
+  set.slot(0).start();
+  set.slot(1).start();
+  set.slot(1).enter(WorkerState::kBlockedUpstream);
+  spin_for_ms(3);
+  // Slots 2 and 3 were never started: a pre-sized pool of workers that never
+  // ran must not dilute the aggregate.
+  const StageClockTotals totals = set.totals();
+  EXPECT_GT(totals.busy_ns, 0u);              // slot 0 (implicit) + slot 1
+  EXPECT_GT(totals.blocked_upstream_ns, 0u);  // slot 1 in-progress
+  EXPECT_EQ(totals.parked_ns, 0u);
+
+  StageClockTotals idle;
+  set.slot(2).read_into(idle, now_ns());
+  EXPECT_EQ(idle.busy_ns + idle.blocked_upstream_ns +
+                idle.blocked_downstream_ns + idle.parked_ns,
+            0u);
+}
+
+TEST(StageClockTotals, StateNsSelectsTheMatchingField) {
+  StageClockTotals t;
+  t.busy_ns = 1;
+  t.blocked_upstream_ns = 2;
+  t.blocked_downstream_ns = 3;
+  t.parked_ns = 4;
+  EXPECT_EQ(t.state_ns(WorkerState::kBusy), 1u);
+  EXPECT_EQ(t.state_ns(WorkerState::kBlockedUpstream), 2u);
+  EXPECT_EQ(t.state_ns(WorkerState::kBlockedDownstream), 3u);
+  EXPECT_EQ(t.state_ns(WorkerState::kParked), 4u);
+}
+
+TEST(StageClock, ConcurrentReadersNeverTearOrCrash) {
+  // Single owner cycling states at full speed while two aggregators read.
+  // Run under tsan this proves the relaxed-atomics discipline; the totals
+  // assertion proves readers see monotone, plausible sums.
+  StageClockSet set(2);
+  std::atomic<bool> stop{false};
+  const std::uint64_t wall_t0 = now_ns();
+
+  std::thread owner([&] {
+    StageClock& clock = set.slot(0);
+    clock.start();
+    const WorkerState cycle[] = {
+        WorkerState::kBusy, WorkerState::kBlockedUpstream,
+        WorkerState::kBlockedDownstream, WorkerState::kParked};
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      clock.enter(cycle[i++ % 4]);
+    }
+  });
+
+  std::atomic<std::uint64_t> reads{0};
+  std::thread readers[2];
+  for (auto& r : readers) {
+    r = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const StageClockTotals t = set.totals();
+        // A reader must never observe more accumulated time than has
+        // elapsed since before the owner started (plus generous slack for
+        // the in-progress interval rounding).
+        const std::uint64_t sum = t.busy_ns + t.blocked_upstream_ns +
+                                  t.blocked_downstream_ns + t.parked_ns;
+        ASSERT_LE(sum, (now_ns() - wall_t0) + 1'000'000u);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  owner.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+
+  const StageClockTotals final_totals = set.totals();
+  const std::uint64_t sum =
+      final_totals.busy_ns + final_totals.blocked_upstream_ns +
+      final_totals.blocked_downstream_ns + final_totals.parked_ns;
+  EXPECT_GT(sum, 0u);
+}
+
+}  // namespace
+}  // namespace automdt::telemetry

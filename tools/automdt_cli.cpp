@@ -13,7 +13,9 @@
 //   monitor  --port P [--once]        poll a serve/DtnPair telemetry port;
 //                                     render 1 Hz per-stage throughput,
 //                                     queue occupancy, and latency
-//                                     percentiles (--once: one JSON dump)
+//                                     percentiles (--once: one JSON dump;
+//                                     --bottleneck: live stage-clock
+//                                     attribution view)
 //
 // Common options:
 //   --config FILE      key=value overrides (see core/config_bindings.hpp)
@@ -44,6 +46,15 @@
 //   --port P / --host H     (monitor) endpoint to poll
 //   --interval S            (monitor) poll cadence (default 1 s)
 //   --once                  (monitor) print one JSON snapshot and exit
+//   --timeout S             (monitor) snapshot wait budget (default 5 s)
+//   --bottleneck            (monitor) render the serve side's online
+//                           bottleneck attribution (pipeline.bottleneck +
+//                           per-stage busy/blocked fractions from the stage
+//                           clocks); one line with --once, a ticker otherwise
+//   --metrics-port P        (serve|transfer|train) OpenMetrics HTTP endpoint:
+//                           GET /metrics returns the live registry in
+//                           Prometheus/OpenMetrics text, e.g.
+//                           curl -s localhost:P/metrics
 //
 // Tracing / flight-recorder options:
 //   --trace-out FILE        (train|transfer|serve) write a Chrome trace-event
@@ -101,6 +112,8 @@
 #include "telemetry/clock_sync.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/journal.hpp"
+#include "telemetry/metrics_http.hpp"
+#include "telemetry/openmetrics.hpp"
 #include "telemetry/recorder.hpp"
 #include "telemetry/stats_server.hpp"
 #include "telemetry/trace_export.hpp"
@@ -136,7 +149,8 @@ Args parse_args(int argc, char** argv) {
     a = a.substr(2);
     // Flags with no value take "1"; otherwise consume the next token.
     static const std::set<std::string> flags = {
-        "mixed", "paper", "deterministic", "once", "list-sessions"};
+        "mixed", "paper", "deterministic", "once", "list-sessions",
+        "bottleneck"};
     if (flags.count(a)) {
       args.options.insert_or_assign(a, "1");
     } else {
@@ -160,6 +174,25 @@ bool write_trace(const telemetry::TraceExporter& exporter,
               exporter.events(),
               static_cast<unsigned long long>(exporter.dropped()));
   return true;
+}
+
+// --metrics-port P: spin up the OpenMetrics GET /metrics responder over the
+// given render function. Returns null when the flag is absent; throws when
+// the port cannot be bound (all callers treat that as fatal).
+std::unique_ptr<telemetry::MetricsHttpServer> start_metrics_http(
+    const Args& args, telemetry::MetricsHttpServer::RenderFn render) {
+  if (!args.flag("metrics-port")) return nullptr;
+  telemetry::MetricsHttpServerConfig config;
+  config.port = static_cast<std::uint16_t>(args.get_int("metrics-port", 0));
+  auto server = std::make_unique<telemetry::MetricsHttpServer>(
+      config, std::move(render));
+  if (!server->start()) {
+    throw std::runtime_error("cannot bind metrics port " +
+                             args.get("metrics-port", "0"));
+  }
+  std::printf("metrics: curl -s http://127.0.0.1:%u/metrics\n",
+              server->port());
+  return server;
 }
 
 testbed::ScenarioPreset preset_by_name(const std::string& name) {
@@ -268,9 +301,17 @@ int cmd_train(const Args& args) {
     cfg.trace_exporter = trace.get();
   }
 
+  // --metrics-port: scrape the trainer's live registry (ppo.* diagnostics)
+  // as OpenMetrics while train_offline runs.
+  auto metrics_http = start_metrics_http(args, [&training_registry] {
+    return telemetry::render_openmetrics(training_registry);
+  });
+  if (metrics_http) cfg.telemetry_registry = &training_registry;
+
   testbed::EmulatedEnvironment env(preset.config, testbed::Dataset::infinite());
   core::OfflineTrainingReport report;
   const core::AutoMdt mdt = core::AutoMdt::train_offline(env, cfg, &report);
+  if (metrics_http) metrics_http->stop();
 
   if (training_recorder) {
     std::ofstream f(args.get("telemetry-csv", ""));
@@ -340,7 +381,15 @@ int cmd_transfer(const Args& args) {
     trace = std::make_unique<telemetry::TraceExporter>();
     run_options.exporter = trace.get();
   }
+  // --metrics-port: per-interval transfer.* gauges scrapeable as OpenMetrics
+  // while the (emulated) transfer runs.
+  telemetry::MetricsRegistry transfer_registry;
+  auto metrics_http = start_metrics_http(args, [&transfer_registry] {
+    return telemetry::render_openmetrics(transfer_registry);
+  });
+  if (metrics_http) run_options.metrics = &transfer_registry;
   const auto res = optimizers::run_transfer(env, *ctrl, rng, run_options);
+  if (metrics_http) metrics_http->stop();
   std::printf("%s in %s (virtual), average %s\n",
               res.completed ? "completed" : "TIMED OUT",
               format_duration(res.completion_time_s).c_str(),
@@ -464,6 +513,12 @@ int cmd_serve_sessions(const Args& args) {
     telemetry::install_log_journal(nullptr);
     return 1;
   }
+  // --metrics-port: the same registry the kStatsSnapshot plane serves, as an
+  // OpenMetrics scrape (session./tenant. prefixes become labels).
+  auto metrics_http = start_metrics_http(args, [&server] {
+    return telemetry::render_openmetrics(server.metrics());
+  });
+
   std::printf(
       "serve plane: %d event loop(s), %d worker thread(s), %zu session "
       "slots, data port %u, telemetry port %u, %.0f s\n",
@@ -509,6 +564,7 @@ int cmd_serve_sessions(const Args& args) {
   }
   for (std::thread& t : drivers) t.join();
 
+  if (metrics_http) metrics_http->stop();
   stats.stop();
   watchdog.stop();
   const std::uint64_t bytes_ok = server.total_bytes_ok();
@@ -632,12 +688,35 @@ int cmd_serve(const Args& args) {
   std::printf("serving kStatsSnapshot on 127.0.0.1:%u for %.0f s\n",
               server.port(), duration_s);
 
+  // --metrics-port: OpenMetrics scrape of the live session's registry,
+  // re-resolved per request because sessions recycle between transfers. An
+  // idle gap renders the minimal valid exposition (just "# EOF").
+  auto metrics_http = start_metrics_http(args, [&] {
+    std::shared_ptr<transfer::TransferSession> live;
+    {
+      std::lock_guard lock(session_mutex);
+      live = session;
+    }
+    return live ? telemetry::render_openmetrics(live->registry())
+                : std::string("# EOF\n");
+  });
+
   // Pipeline watchdog: whichever session is live must advance bytes_written
   // while work remains; --watchdog-seconds of flatline dumps the flight
   // recorder exactly once (it re-arms when progress resumes).
   telemetry::WatchdogConfig watchdog_config;
   watchdog_config.poll_interval_s = 0.1;
   watchdog_config.stall_after_s = std::stod(args.get("watchdog-seconds", "1"));
+  // Stage-clock utilization evidence in the stall dump: "which stage was the
+  // bottleneck" travels with "which counter flatlined".
+  watchdog_config.context_fn = [&]() -> std::string {
+    std::shared_ptr<transfer::TransferSession> live;
+    {
+      std::lock_guard lock(session_mutex);
+      live = session;
+    }
+    return live ? live->bottleneck_report() : std::string();
+  };
   telemetry::PipelineWatchdog watchdog(
       watchdog_config,
       [&]() -> std::optional<std::uint64_t> {
@@ -677,6 +756,7 @@ int cmd_serve(const Args& args) {
     ++transfers;
   }
   watchdog.stop();
+  if (metrics_http) metrics_http->stop();
   server.stop();
   telemetry::install_log_journal(nullptr);
   std::printf("served %llu snapshot(s) over %d transfer(s)\n",
@@ -696,6 +776,8 @@ int cmd_monitor(const Args& args) {
   const std::string host = args.get("host", "127.0.0.1");
   const auto port = static_cast<std::uint16_t>(args.get_int("port", 28765));
   const double interval_s = std::stod(args.get("interval", "1"));
+  // --timeout: how long one snapshot may take before the view gives up.
+  const double timeout_s = std::stod(args.get("timeout", "5"));
 
   auto client = telemetry::StatsClient::connect(host, port);
   if (!client) {
@@ -704,22 +786,74 @@ int cmd_monitor(const Args& args) {
     return 1;
   }
 
+  // The poll-and-complain dance every one-shot view shares (it used to be
+  // copy-pasted per view, each with its own hardcoded 5 s budget).
+  const auto poll_snapshot =
+      [&client,
+       timeout_s]() -> std::optional<telemetry::MetricsSnapshot> {
+    const auto resp = client->poll(timeout_s);
+    if (!resp) {
+      std::fprintf(stderr, "monitor: no snapshot within %g s\n", timeout_s);
+      return std::nullopt;
+    }
+    return telemetry::message_to_snapshot(*resp);
+  };
+
+  // --bottleneck: the serve side's online attribution — the verdict gauge
+  // plus per-stage busy/blocked fractions and effective bandwidth that the
+  // stage clocks feed over kStatsSnapshot. One line with --once, a ticker at
+  // --interval otherwise.
+  if (args.flag("bottleneck")) {
+    const auto render = [](const telemetry::MetricsSnapshot& snap) {
+      const double verdict = snap.value_or("pipeline.bottleneck", -1.0);
+      std::printf("[gen %llu t=%7.1fs] bottleneck: %s",
+                  static_cast<unsigned long long>(snap.generation),
+                  snap.uptime_s,
+                  verdict < 0.0 || verdict > 2.0
+                      ? "n/a"
+                      : stage_name(static_cast<Stage>(
+                            static_cast<int>(verdict))));
+      for (Stage s : kAllStages) {
+        const std::string prefix = std::string("stage.") + stage_name(s);
+        std::printf(" | %s busy %.2f blocked %.2f eff %.0f Mbps",
+                    stage_name(s), snap.value_or(prefix + ".busy_frac"),
+                    snap.value_or(prefix + ".blocked_frac"),
+                    snap.value_or(prefix + ".eff_mbps"));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    };
+    int misses = 0;
+    for (;;) {
+      const auto snap = poll_snapshot();
+      if (!snap) {
+        if (args.flag("once")) return 1;
+        if (++misses >= 3 || !client->connected()) {
+          std::fprintf(stderr, "monitor: endpoint gone\n");
+          return 0;
+        }
+        continue;
+      }
+      misses = 0;
+      render(*snap);
+      if (args.flag("once")) return 0;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+  }
+
   // --list-sessions: one snapshot, rendered as a per-session table (serve
   // --max-sessions exports session.<id>.* through the same kStatsSnapshot).
   if (args.flag("list-sessions")) {
-    const auto resp = client->poll(/*timeout_s=*/5.0);
-    if (!resp) {
-      std::fprintf(stderr, "monitor: no snapshot within 5 s\n");
-      return 1;
-    }
-    const telemetry::MetricsSnapshot snap =
-        telemetry::message_to_snapshot(*resp);
+    const auto snap_opt = poll_snapshot();
+    if (!snap_opt) return 1;
+    const telemetry::MetricsSnapshot& snap = *snap_opt;
     struct SessionRow {
       double state = -1.0;
       double inflight = 0.0;
       double chunks = 0.0;
       double bytes = 0.0;
       double fails = 0.0;
+      double busy_ns = 0.0;
     };
     std::map<long long, SessionRow> rows;
     for (const auto& sample : snap.samples) {
@@ -739,6 +873,7 @@ int cmd_monitor(const Args& args) {
       else if (leaf == "chunks_ok") row.chunks = sample.value;
       else if (leaf == "bytes_ok") row.bytes = sample.value;
       else if (leaf == "verify_failures") row.fails = sample.value;
+      else if (leaf == "busy_ns") row.busy_ns = sample.value;
     }
     if (rows.empty()) {
       std::printf("no sessions in snapshot (generation %llu)\n",
@@ -746,31 +881,30 @@ int cmd_monitor(const Args& args) {
       return 0;
     }
     Table table({"session", "state", "inflight", "chunks_ok", "bytes_ok",
-                 "verify_failures"});
+                 "verify_failures", "busy_s"});
     for (const auto& [id, row] : rows) {
       const char* state =
           row.state < 0
               ? "?"
               : serve::to_string(static_cast<serve::SessionLifecycle>(
                     static_cast<std::uint32_t>(row.state)));
+      char busy_s[32];
+      std::snprintf(busy_s, sizeof(busy_s), "%.3f", row.busy_ns / 1e9);
       table.add_row({std::to_string(id), std::string(state),
                      std::to_string(static_cast<long long>(row.inflight)),
                      std::to_string(static_cast<long long>(row.chunks)),
                      format_bytes(row.bytes),
-                     std::to_string(static_cast<long long>(row.fails))});
+                     std::to_string(static_cast<long long>(row.fails)),
+                     std::string(busy_s)});
     }
     table.print(std::cout);
     return 0;
   }
 
   if (args.flag("once")) {
-    const auto resp = client->poll(/*timeout_s=*/5.0);
-    if (!resp) {
-      std::fprintf(stderr, "monitor: no snapshot within 5 s\n");
-      return 1;
-    }
-    telemetry::write_snapshot_json(std::cout,
-                                   telemetry::message_to_snapshot(*resp));
+    const auto snap = poll_snapshot();
+    if (!snap) return 1;
+    telemetry::write_snapshot_json(std::cout, *snap);
     std::cout << "\n";
     return 0;
   }

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition read from stdin (or a file arg).
+
+CI pipes `curl -s http://host:port/metrics` through this after starting a
+live serve/transfer process, so the check covers what a Prometheus scraper
+actually depends on rather than what the unit tests pinned:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry no stray bytes
+  * `# TYPE` lines use a known kind and appear once per family, before any
+    of that family's samples
+  * label sets are well-formed ({key="value"} with escaped quotes) and
+    every sample's family was declared
+  * counter samples use the `_total` suffix
+  * histogram `le` buckets are numerically ascending with non-decreasing
+    cumulative counts, closed by `le="+Inf"` whose count equals `_count`
+  * sample values parse as floats (NaN / +Inf / -Inf allowed)
+  * the exposition ends with `# EOF`
+
+Exit status 0 on success; 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+KINDS = {"counter", "gauge", "histogram", "summary", "untyped", "info"}
+# name, optional {labels}, space, value (exemplars/timestamps unused here).
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_labels(raw):
+    """Return a dict of labels, or None when the set is malformed."""
+    if raw is None or raw == "":
+        return {}
+    out = {}
+    rest = raw
+    while rest:
+        match = LABEL_RE.match(rest)
+        if match is None:
+            return None
+        out[match.group(1)] = match.group(2)
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return out
+
+
+def base_family(name):
+    """Strip the sample-name suffix back to its family."""
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("exposition does not end with '# EOF'")
+
+    types = {}  # family -> kind
+    samples = 0
+    # (family, frozenset(labels minus le)) -> list of (le, cumulative)
+    buckets = {}
+    counts = {}  # same key -> _count value
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                errors.append(f"line {lineno}: '# EOF' before end of input")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            _, _, family, kind = parts
+            if not NAME_RE.match(family):
+                errors.append(f"line {lineno}: invalid family name {family!r}")
+            if kind not in KINDS:
+                errors.append(f"line {lineno}: unknown metric kind {kind!r}")
+            if family in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {family!r}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / UNIT lines are legal, we emit none
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        labels = parse_labels(match.group("labels"))
+        if labels is None:
+            errors.append(f"line {lineno}: malformed label set: {line!r}")
+            continue
+        try:
+            value = parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}")
+            continue
+
+        family = base_family(name)
+        kind = types.get(family) or types.get(name)
+        if kind is None:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE line")
+            continue
+        if kind == "counter" and not name.endswith(
+                ("_total", "_created")):
+            errors.append(
+                f"line {lineno}: counter sample {name!r} lacks _total")
+        if kind == "histogram":
+            key = (family,
+                   frozenset((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                    continue
+                le = (float("inf") if labels["le"] == "+Inf"
+                      else float(labels["le"]))
+                series = buckets.setdefault(key, [])
+                if series:
+                    last_le, last_cum = series[-1]
+                    if le <= last_le:
+                        errors.append(
+                            f"line {lineno}: bucket le={labels['le']} not "
+                            f"ascending for {family!r}")
+                    if value < last_cum:
+                        errors.append(
+                            f"line {lineno}: bucket counts not cumulative "
+                            f"for {family!r}")
+                series.append((le, value))
+            elif name.endswith("_count"):
+                counts[key] = value
+
+    for key, series in buckets.items():
+        family = key[0]
+        if not series or series[-1][0] != float("inf"):
+            errors.append(f"histogram {family!r} not closed by le=\"+Inf\"")
+            continue
+        if key in counts and series[-1][1] != counts[key]:
+            errors.append(
+                f"histogram {family!r}: +Inf bucket {series[-1][1]} != "
+                f"_count {counts[key]}")
+
+    if samples == 0:
+        errors.append("no samples found")
+
+    if errors:
+        for error in errors:
+            print(f"check_openmetrics: {error}", file=sys.stderr)
+        return 1
+    print(f"check_openmetrics: ok "
+          f"({len(types)} families, {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
